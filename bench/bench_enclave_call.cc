@@ -1,0 +1,110 @@
+// §4.6 ablation: synchronous enclave calls (one call-gate transition per
+// expression) vs the queued worker-thread design with spin-polling, at a
+// realistic VBS transition cost.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/drbg.h"
+#include "enclave/enclave.h"
+#include "enclave/worker_pool.h"
+
+namespace aedb::enclave {
+namespace {
+
+using types::TypeId;
+using types::Value;
+
+struct Rig {
+  crypto::RsaPrivateKey author;
+  std::unique_ptr<VbsPlatform> platform;
+  std::unique_ptr<Enclave> enclave;
+  uint64_t handle = 0;
+  uint64_t session = 0;
+  Bytes cell_a, cell_b;
+
+  explicit Rig(uint64_t transition_ns) {
+    crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                          Slice(std::string_view("bench")));
+    author = crypto::GenerateRsaKey(1024, &drbg);
+    platform = std::make_unique<VbsPlatform>("boot");
+    EnclaveConfig cfg;
+    cfg.transition_cost_ns = transition_ns;
+    enclave = std::move(platform->LoadEnclave(
+                            EnclaveImage::MakeEsImage(1, author), cfg))
+                  .value();
+    // Session + CEK install.
+    crypto::DhKeyPair dh = crypto::GenerateDhKeyPair(&drbg);
+    auto resp = enclave->CreateSession(crypto::DhPublicKeyBytes(dh));
+    session = resp->session_id;
+    Bytes secret =
+        *crypto::DhComputeSharedSecret(dh.private_key, resp->enclave_dh_public);
+    crypto::CellCodec channel(secret);
+    Bytes cek = crypto::SecureRandom(32);
+    Bytes body;
+    PutU64(&body, 0);
+    PutU32(&body, 1);
+    PutU32(&body, 1);
+    PutLengthPrefixed(&body, cek);
+    (void)enclave->InstallCeks(
+        session, 0, channel.Encrypt(body, crypto::EncryptionScheme::kRandomized));
+    // Register the standard equality expression.
+    es::EsProgram p;
+    auto enc = types::EncryptionType::Encrypted(types::EncKind::kRandomized, 1,
+                                                true);
+    p.GetData(0, TypeId::kString, enc);
+    p.GetData(1, TypeId::kString, enc);
+    p.Comp(es::CompareOp::kEq);
+    p.SetData(0, TypeId::kBool);
+    handle = *enclave->RegisterExpression(p.Serialize());
+    crypto::CellCodec codec(cek);
+    cell_a = codec.Encrypt(Value::String("SMITH").Encode(),
+                           crypto::EncryptionScheme::kRandomized);
+    cell_b = codec.Encrypt(Value::String("JONES").Encode(),
+                           crypto::EncryptionScheme::kRandomized);
+  }
+};
+
+void BM_SynchronousEval(benchmark::State& state) {
+  static Rig* rig = new Rig(static_cast<uint64_t>(state.range(0)));
+  std::vector<Value> inputs = {Value::Binary(rig->cell_a),
+                               Value::Binary(rig->cell_b)};
+  for (auto _ : state) {
+    auto r = rig->enclave->EvalRegistered(rig->handle, inputs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("one transition per eval");
+}
+BENCHMARK(BM_SynchronousEval)->Arg(3000)->Unit(benchmark::kMicrosecond);
+
+void BM_WorkerPoolEval(benchmark::State& state) {
+  static Rig* rig = new Rig(3000);
+  static EnclaveWorkerPool* pool = [] {
+    EnclaveWorkerPool::Options opts;
+    opts.num_threads = static_cast<int>(2);
+    return new EnclaveWorkerPool(rig->enclave.get(), opts);
+  }();
+  std::vector<Value> inputs = {Value::Binary(rig->cell_a),
+                               Value::Binary(rig->cell_b)};
+  for (auto _ : state) {
+    auto r = pool->SubmitEval(rig->handle, inputs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("queued; spinning worker amortizes transitions; wakeups=" +
+                 std::to_string(pool->wakeups()));
+}
+BENCHMARK(BM_WorkerPoolEval)->Unit(benchmark::kMicrosecond);
+
+void BM_CompareCells(benchmark::State& state) {
+  static Rig* rig = new Rig(0);
+  for (auto _ : state) {
+    auto r = rig->enclave->CompareCells(1, rig->cell_a, rig->cell_b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("range-index comparison (decrypt x2 + compare)");
+}
+BENCHMARK(BM_CompareCells)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aedb::enclave
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// The strong adversary's view (paper §2.6, Figure 5): an operator with full
+// access to the server process inspects pages, the WAL, the wire, and the
+// indexes — and sees exactly the operational leakage the paper enumerates,
+// nothing more.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "client/driver.h"
+#include "crypto/drbg.h"
+#include "server/database.h"
+
+using namespace aedb;
+using types::Value;
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::aedb::Status _st = (expr);                                    \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _st.ToString().c_str()); \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+static bool Contains(Slice haystack, std::string_view needle) {
+  std::string_view h(reinterpret_cast<const char*>(haystack.data()),
+                     haystack.size());
+  return h.find(needle) != std::string_view::npos;
+}
+
+int main() {
+  keys::InMemoryKeyVault vault;
+  CHECK_OK(vault.CreateKey("kv/m", 1024));
+  keys::KeyProviderRegistry providers;
+  CHECK_OK(providers.Register(&vault));
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48), Slice(std::string_view("adv")));
+  auto author_key = crypto::GenerateRsaKey(1024, &drbg);
+  auto image = enclave::EnclaveImage::MakeEsImage(1, author_key);
+  attestation::HostGuardianService hgs;
+  server::ServerOptions opts;
+  opts.capture_tds = true;  // the adversary records the wire
+  server::Database db(opts, &hgs, &image);
+  hgs.RegisterTcgLog(db.platform()->tcg_log());
+  client::DriverOptions dopts;
+  dopts.enclave_policy.trusted_author_id = image.AuthorId();
+  client::Driver driver(&db, &providers, hgs.signing_public(), dopts);
+
+  CHECK_OK(driver.ProvisionCmk("CMK", vault.name(), "kv/m", true));
+  CHECK_OK(driver.ProvisionCek("CEK", "CMK"));
+  CHECK_OK(driver.ExecuteDdl(
+      "CREATE TABLE Accounts (AcctId INT, "
+      "Branch VARCHAR(20) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, "
+      "ENCRYPTION_TYPE = Deterministic, ALGORITHM = "
+      "'AEAD_AES_256_CBC_HMAC_SHA_256'), "
+      "Balance BIGINT ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK, "
+      "ENCRYPTION_TYPE = Randomized, ALGORITHM = "
+      "'AEAD_AES_256_CBC_HMAC_SHA_256'))"));
+
+  struct A { int id; const char* branch; int64_t bal; };
+  A accounts[] = {{1, "Seattle", 100}, {2, "Seattle", 200}, {3, "Zurich", 200}};
+  for (const A& a : accounts) {
+    auto r = driver.Query(
+        "INSERT INTO Accounts (AcctId, Branch, Balance) VALUES (@i, @b, @v)",
+        {{"i", Value::Int32(a.id)},
+         {"b", Value::String(a.branch)},
+         {"v", Value::Int64(a.bal)}});
+    CHECK_OK(r.status());
+  }
+  auto q = driver.Query("SELECT AcctId FROM Accounts WHERE Balance = @v",
+                        {{"v", Value::Int64(200)}});
+  CHECK_OK(q.status());
+
+  std::printf("=== The strong adversary inspects the server ===\n\n");
+
+  // 1. Pages: ciphertext only (Figure 2's right-hand table).
+  std::printf("[pages]   'Seattle' in plaintext on any page?  %s\n",
+              [&] {
+                bool found = false;
+                db.engine().ForEachPageRaw([&](uint32_t, Slice p) {
+                  if (Contains(p, "Seattle")) found = true;
+                });
+                return found ? "YES (broken!)" : "no";
+              }());
+
+  // 2. DET frequency leak (Figure 5, row 1): equal branches share a cell.
+  const sql::TableDef* table = *db.catalog().GetTable("Accounts");
+  std::map<std::string, int> det_histogram;
+  std::set<std::string> rnd_cells;
+  db.engine().table(table->id)->Scan([&](const storage::Rid&, Slice rec) {
+    auto row = sql::DecodeRow(rec, 3);
+    det_histogram[HexEncode((*row)[1].bin()).substr(0, 16)]++;
+    rnd_cells.insert(HexEncode((*row)[2].bin()).substr(0, 16));
+    return true;
+  });
+  std::printf("[DET]     branch ciphertext histogram (frequency leak):\n");
+  for (auto& [cell, count] : det_histogram) {
+    std::printf("          %s... x%d\n", cell.c_str(), count);
+  }
+  std::printf("[RND]     balance cells all distinct despite equal values: %s\n",
+              rnd_cells.size() == 3 ? "yes (IND-CPA)" : "NO");
+
+  // 3. The wire: parameters and results crossed as ciphertext.
+  std::printf("[TDS]     balance 200 plaintext in last request?   %s\n",
+              Contains(db.tds_capture().last_request, "\xc8") ? "maybe-bytes"
+                                                              : "no");
+  std::printf("[WAL]     'Zurich' in the log?                     %s\n",
+              Contains(db.engine().wal().RawBytes(), "Zurich") ? "YES (broken!)"
+                                                               : "no");
+
+  // 4. Predicate results leak one bit per row to the host (Figure 5):
+  //    the adversary sees WHICH rows matched (access pattern), not values.
+  std::printf("[leak]    enclave told the host which rows matched: %zu row(s)\n",
+              q->rows.size());
+
+  // 5. Building a range index reveals ordering (Figure 5, row 2).
+  CHECK_OK(driver.ExecuteDdl("CREATE INDEX idx_bal ON Accounts (Balance)"));
+  const sql::IndexDef* idx = *db.catalog().GetIndex("idx_bal");
+  std::printf("[index]   encrypted range index exposes ciphertexts in "
+              "plaintext ORDER:\n");
+  int pos = 0;
+  for (auto it = db.engine().index_tree(idx->id)->Begin(); it.Valid(); it.Next()) {
+    std::printf("          #%d: %s...\n", ++pos,
+                HexEncode(it.key()).substr(0, 16).c_str());
+  }
+  std::printf("          (ordering leak authorized by creating the index; "
+              "values stay hidden)\n");
+
+  std::printf("\nadversary_view OK\n");
+  return 0;
+}

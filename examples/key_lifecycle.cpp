@@ -1,0 +1,119 @@
+// Key lifecycle (paper §2.4.2): online initial encryption and key rotation
+// through the enclave — no client round trip, no downtime — plus a CMK
+// rotation that temporarily leaves the CEK wrapped under two masters.
+
+#include <cstdio>
+
+#include "client/driver.h"
+#include "crypto/drbg.h"
+#include "server/database.h"
+
+using namespace aedb;
+using types::Value;
+
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::aedb::Status _st = (expr);                                    \
+    if (!_st.ok()) {                                                \
+      std::fprintf(stderr, "FAILED: %s\n", _st.ToString().c_str()); \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+
+int main() {
+  keys::InMemoryKeyVault vault;
+  CHECK_OK(vault.CreateKey("kv/master-2025", 1024));
+  CHECK_OK(vault.CreateKey("kv/master-2026", 1024));
+  keys::KeyProviderRegistry providers;
+  CHECK_OK(providers.Register(&vault));
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("lifecycle")));
+  auto author_key = crypto::GenerateRsaKey(1024, &drbg);
+  auto image = enclave::EnclaveImage::MakeEsImage(1, author_key);
+  attestation::HostGuardianService hgs;
+  server::Database db(server::ServerOptions{}, &hgs, &image);
+  hgs.RegisterTcgLog(db.platform()->tcg_log());
+  client::DriverOptions dopts;
+  dopts.enclave_policy.trusted_author_id = image.AuthorId();
+  client::Driver driver(&db, &providers, hgs.signing_public(), dopts);
+
+  CHECK_OK(driver.ProvisionCmk("CMK2025", vault.name(), "kv/master-2025", true));
+  CHECK_OK(driver.ProvisionCek("CEK_A", "CMK2025"));
+  CHECK_OK(driver.ProvisionCek("CEK_B", "CMK2025"));
+
+  // Start with a PLAINTEXT column — a legacy table predating encryption.
+  CHECK_OK(driver.ExecuteDdl(
+      "CREATE TABLE Employees (Id INT, Salary BIGINT)"));
+  for (int i = 1; i <= 20; ++i) {
+    auto r = driver.Query("INSERT INTO Employees (Id, Salary) VALUES (@i, @s)",
+                          {{"i", Value::Int32(i)}, {"s", Value::Int64(50000 + i * 1000)}});
+    CHECK_OK(r.status());
+  }
+
+  // --- Initial encryption, in place, through the enclave. The driver signs
+  //     the DDL text into the session; the enclave refuses the conversion
+  //     without that authorization (§3.2).
+  std::printf("1) initial encryption (plaintext -> RND under CEK_A)...\n");
+  CHECK_OK(driver.ExecuteEnclaveDdl(
+      "ALTER TABLE Employees ALTER COLUMN Salary BIGINT ENCRYPTED WITH ("
+      "COLUMN_ENCRYPTION_KEY = CEK_A, ENCRYPTION_TYPE = Randomized, "
+      "ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')"));
+  auto q1 = driver.Query("SELECT COUNT(*) FROM Employees WHERE Salary >= @s",
+                         {{"s", Value::Int64(60000)}});
+  CHECK_OK(q1.status());
+  std::printf("   salaries >= 60000: %lld (queried through the enclave)\n",
+              (long long)q1->rows[0][0].i64());
+
+  // --- CEK rotation: re-encrypt every cell under CEK_B, again in place.
+  std::printf("2) CEK rotation (CEK_A -> CEK_B)...\n");
+  CHECK_OK(driver.ExecuteEnclaveDdl(
+      "ALTER TABLE Employees ALTER COLUMN Salary BIGINT ENCRYPTED WITH ("
+      "COLUMN_ENCRYPTION_KEY = CEK_B, ENCRYPTION_TYPE = Randomized, "
+      "ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256')"));
+  auto q2 = driver.Query("SELECT Salary FROM Employees WHERE Id = @i",
+                         {{"i", Value::Int32(7)}});
+  CHECK_OK(q2.status());
+  std::printf("   employee 7 salary still readable: %lld\n",
+              (long long)q2->rows[0][0].i64());
+
+  // --- CMK rotation: no data re-encryption, only the wrapped CEK changes.
+  //     During the rotation the CEK carries values under BOTH masters so
+  //     clients on either CMK keep working (zero downtime, §2.4.2).
+  std::printf("3) CMK rotation (CMK2025 -> CMK2026)...\n");
+  {
+    auto cek = db.catalog().GetCek("CEK_B");
+    CHECK_OK(cek.status());
+    keys::CmkInfo new_cmk = *keys::KeyTools::CreateCmk(
+        &vault, "CMK2026", "kv/master-2026", true);
+    CHECK_OK(db.catalog().AddCmk(new_cmk));
+    // Unwrap under the old CMK, re-wrap under the new one, keep both.
+    auto old_material =
+        vault.UnwrapKey("kv/master-2025", (*cek)->values[0].encrypted_value);
+    CHECK_OK(old_material.status());
+    keys::CekInfo updated = **cek;
+    CHECK_OK(keys::KeyTools::AddCekValueForCmkRotation(&vault, new_cmk,
+                                                       *old_material, &updated));
+    std::printf("   CEK_B now wrapped under %zu masters\n", updated.values.size());
+    // Rotation complete: drop the old wrapping.
+    updated.values.erase(updated.values.begin());
+    CHECK_OK(db.catalog().UpdateCek(updated));
+  }
+  // A fresh driver (fresh caches) must unwrap via the NEW master only.
+  client::Driver fresh(&db, &providers, hgs.signing_public(), dopts);
+  auto q3 = fresh.Query("SELECT COUNT(*) FROM Employees WHERE Salary > @s",
+                        {{"s", Value::Int64(0)}});
+  CHECK_OK(q3.status());
+  std::printf("   fresh driver reads via CMK2026: %lld rows\n",
+              (long long)q3->rows[0][0].i64());
+
+  // --- Finally: decryption DDL (removing encryption) is also authorized.
+  std::printf("4) removing encryption (RND -> plaintext)...\n");
+  CHECK_OK(driver.ExecuteEnclaveDdl(
+      "ALTER TABLE Employees ALTER COLUMN Salary BIGINT"));
+  auto q4 = driver.Query("SELECT MAX(Salary) FROM Employees");
+  CHECK_OK(q4.status());
+  std::printf("   max salary (now plaintext): %lld\n",
+              (long long)q4->rows[0][0].AsInt64());
+  std::printf("key_lifecycle OK\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "attestation/attestation.h"
+
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace aedb::attestation {
+
+Bytes HealthCertificate::SignedPayload() const {
+  Bytes payload;
+  PutLengthPrefixed(&payload, Slice(std::string_view("aedb-hgs-health-cert-v1")));
+  PutLengthPrefixed(&payload, host_signing_public);
+  return payload;
+}
+
+Bytes HealthCertificate::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, host_signing_public);
+  PutLengthPrefixed(&out, hgs_signature);
+  return out;
+}
+
+Result<HealthCertificate> HealthCertificate::Deserialize(Slice in) {
+  HealthCertificate cert;
+  size_t off = 0;
+  AEDB_ASSIGN_OR_RETURN(cert.host_signing_public, GetLengthPrefixed(in, &off));
+  AEDB_ASSIGN_OR_RETURN(cert.hgs_signature, GetLengthPrefixed(in, &off));
+  return cert;
+}
+
+HostGuardianService::HostGuardianService() {
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("hgs-signing-key")));
+  key_ = crypto::GenerateRsaKey(1024, &drbg);
+}
+
+void HostGuardianService::RegisterTcgLog(Slice tcg_log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  whitelist_.insert(tcg_log.ToBytes());
+}
+
+Result<HealthCertificate> HostGuardianService::Attest(
+    Slice tcg_log, const crypto::RsaPublicKey& host_signing_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attest_calls_;
+  if (whitelist_.count(tcg_log.ToBytes()) == 0) {
+    return Status::SecurityError(
+        "host TCG log not in HGS whitelist: boot chain not trusted");
+  }
+  HealthCertificate cert;
+  cert.host_signing_public = host_signing_key.Serialize();
+  cert.hgs_signature = crypto::Pkcs1Sign(key_, cert.SignedPayload());
+  return cert;
+}
+
+Result<Bytes> AttestationVerifier::VerifyAndDeriveSecret(
+    const HealthCertificate& cert,
+    const enclave::AttestationResponse& response,
+    const crypto::BigNum& client_dh_private, Slice client_dh_public) const {
+  // Step 1: the health certificate chains to HGS.
+  Status st =
+      crypto::Pkcs1Verify(hgs_public_, cert.SignedPayload(), cert.hgs_signature);
+  if (!st.ok()) {
+    return Status::SecurityError("health certificate not signed by HGS: " +
+                                 st.message());
+  }
+  crypto::RsaPublicKey host_key;
+  AEDB_ASSIGN_OR_RETURN(host_key,
+                        crypto::RsaPublicKey::Deserialize(cert.host_signing_public));
+
+  // Step 2: the report chains to the (now trusted) host signing key.
+  st = crypto::Pkcs1Verify(host_key, response.report_bytes,
+                           response.report_signature);
+  if (!st.ok()) {
+    return Status::SecurityError("enclave report not signed by host: " +
+                                 st.message());
+  }
+  enclave::EnclaveReport report;
+  AEDB_ASSIGN_OR_RETURN(report,
+                        enclave::EnclaveReport::Deserialize(response.report_bytes));
+
+  // Step 3: enclave health — trusted author and acceptable versions. (Author
+  // identity rather than binary hash: a hash pin "would break even with minor
+  // modifications to the enclave code", §4.2.)
+  if (!ConstantTimeEquals(report.author_id, policy_.trusted_author_id)) {
+    return Status::SecurityError("enclave built by untrusted author");
+  }
+  if (report.enclave_version < policy_.min_enclave_version) {
+    return Status::SecurityError("enclave version too old (security update?)");
+  }
+  if (report.platform_version < policy_.min_platform_version) {
+    return Status::SecurityError("host hypervisor version too old");
+  }
+
+  // Step 4: key binding — the enclave public key matches the report hash and
+  // signs both DH public keys (binding this exchange to this enclave).
+  Bytes key_hash = crypto::Sha256::Hash(response.enclave_public_key);
+  if (!ConstantTimeEquals(key_hash, report.enclave_public_key_hash)) {
+    return Status::SecurityError("enclave public key does not match report");
+  }
+  crypto::RsaPublicKey enclave_key;
+  AEDB_ASSIGN_OR_RETURN(
+      enclave_key, crypto::RsaPublicKey::Deserialize(response.enclave_public_key));
+  Bytes signed_blob = response.enclave_dh_public;
+  signed_blob.insert(signed_blob.end(), client_dh_public.data(),
+                     client_dh_public.data() + client_dh_public.size());
+  st = crypto::Pkcs1Verify(enclave_key, signed_blob, response.dh_signature);
+  if (!st.ok()) {
+    return Status::SecurityError("enclave DH key signature invalid: " +
+                                 st.message());
+  }
+
+  return crypto::DhComputeSharedSecret(client_dh_private,
+                                       response.enclave_dh_public);
+}
+
+}  // namespace aedb::attestation

@@ -1,0 +1,92 @@
+#ifndef AEDB_ATTESTATION_ATTESTATION_H_
+#define AEDB_ATTESTATION_ATTESTATION_H_
+
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/bignum.h"
+#include "crypto/rsa.h"
+#include "enclave/enclave.h"
+
+namespace aedb::attestation {
+
+/// A health certificate issued by HGS for a host whose TCG log matched the
+/// whitelist. It binds the host (hypervisor) signing key, and is itself
+/// signed by the HGS signing key (paper §4.2).
+struct HealthCertificate {
+  Bytes host_signing_public;  // serialized RsaPublicKey
+  Bytes hgs_signature;        // over SignedPayload()
+
+  Bytes SignedPayload() const;
+  Bytes Serialize() const;
+  static Result<HealthCertificate> Deserialize(Slice in);
+};
+
+/// \brief Simulated Host Guardian Service: the trusted attestation service.
+///
+/// In an offline step, the TCG log of each machine allowed to host SQL is
+/// registered in the whitelist. At attestation time the host submits its
+/// current TCG log and host signing key; on a whitelist match HGS returns a
+/// signed health certificate.
+class HostGuardianService {
+ public:
+  HostGuardianService();
+
+  /// Offline registration of a known-good boot measurement.
+  void RegisterTcgLog(Slice tcg_log);
+
+  /// Issues a health certificate, or SecurityError if the log is unknown.
+  Result<HealthCertificate> Attest(Slice tcg_log,
+                                   const crypto::RsaPublicKey& host_signing_key);
+
+  /// The HGS signing key ("all HGS APIs are exposed using http(s)"): clients
+  /// query this to anchor the verification chain.
+  const crypto::RsaPublicKey& signing_public() const { return key_.pub; }
+
+  int64_t attest_calls() const { return attest_calls_; }
+
+ private:
+  crypto::RsaPrivateKey key_;
+  std::mutex mu_;
+  std::set<Bytes> whitelist_;
+  int64_t attest_calls_ = 0;
+};
+
+/// Client-side policy for judging enclave health (paper §4.2 step 3: check
+/// the signing key used to build the enclave, and version numbers so a
+/// security update can deprecate old enclaves).
+struct EnclavePolicy {
+  Bytes trusted_author_id;            // SHA-256 of the author public key
+  uint32_t min_enclave_version = 1;
+  uint32_t min_platform_version = 1;
+};
+
+/// \brief The driver-side verification chain (paper §4.2):
+///   1. health certificate is signed by the HGS signing key;
+///   2. the enclave report is signed by the host signing key from the cert;
+///   3. the enclave is healthy (trusted author, acceptable versions);
+///   4. the enclave public key matches the hash in the report, and the DH
+///      public keys are signed by the enclave key.
+/// On success the client derives the shared secret and can release CEKs.
+class AttestationVerifier {
+ public:
+  AttestationVerifier(crypto::RsaPublicKey hgs_public, EnclavePolicy policy)
+      : hgs_public_(std::move(hgs_public)), policy_(std::move(policy)) {}
+
+  /// Runs the full chain and returns the 32-byte shared session secret.
+  Result<Bytes> VerifyAndDeriveSecret(
+      const HealthCertificate& cert,
+      const enclave::AttestationResponse& response,
+      const crypto::BigNum& client_dh_private, Slice client_dh_public) const;
+
+ private:
+  crypto::RsaPublicKey hgs_public_;
+  EnclavePolicy policy_;
+};
+
+}  // namespace aedb::attestation
+
+#endif  // AEDB_ATTESTATION_ATTESTATION_H_

@@ -1,0 +1,479 @@
+#include "client/driver.h"
+
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "sql/parser.h"
+
+namespace aedb::client {
+
+using server::DescribeResult;
+using types::EncryptionType;
+using types::TypeId;
+using types::Value;
+
+namespace {
+
+Result<Value> CoerceTo(TypeId target, const Value& v) {
+  if (v.is_null()) return Value::Null(target);
+  if (v.type() == target) return v;
+  switch (target) {
+    case TypeId::kInt32:
+      if (v.IsNumeric()) return Value::Int32(static_cast<int32_t>(v.AsInt64()));
+      break;
+    case TypeId::kInt64:
+      if (v.IsNumeric()) return Value::Int64(v.AsInt64());
+      break;
+    case TypeId::kDouble:
+      if (v.IsNumeric()) return Value::Double(v.AsDouble());
+      break;
+    default:
+      break;
+  }
+  return Status::TypeCheckError("parameter type mismatch");
+}
+
+std::string LowerStr(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Driver::Driver(server::Database* db, keys::KeyProviderRegistry* providers,
+               crypto::RsaPublicKey hgs_public, DriverOptions options)
+    : db_(db),
+      providers_(providers),
+      hgs_public_(std::move(hgs_public)),
+      options_(std::move(options)) {}
+
+uint64_t Driver::Begin() { return db_->BeginTransaction(); }
+Status Driver::Commit(uint64_t txn) { return db_->CommitTransaction(txn); }
+Status Driver::Rollback(uint64_t txn) { return db_->RollbackTransaction(txn); }
+
+Status Driver::ExecuteDdl(const std::string& sql) {
+  // CREATE INDEX over an enclave-encrypted column builds the B+-tree with
+  // enclave comparisons — install the CEK first.
+  auto stmt = sql::Parse(sql);
+  if (stmt.ok() && stmt->kind == sql::Statement::Kind::kCreateIndex) {
+    auto enc = db_->ColumnEncryption(stmt->create_index->table,
+                                     stmt->create_index->column);
+    if (enc.ok() && enc->is_encrypted() &&
+        enc->kind == types::EncKind::kRandomized) {
+      if (!enc->enclave_enabled) {
+        return Status::NotSupported(
+            "cannot index a randomized column without an enclave-enabled key");
+      }
+      AEDB_RETURN_IF_ERROR(EnsureSessionExists());
+      AEDB_RETURN_IF_ERROR(EnsureEnclaveKeys({enc->cek_id}));
+    }
+  }
+  return db_->ExecuteDdl(sql);
+}
+
+void Driver::InvalidateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_session_ = false;
+  channel_.reset();
+  installed_ceks_.clear();
+  next_nonce_ = 0;
+}
+
+Result<const DescribeResult*> Driver::Describe(const std::string& sql) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = describe_cache_.find(sql);
+    if (it != describe_cache_.end() && options_.cache_describe_results) {
+      const DescribeResult* cached = &it->second;
+      if (!cached->requires_enclave || has_session_) return cached;
+    }
+  }
+  ++describe_calls_;
+  DescribeResult result;
+  AEDB_ASSIGN_OR_RETURN(result,
+                        db_->DescribeParameterEncryption(sql, Slice()));
+  if (result.requires_enclave) {
+    // Attest lazily, once per session, only when a statement actually needs
+    // the enclave ("the attestation protocol is invoked ... only when
+    // needed", §4.2).
+    AEDB_RETURN_IF_ERROR(EnsureSessionExists());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = describe_cache_.insert_or_assign(sql, std::move(result));
+  (void)inserted;
+  return &it->second;
+}
+
+Status Driver::VerifyAndCacheKeys(const DescribeResult& describe) {
+  for (const server::KeyDescription& key : describe.keys) {
+    std::lock_guard<std::mutex> lock(mu_);
+    key_meta_.insert_or_assign(key.cek_id, key);
+  }
+  return Status::OK();
+}
+
+Result<Bytes> Driver::CekMaterial(uint32_t cek_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cek_cache_.find(cek_id);
+    if (it != cek_cache_.end()) return it->second;
+  }
+  server::KeyDescription meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = key_meta_.find(cek_id);
+    if (it != key_meta_.end()) meta = it->second;
+  }
+  if (meta.cek.values.empty()) {
+    AEDB_ASSIGN_OR_RETURN(meta, db_->GetKeyDescription(cek_id));
+  }
+  // Trusted key paths: refuse CMKs provisioned outside the allowed list
+  // (defeats a server substituting attacker-controlled key metadata, §4.1).
+  if (!options_.trusted_key_paths.empty()) {
+    bool trusted = false;
+    for (const std::string& path : options_.trusted_key_paths) {
+      if (path == meta.cmk.key_path) trusted = true;
+    }
+    if (!trusted) {
+      return Status::SecurityError("CMK key path not in the trusted list: " +
+                                   meta.cmk.key_path);
+    }
+  }
+  keys::KeyProvider* provider;
+  AEDB_ASSIGN_OR_RETURN(provider, providers_->Find(meta.cmk.provider_name));
+  // Verify the CMK metadata signature (tampered ENCLAVE_COMPUTATIONS fails).
+  AEDB_RETURN_IF_ERROR(keys::KeyTools::VerifyCmk(provider, meta.cmk));
+  // Try each wrapped value (two exist during CMK rotation, §2.4.2).
+  Status last = Status::NotFound("CEK has no values");
+  for (const keys::CekValue& value : meta.cek.values) {
+    Status sig = keys::KeyTools::VerifyCekValue(provider, meta.cmk,
+                                                meta.cek.name, value);
+    if (!sig.ok()) {
+      last = sig;
+      continue;
+    }
+    auto material = provider->UnwrapKey(meta.cmk.key_path, value.encrypted_value);
+    if (material.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cek_cache_[cek_id] = *material;
+      key_meta_.insert_or_assign(cek_id, meta);
+      return *material;
+    }
+    last = material.status();
+  }
+  return last;
+}
+
+Result<Bytes> Driver::SealForEnclave(Slice body, uint64_t* nonce_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_session_) return Status::FailedPrecondition("no enclave session");
+  uint64_t nonce = next_nonce_++;
+  Bytes plain;
+  PutU64(&plain, nonce);
+  plain.insert(plain.end(), body.data(), body.data() + body.size());
+  *nonce_out = nonce;
+  return channel_->Encrypt(plain, crypto::EncryptionScheme::kRandomized);
+}
+
+Status Driver::EnsureEnclaveKeys(const std::vector<uint32_t>& cek_ids) {
+  std::vector<uint32_t> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint32_t id : cek_ids) {
+      if (installed_ceks_.count(id) == 0) missing.push_back(id);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+  // Check enclave authorization: only CEKs under enclave-enabled CMKs may be
+  // sent to the enclave (the driver enforces this with the CMK signature).
+  Bytes body;
+  PutU32(&body, static_cast<uint32_t>(missing.size()));
+  for (uint32_t id : missing) {
+    server::KeyDescription meta;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = key_meta_.find(id);
+      if (it != key_meta_.end()) meta = it->second;
+    }
+    Bytes material;
+    AEDB_ASSIGN_OR_RETURN(material, CekMaterial(id));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      meta = key_meta_.at(id);
+    }
+    if (!meta.cmk.enclave_enabled) {
+      return Status::SecurityError("CEK '" + meta.cek.name +
+                                   "' is not authorized for enclave use");
+    }
+    PutU32(&body, id);
+    PutLengthPrefixed(&body, material);
+  }
+  uint64_t nonce;
+  Bytes sealed;
+  AEDB_ASSIGN_OR_RETURN(sealed, SealForEnclave(body, &nonce));
+  uint64_t session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session = session_id_;
+  }
+  AEDB_RETURN_IF_ERROR(db_->ForwardKeysToEnclave(session, nonce, sealed));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t id : missing) installed_ceks_.insert(id);
+  return Status::OK();
+}
+
+Result<Value> Driver::EncryptParam(const Value& plain,
+                                   const DescribeResult::ParamInfo& info) {
+  Value typed;
+  AEDB_ASSIGN_OR_RETURN(typed, CoerceTo(info.type, plain));
+  if (!info.enc.is_encrypted()) return typed;
+  Bytes material;
+  AEDB_ASSIGN_OR_RETURN(material, CekMaterial(info.enc.cek_id));
+  crypto::CellCodec codec(material);
+  return Value::Binary(codec.Encrypt(typed.Encode(), info.enc.scheme()));
+}
+
+Status Driver::DecryptResults(sql::ResultSet* results) {
+  for (size_t c = 0; c < results->column_enc.size(); ++c) {
+    const EncryptionType& enc = results->column_enc[c];
+    if (!enc.is_encrypted()) continue;
+    Bytes material;
+    AEDB_ASSIGN_OR_RETURN(material, CekMaterial(enc.cek_id));
+    crypto::CellCodec codec(material);
+    for (auto& row : results->rows) {
+      Value& cell = row[c];
+      if (cell.is_null()) continue;
+      if (cell.type() != TypeId::kBinary) {
+        return Status::Corruption("expected ciphertext in encrypted column");
+      }
+      Bytes plain;
+      AEDB_ASSIGN_OR_RETURN(plain, codec.Decrypt(cell.bin()));
+      size_t off = 0;
+      AEDB_ASSIGN_OR_RETURN(cell, Value::Decode(plain, &off));
+    }
+    results->column_enc[c] = EncryptionType::Plaintext();
+  }
+  return Status::OK();
+}
+
+Result<sql::ResultSet> Driver::Query(const std::string& sql,
+                                     const NamedParams& params, uint64_t txn) {
+  if (!options_.column_encryption_enabled) {
+    // Non-AE connection string: no describe round trip, plaintext in/out.
+    return db_->ExecuteNamed(sql, params, txn);
+  }
+  for (int attempt = 0; ; ++attempt) {
+    const DescribeResult* describe;
+    AEDB_ASSIGN_OR_RETURN(describe, Describe(sql));
+
+    // Forced-encryption assertions (defeats a lying describe, §4.1).
+    for (const std::string& forced : options_.force_encrypted_params) {
+      for (const auto& info : describe->params) {
+        if (LowerStr(info.name) == LowerStr(forced) &&
+            !info.enc.is_encrypted()) {
+          return Status::SecurityError(
+              "server claims @" + forced +
+              " is plaintext but the application forced encryption");
+        }
+      }
+    }
+    AEDB_RETURN_IF_ERROR(VerifyAndCacheKeys(*describe));
+
+    Status st = describe->requires_enclave
+                    ? EnsureEnclaveKeys(describe->enclave_cek_ids)
+                    : Status::OK();
+    Result<sql::ResultSet> result = Status::Internal("unset");
+    if (st.ok()) {
+      NamedParams wire;
+      wire.reserve(params.size());
+      bool param_error = false;
+      Status perr;
+      for (const auto& [name, value] : params) {
+        const DescribeResult::ParamInfo* info = nullptr;
+        for (const auto& p : describe->params) {
+          if (LowerStr(p.name) == LowerStr(name)) info = &p;
+        }
+        if (info == nullptr) {
+          return Status::InvalidArgument("statement has no parameter @" + name);
+        }
+        auto encrypted = EncryptParam(value, *info);
+        if (!encrypted.ok()) {
+          param_error = true;
+          perr = encrypted.status();
+          break;
+        }
+        wire.emplace_back(name, std::move(encrypted).value());
+      }
+      if (param_error) return perr;
+      uint64_t session;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        session = session_id_;
+      }
+      result = db_->ExecuteNamed(sql, wire, txn, session);
+    } else {
+      result = st;
+    }
+
+    if (!result.ok()) {
+      // A server restart drops enclave sessions and keys; re-attest once.
+      bool session_lost =
+          result.status().IsKeyNotInEnclave() ||
+          (result.status().code() == StatusCode::kNotFound &&
+           result.status().message().find("enclave session") != std::string::npos);
+      if (session_lost && attempt == 0) {
+        InvalidateSession();
+        continue;
+      }
+      return result;
+    }
+    sql::ResultSet rs = std::move(result).value();
+    AEDB_RETURN_IF_ERROR(DecryptResults(&rs));
+    return rs;
+  }
+}
+
+Status Driver::ProvisionCmk(const std::string& name,
+                            const std::string& provider_name,
+                            const std::string& key_path, bool enclave_enabled) {
+  keys::KeyProvider* provider;
+  AEDB_ASSIGN_OR_RETURN(provider, providers_->Find(provider_name));
+  keys::CmkInfo cmk;
+  AEDB_ASSIGN_OR_RETURN(
+      cmk, keys::KeyTools::CreateCmk(provider, name, key_path, enclave_enabled));
+  std::string ddl = "CREATE COLUMN MASTER KEY " + name +
+                    " WITH (KEY_STORE_PROVIDER_NAME = '" + provider_name +
+                    "', KEY_PATH = '" + key_path + "', SIGNATURE = 0x" +
+                    HexEncode(cmk.signature) +
+                    (enclave_enabled ? ", ENCLAVE_COMPUTATIONS" : "") + ")";
+  return db_->ExecuteDdl(ddl);
+}
+
+Status Driver::ProvisionCek(const std::string& name,
+                            const std::string& cmk_name) {
+  // Fetch the CMK metadata from the server catalog to wrap under it.
+  const keys::CmkInfo* cmk;
+  AEDB_ASSIGN_OR_RETURN(cmk, db_->catalog().GetCmk(cmk_name));
+  keys::KeyProvider* provider;
+  AEDB_ASSIGN_OR_RETURN(provider, providers_->Find(cmk->provider_name));
+  AEDB_RETURN_IF_ERROR(keys::KeyTools::VerifyCmk(provider, *cmk));
+  keys::CekInfo cek;
+  AEDB_ASSIGN_OR_RETURN(cek, keys::KeyTools::CreateCek(provider, *cmk, name));
+  std::string ddl = "CREATE COLUMN ENCRYPTION KEY " + name +
+                    " WITH VALUES (COLUMN_MASTER_KEY = " + cmk_name +
+                    ", ALGORITHM = 'RSA_OAEP', ENCRYPTED_VALUE = 0x" +
+                    HexEncode(cek.values[0].encrypted_value) +
+                    ", SIGNATURE = 0x" + HexEncode(cek.values[0].signature) + ")";
+  return db_->ExecuteDdl(ddl);
+}
+
+Status Driver::EnsureSessionExists() {
+  bool need_session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    need_session = !has_session_;
+  }
+  if (need_session) {
+    crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                          Slice(std::string_view("driver-ddl-dh")));
+    crypto::DhKeyPair dh = crypto::GenerateDhKeyPair(&drbg);
+    Bytes dh_public = crypto::DhPublicKeyBytes(dh);
+    DescribeResult attest;
+    AEDB_ASSIGN_OR_RETURN(attest, db_->Attest(dh_public));
+    attestation::AttestationVerifier verifier(hgs_public_,
+                                              options_.enclave_policy);
+    Bytes secret;
+    AEDB_ASSIGN_OR_RETURN(
+        secret, verifier.VerifyAndDeriveSecret(attest.health_certificate,
+                                               attest.attestation,
+                                               dh.private_key, dh_public));
+    std::lock_guard<std::mutex> lock(mu_);
+    has_session_ = true;
+    session_id_ = attest.attestation.session_id;
+    channel_ = std::make_unique<crypto::CellCodec>(secret);
+    next_nonce_ = 0;
+    installed_ceks_.clear();
+    ++attestations_;
+  }
+  return Status::OK();
+}
+
+Status Driver::AuthorizeStatement(const std::string& sql) {
+  AEDB_RETURN_IF_ERROR(EnsureSessionExists());
+  Bytes hash = crypto::Sha256::Hash(Slice(std::string_view(sql)));
+  uint64_t nonce;
+  Bytes sealed;
+  AEDB_ASSIGN_OR_RETURN(sealed, SealForEnclave(hash, &nonce));
+  uint64_t session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session = session_id_;
+  }
+  return db_->ForwardEncryptionAuthorization(session, nonce, sealed);
+}
+
+Status Driver::ExecuteEnclaveDdl(const std::string& sql) {
+  sql::Statement stmt;
+  AEDB_ASSIGN_OR_RETURN(stmt, sql::Parse(sql));
+  if (stmt.kind != sql::Statement::Kind::kAlterColumn) {
+    return Status::InvalidArgument(
+        "ExecuteEnclaveDdl is for ALTER TABLE ALTER COLUMN");
+  }
+  const sql::AlterColumnStmt& alter = *stmt.alter_column;
+
+  AEDB_RETURN_IF_ERROR(AuthorizeStatement(sql));
+
+  // Install every CEK the conversion touches.
+  std::vector<uint32_t> cek_ids;
+  types::EncryptionType current;
+  AEDB_ASSIGN_OR_RETURN(current,
+                        db_->ColumnEncryption(alter.table, alter.column));
+  if (current.is_encrypted()) cek_ids.push_back(current.cek_id);
+  if (alter.enc.encrypted) {
+    uint32_t id;
+    AEDB_ASSIGN_OR_RETURN(id, db_->catalog().CekIdByName(alter.enc.cek_name));
+    cek_ids.push_back(id);
+  }
+  AEDB_RETURN_IF_ERROR(EnsureEnclaveKeys(cek_ids));
+
+  uint64_t session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session = session_id_;
+  }
+  return db_->ExecuteDdl(sql, session);
+}
+
+Status Driver::ClientSideEncryptColumn(const std::string& table,
+                                       const std::string& column,
+                                       const std::string& cek_name,
+                                       types::EncKind kind,
+                                       const std::string& key_column) {
+  // 1. Pull the whole column to the client (the round trip, §1.1: "can
+  //    result in latencies as long as a week" at terabyte scale).
+  sql::ResultSet rows;
+  AEDB_ASSIGN_OR_RETURN(
+      rows, Query("SELECT " + key_column + ", " + column + " FROM " + table));
+
+  // 2. Flip the column metadata server-side (data still plaintext).
+  sql::EncryptionSpec spec;
+  spec.encrypted = true;
+  spec.cek_name = cek_name;
+  spec.kind = kind;
+  AEDB_RETURN_IF_ERROR(db_->AlterColumnMetadataForClientTool(table, column, spec));
+
+  // 3. Re-write every row with locally encrypted cells in one transaction.
+  uint64_t txn = Begin();
+  std::string update = "UPDATE " + table + " SET " + column + " = @v WHERE " +
+                       key_column + " = @k";
+  for (const auto& row : rows.rows) {
+    auto result = Query(update, {{"k", row[0]}, {"v", row[1]}}, txn);
+    if (!result.ok()) {
+      (void)Rollback(txn);
+      return result.status();
+    }
+  }
+  return Commit(txn);
+}
+
+}  // namespace aedb::client

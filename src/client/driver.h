@@ -1,0 +1,131 @@
+#ifndef AEDB_CLIENT_DRIVER_H_
+#define AEDB_CLIENT_DRIVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attestation/attestation.h"
+#include "keys/key_provider.h"
+#include "server/database.h"
+
+namespace aedb::client {
+
+/// Connection-string options (paper §4.1).
+struct DriverOptions {
+  /// The AE connection-string property: off = the driver never calls
+  /// sp_describe_parameter_encryption (the SQL-PT baseline).
+  bool column_encryption_enabled = true;
+  /// CMK key paths the application trusts; empty = trust all. Defeats a
+  /// malicious server returning attacker-provisioned key metadata.
+  std::vector<std::string> trusted_key_paths;
+  /// Parameters the application asserts must be encrypted; if the server
+  /// claims one is plaintext, fail closed (defeats a lying
+  /// sp_describe_parameter_encryption).
+  std::set<std::string> force_encrypted_params;
+  /// Client policy for judging enclave attestation.
+  attestation::EnclavePolicy enclave_policy;
+  /// Cache describe results per statement (the paper suggests this to remove
+  /// the extra round trip; off reproduces the SQL-PT-AEConn overhead).
+  bool cache_describe_results = true;
+};
+
+/// \brief The AE-aware client driver (ADO.NET/ODBC/JDBC analog, §4.1).
+///
+/// Applications issue parameterized queries with plaintext parameters and
+/// receive plaintext results; the driver transparently:
+///   - calls sp_describe_parameter_encryption to learn parameter types,
+///   - verifies CMK metadata signatures and trusted key paths,
+///   - unwraps CEKs through the client-side key provider (cached),
+///   - attests the enclave and derives the session secret (cached),
+///   - installs CEKs into the enclave over the secure channel (nonce'd),
+///   - encrypts parameters and decrypts result cells.
+class Driver {
+ public:
+  Driver(server::Database* db, keys::KeyProviderRegistry* providers,
+         crypto::RsaPublicKey hgs_public, DriverOptions options);
+
+  /// Named parameters carry plaintext values.
+  using NamedParams = std::vector<std::pair<std::string, types::Value>>;
+
+  Result<sql::ResultSet> Query(const std::string& sql,
+                               const NamedParams& params = {},
+                               uint64_t txn = 0);
+
+  uint64_t Begin();
+  Status Commit(uint64_t txn);
+  Status Rollback(uint64_t txn);
+
+  /// Plain DDL passthrough (CREATE TABLE / INDEX / key metadata).
+  Status ExecuteDdl(const std::string& sql);
+
+  /// DDL that performs enclave type conversions (initial encryption, key
+  /// rotation, decryption): the driver signs the statement text into the
+  /// session so the enclave will run the conversion (§3.2), then executes.
+  Status ExecuteEnclaveDdl(const std::string& sql);
+
+  // ----- provisioning tools (paper §2.4.1: "we automate the above steps") --
+  Status ProvisionCmk(const std::string& name, const std::string& provider_name,
+                      const std::string& key_path, bool enclave_enabled);
+  Status ProvisionCek(const std::string& name, const std::string& cmk_name);
+
+  /// The client-side round-trip tool for enclave-disabled columns
+  /// (paper §2.4.2): reads every row, encrypts locally, writes back keyed by
+  /// `key_column` (which must be unique and not indexed-over by the target).
+  Status ClientSideEncryptColumn(const std::string& table,
+                                 const std::string& column,
+                                 const std::string& cek_name,
+                                 types::EncKind kind,
+                                 const std::string& key_column);
+
+  /// Drops the cached session (e.g. after a server restart) so the next
+  /// query re-attests.
+  void InvalidateSession();
+
+  // ----- stats (benchmarks) -----
+  int64_t describe_calls() const { return describe_calls_; }
+  int64_t attestations() const { return attestations_; }
+  uint64_t session_id() const { return session_id_; }
+
+ private:
+  struct DescribeCacheEntry {
+    server::DescribeResult result;
+  };
+
+  Result<const server::DescribeResult*> Describe(const std::string& sql);
+  Status VerifyAndCacheKeys(const server::DescribeResult& describe);
+  Result<Bytes> CekMaterial(uint32_t cek_id);
+  Status EnsureSessionExists();
+  Status EnsureEnclaveKeys(const std::vector<uint32_t>& cek_ids);
+  Result<Bytes> SealForEnclave(Slice body, uint64_t* nonce_out);
+  Result<types::Value> EncryptParam(const types::Value& plain,
+                                    const server::DescribeResult::ParamInfo& info);
+  Status DecryptResults(sql::ResultSet* results);
+  Status AuthorizeStatement(const std::string& sql);
+
+  server::Database* db_;
+  keys::KeyProviderRegistry* providers_;
+  crypto::RsaPublicKey hgs_public_;
+  DriverOptions options_;
+
+  std::mutex mu_;
+  std::map<std::string, server::DescribeResult> describe_cache_;
+  std::map<uint32_t, Bytes> cek_cache_;           // decrypted CEKs (§4.1)
+  std::map<uint32_t, server::KeyDescription> key_meta_;
+  // Session state (shared secret cached "across the entire client process").
+  bool has_session_ = false;
+  uint64_t session_id_ = 0;
+  std::unique_ptr<crypto::CellCodec> channel_;
+  uint64_t next_nonce_ = 0;
+  std::set<uint32_t> installed_ceks_;
+
+  int64_t describe_calls_ = 0;
+  int64_t attestations_ = 0;
+};
+
+}  // namespace aedb::client
+
+#endif  // AEDB_CLIENT_DRIVER_H_

@@ -1,0 +1,117 @@
+#include "common/bytes.h"
+
+namespace aedb {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(Slice data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (size_t i = 0; i < data.size(); ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+Result<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid hex digit");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEquals(Slice a, Slice b) {
+  // Fold the length difference into the accumulator rather than branching.
+  uint8_t acc = static_cast<uint8_t>(a.size() == b.size() ? 0 : 1);
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void PutU16(Bytes* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(Bytes* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(Bytes* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutLengthPrefixed(Bytes* out, Slice payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.data(), payload.data() + payload.size());
+}
+
+Result<uint16_t> GetU16(Slice in, size_t* offset) {
+  if (*offset + 2 > in.size()) return Status::Corruption("GetU16 past end");
+  uint16_t v = static_cast<uint16_t>(in[*offset] | (in[*offset + 1] << 8));
+  *offset += 2;
+  return v;
+}
+
+Result<uint32_t> GetU32(Slice in, size_t* offset) {
+  if (*offset + 4 > in.size()) return Status::Corruption("GetU32 past end");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in[*offset + i]) << (8 * i);
+  *offset += 4;
+  return v;
+}
+
+Result<uint64_t> GetU64(Slice in, size_t* offset) {
+  if (*offset + 8 > in.size()) return Status::Corruption("GetU64 past end");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in[*offset + i]) << (8 * i);
+  *offset += 8;
+  return v;
+}
+
+Result<Bytes> GetLengthPrefixed(Slice in, size_t* offset) {
+  uint32_t len;
+  AEDB_ASSIGN_OR_RETURN(len, GetU32(in, offset));
+  if (*offset + len > in.size()) {
+    return Status::Corruption("length-prefixed payload past end");
+  }
+  Bytes out(in.data() + *offset, in.data() + *offset + len);
+  *offset += len;
+  return out;
+}
+
+Bytes Utf16LeBytes(std::string_view s) {
+  // Key-derivation labels are ASCII; each char maps to a 2-byte LE code unit.
+  Bytes out;
+  out.reserve(s.size() * 2);
+  for (char c : s) {
+    out.push_back(static_cast<uint8_t>(c));
+    out.push_back(0);
+  }
+  return out;
+}
+
+}  // namespace aedb

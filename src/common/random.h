@@ -1,0 +1,31 @@
+#ifndef AEDB_COMMON_RANDOM_H_
+#define AEDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace aedb {
+
+/// Fast, non-cryptographic PRNG (xoshiro256**). Used for workload generation
+/// (TPC-C) and tests. NOT used for key material — see crypto/drbg.h.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform in [lo, hi], inclusive (TPC-C's random(x, y) convention).
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// TPC-C NURand(A, x, y) with run-time constant C.
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace aedb
+
+#endif  // AEDB_COMMON_RANDOM_H_

@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace aedb {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kSecurityError: return "SecurityError";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
+    case StatusCode::kKeyNotInEnclave: return "KeyNotInEnclave";
+    case StatusCode::kReplayDetected: return "ReplayDetected";
+    case StatusCode::kTypeCheckError: return "TypeCheckError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace aedb

@@ -1,0 +1,123 @@
+#ifndef AEDB_COMMON_STATUS_H_
+#define AEDB_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace aedb {
+
+/// Error categories used across the engine. The granularity mirrors the
+/// failure domains of the paper: security failures (attestation, signature,
+/// authorization) are distinguished from ordinary engine errors so that
+/// callers can fail closed on them.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kNotSupported,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  // Security-domain errors.
+  kSecurityError,       // signature / MAC / attestation verification failure
+  kPermissionDenied,    // client did not authorize the operation
+  kKeyNotInEnclave,     // enclave asked to use a CEK that was never installed
+  kReplayDetected,      // nonce replay on the driver->enclave channel
+  kTypeCheckError,      // encryption type inference found a violation
+};
+
+/// \brief RocksDB-style status object: cheap to return, carries a code and a
+/// human-readable message. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status SecurityError(std::string msg) {
+    return Status(StatusCode::kSecurityError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status KeyNotInEnclave(std::string msg) {
+    return Status(StatusCode::kKeyNotInEnclave, std::move(msg));
+  }
+  static Status ReplayDetected(std::string msg) {
+    return Status(StatusCode::kReplayDetected, std::move(msg));
+  }
+  static Status TypeCheckError(std::string msg) {
+    return Status(StatusCode::kTypeCheckError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsSecurityError() const { return code_ == StatusCode::kSecurityError; }
+  bool IsKeyNotInEnclave() const { return code_ == StatusCode::kKeyNotInEnclave; }
+  bool IsReplayDetected() const { return code_ == StatusCode::kReplayDetected; }
+  bool IsTypeCheckError() const { return code_ == StatusCode::kTypeCheckError; }
+  bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Human-readable name of a status code, e.g. "SecurityError".
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace aedb
+
+/// Propagate a non-OK status to the caller. Usable in any function returning
+/// Status (or Result<T>, which converts from Status).
+#define AEDB_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::aedb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluate a Result<T> expression; on error propagate, otherwise move the
+/// value into `lhs` (which must already be declared).
+#define AEDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  do {                                            \
+    auto _res = (expr);                           \
+    if (!_res.ok()) return _res.status();         \
+    lhs = std::move(_res).value();                \
+  } while (0)
+
+#endif  // AEDB_COMMON_STATUS_H_

@@ -1,0 +1,187 @@
+#include "crypto/aes.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace aedb::crypto {
+
+namespace {
+
+// GF(2^8) multiply with the AES reduction polynomial x^8+x^4+x^3+x+1.
+constexpr uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    bool hi = a & 0x80;
+    a = static_cast<uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;
+    b >>= 1;
+  }
+  return p;
+}
+
+struct SboxTables {
+  uint8_t sbox[256] = {};
+  uint8_t inv_sbox[256] = {};
+};
+
+// Generates the S-box from first principles (multiplicative inverse followed
+// by the affine transform) instead of a hand-typed table.
+constexpr SboxTables MakeSboxTables() {
+  SboxTables t{};
+  // Multiplicative inverses by brute force; inv(0) = 0 by convention.
+  uint8_t inv[256] = {};
+  for (int a = 1; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      if (GfMul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
+        inv[a] = static_cast<uint8_t>(b);
+        break;
+      }
+    }
+  }
+  for (int i = 0; i < 256; ++i) {
+    uint8_t x = inv[i];
+    uint8_t y = static_cast<uint8_t>(
+        x ^ static_cast<uint8_t>((x << 1) | (x >> 7)) ^
+        static_cast<uint8_t>((x << 2) | (x >> 6)) ^
+        static_cast<uint8_t>((x << 3) | (x >> 5)) ^
+        static_cast<uint8_t>((x << 4) | (x >> 4)) ^ 0x63);
+    t.sbox[i] = y;
+    t.inv_sbox[y] = static_cast<uint8_t>(i);
+  }
+  return t;
+}
+
+constexpr SboxTables kTables = MakeSboxTables();
+
+constexpr uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
+                               0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d};
+
+inline uint32_t SubWord(uint32_t w) {
+  return (static_cast<uint32_t>(kTables.sbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<uint32_t>(kTables.sbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<uint32_t>(kTables.sbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<uint32_t>(kTables.sbox[w & 0xff]);
+}
+
+inline uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
+
+inline void AddRoundKey(uint8_t state[16], const uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    state[4 * c] ^= static_cast<uint8_t>(rk[c] >> 24);
+    state[4 * c + 1] ^= static_cast<uint8_t>(rk[c] >> 16);
+    state[4 * c + 2] ^= static_cast<uint8_t>(rk[c] >> 8);
+    state[4 * c + 3] ^= static_cast<uint8_t>(rk[c]);
+  }
+}
+
+inline void SubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kTables.sbox[state[i]];
+}
+
+inline void InvSubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kTables.inv_sbox[state[i]];
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (column-major, as in
+// FIPS 197's one-dimensional input ordering).
+inline void ShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift left by 1.
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // Row 2: shift left by 2.
+  t = s[2]; s[2] = s[10]; s[10] = t;
+  t = s[6]; s[6] = s[14]; s[14] = t;
+  // Row 3: shift left by 3 (== right by 1).
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+inline void InvShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  t = s[2]; s[2] = s[10]; s[10] = t;
+  t = s[6]; s[6] = s[14]; s[14] = t;
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+inline void MixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3;
+    col[1] = a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3;
+    col[2] = a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3);
+    col[3] = GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2);
+  }
+}
+
+inline void InvMixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
+    col[1] = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
+    col[2] = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
+    col[3] = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
+  }
+}
+
+}  // namespace
+
+Aes256::Aes256(Slice key) {
+  assert(key.size() == kKeySize);
+  constexpr int nk = 8;
+  constexpr int nw = 4 * (kRounds + 1);
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
+                     (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
+                     (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
+                     static_cast<uint32_t>(key[4 * i + 3]);
+  }
+  for (int i = nk; i < nw; ++i) {
+    uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = SubWord(RotWord(temp)) ^
+             (static_cast<uint32_t>(kRcon[i / nk]) << 24);
+    } else if (i % nk == 4) {
+      temp = SubWord(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+}
+
+void Aes256::EncryptBlock(const uint8_t in[kBlockSize],
+                          uint8_t out[kBlockSize]) const {
+  uint8_t state[16];
+  std::memcpy(state, in, 16);
+  AddRoundKey(state, round_keys_);
+  for (int round = 1; round < kRounds; ++round) {
+    SubBytes(state);
+    ShiftRows(state);
+    MixColumns(state);
+    AddRoundKey(state, round_keys_ + 4 * round);
+  }
+  SubBytes(state);
+  ShiftRows(state);
+  AddRoundKey(state, round_keys_ + 4 * kRounds);
+  std::memcpy(out, state, 16);
+}
+
+void Aes256::DecryptBlock(const uint8_t in[kBlockSize],
+                          uint8_t out[kBlockSize]) const {
+  uint8_t state[16];
+  std::memcpy(state, in, 16);
+  AddRoundKey(state, round_keys_ + 4 * kRounds);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    InvShiftRows(state);
+    InvSubBytes(state);
+    AddRoundKey(state, round_keys_ + 4 * round);
+    InvMixColumns(state);
+  }
+  InvShiftRows(state);
+  InvSubBytes(state);
+  AddRoundKey(state, round_keys_);
+  std::memcpy(out, state, 16);
+}
+
+}  // namespace aedb::crypto

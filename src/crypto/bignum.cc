@@ -1,0 +1,510 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "crypto/drbg.h"
+
+namespace aedb::crypto {
+
+using u128 = unsigned __int128;
+
+void BigNum::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum::BigNum(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+BigNum BigNum::FromBytesBE(Slice bytes) {
+  BigNum out;
+  size_t n = bytes.size();
+  out.limbs_.assign((n + 7) / 8, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // bytes[n-1-i] is the i-th least significant byte.
+    out.limbs_[i / 8] |= static_cast<uint64_t>(bytes[n - 1 - i]) << (8 * (i % 8));
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<BigNum> BigNum::FromHex(std::string_view hex) {
+  Bytes raw;
+  std::string padded(hex);
+  if (padded.size() >= 2 && padded[0] == '0' && (padded[1] == 'x' || padded[1] == 'X')) {
+    padded = padded.substr(2);
+  }
+  if (padded.size() % 2 != 0) padded = "0" + padded;
+  AEDB_ASSIGN_OR_RETURN(raw, HexDecode(padded));
+  return FromBytesBE(raw);
+}
+
+Bytes BigNum::ToBytesBE(size_t min_size) const {
+  Bytes out;
+  size_t nbytes = (BitLength() + 7) / 8;
+  if (nbytes < min_size) nbytes = min_size;
+  out.assign(nbytes, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    size_t limb = i / 8;
+    if (limb < limbs_.size()) {
+      out[nbytes - 1 - i] = static_cast<uint8_t>(limbs_[limb] >> (8 * (i % 8)));
+    }
+  }
+  return out;
+}
+
+std::string BigNum::ToHex() const {
+  if (IsZero()) return "0";
+  std::string s = HexEncode(ToBytesBE());
+  size_t first = s.find_first_not_of('0');
+  return first == std::string::npos ? "0" : s.substr(first);
+}
+
+size_t BigNum::BitLength() const {
+  if (limbs_.empty()) return 0;
+  return 64 * limbs_.size() - std::countl_zero(limbs_.back());
+}
+
+bool BigNum::Bit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigNum::Compare(const BigNum& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNum BigNum::operator+(const BigNum& o) const {
+  BigNum out;
+  size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    u128 s = static_cast<u128>(i < limbs_.size() ? limbs_[i] : 0) +
+             (i < o.limbs_.size() ? o.limbs_[i] : 0) + carry;
+    out.limbs_[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::operator-(const BigNum& o) const {
+  assert(*this >= o);
+  BigNum out;
+  out.limbs_.assign(limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t rhs = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    u128 d = static_cast<u128>(limbs_[i]) - rhs - borrow;
+    out.limbs_[i] = static_cast<uint64_t>(d);
+    borrow = static_cast<uint64_t>((d >> 64) & 1);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::operator*(const BigNum& o) const {
+  if (IsZero() || o.IsZero()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      u128 s = static_cast<u128>(limbs_[i]) * o.limbs_[j] +
+               out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    out.limbs_[i + o.limbs_.size()] = carry;
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::operator<<(size_t bits) const {
+  if (IsZero()) return BigNum();
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift == 0 ? limbs_[i] : (limbs_[i] << bit_shift);
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigNum BigNum::operator>>(size_t bits) const {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigNum();
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t lo = limbs_[i + limb_shift];
+    uint64_t hi = i + limb_shift + 1 < limbs_.size() ? limbs_[i + limb_shift + 1] : 0;
+    out.limbs_[i] = bit_shift == 0 ? lo : ((lo >> bit_shift) | (hi << (64 - bit_shift)));
+  }
+  out.Normalize();
+  return out;
+}
+
+Status BigNum::DivMod(const BigNum& u, const BigNum& v, BigNum* quotient,
+                      BigNum* remainder) {
+  if (v.IsZero()) return Status::InvalidArgument("division by zero");
+  if (u < v) {
+    if (quotient) *quotient = BigNum();
+    if (remainder) *remainder = u;
+    return Status::OK();
+  }
+  // Single-limb divisor fast path.
+  if (v.limbs_.size() == 1) {
+    uint64_t d = v.limbs_[0];
+    BigNum q;
+    q.limbs_.assign(u.limbs_.size(), 0);
+    u128 rem = 0;
+    for (size_t i = u.limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | u.limbs_[i];
+      q.limbs_[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    if (quotient) *quotient = std::move(q);
+    if (remainder) *remainder = BigNum(static_cast<uint64_t>(rem));
+    return Status::OK();
+  }
+
+  // Knuth TAOCP Vol.2 Algorithm D.
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+  const int s = std::countl_zero(v.limbs_.back());
+
+  std::vector<uint64_t> vn(n), un(u.limbs_.size() + 1, 0);
+  for (size_t i = n; i-- > 0;) {
+    vn[i] = (v.limbs_[i] << s);
+    if (s != 0 && i > 0) vn[i] |= v.limbs_[i - 1] >> (64 - s);
+  }
+  for (size_t i = u.limbs_.size(); i-- > 0;) {
+    if (s != 0) {
+      un[i + 1] |= u.limbs_[i] >> (64 - s);
+      un[i] = u.limbs_[i] << s;
+    } else {
+      un[i] = u.limbs_[i];
+    }
+  }
+
+  constexpr uint64_t kMaxDigit = ~static_cast<uint64_t>(0);
+  BigNum q;
+  q.limbs_.assign(m + 1, 0);
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate the quotient digit from the top limbs, clamp it to the digit
+    // range, refine with the classic two-limb test, and rely on a repeated
+    // add-back to absorb any residual overestimate (at most 2).
+    u128 num = (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 qhat = num / vn[n - 1];
+    u128 rhat = num % vn[n - 1];
+    if (qhat > kMaxDigit) {
+      qhat = kMaxDigit;
+      rhat = num - qhat * vn[n - 1];
+    }
+    while ((rhat >> 64) == 0 &&
+           qhat * vn[n - 2] > ((rhat << 64) | un[j + n - 2])) {
+      qhat -= 1;
+      rhat += vn[n - 1];
+    }
+    // Multiply and subtract: un[j..j+n] -= qhat * vn (two's complement on
+    // n+1 limbs; a final borrow marks a negative result).
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 p = qhat * vn[i] + static_cast<uint64_t>(carry);
+      carry = p >> 64;
+      u128 d = static_cast<u128>(un[j + i]) - static_cast<uint64_t>(p) - borrow;
+      un[j + i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) & 1;
+    }
+    u128 d = static_cast<u128>(un[j + n]) - static_cast<uint64_t>(carry) - borrow;
+    un[j + n] = static_cast<uint64_t>(d);
+    bool negative = ((d >> 64) & 1) != 0;
+
+    q.limbs_[j] = static_cast<uint64_t>(qhat);
+    while (negative) {
+      q.limbs_[j] -= 1;
+      u128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(un[j + i]) + vn[i] + static_cast<uint64_t>(c);
+        un[j + i] = static_cast<uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u128 top = static_cast<u128>(un[j + n]) + static_cast<uint64_t>(c);
+      un[j + n] = static_cast<uint64_t>(top);
+      // A carry out of the top limb cancels the earlier borrow.
+      negative = (top >> 64) == 0;
+    }
+  }
+  q.Normalize();
+  if (quotient) *quotient = std::move(q);
+  if (remainder) {
+    BigNum r;
+    r.limbs_.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      r.limbs_[i] = un[i] >> s;
+      if (s != 0 && i + 1 < un.size()) r.limbs_[i] |= un[i + 1] << (64 - s);
+    }
+    r.Normalize();
+    *remainder = std::move(r);
+  }
+  return Status::OK();
+}
+
+BigNum BigNum::operator/(const BigNum& o) const {
+  BigNum q;
+  Status st = DivMod(*this, o, &q, nullptr);
+  assert(st.ok());
+  (void)st;
+  return q;
+}
+
+BigNum BigNum::operator%(const BigNum& o) const {
+  BigNum r;
+  Status st = DivMod(*this, o, nullptr, &r);
+  assert(st.ok());
+  (void)st;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic.
+
+MontgomeryContext::MontgomeryContext(const BigNum& modulus) : modulus_(modulus) {
+  assert(modulus.IsOdd());
+  n_ = modulus.limbs_.size();
+  // Newton iteration for inverse of modulus[0] mod 2^64.
+  uint64_t m0 = modulus.limbs_[0];
+  uint64_t x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - m0 * x;
+  n0_inv_ = ~x + 1;  // -x mod 2^64
+  // R^2 mod m, R = 2^(64 n).
+  BigNum r2 = BigNum(1) << (64 * n_ * 2);
+  r2_ = r2 % modulus_;
+}
+
+BigNum MontgomeryContext::MulMont(const BigNum& a, const BigNum& b) const {
+  // CIOS: t has n_ + 2 limbs.
+  std::vector<uint64_t> t(n_ + 2, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    uint64_t ai = i < a.limbs_.size() ? a.limbs_[i] : 0;
+    // t += ai * b
+    u128 carry = 0;
+    for (size_t j = 0; j < n_; ++j) {
+      uint64_t bj = j < b.limbs_.size() ? b.limbs_[j] : 0;
+      u128 s = static_cast<u128>(ai) * bj + t[j] + static_cast<uint64_t>(carry);
+      t[j] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    u128 s = static_cast<u128>(t[n_]) + static_cast<uint64_t>(carry);
+    t[n_] = static_cast<uint64_t>(s);
+    t[n_ + 1] = static_cast<uint64_t>(s >> 64);
+    // m = t[0] * n0_inv mod 2^64; t = (t + m*mod) / 2^64
+    uint64_t mfac = t[0] * n0_inv_;
+    carry = (static_cast<u128>(mfac) * modulus_.limbs_[0] + t[0]) >> 64;
+    for (size_t j = 1; j < n_; ++j) {
+      u128 s2 = static_cast<u128>(mfac) * modulus_.limbs_[j] + t[j] +
+                static_cast<uint64_t>(carry);
+      t[j - 1] = static_cast<uint64_t>(s2);
+      carry = s2 >> 64;
+    }
+    u128 s3 = static_cast<u128>(t[n_]) + static_cast<uint64_t>(carry);
+    t[n_ - 1] = static_cast<uint64_t>(s3);
+    t[n_] = t[n_ + 1] + static_cast<uint64_t>(s3 >> 64);
+    t[n_ + 1] = 0;
+  }
+  BigNum out;
+  out.limbs_.assign(t.begin(), t.begin() + n_);
+  out.Normalize();
+  if (t[n_] != 0 || out >= modulus_) out = out - modulus_;
+  return out;
+}
+
+BigNum MontgomeryContext::ToMont(const BigNum& a) const {
+  return MulMont(a, r2_);
+}
+
+BigNum MontgomeryContext::FromMont(const BigNum& a) const {
+  return MulMont(a, BigNum(1));
+}
+
+BigNum BigNum::ModExp(const BigNum& base, const BigNum& exp, const BigNum& m) {
+  if (m.IsZero()) return BigNum();
+  if (m == BigNum(1)) return BigNum();
+  BigNum b = base % m;
+  if (exp.IsZero()) return BigNum(1);
+  if (m.IsOdd()) {
+    MontgomeryContext ctx(m);
+    BigNum result = ctx.ToMont(BigNum(1));
+    BigNum bm = ctx.ToMont(b);
+    for (size_t i = exp.BitLength(); i-- > 0;) {
+      result = ctx.MulMont(result, result);
+      if (exp.Bit(i)) result = ctx.MulMont(result, bm);
+    }
+    return ctx.FromMont(result);
+  }
+  // Even modulus: square-and-multiply with divide-based reduction.
+  BigNum result(1);
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.Bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+Result<BigNum> BigNum::ModInverse(const BigNum& a, const BigNum& m) {
+  if (m.IsZero()) return Status::InvalidArgument("zero modulus");
+  // Extended Euclid with coefficients tracked as (value, negative) pairs.
+  BigNum r0 = m, r1 = a % m;
+  BigNum t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.IsZero()) {
+    BigNum q, r2;
+    Status st = DivMod(r0, r1, &q, &r2);
+    if (!st.ok()) return st;
+    // t2 = t0 - q * t1 (signed)
+    BigNum qt = q * t1;
+    BigNum t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // t0 and q*t1 have the same sign: subtract magnitudes.
+      if (t0 >= qt) {
+        t2 = t0 - qt;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (!(r0 == BigNum(1))) return Status::InvalidArgument("not invertible");
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigNum BigNum::Gcd(BigNum a, BigNum b) {
+  while (!b.IsZero()) {
+    BigNum r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigNum BigNum::RandomBits(size_t bits, HmacDrbg* drbg) {
+  assert(bits > 0);
+  size_t nbytes = (bits + 7) / 8;
+  Bytes raw = drbg->Generate(nbytes);
+  size_t top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  raw[0] &= static_cast<uint8_t>((1u << top_bits) - 1);
+  raw[0] |= static_cast<uint8_t>(1u << (top_bits - 1));
+  return FromBytesBE(raw);
+}
+
+BigNum BigNum::RandomBelow(const BigNum& bound, HmacDrbg* drbg) {
+  assert(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  size_t top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  for (;;) {
+    Bytes raw = drbg->Generate(nbytes);
+    raw[0] &= static_cast<uint8_t>((1u << top_bits) - 1);
+    BigNum candidate = FromBytesBE(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+namespace {
+// Small primes for trial division before Miller-Rabin.
+constexpr uint64_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,  53,
+    59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109, 113, 127,
+    131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+    211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283};
+
+uint64_t ModU64(const BigNum& n, uint64_t d) {
+  Bytes be = n.ToBytesBE();
+  u128 rem = 0;
+  for (uint8_t byte : be) rem = ((rem << 8) | byte) % d;
+  return static_cast<uint64_t>(rem);
+}
+}  // namespace
+
+bool BigNum::IsProbablePrime(const BigNum& n, int rounds, HmacDrbg* drbg) {
+  if (n < BigNum(2)) return false;
+  if (n == BigNum(2)) return true;
+  if (!n.IsOdd()) return false;
+  for (uint64_t p : kSmallPrimes) {
+    if (n == BigNum(p)) return true;
+    if (ModU64(n, p) == 0) return false;
+  }
+  BigNum n_minus_1 = n - BigNum(1);
+  BigNum d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    BigNum a = BigNum(2) + RandomBelow(n - BigNum(4), drbg);
+    BigNum x = ModExp(a, d, n);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigNum BigNum::GeneratePrime(size_t bits, HmacDrbg* drbg) {
+  for (;;) {
+    BigNum candidate = RandomBits(bits, drbg);
+    if (!candidate.IsOdd()) candidate = candidate + BigNum(1);
+    bool divisible = false;
+    for (uint64_t p : kSmallPrimes) {
+      if (ModU64(candidate, p) == 0) {
+        divisible = true;
+        break;
+      }
+    }
+    if (divisible) continue;
+    if (IsProbablePrime(candidate, 12, drbg)) return candidate;
+  }
+}
+
+}  // namespace aedb::crypto

@@ -1,0 +1,107 @@
+#ifndef AEDB_CRYPTO_BIGNUM_H_
+#define AEDB_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace aedb::crypto {
+
+class HmacDrbg;
+
+/// Arbitrary-precision unsigned integer with the operations needed for
+/// RSA-OAEP, RSA signatures and finite-field Diffie-Hellman: schoolbook
+/// multiply, Knuth Algorithm D division, Montgomery modular exponentiation,
+/// extended-Euclid modular inverse, and Miller-Rabin primality testing.
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(uint64_t v);
+
+  static BigNum FromBytesBE(Slice bytes);
+  static Result<BigNum> FromHex(std::string_view hex);
+
+  /// Big-endian encoding without leading zeros (empty for zero). If
+  /// `min_size` > 0 the output is left-padded with zeros to that size.
+  Bytes ToBytesBE(size_t min_size = 0) const;
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  size_t BitLength() const;
+  bool Bit(size_t i) const;
+
+  int Compare(const BigNum& other) const;
+  bool operator==(const BigNum& o) const { return Compare(o) == 0; }
+  bool operator<(const BigNum& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigNum& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigNum& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigNum& o) const { return Compare(o) >= 0; }
+
+  BigNum operator+(const BigNum& o) const;
+  /// Requires *this >= o.
+  BigNum operator-(const BigNum& o) const;
+  BigNum operator*(const BigNum& o) const;
+  BigNum operator<<(size_t bits) const;
+  BigNum operator>>(size_t bits) const;
+
+  /// Knuth Algorithm D. `quotient`/`remainder` may be null.
+  static Status DivMod(const BigNum& u, const BigNum& v, BigNum* quotient,
+                       BigNum* remainder);
+  BigNum operator/(const BigNum& o) const;
+  BigNum operator%(const BigNum& o) const;
+
+  /// base^exp mod m. Uses Montgomery multiplication when m is odd (the RSA
+  /// and DH cases), falling back to divide-based reduction otherwise.
+  static BigNum ModExp(const BigNum& base, const BigNum& exp, const BigNum& m);
+
+  /// a^{-1} mod m via extended Euclid; fails when gcd(a, m) != 1.
+  static Result<BigNum> ModInverse(const BigNum& a, const BigNum& m);
+
+  static BigNum Gcd(BigNum a, BigNum b);
+
+  /// Uniform integer with exactly `bits` bits (top bit set).
+  static BigNum RandomBits(size_t bits, HmacDrbg* drbg);
+  /// Uniform integer in [0, bound).
+  static BigNum RandomBelow(const BigNum& bound, HmacDrbg* drbg);
+
+  /// Miller-Rabin with `rounds` random bases.
+  static bool IsProbablePrime(const BigNum& n, int rounds, HmacDrbg* drbg);
+  /// Random prime with exactly `bits` bits.
+  static BigNum GeneratePrime(size_t bits, HmacDrbg* drbg);
+
+ private:
+  void Normalize();
+
+  // Little-endian 64-bit limbs; empty represents zero.
+  std::vector<uint64_t> limbs_;
+
+  friend class MontgomeryContext;
+};
+
+/// Precomputed context for repeated multiplications modulo an odd modulus.
+class MontgomeryContext {
+ public:
+  /// `modulus` must be odd and nonzero.
+  explicit MontgomeryContext(const BigNum& modulus);
+
+  /// Montgomery form conversions and multiplication.
+  BigNum ToMont(const BigNum& a) const;
+  BigNum FromMont(const BigNum& a) const;
+  BigNum MulMont(const BigNum& a, const BigNum& b) const;
+
+  const BigNum& modulus() const { return modulus_; }
+
+ private:
+  BigNum modulus_;
+  size_t n_;           // limb count of modulus
+  uint64_t n0_inv_;    // -modulus^{-1} mod 2^64
+  BigNum r2_;          // R^2 mod modulus, R = 2^(64n)
+};
+
+}  // namespace aedb::crypto
+
+#endif  // AEDB_CRYPTO_BIGNUM_H_

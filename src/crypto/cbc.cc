@@ -1,0 +1,57 @@
+#include "crypto/cbc.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace aedb::crypto {
+
+Bytes CbcEncrypt(const Aes256& cipher, Slice iv, Slice plaintext) {
+  assert(iv.size() == Aes256::kBlockSize);
+  const size_t block = Aes256::kBlockSize;
+  size_t pad = block - (plaintext.size() % block);
+  size_t total = plaintext.size() + pad;
+  Bytes out(total);
+
+  uint8_t chain[Aes256::kBlockSize];
+  std::memcpy(chain, iv.data(), block);
+  uint8_t buf[Aes256::kBlockSize];
+  for (size_t off = 0; off < total; off += block) {
+    for (size_t i = 0; i < block; ++i) {
+      size_t idx = off + i;
+      uint8_t pt = idx < plaintext.size() ? plaintext[idx]
+                                          : static_cast<uint8_t>(pad);
+      buf[i] = pt ^ chain[i];
+    }
+    cipher.EncryptBlock(buf, out.data() + off);
+    std::memcpy(chain, out.data() + off, block);
+  }
+  return out;
+}
+
+Result<Bytes> CbcDecrypt(const Aes256& cipher, Slice iv, Slice ciphertext) {
+  const size_t block = Aes256::kBlockSize;
+  if (iv.size() != block) return Status::InvalidArgument("CBC IV must be 16 bytes");
+  if (ciphertext.empty() || ciphertext.size() % block != 0) {
+    return Status::Corruption("CBC ciphertext length not a positive block multiple");
+  }
+  Bytes out(ciphertext.size());
+  uint8_t chain[Aes256::kBlockSize];
+  std::memcpy(chain, iv.data(), block);
+  uint8_t buf[Aes256::kBlockSize];
+  for (size_t off = 0; off < ciphertext.size(); off += block) {
+    cipher.DecryptBlock(ciphertext.data() + off, buf);
+    for (size_t i = 0; i < block; ++i) out[off + i] = buf[i] ^ chain[i];
+    std::memcpy(chain, ciphertext.data() + off, block);
+  }
+  uint8_t pad = out.back();
+  if (pad == 0 || pad > block || pad > out.size()) {
+    return Status::Corruption("invalid PKCS#7 padding");
+  }
+  for (size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) return Status::Corruption("invalid PKCS#7 padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace aedb::crypto

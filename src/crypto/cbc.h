@@ -1,0 +1,18 @@
+#ifndef AEDB_CRYPTO_CBC_H_
+#define AEDB_CRYPTO_CBC_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aes.h"
+
+namespace aedb::crypto {
+
+/// AES-256-CBC with PKCS#7 padding. `iv` must be 16 bytes.
+Bytes CbcEncrypt(const Aes256& cipher, Slice iv, Slice plaintext);
+
+/// Decrypts and strips PKCS#7 padding; fails with Corruption on bad padding.
+Result<Bytes> CbcDecrypt(const Aes256& cipher, Slice iv, Slice ciphertext);
+
+}  // namespace aedb::crypto
+
+#endif  // AEDB_CRYPTO_CBC_H_

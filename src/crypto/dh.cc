@@ -1,0 +1,54 @@
+#include "crypto/dh.h"
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace aedb::crypto {
+
+namespace {
+// RFC 3526, group 14 (2048-bit MODP).
+constexpr std::string_view kGroup14PrimeHex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+constexpr size_t kGroupBytes = 256;
+}  // namespace
+
+const BigNum& DhGroupPrime() {
+  static const BigNum* prime = [] {
+    auto r = BigNum::FromHex(kGroup14PrimeHex);
+    return new BigNum(std::move(r).value());
+  }();
+  return *prime;
+}
+
+DhKeyPair GenerateDhKeyPair(HmacDrbg* drbg) {
+  DhKeyPair kp;
+  kp.private_key = BigNum::RandomBits(256, drbg);
+  kp.public_key = BigNum::ModExp(BigNum(2), kp.private_key, DhGroupPrime());
+  return kp;
+}
+
+Bytes DhPublicKeyBytes(const DhKeyPair& kp) {
+  return kp.public_key.ToBytesBE(kGroupBytes);
+}
+
+Result<Bytes> DhComputeSharedSecret(const BigNum& private_key,
+                                    Slice peer_public) {
+  const BigNum& p = DhGroupPrime();
+  BigNum peer = BigNum::FromBytesBE(peer_public);
+  // Reject degenerate public keys that would force a trivial shared secret.
+  if (peer <= BigNum(1) || peer >= p - BigNum(1)) {
+    return Status::SecurityError("degenerate DH public key");
+  }
+  BigNum z = BigNum::ModExp(peer, private_key, p);
+  return Sha256::Hash(Slice(z.ToBytesBE(kGroupBytes)));
+}
+
+}  // namespace aedb::crypto

@@ -1,0 +1,35 @@
+#ifndef AEDB_CRYPTO_DH_H_
+#define AEDB_CRYPTO_DH_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/bignum.h"
+
+namespace aedb::crypto {
+
+class HmacDrbg;
+
+/// Finite-field Diffie-Hellman over the RFC 3526 2048-bit MODP group
+/// (group 14, generator 2). The attestation protocol (paper §4.2) folds a DH
+/// exchange into the enclave report to establish the driver-enclave shared
+/// secret without extra round trips.
+struct DhKeyPair {
+  BigNum private_key;  // random 256-bit exponent
+  BigNum public_key;   // g^private mod p
+};
+
+/// The group prime (2048 bits).
+const BigNum& DhGroupPrime();
+
+DhKeyPair GenerateDhKeyPair(HmacDrbg* drbg);
+
+/// Serialized (fixed 256-byte big-endian) public key.
+Bytes DhPublicKeyBytes(const DhKeyPair& kp);
+
+/// Derives the 32-byte session key: SHA-256 over the fixed-width shared
+/// group element. Fails when the peer key is out of range (0, 1, p-1, >= p).
+Result<Bytes> DhComputeSharedSecret(const BigNum& private_key, Slice peer_public);
+
+}  // namespace aedb::crypto
+
+#endif  // AEDB_CRYPTO_DH_H_

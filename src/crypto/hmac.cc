@@ -1,0 +1,41 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace aedb::crypto {
+
+HmacSha256::HmacSha256(Slice key) {
+  uint8_t key_block[Sha256::kBlockSize];
+  std::memset(key_block, 0, sizeof(key_block));
+  if (key.size() > Sha256::kBlockSize) {
+    Bytes hashed = Sha256::Hash(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  uint8_t ipad_key[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = key_block[i] ^ 0x36;
+    opad_key_[i] = key_block[i] ^ 0x5c;
+  }
+  inner_.Update(Slice(ipad_key, sizeof(ipad_key)));
+}
+
+void HmacSha256::Update(Slice data) { inner_.Update(data); }
+
+Bytes HmacSha256::Finish() {
+  auto inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(Slice(opad_key_, sizeof(opad_key_)));
+  outer.Update(Slice(inner_digest.data(), inner_digest.size()));
+  auto d = outer.Finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes HmacSha256::Mac(Slice key, Slice data) {
+  HmacSha256 h(key);
+  h.Update(data);
+  return h.Finish();
+}
+
+}  // namespace aedb::crypto

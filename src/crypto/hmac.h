@@ -1,0 +1,29 @@
+#ifndef AEDB_CRYPTO_HMAC_H_
+#define AEDB_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace aedb::crypto {
+
+/// Incremental HMAC-SHA-256 (RFC 2104).
+class HmacSha256 {
+ public:
+  static constexpr size_t kDigestSize = Sha256::kDigestSize;
+
+  explicit HmacSha256(Slice key);
+
+  void Update(Slice data);
+  Bytes Finish();
+
+  /// One-shot convenience.
+  static Bytes Mac(Slice key, Slice data);
+
+ private:
+  uint8_t opad_key_[Sha256::kBlockSize];
+  Sha256 inner_;
+};
+
+}  // namespace aedb::crypto
+
+#endif  // AEDB_CRYPTO_HMAC_H_

@@ -1,0 +1,179 @@
+#include "crypto/rsa.h"
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace aedb::crypto {
+
+namespace {
+constexpr size_t kHashLen = Sha256::kDigestSize;
+
+// DER DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+constexpr uint8_t kSha256DigestInfo[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09,
+                                         0x60, 0x86, 0x48, 0x01, 0x65, 0x03,
+                                         0x04, 0x02, 0x01, 0x05, 0x00, 0x04,
+                                         0x20};
+}  // namespace
+
+Bytes RsaPublicKey::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, Slice(n.ToBytesBE()));
+  PutLengthPrefixed(&out, Slice(e.ToBytesBE()));
+  return out;
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(Slice in) {
+  size_t off = 0;
+  Bytes n_bytes, e_bytes;
+  AEDB_ASSIGN_OR_RETURN(n_bytes, GetLengthPrefixed(in, &off));
+  AEDB_ASSIGN_OR_RETURN(e_bytes, GetLengthPrefixed(in, &off));
+  RsaPublicKey pub;
+  pub.n = BigNum::FromBytesBE(n_bytes);
+  pub.e = BigNum::FromBytesBE(e_bytes);
+  if (pub.n.IsZero() || pub.e.IsZero()) {
+    return Status::Corruption("invalid RSA public key");
+  }
+  return pub;
+}
+
+RsaPrivateKey GenerateRsaKey(size_t bits, HmacDrbg* drbg) {
+  const BigNum e(65537);
+  for (;;) {
+    BigNum p = BigNum::GeneratePrime(bits / 2, drbg);
+    BigNum q = BigNum::GeneratePrime(bits - bits / 2, drbg);
+    if (p == q) continue;
+    BigNum n = p * q;
+    if (n.BitLength() != bits) continue;
+    BigNum phi = (p - BigNum(1)) * (q - BigNum(1));
+    Result<BigNum> d = BigNum::ModInverse(e, phi);
+    if (!d.ok()) continue;  // gcd(e, phi) != 1; pick new primes
+    RsaPrivateKey key;
+    key.pub.n = std::move(n);
+    key.pub.e = e;
+    key.d = std::move(d).value();
+    return key;
+  }
+}
+
+Bytes Mgf1(Slice seed, size_t out_len) {
+  Bytes out;
+  out.reserve(out_len + kHashLen);
+  uint32_t counter = 0;
+  while (out.size() < out_len) {
+    Sha256 h;
+    h.Update(seed);
+    uint8_t ctr_be[4] = {static_cast<uint8_t>(counter >> 24),
+                         static_cast<uint8_t>(counter >> 16),
+                         static_cast<uint8_t>(counter >> 8),
+                         static_cast<uint8_t>(counter)};
+    h.Update(Slice(ctr_be, 4));
+    auto digest = h.Finish();
+    out.insert(out.end(), digest.begin(), digest.end());
+    ++counter;
+  }
+  out.resize(out_len);
+  return out;
+}
+
+Result<Bytes> OaepEncrypt(const RsaPublicKey& pub, Slice message,
+                          HmacDrbg* drbg) {
+  size_t k = pub.ModulusSize();
+  if (k < 2 * kHashLen + 2 || message.size() > k - 2 * kHashLen - 2) {
+    return Status::InvalidArgument("OAEP message too long for modulus");
+  }
+  // DB = lHash || PS || 0x01 || M
+  Bytes db = Sha256::Hash(Slice());
+  db.resize(k - kHashLen - 1 - message.size() - 1, 0);
+  db.push_back(0x01);
+  db.insert(db.end(), message.data(), message.data() + message.size());
+
+  Bytes seed = drbg->Generate(kHashLen);
+  Bytes db_mask = Mgf1(seed, db.size());
+  for (size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+  Bytes seed_mask = Mgf1(db, kHashLen);
+  for (size_t i = 0; i < seed.size(); ++i) seed[i] ^= seed_mask[i];
+
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), seed.begin(), seed.end());
+  em.insert(em.end(), db.begin(), db.end());
+
+  BigNum m = BigNum::FromBytesBE(em);
+  BigNum c = BigNum::ModExp(m, pub.e, pub.n);
+  return c.ToBytesBE(k);
+}
+
+Result<Bytes> OaepDecrypt(const RsaPrivateKey& priv, Slice ciphertext) {
+  size_t k = priv.pub.ModulusSize();
+  if (ciphertext.size() != k || k < 2 * kHashLen + 2) {
+    return Status::SecurityError("OAEP decryption error");
+  }
+  BigNum c = BigNum::FromBytesBE(ciphertext);
+  if (c >= priv.pub.n) return Status::SecurityError("OAEP decryption error");
+  BigNum m = BigNum::ModExp(c, priv.d, priv.pub.n);
+  Bytes em = m.ToBytesBE(k);
+
+  if (em[0] != 0x00) return Status::SecurityError("OAEP decryption error");
+  Bytes seed(em.begin() + 1, em.begin() + 1 + kHashLen);
+  Bytes db(em.begin() + 1 + kHashLen, em.end());
+
+  Bytes seed_mask = Mgf1(db, kHashLen);
+  for (size_t i = 0; i < seed.size(); ++i) seed[i] ^= seed_mask[i];
+  Bytes db_mask = Mgf1(seed, db.size());
+  for (size_t i = 0; i < db.size(); ++i) db[i] ^= db_mask[i];
+
+  Bytes lhash = Sha256::Hash(Slice());
+  if (!ConstantTimeEquals(Slice(db.data(), kHashLen), lhash)) {
+    return Status::SecurityError("OAEP decryption error");
+  }
+  size_t i = kHashLen;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) {
+    return Status::SecurityError("OAEP decryption error");
+  }
+  return Bytes(db.begin() + i + 1, db.end());
+}
+
+namespace {
+Bytes BuildPkcs1Em(Slice message, size_t k) {
+  Bytes digest = Sha256::Hash(message);
+  Bytes t(kSha256DigestInfo, kSha256DigestInfo + sizeof(kSha256DigestInfo));
+  t.insert(t.end(), digest.begin(), digest.end());
+  // EM = 0x00 01 FF..FF 00 || T
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.resize(k - t.size() - 1, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), t.begin(), t.end());
+  return em;
+}
+}  // namespace
+
+Bytes Pkcs1Sign(const RsaPrivateKey& priv, Slice message) {
+  size_t k = priv.pub.ModulusSize();
+  Bytes em = BuildPkcs1Em(message, k);
+  BigNum m = BigNum::FromBytesBE(em);
+  BigNum s = BigNum::ModExp(m, priv.d, priv.pub.n);
+  return s.ToBytesBE(k);
+}
+
+Status Pkcs1Verify(const RsaPublicKey& pub, Slice message, Slice signature) {
+  size_t k = pub.ModulusSize();
+  if (signature.size() != k) {
+    return Status::SecurityError("RSA signature has wrong length");
+  }
+  BigNum s = BigNum::FromBytesBE(signature);
+  if (s >= pub.n) return Status::SecurityError("RSA signature out of range");
+  BigNum m = BigNum::ModExp(s, pub.e, pub.n);
+  Bytes em = m.ToBytesBE(k);
+  Bytes expected = BuildPkcs1Em(message, k);
+  if (!ConstantTimeEquals(em, expected)) {
+    return Status::SecurityError("RSA signature verification failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace aedb::crypto

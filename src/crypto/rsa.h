@@ -1,0 +1,50 @@
+#ifndef AEDB_CRYPTO_RSA_H_
+#define AEDB_CRYPTO_RSA_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/bignum.h"
+
+namespace aedb::crypto {
+
+class HmacDrbg;
+
+/// RSA public key (n, e). Used for CEK wrapping in key providers (RSA-OAEP,
+/// paper §2.2 Figure 1) and signatures (CMK metadata, HGS/host/enclave
+/// signing keys, §4.2).
+struct RsaPublicKey {
+  BigNum n;
+  BigNum e;
+
+  size_t ModulusSize() const { return (n.BitLength() + 7) / 8; }
+
+  /// Canonical serialization: len-prefixed big-endian n and e.
+  Bytes Serialize() const;
+  static Result<RsaPublicKey> Deserialize(Slice in);
+};
+
+/// RSA private key; holds the public part as well.
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigNum d;
+};
+
+/// Generates an RSA key pair with an n of `bits` bits and e = 65537.
+RsaPrivateKey GenerateRsaKey(size_t bits, HmacDrbg* drbg);
+
+/// RSAES-OAEP with SHA-256 and MGF1-SHA-256 (RFC 8017). The empty label is
+/// used. Message length is limited to k - 2*32 - 2 bytes.
+Result<Bytes> OaepEncrypt(const RsaPublicKey& pub, Slice message, HmacDrbg* drbg);
+Result<Bytes> OaepDecrypt(const RsaPrivateKey& priv, Slice ciphertext);
+
+/// RSASSA-PKCS1-v1_5 with SHA-256.
+Bytes Pkcs1Sign(const RsaPrivateKey& priv, Slice message);
+/// Returns OK when the signature verifies; SecurityError otherwise.
+Status Pkcs1Verify(const RsaPublicKey& pub, Slice message, Slice signature);
+
+/// MGF1 mask generation (SHA-256).
+Bytes Mgf1(Slice seed, size_t out_len);
+
+}  // namespace aedb::crypto
+
+#endif  // AEDB_CRYPTO_RSA_H_

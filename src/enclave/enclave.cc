@@ -1,0 +1,370 @@
+#include "enclave/enclave.h"
+
+#include <chrono>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace aedb::enclave {
+
+using types::Value;
+
+// ---------------------------------------------------------------------------
+// EnclaveImage
+
+Bytes EnclaveImage::BinaryHash() const {
+  Bytes payload;
+  PutLengthPrefixed(&payload, Slice(std::string_view(name)));
+  PutU32(&payload, version);
+  PutLengthPrefixed(&payload, Slice(std::string_view("aedb-es-enclave-code")));
+  return crypto::Sha256::Hash(payload);
+}
+
+Bytes EnclaveImage::AuthorId() const {
+  return crypto::Sha256::Hash(author_public.Serialize());
+}
+
+EnclaveImage EnclaveImage::MakeEsImage(uint32_t version,
+                                       const crypto::RsaPrivateKey& author_key) {
+  EnclaveImage image;
+  image.name = "aedb_es_enclave";
+  image.version = version;
+  image.author_public = author_key.pub;
+  image.author_signature = crypto::Pkcs1Sign(author_key, image.BinaryHash());
+  return image;
+}
+
+// ---------------------------------------------------------------------------
+// EnclaveReport
+
+Bytes EnclaveReport::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, binary_hash);
+  PutLengthPrefixed(&out, author_id);
+  PutU32(&out, enclave_version);
+  PutU32(&out, platform_version);
+  PutLengthPrefixed(&out, enclave_public_key_hash);
+  return out;
+}
+
+Result<EnclaveReport> EnclaveReport::Deserialize(Slice in) {
+  EnclaveReport r;
+  size_t off = 0;
+  AEDB_ASSIGN_OR_RETURN(r.binary_hash, GetLengthPrefixed(in, &off));
+  AEDB_ASSIGN_OR_RETURN(r.author_id, GetLengthPrefixed(in, &off));
+  AEDB_ASSIGN_OR_RETURN(r.enclave_version, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(r.platform_version, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(r.enclave_public_key_hash, GetLengthPrefixed(in, &off));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Enclave-side crypto provider for the ES evaluator.
+
+/// Bridges the shared ES evaluator to the enclave's CEK table. Constructed
+/// on the enclave side of the boundary only.
+class EnclaveCellCrypto : public es::CellCryptoProvider {
+ public:
+  explicit EnclaveCellCrypto(Enclave* enclave) : enclave_(enclave) {}
+
+  Result<Value> DecryptDatum(const types::EncryptionType& enc,
+                             types::TypeId expected_type,
+                             const Value& wire) override {
+    (void)expected_type;
+    if (wire.is_null() || wire.type() != types::TypeId::kBinary) {
+      return Status::Corruption("encrypted datum must arrive as a binary cell");
+    }
+    auto it = enclave_->cek_table_.find(enc.cek_id);
+    if (it == enclave_->cek_table_.end()) {
+      return Status::KeyNotInEnclave("CEK " + std::to_string(enc.cek_id) +
+                                     " not installed in enclave");
+    }
+    Bytes plain;
+    AEDB_ASSIGN_OR_RETURN(plain, it->second->Decrypt(wire.bin()));
+    size_t off = 0;
+    Value v;
+    AEDB_ASSIGN_OR_RETURN(v, Value::Decode(plain, &off));
+    return v;
+  }
+
+  Result<Value> EncryptDatum(const types::EncryptionType& enc,
+                             const Value& plain) override {
+    auto it = enclave_->cek_table_.find(enc.cek_id);
+    if (it == enclave_->cek_table_.end()) {
+      return Status::KeyNotInEnclave("CEK " + std::to_string(enc.cek_id) +
+                                     " not installed in enclave");
+    }
+    return Value::Binary(it->second->Encrypt(plain.Encode(), enc.scheme()));
+  }
+
+ private:
+  Enclave* enclave_;
+};
+
+// ---------------------------------------------------------------------------
+// Enclave
+
+Enclave::Enclave(const EnclaveImage& image, const EnclaveConfig& config,
+                 VbsPlatform* platform)
+    : config_(config), platform_(platform) {
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("enclave-load-key")));
+  enclave_key_ = crypto::GenerateRsaKey(config.rsa_key_bits, &drbg);
+  report_.binary_hash = image.BinaryHash();
+  report_.author_id = image.AuthorId();
+  report_.enclave_version = image.version;
+  report_.platform_version = platform->hypervisor_version();
+  report_.enclave_public_key_hash =
+      crypto::Sha256::Hash(enclave_key_.pub.Serialize());
+}
+
+void Enclave::ChargeTransition() {
+  stats_.transitions.fetch_add(1, std::memory_order_relaxed);
+  if (config_.transition_cost_ns == 0) return;
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(config_.transition_cost_ns);
+  while (std::chrono::steady_clock::now() < until) {
+    // Busy-wait models the VBS call-gate world switch.
+  }
+}
+
+Result<AttestationResponse> Enclave::CreateSession(Slice client_dh_public) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("enclave-session-dh")));
+  crypto::DhKeyPair dh = crypto::GenerateDhKeyPair(&drbg);
+  Bytes secret;
+  AEDB_ASSIGN_OR_RETURN(
+      secret, crypto::DhComputeSharedSecret(dh.private_key, client_dh_public));
+
+  AttestationResponse resp;
+  resp.report_bytes = report_.Serialize();
+  resp.report_signature = platform_->SignReport(resp.report_bytes);
+  resp.enclave_public_key = enclave_key_.pub.Serialize();
+  resp.enclave_dh_public = crypto::DhPublicKeyBytes(dh);
+  Bytes to_sign = resp.enclave_dh_public;
+  to_sign.insert(to_sign.end(), client_dh_public.data(),
+                 client_dh_public.data() + client_dh_public.size());
+  resp.dh_signature = crypto::Pkcs1Sign(enclave_key_, to_sign);
+
+  std::unique_lock lock(state_mu_);
+  resp.session_id = next_session_id_++;
+  Session& session = sessions_[resp.session_id];
+  session.channel = std::make_unique<crypto::CellCodec>(secret);
+  session.shared_secret = std::move(secret);
+  return resp;
+}
+
+Result<Enclave::Session*> Enclave::FindSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown enclave session " +
+                            std::to_string(session_id));
+  }
+  return &it->second;
+}
+
+Result<Bytes> Enclave::OpenSealed(Session* session, uint64_t nonce,
+                                  Slice sealed) {
+  Bytes plain;
+  AEDB_ASSIGN_OR_RETURN(plain, session->channel->Decrypt(sealed));
+  size_t off = 0;
+  uint64_t inner_nonce;
+  AEDB_ASSIGN_OR_RETURN(inner_nonce, GetU64(plain, &off));
+  if (inner_nonce != nonce) {
+    return Status::SecurityError("sealed payload nonce mismatch");
+  }
+  AEDB_RETURN_IF_ERROR(session->nonces.CheckAndRecord(nonce));
+  return Bytes(plain.begin() + off, plain.end());
+}
+
+Status Enclave::InstallCeks(uint64_t session_id, uint64_t nonce, Slice sealed) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(state_mu_);
+  Session* session;
+  AEDB_ASSIGN_OR_RETURN(session, FindSession(session_id));
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(body, OpenSealed(session, nonce, sealed));
+  size_t off = 0;
+  uint32_t count;
+  AEDB_ASSIGN_OR_RETURN(count, GetU32(body, &off));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t cek_id;
+    AEDB_ASSIGN_OR_RETURN(cek_id, GetU32(body, &off));
+    Bytes material;
+    AEDB_ASSIGN_OR_RETURN(material, GetLengthPrefixed(body, &off));
+    if (material.size() != 32) {
+      return Status::InvalidArgument("CEK material must be 32 bytes");
+    }
+    cek_table_[cek_id] = std::make_unique<crypto::CellCodec>(material);
+  }
+  return Status::OK();
+}
+
+Status Enclave::AuthorizeEncryption(uint64_t session_id, uint64_t nonce,
+                                    Slice sealed) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock lock(state_mu_);
+  Session* session;
+  AEDB_ASSIGN_OR_RETURN(session, FindSession(session_id));
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(body, OpenSealed(session, nonce, sealed));
+  if (body.size() != crypto::Sha256::kDigestSize) {
+    return Status::InvalidArgument("authorization payload must be a SHA-256");
+  }
+  session->authorized_query_hashes.insert(body);
+  return Status::OK();
+}
+
+Result<uint64_t> Enclave::RegisterExpression(Slice program_bytes) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  es::EsProgram program;
+  AEDB_ASSIGN_OR_RETURN(program, es::EsProgram::Deserialize(program_bytes));
+  if (program.RequiresEnclave()) {
+    return Status::SecurityError("nested TMEval rejected by enclave");
+  }
+  std::unique_lock lock(state_mu_);
+  uint64_t handle = next_handle_++;
+  registered_.emplace(handle, std::move(program));
+  return handle;
+}
+
+Result<std::vector<Value>> Enclave::EvalProgram(
+    const es::EsProgram& program, const std::vector<Value>& inputs,
+    uint64_t session_id, std::string_view authorizing_query) {
+  bool authorized = false;
+  if (program.RequiresConversionAuthorization()) {
+    // The Encrypt oracle (and every other enclave type conversion) is gated:
+    // the server must present the query text the client signed into this
+    // session (paper §3.2).
+    Session* session;
+    AEDB_ASSIGN_OR_RETURN(session, FindSession(session_id));
+    Bytes hash = crypto::Sha256::Hash(Slice(authorizing_query));
+    if (session->authorized_query_hashes.count(hash) == 0) {
+      return Status::PermissionDenied(
+          "client did not authorize this encryption statement");
+    }
+    authorized = true;
+  }
+  EnclaveCellCrypto cell_crypto(this);
+  es::EvalContext ctx;
+  ctx.crypto = &cell_crypto;
+  ctx.enclave = nullptr;
+  ctx.encryption_authorized = authorized;
+  es::EsEvaluator evaluator(ctx);
+  stats_.evals.fetch_add(1, std::memory_order_relaxed);
+  return evaluator.Eval(program, inputs);
+}
+
+Result<std::vector<Value>> Enclave::EvalRegistered(
+    uint64_t handle, const std::vector<Value>& inputs, uint64_t session_id,
+    std::string_view authorizing_query) {
+  ChargeTransition();
+  return EvalRegisteredResident(handle, inputs, session_id, authorizing_query);
+}
+
+Result<std::vector<Value>> Enclave::EvalRegisteredResident(
+    uint64_t handle, const std::vector<Value>& inputs, uint64_t session_id,
+    std::string_view authorizing_query) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(state_mu_);
+  auto it = registered_.find(handle);
+  if (it == registered_.end()) {
+    return Status::NotFound("unknown expression handle");
+  }
+  return EvalProgram(it->second, inputs, session_id, authorizing_query);
+}
+
+Result<std::vector<Value>> Enclave::Eval(Slice program_bytes,
+                                         const std::vector<Value>& inputs,
+                                         uint64_t session_id,
+                                         std::string_view authorizing_query) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  // Reconstruct the program inside the enclave (deep copy via serialization,
+  // §4.4): the enclave never evaluates an object residing in host memory.
+  es::EsProgram program;
+  AEDB_ASSIGN_OR_RETURN(program, es::EsProgram::Deserialize(program_bytes));
+  if (program.RequiresEnclave()) {
+    return Status::SecurityError("nested TMEval rejected by enclave");
+  }
+  std::shared_lock lock(state_mu_);
+  return EvalProgram(program, inputs, session_id, authorizing_query);
+}
+
+Result<int> Enclave::CompareCells(uint32_t cek_id, Slice cell_a, Slice cell_b) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(state_mu_);
+  auto it = cek_table_.find(cek_id);
+  if (it == cek_table_.end()) {
+    return Status::KeyNotInEnclave("CEK " + std::to_string(cek_id) +
+                                   " not installed in enclave");
+  }
+  Bytes plain_a, plain_b;
+  AEDB_ASSIGN_OR_RETURN(plain_a, it->second->Decrypt(cell_a));
+  AEDB_ASSIGN_OR_RETURN(plain_b, it->second->Decrypt(cell_b));
+  size_t off = 0;
+  Value va, vb;
+  AEDB_ASSIGN_OR_RETURN(va, Value::Decode(plain_a, &off));
+  off = 0;
+  AEDB_ASSIGN_OR_RETURN(vb, Value::Decode(plain_b, &off));
+  stats_.comparisons.fetch_add(1, std::memory_order_relaxed);
+  // Index ordering needs a total order: NULLs sort first.
+  if (va.is_null() && vb.is_null()) return 0;
+  if (va.is_null()) return -1;
+  if (vb.is_null()) return 1;
+  return va.Compare(vb);
+}
+
+bool Enclave::HasCek(uint32_t cek_id) const {
+  std::shared_lock lock(state_mu_);
+  return cek_table_.count(cek_id) > 0;
+}
+
+void Enclave::ClearKeys() {
+  std::unique_lock lock(state_mu_);
+  cek_table_.clear();
+  sessions_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// VbsPlatform
+
+VbsPlatform::VbsPlatform(std::string boot_configuration,
+                         uint32_t hypervisor_version)
+    : hypervisor_version_(hypervisor_version) {
+  // The TCG log is the TPM's measurement of the boot chain up to the
+  // hypervisor; deterministic in the boot configuration so that a modified
+  // boot chain yields a different log (and fails the HGS whitelist).
+  Bytes payload;
+  PutLengthPrefixed(&payload, Slice(std::string_view(boot_configuration)));
+  PutU32(&payload, hypervisor_version);
+  tcg_log_ = crypto::Sha256::Hash(payload);
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("vbs-host-signing-key")));
+  host_key_ = crypto::GenerateRsaKey(1024, &drbg);
+}
+
+Result<std::unique_ptr<Enclave>> VbsPlatform::LoadEnclave(
+    const EnclaveImage& image, const EnclaveConfig& config) {
+  // Refuse to load a tampered or unsigned image.
+  Status sig = crypto::Pkcs1Verify(image.author_public, image.BinaryHash(),
+                                   image.author_signature);
+  if (!sig.ok()) {
+    return Status::SecurityError("enclave image signature invalid: " +
+                                 sig.message());
+  }
+  return std::make_unique<Enclave>(image, config, this);
+}
+
+Bytes VbsPlatform::SignReport(Slice report_bytes) const {
+  return crypto::Pkcs1Sign(host_key_, report_bytes);
+}
+
+}  // namespace aedb::enclave

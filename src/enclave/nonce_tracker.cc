@@ -1,0 +1,43 @@
+#include "enclave/nonce_tracker.h"
+
+namespace aedb::enclave {
+
+bool NonceTracker::Seen(uint64_t nonce) const {
+  auto it = ranges_.upper_bound(nonce);
+  if (it == ranges_.begin()) return false;
+  --it;
+  return nonce >= it->first && nonce <= it->second;
+}
+
+Status NonceTracker::CheckAndRecord(uint64_t nonce) {
+  if (Seen(nonce)) {
+    return Status::ReplayDetected("nonce " + std::to_string(nonce) +
+                                  " already used on this session");
+  }
+  // Find neighbors to merge with.
+  auto next = ranges_.upper_bound(nonce);
+  bool merge_prev = false, merge_next = false;
+  auto prev = next;
+  if (prev != ranges_.begin()) {
+    --prev;
+    if (nonce != 0 && prev->second == nonce - 1) merge_prev = true;
+  }
+  if (next != ranges_.end() && next->first == nonce + 1) merge_next = true;
+
+  if (merge_prev && merge_next) {
+    prev->second = next->second;
+    ranges_.erase(next);
+  } else if (merge_prev) {
+    prev->second = nonce;
+  } else if (merge_next) {
+    uint64_t end = next->second;
+    ranges_.erase(next);
+    ranges_[nonce] = end;
+  } else {
+    ranges_[nonce] = nonce;
+  }
+  ++recorded_;
+  return Status::OK();
+}
+
+}  // namespace aedb::enclave

@@ -1,0 +1,39 @@
+#ifndef AEDB_ENCLAVE_NONCE_TRACKER_H_
+#define AEDB_ENCLAVE_NONCE_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/status.h"
+
+namespace aedb::enclave {
+
+/// \brief Replay protection for driver→enclave messages (paper §4.2).
+///
+/// The driver generates nonces from a counter, but messages can arrive out of
+/// order (both the client application and the server are multi-threaded), so
+/// the simple "greater than the last nonce" strawman is wrong. Instead the
+/// enclave tracks *all* historical nonces, encoded as compact inclusive
+/// ranges: since the stream is near-sequential with local reorderings, the
+/// encoding stays tiny (typically one range).
+class NonceTracker {
+ public:
+  /// Rejects with ReplayDetected if `nonce` was seen before; otherwise
+  /// records it, merging adjacent ranges.
+  Status CheckAndRecord(uint64_t nonce);
+
+  bool Seen(uint64_t nonce) const;
+
+  /// Number of stored ranges — the compactness measure.
+  size_t range_count() const { return ranges_.size(); }
+  uint64_t recorded_count() const { return recorded_; }
+
+ private:
+  // start -> end, inclusive, non-overlapping, non-adjacent.
+  std::map<uint64_t, uint64_t> ranges_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace aedb::enclave
+
+#endif  // AEDB_ENCLAVE_NONCE_TRACKER_H_

@@ -1,0 +1,90 @@
+#include "enclave/worker_pool.h"
+
+#include <chrono>
+
+namespace aedb::enclave {
+
+EnclaveWorkerPool::EnclaveWorkerPool(Enclave* enclave, Options options)
+    : enclave_(enclave), options_(options) {
+  threads_.reserve(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EnclaveWorkerPool::~EnclaveWorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+Result<std::vector<types::Value>> EnclaveWorkerPool::SubmitEval(
+    uint64_t handle, std::vector<types::Value> inputs, uint64_t session_id,
+    std::string authorizing_query) {
+  auto item = std::make_unique<WorkItem>();
+  item->handle = handle;
+  item->inputs = std::move(inputs);
+  item->session_id = session_id;
+  item->authorizing_query = std::move(authorizing_query);
+  std::future<Result<std::vector<types::Value>>> future =
+      item->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("worker pool shut down");
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return future.get();
+}
+
+bool EnclaveWorkerPool::PopItem(std::unique_ptr<WorkItem>* item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *item = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void EnclaveWorkerPool::WorkerLoop() {
+  // The first entry into the enclave is a transition.
+  enclave_->ChargeTransition();
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    std::unique_ptr<WorkItem> item;
+    if (!PopItem(&item)) {
+      // Queue drained: spin-poll before exiting the enclave (§4.6).
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(options_.spin_duration_us);
+      bool got = false;
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (PopItem(&item)) {
+          got = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (!got) {
+        // Exit the enclave and sleep; waking up pays a fresh transition.
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (shutdown_) return;
+          continue;
+        }
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+        enclave_->ChargeTransition();
+      }
+    }
+    item->promise.set_value(enclave_->EvalRegisteredResident(
+        item->handle, item->inputs, item->session_id,
+        item->authorizing_query));
+  }
+}
+
+}  // namespace aedb::enclave

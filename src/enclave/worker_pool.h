@@ -1,0 +1,75 @@
+#ifndef AEDB_ENCLAVE_WORKER_POOL_H_
+#define AEDB_ENCLAVE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "enclave/enclave.h"
+
+namespace aedb::enclave {
+
+/// \brief Enclave worker threads with queue-based submission (paper §4.6).
+///
+/// Instead of calling the enclave synchronously — paying the call-gate cost
+/// in the inner loop of query processing — host workers enqueue work items.
+/// Enclave worker threads consume them; after draining the queue a worker
+/// spins for `spin_duration_us` polling for more work before "exiting the
+/// enclave" and sleeping. A heavily used enclave therefore stays resident
+/// (no transition cost per item); an idle one releases its core.
+class EnclaveWorkerPool {
+ public:
+  struct Options {
+    int num_threads = 4;          // paper: 1 or 4 enclave threads
+    uint64_t spin_duration_us = 50;
+  };
+
+  EnclaveWorkerPool(Enclave* enclave, Options options);
+  ~EnclaveWorkerPool();
+
+  EnclaveWorkerPool(const EnclaveWorkerPool&) = delete;
+  EnclaveWorkerPool& operator=(const EnclaveWorkerPool&) = delete;
+
+  /// Enqueues an EvalRegistered call; blocks until the result is ready.
+  /// (Host workers in SQL block on the expression result anyway; the win is
+  /// that the *enclave transition* is amortized, not the wait.)
+  Result<std::vector<types::Value>> SubmitEval(
+      uint64_t handle, std::vector<types::Value> inputs,
+      uint64_t session_id = 0, std::string authorizing_query = {});
+
+  /// Number of times a worker had to re-enter the enclave after sleeping —
+  /// the transitions actually paid.
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+
+ private:
+  struct WorkItem {
+    uint64_t handle;
+    std::vector<types::Value> inputs;
+    uint64_t session_id;
+    std::string authorizing_query;
+    std::promise<Result<std::vector<types::Value>>> promise;
+  };
+
+  void WorkerLoop();
+  bool PopItem(std::unique_ptr<WorkItem>* item);
+
+  Enclave* enclave_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<WorkItem>> queue_;
+  bool shutdown_ = false;
+
+  std::atomic<uint64_t> wakeups_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace aedb::enclave
+
+#endif  // AEDB_ENCLAVE_WORKER_POOL_H_

@@ -1,0 +1,292 @@
+#include "es/evaluator.h"
+
+namespace aedb::es {
+
+using types::EncKind;
+using types::TypeId;
+using types::Value;
+
+namespace {
+
+bool TypeCompatible(TypeId declared, const Value& v) {
+  if (v.is_null()) return true;
+  if (v.type() == declared) return true;
+  // Numeric widening between int widths is fine; everything else must match.
+  bool declared_numeric = declared == TypeId::kInt32 ||
+                          declared == TypeId::kInt64 ||
+                          declared == TypeId::kDouble;
+  return declared_numeric && v.IsNumeric();
+}
+
+}  // namespace
+
+Result<std::vector<Value>> EsEvaluator::Eval(const EsProgram& program,
+                                             const std::vector<Value>& inputs) {
+  std::vector<Slot> stack;
+  std::vector<Value> outputs(program.num_outputs());
+  std::vector<bool> written(program.num_outputs(), false);
+
+  auto pop = [&stack]() -> Result<Slot> {
+    if (stack.empty()) return Status::Corruption("ES stack underflow");
+    Slot s = std::move(stack.back());
+    stack.pop_back();
+    return s;
+  };
+  // Two operands may mix plaintext-provenance and a single CEK, but never two
+  // different CEKs; the join keeps the stronger taint.
+  auto join_taint = [](uint32_t a, uint32_t b, uint32_t* out) -> Status {
+    if (a != 0 && b != 0 && a != b) {
+      return Status::SecurityError(
+          "operands decrypted with different CEKs cannot be combined");
+    }
+    *out = a != 0 ? a : b;
+    return Status::OK();
+  };
+
+  for (const Instruction& ins : program.instructions()) {
+    switch (ins.op) {
+      case OpCode::kGetData: {
+        if (ins.index >= inputs.size()) {
+          return Status::InvalidArgument("GetData input index out of range");
+        }
+        const Value& wire = inputs[ins.index];
+        if (ins.enc.is_encrypted()) {
+          if (ctx_.crypto == nullptr) {
+            return Status::SecurityError(
+                "host evaluator cannot access encrypted data");
+          }
+          Value plain;
+          AEDB_ASSIGN_OR_RETURN(
+              plain, ctx_.crypto->DecryptDatum(ins.enc, ins.data_type, wire));
+          if (!TypeCompatible(ins.data_type, plain)) {
+            return Status::TypeCheckError("decrypted datum has wrong type");
+          }
+          stack.push_back(Slot{std::move(plain), ins.enc.cek_id});
+        } else {
+          if (!TypeCompatible(ins.data_type, wire)) {
+            return Status::TypeCheckError("GetData type mismatch");
+          }
+          stack.push_back(Slot{wire, 0});
+        }
+        break;
+      }
+      case OpCode::kSetData: {
+        Slot s;
+        AEDB_ASSIGN_OR_RETURN(s, pop());
+        if (ins.index >= outputs.size()) {
+          return Status::InvalidArgument("SetData output index out of range");
+        }
+        if (ins.enc.is_encrypted()) {
+          if (ctx_.crypto == nullptr) {
+            return Status::SecurityError(
+                "host evaluator cannot produce encrypted data");
+          }
+          if (!ctx_.encryption_authorized) {
+            return Status::PermissionDenied(
+                "enclave Encrypt requires client authorization");
+          }
+          AEDB_ASSIGN_OR_RETURN(outputs[ins.index],
+                                ctx_.crypto->EncryptDatum(ins.enc, s.value));
+        } else {
+          if (ctx_.crypto != nullptr && s.taint_cek != 0 &&
+              !ctx_.encryption_authorized) {
+            // Only a client-authorized conversion (decryption DDL) may emit
+            // decrypted data in the clear.
+            return Status::SecurityError(
+                "refusing to emit decrypted data as plaintext");
+          }
+          outputs[ins.index] = std::move(s.value);
+        }
+        written[ins.index] = true;
+        break;
+      }
+      case OpCode::kConst:
+        stack.push_back(Slot{ins.constant, 0});
+        break;
+      case OpCode::kComp: {
+        Slot b, a;
+        AEDB_ASSIGN_OR_RETURN(b, pop());
+        AEDB_ASSIGN_OR_RETURN(a, pop());
+        if (a.taint_cek != b.taint_cek) {
+          return Status::SecurityError(
+              "comparison operands have different encryption provenance");
+        }
+        if (a.value.is_null() || b.value.is_null()) {
+          stack.push_back(Slot{Value::Null(TypeId::kBool), 0});
+          break;
+        }
+        int c;
+        AEDB_ASSIGN_OR_RETURN(c, a.value.Compare(b.value));
+        // Predicate results are the authorized leak: untainted, in the clear.
+        stack.push_back(Slot{Value::Bool(CompareOpHolds(ins.cmp, c)), 0});
+        break;
+      }
+      case OpCode::kLike: {
+        Slot pattern, value;
+        AEDB_ASSIGN_OR_RETURN(pattern, pop());
+        AEDB_ASSIGN_OR_RETURN(value, pop());
+        if (value.taint_cek != pattern.taint_cek) {
+          return Status::SecurityError(
+              "LIKE operands have different encryption provenance");
+        }
+        if (value.value.is_null() || pattern.value.is_null()) {
+          stack.push_back(Slot{Value::Null(TypeId::kBool), 0});
+          break;
+        }
+        if (value.value.type() != TypeId::kString ||
+            pattern.value.type() != TypeId::kString) {
+          return Status::TypeCheckError("LIKE requires string operands");
+        }
+        stack.push_back(
+            Slot{Value::Bool(types::SqlLike(value.value.str(),
+                                            pattern.value.str())),
+                 0});
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv: {
+        Slot b, a;
+        AEDB_ASSIGN_OR_RETURN(b, pop());
+        AEDB_ASSIGN_OR_RETURN(a, pop());
+        uint32_t taint;
+        AEDB_RETURN_IF_ERROR(join_taint(a.taint_cek, b.taint_cek, &taint));
+        if (a.value.is_null() || b.value.is_null()) {
+          stack.push_back(Slot{Value::Null(TypeId::kInt64), taint});
+          break;
+        }
+        if (!a.value.IsNumeric() || !b.value.IsNumeric()) {
+          return Status::TypeCheckError("arithmetic requires numeric operands");
+        }
+        bool as_double = a.value.type() == TypeId::kDouble ||
+                         b.value.type() == TypeId::kDouble;
+        Value result;
+        if (as_double) {
+          double x = a.value.AsDouble(), y = b.value.AsDouble();
+          switch (ins.op) {
+            case OpCode::kAdd: result = Value::Double(x + y); break;
+            case OpCode::kSub: result = Value::Double(x - y); break;
+            case OpCode::kMul: result = Value::Double(x * y); break;
+            default:
+              if (y == 0.0) return Status::InvalidArgument("division by zero");
+              result = Value::Double(x / y);
+          }
+        } else {
+          int64_t x = a.value.AsInt64(), y = b.value.AsInt64();
+          switch (ins.op) {
+            case OpCode::kAdd: result = Value::Int64(x + y); break;
+            case OpCode::kSub: result = Value::Int64(x - y); break;
+            case OpCode::kMul: result = Value::Int64(x * y); break;
+            default:
+              if (y == 0) return Status::InvalidArgument("division by zero");
+              result = Value::Int64(x / y);
+          }
+        }
+        stack.push_back(Slot{std::move(result), taint});
+        break;
+      }
+      case OpCode::kNeg: {
+        Slot a;
+        AEDB_ASSIGN_OR_RETURN(a, pop());
+        if (a.value.is_null()) {
+          stack.push_back(Slot{Value::Null(TypeId::kInt64), a.taint_cek});
+          break;
+        }
+        if (!a.value.IsNumeric()) {
+          return Status::TypeCheckError("negation requires a numeric operand");
+        }
+        Value r = a.value.type() == TypeId::kDouble
+                      ? Value::Double(-a.value.AsDouble())
+                      : Value::Int64(-a.value.AsInt64());
+        stack.push_back(Slot{std::move(r), a.taint_cek});
+        break;
+      }
+      case OpCode::kAnd:
+      case OpCode::kOr: {
+        Slot b, a;
+        AEDB_ASSIGN_OR_RETURN(b, pop());
+        AEDB_ASSIGN_OR_RETURN(a, pop());
+        uint32_t taint;
+        AEDB_RETURN_IF_ERROR(join_taint(a.taint_cek, b.taint_cek, &taint));
+        auto tri = [](const Value& v) -> Result<int> {  // 0/1/-1(unknown)
+          if (v.is_null()) return -1;
+          if (v.type() != TypeId::kBool) {
+            return Status::TypeCheckError("logic op requires boolean operands");
+          }
+          return v.bool_v() ? 1 : 0;
+        };
+        int x, y;
+        AEDB_ASSIGN_OR_RETURN(x, tri(a.value));
+        AEDB_ASSIGN_OR_RETURN(y, tri(b.value));
+        int r;
+        if (ins.op == OpCode::kAnd) {
+          r = (x == 0 || y == 0) ? 0 : (x == 1 && y == 1 ? 1 : -1);
+        } else {
+          r = (x == 1 || y == 1) ? 1 : (x == 0 && y == 0 ? 0 : -1);
+        }
+        stack.push_back(Slot{r == -1 ? Value::Null(TypeId::kBool)
+                                     : Value::Bool(r == 1),
+                             taint});
+        break;
+      }
+      case OpCode::kNot: {
+        Slot a;
+        AEDB_ASSIGN_OR_RETURN(a, pop());
+        if (a.value.is_null()) {
+          stack.push_back(Slot{Value::Null(TypeId::kBool), a.taint_cek});
+          break;
+        }
+        if (a.value.type() != TypeId::kBool) {
+          return Status::TypeCheckError("NOT requires a boolean operand");
+        }
+        stack.push_back(Slot{Value::Bool(!a.value.bool_v()), a.taint_cek});
+        break;
+      }
+      case OpCode::kIsNull: {
+        Slot a;
+        AEDB_ASSIGN_OR_RETURN(a, pop());
+        // Nullness of an authorized predicate operand is part of the
+        // operational leakage surface; result is a clear boolean.
+        stack.push_back(Slot{Value::Bool(a.value.is_null()), 0});
+        break;
+      }
+      case OpCode::kTMEval: {
+        if (ctx_.crypto != nullptr) {
+          return Status::SecurityError("TMEval not allowed inside the enclave");
+        }
+        if (ctx_.enclave == nullptr) {
+          return Status::FailedPrecondition(
+              "expression requires an enclave but none is available");
+        }
+        if (stack.size() < ins.n_inputs) {
+          return Status::Corruption("ES stack underflow at TMEval");
+        }
+        std::vector<Value> sub_inputs(ins.n_inputs);
+        for (uint32_t i = ins.n_inputs; i-- > 0;) {
+          sub_inputs[i] = std::move(stack.back().value);
+          stack.pop_back();
+        }
+        std::vector<Value> sub_outputs;
+        AEDB_ASSIGN_OR_RETURN(
+            sub_outputs,
+            ctx_.enclave->EvalInEnclave(ins.subprogram, sub_inputs,
+                                        ins.n_outputs));
+        if (sub_outputs.size() != ins.n_outputs) {
+          return Status::Internal("enclave returned wrong output arity");
+        }
+        for (Value& v : sub_outputs) stack.push_back(Slot{std::move(v), 0});
+        break;
+      }
+    }
+  }
+  for (size_t i = 0; i < written.size(); ++i) {
+    if (!written[i]) {
+      return Status::Corruption("ES program left output " + std::to_string(i) +
+                                " unwritten");
+    }
+  }
+  return outputs;
+}
+
+}  // namespace aedb::es

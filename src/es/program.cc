@@ -1,0 +1,273 @@
+#include "es/program.h"
+
+#include <set>
+
+namespace aedb::es {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool CompareOpHolds(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq: return c == 0;
+    case CompareOp::kNe: return c != 0;
+    case CompareOp::kLt: return c < 0;
+    case CompareOp::kLe: return c <= 0;
+    case CompareOp::kGt: return c > 0;
+    case CompareOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+void EsProgram::GetData(uint32_t input_index, types::TypeId type,
+                        types::EncryptionType enc) {
+  Instruction ins;
+  ins.op = OpCode::kGetData;
+  ins.index = input_index;
+  ins.data_type = type;
+  ins.enc = enc;
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::SetData(uint32_t output_index, types::TypeId type,
+                        types::EncryptionType enc) {
+  Instruction ins;
+  ins.op = OpCode::kSetData;
+  ins.index = output_index;
+  ins.data_type = type;
+  ins.enc = enc;
+  instructions_.push_back(std::move(ins));
+  if (output_index + 1 > num_outputs_) num_outputs_ = output_index + 1;
+}
+
+void EsProgram::Const(types::Value v) {
+  Instruction ins;
+  ins.op = OpCode::kConst;
+  ins.constant = std::move(v);
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::Comp(CompareOp op) {
+  Instruction ins;
+  ins.op = OpCode::kComp;
+  ins.cmp = op;
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::Like() {
+  Instruction ins;
+  ins.op = OpCode::kLike;
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::Arith(OpCode op) {
+  Instruction ins;
+  ins.op = op;
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::Logic(OpCode op) {
+  Instruction ins;
+  ins.op = op;
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::IsNull() {
+  Instruction ins;
+  ins.op = OpCode::kIsNull;
+  instructions_.push_back(std::move(ins));
+}
+
+void EsProgram::TMEval(const EsProgram& enclave_program, uint32_t n_inputs,
+                       uint32_t n_outputs) {
+  Instruction ins;
+  ins.op = OpCode::kTMEval;
+  ins.subprogram = enclave_program.Serialize();
+  ins.n_inputs = n_inputs;
+  ins.n_outputs = n_outputs;
+  instructions_.push_back(std::move(ins));
+}
+
+bool EsProgram::ProducesCiphertext() const {
+  for (const Instruction& ins : instructions_) {
+    if (ins.op == OpCode::kSetData && ins.enc.is_encrypted()) return true;
+    if (ins.op == OpCode::kTMEval) {
+      auto sub = Deserialize(ins.subprogram);
+      if (sub.ok() && sub->ProducesCiphertext()) return true;
+    }
+  }
+  return false;
+}
+
+bool EsProgram::RequiresConversionAuthorization() const {
+  if (ProducesCiphertext()) return true;
+  bool reads_encrypted = false;
+  bool writes_plain_nonbool = false;
+  for (const Instruction& ins : instructions_) {
+    if (ins.op == OpCode::kGetData && ins.enc.is_encrypted()) {
+      reads_encrypted = true;
+    }
+    if (ins.op == OpCode::kSetData && !ins.enc.is_encrypted() &&
+        ins.data_type != types::TypeId::kBool) {
+      writes_plain_nonbool = true;
+    }
+  }
+  return reads_encrypted && writes_plain_nonbool;
+}
+
+bool EsProgram::RequiresEnclave() const {
+  for (const Instruction& ins : instructions_) {
+    if (ins.op == OpCode::kTMEval) return true;
+  }
+  return false;
+}
+
+std::vector<uint32_t> EsProgram::ReferencedCekIds() const {
+  std::set<uint32_t> ids;
+  for (const Instruction& ins : instructions_) {
+    if ((ins.op == OpCode::kGetData || ins.op == OpCode::kSetData) &&
+        ins.enc.is_encrypted()) {
+      ids.insert(ins.enc.cek_id);
+    }
+    if (ins.op == OpCode::kTMEval) {
+      auto sub = Deserialize(ins.subprogram);
+      if (sub.ok()) {
+        for (uint32_t id : sub->ReferencedCekIds()) ids.insert(id);
+      }
+    }
+  }
+  return std::vector<uint32_t>(ids.begin(), ids.end());
+}
+
+Bytes EsProgram::Serialize() const {
+  Bytes out;
+  PutU32(&out, num_outputs_);
+  PutU32(&out, static_cast<uint32_t>(instructions_.size()));
+  for (const Instruction& ins : instructions_) {
+    out.push_back(static_cast<uint8_t>(ins.op));
+    switch (ins.op) {
+      case OpCode::kGetData:
+      case OpCode::kSetData:
+        PutU32(&out, ins.index);
+        out.push_back(static_cast<uint8_t>(ins.data_type));
+        out.push_back(static_cast<uint8_t>(ins.enc.kind));
+        PutU32(&out, ins.enc.cek_id);
+        out.push_back(ins.enc.enclave_enabled ? 1 : 0);
+        break;
+      case OpCode::kConst:
+        PutLengthPrefixed(&out, ins.constant.Encode());
+        break;
+      case OpCode::kComp:
+        out.push_back(static_cast<uint8_t>(ins.cmp));
+        break;
+      case OpCode::kTMEval:
+        PutLengthPrefixed(&out, ins.subprogram);
+        PutU32(&out, ins.n_inputs);
+        PutU32(&out, ins.n_outputs);
+        break;
+      default:
+        break;  // no operands
+    }
+  }
+  return out;
+}
+
+Result<EsProgram> EsProgram::Deserialize(Slice in) {
+  EsProgram p;
+  size_t off = 0;
+  AEDB_ASSIGN_OR_RETURN(p.num_outputs_, GetU32(in, &off));
+  uint32_t count;
+  AEDB_ASSIGN_OR_RETURN(count, GetU32(in, &off));
+  for (uint32_t i = 0; i < count; ++i) {
+    if (off >= in.size()) return Status::Corruption("truncated ES program");
+    Instruction ins;
+    ins.op = static_cast<OpCode>(in[off++]);
+    if (ins.op < OpCode::kGetData || ins.op > OpCode::kTMEval) {
+      return Status::Corruption("unknown ES opcode");
+    }
+    switch (ins.op) {
+      case OpCode::kGetData:
+      case OpCode::kSetData: {
+        AEDB_ASSIGN_OR_RETURN(ins.index, GetU32(in, &off));
+        if (off + 2 > in.size()) return Status::Corruption("truncated ES program");
+        ins.data_type = static_cast<types::TypeId>(in[off++]);
+        ins.enc.kind = static_cast<types::EncKind>(in[off++]);
+        if (ins.enc.kind > types::EncKind::kRandomized) {
+          return Status::Corruption("bad encryption kind");
+        }
+        AEDB_ASSIGN_OR_RETURN(ins.enc.cek_id, GetU32(in, &off));
+        if (off >= in.size()) return Status::Corruption("truncated ES program");
+        ins.enc.enclave_enabled = in[off++] != 0;
+        break;
+      }
+      case OpCode::kConst: {
+        Bytes raw;
+        AEDB_ASSIGN_OR_RETURN(raw, GetLengthPrefixed(in, &off));
+        size_t voff = 0;
+        AEDB_ASSIGN_OR_RETURN(ins.constant, types::Value::Decode(raw, &voff));
+        break;
+      }
+      case OpCode::kComp: {
+        if (off >= in.size()) return Status::Corruption("truncated ES program");
+        ins.cmp = static_cast<CompareOp>(in[off++]);
+        if (ins.cmp > CompareOp::kGe) return Status::Corruption("bad compare op");
+        break;
+      }
+      case OpCode::kTMEval: {
+        AEDB_ASSIGN_OR_RETURN(ins.subprogram, GetLengthPrefixed(in, &off));
+        AEDB_ASSIGN_OR_RETURN(ins.n_inputs, GetU32(in, &off));
+        AEDB_ASSIGN_OR_RETURN(ins.n_outputs, GetU32(in, &off));
+        break;
+      }
+      default:
+        break;
+    }
+    p.instructions_.push_back(std::move(ins));
+  }
+  return p;
+}
+
+std::string EsProgram::ToString() const {
+  std::string out;
+  for (const Instruction& ins : instructions_) {
+    switch (ins.op) {
+      case OpCode::kGetData:
+        out += "GetData[" + std::to_string(ins.index) + ":" +
+               types::TypeIdName(ins.data_type) + "," + ins.enc.ToString() + "]";
+        break;
+      case OpCode::kSetData:
+        out += "SetData[" + std::to_string(ins.index) + ":" +
+               types::TypeIdName(ins.data_type) + "," + ins.enc.ToString() + "]";
+        break;
+      case OpCode::kConst: out += "Const[" + ins.constant.ToString() + "]"; break;
+      case OpCode::kComp: out += std::string("Comp[") + CompareOpName(ins.cmp) + "]"; break;
+      case OpCode::kLike: out += "Like"; break;
+      case OpCode::kAdd: out += "Add"; break;
+      case OpCode::kSub: out += "Sub"; break;
+      case OpCode::kMul: out += "Mul"; break;
+      case OpCode::kDiv: out += "Div"; break;
+      case OpCode::kNeg: out += "Neg"; break;
+      case OpCode::kAnd: out += "And"; break;
+      case OpCode::kOr: out += "Or"; break;
+      case OpCode::kNot: out += "Not"; break;
+      case OpCode::kIsNull: out += "IsNull"; break;
+      case OpCode::kTMEval:
+        out += "TMEval[" + std::to_string(ins.n_inputs) + "->" +
+               std::to_string(ins.n_outputs) + "]";
+        break;
+    }
+    out += " ";
+  }
+  return out;
+}
+
+}  // namespace aedb::es

@@ -1,0 +1,124 @@
+#ifndef AEDB_ES_PROGRAM_H_
+#define AEDB_ES_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "types/encryption_type.h"
+#include "types/value.h"
+
+namespace aedb::es {
+
+/// Instruction set of the expression-services stack machine (paper §4.4,
+/// Figure 7). Expressions are compiled from trees into stack programs; the
+/// host program may contain kTMEval stubs that carry a serialized
+/// enclave-side program inline, exactly as CEsComp embeds the enclave object.
+enum class OpCode : uint8_t {
+  kGetData = 1,   // push inputs[index]; decrypts per annotation (enclave only)
+  kSetData = 2,   // pop into outputs[index]; encrypts per annotation
+  kConst = 3,     // push an inline constant
+  kComp = 4,      // pop b, a; push three-valued boolean a <cmp> b
+  kLike = 5,      // pop pattern, value; push three-valued boolean LIKE result
+  kAdd = 6,
+  kSub = 7,
+  kMul = 8,
+  kDiv = 9,
+  kNeg = 10,
+  kAnd = 11,      // Kleene three-valued AND
+  kOr = 12,
+  kNot = 13,
+  kIsNull = 14,   // pop v; push (plain) boolean
+  kTMEval = 15,   // host only: run the embedded program in the enclave
+};
+
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+};
+
+const char* CompareOpName(CompareOp op);
+/// True when `cmp` holds for a three-way comparison result `c`.
+bool CompareOpHolds(CompareOp op, int c);
+
+struct Instruction {
+  OpCode op;
+  // kGetData / kSetData
+  uint32_t index = 0;
+  types::TypeId data_type = types::TypeId::kInt32;
+  types::EncryptionType enc;
+  // kComp
+  CompareOp cmp = CompareOp::kEq;
+  // kConst
+  types::Value constant;
+  // kTMEval: serialized enclave-side program plus its arity. The enclave
+  // program is stored inline so that execution re-constructs it inside the
+  // enclave (never dereferencing host memory, §4.4).
+  Bytes subprogram;
+  uint32_t n_inputs = 0;
+  uint32_t n_outputs = 0;
+};
+
+/// A compiled expression (the CEsComp analog). Built by the query compiler,
+/// serialized when shipped into the enclave, cached in the plan cache.
+class EsProgram {
+ public:
+  EsProgram() = default;
+
+  void set_num_outputs(uint32_t n) { num_outputs_ = n; }
+  uint32_t num_outputs() const { return num_outputs_; }
+
+  const std::vector<Instruction>& instructions() const { return instructions_; }
+  bool empty() const { return instructions_.empty(); }
+
+  // --- builder API ---
+  void GetData(uint32_t input_index, types::TypeId type,
+               types::EncryptionType enc = types::EncryptionType::Plaintext());
+  void SetData(uint32_t output_index, types::TypeId type,
+               types::EncryptionType enc = types::EncryptionType::Plaintext());
+  void Const(types::Value v);
+  void Comp(CompareOp op);
+  void Like();
+  void Arith(OpCode op);  // kAdd..kNeg
+  void Logic(OpCode op);  // kAnd/kOr/kNot
+  void IsNull();
+  void TMEval(const EsProgram& enclave_program, uint32_t n_inputs,
+              uint32_t n_outputs);
+
+  /// True when any instruction produces ciphertext (SetData with an encrypted
+  /// annotation). Such programs are "encryption programs" and the enclave
+  /// demands client DDL authorization before running them (paper §3.2).
+  bool ProducesCiphertext() const;
+
+  /// True when the program (at any nesting level) references the enclave.
+  bool RequiresEnclave() const;
+
+  /// True when the program performs a type conversion the client must
+  /// authorize (paper §3.2 footnote: the check generalizes from Encrypt to
+  /// all enclave type conversions): it either produces ciphertext, or turns
+  /// decrypted data into non-boolean plaintext output (decryption DDL).
+  /// Predicate programs — encrypted inputs, boolean output — are exempt.
+  bool RequiresConversionAuthorization() const;
+
+  /// CEK ids referenced by encrypted annotations, recursively.
+  std::vector<uint32_t> ReferencedCekIds() const;
+
+  Bytes Serialize() const;
+  static Result<EsProgram> Deserialize(Slice in);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Instruction> instructions_;
+  uint32_t num_outputs_ = 0;
+};
+
+}  // namespace aedb::es
+
+#endif  // AEDB_ES_PROGRAM_H_

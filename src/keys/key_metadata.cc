@@ -1,0 +1,163 @@
+#include "keys/key_metadata.h"
+
+#include "crypto/drbg.h"
+
+namespace aedb::keys {
+
+namespace {
+void PutString(Bytes* out, const std::string& s) {
+  PutLengthPrefixed(out, Slice(std::string_view(s)));
+}
+
+Result<std::string> GetString(Slice in, size_t* off) {
+  Bytes raw;
+  AEDB_ASSIGN_OR_RETURN(raw, GetLengthPrefixed(in, off));
+  return std::string(raw.begin(), raw.end());
+}
+}  // namespace
+
+Bytes CmkInfo::SignedPayload() const {
+  Bytes payload;
+  PutString(&payload, "aedb-cmk-metadata-v1");
+  PutString(&payload, provider_name);
+  PutString(&payload, key_path);
+  payload.push_back(enclave_enabled ? 1 : 0);
+  return payload;
+}
+
+Bytes CmkInfo::Serialize() const {
+  Bytes out;
+  PutString(&out, name);
+  PutString(&out, provider_name);
+  PutString(&out, key_path);
+  out.push_back(enclave_enabled ? 1 : 0);
+  PutLengthPrefixed(&out, signature);
+  return out;
+}
+
+Result<CmkInfo> CmkInfo::Deserialize(Slice in) {
+  CmkInfo cmk;
+  size_t off = 0;
+  AEDB_ASSIGN_OR_RETURN(cmk.name, GetString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(cmk.provider_name, GetString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(cmk.key_path, GetString(in, &off));
+  if (off >= in.size()) return Status::Corruption("truncated CMK metadata");
+  cmk.enclave_enabled = in[off++] != 0;
+  AEDB_ASSIGN_OR_RETURN(cmk.signature, GetLengthPrefixed(in, &off));
+  return cmk;
+}
+
+Bytes CekInfo::Serialize() const {
+  Bytes out;
+  PutString(&out, name);
+  PutU32(&out, static_cast<uint32_t>(values.size()));
+  for (const CekValue& v : values) {
+    PutString(&out, v.cmk_name);
+    PutString(&out, v.algorithm);
+    PutLengthPrefixed(&out, v.encrypted_value);
+    PutLengthPrefixed(&out, v.signature);
+  }
+  return out;
+}
+
+Result<CekInfo> CekInfo::Deserialize(Slice in) {
+  CekInfo cek;
+  size_t off = 0;
+  AEDB_ASSIGN_OR_RETURN(cek.name, GetString(in, &off));
+  uint32_t count;
+  AEDB_ASSIGN_OR_RETURN(count, GetU32(in, &off));
+  for (uint32_t i = 0; i < count; ++i) {
+    CekValue v;
+    AEDB_ASSIGN_OR_RETURN(v.cmk_name, GetString(in, &off));
+    AEDB_ASSIGN_OR_RETURN(v.algorithm, GetString(in, &off));
+    AEDB_ASSIGN_OR_RETURN(v.encrypted_value, GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(v.signature, GetLengthPrefixed(in, &off));
+    cek.values.push_back(std::move(v));
+  }
+  return cek;
+}
+
+Result<CmkInfo> KeyTools::CreateCmk(KeyProvider* provider,
+                                    const std::string& name,
+                                    const std::string& key_path,
+                                    bool enclave_enabled) {
+  CmkInfo cmk;
+  cmk.name = name;
+  cmk.provider_name = provider->name();
+  cmk.key_path = key_path;
+  cmk.enclave_enabled = enclave_enabled;
+  AEDB_ASSIGN_OR_RETURN(cmk.signature,
+                        provider->Sign(key_path, cmk.SignedPayload()));
+  return cmk;
+}
+
+Bytes KeyTools::CekValueSignedPayload(const std::string& cek_name,
+                                      const CekValue& value) {
+  Bytes payload;
+  PutString(&payload, "aedb-cek-value-v1");
+  PutString(&payload, cek_name);
+  PutString(&payload, value.cmk_name);
+  PutString(&payload, value.algorithm);
+  PutLengthPrefixed(&payload, value.encrypted_value);
+  return payload;
+}
+
+Result<CekInfo> KeyTools::CreateCek(KeyProvider* provider, const CmkInfo& cmk,
+                                    const std::string& name,
+                                    Bytes* plaintext_cek) {
+  Bytes material = crypto::SecureRandom(32);
+  CekInfo cek;
+  cek.name = name;
+  CekValue value;
+  value.cmk_name = cmk.name;
+  AEDB_ASSIGN_OR_RETURN(value.encrypted_value,
+                        provider->WrapKey(cmk.key_path, material));
+  AEDB_ASSIGN_OR_RETURN(
+      value.signature,
+      provider->Sign(cmk.key_path, CekValueSignedPayload(name, value)));
+  cek.values.push_back(std::move(value));
+  if (plaintext_cek != nullptr) *plaintext_cek = std::move(material);
+  return cek;
+}
+
+Status KeyTools::AddCekValueForCmkRotation(KeyProvider* provider,
+                                           const CmkInfo& new_cmk,
+                                           Slice plaintext_cek, CekInfo* cek) {
+  CekValue value;
+  value.cmk_name = new_cmk.name;
+  AEDB_ASSIGN_OR_RETURN(value.encrypted_value,
+                        provider->WrapKey(new_cmk.key_path, plaintext_cek));
+  AEDB_ASSIGN_OR_RETURN(
+      value.signature,
+      provider->Sign(new_cmk.key_path, CekValueSignedPayload(cek->name, value)));
+  cek->values.push_back(std::move(value));
+  return Status::OK();
+}
+
+Status KeyTools::VerifyCmk(KeyProvider* provider, const CmkInfo& cmk) {
+  Status st =
+      provider->Verify(cmk.key_path, cmk.SignedPayload(), cmk.signature);
+  if (!st.ok()) {
+    return Status::SecurityError("CMK metadata signature invalid for '" +
+                                 cmk.name + "': " + st.message());
+  }
+  return Status::OK();
+}
+
+Status KeyTools::VerifyCekValue(KeyProvider* provider, const CmkInfo& cmk,
+                                const std::string& cek_name,
+                                const CekValue& value) {
+  if (value.cmk_name != cmk.name) {
+    return Status::InvalidArgument("CEK value references different CMK");
+  }
+  Status st = provider->Verify(cmk.key_path,
+                               CekValueSignedPayload(cek_name, value),
+                               value.signature);
+  if (!st.ok()) {
+    return Status::SecurityError("CEK value signature invalid for '" +
+                                 cek_name + "': " + st.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace aedb::keys

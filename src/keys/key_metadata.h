@@ -1,0 +1,88 @@
+#ifndef AEDB_KEYS_KEY_METADATA_H_
+#define AEDB_KEYS_KEY_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "keys/key_provider.h"
+
+namespace aedb::keys {
+
+/// Column master key metadata, as provisioned by CREATE COLUMN MASTER KEY
+/// (paper Figure 1). Stored in the (untrusted) server catalog; the signature
+/// is computed with the CMK itself over the key path and the
+/// ENCLAVE_COMPUTATIONS flag so the server cannot enable enclave use behind
+/// the client's back (§2.2).
+struct CmkInfo {
+  std::string name;
+  std::string provider_name;
+  std::string key_path;
+  bool enclave_enabled = false;
+  Bytes signature;
+
+  /// The byte string the signature covers.
+  Bytes SignedPayload() const;
+
+  Bytes Serialize() const;
+  static Result<CmkInfo> Deserialize(Slice in);
+};
+
+/// One encrypted copy of a CEK under a particular CMK. A CEK normally has one
+/// value; during an online CMK rotation it temporarily has two (§2.4.2).
+struct CekValue {
+  std::string cmk_name;
+  std::string algorithm = "RSA_OAEP";
+  Bytes encrypted_value;
+  Bytes signature;  // CMK signature over (cek name, algorithm, wrapped value)
+};
+
+/// Column encryption key metadata (CREATE COLUMN ENCRYPTION KEY).
+struct CekInfo {
+  std::string name;
+  std::vector<CekValue> values;
+
+  Bytes Serialize() const;
+  static Result<CekInfo> Deserialize(Slice in);
+};
+
+/// Client-side provisioning helpers ("we automate the above steps in our
+/// tools", §2.4.1).
+class KeyTools {
+ public:
+  /// Signs CMK metadata with the key at `key_path`.
+  static Result<CmkInfo> CreateCmk(KeyProvider* provider,
+                                   const std::string& name,
+                                   const std::string& key_path,
+                                   bool enclave_enabled);
+
+  /// Generates fresh 32-byte CEK material, wraps it under the CMK and signs
+  /// the wrapped value. Returns the metadata; `plaintext_cek` (optional out)
+  /// receives the raw key so tests and the initial-encryption tool can use it.
+  static Result<CekInfo> CreateCek(KeyProvider* provider, const CmkInfo& cmk,
+                                   const std::string& name,
+                                   Bytes* plaintext_cek = nullptr);
+
+  /// Re-wraps an existing CEK under `new_cmk`, appending a second value; used
+  /// for zero-downtime CMK rotation.
+  static Status AddCekValueForCmkRotation(KeyProvider* provider,
+                                          const CmkInfo& new_cmk,
+                                          Slice plaintext_cek, CekInfo* cek);
+
+  /// Verifies the CMK metadata signature. A tampered ENCLAVE_COMPUTATIONS
+  /// flag or key path fails here.
+  static Status VerifyCmk(KeyProvider* provider, const CmkInfo& cmk);
+
+  /// Verifies one CEK value's signature against its CMK.
+  static Status VerifyCekValue(KeyProvider* provider, const CmkInfo& cmk,
+                               const std::string& cek_name,
+                               const CekValue& value);
+
+  static Bytes CekValueSignedPayload(const std::string& cek_name,
+                                     const CekValue& value);
+};
+
+}  // namespace aedb::keys
+
+#endif  // AEDB_KEYS_KEY_METADATA_H_

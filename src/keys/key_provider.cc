@@ -1,0 +1,90 @@
+#include "keys/key_provider.h"
+
+#include "crypto/drbg.h"
+
+namespace aedb::keys {
+
+Status InMemoryKeyVault::CreateKey(const std::string& key_path, size_t bits) {
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("key-vault-keygen")));
+  crypto::RsaPrivateKey key = crypto::GenerateRsaKey(bits, &drbg);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = keys_.emplace(key_path, std::move(key));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("key path exists: " + key_path);
+  return Status::OK();
+}
+
+bool InMemoryKeyVault::HasKey(const std::string& key_path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.count(key_path) > 0;
+}
+
+Status InMemoryKeyVault::DeleteKey(const std::string& key_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keys_.erase(key_path) == 0) {
+    return Status::NotFound("no key at path: " + key_path);
+  }
+  return Status::OK();
+}
+
+Result<const crypto::RsaPrivateKey*> InMemoryKeyVault::Find(
+    const std::string& key_path) const {
+  auto it = keys_.find(key_path);
+  if (it == keys_.end()) return Status::NotFound("no key at path: " + key_path);
+  return &it->second;
+}
+
+Result<Bytes> InMemoryKeyVault::WrapKey(const std::string& key_path, Slice key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const crypto::RsaPrivateKey* rsa;
+  AEDB_ASSIGN_OR_RETURN(rsa, Find(key_path));
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("key-vault-wrap")));
+  return crypto::OaepEncrypt(rsa->pub, key, &drbg);
+}
+
+Result<Bytes> InMemoryKeyVault::UnwrapKey(const std::string& key_path,
+                                          Slice wrapped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++unwrap_calls_;
+  const crypto::RsaPrivateKey* rsa;
+  AEDB_ASSIGN_OR_RETURN(rsa, Find(key_path));
+  return crypto::OaepDecrypt(*rsa, wrapped);
+}
+
+Result<Bytes> InMemoryKeyVault::Sign(const std::string& key_path, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const crypto::RsaPrivateKey* rsa;
+  AEDB_ASSIGN_OR_RETURN(rsa, Find(key_path));
+  return crypto::Pkcs1Sign(*rsa, data);
+}
+
+Status InMemoryKeyVault::Verify(const std::string& key_path, Slice data,
+                                Slice sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const crypto::RsaPrivateKey* rsa;
+  AEDB_ASSIGN_OR_RETURN(rsa, Find(key_path));
+  return crypto::Pkcs1Verify(rsa->pub, data, sig);
+}
+
+Status KeyProviderRegistry::Register(KeyProvider* provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = providers_.emplace(provider->name(), provider);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("provider registered: " + provider->name());
+  }
+  return Status::OK();
+}
+
+Result<KeyProvider*> KeyProviderRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = providers_.find(name);
+  if (it == providers_.end()) {
+    return Status::NotFound("unknown key provider: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace aedb::keys

@@ -1,0 +1,86 @@
+#ifndef AEDB_KEYS_KEY_PROVIDER_H_
+#define AEDB_KEYS_KEY_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/rsa.h"
+
+namespace aedb::keys {
+
+/// \brief Client-controlled store of column master keys (paper §2.2).
+///
+/// The CMK never leaves the provider: the engine stores only a URI reference
+/// (key path). All CMK operations — wrapping/unwrapping CEKs (RSA-OAEP) and
+/// signing/verifying CMK metadata — happen inside the provider, exactly as
+/// with Azure Key Vault or an HSM-backed store.
+class KeyProvider {
+ public:
+  virtual ~KeyProvider() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// RSA-OAEP-wraps 32 bytes of CEK material under the CMK at `key_path`.
+  virtual Result<Bytes> WrapKey(const std::string& key_path, Slice key) = 0;
+  virtual Result<Bytes> UnwrapKey(const std::string& key_path, Slice wrapped) = 0;
+
+  /// PKCS#1 signature with the CMK's private key (used over CMK metadata so
+  /// the untrusted server cannot flip the ENCLAVE_COMPUTATIONS bit, §2.2).
+  virtual Result<Bytes> Sign(const std::string& key_path, Slice data) = 0;
+  /// Verification needs only the public part and is also exposed so trusted
+  /// components (driver) can validate without a private-key roundtrip.
+  virtual Status Verify(const std::string& key_path, Slice data, Slice sig) = 0;
+};
+
+/// In-memory key vault simulating Azure Key Vault: holds RSA keypairs under
+/// URI-style paths. Thread-safe.
+class InMemoryKeyVault : public KeyProvider {
+ public:
+  explicit InMemoryKeyVault(std::string name = "AZURE_KEY_VAULT_PROVIDER")
+      : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+
+  /// Creates an RSA key under `key_path`. Fails if the path already exists.
+  Status CreateKey(const std::string& key_path, size_t bits = 2048);
+  bool HasKey(const std::string& key_path) const;
+  /// Removes the key (simulates key deletion / revocation).
+  Status DeleteKey(const std::string& key_path);
+
+  Result<Bytes> WrapKey(const std::string& key_path, Slice key) override;
+  Result<Bytes> UnwrapKey(const std::string& key_path, Slice wrapped) override;
+  Result<Bytes> Sign(const std::string& key_path, Slice data) override;
+  Status Verify(const std::string& key_path, Slice data, Slice sig) override;
+
+  /// Number of UnwrapKey calls served; the driver CEK cache tests use this to
+  /// show that caching avoids provider round trips (paper §4.1).
+  int64_t unwrap_calls() const { return unwrap_calls_; }
+
+ private:
+  Result<const crypto::RsaPrivateKey*> Find(const std::string& key_path) const;
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, crypto::RsaPrivateKey> keys_;
+  int64_t unwrap_calls_ = 0;
+};
+
+/// Extensible name → provider registry (paper §2.2: "an extensible interface
+/// that lets customers plug in key providers of their choice").
+class KeyProviderRegistry {
+ public:
+  Status Register(KeyProvider* provider);
+  Result<KeyProvider*> Find(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, KeyProvider*> providers_;
+};
+
+}  // namespace aedb::keys
+
+#endif  // AEDB_KEYS_KEY_PROVIDER_H_

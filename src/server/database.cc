@@ -1,0 +1,685 @@
+#include "server/database.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace aedb::server {
+
+using sql::IndexKind;
+using types::EncKind;
+using types::EncryptionType;
+using types::TypeId;
+using types::Value;
+
+namespace {
+
+/// Orders an encrypted range index by routing every comparison into the
+/// enclave (paper §3.1.2, Figure 4). Fails with KeyNotInEnclave when the CEK
+/// has not been installed — which is exactly what drives the §4.5 deferred
+/// recovery machinery.
+class EnclaveComparator : public storage::Comparator {
+ public:
+  EnclaveComparator(enclave::Enclave* enclave, uint32_t cek_id)
+      : enclave_(enclave), cek_id_(cek_id) {}
+
+  Result<int> Compare(Slice a, Slice b) const override {
+    if (enclave_ == nullptr) {
+      return Status::KeyNotInEnclave("no enclave configured");
+    }
+    return enclave_->CompareCells(cek_id_, a, b);
+  }
+  const char* Name() const override { return "enclave"; }
+
+ private:
+  enclave::Enclave* enclave_;
+  uint32_t cek_id_;
+};
+
+}  // namespace
+
+/// Routes TMEval calls into the enclave, registering each distinct program
+/// once and re-invoking by handle (paper §3: "an expression is registered
+/// once in the enclave and invoked subsequently using the handle").
+class Database::ServerInvoker : public es::EnclaveInvoker {
+ public:
+  ServerInvoker(enclave::Enclave* enclave, enclave::EnclaveWorkerPool* pool)
+      : enclave_(enclave), pool_(pool) {}
+
+  void set_pool(enclave::EnclaveWorkerPool* pool) { pool_ = pool; }
+
+  Result<std::vector<Value>> EvalInEnclave(Slice program_bytes,
+                                           const std::vector<Value>& inputs,
+                                           uint32_t n_outputs) override {
+    (void)n_outputs;
+    if (enclave_ == nullptr) {
+      return Status::FailedPrecondition(
+          "query requires an enclave but none is configured");
+    }
+    uint64_t handle;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::string key(reinterpret_cast<const char*>(program_bytes.data()),
+                      program_bytes.size());
+      auto it = handles_.find(key);
+      if (it != handles_.end()) {
+        handle = it->second;
+      } else {
+        auto registered = enclave_->RegisterExpression(program_bytes);
+        if (!registered.ok()) return registered.status();
+        handle = *registered;
+        handles_.emplace(std::move(key), handle);
+      }
+    }
+    if (pool_ != nullptr) return pool_->SubmitEval(handle, inputs);
+    return enclave_->EvalRegistered(handle, inputs);
+  }
+
+ private:
+  enclave::Enclave* enclave_;
+  enclave::EnclaveWorkerPool* pool_;
+  std::mutex mu_;
+  std::map<std::string, uint64_t> handles_;
+};
+
+Database::Database(ServerOptions options, attestation::HostGuardianService* hgs,
+                   const enclave::EnclaveImage* image)
+    : options_(std::move(options)), hgs_(hgs), engine_(options_.engine) {
+  if (options_.enable_enclave && image != nullptr) {
+    platform_ = std::make_unique<enclave::VbsPlatform>(
+        options_.boot_configuration, options_.hypervisor_version);
+    auto loaded = platform_->LoadEnclave(*image, options_.enclave_config);
+    if (loaded.ok()) {
+      enclave_ = std::move(loaded).value();
+      if (options_.enclave_worker_threads > 0) {
+        enclave::EnclaveWorkerPool::Options pool_opts;
+        pool_opts.num_threads = options_.enclave_worker_threads;
+        pool_opts.spin_duration_us = options_.enclave_worker_spin_us;
+        worker_pool_ = std::make_unique<enclave::EnclaveWorkerPool>(
+            enclave_.get(), pool_opts);
+      }
+    }
+  }
+  invoker_ = std::make_unique<ServerInvoker>(enclave_.get(), worker_pool_.get());
+  executor_ = std::make_unique<sql::Executor>(&catalog_, &engine_,
+                                              invoker_.get());
+}
+
+Database::~Database() = default;
+
+Result<EncryptionType> Database::ResolveEncryptionSpec(
+    const sql::EncryptionSpec& spec) {
+  if (!spec.encrypted) return EncryptionType::Plaintext();
+  if (spec.algorithm != "AEAD_AES_256_CBC_HMAC_SHA_256") {
+    return Status::NotSupported("unknown cell algorithm: " + spec.algorithm);
+  }
+  uint32_t cek_id;
+  AEDB_ASSIGN_OR_RETURN(cek_id, catalog_.CekIdByName(spec.cek_name));
+  bool enclave_enabled;
+  AEDB_ASSIGN_OR_RETURN(enclave_enabled, catalog_.CekEnclaveEnabled(cek_id));
+  return EncryptionType::Encrypted(spec.kind, cek_id, enclave_enabled);
+}
+
+Result<std::unique_ptr<storage::Comparator>> Database::MakeComparator(
+    const sql::ColumnDef& col) {
+  if (!col.enc.is_encrypted()) {
+    return std::unique_ptr<storage::Comparator>(new sql::ValueComparator());
+  }
+  if (col.enc.kind == EncKind::kDeterministic) {
+    // Equality index: ciphertext order (paper §3.1.1).
+    return std::unique_ptr<storage::Comparator>(new storage::BinaryComparator());
+  }
+  if (!col.enc.enclave_enabled) {
+    return Status::NotSupported(
+        "cannot index a randomized column without an enclave-enabled key");
+  }
+  return std::unique_ptr<storage::Comparator>(
+      new EnclaveComparator(enclave_.get(), col.enc.cek_id));
+}
+
+Status Database::ExecuteCreateTable(const sql::CreateTableStmt& stmt) {
+  sql::TableDef def;
+  def.name = stmt.name;
+  for (const sql::ColumnSpec& spec : stmt.columns) {
+    sql::ColumnDef col;
+    col.name = spec.name;
+    col.type = spec.type;
+    col.nullable = !spec.not_null;
+    AEDB_ASSIGN_OR_RETURN(col.enc, ResolveEncryptionSpec(spec.enc));
+    def.columns.push_back(std::move(col));
+  }
+  const sql::TableDef* created;
+  AEDB_ASSIGN_OR_RETURN(created, catalog_.CreateTable(std::move(def)));
+  return engine_.CreateTable(created->id);
+}
+
+Status Database::RegisterIndexStorage(const sql::IndexDef& index,
+                                      const sql::ColumnDef& col) {
+  std::unique_ptr<storage::Comparator> comparator;
+  AEDB_ASSIGN_OR_RETURN(comparator, MakeComparator(col));
+  return engine_.CreateIndex(index.id, index.table_id, std::move(comparator),
+                             index.unique);
+}
+
+Status Database::ExecuteCreateIndex(const sql::CreateIndexStmt& stmt) {
+  const sql::TableDef* table;
+  AEDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(stmt.table));
+  int column = table->FindColumn(stmt.column);
+  if (column < 0) return Status::NotFound("no such column: " + stmt.column);
+  const sql::ColumnDef& col = table->columns[column];
+
+  sql::IndexDef def;
+  def.name = stmt.name;
+  def.table_id = table->id;
+  def.column = column;
+  def.unique = stmt.unique;
+  if (!col.enc.is_encrypted()) {
+    def.kind = IndexKind::kRange;
+  } else if (col.enc.kind == EncKind::kDeterministic) {
+    // "Range indexing is not supported on deterministically encrypted
+    // columns" (paper §2.4.4).
+    def.kind = IndexKind::kEquality;
+  } else {
+    if (!col.enc.enclave_enabled) {
+      return Status::NotSupported(
+          "no indexing on randomized columns without enclave-enabled keys");
+    }
+    def.kind = IndexKind::kRange;
+  }
+
+  const sql::IndexDef* created;
+  AEDB_ASSIGN_OR_RETURN(created, catalog_.CreateIndex(std::move(def)));
+  Status st = RegisterIndexStorage(*created, col);
+  if (!st.ok()) {
+    (void)catalog_.DropIndex(stmt.name);
+    return st;
+  }
+  // Populate: the index build sorts the data, routing comparisons through
+  // the enclave for encrypted range indexes (operational leak, Figure 5).
+  uint64_t txn = engine_.Begin();
+  st = executor_->BuildIndex(*table, *created, txn);
+  if (!st.ok()) {
+    (void)engine_.Abort(txn);
+    (void)engine_.DropIndex(created->id);
+    (void)catalog_.DropIndex(stmt.name);
+    return st;
+  }
+  return engine_.Commit(txn);
+}
+
+Status Database::ExecuteAlterColumn(const sql::AlterColumnStmt& stmt,
+                                    const std::string& sql_text,
+                                    uint64_t session_id) {
+  const sql::TableDef* table;
+  AEDB_ASSIGN_OR_RETURN(table, catalog_.GetTable(stmt.table));
+  int column = table->FindColumn(stmt.column);
+  if (column < 0) return Status::NotFound("no such column: " + stmt.column);
+  sql::ColumnDef old_col = table->columns[column];
+  if (stmt.type != old_col.type) {
+    return Status::NotSupported("ALTER COLUMN cannot change the SQL type");
+  }
+  EncryptionType new_enc;
+  AEDB_ASSIGN_OR_RETURN(new_enc, ResolveEncryptionSpec(stmt.enc));
+  if (new_enc == old_col.enc) return Status::OK();
+
+  // The in-place path requires every encrypted side to be enclave-enabled;
+  // otherwise the client-side tool must round-trip the data (paper §2.4.2).
+  bool old_needs = old_col.enc.is_encrypted();
+  bool new_needs = new_enc.is_encrypted();
+  if ((old_needs && !old_col.enc.enclave_enabled) ||
+      (new_needs && !new_enc.enclave_enabled)) {
+    return Status::NotSupported(
+        "ALTER COLUMN with enclave-disabled keys requires the client-side "
+        "encryption tool (round trip)");
+  }
+  if (enclave_ == nullptr) {
+    return Status::FailedPrecondition("no enclave configured");
+  }
+
+  // The conversion program: decrypt (if encrypted) at GetData, re-encrypt
+  // (if target encrypted) at SetData. The enclave demands client
+  // authorization for this statement text (§3.2).
+  es::EsProgram program;
+  program.GetData(0, old_col.type, old_col.enc);
+  program.SetData(0, old_col.type, new_enc);
+  Bytes program_bytes = program.Serialize();
+
+  // Indexes over this column must be rebuilt under the new ordering.
+  std::vector<sql::IndexDef> affected;
+  for (const sql::IndexDef* index : catalog_.TableIndexes(table->id)) {
+    if (index->column == column) affected.push_back(*index);
+  }
+  for (const sql::IndexDef& index : affected) {
+    AEDB_RETURN_IF_ERROR(engine_.DropIndex(index.id));
+    AEDB_RETURN_IF_ERROR(catalog_.DropIndex(index.name));
+  }
+
+  sql::ColumnDef new_col = old_col;
+  new_col.enc = new_enc;
+  AEDB_RETURN_IF_ERROR(catalog_.AlterColumn(stmt.table, column, new_col));
+
+  uint64_t txn = engine_.Begin();
+  Status st = engine_.LockTable(txn, table->id);
+  if (st.ok()) {
+    // Rewrite every row, transforming the one cell through the enclave.
+    std::vector<std::pair<storage::Rid, std::vector<Value>>> rows;
+    Status inner = Status::OK();
+    engine_.table(table->id)->Scan([&](const storage::Rid& rid, Slice record) {
+      auto row = sql::DecodeRow(record, table->columns.size());
+      if (!row.ok()) {
+        inner = row.status();
+        return false;
+      }
+      rows.emplace_back(rid, std::move(row).value());
+      return true;
+    });
+    st = inner;
+    for (auto& [rid, row] : rows) {
+      if (!st.ok()) break;
+      auto transformed =
+          enclave_->Eval(program_bytes, {row[column]}, session_id, sql_text);
+      if (!transformed.ok()) {
+        st = transformed.status();
+        break;
+      }
+      std::vector<Value> new_row = row;
+      new_row[column] = (*transformed)[0];
+      // Delete + reinsert, maintaining the surviving indexes.
+      for (const sql::IndexDef* index : catalog_.TableIndexes(table->id)) {
+        Bytes key = sql::Executor::IndexKeyFor(table->columns[index->column],
+                                               row[index->column]);
+        st = engine_.IndexDelete(txn, index->id, key, rid);
+        if (!st.ok()) break;
+      }
+      if (!st.ok()) break;
+      st = engine_.HeapDelete(txn, table->id, rid);
+      if (!st.ok()) break;
+      auto new_rid = engine_.HeapInsert(txn, table->id, sql::EncodeRow(new_row));
+      if (!new_rid.ok()) {
+        st = new_rid.status();
+        break;
+      }
+      for (const sql::IndexDef* index : catalog_.TableIndexes(table->id)) {
+        Bytes key = sql::Executor::IndexKeyFor(table->columns[index->column],
+                                               new_row[index->column]);
+        st = engine_.IndexInsert(txn, index->id, key, *new_rid);
+        if (!st.ok()) break;
+      }
+    }
+  }
+  if (!st.ok()) {
+    (void)engine_.Abort(txn);
+    // Roll the catalog back too.
+    (void)catalog_.AlterColumn(stmt.table, column, old_col);
+    for (const sql::IndexDef& index : affected) {
+      sql::IndexDef recreate = index;
+      auto created = catalog_.CreateIndex(recreate);
+      if (created.ok()) {
+        (void)RegisterIndexStorage(**created, old_col);
+        uint64_t rebuild_txn = engine_.Begin();
+        (void)executor_->BuildIndex(*table, **created, rebuild_txn);
+        (void)engine_.Commit(rebuild_txn);
+      }
+    }
+    return st;
+  }
+  AEDB_RETURN_IF_ERROR(engine_.Commit(txn));
+
+  // Old plaintext remnants sit in tombstoned slots: scrub them (the WAL
+  // still holds pre-encryption images until log truncation, as in any
+  // WAL-based system).
+  (void)engine_.ScrubDeadRows(table->id);
+
+  // Recreate the affected indexes under the new encryption configuration.
+  for (const sql::IndexDef& index : affected) {
+    sql::CreateIndexStmt recreate;
+    recreate.name = index.name;
+    recreate.table = stmt.table;
+    recreate.column = stmt.column;
+    recreate.unique = index.unique;
+    AEDB_RETURN_IF_ERROR(ExecuteCreateIndex(recreate));
+  }
+  return Status::OK();
+}
+
+Status Database::ExecuteDdl(const std::string& sql_text, uint64_t session_id) {
+  sql::Statement stmt;
+  AEDB_ASSIGN_OR_RETURN(stmt, sql::Parse(sql_text));
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    plan_cache_.clear();  // DDL invalidates cached plans
+  }
+  executor_->ClearProgramCache();
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateCmk: {
+      const sql::CreateCmkStmt& s = *stmt.create_cmk;
+      keys::CmkInfo cmk;
+      cmk.name = s.name;
+      cmk.provider_name = s.provider;
+      cmk.key_path = s.key_path;
+      cmk.enclave_enabled = s.enclave_computations;
+      cmk.signature = s.signature;
+      return catalog_.AddCmk(std::move(cmk));
+    }
+    case sql::Statement::Kind::kCreateCek: {
+      const sql::CreateCekStmt& s = *stmt.create_cek;
+      keys::CekInfo cek;
+      cek.name = s.name;
+      keys::CekValue value;
+      value.cmk_name = s.cmk;
+      value.algorithm = s.algorithm;
+      value.encrypted_value = s.encrypted_value;
+      value.signature = s.signature;
+      cek.values.push_back(std::move(value));
+      return catalog_.AddCek(std::move(cek)).status();
+    }
+    case sql::Statement::Kind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case sql::Statement::Kind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt.create_index);
+    case sql::Statement::Kind::kAlterColumn:
+      return ExecuteAlterColumn(*stmt.alter_column, sql_text, session_id);
+    case sql::Statement::Kind::kDrop: {
+      const sql::DropStmt& s = *stmt.drop;
+      if (s.is_index) {
+        const sql::IndexDef* index;
+        AEDB_ASSIGN_OR_RETURN(index, catalog_.GetIndex(s.name));
+        AEDB_RETURN_IF_ERROR(engine_.DropIndex(index->id));
+        return catalog_.DropIndex(s.name);
+      }
+      return Status::NotSupported("DROP TABLE is not implemented");
+    }
+    default:
+      return Status::InvalidArgument("not a DDL statement; use Execute");
+  }
+}
+
+Result<const sql::BoundStatement*> Database::GetOrBind(const std::string& sql_text) {
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    auto it = plan_cache_.find(sql_text);
+    if (it != plan_cache_.end()) return it->second.get();
+  }
+  sql::Statement stmt;
+  AEDB_ASSIGN_OR_RETURN(stmt, sql::Parse(sql_text));
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+    case sql::Statement::Kind::kInsert:
+    case sql::Statement::Kind::kUpdate:
+    case sql::Statement::Kind::kDelete:
+      break;
+    default:
+      return Status::InvalidArgument("DDL must go through ExecuteDdl");
+  }
+  sql::Binder binder(&catalog_);
+  sql::BoundStatement bound;
+  AEDB_ASSIGN_OR_RETURN(bound, binder.Bind(std::move(stmt)));
+  auto owned = std::make_unique<sql::BoundStatement>(std::move(bound));
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  auto [it, inserted] = plan_cache_.emplace(sql_text, std::move(owned));
+  (void)inserted;
+  return it->second.get();
+}
+
+Result<KeyDescription> Database::GetKeyDescription(uint32_t cek_id) {
+  const keys::CekInfo* cek = catalog_.GetCekById(cek_id);
+  if (cek == nullptr) return Status::NotFound("unknown CEK id");
+  KeyDescription desc;
+  desc.cek_id = cek_id;
+  desc.cek = *cek;
+  if (!cek->values.empty()) {
+    const keys::CmkInfo* cmk;
+    AEDB_ASSIGN_OR_RETURN(cmk, catalog_.GetCmk(cek->values[0].cmk_name));
+    desc.cmk = *cmk;
+  }
+  return desc;
+}
+
+Result<DescribeResult> Database::DescribeParameterEncryption(
+    const std::string& sql_text, Slice client_dh_public) {
+  ChargeRoundTrip();
+  describe_calls_.fetch_add(1, std::memory_order_relaxed);
+  const sql::BoundStatement* bound;
+  AEDB_ASSIGN_OR_RETURN(bound, GetOrBind(sql_text));
+
+  DescribeResult out;
+  std::set<uint32_t> cek_ids;
+  for (const sql::BoundParam& p : bound->params) {
+    DescribeResult::ParamInfo info;
+    info.name = p.name;
+    info.type = p.type;
+    info.enc = p.enc;
+    if (p.enc.is_encrypted()) cek_ids.insert(p.enc.cek_id);
+    out.params.push_back(std::move(info));
+  }
+  out.requires_enclave = bound->requires_enclave;
+  out.enclave_cek_ids = bound->enclave_ceks;
+  for (uint32_t id : bound->enclave_ceks) cek_ids.insert(id);
+  for (uint32_t id : cek_ids) {
+    KeyDescription desc;
+    AEDB_ASSIGN_OR_RETURN(desc, GetKeyDescription(id));
+    out.keys.push_back(std::move(desc));
+  }
+
+  if (out.requires_enclave && !client_dh_public.empty() &&
+      enclave_ != nullptr && hgs_ != nullptr) {
+    // SQL calls the attestation service and relays everything to the client
+    // (the untrusted man in the middle, §3).
+    AEDB_ASSIGN_OR_RETURN(
+        out.health_certificate,
+        hgs_->Attest(platform_->tcg_log(), platform_->host_signing_public()));
+    AEDB_ASSIGN_OR_RETURN(out.attestation,
+                          enclave_->CreateSession(client_dh_public));
+    out.attestation_included = true;
+  }
+  return out;
+}
+
+Result<DescribeResult> Database::Attest(Slice client_dh_public) {
+  if (enclave_ == nullptr || hgs_ == nullptr) {
+    return Status::FailedPrecondition("no enclave/attestation configured");
+  }
+  DescribeResult out;
+  AEDB_ASSIGN_OR_RETURN(
+      out.health_certificate,
+      hgs_->Attest(platform_->tcg_log(), platform_->host_signing_public()));
+  AEDB_ASSIGN_OR_RETURN(out.attestation,
+                        enclave_->CreateSession(client_dh_public));
+  out.attestation_included = true;
+  return out;
+}
+
+Result<EncryptionType> Database::ColumnEncryption(const std::string& table,
+                                                  const std::string& column) {
+  const sql::TableDef* def;
+  AEDB_ASSIGN_OR_RETURN(def, catalog_.GetTable(table));
+  int idx = def->FindColumn(column);
+  if (idx < 0) return Status::NotFound("no such column: " + column);
+  return def->columns[idx].enc;
+}
+
+Status Database::AlterColumnMetadataForClientTool(
+    const std::string& table, const std::string& column,
+    const sql::EncryptionSpec& enc) {
+  const sql::TableDef* def;
+  AEDB_ASSIGN_OR_RETURN(def, catalog_.GetTable(table));
+  int idx = def->FindColumn(column);
+  if (idx < 0) return Status::NotFound("no such column: " + column);
+  for (const sql::IndexDef* index : catalog_.TableIndexes(def->id)) {
+    if (index->column == idx) {
+      return Status::FailedPrecondition(
+          "drop indexes on the column before the client-side tool runs");
+    }
+  }
+  sql::ColumnDef col = def->columns[idx];
+  AEDB_ASSIGN_OR_RETURN(col.enc, ResolveEncryptionSpec(enc));
+  AEDB_RETURN_IF_ERROR(catalog_.AlterColumn(table, idx, col));
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    plan_cache_.clear();
+  }
+  executor_->ClearProgramCache();
+  return Status::OK();
+}
+
+uint64_t Database::BeginTransaction() { return engine_.Begin(); }
+
+Status Database::CommitTransaction(uint64_t txn) { return engine_.Commit(txn); }
+
+Status Database::RollbackTransaction(uint64_t txn) { return engine_.Abort(txn); }
+
+void Database::CaptureRequest(const std::string& sql_text,
+                              const std::vector<Value>& params) {
+  if (!options_.capture_tds) return;
+  Bytes request;
+  PutLengthPrefixed(&request, Slice(std::string_view(sql_text)));
+  PutU32(&request, static_cast<uint32_t>(params.size()));
+  for (const Value& v : params) v.EncodeTo(&request);
+  capture_.last_request = std::move(request);
+}
+
+void Database::CaptureResponse(const sql::ResultSet& result) {
+  if (!options_.capture_tds) return;
+  Bytes response;
+  PutU32(&response, static_cast<uint32_t>(result.rows.size()));
+  for (const auto& row : result.rows) {
+    for (const Value& v : row) v.EncodeTo(&response);
+  }
+  capture_.last_response = std::move(response);
+}
+
+void Database::ChargeRoundTrip() {
+  if (options_.simulated_network_us == 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(options_.simulated_network_us));
+}
+
+Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
+                                         const std::vector<Value>& params,
+                                         uint64_t txn, uint64_t session_id) {
+  (void)session_id;
+  ChargeRoundTrip();
+  const sql::BoundStatement* bound;
+  AEDB_ASSIGN_OR_RETURN(bound, GetOrBind(sql_text));
+  if (params.size() != bound->params.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(bound->params.size()) + " parameters");
+  }
+  CaptureRequest(sql_text, params);
+
+  bool autocommit = txn == 0;
+  uint64_t exec_txn = autocommit ? engine_.Begin() : txn;
+
+  Result<sql::ResultSet> result = [&]() -> Result<sql::ResultSet> {
+    switch (bound->stmt.kind) {
+      case sql::Statement::Kind::kSelect:
+        return executor_->Select(*bound, params, exec_txn);
+      case sql::Statement::Kind::kInsert: {
+        int64_t n;
+        AEDB_ASSIGN_OR_RETURN(n, executor_->Insert(*bound, params, exec_txn));
+        sql::ResultSet rs;
+        rs.columns = {"rows_affected"};
+        rs.rows = {{Value::Int64(n)}};
+        return rs;
+      }
+      case sql::Statement::Kind::kUpdate: {
+        int64_t n;
+        AEDB_ASSIGN_OR_RETURN(n, executor_->Update(*bound, params, exec_txn));
+        sql::ResultSet rs;
+        rs.columns = {"rows_affected"};
+        rs.rows = {{Value::Int64(n)}};
+        return rs;
+      }
+      case sql::Statement::Kind::kDelete: {
+        int64_t n;
+        AEDB_ASSIGN_OR_RETURN(n, executor_->Delete(*bound, params, exec_txn));
+        sql::ResultSet rs;
+        rs.columns = {"rows_affected"};
+        rs.rows = {{Value::Int64(n)}};
+        return rs;
+      }
+      default:
+        return Status::Internal("unexpected statement kind");
+    }
+  }();
+
+  if (autocommit) {
+    if (result.ok()) {
+      Status st = engine_.Commit(exec_txn);
+      if (!st.ok()) return st;
+    } else {
+      (void)engine_.Abort(exec_txn);
+    }
+  }
+  if (result.ok()) CaptureResponse(*result);
+  return result;
+}
+
+Result<sql::ResultSet> Database::ExecuteNamed(
+    const std::string& sql_text,
+    const std::vector<std::pair<std::string, Value>>& params, uint64_t txn,
+    uint64_t session_id) {
+  const sql::BoundStatement* bound;
+  AEDB_ASSIGN_OR_RETURN(bound, GetOrBind(sql_text));
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+  };
+  std::vector<Value> ordered(bound->params.size());
+  std::vector<bool> filled(bound->params.size(), false);
+  for (const auto& [name, value] : params) {
+    bool found = false;
+    for (size_t i = 0; i < bound->params.size(); ++i) {
+      if (lower(bound->params[i].name) == lower(name)) {
+        ordered[i] = value;
+        filled[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("statement has no parameter @" + name);
+    }
+  }
+  for (size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      return Status::InvalidArgument("missing value for parameter @" +
+                                     bound->params[i].name);
+    }
+  }
+  return Execute(sql_text, ordered, txn, session_id);
+}
+
+Status Database::ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,
+                                      Slice sealed) {
+  if (enclave_ == nullptr) {
+    return Status::FailedPrecondition("no enclave configured");
+  }
+  AEDB_RETURN_IF_ERROR(enclave_->InstallCeks(session_id, nonce, sealed));
+  // "When the client connects and sends keys to the enclave, the deferred
+  // transactions are resolved" (§4.5).
+  return engine_.ResolveDeferred();
+}
+
+Status Database::ForwardEncryptionAuthorization(uint64_t session_id,
+                                                uint64_t nonce, Slice sealed) {
+  if (enclave_ == nullptr) {
+    return Status::FailedPrecondition("no enclave configured");
+  }
+  return enclave_->AuthorizeEncryption(session_id, nonce, sealed);
+}
+
+Result<storage::RecoveryResult> Database::Restart() {
+  if (enclave_ != nullptr) enclave_->ClearKeys();
+  return engine_.Recover();
+}
+
+Status Database::InvalidateIndexByName(const std::string& index_name) {
+  const sql::IndexDef* index;
+  AEDB_ASSIGN_OR_RETURN(index, catalog_.GetIndex(index_name));
+  return engine_.InvalidateIndex(index->id);
+}
+
+}  // namespace aedb::server

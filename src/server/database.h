@@ -1,0 +1,194 @@
+#ifndef AEDB_SERVER_DATABASE_H_
+#define AEDB_SERVER_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "attestation/attestation.h"
+#include "enclave/enclave.h"
+#include "enclave/worker_pool.h"
+#include "sql/binder.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "storage/engine.h"
+
+namespace aedb::server {
+
+struct ServerOptions {
+  bool enable_enclave = true;
+  /// 0 = synchronous enclave calls (one gate crossing per expression);
+  /// >0 = enclave worker threads with queued submission (paper §4.6).
+  int enclave_worker_threads = 0;
+  /// Worker spin-poll duration before sleeping. On a single-core host long
+  /// spins steal cycles from the producers; the paper's 20-core testbed
+  /// could afford pinned spinning workers.
+  uint64_t enclave_worker_spin_us = 50;
+  enclave::EnclaveConfig enclave_config;
+  storage::EngineOptions engine;
+  std::string boot_configuration = "known-good-boot";
+  uint32_t hypervisor_version = 1;
+  /// Capture serialized request/response bytes for leakage inspection.
+  bool capture_tds = false;
+  /// Simulated client↔server network latency charged per round trip
+  /// (Execute and sp_describe each cost one). Models why SQL-PT-AEConn
+  /// loses ~36% to the extra describe round trip (paper §5.4.1).
+  uint32_t simulated_network_us = 0;
+};
+
+/// Key metadata for one CEK as shipped to the driver: the encrypted CEK
+/// value(s) plus the CMK metadata needed to unwrap and verify them.
+struct KeyDescription {
+  uint32_t cek_id = 0;
+  keys::CekInfo cek;
+  keys::CmkInfo cmk;
+};
+
+/// Output of sp_describe_parameter_encryption (paper §3, §4.1): per-parameter
+/// encryption types, the CEKs the enclave needs, and — when the query needs
+/// the enclave and the client supplied a DH key — attestation material.
+struct DescribeResult {
+  struct ParamInfo {
+    std::string name;
+    types::TypeId type = types::TypeId::kInt64;
+    types::EncryptionType enc;
+  };
+  std::vector<ParamInfo> params;
+  std::vector<KeyDescription> keys;          // all CEKs referenced
+  bool requires_enclave = false;
+  std::vector<uint32_t> enclave_cek_ids;
+
+  bool attestation_included = false;
+  attestation::HealthCertificate health_certificate;
+  enclave::AttestationResponse attestation;
+};
+
+/// Per-statement adversary-observable wire capture (the simulated TDS
+/// stream): what a man-in-the-middle with full server access sees.
+struct TdsCapture {
+  Bytes last_request;
+  Bytes last_response;
+};
+
+/// \brief The untrusted SQL Server process: query engine + host side of the
+/// enclave. Everything here may be inspected by the strong adversary —
+/// pages, WAL, plan cache, TDS bytes — and none of it ever holds column
+/// plaintext for encrypted columns.
+class Database {
+ public:
+  /// `hgs` is the external attestation service (may be null when no enclave);
+  /// `image` is the signed enclave binary to load.
+  Database(ServerOptions options, attestation::HostGuardianService* hgs,
+           const enclave::EnclaveImage* image);
+  ~Database();
+
+  // ----- DDL -----
+  /// Executes a DDL statement. ALTER TABLE ALTER COLUMN statements that
+  /// change encryption run through the enclave and require the client to
+  /// have authorized exactly this statement text on `session_id` (§3.2).
+  Status ExecuteDdl(const std::string& sql, uint64_t session_id = 0);
+
+  // ----- the describe API -----
+  Result<DescribeResult> DescribeParameterEncryption(const std::string& sql,
+                                                     Slice client_dh_public);
+
+  // ----- transactions -----
+  uint64_t BeginTransaction();
+  Status CommitTransaction(uint64_t txn);
+  Status RollbackTransaction(uint64_t txn);
+
+  // ----- parameterized execution -----
+  /// `params` are wire values: plaintext-encoded for plaintext parameters,
+  /// AEAD cells (kBinary) for encrypted ones (the driver encrypted them).
+  /// txn = 0 runs autocommit.
+  Result<sql::ResultSet> Execute(const std::string& sql,
+                                 const std::vector<types::Value>& params,
+                                 uint64_t txn = 0, uint64_t session_id = 0);
+
+  /// Named-parameter convenience: values are matched to the statement's
+  /// deduced parameter order by (case-insensitive) name.
+  Result<sql::ResultSet> ExecuteNamed(
+      const std::string& sql,
+      const std::vector<std::pair<std::string, types::Value>>& params,
+      uint64_t txn = 0, uint64_t session_id = 0);
+
+  /// Key metadata for one CEK (drivers fetch this to decrypt result columns).
+  Result<KeyDescription> GetKeyDescription(uint32_t cek_id);
+
+  /// Attestation without a statement (drivers establishing a session for
+  /// DDL authorization). Fills only the attestation fields.
+  Result<DescribeResult> Attest(Slice client_dh_public);
+
+  /// A column's current encryption configuration (server metadata).
+  Result<types::EncryptionType> ColumnEncryption(const std::string& table,
+                                                 const std::string& column);
+
+  /// Client-tool support (§2.4.2 round trip for enclave-disabled keys):
+  /// changes a column's encryption metadata without transforming data — the
+  /// client tool rewrites the rows itself. Refused while the column is
+  /// indexed.
+  Status AlterColumnMetadataForClientTool(const std::string& table,
+                                          const std::string& column,
+                                          const sql::EncryptionSpec& enc);
+
+  // ----- driver→enclave passthrough (server is the man in the middle) -----
+  Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce, Slice sealed);
+  Status ForwardEncryptionAuthorization(uint64_t session_id, uint64_t nonce,
+                                        Slice sealed);
+
+  // ----- crash & recovery (§4.5) -----
+  /// Simulates a crash+restart: the enclave loses all keys and sessions, and
+  /// storage state is rebuilt from the WAL.
+  Result<storage::RecoveryResult> Restart();
+  Status InvalidateIndexByName(const std::string& index_name);
+
+  // ----- introspection -----
+  sql::Catalog& catalog() { return catalog_; }
+  storage::StorageEngine& engine() { return engine_; }
+  enclave::Enclave* enclave() { return enclave_.get(); }
+  const enclave::VbsPlatform* platform() const { return platform_.get(); }
+  const TdsCapture& tds_capture() const { return capture_; }
+  uint64_t describe_calls() const { return describe_calls_; }
+
+ private:
+  class ServerInvoker;
+
+  Result<const sql::BoundStatement*> GetOrBind(const std::string& sql);
+  Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
+  Status ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
+  Status ExecuteAlterColumn(const sql::AlterColumnStmt& stmt,
+                            const std::string& sql, uint64_t session_id);
+  Result<types::EncryptionType> ResolveEncryptionSpec(
+      const sql::EncryptionSpec& spec);
+  Result<std::unique_ptr<storage::Comparator>> MakeComparator(
+      const sql::ColumnDef& col);
+  Status RegisterIndexStorage(const sql::IndexDef& index,
+                              const sql::ColumnDef& col);
+  void ChargeRoundTrip();
+  void CaptureRequest(const std::string& sql,
+                      const std::vector<types::Value>& params);
+  void CaptureResponse(const sql::ResultSet& result);
+
+  ServerOptions options_;
+  attestation::HostGuardianService* hgs_;
+
+  sql::Catalog catalog_;
+  storage::StorageEngine engine_;
+  std::unique_ptr<enclave::VbsPlatform> platform_;
+  std::unique_ptr<enclave::Enclave> enclave_;
+  std::unique_ptr<enclave::EnclaveWorkerPool> worker_pool_;
+  std::unique_ptr<ServerInvoker> invoker_;
+  std::unique_ptr<sql::Executor> executor_;
+
+  std::mutex plan_cache_mu_;
+  std::map<std::string, std::unique_ptr<sql::BoundStatement>> plan_cache_;
+
+  TdsCapture capture_;
+  std::atomic<uint64_t> describe_calls_{0};
+};
+
+}  // namespace aedb::server
+
+#endif  // AEDB_SERVER_DATABASE_H_

@@ -1,0 +1,182 @@
+#ifndef AEDB_SQL_AST_H_
+#define AEDB_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "es/program.h"
+#include "types/encryption_type.h"
+#include "types/value.h"
+
+namespace aedb::sql {
+
+/// Expression tree produced by the parser and annotated by the binder.
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kColumn,
+    kParam,
+    kCompare,  // a cmp b
+    kLike,     // a LIKE b
+    kBetween,  // a BETWEEN b AND c
+    kAnd,
+    kOr,
+    kNot,
+    kIsNull,   // a IS [NOT] NULL
+    kArith,    // a op b  (op in + - * /)
+    kNeg,
+  };
+
+  Kind kind;
+  types::Value literal;    // kLiteral
+  std::string column;      // kColumn: [table.]name as written
+  std::string param;       // kParam: name without '@'
+  es::CompareOp cmp = es::CompareOp::kEq;
+  char arith = '+';
+  bool is_not = false;     // IS NOT NULL
+  std::unique_ptr<Expr> a, b, c;
+
+  // --- binder annotations ---
+  int table_slot = 0;      // 0 = FROM table, 1 = JOIN table
+  int column_index = -1;   // kColumn
+  int param_index = -1;    // kParam: position in the statement's param list
+  types::TypeId type = types::TypeId::kInt64;
+  types::EncryptionType enc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class AggFunc : uint8_t { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  bool star = false;        // COUNT(*) or bare '*'
+  std::string column;
+  std::string alias;
+  int table_slot = 0;       // binder
+  int column_index = -1;    // binder
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  bool select_all = false;
+  std::string table;
+  // Optional single equi-join (paper: equi-joins on DET columns).
+  std::string join_table;
+  std::string join_left;   // column on `table`
+  std::string join_right;  // column on `join_table`
+  ExprPtr where;
+  std::string group_by;
+  int group_by_slot = 0;
+  int group_by_index = -1;  // binder
+  std::string order_by;
+  bool order_desc = false;
+  int order_by_index = -1;  // binder (only plaintext allowed)
+  int64_t limit = -1;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty = all, in table order
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> sets;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+/// ENCRYPTED WITH (...) clause on a column.
+struct EncryptionSpec {
+  bool encrypted = false;
+  std::string cek_name;
+  types::EncKind kind = types::EncKind::kRandomized;
+  std::string algorithm = "AEAD_AES_256_CBC_HMAC_SHA_256";
+};
+
+struct ColumnSpec {
+  std::string name;
+  types::TypeId type = types::TypeId::kInt32;
+  bool not_null = false;
+  EncryptionSpec enc;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::string column;
+  bool unique = false;
+};
+
+struct CreateCmkStmt {
+  std::string name;
+  std::string provider;
+  std::string key_path;
+  bool enclave_computations = false;
+  Bytes signature;
+};
+
+struct CreateCekStmt {
+  std::string name;
+  std::string cmk;
+  std::string algorithm = "RSA_OAEP";
+  Bytes encrypted_value;
+  Bytes signature;
+};
+
+/// ALTER TABLE t ALTER COLUMN c <type> [ENCRYPTED WITH (...)]. Drives online
+/// initial encryption, key rotation, and decryption through the enclave
+/// (paper §2.4.2).
+struct AlterColumnStmt {
+  std::string table;
+  std::string column;
+  types::TypeId type = types::TypeId::kInt32;
+  EncryptionSpec enc;  // target state; !encrypted = remove encryption
+};
+
+struct DropStmt {
+  bool is_index = false;
+  std::string name;
+};
+
+struct Statement {
+  enum class Kind : uint8_t {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kCreateIndex,
+    kCreateCmk,
+    kCreateCek,
+    kAlterColumn,
+    kDrop,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<CreateCmkStmt> create_cmk;
+  std::unique_ptr<CreateCekStmt> create_cek;
+  std::unique_ptr<AlterColumnStmt> alter_column;
+  std::unique_ptr<DropStmt> drop;
+};
+
+}  // namespace aedb::sql
+
+#endif  // AEDB_SQL_AST_H_

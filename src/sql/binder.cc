@@ -1,0 +1,611 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+namespace aedb::sql {
+
+using types::EncKind;
+using types::EncryptionType;
+using types::TypeId;
+
+// ---------------------------------------------------------------------------
+// EncInference
+
+int EncInference::AddUnknown() {
+  Node n;
+  n.parent = static_cast<int>(nodes_.size());
+  nodes_.push_back(n);
+  return n.parent;
+}
+
+int EncInference::AddKnown(EncryptionType type) {
+  Node n;
+  n.parent = static_cast<int>(nodes_.size());
+  n.known = true;
+  n.concrete = type;
+  nodes_.push_back(n);
+  return n.parent;
+}
+
+int EncInference::Find(int v) {
+  while (nodes_[v].parent != v) {
+    nodes_[v].parent = nodes_[nodes_[v].parent].parent;  // path halving
+    v = nodes_[v].parent;
+  }
+  return v;
+}
+
+Status EncInference::Equate(int a, int b, const std::string& context) {
+  int ra = Find(a), rb = Find(b);
+  if (ra == rb) return Status::OK();
+  Node& na = nodes_[ra];
+  Node& nb = nodes_[rb];
+  if (na.known && nb.known) {
+    if (!(na.concrete == nb.concrete)) {
+      return Status::TypeCheckError(
+          context + ": operands have different encryption types (" +
+          na.concrete.ToString() + " vs " + nb.concrete.ToString() + ")");
+    }
+  }
+  // Merge rb into ra, combining knowledge and bounds.
+  if (!na.known && nb.known) {
+    na.known = true;
+    na.concrete = nb.concrete;
+  }
+  na.max_kind = types::EncKindLeq(na.max_kind, nb.max_kind) ? na.max_kind
+                                                            : nb.max_kind;
+  if (na.known && !types::EncKindLeq(na.concrete.kind, na.max_kind)) {
+    return Status::TypeCheckError(context + ": encryption type " +
+                                  na.concrete.ToString() +
+                                  " exceeds the operation's bound");
+  }
+  nodes_[rb].parent = ra;
+  return Status::OK();
+}
+
+Status EncInference::RestrictKind(int v, EncKind max, const std::string& context) {
+  int r = Find(v);
+  Node& n = nodes_[r];
+  n.max_kind = types::EncKindLeq(n.max_kind, max) ? n.max_kind : max;
+  if (n.known && !types::EncKindLeq(n.concrete.kind, n.max_kind)) {
+    return Status::TypeCheckError(context + ": " + n.concrete.ToString() +
+                                  " not allowed here (bound " +
+                                  types::EncKindName(max) + ")");
+  }
+  return Status::OK();
+}
+
+EncryptionType EncInference::Resolve(int v) {
+  Node& n = nodes_[Find(v)];
+  // Multiple solutions resolve to Plaintext (paper §4.3).
+  return n.known ? n.concrete : EncryptionType::Plaintext();
+}
+
+// ---------------------------------------------------------------------------
+// Binder
+
+namespace {
+
+/// Splits "t.col" into (qualifier, column).
+std::pair<std::string, std::string> SplitColumn(const std::string& name) {
+  size_t dot = name.find('.');
+  if (dot == std::string::npos) return {"", name};
+  return {name.substr(0, dot), name.substr(dot + 1)};
+}
+
+std::string LowerStr(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool TypesCompatible(TypeId a, TypeId b) {
+  if (a == b) return true;
+  auto numeric = [](TypeId t) {
+    return t == TypeId::kInt32 || t == TypeId::kInt64 || t == TypeId::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+}  // namespace
+
+Result<int> Binder::BindColumn(Expr* e, Context* ctx) {
+  auto [qualifier, column] = SplitColumn(e->column);
+  const TableDef* table = ctx->out->table;
+  int slot = 0;
+  if (!qualifier.empty()) {
+    if (ctx->out->table != nullptr &&
+        LowerStr(qualifier) == LowerStr(ctx->out->table->name)) {
+      table = ctx->out->table;
+      slot = 0;
+    } else if (ctx->out->join_table != nullptr &&
+               LowerStr(qualifier) == LowerStr(ctx->out->join_table->name)) {
+      table = ctx->out->join_table;
+      slot = 1;
+    } else {
+      return Status::NotFound("unknown table qualifier: " + qualifier);
+    }
+    int idx = table->FindColumn(column);
+    if (idx < 0) return Status::NotFound("no such column: " + e->column);
+    e->table_slot = slot;
+    e->column_index = idx;
+  } else {
+    int idx = table != nullptr ? table->FindColumn(column) : -1;
+    if (idx >= 0) {
+      e->table_slot = 0;
+      e->column_index = idx;
+    } else if (ctx->out->join_table != nullptr) {
+      idx = ctx->out->join_table->FindColumn(column);
+      if (idx < 0) return Status::NotFound("no such column: " + column);
+      table = ctx->out->join_table;
+      e->table_slot = 1;
+      e->column_index = idx;
+    } else {
+      return Status::NotFound("no such column: " + column);
+    }
+  }
+  const ColumnDef& def = (e->table_slot == 0 ? ctx->out->table
+                                             : ctx->out->join_table)
+                             ->columns[e->column_index];
+  e->type = def.type;
+  e->enc = def.enc;
+  return ctx->inference.AddKnown(def.enc);
+}
+
+void Binder::SetParamType(const Expr* e, TypeId type, Context* ctx) {
+  if (e->kind != Expr::Kind::kParam) return;
+  BoundParam& p = ctx->out->params[e->param_index];
+  if (!p.type_known) {
+    p.type = type;
+    p.type_known = true;
+  }
+}
+
+Status Binder::UnifyTypes(Expr* a, Expr* b, Context* ctx) {
+  auto node_type = [&](Expr* e, TypeId* t) -> bool {  // returns known?
+    if (e->kind == Expr::Kind::kParam) {
+      const BoundParam& p = ctx->out->params[e->param_index];
+      *t = p.type;
+      return p.type_known;
+    }
+    *t = e->type;
+    return true;
+  };
+  TypeId ta, tb;
+  bool ka = node_type(a, &ta);
+  bool kb = node_type(b, &tb);
+  if (ka && kb) {
+    if (!TypesCompatible(ta, tb)) {
+      return Status::TypeCheckError(std::string("cannot compare ") +
+                                    types::TypeIdName(ta) + " with " +
+                                    types::TypeIdName(tb));
+    }
+    return Status::OK();
+  }
+  if (ka) {
+    SetParamType(b, ta, ctx);
+    b->type = ta;
+    return Status::OK();
+  }
+  if (kb) {
+    SetParamType(a, tb, ctx);
+    a->type = tb;
+    return Status::OK();
+  }
+  // Both untyped parameters: a later predicate may still type one of them;
+  // link and resolve by fixpoint at the end of Bind.
+  if (a->kind == Expr::Kind::kParam && b->kind == Expr::Kind::kParam) {
+    ctx->type_links.emplace_back(a->param_index, b->param_index);
+    return Status::OK();
+  }
+  return Status::TypeCheckError("cannot deduce parameter types");
+}
+
+Status Binder::NoteEncryptedOperation(const EncryptionType& enc,
+                                      bool needs_enclave, Context* ctx) {
+  if (!needs_enclave) return Status::OK();
+  ctx->out->requires_enclave = true;
+  auto& list = ctx->out->enclave_ceks;
+  if (std::find(list.begin(), list.end(), enc.cek_id) == list.end()) {
+    list.push_back(enc.cek_id);
+  }
+  return Status::OK();
+}
+
+Status Binder::BindComparisonPair(Expr* a, Expr* b, int va, int vb,
+                                  es::CompareOp op, bool is_like,
+                                  Context* ctx) {
+  AEDB_RETURN_IF_ERROR(UnifyTypes(a, b, ctx));
+  AEDB_RETURN_IF_ERROR(ctx->inference.Equate(
+      va, vb, is_like ? "LIKE" : std::string(es::CompareOpName(op))));
+  // Validation happens after the whole statement's constraints have merged
+  // (a later predicate can still bind this class to a column's type).
+  ctx->checks.push_back(ComparisonCheck{a, b, va, op, is_like});
+  return Status::OK();
+}
+
+Status Binder::ValidateComparison(const ComparisonCheck& check, Context* ctx) {
+  EncryptionType enc = ctx->inference.Resolve(check.class_var);
+  check.a->enc = enc;
+  check.b->enc = enc;
+  if (!enc.is_encrypted()) return Status::OK();
+
+  bool is_equality = !check.is_like && (check.op == es::CompareOp::kEq ||
+                                        check.op == es::CompareOp::kNe);
+  if (!enc.enclave_enabled) {
+    // Without an enclave: only equality on DET (paper §2.4.3).
+    if (is_equality && enc.kind == EncKind::kDeterministic) {
+      return Status::OK();  // evaluated as VARBINARY equality on the host
+    }
+    return Status::TypeCheckError(
+        std::string(check.is_like ? "LIKE" : es::CompareOpName(check.op)) +
+        " not supported on " + enc.ToString() +
+        " (CEK is not enclave-enabled)");
+  }
+  // Enclave-enabled: equality, range and LIKE all go to the enclave —
+  // except DET equality, which stays a host ciphertext comparison.
+  bool needs_enclave = !(is_equality && enc.kind == EncKind::kDeterministic);
+  return NoteEncryptedOperation(enc, needs_enclave, ctx);
+}
+
+Result<int> Binder::BindExpr(Expr* e, Context* ctx) {
+  switch (e->kind) {
+    case Expr::Kind::kLiteral:
+      e->type = e->literal.type();
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+
+    case Expr::Kind::kColumn:
+      return BindColumn(e, ctx);
+
+    case Expr::Kind::kParam: {
+      auto it = ctx->param_vars.find(LowerStr(e->param));
+      if (it != ctx->param_vars.end()) {
+        e->param_index = static_cast<int>(ctx->param_ids[LowerStr(e->param)]);
+        return it->second;
+      }
+      int var = ctx->inference.AddUnknown();
+      ctx->param_vars[LowerStr(e->param)] = var;
+      ctx->param_ids[LowerStr(e->param)] = ctx->out->params.size();
+      e->param_index = static_cast<int>(ctx->out->params.size());
+      BoundParam p;
+      p.name = e->param;
+      ctx->out->params.push_back(std::move(p));
+      return var;
+    }
+
+    case Expr::Kind::kCompare: {
+      int va, vb;
+      AEDB_ASSIGN_OR_RETURN(va, BindExpr(e->a.get(), ctx));
+      AEDB_ASSIGN_OR_RETURN(vb, BindExpr(e->b.get(), ctx));
+      AEDB_RETURN_IF_ERROR(
+          BindComparisonPair(e->a.get(), e->b.get(), va, vb, e->cmp, false, ctx));
+      e->type = TypeId::kBool;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kLike: {
+      int va, vb;
+      AEDB_ASSIGN_OR_RETURN(va, BindExpr(e->a.get(), ctx));
+      AEDB_ASSIGN_OR_RETURN(vb, BindExpr(e->b.get(), ctx));
+      SetParamType(e->a.get(), TypeId::kString, ctx);
+      SetParamType(e->b.get(), TypeId::kString, ctx);
+      AEDB_RETURN_IF_ERROR(BindComparisonPair(e->a.get(), e->b.get(), va, vb,
+                                              es::CompareOp::kEq, true, ctx));
+      e->type = TypeId::kBool;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kBetween: {
+      int va, vb, vc;
+      AEDB_ASSIGN_OR_RETURN(va, BindExpr(e->a.get(), ctx));
+      AEDB_ASSIGN_OR_RETURN(vb, BindExpr(e->b.get(), ctx));
+      AEDB_ASSIGN_OR_RETURN(vc, BindExpr(e->c.get(), ctx));
+      AEDB_RETURN_IF_ERROR(BindComparisonPair(e->a.get(), e->b.get(), va, vb,
+                                              es::CompareOp::kGe, false, ctx));
+      AEDB_RETURN_IF_ERROR(BindComparisonPair(e->a.get(), e->c.get(), va, vc,
+                                              es::CompareOp::kLe, false, ctx));
+      e->type = TypeId::kBool;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      AEDB_RETURN_IF_ERROR(BindExpr(e->a.get(), ctx).status());
+      AEDB_RETURN_IF_ERROR(BindExpr(e->b.get(), ctx).status());
+      e->type = TypeId::kBool;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kNot: {
+      AEDB_RETURN_IF_ERROR(BindExpr(e->a.get(), ctx).status());
+      e->type = TypeId::kBool;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kIsNull: {
+      int va;
+      AEDB_ASSIGN_OR_RETURN(va, BindExpr(e->a.get(), ctx));
+      EncryptionType enc = ctx->inference.Resolve(va);
+      e->a->enc = enc;
+      if (enc.is_encrypted()) {
+        // Nullness is hidden inside the cell: testing it needs the enclave.
+        if (!enc.enclave_enabled) {
+          return Status::TypeCheckError(
+              "IS NULL not supported on encrypted column without an "
+              "enclave-enabled key");
+        }
+        AEDB_RETURN_IF_ERROR(NoteEncryptedOperation(enc, true, ctx));
+      }
+      e->type = TypeId::kBool;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kArith: {
+      int va, vb;
+      AEDB_ASSIGN_OR_RETURN(va, BindExpr(e->a.get(), ctx));
+      AEDB_ASSIGN_OR_RETURN(vb, BindExpr(e->b.get(), ctx));
+      // AEv2 does not compute arithmetic over ciphertext (paper §1.1).
+      AEDB_RETURN_IF_ERROR(ctx->inference.RestrictKind(
+          va, EncKind::kPlaintext, "arithmetic"));
+      AEDB_RETURN_IF_ERROR(ctx->inference.RestrictKind(
+          vb, EncKind::kPlaintext, "arithmetic"));
+      // An untyped parameter inherits the sibling operand's numeric type
+      // (W_YTD + @a must type @a DOUBLE, not BIGINT).
+      auto known_type = [&](Expr* x, TypeId* t) -> bool {
+        if (x->kind == Expr::Kind::kParam) {
+          const BoundParam& p = ctx->out->params[x->param_index];
+          *t = p.type;
+          return p.type_known;
+        }
+        *t = x->type;
+        return true;
+      };
+      TypeId ta, tb;
+      bool ka = known_type(e->a.get(), &ta);
+      bool kb = known_type(e->b.get(), &tb);
+      SetParamType(e->a.get(), kb ? tb : TypeId::kInt64, ctx);
+      SetParamType(e->b.get(), ka ? ta : TypeId::kInt64, ctx);
+      known_type(e->a.get(), &ta);
+      known_type(e->b.get(), &tb);
+      e->type = (ta == TypeId::kDouble || tb == TypeId::kDouble)
+                    ? TypeId::kDouble
+                    : TypeId::kInt64;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+
+    case Expr::Kind::kNeg: {
+      int va;
+      AEDB_ASSIGN_OR_RETURN(va, BindExpr(e->a.get(), ctx));
+      AEDB_RETURN_IF_ERROR(
+          ctx->inference.RestrictKind(va, EncKind::kPlaintext, "negation"));
+      SetParamType(e->a.get(), TypeId::kInt64, ctx);
+      e->type = e->a->type == TypeId::kDouble ? TypeId::kDouble : TypeId::kInt64;
+      e->enc = EncryptionType::Plaintext();
+      return ctx->inference.AddKnown(e->enc);
+    }
+  }
+  return Status::Internal("unreachable BindExpr");
+}
+
+Result<BoundStatement> Binder::Bind(Statement stmt) {
+  BoundStatement out;
+  out.stmt = std::move(stmt);
+  Context ctx;
+  ctx.out = &out;
+
+  switch (out.stmt.kind) {
+    case Statement::Kind::kSelect: {
+      SelectStmt* sel = out.stmt.select.get();
+      AEDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(sel->table));
+      if (!sel->join_table.empty()) {
+        AEDB_ASSIGN_OR_RETURN(out.join_table,
+                              catalog_->GetTable(sel->join_table));
+        // Bind the equi-join predicate (DET equi-joins are the paper's v1
+        // flagship, §1.1).
+        Expr left, right;
+        left.kind = Expr::Kind::kColumn;
+        left.column = sel->join_left;
+        right.kind = Expr::Kind::kColumn;
+        right.column = sel->join_right;
+        int vl, vr;
+        AEDB_ASSIGN_OR_RETURN(vl, BindColumn(&left, &ctx));
+        AEDB_ASSIGN_OR_RETURN(vr, BindColumn(&right, &ctx));
+        AEDB_RETURN_IF_ERROR(BindComparisonPair(&left, &right, vl, vr,
+                                                es::CompareOp::kEq, false,
+                                                &ctx));
+        // Join predicate must be evaluable by hash/merge on ciphertext or
+        // plaintext — enclave-routed joins are out of scope (per paper).
+        if (left.enc.is_encrypted() &&
+            left.enc.kind != EncKind::kDeterministic) {
+          return Status::TypeCheckError(
+              "equi-join requires plaintext or DET columns");
+        }
+        sel->join_left = left.column;
+        sel->join_right = right.column;
+        // Record resolved positions via items below; executor re-resolves.
+      }
+      for (SelectItem& item : sel->items) {
+        if (item.star) continue;
+        Expr col;
+        col.kind = Expr::Kind::kColumn;
+        col.column = item.column;
+        AEDB_RETURN_IF_ERROR(BindColumn(&col, &ctx).status());
+        item.table_slot = col.table_slot;
+        item.column_index = col.column_index;
+        if (item.agg != AggFunc::kNone && col.enc.is_encrypted()) {
+          return Status::TypeCheckError(
+              "aggregates over encrypted columns are not supported");
+        }
+        if ((item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) &&
+            !(col.type == TypeId::kInt32 || col.type == TypeId::kInt64 ||
+              col.type == TypeId::kDouble)) {
+          return Status::TypeCheckError("SUM/AVG require a numeric column");
+        }
+      }
+      if (out.stmt.select->where != nullptr) {
+        AEDB_RETURN_IF_ERROR(BindExpr(sel->where.get(), &ctx).status());
+        if (sel->where->type != TypeId::kBool) {
+          return Status::TypeCheckError("WHERE must be boolean");
+        }
+      }
+      if (!sel->group_by.empty()) {
+        Expr col;
+        col.kind = Expr::Kind::kColumn;
+        col.column = sel->group_by;
+        AEDB_RETURN_IF_ERROR(BindColumn(&col, &ctx).status());
+        sel->group_by_slot = col.table_slot;
+        sel->group_by_index = col.column_index;
+        if (col.enc.is_encrypted() && col.enc.kind != EncKind::kDeterministic) {
+          return Status::TypeCheckError(
+              "GROUP BY on randomized encryption is not supported "
+              "(equality grouping needs DET, paper §2.4.3)");
+        }
+      }
+      if (!sel->order_by.empty()) {
+        Expr col;
+        col.kind = Expr::Kind::kColumn;
+        col.column = sel->order_by;
+        AEDB_RETURN_IF_ERROR(BindColumn(&col, &ctx).status());
+        sel->order_by_index = col.column_index;
+        if (col.enc.is_encrypted()) {
+          return Status::TypeCheckError(
+              "ORDER BY on encrypted columns is not supported (paper §5.3)");
+        }
+      }
+      break;
+    }
+
+    case Statement::Kind::kInsert: {
+      InsertStmt* ins = out.stmt.insert.get();
+      AEDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(ins->table));
+      std::vector<int> target_cols;
+      if (ins->columns.empty()) {
+        for (size_t i = 0; i < out.table->columns.size(); ++i) {
+          target_cols.push_back(static_cast<int>(i));
+        }
+      } else {
+        for (const std::string& name : ins->columns) {
+          int idx = out.table->FindColumn(name);
+          if (idx < 0) return Status::NotFound("no such column: " + name);
+          target_cols.push_back(idx);
+        }
+      }
+      for (auto& row : ins->rows) {
+        if (row.size() != target_cols.size()) {
+          return Status::InvalidArgument("INSERT arity mismatch");
+        }
+        for (size_t i = 0; i < row.size(); ++i) {
+          const ColumnDef& col = out.table->columns[target_cols[i]];
+          int v;
+          AEDB_ASSIGN_OR_RETURN(v, BindExpr(row[i].get(), &ctx));
+          int vcol = ctx.inference.AddKnown(col.enc);
+          AEDB_RETURN_IF_ERROR(ctx.inference.Equate(
+              v, vcol, "INSERT into column " + col.name));
+          row[i]->enc = ctx.inference.Resolve(v);
+          SetParamType(row[i].get(), col.type, &ctx);
+          if (row[i]->kind == Expr::Kind::kLiteral &&
+              !row[i]->literal.is_null() &&
+              !TypesCompatible(row[i]->literal.type(), col.type)) {
+            return Status::TypeCheckError("INSERT type mismatch for " + col.name);
+          }
+        }
+      }
+      break;
+    }
+
+    case Statement::Kind::kUpdate: {
+      UpdateStmt* upd = out.stmt.update.get();
+      AEDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(upd->table));
+      for (auto& [col_name, value] : upd->sets) {
+        int idx = out.table->FindColumn(col_name);
+        if (idx < 0) return Status::NotFound("no such column: " + col_name);
+        const ColumnDef& col = out.table->columns[idx];
+        int v;
+        AEDB_ASSIGN_OR_RETURN(v, BindExpr(value.get(), &ctx));
+        int vcol = ctx.inference.AddKnown(col.enc);
+        AEDB_RETURN_IF_ERROR(
+            ctx.inference.Equate(v, vcol, "UPDATE of column " + col.name));
+        value->enc = ctx.inference.Resolve(v);
+        SetParamType(value.get(), col.type, &ctx);
+      }
+      if (upd->where != nullptr) {
+        AEDB_RETURN_IF_ERROR(BindExpr(upd->where.get(), &ctx).status());
+      }
+      break;
+    }
+
+    case Statement::Kind::kDelete: {
+      DeleteStmt* del = out.stmt.del.get();
+      AEDB_ASSIGN_OR_RETURN(out.table, catalog_->GetTable(del->table));
+      if (del->where != nullptr) {
+        AEDB_RETURN_IF_ERROR(BindExpr(del->where.get(), &ctx).status());
+      }
+      break;
+    }
+
+    default:
+      // DDL statements carry no expressions; the server executes them
+      // directly against the catalog.
+      return out;
+  }
+
+  // Writes to a table with a range index over an enclave-encrypted column
+  // route index comparisons into the enclave, so the CEK must be installed
+  // ("the driver also transparently sends CEKs to the enclave", §2.5).
+  if (out.stmt.kind != Statement::Kind::kSelect && out.table != nullptr) {
+    for (const IndexDef* index : catalog_->TableIndexes(out.table->id)) {
+      const ColumnDef& col = out.table->columns[index->column];
+      if (index->kind == IndexKind::kRange && col.enc.is_encrypted() &&
+          col.enc.enclave_enabled) {
+        AEDB_RETURN_IF_ERROR(NoteEncryptedOperation(col.enc, true, &ctx));
+      }
+    }
+  }
+
+  // Propagate parameter types across param-param comparisons to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto [ia, ib] : ctx.type_links) {
+      BoundParam& pa = out.params[ia];
+      BoundParam& pb = out.params[ib];
+      if (pa.type_known && !pb.type_known) {
+        pb.type = pa.type;
+        pb.type_known = true;
+        changed = true;
+      } else if (pb.type_known && !pa.type_known) {
+        pa.type = pb.type;
+        pa.type_known = true;
+        changed = true;
+      }
+    }
+  }
+
+  // Post-solve validation: every comparison is judged against its class's
+  // final resolution.
+  for (const ComparisonCheck& check : ctx.checks) {
+    AEDB_RETURN_IF_ERROR(ValidateComparison(check, &ctx));
+  }
+
+  // Final parameter resolution: encryption types from the solved classes.
+  for (auto& [name, var] : ctx.param_vars) {
+    BoundParam& p = out.params[ctx.param_ids[name]];
+    p.enc = ctx.inference.Resolve(var);
+    if (!p.type_known) {
+      return Status::TypeCheckError("cannot deduce type of parameter @" +
+                                    p.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace aedb::sql

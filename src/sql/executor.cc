@@ -1,0 +1,714 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aedb::sql {
+
+using storage::Rid;
+using types::TypeId;
+using types::Value;
+
+namespace {
+
+/// Coerces a value into a column's plaintext type (numeric widening etc.).
+Result<Value> Coerce(TypeId target, const Value& v) {
+  if (v.is_null()) return Value::Null(target);
+  if (v.type() == target) return v;
+  switch (target) {
+    case TypeId::kInt32:
+      if (v.IsNumeric()) return Value::Int32(static_cast<int32_t>(v.AsInt64()));
+      break;
+    case TypeId::kInt64:
+      if (v.IsNumeric()) return Value::Int64(v.AsInt64());
+      break;
+    case TypeId::kDouble:
+      if (v.IsNumeric()) return Value::Double(v.AsDouble());
+      break;
+    default:
+      break;
+  }
+  return Status::TypeCheckError(std::string("cannot coerce ") +
+                                types::TypeIdName(v.type()) + " to " +
+                                types::TypeIdName(target));
+}
+
+/// Pulls the (column, operand) shape out of a conjunct, flipping the
+/// comparison if the column is on the right.
+struct ColOpOperand {
+  const Expr* column = nullptr;
+  const Expr* operand = nullptr;  // literal or param
+  es::CompareOp op = es::CompareOp::kEq;
+};
+
+bool MatchColOperand(const Expr* e, ColOpOperand* out) {
+  if (e->kind != Expr::Kind::kCompare) return false;
+  auto is_operand = [](const Expr* x) {
+    return x->kind == Expr::Kind::kLiteral || x->kind == Expr::Kind::kParam;
+  };
+  if (e->a->kind == Expr::Kind::kColumn && is_operand(e->b.get())) {
+    out->column = e->a.get();
+    out->operand = e->b.get();
+    out->op = e->cmp;
+    return true;
+  }
+  if (e->b->kind == Expr::Kind::kColumn && is_operand(e->a.get())) {
+    out->column = e->b.get();
+    out->operand = e->a.get();
+    switch (e->cmp) {  // flip
+      case es::CompareOp::kLt: out->op = es::CompareOp::kGt; break;
+      case es::CompareOp::kLe: out->op = es::CompareOp::kGe; break;
+      case es::CompareOp::kGt: out->op = es::CompareOp::kLt; break;
+      case es::CompareOp::kGe: out->op = es::CompareOp::kLe; break;
+      default: out->op = e->cmp; break;
+    }
+    return true;
+  }
+  return false;
+}
+
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kAnd) {
+    FlattenConjuncts(e->a.get(), out);
+    FlattenConjuncts(e->b.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+Value OperandValue(const Expr* operand, const std::vector<Value>& params) {
+  if (operand->kind == Expr::Kind::kLiteral) return operand->literal;
+  return params[operand->param_index];
+}
+
+}  // namespace
+
+Result<int> ValueComparator::Compare(Slice a, Slice b) const {
+  size_t off = 0;
+  Value va, vb;
+  AEDB_ASSIGN_OR_RETURN(va, Value::Decode(a, &off));
+  off = 0;
+  AEDB_ASSIGN_OR_RETURN(vb, Value::Decode(b, &off));
+  if (va.is_null() && vb.is_null()) return 0;
+  if (va.is_null()) return -1;
+  if (vb.is_null()) return 1;
+  return va.Compare(vb);
+}
+
+Bytes Executor::IndexKeyFor(const ColumnDef& col, const Value& v) {
+  if (col.enc.is_encrypted() && !v.is_null() && v.type() == TypeId::kBinary) {
+    return v.bin();  // the AEAD cell is the key
+  }
+  return v.Encode();
+}
+
+void Executor::ClearProgramCache() {
+  std::unique_lock lock(program_cache_mu_);
+  program_cache_.clear();
+}
+
+Result<const es::EsProgram*> Executor::CompiledFor(
+    const Expr* expr, const InputLayout& layout,
+    const std::vector<BoundParam>& params, bool value_expr) {
+  {
+    std::shared_lock lock(program_cache_mu_);
+    auto it = program_cache_.find(expr);
+    if (it != program_cache_.end()) return it->second.get();
+  }
+  es::EsProgram program;
+  if (value_expr) {
+    AEDB_ASSIGN_OR_RETURN(program, CompileValueExpr(expr, layout, params));
+  } else {
+    AEDB_ASSIGN_OR_RETURN(program, CompilePredicate(expr, layout, params));
+  }
+  std::unique_lock lock(program_cache_mu_);
+  auto [it, inserted] = program_cache_.emplace(
+      expr, std::make_unique<es::EsProgram>(std::move(program)));
+  (void)inserted;
+  return it->second.get();
+}
+
+Result<bool> Executor::EvalPredicate(const es::EsProgram& program,
+                                     const std::vector<Value>& inputs) {
+  es::EvalContext ctx;
+  ctx.enclave = invoker_;
+  es::EsEvaluator evaluator(ctx);
+  std::vector<Value> out;
+  AEDB_ASSIGN_OR_RETURN(out, evaluator.Eval(program, inputs));
+  // SQL semantics: a NULL predicate does not pass.
+  return !out[0].is_null() && out[0].bool_v();
+}
+
+Result<std::vector<Value>> Executor::FetchRow(const TableDef& table,
+                                              const Rid& rid) {
+  Bytes record;
+  AEDB_ASSIGN_OR_RETURN(record, engine_->table(table.id)->Read(rid));
+  return DecodeRow(record, table.columns.size());
+}
+
+Result<Executor::Candidates> Executor::PlanAccess(
+    const Expr* where, const TableDef& table,
+    const std::vector<Value>& params) {
+  Candidates out;
+  if (where == nullptr) return out;
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(where, &conjuncts);
+
+  // First preference: an equality probe.
+  for (const Expr* e : conjuncts) {
+    ColOpOperand shape;
+    if (!MatchColOperand(e, &shape) || shape.column->table_slot != 0) continue;
+    if (shape.op != es::CompareOp::kEq) continue;
+    const ColumnDef& col = table.columns[shape.column->column_index];
+    const IndexDef* index =
+        catalog_->FindIndexOn(table.id, shape.column->column_index,
+                              col.enc.kind == types::EncKind::kDeterministic
+                                  ? IndexKind::kEquality
+                                  : IndexKind::kRange);
+    if (index == nullptr) continue;
+    if (!engine_->CheckIndexUsable(index->id).ok()) continue;
+    Bytes key = IndexKeyFor(col, OperandValue(shape.operand, params));
+    auto rids = engine_->index_tree(index->id)->SeekEqual(key);
+    if (!rids.ok()) return rids.status();
+    out.use_index = true;
+    out.rids = std::move(rids).value();
+    return out;
+  }
+
+  // Second: range bounds on a column with a range index.
+  for (const Expr* e : conjuncts) {
+    const Expr* column = nullptr;
+    const Expr *lower = nullptr, *upper = nullptr;
+    bool lower_inc = true, upper_inc = true;
+    ColOpOperand shape;
+    if (e->kind == Expr::Kind::kBetween &&
+        e->a->kind == Expr::Kind::kColumn && e->a->table_slot == 0) {
+      column = e->a.get();
+      lower = e->b.get();
+      upper = e->c.get();
+    } else if (MatchColOperand(e, &shape) && shape.column->table_slot == 0) {
+      column = shape.column;
+      switch (shape.op) {
+        case es::CompareOp::kLt: upper = shape.operand; upper_inc = false; break;
+        case es::CompareOp::kLe: upper = shape.operand; break;
+        case es::CompareOp::kGt: lower = shape.operand; lower_inc = false; break;
+        case es::CompareOp::kGe: lower = shape.operand; break;
+        default: continue;
+      }
+    } else {
+      continue;
+    }
+    const ColumnDef& col = table.columns[column->column_index];
+    const IndexDef* index =
+        catalog_->FindIndexOn(table.id, column->column_index, IndexKind::kRange);
+    if (index == nullptr || !engine_->CheckIndexUsable(index->id).ok()) continue;
+
+    storage::BTree* tree = engine_->index_tree(index->id);
+    const storage::Comparator* cmp = engine_->index_comparator(index->id);
+    storage::BTree::Iterator it;
+    Bytes lower_key, upper_key;
+    if (lower != nullptr) {
+      lower_key = IndexKeyFor(col, OperandValue(lower, params));
+      AEDB_ASSIGN_OR_RETURN(it, tree->SeekAtLeast(lower_key));
+      if (!lower_inc) {
+        while (it.Valid()) {
+          int c;
+          AEDB_ASSIGN_OR_RETURN(c, cmp->Compare(it.key(), lower_key));
+          if (c != 0) break;
+          it.Next();
+        }
+      }
+    } else {
+      it = tree->Begin();
+    }
+    if (upper != nullptr) {
+      upper_key = IndexKeyFor(col, OperandValue(upper, params));
+    }
+    out.use_index = true;
+    while (it.Valid()) {
+      if (upper != nullptr) {
+        int c;
+        AEDB_ASSIGN_OR_RETURN(c, cmp->Compare(it.key(), upper_key));
+        if (c > 0 || (c == 0 && !upper_inc)) break;
+      }
+      out.rids.push_back(it.rid());
+      it.Next();
+    }
+    return out;
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<Rid, std::vector<Value>>>>
+Executor::CollectMatches(const BoundStatement& bound, const Expr* where,
+                         const TableDef& table,
+                         const std::vector<Value>& params) {
+  InputLayout layout;
+  layout.table_columns = table.columns.size();
+  es::EsProgram always_true;
+  const es::EsProgram* filter = nullptr;
+  if (where == nullptr) {
+    AEDB_ASSIGN_OR_RETURN(always_true,
+                          CompilePredicate(nullptr, layout, bound.params));
+    filter = &always_true;
+  } else {
+    AEDB_ASSIGN_OR_RETURN(filter,
+                          CompiledFor(where, layout, bound.params, false));
+  }
+
+  Candidates candidates;
+  AEDB_ASSIGN_OR_RETURN(candidates, PlanAccess(where, table, params));
+
+  std::vector<std::pair<Rid, std::vector<Value>>> matches;
+  Status scan_status;
+  auto consider = [&](const Rid& rid,
+                      std::vector<Value> row) -> Result<bool> {
+    std::vector<Value> inputs = row;
+    inputs.insert(inputs.end(), params.begin(), params.end());
+    bool pass;
+    AEDB_ASSIGN_OR_RETURN(pass, EvalPredicate(*filter, inputs));
+    if (pass) matches.emplace_back(rid, std::move(row));
+    return true;
+  };
+
+  if (candidates.use_index) {
+    for (const Rid& rid : candidates.rids) {
+      auto row = FetchRow(table, rid);
+      if (!row.ok()) {
+        if (row.status().IsNotFound()) continue;  // dangling index entry
+        return row.status();
+      }
+      auto r = consider(rid, std::move(row).value());
+      if (!r.ok()) return r.status();
+    }
+  } else {
+    Status inner = Status::OK();
+    engine_->table(table.id)->Scan([&](const Rid& rid, Slice record) {
+      auto row = DecodeRow(record, table.columns.size());
+      if (!row.ok()) {
+        inner = row.status();
+        return false;
+      }
+      auto r = consider(rid, std::move(row).value());
+      if (!r.ok()) {
+        inner = r.status();
+        return false;
+      }
+      return true;
+    });
+    AEDB_RETURN_IF_ERROR(inner);
+  }
+  return matches;
+}
+
+Result<ResultSet> Executor::Select(const BoundStatement& bound,
+                                   const std::vector<Value>& params,
+                                   uint64_t txn) {
+  (void)txn;
+  const SelectStmt& sel = *bound.stmt.select;
+  const TableDef& table = *bound.table;
+
+  // Gather matching (combined) rows.
+  std::vector<std::vector<Value>> rows;
+  if (bound.join_table == nullptr) {
+    std::vector<std::pair<Rid, std::vector<Value>>> matches;
+    AEDB_ASSIGN_OR_RETURN(matches,
+                          CollectMatches(bound, sel.where.get(), table, params));
+    rows.reserve(matches.size());
+    for (auto& [rid, row] : matches) rows.push_back(std::move(row));
+  } else {
+    // Hash equi-join: build on the join table, probe with the main table
+    // (ciphertext bytes hash equal values equal for DET, §2.4.3).
+    const TableDef& right = *bound.join_table;
+    auto resolve = [&](const std::string& name, const TableDef& t) {
+      size_t dot = name.find('.');
+      return t.FindColumn(dot == std::string::npos ? name
+                                                   : name.substr(dot + 1));
+    };
+    int left_idx = resolve(sel.join_left, table);
+    int right_idx = resolve(sel.join_right, right);
+    if (left_idx < 0 || right_idx < 0) {
+      // The binder may have bound them the other way around.
+      std::swap(left_idx, right_idx);
+      left_idx = left_idx < 0 ? resolve(sel.join_right, table) : left_idx;
+      right_idx = right_idx < 0 ? resolve(sel.join_left, right) : right_idx;
+    }
+    if (left_idx < 0 || right_idx < 0) {
+      return Status::Internal("join columns failed to resolve");
+    }
+
+    InputLayout layout;
+    layout.table_columns = table.columns.size();
+    layout.join_columns = right.columns.size();
+    es::EsProgram always_true;
+    const es::EsProgram* filter = nullptr;
+    if (sel.where == nullptr) {
+      AEDB_ASSIGN_OR_RETURN(always_true,
+                            CompilePredicate(nullptr, layout, bound.params));
+      filter = &always_true;
+    } else {
+      AEDB_ASSIGN_OR_RETURN(
+          filter, CompiledFor(sel.where.get(), layout, bound.params, false));
+    }
+
+    std::map<Bytes, std::vector<std::vector<Value>>> hash;
+    Status inner = Status::OK();
+    engine_->table(right.id)->Scan([&](const Rid&, Slice record) {
+      auto row = DecodeRow(record, right.columns.size());
+      if (!row.ok()) {
+        inner = row.status();
+        return false;
+      }
+      const Value& key = (*row)[right_idx];
+      if (key.is_null()) return true;  // NULL never joins
+      hash[IndexKeyFor(right.columns[right_idx], key)].push_back(
+          std::move(row).value());
+      return true;
+    });
+    AEDB_RETURN_IF_ERROR(inner);
+
+    engine_->table(table.id)->Scan([&](const Rid&, Slice record) {
+      auto row = DecodeRow(record, table.columns.size());
+      if (!row.ok()) {
+        inner = row.status();
+        return false;
+      }
+      const Value& key = (*row)[left_idx];
+      if (key.is_null()) return true;
+      auto it = hash.find(IndexKeyFor(table.columns[left_idx], key));
+      if (it == hash.end()) return true;
+      for (const auto& right_row : it->second) {
+        std::vector<Value> combined = *row;
+        combined.insert(combined.end(), right_row.begin(), right_row.end());
+        std::vector<Value> inputs = combined;
+        inputs.insert(inputs.end(), params.begin(), params.end());
+        auto pass = EvalPredicate(*filter, inputs);
+        if (!pass.ok()) {
+          inner = pass.status();
+          return false;
+        }
+        if (*pass) rows.push_back(std::move(combined));
+      }
+      return true;
+    });
+    AEDB_RETURN_IF_ERROR(inner);
+  }
+
+  // Column resolution for projection.
+  size_t main_cols = table.columns.size();
+  auto slot_of = [&](const SelectItem& item) -> size_t {
+    return item.table_slot == 0 ? static_cast<size_t>(item.column_index)
+                                : main_cols + static_cast<size_t>(item.column_index);
+  };
+
+  ResultSet result;
+  bool has_agg = false;
+  for (const SelectItem& item : sel.items) {
+    if (item.agg != AggFunc::kNone) has_agg = true;
+  }
+
+  if (has_agg || !sel.group_by.empty()) {
+    // Aggregation (optionally grouped). Group keys are encoded values —
+    // byte-equal iff value-equal (DET cells included).
+    struct Acc {
+      int64_t count = 0;
+      int64_t count_col = 0;
+      double sum = 0;
+      bool sum_is_double = false;
+      Value min, max;
+      Value group_value;
+    };
+    size_t group_slot = 0;
+    bool grouped = !sel.group_by.empty();
+    if (grouped) {
+      group_slot = sel.group_by_slot == 0
+                       ? static_cast<size_t>(sel.group_by_index)
+                       : main_cols + static_cast<size_t>(sel.group_by_index);
+    }
+    std::map<Bytes, Acc> groups;
+    for (const auto& row : rows) {
+      Bytes key;
+      if (grouped) key = row[group_slot].Encode();
+      Acc& acc = groups[key];
+      if (grouped) acc.group_value = row[group_slot];
+      ++acc.count;
+      for (const SelectItem& item : sel.items) {
+        if (item.agg == AggFunc::kNone || item.star) continue;
+        const Value& v = row[slot_of(item)];
+        if (v.is_null()) continue;
+        ++acc.count_col;
+        if (v.IsNumeric()) {
+          acc.sum += v.AsDouble();
+          if (v.type() == TypeId::kDouble) acc.sum_is_double = true;
+        }
+        if (acc.min.is_null() || *v.Compare(acc.min) < 0) acc.min = v;
+        if (acc.max.is_null() || *v.Compare(acc.max) > 0) acc.max = v;
+      }
+    }
+    if (!grouped && groups.empty()) groups[Bytes{}];  // empty input: one row
+    for (const SelectItem& item : sel.items) {
+      result.columns.push_back(item.alias.empty()
+                                   ? (item.star ? "COUNT(*)" : item.column)
+                                   : item.alias);
+      if (item.agg == AggFunc::kNone && !item.star) {
+        const TableDef& t = item.table_slot == 0 ? table : *bound.join_table;
+        result.column_enc.push_back(t.columns[item.column_index].enc);
+      } else {
+        result.column_enc.push_back(types::EncryptionType::Plaintext());
+      }
+    }
+    for (auto& [key, acc] : groups) {
+      std::vector<Value> out_row;
+      for (const SelectItem& item : sel.items) {
+        switch (item.agg) {
+          case AggFunc::kNone:
+            out_row.push_back(acc.group_value);
+            break;
+          case AggFunc::kCount:
+            out_row.push_back(Value::Int64(item.star ? acc.count : acc.count_col));
+            break;
+          case AggFunc::kSum:
+            out_row.push_back(acc.sum_is_double
+                                  ? Value::Double(acc.sum)
+                                  : Value::Int64(static_cast<int64_t>(acc.sum)));
+            break;
+          case AggFunc::kMin:
+            out_row.push_back(acc.min);
+            break;
+          case AggFunc::kMax:
+            out_row.push_back(acc.max);
+            break;
+          case AggFunc::kAvg:
+            out_row.push_back(acc.count_col == 0
+                                  ? Value::Null(TypeId::kDouble)
+                                  : Value::Double(acc.sum / acc.count_col));
+            break;
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+    }
+    return result;
+  }
+
+  // Plain projection. ORDER BY sorts on the (plaintext) column.
+  if (!sel.order_by.empty()) {
+    size_t order_slot = static_cast<size_t>(sel.order_by_index);
+    Status sort_status;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const std::vector<Value>& x, const std::vector<Value>& y) {
+                       const Value& a = x[order_slot];
+                       const Value& b = y[order_slot];
+                       if (a.is_null() || b.is_null()) return b.is_null() < a.is_null();
+                       auto c = a.Compare(b);
+                       if (!c.ok()) return false;
+                       return sel.order_desc ? *c > 0 : *c < 0;
+                     });
+  }
+  if (sel.limit >= 0 && rows.size() > static_cast<size_t>(sel.limit)) {
+    rows.resize(static_cast<size_t>(sel.limit));
+  }
+  if (sel.select_all) {
+    for (const ColumnDef& col : table.columns) {
+      result.columns.push_back(col.name);
+      result.column_enc.push_back(col.enc);
+    }
+    if (bound.join_table != nullptr) {
+      for (const ColumnDef& col : bound.join_table->columns) {
+        result.columns.push_back(col.name);
+        result.column_enc.push_back(col.enc);
+      }
+    }
+    result.rows = std::move(rows);
+  } else {
+    for (const SelectItem& item : sel.items) {
+      result.columns.push_back(item.alias.empty() ? item.column : item.alias);
+      const TableDef& t = item.table_slot == 0 ? table : *bound.join_table;
+      result.column_enc.push_back(t.columns[item.column_index].enc);
+    }
+    for (const auto& row : rows) {
+      std::vector<Value> out_row;
+      out_row.reserve(sel.items.size());
+      for (const SelectItem& item : sel.items) out_row.push_back(row[slot_of(item)]);
+      result.rows.push_back(std::move(out_row));
+    }
+  }
+  return result;
+}
+
+Status Executor::MaintainIndexesOnInsert(const TableDef& table,
+                                         const std::vector<Value>& row,
+                                         const Rid& rid, uint64_t txn) {
+  for (const IndexDef* index : catalog_->TableIndexes(table.id)) {
+    Bytes key = IndexKeyFor(table.columns[index->column], row[index->column]);
+    AEDB_RETURN_IF_ERROR(engine_->IndexInsert(txn, index->id, key, rid));
+  }
+  return Status::OK();
+}
+
+Status Executor::MaintainIndexesOnDelete(const TableDef& table,
+                                         const std::vector<Value>& row,
+                                         const Rid& rid, uint64_t txn) {
+  for (const IndexDef* index : catalog_->TableIndexes(table.id)) {
+    Bytes key = IndexKeyFor(table.columns[index->column], row[index->column]);
+    AEDB_RETURN_IF_ERROR(engine_->IndexDelete(txn, index->id, key, rid));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Executor::Insert(const BoundStatement& bound,
+                                 const std::vector<Value>& params,
+                                 uint64_t txn) {
+  const InsertStmt& ins = *bound.stmt.insert;
+  const TableDef& table = *bound.table;
+
+  std::vector<int> targets;
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < table.columns.size(); ++i) targets.push_back(static_cast<int>(i));
+  } else {
+    for (const std::string& name : ins.columns) targets.push_back(table.FindColumn(name));
+  }
+
+  InputLayout layout;  // VALUES expressions see only parameters
+  int64_t inserted = 0;
+  for (const auto& value_row : ins.rows) {
+    std::vector<Value> row(table.columns.size());
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      row[i] = Value::Null(table.columns[i].type);
+    }
+    es::EvalContext ctx;
+    ctx.enclave = invoker_;
+    es::EsEvaluator evaluator(ctx);
+    for (size_t i = 0; i < value_row.size(); ++i) {
+      const ColumnDef& col = table.columns[targets[i]];
+      const es::EsProgram* program;
+      AEDB_ASSIGN_OR_RETURN(program, CompiledFor(value_row[i].get(), layout,
+                                                 bound.params, true));
+      std::vector<Value> out;
+      AEDB_ASSIGN_OR_RETURN(out, evaluator.Eval(*program, params));
+      if (col.enc.is_encrypted()) {
+        if (!out[0].is_null() && out[0].type() != TypeId::kBinary) {
+          return Status::SecurityError(
+              "plaintext value for encrypted column " + col.name +
+              " (driver must encrypt parameters)");
+        }
+        row[targets[i]] = std::move(out[0]);
+      } else {
+        AEDB_ASSIGN_OR_RETURN(row[targets[i]], Coerce(col.type, out[0]));
+      }
+    }
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      if (!table.columns[i].nullable && row[i].is_null()) {
+        return Status::InvalidArgument("column " + table.columns[i].name +
+                                       " is NOT NULL");
+      }
+    }
+    Rid rid;
+    AEDB_ASSIGN_OR_RETURN(rid, engine_->HeapInsert(txn, table.id, EncodeRow(row)));
+    AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
+    AEDB_RETURN_IF_ERROR(MaintainIndexesOnInsert(table, row, rid, txn));
+    ++inserted;
+  }
+  return inserted;
+}
+
+Result<int64_t> Executor::Update(const BoundStatement& bound,
+                                 const std::vector<Value>& params,
+                                 uint64_t txn) {
+  const UpdateStmt& upd = *bound.stmt.update;
+  const TableDef& table = *bound.table;
+
+  std::vector<std::pair<Rid, std::vector<Value>>> matches;
+  AEDB_ASSIGN_OR_RETURN(matches,
+                        CollectMatches(bound, upd.where.get(), table, params));
+
+  InputLayout layout;
+  layout.table_columns = table.columns.size();
+  std::vector<std::pair<int, const es::EsProgram*>> set_programs;
+  for (const auto& [col_name, expr] : upd.sets) {
+    int idx = table.FindColumn(col_name);
+    const es::EsProgram* program;
+    AEDB_ASSIGN_OR_RETURN(program,
+                          CompiledFor(expr.get(), layout, bound.params, true));
+    set_programs.emplace_back(idx, program);
+  }
+
+  int64_t updated = 0;
+  for (auto& [rid, row] : matches) {
+    AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
+    std::vector<Value> inputs = row;
+    inputs.insert(inputs.end(), params.begin(), params.end());
+    std::vector<Value> new_row = row;
+    es::EvalContext ctx;
+    ctx.enclave = invoker_;
+    es::EsEvaluator evaluator(ctx);
+    for (auto& [idx, program] : set_programs) {
+      const ColumnDef& col = table.columns[idx];
+      std::vector<Value> out;
+      AEDB_ASSIGN_OR_RETURN(out, evaluator.Eval(*program, inputs));
+      if (col.enc.is_encrypted()) {
+        if (!out[0].is_null() && out[0].type() != TypeId::kBinary) {
+          return Status::SecurityError("plaintext value for encrypted column " +
+                                       col.name);
+        }
+        new_row[idx] = std::move(out[0]);
+      } else {
+        AEDB_ASSIGN_OR_RETURN(new_row[idx], Coerce(col.type, out[0]));
+      }
+      if (!col.nullable && new_row[idx].is_null()) {
+        return Status::InvalidArgument("column " + col.name + " is NOT NULL");
+      }
+    }
+    // Delete + insert keeps undo physical (see storage engine docs).
+    AEDB_RETURN_IF_ERROR(MaintainIndexesOnDelete(table, row, rid, txn));
+    AEDB_RETURN_IF_ERROR(engine_->HeapDelete(txn, table.id, rid));
+    Rid new_rid;
+    AEDB_ASSIGN_OR_RETURN(new_rid,
+                          engine_->HeapInsert(txn, table.id, EncodeRow(new_row)));
+    AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, new_rid));
+    AEDB_RETURN_IF_ERROR(MaintainIndexesOnInsert(table, new_row, new_rid, txn));
+    ++updated;
+  }
+  return updated;
+}
+
+Result<int64_t> Executor::Delete(const BoundStatement& bound,
+                                 const std::vector<Value>& params,
+                                 uint64_t txn) {
+  const DeleteStmt& del = *bound.stmt.del;
+  const TableDef& table = *bound.table;
+  std::vector<std::pair<Rid, std::vector<Value>>> matches;
+  AEDB_ASSIGN_OR_RETURN(matches,
+                        CollectMatches(bound, del.where.get(), table, params));
+  int64_t deleted = 0;
+  for (auto& [rid, row] : matches) {
+    AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
+    AEDB_RETURN_IF_ERROR(MaintainIndexesOnDelete(table, row, rid, txn));
+    AEDB_RETURN_IF_ERROR(engine_->HeapDelete(txn, table.id, rid));
+    ++deleted;
+  }
+  return deleted;
+}
+
+Status Executor::BuildIndex(const TableDef& table, const IndexDef& index,
+                            uint64_t txn) {
+  Status inner = Status::OK();
+  engine_->table(table.id)->Scan([&](const Rid& rid, Slice record) {
+    auto row = DecodeRow(record, table.columns.size());
+    if (!row.ok()) {
+      inner = row.status();
+      return false;
+    }
+    Bytes key =
+        IndexKeyFor(table.columns[index.column], (*row)[index.column]);
+    Status st = engine_->IndexInsert(txn, index.id, key, rid);
+    if (!st.ok()) {
+      inner = st;
+      return false;
+    }
+    return true;
+  });
+  return inner;
+}
+
+}  // namespace aedb::sql

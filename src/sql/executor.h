@@ -1,0 +1,118 @@
+#ifndef AEDB_SQL_EXECUTOR_H_
+#define AEDB_SQL_EXECUTOR_H_
+
+#include <map>
+#include <shared_mutex>
+#include <vector>
+
+#include "es/evaluator.h"
+#include "sql/binder.h"
+#include "sql/compiler.h"
+#include "storage/engine.h"
+
+namespace aedb::sql {
+
+/// Query results: column headers plus rows of values. Encrypted columns come
+/// back as kBinary cells — the server never holds their plaintext; the
+/// driver decrypts (paper §2.4).
+struct ResultSet {
+  std::vector<std::string> columns;
+  /// Per-column encryption metadata ("key metadata needed to decrypt the
+  /// results", §3): the driver uses this to know which cells to decrypt.
+  std::vector<types::EncryptionType> column_enc;
+  std::vector<std::vector<types::Value>> rows;
+};
+
+/// \brief Executes bound DML against the storage engine.
+///
+/// Planning is integrated: point lookups use equality indexes (DET
+/// ciphertext probes) or range indexes (enclave-compared probes); range and
+/// BETWEEN predicates use range indexes with residual filtering; everything
+/// else is a scan + filter, with filter expressions evaluated by expression
+/// services — TMEval stubs route encrypted atoms into the enclave via the
+/// provided invoker.
+class Executor {
+ public:
+  Executor(const Catalog* catalog, storage::StorageEngine* engine,
+           es::EnclaveInvoker* invoker)
+      : catalog_(catalog), engine_(engine), invoker_(invoker) {}
+
+  Result<ResultSet> Select(const BoundStatement& bound,
+                           const std::vector<types::Value>& params,
+                           uint64_t txn);
+  Result<int64_t> Insert(const BoundStatement& bound,
+                         const std::vector<types::Value>& params, uint64_t txn);
+  Result<int64_t> Update(const BoundStatement& bound,
+                         const std::vector<types::Value>& params, uint64_t txn);
+  Result<int64_t> Delete(const BoundStatement& bound,
+                         const std::vector<types::Value>& params, uint64_t txn);
+
+  /// Populates a freshly created index from its table ("an index build
+  /// requires sorting of data that reveals the data ordering", §3.2).
+  Status BuildIndex(const TableDef& table, const IndexDef& index, uint64_t txn);
+
+  /// The bytes an index stores for a row's column value: the raw AEAD cell
+  /// for encrypted columns, the value encoding for plaintext ones.
+  static Bytes IndexKeyFor(const ColumnDef& col, const types::Value& v);
+
+  /// Must be called whenever the plan cache is invalidated: compiled
+  /// programs are keyed by bound-expression addresses owned by the plans.
+  void ClearProgramCache();
+
+ private:
+  struct Candidates {
+    bool use_index = false;
+    std::vector<storage::Rid> rids;  // when use_index
+  };
+
+  /// Finds candidate rows for the WHERE clause of `bound` over `table`,
+  /// using an index when one matches a conjunct.
+  Result<Candidates> PlanAccess(const Expr* where, const TableDef& table,
+                                const std::vector<types::Value>& params);
+
+  Result<bool> EvalPredicate(const es::EsProgram& program,
+                             const std::vector<types::Value>& inputs);
+
+  /// Compiled-program cache keyed by the bound expression node (stable: the
+  /// plan cache owns the bound statements) — the CEsComp-in-plan-cache of
+  /// paper section 4.4.
+  Result<const es::EsProgram*> CompiledFor(const Expr* expr,
+                                           const InputLayout& layout,
+                                           const std::vector<BoundParam>& params,
+                                           bool value_expr);
+
+  /// Reads and decodes a row.
+  Result<std::vector<types::Value>> FetchRow(const TableDef& table,
+                                             const storage::Rid& rid);
+
+  /// Collects (rid, row) pairs matching the filter.
+  Result<std::vector<std::pair<storage::Rid, std::vector<types::Value>>>>
+  CollectMatches(const BoundStatement& bound, const Expr* where,
+                 const TableDef& table,
+                 const std::vector<types::Value>& params);
+
+  Status MaintainIndexesOnInsert(const TableDef& table,
+                                 const std::vector<types::Value>& row,
+                                 const storage::Rid& rid, uint64_t txn);
+  Status MaintainIndexesOnDelete(const TableDef& table,
+                                 const std::vector<types::Value>& row,
+                                 const storage::Rid& rid, uint64_t txn);
+
+  const Catalog* catalog_;
+  storage::StorageEngine* engine_;
+  es::EnclaveInvoker* invoker_;
+
+  std::shared_mutex program_cache_mu_;
+  std::map<const void*, std::unique_ptr<es::EsProgram>> program_cache_;
+};
+
+/// Orders a plaintext index by decoded Value comparison (NULLs first).
+class ValueComparator : public storage::Comparator {
+ public:
+  Result<int> Compare(Slice a, Slice b) const override;
+  const char* Name() const override { return "value"; }
+};
+
+}  // namespace aedb::sql
+
+#endif  // AEDB_SQL_EXECUTOR_H_

@@ -1,0 +1,148 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace aedb::sql {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // Hex literal 0x...
+    if (c == '0' && i + 1 < n && (sql[i + 1] == 'x' || sql[i + 1] == 'X')) {
+      size_t start = i + 2;
+      size_t j = start;
+      while (j < n && std::isxdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      tok.type = TokenType::kHexLiteral;
+      auto decoded = HexDecode(sql.substr(start, j - start));
+      if (!decoded.ok()) {
+        return Status::InvalidArgument("bad hex literal at offset " +
+                                       std::to_string(i));
+      }
+      tok.hex = *decoded;
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') is_float = true;
+        ++j;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(sql.substr(i, j - i));
+      tok.is_float = is_float;
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // String literal, optionally N-prefixed.
+    if (c == '\'' || ((c == 'N' || c == 'n') && i + 1 < n && sql[i + 1] == '\'')) {
+      size_t j = c == '\'' ? i + 1 : i + 2;
+      std::string value;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '@') {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      if (j == i + 1) return Status::InvalidArgument("bare '@'");
+      tok.type = TokenType::kParam;
+      tok.text = std::string(sql.substr(i + 1, j - i - 1));
+      i = j;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Bracket-quoted identifier [name].
+    if (c == '[') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != ']') ++j;
+      if (j == n) return Status::InvalidArgument("unterminated [identifier]");
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i + 1, j - i - 1));
+      i = j + 1;
+    } else if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(i, j - i));
+      i = j;
+    } else {
+      // Multi-char symbols first.
+      std::string_view rest = sql.substr(i);
+      tok.type = TokenType::kSymbol;
+      if (rest.substr(0, 2) == "<=" || rest.substr(0, 2) == ">=" ||
+          rest.substr(0, 2) == "<>" || rest.substr(0, 2) == "!=") {
+        tok.text = std::string(rest.substr(0, 2));
+        i += 2;
+      } else if (std::string_view("(),.=<>+-*/;").find(c) !=
+                 std::string_view::npos) {
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    tok.upper = tok.text;
+    for (char& ch : tok.upper) ch = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(ch)));
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace aedb::sql

@@ -1,0 +1,36 @@
+#ifndef AEDB_SQL_LEXER_H_
+#define AEDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace aedb::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,   // foo, [foo], keywords are identifiers until matched
+  kNumber,       // 123, 4.5
+  kString,       // 'text' (N'text' accepted)
+  kHexLiteral,   // 0xABCD
+  kParam,        // @name
+  kSymbol,       // ( ) , . = < > <= >= <> != + - * / ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier (original case), symbol, or raw number
+  std::string upper;    // uppercase identifier for keyword matching
+  Bytes hex;            // decoded kHexLiteral payload
+  bool is_float = false;
+  size_t offset = 0;    // position in the input, for error messages
+};
+
+/// Tokenizes a SQL string up front (errors on malformed literals).
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace aedb::sql
+
+#endif  // AEDB_SQL_LEXER_H_

@@ -1,0 +1,37 @@
+#ifndef AEDB_SQL_PARSER_H_
+#define AEDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace aedb::sql {
+
+/// \brief Recursive-descent parser for the AE SQL dialect.
+///
+/// Supported grammar (keywords case-insensitive):
+///   SELECT {* | item[, ...]} FROM t [JOIN t2 ON a = b] [WHERE pred]
+///     [GROUP BY col] [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   item     := col | COUNT(*) | COUNT(col) | SUM(col) | MIN(col) | MAX(col)
+///             | AVG(col) [AS alias]
+///   INSERT INTO t [(col, ...)] VALUES (expr, ...)[, (...)]
+///   UPDATE t SET col = expr[, ...] [WHERE pred]
+///   DELETE FROM t [WHERE pred]
+///   CREATE TABLE t (col type [NOT NULL] [ENCRYPTED WITH (
+///       COLUMN_ENCRYPTION_KEY = cek, ENCRYPTION_TYPE = {RANDOMIZED |
+///       DETERMINISTIC}, ALGORITHM = '...')], ...)
+///   CREATE [UNIQUE] INDEX i ON t (col)
+///   CREATE COLUMN MASTER KEY m WITH (KEY_STORE_PROVIDER_NAME = '...',
+///       KEY_PATH = '...'[, ENCLAVE_COMPUTATIONS (SIGNATURE = 0x...)])
+///   CREATE COLUMN ENCRYPTION KEY k WITH VALUES (COLUMN_MASTER_KEY = m,
+///       ALGORITHM = 'RSA_OAEP', ENCRYPTED_VALUE = 0x...[, SIGNATURE = 0x...])
+///   ALTER TABLE t ALTER COLUMN c type [ENCRYPTED WITH (...)]
+///   DROP {TABLE | INDEX} name
+///   pred := or-chain of AND/NOT/comparison/LIKE/BETWEEN/IS [NOT] NULL
+///   operand := literal | @param | col | arithmetic over these
+Result<Statement> Parse(std::string_view sql);
+
+}  // namespace aedb::sql
+
+#endif  // AEDB_SQL_PARSER_H_

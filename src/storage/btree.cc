@@ -1,0 +1,291 @@
+#include "storage/btree.h"
+
+#include <cassert>
+
+namespace aedb::storage {
+
+/// Both node kinds hold parallel (keys, rids) arrays; the rid participates in
+/// ordering so duplicate keys have a total order and separators are unique —
+/// internal separators are (key, rid) pairs. Leaves additionally chain via
+/// `next` for range scans.
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<Bytes> keys;
+  std::vector<Rid> rids;
+  std::vector<std::unique_ptr<Node>> children;  // size keys.size()+1 (internal)
+  Node* next = nullptr;                         // leaf chain
+};
+
+BTree::BTree(const Comparator* comparator, bool unique)
+    : comparator_(comparator), unique_(unique), root_(std::make_unique<Node>()) {}
+
+BTree::~BTree() = default;
+
+// Out-of-line so ~unique_ptr<Node> sees the complete type.
+void BTree::Clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+Result<int> BTree::Cmp(Slice a, Slice b) const {
+  comparisons_.fetch_add(1, std::memory_order_relaxed);
+  return comparator_->Compare(a, b);
+}
+
+Result<int> BTree::CmpEntry(Slice key, Rid rid, const Node* node,
+                            size_t i) const {
+  int c;
+  AEDB_ASSIGN_OR_RETURN(c, Cmp(key, node->keys[i]));
+  if (c != 0) return c;
+  uint64_t a = rid.Encode(), b = node->rids[i].Encode();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+namespace {
+constexpr Rid kMinRid{0, 0};
+}  // namespace
+
+Result<size_t> BTree::ChildIndex(const Node* node, Slice key) const {
+  // This overload is used by (key, kMinRid) searches only; see InsertRec for
+  // the rid-aware descent.
+  size_t lo = 0, hi = node->keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    int c;
+    AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, kMinRid, node, mid));
+    if (c < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Result<bool> BTree::InsertRec(Node* node, const Bytes& key, Rid rid,
+                              std::unique_ptr<SplitResult>* split) {
+  if (node->leaf) {
+    // Binary search for the (key, rid) position.
+    size_t lo = 0, hi = node->keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, rid, node, mid));
+      if (c < 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    node->keys.insert(node->keys.begin() + lo, key);
+    node->rids.insert(node->rids.begin() + lo, rid);
+    if (node->keys.size() > kMaxKeys) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = true;
+      right->keys.assign(node->keys.begin() + mid, node->keys.end());
+      right->rids.assign(node->rids.begin() + mid, node->rids.end());
+      node->keys.resize(mid);
+      node->rids.resize(mid);
+      right->next = node->next;
+      node->next = right.get();
+      auto result = std::make_unique<SplitResult>();
+      result->separator = right->keys.front();
+      result->separator_rid = right->rids.front();
+      result->right = std::move(right);
+      *split = std::move(result);
+    }
+    return true;
+  }
+
+  // Internal: rid-aware descent.
+  size_t lo = 0, hi = node->keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    int c;
+    AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, rid, node, mid));
+    if (c < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  std::unique_ptr<SplitResult> child_split;
+  bool inserted;
+  AEDB_ASSIGN_OR_RETURN(inserted,
+                        InsertRec(node->children[lo].get(), key, rid,
+                                  &child_split));
+  if (child_split != nullptr) {
+    node->keys.insert(node->keys.begin() + lo, child_split->separator);
+    node->rids.insert(node->rids.begin() + lo, child_split->separator_rid);
+    node->children.insert(node->children.begin() + lo + 1,
+                          std::move(child_split->right));
+    if (node->keys.size() > kMaxKeys) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = false;
+      right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+      right->rids.assign(node->rids.begin() + mid + 1, node->rids.end());
+      for (size_t i = mid + 1; i < node->children.size(); ++i) {
+        right->children.push_back(std::move(node->children[i]));
+      }
+      auto result = std::make_unique<SplitResult>();
+      result->separator = std::move(node->keys[mid]);
+      result->separator_rid = node->rids[mid];
+      node->keys.resize(mid);
+      node->rids.resize(mid);
+      node->children.resize(mid + 1);
+      result->right = std::move(right);
+      *split = std::move(result);
+    }
+  }
+  return inserted;
+}
+
+Result<bool> BTree::Insert(const Bytes& key, Rid rid) {
+  if (unique_) {
+    std::vector<Rid> existing;
+    AEDB_ASSIGN_OR_RETURN(existing, SeekEqual(key));
+    if (!existing.empty()) return false;
+  }
+  std::unique_ptr<SplitResult> split;
+  AEDB_RETURN_IF_ERROR(InsertRec(root_.get(), key, rid, &split).status());
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split->separator));
+    new_root->rids.push_back(split->separator_rid);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+  return true;
+}
+
+Result<bool> BTree::Delete(const Bytes& key, Rid rid) {
+  // Descend rid-aware to the leaf that would hold (key, rid).
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t lo = 0, hi = node->keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, rid, node, mid));
+      if (c < 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    node = node->children[lo].get();
+  }
+  size_t lo = 0, hi = node->keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    int c;
+    AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, rid, node, mid));
+    if (c < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // The match, if present, is the entry just before the insert position.
+  if (lo == 0) return false;
+  size_t pos = lo - 1;
+  int c;
+  AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, rid, node, pos));
+  if (c != 0) return false;
+  node->keys.erase(node->keys.begin() + pos);
+  node->rids.erase(node->rids.begin() + pos);
+  --size_;
+  // Lazy deletion: no rebalance; empty leaves are skipped by iterators.
+  return true;
+}
+
+Result<std::vector<Rid>> BTree::SeekEqual(Slice key) const {
+  std::vector<Rid> out;
+  Iterator it;
+  AEDB_ASSIGN_OR_RETURN(it, SeekAtLeast(key));
+  while (it.Valid()) {
+    int c;
+    AEDB_ASSIGN_OR_RETURN(c, Cmp(it.key(), key));
+    if (c != 0) break;
+    out.push_back(it.rid());
+    it.Next();
+  }
+  return out;
+}
+
+Slice BTree::Iterator::key() const {
+  const Node* n = static_cast<const Node*>(node_);
+  return n->keys[pos_];
+}
+
+Rid BTree::Iterator::rid() const {
+  const Node* n = static_cast<const Node*>(node_);
+  return n->rids[pos_];
+}
+
+void BTree::Iterator::Next() {
+  const Node* n = static_cast<const Node*>(node_);
+  ++pos_;
+  while (n != nullptr && pos_ >= n->keys.size()) {
+    n = n->next;
+    pos_ = 0;
+  }
+  node_ = n;
+}
+
+BTree::Iterator BTree::Begin() const {
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  while (n != nullptr && n->keys.empty()) n = n->next;
+  Iterator it;
+  it.node_ = n;
+  it.pos_ = 0;
+  return it;
+}
+
+Result<BTree::Iterator> BTree::SeekAtLeast(Slice key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx;
+    AEDB_ASSIGN_OR_RETURN(idx, ChildIndex(node, key));
+    node = node->children[idx].get();
+  }
+  size_t lo = 0, hi = node->keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    int c;
+    AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, kMinRid, node, mid));
+    if (c <= 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  Iterator it;
+  const Node* n = node;
+  size_t pos = lo;
+  while (n != nullptr && pos >= n->keys.size()) {
+    n = n->next;
+    pos = 0;
+  }
+  it.node_ = n;
+  it.pos_ = pos;
+  return it;
+}
+
+int BTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    ++h;
+    n = n->children.front().get();
+  }
+  return h;
+}
+
+}  // namespace aedb::storage

@@ -1,0 +1,118 @@
+#ifndef AEDB_STORAGE_BTREE_H_
+#define AEDB_STORAGE_BTREE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace aedb::storage {
+
+/// Key ordering for an index. The crucial AE design point (paper §3.1): a
+/// DET equality index orders by raw ciphertext bytes (BinaryComparator); a
+/// range index over RND ciphertext orders by *plaintext* via a comparator
+/// that routes each comparison into the enclave. Comparisons can fail —
+/// e.g. the enclave lacks the CEK — so Compare returns Result.
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+  virtual Result<int> Compare(Slice a, Slice b) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+/// memcmp order over raw bytes (DET equality indexes: "index keys are
+/// ordered in the B+-Tree using ciphertext").
+class BinaryComparator : public Comparator {
+ public:
+  Result<int> Compare(Slice a, Slice b) const override { return a.compare(b); }
+  const char* Name() const override { return "binary"; }
+};
+
+/// \brief B+-tree mapping byte keys to RIDs. Keys may repeat (non-unique
+/// indexes); entries are totally ordered by (key, rid).
+///
+/// Structural maintenance — node splits, the leaf chain, slot bookkeeping —
+/// never looks inside keys, mirroring the paper's observation that "the vast
+/// majority of index processing ... remains unaffected by encryption". Only
+/// the comparator touches key contents. Deletion is tombstone-free but lazy:
+/// underfull nodes are not rebalanced (separator keys remain valid bounds).
+class BTree {
+ public:
+  /// Fan-out chosen so a 64-byte ciphertext key node is roughly page-sized.
+  static constexpr size_t kMaxKeys = 64;
+
+  BTree(const Comparator* comparator, bool unique);
+  ~BTree();  // out-of-line: Node is incomplete here
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts (key, rid). Returns false (without inserting) when the index is
+  /// unique and the key already exists.
+  Result<bool> Insert(const Bytes& key, Rid rid);
+
+  /// Removes the exact (key, rid) entry; false if absent.
+  Result<bool> Delete(const Bytes& key, Rid rid);
+
+  /// All RIDs with key == `key`.
+  Result<std::vector<Rid>> SeekEqual(Slice key) const;
+
+  /// Forward iterator over (key, rid) entries in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    Slice key() const;
+    Rid rid() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    const void* node_ = nullptr;  // Node*
+    size_t pos_ = 0;
+  };
+
+  /// Iterator at the smallest entry.
+  Iterator Begin() const;
+  /// Iterator at the first entry with entry.key >= key.
+  Result<Iterator> SeekAtLeast(Slice key) const;
+
+  uint64_t size() const { return size_; }
+  /// Total comparator invocations (each is an enclave call for encrypted
+  /// range indexes — the §3.1 ablation measures this).
+  uint64_t comparisons() const {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
+  int height() const;
+
+  /// Drops all entries.
+  void Clear();
+
+ private:
+  struct Node;
+
+  Result<int> Cmp(Slice a, Slice b) const;
+  /// (key, rid) total order used for leaf placement.
+  Result<int> CmpEntry(Slice key, Rid rid, const Node* leaf, size_t i) const;
+
+  struct SplitResult {
+    Bytes separator;
+    Rid separator_rid;
+    std::unique_ptr<Node> right;
+  };
+
+  Result<bool> InsertRec(Node* node, const Bytes& key, Rid rid,
+                         std::unique_ptr<SplitResult>* split);
+  Result<size_t> ChildIndex(const Node* node, Slice key) const;
+
+  const Comparator* comparator_;
+  bool unique_;
+  std::unique_ptr<Node> root_;
+  uint64_t size_ = 0;
+  mutable std::atomic<uint64_t> comparisons_{0};
+};
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_BTREE_H_

@@ -1,0 +1,624 @@
+#include "storage/engine.h"
+
+#include <algorithm>
+
+namespace aedb::storage {
+
+StorageEngine::StorageEngine(EngineOptions options) : options_(options) {}
+
+Status StorageEngine::CreateTable(uint32_t table_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto state = std::make_unique<TableState>();
+  state->heap = std::make_unique<HeapTable>();
+  auto [it, inserted] = tables_.emplace(table_id, std::move(state));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("table id exists");
+  return Status::OK();
+}
+
+Status StorageEngine::CreateIndex(uint32_t index_id, uint32_t table_id,
+                                  std::unique_ptr<Comparator> comparator,
+                                  bool unique) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  if (tables_.count(table_id) == 0) return Status::NotFound("no such table");
+  if (indexes_.count(index_id) > 0) return Status::AlreadyExists("index id exists");
+  auto state = std::make_unique<IndexState>();
+  state->table_id = table_id;
+  state->unique = unique;
+  state->comparator = std::move(comparator);
+  state->tree = std::make_unique<BTree>(state->comparator.get(), unique);
+  indexes_.emplace(index_id, std::move(state));
+  return Status::OK();
+}
+
+Status StorageEngine::DropIndex(uint32_t index_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  if (indexes_.erase(index_id) == 0) return Status::NotFound("no such index");
+  return Status::OK();
+}
+
+HeapTable* StorageEngine::table(uint32_t table_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second->heap.get();
+}
+
+BTree* StorageEngine::index_tree(uint32_t index_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = indexes_.find(index_id);
+  return it == indexes_.end() ? nullptr : it->second->tree.get();
+}
+
+const Comparator* StorageEngine::index_comparator(uint32_t index_id) const {
+  const IndexState* index = FindIndexConst(index_id);
+  return index == nullptr ? nullptr : index->comparator.get();
+}
+
+const StorageEngine::IndexState* StorageEngine::FindIndexConst(
+    uint32_t index_id) const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = indexes_.find(index_id);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+Status StorageEngine::CheckIndexUsable(uint32_t index_id) const {
+  const IndexState* index = FindIndexConst(index_id);
+  if (index == nullptr) return Status::NotFound("no such index");
+  if (index->invalid) {
+    return Status::FailedPrecondition("index is invalid (was invalidated "
+                                      "during recovery); rebuild it");
+  }
+  if (index->rebuild_pending) {
+    return Status::FailedPrecondition(
+        "index awaits recovery: enclave keys missing");
+  }
+  return Status::OK();
+}
+
+bool StorageEngine::IndexInvalid(uint32_t index_id) const {
+  const IndexState* index = FindIndexConst(index_id);
+  return index != nullptr && index->invalid;
+}
+
+Result<StorageEngine::TableState*> StorageEngine::FindTable(uint32_t table_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) return Status::NotFound("no such table");
+  return it->second.get();
+}
+
+Result<StorageEngine::IndexState*> StorageEngine::FindIndex(uint32_t index_id) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = indexes_.find(index_id);
+  if (it == indexes_.end()) return Status::NotFound("no such index");
+  return it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+uint64_t StorageEngine::Begin() {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    id = next_txn_id_++;
+    active_.emplace(id, ActiveTxn{});
+  }
+  LogRecord rec;
+  rec.txn_id = id;
+  rec.type = LogRecordType::kBegin;
+  wal_.Append(rec);
+  return id;
+}
+
+Status StorageEngine::Commit(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    if (active_.erase(txn_id) == 0) return Status::NotFound("unknown txn");
+  }
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kCommit;
+  wal_.Append(rec);
+  locks_.ReleaseAll(txn_id);
+  return Status::OK();
+}
+
+Status StorageEngine::UndoRecord(const LogRecord& rec) {
+  switch (rec.type) {
+    case LogRecordType::kHeapInsert: {
+      TableState* t;
+      AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+      std::lock_guard<std::mutex> latch(t->latch);
+      return t->heap->Delete(rec.rid);
+    }
+    case LogRecordType::kHeapDelete: {
+      TableState* t;
+      AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+      std::lock_guard<std::mutex> latch(t->latch);
+      return t->heap->Resurrect(rec.rid);
+    }
+    case LogRecordType::kIndexInsert: {
+      // Logical undo: navigate the tree and delete the entry (§4.5).
+      IndexState* idx;
+      AEDB_ASSIGN_OR_RETURN(idx, FindIndex(rec.object_id));
+      std::lock_guard<std::mutex> latch(idx->latch);
+      return idx->tree->Delete(rec.payload1, rec.rid).status();
+    }
+    case LogRecordType::kIndexDelete: {
+      IndexState* idx;
+      AEDB_ASSIGN_OR_RETURN(idx, FindIndex(rec.object_id));
+      std::lock_guard<std::mutex> latch(idx->latch);
+      return idx->tree->Insert(rec.payload1, rec.rid).status();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Status StorageEngine::Abort(uint64_t txn_id) {
+  std::vector<LogRecord> ops;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) return Status::NotFound("unknown txn");
+    ops = std::move(it->second.ops);
+    active_.erase(it);
+  }
+  DeferredTxn deferred;
+  deferred.txn_id = txn_id;
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    Status st = UndoRecord(*it);
+    if (st.IsKeyNotInEnclave()) {
+      deferred.pending.push_back(*it);
+      deferred.pending_indexes.insert(it->object_id);
+      continue;
+    }
+    // NotFound from index undo of a never-applied op is benign.
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  if (!deferred.pending.empty()) {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    for (uint32_t idx_id : deferred.pending_indexes) {
+      auto it = indexes_.find(idx_id);
+      if (it != indexes_.end()) it->second->rebuild_pending = true;
+    }
+    deferred_.push_back(std::move(deferred));
+    if (options_.constant_time_recovery) locks_.ReleaseAll(txn_id);
+    // Without CTR the deferred transaction keeps its locks (§4.5).
+    return Status::OK();
+  }
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kAbort;
+  wal_.Append(rec);
+  locks_.ReleaseAll(txn_id);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Logged mutations
+
+Result<Rid> StorageEngine::HeapInsert(uint64_t txn_id, uint32_t table_id,
+                                      Slice record) {
+  TableState* t;
+  AEDB_ASSIGN_OR_RETURN(t, FindTable(table_id));
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kHeapInsert;
+  rec.object_id = table_id;
+  rec.payload1 = record.ToBytes();
+  Rid rid;
+  {
+    // The latch spans apply + log so replay order matches apply order and
+    // redo reproduces RIDs exactly (checked during recovery).
+    std::lock_guard<std::mutex> latch(t->latch);
+    AEDB_ASSIGN_OR_RETURN(rid, t->heap->Insert(record));
+    rec.rid = rid;
+    wal_.Append(rec);
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = active_.find(txn_id);
+  if (it == active_.end()) return Status::NotFound("unknown txn");
+  it->second.ops.push_back(std::move(rec));
+  return rid;
+}
+
+Status StorageEngine::HeapDelete(uint64_t txn_id, uint32_t table_id,
+                                 const Rid& rid) {
+  TableState* t;
+  AEDB_ASSIGN_OR_RETURN(t, FindTable(table_id));
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kHeapDelete;
+  rec.object_id = table_id;
+  rec.rid = rid;
+  {
+    std::lock_guard<std::mutex> latch(t->latch);
+    Bytes old;
+    AEDB_ASSIGN_OR_RETURN(old, t->heap->Read(rid));
+    rec.payload1 = std::move(old);
+    AEDB_RETURN_IF_ERROR(t->heap->Delete(rid));
+    wal_.Append(rec);
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = active_.find(txn_id);
+  if (it == active_.end()) return Status::NotFound("unknown txn");
+  it->second.ops.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status StorageEngine::IndexInsert(uint64_t txn_id, uint32_t index_id,
+                                  const Bytes& key, const Rid& rid) {
+  AEDB_RETURN_IF_ERROR(CheckIndexUsable(index_id));
+  IndexState* idx;
+  AEDB_ASSIGN_OR_RETURN(idx, FindIndex(index_id));
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kIndexInsert;
+  rec.object_id = index_id;
+  rec.rid = rid;
+  rec.payload1 = key;
+  {
+    std::lock_guard<std::mutex> latch(idx->latch);
+    bool inserted;
+    AEDB_ASSIGN_OR_RETURN(inserted, idx->tree->Insert(key, rid));
+    if (!inserted) {
+      return Status::AlreadyExists("unique index key violation");
+    }
+    wal_.Append(rec);
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = active_.find(txn_id);
+  if (it == active_.end()) return Status::NotFound("unknown txn");
+  it->second.ops.push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status StorageEngine::IndexDelete(uint64_t txn_id, uint32_t index_id,
+                                  const Bytes& key, const Rid& rid) {
+  AEDB_RETURN_IF_ERROR(CheckIndexUsable(index_id));
+  IndexState* idx;
+  AEDB_ASSIGN_OR_RETURN(idx, FindIndex(index_id));
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kIndexDelete;
+  rec.object_id = index_id;
+  rec.rid = rid;
+  rec.payload1 = key;
+  {
+    std::lock_guard<std::mutex> latch(idx->latch);
+    bool removed;
+    AEDB_ASSIGN_OR_RETURN(removed, idx->tree->Delete(key, rid));
+    if (!removed) return Status::NotFound("index entry not found");
+    wal_.Append(rec);
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = active_.find(txn_id);
+  if (it == active_.end()) return Status::NotFound("unknown txn");
+  it->second.ops.push_back(std::move(rec));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Locking
+
+Status StorageEngine::LockRow(uint64_t txn_id, uint32_t table_id,
+                              const Rid& rid) {
+  return locks_.Acquire(txn_id, RowResource(table_id, rid.Encode()),
+                        options_.lock_timeout);
+}
+
+Status StorageEngine::LockTable(uint64_t txn_id, uint32_t table_id) {
+  return locks_.Acquire(txn_id, TableResource(table_id), options_.lock_timeout);
+}
+
+bool StorageEngine::RowLockedByOther(uint64_t txn_id, uint32_t table_id,
+                                     const Rid& rid) const {
+  return locks_.IsLockedByOther(txn_id, RowResource(table_id, rid.Encode()));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Result<RecoveryResult> StorageEngine::Recover() {
+  std::vector<LogRecord> log = wal_.Snapshot();
+  RecoveryResult result;
+
+  std::set<uint64_t> committed;
+  std::set<uint64_t> seen;
+  for (const LogRecord& rec : log) {
+    seen.insert(rec.txn_id);
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+  }
+
+  locks_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    active_.clear();
+    deferred_.clear();
+    for (auto& [id, t] : tables_) t->heap->Clear();
+    for (auto& [id, idx] : indexes_) {
+      idx->tree->Clear();
+      idx->rebuild_pending = false;
+    }
+    if (!seen.empty()) {
+      next_txn_id_ = std::max(next_txn_id_, *seen.rbegin() + 1);
+    }
+  }
+
+  // --- Redo phase: replay everything in LSN order (winners and losers,
+  // mirroring physical redo of page images). An encrypted index whose
+  // comparator cannot run (CEK not in enclave) flips to rebuild-pending.
+  for (const LogRecord& rec : log) {
+    switch (rec.type) {
+      case LogRecordType::kHeapInsert: {
+        TableState* t;
+        AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+        Rid rid;
+        AEDB_ASSIGN_OR_RETURN(rid, t->heap->Insert(rec.payload1));
+        if (!(rid == rec.rid)) {
+          return Status::Corruption("redo produced a different RID");
+        }
+        ++result.redone;
+        break;
+      }
+      case LogRecordType::kHeapDelete: {
+        TableState* t;
+        AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+        AEDB_RETURN_IF_ERROR(t->heap->Delete(rec.rid));
+        ++result.redone;
+        break;
+      }
+      case LogRecordType::kIndexInsert:
+      case LogRecordType::kIndexDelete: {
+        auto found = FindIndex(rec.object_id);
+        if (!found.ok()) break;  // index dropped since
+        IndexState* idx = *found;
+        if (idx->invalid || idx->rebuild_pending) break;
+        Status st;
+        if (rec.type == LogRecordType::kIndexInsert) {
+          st = idx->tree->Insert(rec.payload1, rec.rid).status();
+        } else {
+          st = idx->tree->Delete(rec.payload1, rec.rid).status();
+        }
+        if (st.IsKeyNotInEnclave()) {
+          idx->rebuild_pending = true;
+          idx->tree->Clear();
+          break;
+        }
+        AEDB_RETURN_IF_ERROR(st);
+        ++result.redone;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- Undo phase: losers (no commit record) are rolled back in reverse.
+  // Heap undo is always possible. Index undo on a rebuild-pending index is
+  // covered by the eventual rebuild, but the transaction becomes deferred —
+  // holding its row locks unless constant-time recovery is on (§4.5).
+  std::map<uint64_t, std::vector<const LogRecord*>> loser_ops;
+  for (const LogRecord& rec : log) {
+    if (committed.count(rec.txn_id)) continue;
+    if (rec.type == LogRecordType::kBegin || rec.type == LogRecordType::kAbort ||
+        rec.type == LogRecordType::kCommit) {
+      continue;
+    }
+    loser_ops[rec.txn_id].push_back(&rec);
+  }
+  for (auto& [txn_id, ops] : loser_ops) {
+    DeferredTxn deferred;
+    deferred.txn_id = txn_id;
+    std::set<uint64_t> touched_rows;
+    for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+      const LogRecord& rec = **it;
+      if (rec.type == LogRecordType::kHeapInsert ||
+          rec.type == LogRecordType::kHeapDelete) {
+        touched_rows.insert(RowResource(rec.object_id, rec.rid.Encode()));
+      }
+      if (rec.type == LogRecordType::kIndexInsert ||
+          rec.type == LogRecordType::kIndexDelete) {
+        auto found = FindIndex(rec.object_id);
+        if (!found.ok()) continue;
+        if ((*found)->invalid) continue;
+        if ((*found)->rebuild_pending) {
+          deferred.pending.push_back(rec);
+          deferred.pending_indexes.insert(rec.object_id);
+          continue;
+        }
+      }
+      Status st = UndoRecord(rec);
+      if (st.IsKeyNotInEnclave()) {
+        deferred.pending.push_back(rec);
+        deferred.pending_indexes.insert(rec.object_id);
+        continue;
+      }
+      if (!st.ok() && !st.IsNotFound()) return st;
+      ++result.undone;
+    }
+    if (!deferred.pending.empty()) {
+      result.deferred_txns.push_back(txn_id);
+      if (!options_.constant_time_recovery) {
+        for (uint64_t resource : touched_rows) {
+          AEDB_RETURN_IF_ERROR(
+              locks_.Acquire(txn_id, resource, std::chrono::milliseconds(0)));
+        }
+      }
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      deferred_.push_back(std::move(deferred));
+    } else {
+      LogRecord abort;
+      abort.txn_id = txn_id;
+      abort.type = LogRecordType::kAbort;
+      wal_.Append(abort);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (auto& [id, idx] : indexes_) {
+    if (idx->rebuild_pending) result.rebuild_pending_indexes.push_back(id);
+  }
+  return result;
+}
+
+Status StorageEngine::RebuildIndexFromLog(IndexState* index, uint32_t index_id) {
+  std::vector<LogRecord> log = wal_.Snapshot();
+  std::set<uint64_t> committed;
+  for (const LogRecord& rec : log) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+  }
+  index->tree->Clear();
+  for (const LogRecord& rec : log) {
+    if (rec.object_id != index_id) continue;
+    if (!committed.count(rec.txn_id)) continue;  // losers excluded: net undo
+    Status st;
+    if (rec.type == LogRecordType::kIndexInsert) {
+      st = index->tree->Insert(rec.payload1, rec.rid).status();
+    } else if (rec.type == LogRecordType::kIndexDelete) {
+      st = index->tree->Delete(rec.payload1, rec.rid).status();
+    } else {
+      continue;
+    }
+    if (!st.ok()) {
+      index->tree->Clear();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void StorageEngine::FinishDeferred(const DeferredTxn& txn) {
+  LogRecord abort;
+  abort.txn_id = txn.txn_id;
+  abort.type = LogRecordType::kAbort;
+  wal_.Append(abort);
+  locks_.ReleaseAll(txn.txn_id);
+}
+
+Status StorageEngine::ResolveDeferred() {
+  // Rebuild pending indexes first ("the version cleaner completes
+  // successfully" once keys are present).
+  std::vector<std::pair<uint32_t, IndexState*>> to_rebuild;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    for (auto& [id, idx] : indexes_) {
+      if (idx->rebuild_pending && !idx->invalid) {
+        to_rebuild.emplace_back(id, idx.get());
+      }
+    }
+  }
+  for (auto& [id, idx] : to_rebuild) {
+    Status st = RebuildIndexFromLog(idx, id);
+    if (st.IsKeyNotInEnclave()) continue;  // keys still missing; stay pending
+    AEDB_RETURN_IF_ERROR(st);
+    idx->rebuild_pending = false;
+  }
+
+  // Retry each deferred transaction's remaining undo work.
+  std::vector<DeferredTxn> still_deferred;
+  std::vector<DeferredTxn> work;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    work = std::move(deferred_);
+    deferred_.clear();
+  }
+  for (DeferredTxn& txn : work) {
+    std::vector<LogRecord> remaining;
+    for (const LogRecord& rec : txn.pending) {
+      auto found = FindIndex(rec.object_id);
+      if (!found.ok() || (*found)->invalid) continue;  // debt dropped
+      if ((*found)->rebuild_pending) {
+        remaining.push_back(rec);  // still waiting on keys
+        continue;
+      }
+      // Index healthy again. If it was rebuilt from committed ops the debt is
+      // already settled; a direct undo would double-apply. Only runtime
+      // deferrals (index never rebuilt) need the logical undo, and those are
+      // exactly the ones whose entries are still present.
+      Status st = UndoRecord(rec);
+      if (st.IsKeyNotInEnclave()) {
+        remaining.push_back(rec);
+        continue;
+      }
+      if (!st.ok() && !st.IsNotFound()) return st;
+    }
+    if (remaining.empty()) {
+      FinishDeferred(txn);
+    } else {
+      txn.pending = std::move(remaining);
+      still_deferred.push_back(std::move(txn));
+    }
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (DeferredTxn& txn : still_deferred) deferred_.push_back(std::move(txn));
+  return Status::OK();
+}
+
+Status StorageEngine::InvalidateIndex(uint32_t index_id) {
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = indexes_.find(index_id);
+    if (it == indexes_.end()) return Status::NotFound("no such index");
+    it->second->invalid = true;
+    it->second->rebuild_pending = false;
+    it->second->tree->Clear();
+  }
+  // Dropping the index's recovery obligations may fully resolve some
+  // deferred transactions (the §4.5 forced-resolution policy).
+  return ResolveDeferred();
+}
+
+std::vector<uint64_t> StorageEngine::DeferredTxns() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<uint64_t> out;
+  for (const DeferredTxn& txn : deferred_) out.push_back(txn.txn_id);
+  return out;
+}
+
+bool StorageEngine::HasDeferredTxns() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return !deferred_.empty();
+}
+
+Status StorageEngine::CanTruncateLog() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  if (!deferred_.empty()) {
+    return Status::FailedPrecondition(
+        "log truncation blocked: deferred transactions pin the log (§4.5); "
+        "supply enclave keys or invalidate the index");
+  }
+  if (!active_.empty()) {
+    return Status::FailedPrecondition("active transactions pin the log");
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::ScrubDeadRows(uint32_t table_id) {
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    if (!active_.empty() || !deferred_.empty()) {
+      return Status::FailedPrecondition(
+          "cannot scrub while transactions are active or deferred");
+    }
+  }
+  TableState* t;
+  AEDB_ASSIGN_OR_RETURN(t, FindTable(table_id));
+  std::lock_guard<std::mutex> latch(t->latch);
+  t->heap->ScrubDead();
+  return Status::OK();
+}
+
+void StorageEngine::ForEachPageRaw(
+    const std::function<void(uint32_t, Slice)>& fn) const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  for (const auto& [id, t] : tables_) {
+    for (size_t p = 0; p < t->heap->page_count(); ++p) {
+      fn(id, t->heap->PageRaw(p));
+    }
+  }
+}
+
+}  // namespace aedb::storage

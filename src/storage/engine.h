@@ -1,0 +1,171 @@
+#ifndef AEDB_STORAGE_ENGINE_H_
+#define AEDB_STORAGE_ENGINE_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "storage/btree.h"
+#include "storage/heap_table.h"
+#include "storage/lock_manager.h"
+#include "storage/wal.h"
+
+namespace aedb::storage {
+
+struct EngineOptions {
+  /// Models SQL Server's constant-time recovery (paper §4.5 / [1]): with CTR
+  /// on, deferred transactions do NOT hold row locks after a crash — the
+  /// database stays fully available while the "version cleaner" (our
+  /// ResolveDeferred) retries index cleanup until enclave keys arrive.
+  bool constant_time_recovery = false;
+  std::chrono::milliseconds lock_timeout{2000};
+};
+
+struct RecoveryResult {
+  size_t redone = 0;
+  size_t undone = 0;
+  std::vector<uint64_t> deferred_txns;
+  std::vector<uint32_t> rebuild_pending_indexes;
+};
+
+/// \brief Transactional storage: WAL-logged heap tables and B+-tree indexes,
+/// exclusive locking, and crash recovery with the paper's §4.5 semantics.
+///
+/// Recovery is replay-based: heap state is reconstructed physically
+/// (deterministic redo of page operations, slot-exact), index undo is
+/// logical. An encrypted range index whose CEK is absent from the enclave at
+/// recovery time cannot be rebuilt — it is marked *rebuild-pending*, loser
+/// transactions touching it become *deferred* (holding their row locks unless
+/// CTR is on), and everything resolves when the client connects and keys
+/// arrive (ResolveDeferred) or the index is invalidated (InvalidateIndex).
+class StorageEngine {
+ public:
+  explicit StorageEngine(EngineOptions options = EngineOptions{});
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  // ----- catalog registration (done once at startup, before use) -----
+  Status CreateTable(uint32_t table_id);
+  Status CreateIndex(uint32_t index_id, uint32_t table_id,
+                     std::unique_ptr<Comparator> comparator, bool unique);
+  Status DropIndex(uint32_t index_id);
+
+  HeapTable* table(uint32_t table_id);
+  BTree* index_tree(uint32_t index_id);
+  /// The comparator an index orders by (for executor-side bound checks).
+  const Comparator* index_comparator(uint32_t index_id) const;
+
+  /// OK when the index may serve reads/writes; FailedPrecondition when it is
+  /// invalid or has pending recovery work.
+  Status CheckIndexUsable(uint32_t index_id) const;
+  bool IndexInvalid(uint32_t index_id) const;
+
+  // ----- transactions -----
+  uint64_t Begin();
+  Status Commit(uint64_t txn_id);
+  /// Rolls back. If index undo hits a missing enclave key the transaction is
+  /// parked as deferred (OK is still returned; see DeferredTxns()).
+  Status Abort(uint64_t txn_id);
+
+  // ----- logged mutations (caller must hold row locks as appropriate) -----
+  Result<Rid> HeapInsert(uint64_t txn_id, uint32_t table_id, Slice record);
+  Status HeapDelete(uint64_t txn_id, uint32_t table_id, const Rid& rid);
+  Status IndexInsert(uint64_t txn_id, uint32_t index_id, const Bytes& key,
+                     const Rid& rid);
+  Status IndexDelete(uint64_t txn_id, uint32_t index_id, const Bytes& key,
+                     const Rid& rid);
+
+  // ----- locking -----
+  Status LockRow(uint64_t txn_id, uint32_t table_id, const Rid& rid);
+  Status LockTable(uint64_t txn_id, uint32_t table_id);
+  bool RowLockedByOther(uint64_t txn_id, uint32_t table_id, const Rid& rid) const;
+
+  // ----- recovery (§4.5) -----
+  /// Rebuilds all state from the WAL. Call after registering tables/indexes.
+  Result<RecoveryResult> Recover();
+
+  /// Retries deferred work; call when CEKs are (re)installed in the enclave.
+  /// "When the client connects and sends keys to the enclave, the deferred
+  /// transactions are resolved."
+  Status ResolveDeferred();
+
+  /// Forced resolution: drop the index's recovery obligations and mark it
+  /// invalid. Used by timeout/log-space policies, and automatically when no
+  /// enclave is configured.
+  Status InvalidateIndex(uint32_t index_id);
+
+  std::vector<uint64_t> DeferredTxns() const;
+  bool HasDeferredTxns() const;
+
+  /// OK when the log could be truncated; FailedPrecondition while deferred
+  /// transactions pin it (the §4.5 log-truncation hazard).
+  Status CanTruncateLog() const;
+
+  Wal& wal() { return wal_; }
+  LockManager& locks() { return locks_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Best-effort scrub of dead row bytes in one table; refused while any
+  /// transaction is active or deferred (their undo may still resurrect).
+  Status ScrubDeadRows(uint32_t table_id);
+
+  /// Adversary view: every raw page image of every table.
+  void ForEachPageRaw(const std::function<void(uint32_t, Slice)>& fn) const;
+
+ private:
+  struct IndexState {
+    uint32_t table_id = 0;
+    bool unique = false;
+    std::unique_ptr<Comparator> comparator;
+    std::unique_ptr<BTree> tree;
+    bool invalid = false;
+    bool rebuild_pending = false;
+    mutable std::mutex latch;
+  };
+
+  struct TableState {
+    std::unique_ptr<HeapTable> heap;
+    mutable std::mutex latch;
+  };
+
+  struct ActiveTxn {
+    std::vector<LogRecord> ops;  // this txn's mutations, for runtime undo
+  };
+
+  struct DeferredTxn {
+    uint64_t txn_id = 0;
+    std::vector<LogRecord> pending;  // undo work, already reversed
+    std::set<uint32_t> pending_indexes;
+  };
+
+  Result<TableState*> FindTable(uint32_t table_id);
+  Result<IndexState*> FindIndex(uint32_t index_id);
+  const IndexState* FindIndexConst(uint32_t index_id) const;
+
+  /// Undoes one log record (logical for indexes). KeyNotInEnclave bubbles up
+  /// so the caller can defer.
+  Status UndoRecord(const LogRecord& rec);
+  /// Finishes a deferred txn: logs Abort and releases its locks.
+  void FinishDeferred(const DeferredTxn& txn);
+  Status RebuildIndexFromLog(IndexState* index, uint32_t index_id);
+
+  EngineOptions options_;
+  Wal wal_;
+  LockManager locks_;
+
+  mutable std::mutex meta_mu_;  // guards the maps + txn table + deferred list
+  std::map<uint32_t, std::unique_ptr<TableState>> tables_;
+  std::map<uint32_t, std::unique_ptr<IndexState>> indexes_;
+  std::map<uint64_t, ActiveTxn> active_;
+  std::vector<DeferredTxn> deferred_;
+  uint64_t next_txn_id_ = 1;
+};
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_ENGINE_H_

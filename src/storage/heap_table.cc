@@ -1,0 +1,71 @@
+#include "storage/heap_table.h"
+
+namespace aedb::storage {
+
+Result<Rid> HeapTable::Insert(Slice record) {
+  // Append-biased placement: try the last page, else open a new one. (Fine
+  // for OLTP inserts; deleted space is reclaimed when pages are rebuilt.)
+  if (pages_.empty() || !pages_.back()->HasSpaceFor(record.size())) {
+    if (record.size() > Page::kMaxRecordSize) {
+      return Status::InvalidArgument("record larger than page");
+    }
+    pages_.push_back(std::make_unique<Page>());
+  }
+  uint16_t slot;
+  AEDB_ASSIGN_OR_RETURN(slot, pages_.back()->Insert(record));
+  ++live_rows_;
+  return Rid{static_cast<uint32_t>(pages_.size() - 1), slot};
+}
+
+Result<Bytes> HeapTable::Read(const Rid& rid) const {
+  if (rid.page >= pages_.size()) return Status::NotFound("page out of range");
+  Slice rec;
+  AEDB_ASSIGN_OR_RETURN(rec, pages_[rid.page]->Read(rid.slot));
+  return rec.ToBytes();
+}
+
+Status HeapTable::Delete(const Rid& rid) {
+  if (rid.page >= pages_.size()) return Status::NotFound("page out of range");
+  AEDB_RETURN_IF_ERROR(pages_[rid.page]->Delete(rid.slot));
+  --live_rows_;
+  return Status::OK();
+}
+
+Status HeapTable::Resurrect(const Rid& rid) {
+  if (rid.page >= pages_.size()) return Status::NotFound("page out of range");
+  AEDB_RETURN_IF_ERROR(pages_[rid.page]->Resurrect(rid.slot));
+  ++live_rows_;
+  return Status::OK();
+}
+
+Result<Rid> HeapTable::Update(const Rid& rid, Slice record) {
+  if (rid.page >= pages_.size()) return Status::NotFound("page out of range");
+  Status in_place = pages_[rid.page]->UpdateInPlace(rid.slot, record);
+  if (in_place.ok()) return rid;
+  if (in_place.code() != StatusCode::kOutOfRange) return in_place;
+  AEDB_RETURN_IF_ERROR(pages_[rid.page]->Delete(rid.slot));
+  --live_rows_;
+  return Insert(record);
+}
+
+void HeapTable::Scan(const std::function<bool(const Rid&, Slice)>& fn) const {
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    const Page& page = *pages_[p];
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      if (!page.IsLive(s)) continue;
+      auto rec = page.Read(s);
+      if (!fn(Rid{static_cast<uint32_t>(p), s}, *rec)) return;
+    }
+  }
+}
+
+void HeapTable::ScrubDead() {
+  for (auto& page : pages_) page->ScrubDead();
+}
+
+void HeapTable::Clear() {
+  pages_.clear();
+  live_rows_ = 0;
+}
+
+}  // namespace aedb::storage

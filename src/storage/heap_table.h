@@ -1,0 +1,55 @@
+#ifndef AEDB_STORAGE_HEAP_TABLE_H_
+#define AEDB_STORAGE_HEAP_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace aedb::storage {
+
+/// \brief A heap file of slotted pages. Rows are opaque byte blobs (the SQL
+/// layer serializes values; encrypted columns land here as AEAD cells).
+class HeapTable {
+ public:
+  HeapTable() = default;
+
+  HeapTable(const HeapTable&) = delete;
+  HeapTable& operator=(const HeapTable&) = delete;
+
+  Result<Rid> Insert(Slice record);
+  Result<Bytes> Read(const Rid& rid) const;
+  Status Delete(const Rid& rid);
+
+  /// Physical undo of Delete: restores the record at the same RID.
+  Status Resurrect(const Rid& rid);
+
+  /// Updates a row. Returns the (possibly new) RID: the row moves when it no
+  /// longer fits in place; the caller fixes any indexes.
+  Result<Rid> Update(const Rid& rid, Slice record);
+
+  /// Calls `fn(rid, record)` for every live row; stops early if fn returns
+  /// false.
+  void Scan(const std::function<bool(const Rid&, Slice)>& fn) const;
+
+  size_t page_count() const { return pages_.size(); }
+  uint64_t live_rows() const { return live_rows_; }
+
+  /// Adversary view: the raw page images.
+  Slice PageRaw(size_t i) const { return pages_[i]->raw(); }
+
+  /// Zeroes dead record bytes on all pages.
+  void ScrubDead();
+
+  /// Drops all rows (used when recovery rebuilds state from the log).
+  void Clear();
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  uint64_t live_rows_ = 0;
+};
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_HEAP_TABLE_H_

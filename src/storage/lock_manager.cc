@@ -1,0 +1,68 @@
+#include "storage/lock_manager.h"
+
+namespace aedb::storage {
+
+Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto it = owner_.find(resource);
+    if (it == owner_.end()) {
+      owner_[resource] = txn_id;
+      held_[txn_id].insert(resource);
+      return Status::OK();
+    }
+    if (it->second == txn_id) return Status::OK();  // re-entrant
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One more try in case of a wakeup race at the deadline.
+      auto it2 = owner_.find(resource);
+      if (it2 == owner_.end()) {
+        owner_[resource] = txn_id;
+        held_[txn_id].insert(resource);
+        return Status::OK();
+      }
+      if (it2->second == txn_id) return Status::OK();
+      return Status::FailedPrecondition("lock timeout (possible deadlock)");
+    }
+  }
+}
+
+bool LockManager::IsLockedByOther(uint64_t txn_id, uint64_t resource) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owner_.find(resource);
+  return it != owner_.end() && it->second != txn_id;
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = held_.find(txn_id);
+    if (it == held_.end()) return;
+    for (uint64_t resource : it->second) owner_.erase(resource);
+    held_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+void LockManager::Clear() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owner_.clear();
+    held_.clear();
+  }
+  cv_.notify_all();
+}
+
+size_t LockManager::HeldCount(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = held_.find(txn_id);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+size_t LockManager::total_locked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owner_.size();
+}
+
+}  // namespace aedb::storage

@@ -1,0 +1,110 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace aedb::storage {
+
+Page::Page() : data_(new uint8_t[kPageSize]) {
+  std::memset(data_.get(), 0, kPageSize);
+  SetU16At(0, 0);                                // slot_count
+  SetU16At(2, static_cast<uint16_t>(kPageSize)); // free_end
+}
+
+uint16_t Page::GetU16At(size_t off) const {
+  return static_cast<uint16_t>(data_[off] | (data_[off + 1] << 8));
+}
+
+void Page::SetU16At(size_t off, uint16_t v) {
+  data_[off] = static_cast<uint8_t>(v);
+  data_[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t Page::slot_count() const { return GetU16At(0); }
+
+uint16_t Page::SlotOffset(uint16_t slot) const {
+  return GetU16At(kHeaderSize + slot * kSlotSize);
+}
+
+uint16_t Page::SlotLen(uint16_t slot) const {
+  return GetU16At(kHeaderSize + slot * kSlotSize + 2);
+}
+
+size_t Page::free_space() const {
+  size_t slots_end = kHeaderSize + slot_count() * kSlotSize;
+  return GetU16At(2) - slots_end;
+}
+
+bool Page::HasSpaceFor(size_t record_size) const {
+  return record_size + kSlotSize <= free_space();
+}
+
+Result<uint16_t> Page::Insert(Slice record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  if (!HasSpaceFor(record.size())) {
+    return Status::OutOfRange("page full");
+  }
+  uint16_t count = slot_count();
+  uint16_t free_end = GetU16At(2);
+  uint16_t new_off = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(data_.get() + new_off, record.data(), record.size());
+  SetU16At(kHeaderSize + count * kSlotSize, new_off);
+  SetU16At(kHeaderSize + count * kSlotSize + 2,
+           static_cast<uint16_t>(record.size()));
+  SetU16At(0, count + 1);
+  SetU16At(2, new_off);
+  return count;
+}
+
+bool Page::IsLive(uint16_t slot) const {
+  return slot < slot_count() && (SlotLen(slot) & kDeadBit) == 0;
+}
+
+Result<Slice> Page::Read(uint16_t slot) const {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  if (!IsLive(slot)) return Status::NotFound("slot deleted");
+  return Slice(data_.get() + SlotOffset(slot), SlotLen(slot));
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  if (!IsLive(slot)) return Status::NotFound("slot deleted");
+  SetU16At(kHeaderSize + slot * kSlotSize + 2,
+           static_cast<uint16_t>(SlotLen(slot) | kDeadBit));
+  return Status::OK();
+}
+
+void Page::ScrubDead() {
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    uint16_t len = SlotLen(s);
+    if ((len & kDeadBit) == 0) continue;
+    std::memset(data_.get() + SlotOffset(s), 0,
+                static_cast<uint16_t>(len & ~kDeadBit));
+  }
+}
+
+Status Page::Resurrect(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  uint16_t len = SlotLen(slot);
+  if ((len & kDeadBit) == 0) {
+    return Status::FailedPrecondition("slot is not deleted");
+  }
+  SetU16At(kHeaderSize + slot * kSlotSize + 2,
+           static_cast<uint16_t>(len & ~kDeadBit));
+  return Status::OK();
+}
+
+Status Page::UpdateInPlace(uint16_t slot, Slice record) {
+  if (slot >= slot_count()) return Status::NotFound("slot out of range");
+  if (!IsLive(slot)) return Status::NotFound("slot deleted");
+  if (record.size() > SlotLen(slot)) {
+    return Status::OutOfRange("record grew; relocate");
+  }
+  std::memcpy(data_.get() + SlotOffset(slot), record.data(), record.size());
+  SetU16At(kHeaderSize + slot * kSlotSize + 2,
+           static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+}  // namespace aedb::storage

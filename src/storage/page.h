@@ -1,0 +1,92 @@
+#ifndef AEDB_STORAGE_PAGE_H_
+#define AEDB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace aedb::storage {
+
+/// Record identifier: (page id, slot id), as in Figure 4's p1-p4/s1-s3.
+struct Rid {
+  uint32_t page = 0;
+  uint16_t slot = 0;
+
+  uint64_t Encode() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static Rid Decode(uint64_t v) {
+    return Rid{static_cast<uint32_t>(v >> 16), static_cast<uint16_t>(v & 0xffff)};
+  }
+  bool operator==(const Rid& o) const { return page == o.page && slot == o.slot; }
+  bool operator<(const Rid& o) const { return Encode() < o.Encode(); }
+};
+
+/// \brief An 8 KiB slotted page. Records grow from the tail, the slot
+/// directory grows from the head. This is the unit the strong adversary can
+/// inspect: encrypted columns appear on pages only as AEAD cells.
+///
+/// Layout:
+///   [slot_count u16][free_end u16][slot 0: off u16, len u16][slot 1] ...
+///   ... free space ...                 [record 1][record 0]
+/// A dead slot keeps its offset/length (minus the dead bit) and bytes.
+class Page {
+ public:
+  static constexpr size_t kPageSize = 8192;
+  /// High bit of a slot's length marks it dead; offset and bytes remain so
+  /// physical undo can resurrect the record at the same RID.
+  static constexpr uint16_t kDeadBit = 0x8000;
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+  /// Largest record a fresh page accepts.
+  static constexpr size_t kMaxRecordSize = kPageSize - kHeaderSize - kSlotSize;
+
+  Page();
+
+  uint16_t slot_count() const;
+  size_t free_space() const;
+  bool HasSpaceFor(size_t record_size) const;
+
+  /// Appends a record; returns its slot id.
+  Result<uint16_t> Insert(Slice record);
+
+  /// Reads a live record (error on tombstones / bad slots).
+  Result<Slice> Read(uint16_t slot) const;
+
+  /// Tombstones a record. Space is not compacted (lazy reclamation) and the
+  /// record bytes stay in place so Resurrect can undo the delete.
+  Status Delete(uint16_t slot);
+
+  /// Undoes a Delete: brings a tombstoned record back to life at the same
+  /// slot (physical undo of heap deletes during recovery/abort).
+  Status Resurrect(uint16_t slot);
+
+  /// In-place update when the new record is no larger than the old one;
+  /// fails with OutOfRange otherwise (caller relocates the row).
+  Status UpdateInPlace(uint16_t slot, Slice record);
+
+  bool IsLive(uint16_t slot) const;
+
+  /// Zeroes the record bytes of every dead slot (post-commit scrub after
+  /// initial encryption removes plaintext remnants; Resurrect becomes
+  /// impossible for scrubbed slots).
+  void ScrubDead();
+
+  /// The raw 8 KiB image — the adversary's view of data at rest.
+  Slice raw() const { return Slice(data_.get(), kPageSize); }
+
+ private:
+  uint16_t GetU16At(size_t off) const;
+  void SetU16At(size_t off, uint16_t v);
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLen(uint16_t slot) const;
+
+  std::unique_ptr<uint8_t[]> data_;
+};
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_PAGE_H_

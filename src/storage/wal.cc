@@ -1,0 +1,76 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+
+namespace aedb::storage {
+
+void LogRecord::SerializeTo(Bytes* out) const {
+  PutU64(out, lsn);
+  PutU64(out, txn_id);
+  out->push_back(static_cast<uint8_t>(type));
+  PutU32(out, object_id);
+  PutU64(out, rid.Encode());
+  PutLengthPrefixed(out, payload1);
+}
+
+Result<LogRecord> LogRecord::Deserialize(Slice in, size_t* offset) {
+  LogRecord rec;
+  AEDB_ASSIGN_OR_RETURN(rec.lsn, GetU64(in, offset));
+  AEDB_ASSIGN_OR_RETURN(rec.txn_id, GetU64(in, offset));
+  if (*offset >= in.size()) return Status::Corruption("truncated log record");
+  rec.type = static_cast<LogRecordType>(in[(*offset)++]);
+  if (rec.type < LogRecordType::kBegin || rec.type > LogRecordType::kIndexDelete) {
+    return Status::Corruption("unknown log record type");
+  }
+  AEDB_ASSIGN_OR_RETURN(rec.object_id, GetU32(in, offset));
+  uint64_t rid_enc;
+  AEDB_ASSIGN_OR_RETURN(rid_enc, GetU64(in, offset));
+  rec.rid = Rid::Decode(rid_enc);
+  AEDB_ASSIGN_OR_RETURN(rec.payload1, GetLengthPrefixed(in, offset));
+  return rec;
+}
+
+uint64_t Wal::Append(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.lsn = next_lsn_++;
+  uint64_t lsn = record.lsn;
+  records_.push_back(std::move(record));
+  return lsn;
+}
+
+std::vector<LogRecord> Wal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Bytes Wal::RawBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bytes out;
+  for (const LogRecord& rec : records_) rec.SerializeTo(&out);
+  return out;
+}
+
+void Wal::TruncateBefore(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.erase(records_.begin(),
+                 std::find_if(records_.begin(), records_.end(),
+                              [lsn](const LogRecord& r) { return r.lsn >= lsn; }));
+}
+
+void Wal::Replace(std::vector<LogRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_ = std::move(records);
+  next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
+}
+
+size_t Wal::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+}  // namespace aedb::storage

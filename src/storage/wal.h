@@ -1,0 +1,65 @@
+#ifndef AEDB_STORAGE_WAL_H_
+#define AEDB_STORAGE_WAL_H_
+
+#include <mutex>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace aedb::storage {
+
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kHeapInsert = 4,  // object_id=table, rid, payload1=row image
+  kHeapDelete = 5,  // object_id=table, rid, payload1=old row image
+  kIndexInsert = 6, // object_id=index, rid, payload1=key
+  kIndexDelete = 7, // object_id=index, rid, payload1=key
+};
+
+/// One WAL record. Row images and index keys are stored exactly as they live
+/// on pages — encrypted cells stay encrypted in the log, which is why backups
+/// and log shipping leak nothing (paper §1.1 "in transit during backups").
+struct LogRecord {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  uint32_t object_id = 0;
+  Rid rid;
+  Bytes payload1;
+
+  void SerializeTo(Bytes* out) const;
+  static Result<LogRecord> Deserialize(Slice in, size_t* offset);
+};
+
+/// Append-only write-ahead log. Retains structured records for recovery
+/// replay plus the serialized byte image (the adversary-observable "disk"
+/// form, scanned by leakage tests).
+class Wal {
+ public:
+  uint64_t Append(LogRecord record);
+
+  std::vector<LogRecord> Snapshot() const;
+  uint64_t next_lsn() const;
+
+  /// Serialized log bytes (adversary view).
+  Bytes RawBytes() const;
+
+  /// Drops records up to `lsn` exclusive (log truncation after checkpoint).
+  void TruncateBefore(uint64_t lsn);
+
+  /// Replaces the contents wholesale. Used to transplant a crashed engine's
+  /// log into a fresh engine in crash-recovery tests.
+  void Replace(std::vector<LogRecord> records);
+  size_t record_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<LogRecord> records_;
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_WAL_H_

@@ -1,0 +1,132 @@
+#ifndef AEDB_TPCC_TPCC_H_
+#define AEDB_TPCC_TPCC_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "client/driver.h"
+#include "common/random.h"
+
+namespace aedb::tpcc {
+
+/// Which encryption configuration the CUSTOMER PII columns use (paper §5.3:
+/// C_FIRST, C_LAST, C_STREET_1, C_STREET_2, C_CITY, C_STATE).
+enum class Encryption {
+  kPlaintext,      // SQL-PT / SQL-PT-AEConn
+  kDeterministic,  // SQL-AE-DET (enclave-disabled keys)
+  kRandomized,     // SQL-AE-RND (enclave-enabled keys)
+};
+
+const char* EncryptionName(Encryption e);
+
+/// Laptop-scale knobs; the spec's cardinalities divided down. Relative
+/// behaviour (who wins, where the enclave sits in the hot path) is preserved.
+struct TpccConfig {
+  int warehouses = 1;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 30;
+  int items = 100;
+  int initial_orders_per_district = 10;
+  Encryption encryption = Encryption::kPlaintext;
+  /// CEK/CMK names used when encryption != kPlaintext.
+  std::string cek_name = "TpccCEK";
+  uint64_t seed = 42;
+};
+
+/// TPC-C C_LAST syllables (spec clause 4.3.2.3).
+std::string LastName(int num);
+
+/// Schema creation + initial population through the AE driver (so encrypted
+/// columns are encrypted client-side exactly as in production).
+class TpccLoader {
+ public:
+  TpccLoader(client::Driver* driver, TpccConfig config)
+      : driver_(driver), config_(std::move(config)) {}
+
+  /// Creates the nine tables and their indexes. Keys (CMK/CEK) must already
+  /// be provisioned when encryption is on.
+  Status CreateSchema();
+  Status Load();
+
+ private:
+  Status LoadWarehouse(int w);
+
+  client::Driver* driver_;
+  TpccConfig config_;
+};
+
+/// Per-transaction-type counters.
+struct TxnStats {
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+};
+
+/// One terminal: runs the standard transaction mix (45% New-Order,
+/// 43% Payment, 4% each Order-Status, Delivery, Stock-Level) against its own
+/// driver connection. Per the paper (§5.3), Payment and Order-Status select
+/// customers by last name 60% of the time and the ORDER BY C_FIRST is
+/// replaced by a client-side sort to find the median customer.
+class TpccTerminal {
+ public:
+  TpccTerminal(client::Driver* driver, const TpccConfig& config, uint64_t seed)
+      : driver_(driver), config_(config), rng_(seed) {}
+
+  /// Runs one transaction from the mix; returns OK whether it committed or
+  /// was rolled back (1% of New-Orders roll back by spec); hard errors
+  /// propagate.
+  Status RunOne();
+
+  Status NewOrder();
+  Status Payment();
+  Status OrderStatus();
+  Status Delivery();
+  Status StockLevel();
+
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+
+ private:
+  /// Picks a customer id (40%) or last name (60%) per spec mix.
+  bool ByLastName() { return rng_.Uniform(1, 100) <= 60; }
+  int RandomCustomerId() {
+    return static_cast<int>(rng_.NURand(1023, 1, config_.customers_per_district,
+                                        kCRunCid));
+  }
+  std::string RandomLastName() {
+    int64_t max_name =
+        std::min<int64_t>(999, config_.customers_per_district * 3);
+    return LastName(static_cast<int>(rng_.NURand(255, 0, max_name, kCRunLast)));
+  }
+  /// Finds the median-by-C_FIRST customer with the given last name
+  /// (client-side sort replacing ORDER BY C_FIRST, §5.3).
+  Result<int> CustomerByLastName(uint64_t txn, int w, int d,
+                                 const std::string& last);
+
+  static constexpr int64_t kCRunLast = 173;  // runtime NURand constant
+  static constexpr int64_t kCRunCid = 1021;
+
+  client::Driver* driver_;
+  const TpccConfig& config_;
+  Xoshiro256 rng_;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+};
+
+/// Benchcraft-style closed-loop driver: N terminal threads hammering one
+/// server for a fixed duration.
+struct BenchcraftResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double txn_per_second = 0;
+};
+
+BenchcraftResult RunBenchcraft(
+    const std::function<std::unique_ptr<client::Driver>()>& driver_factory,
+    const TpccConfig& config, int threads, double seconds);
+
+}  // namespace aedb::tpcc
+
+#endif  // AEDB_TPCC_TPCC_H_

@@ -1,0 +1,23 @@
+#include "types/encryption_type.h"
+
+namespace aedb::types {
+
+const char* EncKindName(EncKind k) {
+  switch (k) {
+    case EncKind::kPlaintext: return "Plaintext";
+    case EncKind::kDeterministic: return "Deterministic";
+    case EncKind::kRandomized: return "Randomized";
+  }
+  return "Unknown";
+}
+
+std::string EncryptionType::ToString() const {
+  if (!is_encrypted()) return "Plaintext";
+  std::string s = EncKindName(kind);
+  s += "(cek=" + std::to_string(cek_id);
+  if (enclave_enabled) s += ", enclave";
+  s += ")";
+  return s;
+}
+
+}  // namespace aedb::types

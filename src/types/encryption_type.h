@@ -1,0 +1,60 @@
+#ifndef AEDB_TYPES_ENCRYPTION_TYPE_H_
+#define AEDB_TYPES_ENCRYPTION_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/cell_codec.h"
+
+namespace aedb::types {
+
+/// Generalized encryption type — the lattice of paper Figure 6. Operations
+/// strictly decrease going Plaintext → Deterministic → Randomized, and the
+/// lattice order `Plaintext ≤ Deterministic ≤ Randomized` is what the
+/// union-find constraint solver in the binder works over.
+enum class EncKind : uint8_t {
+  kPlaintext = 0,
+  kDeterministic = 1,
+  kRandomized = 2,
+};
+
+const char* EncKindName(EncKind k);
+
+/// Lattice order test: a ≤ b.
+inline bool EncKindLeq(EncKind a, EncKind b) {
+  return static_cast<uint8_t>(a) <= static_cast<uint8_t>(b);
+}
+
+/// Concrete encryption type of a column / parameter / expression operand:
+/// the generalized kind plus the specific CEK and whether that CEK is
+/// enclave-enabled (derived from its CMK, paper §2.2).
+struct EncryptionType {
+  EncKind kind = EncKind::kPlaintext;
+  uint32_t cek_id = 0;  // catalog id; 0 when plaintext
+  bool enclave_enabled = false;
+
+  static EncryptionType Plaintext() { return EncryptionType{}; }
+  static EncryptionType Encrypted(EncKind k, uint32_t cek, bool enclave) {
+    return EncryptionType{k, cek, enclave};
+  }
+
+  bool is_encrypted() const { return kind != EncKind::kPlaintext; }
+
+  /// The cell-codec scheme for this type (valid only when encrypted).
+  crypto::EncryptionScheme scheme() const {
+    return kind == EncKind::kDeterministic
+               ? crypto::EncryptionScheme::kDeterministic
+               : crypto::EncryptionScheme::kRandomized;
+  }
+
+  bool operator==(const EncryptionType& o) const {
+    return kind == o.kind && cek_id == o.cek_id &&
+           enclave_enabled == o.enclave_enabled;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace aedb::types
+
+#endif  // AEDB_TYPES_ENCRYPTION_TYPE_H_

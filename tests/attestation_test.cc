@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "attestation/attestation.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "keys/key_metadata.h"
+#include "keys/key_provider.h"
+
+namespace aedb::attestation {
+namespace {
+
+// End-to-end attestation fixture: platform + HGS + enclave + "client".
+class AttestationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                          Slice(std::string_view("attest-test")));
+    author_key_ = crypto::GenerateRsaKey(1024, &drbg);
+    platform_ = std::make_unique<enclave::VbsPlatform>("good-boot", 5);
+    image_ = enclave::EnclaveImage::MakeEsImage(7, author_key_);
+    auto loaded = platform_->LoadEnclave(image_, enclave::EnclaveConfig{});
+    ASSERT_TRUE(loaded.ok());
+    enclave_ = std::move(loaded).value();
+    hgs_.RegisterTcgLog(platform_->tcg_log());
+
+    client_dh_ = crypto::GenerateDhKeyPair(&drbg);
+    policy_.trusted_author_id = image_.AuthorId();
+    policy_.min_enclave_version = 7;
+    policy_.min_platform_version = 5;
+  }
+
+  // What SQL Server does at sp_describe time: fetch cert + enclave response.
+  void RunServerSide() {
+    auto cert = hgs_.Attest(platform_->tcg_log(), platform_->host_signing_public());
+    ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+    cert_ = *cert;
+    auto resp = enclave_->CreateSession(crypto::DhPublicKeyBytes(client_dh_));
+    ASSERT_TRUE(resp.ok());
+    response_ = *resp;
+  }
+
+  Result<Bytes> Verify() {
+    AttestationVerifier verifier(hgs_.signing_public(), policy_);
+    return verifier.VerifyAndDeriveSecret(cert_, response_,
+                                          client_dh_.private_key,
+                                          crypto::DhPublicKeyBytes(client_dh_));
+  }
+
+  crypto::RsaPrivateKey author_key_;
+  std::unique_ptr<enclave::VbsPlatform> platform_;
+  enclave::EnclaveImage image_;
+  std::unique_ptr<enclave::Enclave> enclave_;
+  HostGuardianService hgs_;
+  crypto::DhKeyPair client_dh_;
+  EnclavePolicy policy_;
+  HealthCertificate cert_;
+  enclave::AttestationResponse response_;
+};
+
+TEST_F(AttestationTest, FullChainSucceeds) {
+  RunServerSide();
+  auto secret = Verify();
+  ASSERT_TRUE(secret.ok()) << secret.status().ToString();
+  EXPECT_EQ(secret->size(), 32u);
+  // Both ends hold the same secret: a message sealed by the client opens in
+  // the enclave.
+  crypto::CellCodec channel(*secret);
+  Bytes plain;
+  PutU64(&plain, 0);
+  PutU32(&plain, 0);  // zero CEKs: still exercises the channel + nonce
+  Status st = enclave_->InstallCeks(
+      response_.session_id, 0,
+      channel.Encrypt(plain, crypto::EncryptionScheme::kRandomized));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(AttestationTest, HgsRefusesUnknownBootChain) {
+  enclave::VbsPlatform rogue("tampered-boot", 5);
+  auto cert = hgs_.Attest(rogue.tcg_log(), rogue.host_signing_public());
+  EXPECT_TRUE(cert.status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, ForgedHealthCertificateRejected) {
+  RunServerSide();
+  // A rogue "HGS" signs the same payload with a different key.
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("rogue-hgs")));
+  crypto::RsaPrivateKey rogue = crypto::GenerateRsaKey(1024, &drbg);
+  cert_.hgs_signature = crypto::Pkcs1Sign(rogue, cert_.SignedPayload());
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, TamperedReportRejected) {
+  RunServerSide();
+  response_.report_bytes[0] ^= 1;
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, UntrustedAuthorRejected) {
+  RunServerSide();
+  policy_.trusted_author_id = crypto::SecureRandom(32);
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, StaleEnclaveVersionRejected) {
+  RunServerSide();
+  policy_.min_enclave_version = 8;  // simulates a client post-security-update
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, StalePlatformVersionRejected) {
+  RunServerSide();
+  policy_.min_platform_version = 6;
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, SwappedEnclaveKeyRejected) {
+  RunServerSide();
+  // MITM SQL substitutes its own "enclave" public key.
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("mitm")));
+  crypto::RsaPrivateKey mitm = crypto::GenerateRsaKey(1024, &drbg);
+  response_.enclave_public_key = mitm.pub.Serialize();
+  Bytes blob = response_.enclave_dh_public;
+  Bytes cpk = crypto::DhPublicKeyBytes(client_dh_);
+  blob.insert(blob.end(), cpk.begin(), cpk.end());
+  response_.dh_signature = crypto::Pkcs1Sign(mitm, blob);
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, SwappedDhKeyRejected) {
+  RunServerSide();
+  // MITM swaps the enclave's DH public for its own (unsigned) one.
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("mitm-dh")));
+  crypto::DhKeyPair mitm = crypto::GenerateDhKeyPair(&drbg);
+  response_.enclave_dh_public = crypto::DhPublicKeyBytes(mitm);
+  EXPECT_TRUE(Verify().status().IsSecurityError());
+}
+
+TEST_F(AttestationTest, HealthCertificateSerializationRoundTrip) {
+  RunServerSide();
+  Bytes ser = cert_.Serialize();
+  auto back = HealthCertificate::Deserialize(ser);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->host_signing_public, cert_.host_signing_public);
+  EXPECT_EQ(back->hgs_signature, cert_.hgs_signature);
+}
+
+// --- key metadata tests (driver-side security checks) ---
+
+class KeyMetadataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(vault_.CreateKey(kPath, 1024).ok());
+    auto cmk = keys::KeyTools::CreateCmk(&vault_, "MyCMK", kPath, true);
+    ASSERT_TRUE(cmk.ok());
+    cmk_ = *cmk;
+  }
+
+  static constexpr const char* kPath = "https://vault.example/keys/cmk1";
+  keys::InMemoryKeyVault vault_;
+  keys::CmkInfo cmk_;
+};
+
+TEST_F(KeyMetadataTest, CmkSignatureVerifies) {
+  EXPECT_TRUE(keys::KeyTools::VerifyCmk(&vault_, cmk_).ok());
+}
+
+TEST_F(KeyMetadataTest, FlippedEnclaveBitDetected) {
+  // The attack from §2.2: SQL flips ENCLAVE_COMPUTATIONS on the metadata.
+  keys::CmkInfo tampered = cmk_;
+  tampered.enclave_enabled = false;
+  EXPECT_TRUE(keys::KeyTools::VerifyCmk(&vault_, tampered).IsSecurityError());
+}
+
+TEST_F(KeyMetadataTest, CekRoundTripThroughProvider) {
+  Bytes plaintext_cek;
+  auto cek = keys::KeyTools::CreateCek(&vault_, cmk_, "MyCEK", &plaintext_cek);
+  ASSERT_TRUE(cek.ok());
+  EXPECT_EQ(plaintext_cek.size(), 32u);
+  ASSERT_EQ(cek->values.size(), 1u);
+  EXPECT_TRUE(
+      keys::KeyTools::VerifyCekValue(&vault_, cmk_, "MyCEK", cek->values[0]).ok());
+  auto unwrapped = vault_.UnwrapKey(kPath, cek->values[0].encrypted_value);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(*unwrapped, plaintext_cek);
+}
+
+TEST_F(KeyMetadataTest, TamperedCekValueDetected) {
+  Bytes plaintext_cek;
+  auto cek = keys::KeyTools::CreateCek(&vault_, cmk_, "MyCEK", &plaintext_cek);
+  ASSERT_TRUE(cek.ok());
+  keys::CekValue bad = cek->values[0];
+  bad.encrypted_value[0] ^= 1;
+  EXPECT_TRUE(keys::KeyTools::VerifyCekValue(&vault_, cmk_, "MyCEK", bad)
+                  .IsSecurityError());
+}
+
+TEST_F(KeyMetadataTest, CmkRotationAddsSecondValue) {
+  Bytes plaintext_cek;
+  auto cek = keys::KeyTools::CreateCek(&vault_, cmk_, "MyCEK", &plaintext_cek);
+  ASSERT_TRUE(cek.ok());
+  ASSERT_TRUE(vault_.CreateKey("https://vault.example/keys/cmk2", 1024).ok());
+  auto cmk2 = keys::KeyTools::CreateCmk(&vault_, "MyCMK2",
+                                        "https://vault.example/keys/cmk2", true);
+  ASSERT_TRUE(cmk2.ok());
+  keys::CekInfo info = *cek;
+  ASSERT_TRUE(keys::KeyTools::AddCekValueForCmkRotation(&vault_, *cmk2,
+                                                        plaintext_cek, &info)
+                  .ok());
+  ASSERT_EQ(info.values.size(), 2u);
+  // Both values unwrap to the same material.
+  auto u1 = vault_.UnwrapKey(kPath, info.values[0].encrypted_value);
+  auto u2 = vault_.UnwrapKey("https://vault.example/keys/cmk2",
+                             info.values[1].encrypted_value);
+  ASSERT_TRUE(u1.ok());
+  ASSERT_TRUE(u2.ok());
+  EXPECT_EQ(*u1, *u2);
+}
+
+TEST_F(KeyMetadataTest, MetadataSerializationRoundTrip) {
+  auto back = keys::CmkInfo::Deserialize(cmk_.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, cmk_.name);
+  EXPECT_EQ(back->key_path, cmk_.key_path);
+  EXPECT_EQ(back->enclave_enabled, cmk_.enclave_enabled);
+  EXPECT_EQ(back->signature, cmk_.signature);
+
+  Bytes pt;
+  auto cek = keys::KeyTools::CreateCek(&vault_, cmk_, "MyCEK", &pt);
+  ASSERT_TRUE(cek.ok());
+  auto cek_back = keys::CekInfo::Deserialize(cek->Serialize());
+  ASSERT_TRUE(cek_back.ok());
+  EXPECT_EQ(cek_back->name, "MyCEK");
+  ASSERT_EQ(cek_back->values.size(), 1u);
+  EXPECT_EQ(cek_back->values[0].encrypted_value, cek->values[0].encrypted_value);
+}
+
+TEST(KeyProviderRegistryTest, RegisterAndFind) {
+  keys::KeyProviderRegistry registry;
+  keys::InMemoryKeyVault vault("CUSTOM_PROVIDER");
+  ASSERT_TRUE(registry.Register(&vault).ok());
+  EXPECT_TRUE(registry.Register(&vault).code() ==
+              StatusCode::kAlreadyExists);
+  auto found = registry.Find("CUSTOM_PROVIDER");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, &vault);
+  EXPECT_TRUE(registry.Find("NOPE").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace aedb::attestation

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/bignum.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+
+namespace aedb::crypto {
+namespace {
+
+HmacDrbg TestDrbg(uint8_t tag = 0) {
+  Bytes seed(32, 0x5a);
+  seed[0] = tag;
+  return HmacDrbg(seed, Slice(std::string_view("bignum-test")));
+}
+
+TEST(BigNumTest, ZeroProperties) {
+  BigNum z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_TRUE(z == BigNum(0));
+}
+
+TEST(BigNumTest, BytesRoundTrip) {
+  Bytes raw = {0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef, 0x11};
+  BigNum n = BigNum::FromBytesBE(raw);
+  EXPECT_EQ(n.ToBytesBE(), raw);
+  EXPECT_EQ(n.ToBytesBE(12).size(), 12u);
+  EXPECT_EQ(Slice(n.ToBytesBE(12)).subslice(3, 9).ToBytes(), raw);
+}
+
+TEST(BigNumTest, HexParse) {
+  auto n = BigNum::FromHex("0xff00");
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(*n == BigNum(0xff00));
+  auto odd = BigNum::FromHex("f");
+  ASSERT_TRUE(odd.ok());
+  EXPECT_TRUE(*odd == BigNum(15));
+}
+
+TEST(BigNumTest, SmallArithmetic) {
+  BigNum a(1000), b(37);
+  EXPECT_TRUE(a + b == BigNum(1037));
+  EXPECT_TRUE(a - b == BigNum(963));
+  EXPECT_TRUE(a * b == BigNum(37000));
+  EXPECT_TRUE(a / b == BigNum(27));
+  EXPECT_TRUE(a % b == BigNum(1));
+}
+
+TEST(BigNumTest, AdditionCarriesAcrossLimbs) {
+  BigNum max64(~0ULL);
+  BigNum sum = max64 + BigNum(1);
+  EXPECT_EQ(sum.BitLength(), 65u);
+  EXPECT_TRUE(sum - BigNum(1) == max64);
+}
+
+TEST(BigNumTest, ShiftRoundTrip) {
+  auto n = BigNum::FromHex("123456789abcdef0fedcba9876543210").value();
+  for (size_t s : {1u, 7u, 64u, 65u, 130u}) {
+    EXPECT_TRUE(((n << s) >> s) == n) << s;
+  }
+}
+
+TEST(BigNumTest, DivisionByZeroFails) {
+  BigNum q, r;
+  EXPECT_FALSE(BigNum::DivMod(BigNum(5), BigNum(), &q, &r).ok());
+}
+
+TEST(BigNumTest, DivModInvariantRandom) {
+  HmacDrbg drbg = TestDrbg();
+  for (int i = 0; i < 200; ++i) {
+    size_t ubits = 1 + static_cast<size_t>(drbg.Generate(1)[0]) * 3;
+    size_t vbits = 1 + static_cast<size_t>(drbg.Generate(1)[0]);
+    BigNum u = BigNum::RandomBits(ubits, &drbg);
+    BigNum v = BigNum::RandomBits(vbits, &drbg);
+    BigNum q, r;
+    ASSERT_TRUE(BigNum::DivMod(u, v, &q, &r).ok());
+    EXPECT_TRUE(q * v + r == u);
+    EXPECT_TRUE(r < v);
+  }
+}
+
+TEST(BigNumTest, KnuthAddBackCase) {
+  // Dividend/divisor crafted so the initial qhat estimate overshoots
+  // (top limbs equal), exercising the add-back path.
+  BigNum u = BigNum::FromHex("80000000000000000000000000000000"
+                             "00000000000000000000000000000000").value();
+  BigNum v = BigNum::FromHex("80000000000000000000000000000001").value();
+  BigNum q, r;
+  ASSERT_TRUE(BigNum::DivMod(u, v, &q, &r).ok());
+  EXPECT_TRUE(q * v + r == u);
+  EXPECT_TRUE(r < v);
+}
+
+TEST(BigNumTest, ModExpMatchesSmallMath) {
+  // 7^13 mod 41 = 7^13 = ... verify against iterative u64 computation.
+  uint64_t expected = 1;
+  for (int i = 0; i < 13; ++i) expected = expected * 7 % 41;
+  EXPECT_TRUE(BigNum::ModExp(BigNum(7), BigNum(13), BigNum(41)) ==
+              BigNum(expected));
+}
+
+TEST(BigNumTest, ModExpEdgeCases) {
+  EXPECT_TRUE(BigNum::ModExp(BigNum(5), BigNum(0), BigNum(7)) == BigNum(1));
+  EXPECT_TRUE(BigNum::ModExp(BigNum(0), BigNum(5), BigNum(7)) == BigNum(0));
+  EXPECT_TRUE(BigNum::ModExp(BigNum(5), BigNum(3), BigNum(1)) == BigNum(0));
+  // Even modulus path.
+  EXPECT_TRUE(BigNum::ModExp(BigNum(3), BigNum(4), BigNum(100)) == BigNum(81 % 100));
+}
+
+TEST(BigNumTest, FermatLittleTheorem) {
+  HmacDrbg drbg = TestDrbg(1);
+  // p = 2^61 - 1 (Mersenne prime).
+  BigNum p((1ULL << 61) - 1);
+  for (int i = 0; i < 10; ++i) {
+    BigNum a = BigNum(2) + BigNum::RandomBelow(p - BigNum(3), &drbg);
+    EXPECT_TRUE(BigNum::ModExp(a, p - BigNum(1), p) == BigNum(1));
+  }
+}
+
+TEST(BigNumTest, MontgomeryMatchesDivideReduce) {
+  HmacDrbg drbg = TestDrbg(2);
+  for (int i = 0; i < 20; ++i) {
+    BigNum m = BigNum::RandomBits(192, &drbg);
+    if (!m.IsOdd()) m = m + BigNum(1);
+    MontgomeryContext ctx(m);
+    BigNum a = BigNum::RandomBelow(m, &drbg);
+    BigNum b = BigNum::RandomBelow(m, &drbg);
+    BigNum mont = ctx.FromMont(ctx.MulMont(ctx.ToMont(a), ctx.ToMont(b)));
+    EXPECT_TRUE(mont == (a * b) % m);
+  }
+}
+
+TEST(BigNumTest, ModInverseProperty) {
+  HmacDrbg drbg = TestDrbg(3);
+  BigNum m = BigNum((1ULL << 61) - 1);  // prime modulus: everything invertible
+  for (int i = 0; i < 20; ++i) {
+    BigNum a = BigNum(1) + BigNum::RandomBelow(m - BigNum(1), &drbg);
+    auto inv = BigNum::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE((a * *inv) % m == BigNum(1));
+  }
+}
+
+TEST(BigNumTest, ModInverseFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigNum::ModInverse(BigNum(6), BigNum(9)).ok());
+}
+
+TEST(BigNumTest, Gcd) {
+  EXPECT_TRUE(BigNum::Gcd(BigNum(48), BigNum(18)) == BigNum(6));
+  EXPECT_TRUE(BigNum::Gcd(BigNum(17), BigNum(5)) == BigNum(1));
+}
+
+TEST(BigNumTest, PrimalityKnownValues) {
+  HmacDrbg drbg = TestDrbg(4);
+  EXPECT_TRUE(BigNum::IsProbablePrime(BigNum(2), 10, &drbg));
+  EXPECT_TRUE(BigNum::IsProbablePrime(BigNum((1ULL << 61) - 1), 10, &drbg));
+  EXPECT_FALSE(BigNum::IsProbablePrime(BigNum(1), 10, &drbg));
+  EXPECT_FALSE(BigNum::IsProbablePrime(BigNum(561), 10, &drbg));   // Carmichael
+  EXPECT_FALSE(BigNum::IsProbablePrime(BigNum(41041), 10, &drbg)); // Carmichael
+  EXPECT_TRUE(BigNum::IsProbablePrime(BigNum(104729), 10, &drbg)); // 10000th prime
+}
+
+TEST(BigNumTest, GeneratePrimeHasRequestedSize) {
+  HmacDrbg drbg = TestDrbg(5);
+  BigNum p = BigNum::GeneratePrime(128, &drbg);
+  EXPECT_EQ(p.BitLength(), 128u);
+  EXPECT_TRUE(p.IsOdd());
+}
+
+TEST(BigNumTest, RandomBelowIsBelow) {
+  HmacDrbg drbg = TestDrbg(6);
+  BigNum bound = BigNum::RandomBits(100, &drbg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(BigNum::RandomBelow(bound, &drbg) < bound);
+  }
+}
+
+// --- RSA ---
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static RsaPrivateKey& Key() {
+    static HmacDrbg drbg = TestDrbg(7);
+    // 1024-bit: the smallest size whose OAEP capacity (62 bytes) fits a
+    // 32-byte CEK, and fast enough for unit tests.
+    static RsaPrivateKey key = GenerateRsaKey(1024, &drbg);
+    return key;
+  }
+};
+
+TEST_F(RsaTest, OaepRoundTrip) {
+  HmacDrbg drbg = TestDrbg(8);
+  Bytes msg = drbg.Generate(32);
+  auto ct = OaepEncrypt(Key().pub, msg, &drbg);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), Key().pub.ModulusSize());
+  auto back = OaepDecrypt(Key(), *ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST_F(RsaTest, OaepIsRandomized) {
+  HmacDrbg drbg = TestDrbg(9);
+  Bytes msg = drbg.Generate(16);
+  auto c1 = OaepEncrypt(Key().pub, msg, &drbg);
+  auto c2 = OaepEncrypt(Key().pub, msg, &drbg);
+  EXPECT_NE(*c1, *c2);
+}
+
+TEST_F(RsaTest, OaepRejectsTampering) {
+  HmacDrbg drbg = TestDrbg(10);
+  Bytes msg = drbg.Generate(16);
+  auto ct = OaepEncrypt(Key().pub, msg, &drbg);
+  ASSERT_TRUE(ct.ok());
+  Bytes tampered = *ct;
+  tampered[tampered.size() / 2] ^= 1;
+  EXPECT_FALSE(OaepDecrypt(Key(), tampered).ok());
+}
+
+TEST_F(RsaTest, OaepRejectsOverlongMessage) {
+  HmacDrbg drbg = TestDrbg(11);
+  Bytes msg(Key().pub.ModulusSize(), 0x11);
+  EXPECT_FALSE(OaepEncrypt(Key().pub, msg, &drbg).ok());
+}
+
+TEST_F(RsaTest, SignVerify) {
+  Bytes msg = Slice(std::string_view("CMK metadata to protect")).ToBytes();
+  Bytes sig = Pkcs1Sign(Key(), msg);
+  EXPECT_TRUE(Pkcs1Verify(Key().pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongMessage) {
+  Bytes sig = Pkcs1Sign(Key(), Slice(std::string_view("a")));
+  EXPECT_FALSE(Pkcs1Verify(Key().pub, Slice(std::string_view("b")), sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsTamperedSignature) {
+  Bytes msg = Slice(std::string_view("msg")).ToBytes();
+  Bytes sig = Pkcs1Sign(Key(), msg);
+  sig[0] ^= 1;
+  EXPECT_FALSE(Pkcs1Verify(Key().pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  HmacDrbg drbg = TestDrbg(12);
+  RsaPrivateKey other = GenerateRsaKey(1024, &drbg);
+  Bytes msg = Slice(std::string_view("msg")).ToBytes();
+  Bytes sig = Pkcs1Sign(Key(), msg);
+  EXPECT_FALSE(Pkcs1Verify(other.pub, msg, sig).ok());
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  Bytes ser = Key().pub.Serialize();
+  auto back = RsaPublicKey::Deserialize(ser);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->n == Key().pub.n);
+  EXPECT_TRUE(back->e == Key().pub.e);
+}
+
+// --- Diffie-Hellman ---
+
+TEST(DhTest, SharedSecretAgrees) {
+  HmacDrbg drbg = TestDrbg(13);
+  DhKeyPair alice = GenerateDhKeyPair(&drbg);
+  DhKeyPair bob = GenerateDhKeyPair(&drbg);
+  auto s1 = DhComputeSharedSecret(alice.private_key, DhPublicKeyBytes(bob));
+  auto s2 = DhComputeSharedSecret(bob.private_key, DhPublicKeyBytes(alice));
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s1, *s2);
+  EXPECT_EQ(s1->size(), 32u);
+}
+
+TEST(DhTest, DistinctPairsDisagree) {
+  HmacDrbg drbg = TestDrbg(14);
+  DhKeyPair a = GenerateDhKeyPair(&drbg);
+  DhKeyPair b = GenerateDhKeyPair(&drbg);
+  DhKeyPair c = GenerateDhKeyPair(&drbg);
+  auto ab = DhComputeSharedSecret(a.private_key, DhPublicKeyBytes(b));
+  auto ac = DhComputeSharedSecret(a.private_key, DhPublicKeyBytes(c));
+  EXPECT_NE(*ab, *ac);
+}
+
+TEST(DhTest, RejectsDegenerateKeys) {
+  HmacDrbg drbg = TestDrbg(15);
+  DhKeyPair a = GenerateDhKeyPair(&drbg);
+  EXPECT_FALSE(DhComputeSharedSecret(a.private_key, BigNum(0).ToBytesBE(256)).ok());
+  EXPECT_FALSE(DhComputeSharedSecret(a.private_key, BigNum(1).ToBytesBE(256)).ok());
+  EXPECT_FALSE(
+      DhComputeSharedSecret(a.private_key, DhGroupPrime().ToBytesBE(256)).ok());
+  EXPECT_FALSE(DhComputeSharedSecret(
+                   a.private_key, (DhGroupPrime() - BigNum(1)).ToBytesBE(256))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aedb::crypto

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace aedb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::SecurityError("mac mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsSecurityError());
+  EXPECT_EQ(s.ToString(), "SecurityError: mac mismatch");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kTypeCheckError); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  int v;
+  AEDB_ASSIGN_OR_RETURN(v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_TRUE(Doubler(Status::Internal("x")).status().code() ==
+              StatusCode::kInternal);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+  auto back = HexDecode("0001abff");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(BytesTest, HexDecodeAccepts0xPrefixAndUppercase) {
+  auto r = HexDecode("0xAB01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xab, 0x01}));
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, SliceCompareIsMemcmpOrder) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 4};
+  Bytes c = {1, 2};
+  EXPECT_LT(Slice(a).compare(b), 0);
+  EXPECT_GT(Slice(b).compare(a), 0);
+  EXPECT_GT(Slice(a).compare(c), 0);
+  EXPECT_EQ(Slice(a).compare(a), 0);
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, d));
+}
+
+TEST(BytesTest, VarintCodecRoundTrip) {
+  Bytes buf;
+  PutU16(&buf, 0xbeef);
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 0x0123456789abcdefULL);
+  PutLengthPrefixed(&buf, Slice(std::string_view("hello")));
+
+  size_t off = 0;
+  EXPECT_EQ(*GetU16(buf, &off), 0xbeef);
+  EXPECT_EQ(*GetU32(buf, &off), 0xdeadbeefu);
+  EXPECT_EQ(*GetU64(buf, &off), 0x0123456789abcdefULL);
+  auto s = GetLengthPrefixed(buf, &off);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(Slice(*s).ToString(), "hello");
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(BytesTest, DecodePastEndFails) {
+  Bytes buf = {1, 2};
+  size_t off = 0;
+  EXPECT_FALSE(GetU32(buf, &off).ok());
+  // Length prefix claiming more bytes than available.
+  Bytes bad;
+  PutU32(&bad, 100);
+  off = 0;
+  EXPECT_FALSE(GetLengthPrefixed(bad, &off).ok());
+}
+
+TEST(BytesTest, Utf16Le) {
+  Bytes b = Utf16LeBytes("AB");
+  EXPECT_EQ(b, (Bytes{0x41, 0x00, 0x42, 0x00}));
+}
+
+TEST(RandomTest, UniformIsInRange) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RandomTest, NURandIsInRange) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NURand(255, 0, 999, 123);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace aedb

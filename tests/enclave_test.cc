@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+#include "enclave/enclave.h"
+#include "enclave/nonce_tracker.h"
+#include "enclave/worker_pool.h"
+
+namespace aedb::enclave {
+namespace {
+
+using types::EncKind;
+using types::EncryptionType;
+using types::TypeId;
+using types::Value;
+
+TEST(NonceTrackerTest, SequentialStaysCompact) {
+  NonceTracker t;
+  for (uint64_t n = 0; n < 1000; ++n) {
+    ASSERT_TRUE(t.CheckAndRecord(n).ok());
+  }
+  EXPECT_EQ(t.range_count(), 1u);
+  EXPECT_EQ(t.recorded_count(), 1000u);
+}
+
+TEST(NonceTrackerTest, ReplayDetected) {
+  NonceTracker t;
+  ASSERT_TRUE(t.CheckAndRecord(5).ok());
+  EXPECT_TRUE(t.CheckAndRecord(5).IsReplayDetected());
+}
+
+TEST(NonceTrackerTest, OutOfOrderMergesRanges) {
+  NonceTracker t;
+  // Local reordering: 0 2 1 4 3 6 5 ...
+  for (uint64_t base = 0; base < 100; base += 2) {
+    ASSERT_TRUE(t.CheckAndRecord(base == 0 ? 0 : base).ok());
+    if (base > 0) ASSERT_TRUE(t.CheckAndRecord(base - 1).ok());
+  }
+  EXPECT_LE(t.range_count(), 2u);
+  // Every recorded nonce replays.
+  for (uint64_t n = 0; n < 99; ++n) {
+    EXPECT_TRUE(t.CheckAndRecord(n).IsReplayDetected()) << n;
+  }
+}
+
+TEST(NonceTrackerTest, SparseNoncesKeepSeparateRanges) {
+  NonceTracker t;
+  ASSERT_TRUE(t.CheckAndRecord(10).ok());
+  ASSERT_TRUE(t.CheckAndRecord(20).ok());
+  ASSERT_TRUE(t.CheckAndRecord(30).ok());
+  EXPECT_EQ(t.range_count(), 3u);
+  // Fill the gap 11..19 -> merges with both neighbors of 10 and 20.
+  for (uint64_t n = 11; n <= 19; ++n) ASSERT_TRUE(t.CheckAndRecord(n).ok());
+  EXPECT_EQ(t.range_count(), 2u);
+  EXPECT_FALSE(t.Seen(25));
+  EXPECT_TRUE(t.Seen(15));
+}
+
+TEST(NonceTrackerTest, ZeroBoundary) {
+  NonceTracker t;
+  ASSERT_TRUE(t.CheckAndRecord(0).ok());
+  EXPECT_TRUE(t.CheckAndRecord(0).IsReplayDetected());
+  ASSERT_TRUE(t.CheckAndRecord(1).ok());
+  EXPECT_EQ(t.range_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kCekId = 42;
+
+  void SetUp() override {
+    crypto::HmacDrbg author_drbg(crypto::SecureRandom(48),
+                                 Slice(std::string_view("author")));
+    author_key_ = crypto::GenerateRsaKey(1024, &author_drbg);
+    platform_ = std::make_unique<VbsPlatform>("known-good-boot", 2);
+    image_ = EnclaveImage::MakeEsImage(3, author_key_);
+    auto loaded = platform_->LoadEnclave(image_, EnclaveConfig{});
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    enclave_ = std::move(loaded).value();
+    cek_ = crypto::SecureRandom(32);
+  }
+
+  // Simulates the driver side: attest (create session) and install one CEK.
+  uint64_t OpenSessionWithKey() {
+    crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                          Slice(std::string_view("client-dh")));
+    client_dh_ = crypto::GenerateDhKeyPair(&drbg);
+    auto resp = enclave_->CreateSession(crypto::DhPublicKeyBytes(client_dh_));
+    EXPECT_TRUE(resp.ok());
+    session_id_ = resp->session_id;
+    auto secret = crypto::DhComputeSharedSecret(client_dh_.private_key,
+                                                resp->enclave_dh_public);
+    EXPECT_TRUE(secret.ok());
+    channel_ = std::make_unique<crypto::CellCodec>(*secret);
+    InstallCek(next_nonce_++, kCekId, cek_);
+    return session_id_;
+  }
+
+  Bytes SealInstallPayload(uint64_t nonce, uint32_t cek_id, const Bytes& key) {
+    Bytes plain;
+    PutU64(&plain, nonce);
+    PutU32(&plain, 1);
+    PutU32(&plain, cek_id);
+    PutLengthPrefixed(&plain, key);
+    return channel_->Encrypt(plain, crypto::EncryptionScheme::kRandomized);
+  }
+
+  void InstallCek(uint64_t nonce, uint32_t cek_id, const Bytes& key) {
+    Status st = enclave_->InstallCeks(session_id_, nonce,
+                                      SealInstallPayload(nonce, cek_id, key));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  Bytes Cell(const Value& v,
+             crypto::EncryptionScheme scheme =
+                 crypto::EncryptionScheme::kRandomized) {
+    crypto::CellCodec codec(cek_);
+    return codec.Encrypt(v.Encode(), scheme);
+  }
+
+  EncryptionType Rnd() {
+    return EncryptionType::Encrypted(EncKind::kRandomized, kCekId, true);
+  }
+
+  crypto::RsaPrivateKey author_key_;
+  std::unique_ptr<VbsPlatform> platform_;
+  EnclaveImage image_;
+  std::unique_ptr<Enclave> enclave_;
+  Bytes cek_;
+  crypto::DhKeyPair client_dh_;
+  std::unique_ptr<crypto::CellCodec> channel_;
+  uint64_t session_id_ = 0;
+  uint64_t next_nonce_ = 0;
+};
+
+TEST_F(EnclaveTest, PlatformRejectsTamperedImage) {
+  EnclaveImage bad = image_;
+  bad.version = 99;  // hash no longer matches the author signature
+  auto r = platform_->LoadEnclave(bad, EnclaveConfig{});
+  EXPECT_TRUE(r.status().IsSecurityError());
+}
+
+TEST_F(EnclaveTest, ReportMatchesImage) {
+  EXPECT_EQ(enclave_->report().binary_hash, image_.BinaryHash());
+  EXPECT_EQ(enclave_->report().author_id, image_.AuthorId());
+  EXPECT_EQ(enclave_->report().enclave_version, 3u);
+  EXPECT_EQ(enclave_->report().platform_version, 2u);
+}
+
+TEST_F(EnclaveTest, SessionRejectsDegenerateDh) {
+  Bytes one = crypto::BigNum(1).ToBytesBE(256);
+  EXPECT_TRUE(enclave_->CreateSession(one).status().IsSecurityError());
+}
+
+TEST_F(EnclaveTest, InstallAndCompareCells) {
+  OpenSessionWithKey();
+  EXPECT_TRUE(enclave_->HasCek(kCekId));
+  auto c = enclave_->CompareCells(kCekId, Cell(Value::Int64(5)),
+                                  Cell(Value::Int64(9)));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+  auto c2 = enclave_->CompareCells(kCekId, Cell(Value::String("b")),
+                                   Cell(Value::String("b")));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, 0);
+}
+
+TEST_F(EnclaveTest, CompareCellsNullsSortFirst) {
+  OpenSessionWithKey();
+  auto c = enclave_->CompareCells(kCekId, Cell(Value::Null(TypeId::kInt64)),
+                                  Cell(Value::Int64(-100)));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(*c, 0);
+}
+
+TEST_F(EnclaveTest, CompareWithoutKeyFails) {
+  auto c = enclave_->CompareCells(kCekId, Cell(Value::Int64(1)),
+                                  Cell(Value::Int64(2)));
+  EXPECT_TRUE(c.status().IsKeyNotInEnclave());
+}
+
+TEST_F(EnclaveTest, ReplayedInstallRejected) {
+  OpenSessionWithKey();
+  uint64_t used_nonce = next_nonce_ - 1;
+  Status st = enclave_->InstallCeks(
+      session_id_, used_nonce, SealInstallPayload(used_nonce, kCekId, cek_));
+  EXPECT_TRUE(st.IsReplayDetected());
+}
+
+TEST_F(EnclaveTest, MismatchedOuterNonceRejected) {
+  OpenSessionWithKey();
+  // Outer nonce says 100, sealed payload says 99: SQL (the man in the middle)
+  // cannot relabel messages.
+  Status st = enclave_->InstallCeks(session_id_, 100,
+                                    SealInstallPayload(99, kCekId, cek_));
+  EXPECT_TRUE(st.IsSecurityError());
+}
+
+TEST_F(EnclaveTest, TamperedSealedPayloadRejected) {
+  OpenSessionWithKey();
+  Bytes sealed = SealInstallPayload(next_nonce_, kCekId, cek_);
+  sealed[sealed.size() / 2] ^= 1;
+  Status st = enclave_->InstallCeks(session_id_, next_nonce_, sealed);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(EnclaveTest, EvalRegisteredExpression) {
+  OpenSessionWithKey();
+  es::EsProgram p;
+  p.GetData(0, TypeId::kString, Rnd());
+  p.GetData(1, TypeId::kString, Rnd());
+  p.Comp(es::CompareOp::kEq);
+  p.SetData(0, TypeId::kBool);
+  auto handle = enclave_->RegisterExpression(p.Serialize());
+  ASSERT_TRUE(handle.ok());
+  auto r = enclave_->EvalRegistered(
+      *handle, {Value::Binary(Cell(Value::String("SMITH"))),
+                Value::Binary(Cell(Value::String("SMITH")))});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)[0].bool_v());
+  EXPECT_GE(enclave_->stats().evals.load(), 1u);
+}
+
+TEST_F(EnclaveTest, EncryptOracleRequiresAuthorization) {
+  OpenSessionWithKey();
+  es::EsProgram p;
+  p.GetData(0, TypeId::kInt64);
+  p.SetData(0, TypeId::kInt64, Rnd());
+  std::string ddl = "ALTER TABLE T ALTER COLUMN value ENCRYPTED";
+
+  // Without client authorization: denied.
+  auto r = enclave_->Eval(p.Serialize(), {Value::Int64(7)}, session_id_, ddl);
+  EXPECT_TRUE(r.status().IsPermissionDenied()) << r.status().ToString();
+
+  // Client signs the query hash into the session; now it runs.
+  Bytes plain;
+  PutU64(&plain, next_nonce_);
+  Bytes hash = crypto::Sha256::Hash(Slice(std::string_view(ddl)));
+  plain.insert(plain.end(), hash.begin(), hash.end());
+  Status st = enclave_->AuthorizeEncryption(
+      session_id_, next_nonce_,
+      channel_->Encrypt(plain, crypto::EncryptionScheme::kRandomized));
+  ++next_nonce_;
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  auto r2 = enclave_->Eval(p.Serialize(), {Value::Int64(7)}, session_id_, ddl);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  // Round trip: the produced cell decrypts to the input under the CEK.
+  crypto::CellCodec codec(cek_);
+  auto back = codec.Decrypt((*r2)[0].bin());
+  ASSERT_TRUE(back.ok());
+  size_t off = 0;
+  EXPECT_TRUE(*Value::Decode(*back, &off) == Value::Int64(7));
+
+  // A *different* query text is still denied.
+  auto r3 = enclave_->Eval(p.Serialize(), {Value::Int64(7)}, session_id_,
+                           "ALTER TABLE Other ...");
+  EXPECT_TRUE(r3.status().IsPermissionDenied());
+}
+
+TEST_F(EnclaveTest, ClearKeysSimulatesRestart) {
+  OpenSessionWithKey();
+  EXPECT_TRUE(enclave_->HasCek(kCekId));
+  enclave_->ClearKeys();
+  EXPECT_FALSE(enclave_->HasCek(kCekId));
+  auto c = enclave_->CompareCells(kCekId, Cell(Value::Int64(1)),
+                                  Cell(Value::Int64(2)));
+  EXPECT_TRUE(c.status().IsKeyNotInEnclave());
+}
+
+TEST_F(EnclaveTest, NestedTMEvalRejected) {
+  OpenSessionWithKey();
+  es::EsProgram inner;
+  inner.Const(Value::Int32(1));
+  inner.SetData(0, TypeId::kInt32);
+  es::EsProgram outer;
+  outer.TMEval(inner, 0, 1);
+  outer.SetData(0, TypeId::kInt32);
+  EXPECT_TRUE(
+      enclave_->RegisterExpression(outer.Serialize()).status().IsSecurityError());
+  EXPECT_TRUE(enclave_->Eval(outer.Serialize(), {}).status().IsSecurityError());
+}
+
+TEST_F(EnclaveTest, WorkerPoolEvaluates) {
+  OpenSessionWithKey();
+  es::EsProgram p;
+  p.GetData(0, TypeId::kInt64, Rnd());
+  p.GetData(1, TypeId::kInt64, Rnd());
+  p.Comp(es::CompareOp::kLt);
+  p.SetData(0, TypeId::kBool);
+  auto handle = enclave_->RegisterExpression(p.Serialize());
+  ASSERT_TRUE(handle.ok());
+
+  EnclaveWorkerPool::Options opts;
+  opts.num_threads = 2;
+  EnclaveWorkerPool pool(enclave_.get(), opts);
+  for (int i = 0; i < 50; ++i) {
+    auto r = pool.SubmitEval(
+        *handle, {Value::Binary(Cell(Value::Int64(i))),
+                  Value::Binary(Cell(Value::Int64(25)))});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ((*r)[0].bool_v(), i < 25);
+  }
+}
+
+TEST_F(EnclaveTest, TransitionCostCharged) {
+  EnclaveConfig cfg;
+  cfg.transition_cost_ns = 1000;
+  auto loaded = platform_->LoadEnclave(image_, cfg);
+  ASSERT_TRUE(loaded.ok());
+  auto& e = *loaded;
+  uint64_t before = e->stats().transitions.load();
+  (void)e->HasCek(1);  // not an ecall; no charge
+  auto r = e->CompareCells(1, Bytes{}, Bytes{});
+  (void)r;
+  EXPECT_EQ(e->stats().transitions.load(), before + 1);
+}
+
+}  // namespace
+}  // namespace aedb::enclave

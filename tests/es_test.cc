@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "crypto/cell_codec.h"
+#include "crypto/drbg.h"
+#include "es/evaluator.h"
+#include "es/program.h"
+
+namespace aedb::es {
+namespace {
+
+using types::EncKind;
+using types::EncryptionType;
+using types::TypeId;
+using types::Value;
+
+// Minimal crypto provider for evaluator tests (stands in for the enclave's).
+class TestCrypto : public CellCryptoProvider {
+ public:
+  TestCrypto() : cek_(crypto::SecureRandom(32)), codec_(cek_) {}
+
+  Result<Value> DecryptDatum(const EncryptionType& enc, TypeId,
+                             const Value& wire) override {
+    (void)enc;
+    Bytes plain;
+    AEDB_ASSIGN_OR_RETURN(plain, codec_.Decrypt(wire.bin()));
+    size_t off = 0;
+    return Value::Decode(plain, &off);
+  }
+  Result<Value> EncryptDatum(const EncryptionType& enc,
+                             const Value& plain) override {
+    return Value::Binary(codec_.Encrypt(plain.Encode(), enc.scheme()));
+  }
+
+  Value Cell(const Value& v) {
+    return Value::Binary(
+        codec_.Encrypt(v.Encode(), crypto::EncryptionScheme::kRandomized));
+  }
+
+ private:
+  Bytes cek_;
+  crypto::CellCodec codec_;
+};
+
+EvalContext HostCtx() { return EvalContext{}; }
+
+Result<std::vector<Value>> RunProgram(const EsProgram& p, std::vector<Value> inputs,
+                               EvalContext ctx = HostCtx()) {
+  EsEvaluator ev(ctx);
+  return ev.Eval(p, inputs);
+}
+
+TEST(EsProgramTest, SerializeRoundTrip) {
+  EsProgram p;
+  p.GetData(0, TypeId::kInt32);
+  p.Const(Value::Int32(5));
+  p.Comp(CompareOp::kLt);
+  p.SetData(0, TypeId::kBool);
+  EsProgram inner;
+  inner.GetData(0, TypeId::kString,
+                EncryptionType::Encrypted(EncKind::kRandomized, 3, true));
+  inner.GetData(1, TypeId::kString,
+                EncryptionType::Encrypted(EncKind::kRandomized, 3, true));
+  inner.Comp(CompareOp::kEq);
+  inner.SetData(0, TypeId::kBool);
+  p.TMEval(inner, 2, 1);
+
+  Bytes ser = p.Serialize();
+  auto back = EsProgram::Deserialize(ser);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Serialize(), ser);
+  EXPECT_EQ(back->num_outputs(), p.num_outputs());
+  EXPECT_TRUE(back->RequiresEnclave());
+  EXPECT_EQ(back->ReferencedCekIds(), std::vector<uint32_t>{3});
+  EXPECT_FALSE(back->ProducesCiphertext());
+}
+
+TEST(EsProgramTest, DeserializeRejectsGarbage) {
+  Bytes junk = {9, 9, 9};
+  EXPECT_FALSE(EsProgram::Deserialize(junk).ok());
+}
+
+TEST(EsProgramTest, ProducesCiphertextDetection) {
+  EsProgram p;
+  p.GetData(0, TypeId::kInt32);
+  p.SetData(0, TypeId::kInt32,
+            EncryptionType::Encrypted(EncKind::kRandomized, 1, true));
+  EXPECT_TRUE(p.ProducesCiphertext());
+}
+
+TEST(EsEvaluatorTest, ComparisonOps) {
+  for (auto [op, expected] : std::initializer_list<std::pair<CompareOp, bool>>{
+           {CompareOp::kEq, false},
+           {CompareOp::kNe, true},
+           {CompareOp::kLt, true},
+           {CompareOp::kLe, true},
+           {CompareOp::kGt, false},
+           {CompareOp::kGe, false}}) {
+    EsProgram p;
+    p.GetData(0, TypeId::kInt32);
+    p.GetData(1, TypeId::kInt32);
+    p.Comp(op);
+    p.SetData(0, TypeId::kBool);
+    auto r = RunProgram(p, {Value::Int32(1), Value::Int32(2)});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0].bool_v(), expected) << CompareOpName(op);
+  }
+}
+
+TEST(EsEvaluatorTest, ArithmeticAndPrecedenceShape) {
+  // (a + b) * c - a / b
+  EsProgram p;
+  p.GetData(0, TypeId::kInt64);
+  p.GetData(1, TypeId::kInt64);
+  p.Arith(OpCode::kAdd);
+  p.GetData(2, TypeId::kInt64);
+  p.Arith(OpCode::kMul);
+  p.GetData(0, TypeId::kInt64);
+  p.GetData(1, TypeId::kInt64);
+  p.Arith(OpCode::kDiv);
+  p.Arith(OpCode::kSub);
+  p.SetData(0, TypeId::kInt64);
+  auto r = RunProgram(p, {Value::Int64(10), Value::Int64(3), Value::Int64(2)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].i64(), (10 + 3) * 2 - 10 / 3);
+}
+
+TEST(EsEvaluatorTest, DoubleArithmetic) {
+  EsProgram p;
+  p.GetData(0, TypeId::kDouble);
+  p.GetData(1, TypeId::kInt32);
+  p.Arith(OpCode::kMul);
+  p.SetData(0, TypeId::kDouble);
+  auto r = RunProgram(p, {Value::Double(1.5), Value::Int32(4)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ((*r)[0].dbl(), 6.0);
+}
+
+TEST(EsEvaluatorTest, DivisionByZeroFails) {
+  EsProgram p;
+  p.Const(Value::Int32(1));
+  p.Const(Value::Int32(0));
+  p.Arith(OpCode::kDiv);
+  p.SetData(0, TypeId::kInt64);
+  EXPECT_FALSE(RunProgram(p, {}).ok());
+}
+
+TEST(EsEvaluatorTest, ThreeValuedLogic) {
+  // NULL AND FALSE = FALSE; NULL AND TRUE = NULL; NULL OR TRUE = TRUE.
+  auto logic = [](OpCode op, Value a, Value b) {
+    EsProgram p;
+    p.GetData(0, TypeId::kBool);
+    p.GetData(1, TypeId::kBool);
+    p.Logic(op);
+    p.SetData(0, TypeId::kBool);
+    return RunProgram(p, {a, b});
+  };
+  Value null_bool = Value::Null(TypeId::kBool);
+  auto r1 = logic(OpCode::kAnd, null_bool, Value::Bool(false));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE((*r1)[0].is_null());
+  EXPECT_FALSE((*r1)[0].bool_v());
+  auto r2 = logic(OpCode::kAnd, null_bool, Value::Bool(true));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE((*r2)[0].is_null());
+  auto r3 = logic(OpCode::kOr, null_bool, Value::Bool(true));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE((*r3)[0].bool_v());
+  auto r4 = logic(OpCode::kOr, null_bool, Value::Bool(false));
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE((*r4)[0].is_null());
+}
+
+TEST(EsEvaluatorTest, ComparisonWithNullIsNull) {
+  EsProgram p;
+  p.GetData(0, TypeId::kInt32);
+  p.Const(Value::Int32(5));
+  p.Comp(CompareOp::kEq);
+  p.SetData(0, TypeId::kBool);
+  auto r = RunProgram(p, {Value::Null(TypeId::kInt32)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)[0].is_null());
+}
+
+TEST(EsEvaluatorTest, NotAndIsNull) {
+  EsProgram p;
+  p.GetData(0, TypeId::kBool);
+  p.Logic(OpCode::kNot);
+  p.SetData(0, TypeId::kBool);
+  p.GetData(1, TypeId::kInt32);
+  p.IsNull();
+  p.SetData(1, TypeId::kBool);
+  auto r = RunProgram(p, {Value::Bool(true), Value::Null(TypeId::kInt32)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE((*r)[0].bool_v());
+  EXPECT_TRUE((*r)[1].bool_v());
+}
+
+TEST(EsEvaluatorTest, LikeMatching) {
+  EsProgram p;
+  p.GetData(0, TypeId::kString);
+  p.GetData(1, TypeId::kString);
+  p.Like();
+  p.SetData(0, TypeId::kBool);
+  auto r = RunProgram(p, {Value::String("BARNES"), Value::String("BAR%")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)[0].bool_v());
+}
+
+TEST(EsEvaluatorTest, HostRefusesEncryptedAnnotations) {
+  // The host evaluator has no crypto provider: touching an encrypted
+  // annotation must fail — by construction the host never sees plaintext.
+  EsProgram p;
+  p.GetData(0, TypeId::kInt32,
+            EncryptionType::Encrypted(EncKind::kRandomized, 1, true));
+  p.SetData(0, TypeId::kInt32);
+  auto r = RunProgram(p, {Value::Binary({1, 2, 3})});
+  EXPECT_TRUE(r.status().IsSecurityError());
+}
+
+TEST(EsEvaluatorTest, EnclaveDecryptCompare) {
+  TestCrypto crypto;
+  EvalContext ctx;
+  ctx.crypto = &crypto;
+  EsProgram p;
+  auto enc = EncryptionType::Encrypted(EncKind::kRandomized, 1, true);
+  p.GetData(0, TypeId::kString, enc);
+  p.GetData(1, TypeId::kString, enc);
+  p.Comp(CompareOp::kEq);
+  p.SetData(0, TypeId::kBool);
+  auto r = RunProgram(p, {crypto.Cell(Value::String("SMITH")),
+                   crypto.Cell(Value::String("SMITH"))},
+               ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)[0].bool_v());
+}
+
+TEST(EsEvaluatorTest, TaintBlocksCiphertextVsPlaintextComparison) {
+  // An adversarial program comparing a decrypted column against a chosen
+  // plaintext constant must be rejected (paper §4.4.1 security checks).
+  TestCrypto crypto;
+  EvalContext ctx;
+  ctx.crypto = &crypto;
+  EsProgram p;
+  p.GetData(0, TypeId::kString,
+            EncryptionType::Encrypted(EncKind::kRandomized, 1, true));
+  p.Const(Value::String("guess"));
+  p.Comp(CompareOp::kEq);
+  p.SetData(0, TypeId::kBool);
+  auto r = RunProgram(p, {crypto.Cell(Value::String("secret"))}, ctx);
+  EXPECT_TRUE(r.status().IsSecurityError()) << r.status().ToString();
+}
+
+TEST(EsEvaluatorTest, TaintBlocksPlaintextExfiltration) {
+  // Decrypt-then-output-as-plaintext must be rejected.
+  TestCrypto crypto;
+  EvalContext ctx;
+  ctx.crypto = &crypto;
+  EsProgram p;
+  p.GetData(0, TypeId::kString,
+            EncryptionType::Encrypted(EncKind::kRandomized, 1, true));
+  p.SetData(0, TypeId::kString);  // plaintext annotation!
+  auto r = RunProgram(p, {crypto.Cell(Value::String("secret"))}, ctx);
+  EXPECT_TRUE(r.status().IsSecurityError());
+}
+
+TEST(EsEvaluatorTest, EncryptionRequiresAuthorization) {
+  TestCrypto crypto;
+  EvalContext ctx;
+  ctx.crypto = &crypto;
+  ctx.encryption_authorized = false;
+  EsProgram p;
+  p.GetData(0, TypeId::kInt32);
+  p.SetData(0, TypeId::kInt32,
+            EncryptionType::Encrypted(EncKind::kRandomized, 1, true));
+  auto r = RunProgram(p, {Value::Int32(5)}, ctx);
+  EXPECT_TRUE(r.status().IsPermissionDenied());
+
+  ctx.encryption_authorized = true;
+  auto r2 = RunProgram(p, {Value::Int32(5)}, ctx);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)[0].type(), TypeId::kBinary);  // ciphertext out
+}
+
+TEST(EsEvaluatorTest, StackUnderflowDetected) {
+  EsProgram p;
+  p.Comp(CompareOp::kEq);
+  p.SetData(0, TypeId::kBool);
+  EXPECT_FALSE(RunProgram(p, {}).ok());
+}
+
+TEST(EsEvaluatorTest, UnwrittenOutputDetected) {
+  EsProgram p;
+  p.set_num_outputs(2);
+  p.Const(Value::Int32(1));
+  p.SetData(0, TypeId::kInt32);
+  EXPECT_FALSE(RunProgram(p, {}).ok());
+}
+
+TEST(EsEvaluatorTest, InputIndexOutOfRange) {
+  EsProgram p;
+  p.GetData(3, TypeId::kInt32);
+  p.SetData(0, TypeId::kInt32);
+  EXPECT_FALSE(RunProgram(p, {Value::Int32(1)}).ok());
+}
+
+TEST(EsEvaluatorTest, GetDataTypeMismatch) {
+  EsProgram p;
+  p.GetData(0, TypeId::kString);
+  p.SetData(0, TypeId::kString);
+  EXPECT_FALSE(RunProgram(p, {Value::Int32(1)}).ok());
+}
+
+// TMEval host→"enclave" routing via a test invoker.
+class TestInvoker : public EnclaveInvoker {
+ public:
+  explicit TestInvoker(TestCrypto* crypto) : crypto_(crypto) {}
+  Result<std::vector<Value>> EvalInEnclave(Slice program_bytes,
+                                           const std::vector<Value>& inputs,
+                                           uint32_t) override {
+    ++calls;
+    EsProgram p;
+    AEDB_ASSIGN_OR_RETURN(p, EsProgram::Deserialize(program_bytes));
+    EvalContext ctx;
+    ctx.crypto = crypto_;
+    EsEvaluator ev(ctx);
+    return ev.Eval(p, inputs);
+  }
+  TestCrypto* crypto_;
+  int calls = 0;
+};
+
+TEST(EsEvaluatorTest, TMEvalRoutesToEnclave) {
+  TestCrypto crypto;
+  TestInvoker invoker(&crypto);
+  EvalContext host_ctx;
+  host_ctx.enclave = &invoker;
+
+  auto enc = EncryptionType::Encrypted(EncKind::kRandomized, 1, true);
+  EsProgram inner;
+  inner.GetData(0, TypeId::kInt64, enc);
+  inner.GetData(1, TypeId::kInt64, enc);
+  inner.Comp(CompareOp::kLt);
+  inner.SetData(0, TypeId::kBool);
+
+  EsProgram host;
+  host.GetData(0, TypeId::kBinary);
+  host.GetData(1, TypeId::kBinary);
+  host.TMEval(inner, 2, 1);
+  host.SetData(0, TypeId::kBool);
+
+  auto r = RunProgram(host, {crypto.Cell(Value::Int64(3)), crypto.Cell(Value::Int64(9))},
+               host_ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)[0].bool_v());
+  EXPECT_EQ(invoker.calls, 1);
+}
+
+TEST(EsEvaluatorTest, TMEvalWithoutEnclaveFails) {
+  EsProgram inner;
+  inner.Const(Value::Int32(1));
+  inner.SetData(0, TypeId::kInt32);
+  EsProgram host;
+  host.TMEval(inner, 0, 1);
+  host.SetData(0, TypeId::kInt32);
+  auto r = RunProgram(host, {});
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace aedb::es

@@ -1,0 +1,577 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "storage/btree.h"
+#include "storage/engine.h"
+#include "storage/heap_table.h"
+#include "storage/page.h"
+#include "storage/wal.h"
+
+namespace aedb::storage {
+namespace {
+
+Bytes B(std::string_view s) { return Slice(s).ToBytes(); }
+
+// --- Page ---
+
+TEST(PageTest, InsertReadDelete) {
+  Page page;
+  auto s0 = page.Insert(B("hello"));
+  auto s1 = page.Insert(B("world!"));
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(page.Read(*s0)->ToString(), "hello");
+  EXPECT_EQ(page.Read(*s1)->ToString(), "world!");
+  ASSERT_TRUE(page.Delete(*s0).ok());
+  EXPECT_FALSE(page.Read(*s0).ok());
+  EXPECT_TRUE(page.Read(*s1).ok());
+}
+
+TEST(PageTest, ResurrectRestoresBytes) {
+  Page page;
+  auto s = page.Insert(B("lazarus"));
+  ASSERT_TRUE(page.Delete(*s).ok());
+  EXPECT_FALSE(page.IsLive(*s));
+  ASSERT_TRUE(page.Resurrect(*s).ok());
+  EXPECT_EQ(page.Read(*s)->ToString(), "lazarus");
+  // Double resurrect fails.
+  EXPECT_FALSE(page.Resurrect(*s).ok());
+}
+
+TEST(PageTest, FillsUpAndRejects) {
+  Page page;
+  Bytes rec(100, 0xab);
+  int inserted = 0;
+  while (page.Insert(rec).ok()) ++inserted;
+  EXPECT_GT(inserted, 70);  // ~8K / 104
+  EXPECT_FALSE(page.HasSpaceFor(100));
+  // Small records may still fit.
+  EXPECT_TRUE(page.Insert(Bytes(1, 1)).ok() || !page.HasSpaceFor(1));
+}
+
+TEST(PageTest, UpdateInPlaceRules) {
+  Page page;
+  auto s = page.Insert(B("0123456789"));
+  ASSERT_TRUE(page.UpdateInPlace(*s, B("abcde")).ok());
+  EXPECT_EQ(page.Read(*s)->ToString(), "abcde");
+  // Larger than current length: relocate.
+  EXPECT_EQ(page.UpdateInPlace(*s, B("0123456789x")).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PageTest, RejectsOversizedRecord) {
+  Page page;
+  Bytes huge(Page::kPageSize, 0);
+  EXPECT_FALSE(page.Insert(huge).ok());
+}
+
+// --- HeapTable ---
+
+TEST(HeapTableTest, InsertSpillsAcrossPages) {
+  HeapTable heap;
+  Bytes rec(1000, 0x11);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(heap.Insert(rec).ok());
+  EXPECT_GT(heap.page_count(), 1u);
+  EXPECT_EQ(heap.live_rows(), 20u);
+}
+
+TEST(HeapTableTest, ScanVisitsLiveRows) {
+  HeapTable heap;
+  std::vector<Rid> rids;
+  for (int i = 0; i < 10; ++i) {
+    rids.push_back(*heap.Insert(B("row" + std::to_string(i))));
+  }
+  ASSERT_TRUE(heap.Delete(rids[3]).ok());
+  int count = 0;
+  heap.Scan([&](const Rid&, Slice) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 9);
+}
+
+TEST(HeapTableTest, ScanEarlyStop) {
+  HeapTable heap;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(heap.Insert(B("x")).ok());
+  int count = 0;
+  heap.Scan([&](const Rid&, Slice) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(HeapTableTest, UpdateMayMove) {
+  HeapTable heap;
+  Rid rid = *heap.Insert(B("short"));
+  // Fill the page so a grown record cannot stay.
+  while (heap.page_count() == 1) ASSERT_TRUE(heap.Insert(Bytes(500, 1)).ok());
+  auto new_rid = heap.Update(rid, Bytes(2000, 2));
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_FALSE(*new_rid == rid);
+  EXPECT_EQ(heap.Read(*new_rid)->size(), 2000u);
+  EXPECT_FALSE(heap.Read(rid).ok());
+}
+
+// --- BTree ---
+
+TEST(BTreeTest, InsertAndSeekEqual) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, /*unique=*/false);
+  for (int i = 0; i < 500; ++i) {
+    Bytes key = B("key" + std::to_string(1000 + i));
+    ASSERT_TRUE(tree.Insert(key, Rid{0, static_cast<uint16_t>(i)}).ok());
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GT(tree.height(), 1);
+  auto rids = tree.SeekEqual(B("key1234"));
+  ASSERT_TRUE(rids.ok());
+  ASSERT_EQ(rids->size(), 1u);
+  EXPECT_EQ((*rids)[0].slot, 234);
+  EXPECT_TRUE(tree.SeekEqual(B("nope"))->empty());
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, false);
+  for (uint16_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(B("dup"), Rid{1, i}).ok());
+  }
+  auto rids = tree.SeekEqual(B("dup"));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 100u);
+}
+
+TEST(BTreeTest, UniqueRejectsDuplicates) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, true);
+  EXPECT_TRUE(*tree.Insert(B("k"), Rid{0, 0}));
+  auto second = tree.Insert(B("k"), Rid{0, 1});
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(*second);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, DeleteSpecificEntry) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, false);
+  for (uint16_t i = 0; i < 10; ++i) ASSERT_TRUE(tree.Insert(B("k"), Rid{0, i}).ok());
+  EXPECT_TRUE(*tree.Delete(B("k"), Rid{0, 4}));
+  EXPECT_FALSE(*tree.Delete(B("k"), Rid{0, 4}));
+  auto rids = tree.SeekEqual(B("k"));
+  EXPECT_EQ(rids->size(), 9u);
+  for (const Rid& r : *rids) EXPECT_NE(r.slot, 4);
+}
+
+TEST(BTreeTest, RangeScanInOrder) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, false);
+  Xoshiro256 rng(99);
+  std::vector<int> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<int>(rng.Uniform(0, 99999)));
+  for (int v : values) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "%05d", v);
+    ASSERT_TRUE(tree.Insert(B(buf), Rid{0, 0}).ok());
+  }
+  std::string prev;
+  size_t count = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    std::string cur = it.key().ToString();
+    EXPECT_LE(prev, cur);
+    prev = cur;
+    ++count;
+  }
+  EXPECT_EQ(count, values.size());
+}
+
+TEST(BTreeTest, SeekAtLeast) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, false);
+  for (int i = 0; i < 100; i += 2) {
+    char buf[8];
+    snprintf(buf, sizeof(buf), "%03d", i);
+    ASSERT_TRUE(tree.Insert(B(buf), Rid{0, 0}).ok());
+  }
+  auto it = tree.SeekAtLeast(B("051"));  // odd: next even is 052
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key().ToString(), "052");
+  auto exact = tree.SeekAtLeast(B("050"));
+  EXPECT_EQ(exact->key().ToString(), "050");
+  auto past = tree.SeekAtLeast(B("999"));
+  EXPECT_FALSE(past->Valid());
+}
+
+TEST(BTreeTest, InsertDeleteChurn) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, false);
+  Xoshiro256 rng(7);
+  std::multimap<std::string, uint16_t> model;
+  for (int round = 0; round < 4000; ++round) {
+    int v = static_cast<int>(rng.Uniform(0, 199));
+    char buf[8];
+    snprintf(buf, sizeof(buf), "%03d", v);
+    uint16_t slot = static_cast<uint16_t>(rng.Uniform(0, 9999));
+    if (rng.Uniform(0, 2) != 0 || model.empty()) {
+      ASSERT_TRUE(tree.Insert(B(buf), Rid{0, slot}).ok());
+      model.emplace(buf, slot);
+    } else {
+      // Delete a random model entry.
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(model.size()) - 1));
+      ASSERT_TRUE(*tree.Delete(B(it->first), Rid{0, it->second}));
+      model.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  // Compare full scans.
+  auto it = tree.Begin();
+  for (auto& [k, slot] : model) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key().ToString(), k);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+// A comparator that can be switched to fail, like an enclave missing its CEK.
+class FailableComparator : public Comparator {
+ public:
+  Result<int> Compare(Slice a, Slice b) const override {
+    if (fail) return Status::KeyNotInEnclave("CEK not installed");
+    return a.compare(b);
+  }
+  const char* Name() const override { return "failable"; }
+  mutable bool fail = false;
+};
+
+TEST(BTreeTest, ComparatorFailurePropagates) {
+  FailableComparator cmp;
+  BTree tree(&cmp, false);
+  ASSERT_TRUE(tree.Insert(B("a"), Rid{0, 0}).ok());
+  cmp.fail = true;
+  EXPECT_TRUE(tree.Insert(B("b"), Rid{0, 1}).status().IsKeyNotInEnclave());
+  EXPECT_TRUE(tree.SeekEqual(B("a")).status().IsKeyNotInEnclave());
+  EXPECT_TRUE(tree.Delete(B("a"), Rid{0, 0}).status().IsKeyNotInEnclave());
+}
+
+TEST(BTreeTest, CountsComparisons) {
+  BinaryComparator cmp;
+  BTree tree(&cmp, false);
+  for (uint16_t i = 0; i < 200; ++i) {
+    char buf[8];
+    snprintf(buf, sizeof(buf), "%03d", i);
+    ASSERT_TRUE(tree.Insert(B(buf), Rid{0, i}).ok());
+  }
+  uint64_t before = tree.comparisons();
+  ASSERT_TRUE(tree.SeekEqual(B("100")).ok());
+  uint64_t seek_cost = tree.comparisons() - before;
+  EXPECT_GT(seek_cost, 0u);
+  EXPECT_LT(seek_cost, 30u);  // O(log n), not O(n)
+}
+
+// --- WAL ---
+
+TEST(WalTest, AppendAssignsLsns) {
+  Wal wal;
+  LogRecord r;
+  r.type = LogRecordType::kBegin;
+  EXPECT_EQ(wal.Append(r), 1u);
+  EXPECT_EQ(wal.Append(r), 2u);
+  EXPECT_EQ(wal.record_count(), 2u);
+}
+
+TEST(WalTest, SerializationRoundTrip) {
+  Wal wal;
+  LogRecord r;
+  r.txn_id = 42;
+  r.type = LogRecordType::kHeapInsert;
+  r.object_id = 7;
+  r.rid = Rid{3, 9};
+  r.payload1 = B("payload");
+  wal.Append(r);
+  Bytes raw = wal.RawBytes();
+  size_t off = 0;
+  auto back = LogRecord::Deserialize(raw, &off);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->txn_id, 42u);
+  EXPECT_EQ(back->object_id, 7u);
+  EXPECT_TRUE(back->rid == (Rid{3, 9}));
+  EXPECT_EQ(back->payload1, B("payload"));
+  EXPECT_EQ(off, raw.size());
+}
+
+TEST(WalTest, TruncateBefore) {
+  Wal wal;
+  LogRecord r;
+  r.type = LogRecordType::kBegin;
+  for (int i = 0; i < 10; ++i) wal.Append(r);
+  wal.TruncateBefore(6);
+  EXPECT_EQ(wal.record_count(), 5u);
+  EXPECT_EQ(wal.Snapshot().front().lsn, 6u);
+}
+
+// --- LockManager ---
+
+TEST(LockManagerTest, ExclusiveAndReentrant) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, 100, std::chrono::milliseconds(10)).ok());
+  ASSERT_TRUE(locks.Acquire(1, 100, std::chrono::milliseconds(10)).ok());
+  EXPECT_FALSE(locks.Acquire(2, 100, std::chrono::milliseconds(10)).ok());
+  EXPECT_TRUE(locks.IsLockedByOther(2, 100));
+  EXPECT_FALSE(locks.IsLockedByOther(1, 100));
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.Acquire(2, 100, std::chrono::milliseconds(10)).ok());
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, 5, std::chrono::milliseconds(10)).ok());
+  std::thread waiter([&] {
+    EXPECT_TRUE(locks.Acquire(2, 5, std::chrono::milliseconds(2000)).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  locks.ReleaseAll(1);
+  waiter.join();
+  EXPECT_EQ(locks.HeldCount(2), 1u);
+}
+
+// --- StorageEngine: transactions + recovery (§4.5) ---
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kTable = 1;
+  static constexpr uint32_t kIndex = 10;
+
+  void Register(StorageEngine* engine, FailableComparator** cmp_out) {
+    ASSERT_TRUE(engine->CreateTable(kTable).ok());
+    auto cmp = std::make_unique<FailableComparator>();
+    *cmp_out = cmp.get();
+    ASSERT_TRUE(engine->CreateIndex(kIndex, kTable, std::move(cmp), false).ok());
+  }
+};
+
+TEST_F(EngineTest, CommitPersistsThroughRecovery) {
+  StorageEngine engine;
+  FailableComparator* cmp;
+  Register(&engine, &cmp);
+
+  uint64_t txn = engine.Begin();
+  Rid rid = *engine.HeapInsert(txn, kTable, B("row1"));
+  ASSERT_TRUE(engine.IndexInsert(txn, kIndex, B("k1"), rid).ok());
+  ASSERT_TRUE(engine.Commit(txn).ok());
+
+  // Crash: new engine, same log.
+  StorageEngine engine2;
+  FailableComparator* cmp2;
+  Register(&engine2, &cmp2);
+  engine2.wal().Replace(engine.wal().Snapshot());
+  auto result = engine2.Recover();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->deferred_txns.empty());
+  EXPECT_EQ(engine2.table(kTable)->live_rows(), 1u);
+  EXPECT_EQ(*engine2.table(kTable)->Read(rid), B("row1"));
+  auto rids = engine2.index_tree(kIndex)->SeekEqual(B("k1"));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 1u);
+}
+
+TEST_F(EngineTest, RuntimeAbortUndoesEverything) {
+  StorageEngine engine;
+  FailableComparator* cmp;
+  Register(&engine, &cmp);
+
+  uint64_t t1 = engine.Begin();
+  Rid keep = *engine.HeapInsert(t1, kTable, B("keep"));
+  ASSERT_TRUE(engine.IndexInsert(t1, kIndex, B("keep"), keep).ok());
+  ASSERT_TRUE(engine.Commit(t1).ok());
+
+  uint64_t t2 = engine.Begin();
+  Rid gone = *engine.HeapInsert(t2, kTable, B("gone"));
+  ASSERT_TRUE(engine.IndexInsert(t2, kIndex, B("gone"), gone).ok());
+  ASSERT_TRUE(engine.HeapDelete(t2, kTable, keep).ok());
+  ASSERT_TRUE(engine.IndexDelete(t2, kIndex, B("keep"), keep).ok());
+  ASSERT_TRUE(engine.Abort(t2).ok());
+
+  EXPECT_EQ(engine.table(kTable)->live_rows(), 1u);
+  EXPECT_EQ(*engine.table(kTable)->Read(keep), B("keep"));
+  EXPECT_EQ(engine.index_tree(kIndex)->SeekEqual(B("keep"))->size(), 1u);
+  EXPECT_TRUE(engine.index_tree(kIndex)->SeekEqual(B("gone"))->empty());
+}
+
+TEST_F(EngineTest, LoserUndoneAtRecovery) {
+  StorageEngine engine;
+  FailableComparator* cmp;
+  Register(&engine, &cmp);
+
+  uint64_t t1 = engine.Begin();
+  Rid r1 = *engine.HeapInsert(t1, kTable, B("committed"));
+  ASSERT_TRUE(engine.IndexInsert(t1, kIndex, B("a"), r1).ok());
+  ASSERT_TRUE(engine.Commit(t1).ok());
+
+  uint64_t t2 = engine.Begin();
+  Rid r2 = *engine.HeapInsert(t2, kTable, B("in-flight"));
+  ASSERT_TRUE(engine.IndexInsert(t2, kIndex, B("b"), r2).ok());
+  // Crash with t2 in flight.
+
+  StorageEngine engine2;
+  FailableComparator* cmp2;
+  Register(&engine2, &cmp2);
+  engine2.wal().Replace(engine.wal().Snapshot());
+  auto result = engine2.Recover();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->deferred_txns.empty());
+  EXPECT_EQ(engine2.table(kTable)->live_rows(), 1u);
+  EXPECT_EQ(engine2.index_tree(kIndex)->SeekEqual(B("b"))->size(), 0u);
+  EXPECT_EQ(engine2.index_tree(kIndex)->SeekEqual(B("a"))->size(), 1u);
+}
+
+TEST_F(EngineTest, MissingEnclaveKeyDefersTransaction) {
+  StorageEngine engine;
+  FailableComparator* cmp;
+  Register(&engine, &cmp);
+
+  uint64_t t1 = engine.Begin();
+  Rid r1 = *engine.HeapInsert(t1, kTable, B("committed"));
+  ASSERT_TRUE(engine.IndexInsert(t1, kIndex, B("a"), r1).ok());
+  ASSERT_TRUE(engine.Commit(t1).ok());
+
+  uint64_t t2 = engine.Begin();
+  ASSERT_TRUE(engine.LockRow(t2, kTable, r1).ok());
+  Rid r2 = *engine.HeapInsert(t2, kTable, B("loser"));
+  ASSERT_TRUE(engine.IndexInsert(t2, kIndex, B("b"), r2).ok());
+
+  // Crash; on restart the enclave has no keys: comparator fails.
+  StorageEngine engine2;
+  FailableComparator* cmp2;
+  Register(&engine2, &cmp2);
+  engine2.wal().Replace(engine.wal().Snapshot());
+  cmp2->fail = true;
+  auto result = engine2.Recover();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->deferred_txns.size(), 1u);
+  EXPECT_EQ(result->rebuild_pending_indexes, std::vector<uint32_t>{kIndex});
+  EXPECT_TRUE(engine2.HasDeferredTxns());
+
+  // Heap is already clean (committed state), but the loser's rows stay
+  // locked and the index is unusable.
+  EXPECT_EQ(engine2.table(kTable)->live_rows(), 1u);
+  EXPECT_FALSE(engine2.CheckIndexUsable(kIndex).ok());
+  uint64_t reader = engine2.Begin();
+  EXPECT_FALSE(engine2.LockRow(reader, kTable, r2).ok());  // blocked
+
+  // Log truncation is pinned by the deferred transaction (§4.5).
+  EXPECT_FALSE(engine2.CanTruncateLog().ok());
+
+  // Client connects, keys arrive: deferred work resolves.
+  cmp2->fail = false;
+  ASSERT_TRUE(engine2.ResolveDeferred().ok());
+  EXPECT_FALSE(engine2.HasDeferredTxns());
+  EXPECT_TRUE(engine2.CheckIndexUsable(kIndex).ok());
+  EXPECT_EQ(engine2.index_tree(kIndex)->SeekEqual(B("a"))->size(), 1u);
+  EXPECT_EQ(engine2.index_tree(kIndex)->SeekEqual(B("b"))->size(), 0u);
+  uint64_t reader2 = engine2.Begin();
+  EXPECT_TRUE(engine2.LockRow(reader2, kTable, r2).ok());
+}
+
+TEST_F(EngineTest, ConstantTimeRecoveryReleasesLocks) {
+  StorageEngine crashed;
+  FailableComparator* cmp;
+  Register(&crashed, &cmp);
+  uint64_t t = crashed.Begin();
+  Rid r = *crashed.HeapInsert(t, kTable, B("loser"));
+  ASSERT_TRUE(crashed.IndexInsert(t, kIndex, B("x"), r).ok());
+
+  EngineOptions opts;
+  opts.constant_time_recovery = true;
+  StorageEngine engine(opts);
+  FailableComparator* cmp2;
+  Register(&engine, &cmp2);
+  engine.wal().Replace(crashed.wal().Snapshot());
+  cmp2->fail = true;
+  auto result = engine.Recover();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->deferred_txns.size(), 1u);
+  // CTR: no locks held; rows fully available.
+  uint64_t reader = engine.Begin();
+  EXPECT_TRUE(engine.LockRow(reader, kTable, r).ok());
+  // But the deferred txn still pins the log until keys arrive.
+  EXPECT_FALSE(engine.CanTruncateLog().ok());
+}
+
+TEST_F(EngineTest, IndexInvalidationForcesResolution) {
+  StorageEngine crashed;
+  FailableComparator* cmp;
+  Register(&crashed, &cmp);
+  uint64_t t = crashed.Begin();
+  Rid r = *crashed.HeapInsert(t, kTable, B("loser"));
+  ASSERT_TRUE(crashed.IndexInsert(t, kIndex, B("x"), r).ok());
+
+  StorageEngine engine;
+  FailableComparator* cmp2;
+  Register(&engine, &cmp2);
+  engine.wal().Replace(crashed.wal().Snapshot());
+  cmp2->fail = true;
+  ASSERT_TRUE(engine.Recover().ok());
+  ASSERT_TRUE(engine.HasDeferredTxns());
+
+  // Policy fires (timeout / log space): invalidate the index.
+  ASSERT_TRUE(engine.InvalidateIndex(kIndex).ok());
+  EXPECT_FALSE(engine.HasDeferredTxns());
+  EXPECT_TRUE(engine.IndexInvalid(kIndex));
+  EXPECT_FALSE(engine.CheckIndexUsable(kIndex).ok());
+  EXPECT_TRUE(engine.CanTruncateLog().ok());
+  // Writes to the invalid index are refused.
+  uint64_t t2 = engine.Begin();
+  Rid r2 = *engine.HeapInsert(t2, kTable, B("new"));
+  EXPECT_FALSE(engine.IndexInsert(t2, kIndex, B("y"), r2).ok());
+}
+
+TEST_F(EngineTest, RedoIsDeterministic) {
+  StorageEngine engine;
+  FailableComparator* cmp;
+  Register(&engine, &cmp);
+  Xoshiro256 rng(3);
+  std::vector<Rid> live;
+  uint64_t txn = engine.Begin();
+  for (int i = 0; i < 500; ++i) {
+    if (rng.Uniform(0, 3) != 0 || live.empty()) {
+      Bytes rec(static_cast<size_t>(rng.Uniform(1, 300)), 0x5a);
+      live.push_back(*engine.HeapInsert(txn, kTable, rec));
+    } else {
+      size_t pick = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(engine.HeapDelete(txn, kTable, live[pick]).ok());
+      live.erase(live.begin() + pick);
+    }
+  }
+  ASSERT_TRUE(engine.Commit(txn).ok());
+
+  StorageEngine engine2;
+  FailableComparator* cmp2;
+  Register(&engine2, &cmp2);
+  engine2.wal().Replace(engine.wal().Snapshot());
+  ASSERT_TRUE(engine2.Recover().ok());
+  EXPECT_EQ(engine2.table(kTable)->live_rows(), live.size());
+  for (const Rid& rid : live) {
+    EXPECT_TRUE(engine2.table(kTable)->Read(rid).ok());
+  }
+}
+
+TEST_F(EngineTest, UniqueIndexViolationSurfaces) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.CreateTable(kTable).ok());
+  ASSERT_TRUE(engine
+                  .CreateIndex(kIndex, kTable,
+                               std::make_unique<BinaryComparator>(), true)
+                  .ok());
+  uint64_t txn = engine.Begin();
+  Rid r1 = *engine.HeapInsert(txn, kTable, B("a"));
+  Rid r2 = *engine.HeapInsert(txn, kTable, B("b"));
+  ASSERT_TRUE(engine.IndexInsert(txn, kIndex, B("k"), r1).ok());
+  EXPECT_EQ(engine.IndexInsert(txn, kIndex, B("k"), r2).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace aedb::storage

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.h"
+#include "tpcc/tpcc.h"
+
+namespace aedb::tpcc {
+namespace {
+
+using client::Driver;
+using client::DriverOptions;
+using types::Value;
+
+class TpccTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vault_ = std::make_unique<keys::InMemoryKeyVault>();
+    ASSERT_TRUE(vault_->CreateKey("kv/tpcc-enclave", 1024).ok());
+    ASSERT_TRUE(vault_->CreateKey("kv/tpcc-cold", 1024).ok());
+    ASSERT_TRUE(registry_.Register(vault_.get()).ok());
+    crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                          Slice(std::string_view("tpcc-author")));
+    author_key_ = crypto::GenerateRsaKey(1024, &drbg);
+    image_ = enclave::EnclaveImage::MakeEsImage(1, author_key_);
+    hgs_ = std::make_unique<attestation::HostGuardianService>();
+    server::ServerOptions opts;
+    db_ = std::make_unique<server::Database>(opts, hgs_.get(), &image_);
+    hgs_->RegisterTcgLog(db_->platform()->tcg_log());
+  }
+
+  std::unique_ptr<Driver> MakeDriver() {
+    DriverOptions opts;
+    opts.enclave_policy.trusted_author_id = image_.AuthorId();
+    return std::make_unique<Driver>(db_.get(), &registry_,
+                                    hgs_->signing_public(), opts);
+  }
+
+  void ProvisionKeys(Driver* driver, Encryption enc) {
+    if (enc == Encryption::kPlaintext) return;
+    bool enclave = enc == Encryption::kRandomized;
+    ASSERT_TRUE(driver
+                    ->ProvisionCmk("TpccCMK", vault_->name(),
+                                   enclave ? "kv/tpcc-enclave" : "kv/tpcc-cold",
+                                   enclave)
+                    .ok());
+    ASSERT_TRUE(driver->ProvisionCek("TpccCEK", "TpccCMK").ok());
+  }
+
+  std::unique_ptr<keys::InMemoryKeyVault> vault_;
+  keys::KeyProviderRegistry registry_;
+  crypto::RsaPrivateKey author_key_;
+  enclave::EnclaveImage image_;
+  std::unique_ptr<attestation::HostGuardianService> hgs_;
+  std::unique_ptr<server::Database> db_;
+};
+
+class TpccTest : public TpccTestBase,
+                 public ::testing::WithParamInterface<Encryption> {};
+
+TEST(TpccHelpers, LastNameSyllables) {
+  EXPECT_EQ(LastName(0), "BARBARBAR");
+  EXPECT_EQ(LastName(371), "PRICALLYOUGHT");
+  EXPECT_EQ(LastName(999), "EINGEINGEING");
+}
+
+TEST_P(TpccTest, LoadAndRunMix) {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.customers_per_district = 12;
+  config.districts_per_warehouse = 3;
+  config.items = 40;
+  config.initial_orders_per_district = 6;
+  config.encryption = GetParam();
+
+  auto driver = MakeDriver();
+  ProvisionKeys(driver.get(), config.encryption);
+  TpccLoader loader(driver.get(), config);
+  Status schema = loader.CreateSchema();
+  ASSERT_TRUE(schema.ok()) << schema.ToString();
+  Status load = loader.Load();
+  ASSERT_TRUE(load.ok()) << load.ToString();
+
+  // Row counts make sense.
+  auto customers = driver->Query("SELECT COUNT(*) FROM Customer");
+  ASSERT_TRUE(customers.ok());
+  EXPECT_EQ(customers->rows[0][0].i64(), 12 * 3);
+
+  // Run each transaction type directly at least once, then a mixed batch.
+  TpccTerminal terminal(driver.get(), config, 7);
+  EXPECT_TRUE(terminal.NewOrder().ok());
+  EXPECT_TRUE(terminal.Payment().ok());
+  EXPECT_TRUE(terminal.OrderStatus().ok());
+  EXPECT_TRUE(terminal.Delivery().ok());
+  EXPECT_TRUE(terminal.StockLevel().ok());
+  for (int i = 0; i < 60; ++i) {
+    Status st = terminal.RunOne();
+    ASSERT_TRUE(st.ok()) << "txn " << i << ": " << st.ToString();
+  }
+  EXPECT_GT(terminal.committed(), 50u);
+
+  // Sanity: the order counter moved and payments accumulated.
+  auto ytd = driver->Query("SELECT SUM(D_YTD) FROM District");
+  ASSERT_TRUE(ytd.ok());
+  EXPECT_GT(ytd->rows[0][0].dbl(), 3 * 30000.0);
+
+  if (config.encryption == Encryption::kRandomized) {
+    EXPECT_GT(db_->enclave()->stats().evals.load(), 0u);
+    EXPECT_GT(db_->enclave()->stats().comparisons.load(), 0u);
+  } else {
+    // DET and plaintext configurations never touch the enclave.
+    EXPECT_EQ(db_->enclave()->stats().evals.load(), 0u);
+  }
+
+  // The PII never appears in plaintext on pages when encryption is on.
+  if (config.encryption != Encryption::kPlaintext) {
+    bool leaked = false;
+    db_->engine().ForEachPageRaw([&](uint32_t, Slice page) {
+      std::string_view h(reinterpret_cast<const char*>(page.data()), page.size());
+      if (h.find("BARBARBAR") != std::string_view::npos) leaked = true;
+    });
+    EXPECT_FALSE(leaked);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TpccTest,
+                         ::testing::Values(Encryption::kPlaintext,
+                                           Encryption::kDeterministic,
+                                           Encryption::kRandomized),
+                         [](const auto& info) {
+                           return std::string(EncryptionName(info.param));
+                         });
+
+TEST_F(TpccTestBase, BenchcraftMultiThreaded) {
+  TpccConfig config;
+  config.warehouses = 1;
+  config.customers_per_district = 12;
+  config.districts_per_warehouse = 4;
+  config.items = 40;
+  config.initial_orders_per_district = 4;
+  config.encryption = Encryption::kPlaintext;
+  auto loader_driver = MakeDriver();
+  TpccLoader loader(loader_driver.get(), config);
+  ASSERT_TRUE(loader.CreateSchema().ok());
+  ASSERT_TRUE(loader.Load().ok());
+
+  auto result = RunBenchcraft([this] { return MakeDriver(); }, config,
+                              /*threads=*/4, /*seconds=*/1.0);
+  EXPECT_GT(result.committed, 10u);
+  EXPECT_GT(result.txn_per_second, 10.0);
+}
+
+}  // namespace
+}  // namespace aedb::tpcc
