@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_enclave_call.cc" "bench/CMakeFiles/bench_enclave_call.dir/bench_enclave_call.cc.o" "gcc" "bench/CMakeFiles/bench_enclave_call.dir/bench_enclave_call.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enclave/CMakeFiles/aedb_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/es/CMakeFiles/aedb_es.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aedb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/aedb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aedb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

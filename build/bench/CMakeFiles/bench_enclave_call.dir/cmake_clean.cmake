@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enclave_call.dir/bench_enclave_call.cc.o"
+  "CMakeFiles/bench_enclave_call.dir/bench_enclave_call.cc.o.d"
+  "bench_enclave_call"
+  "bench_enclave_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclave_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

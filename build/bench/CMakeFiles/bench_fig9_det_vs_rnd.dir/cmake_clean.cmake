@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_det_vs_rnd.dir/bench_fig9_det_vs_rnd.cc.o"
+  "CMakeFiles/bench_fig9_det_vs_rnd.dir/bench_fig9_det_vs_rnd.cc.o.d"
+  "bench_fig9_det_vs_rnd"
+  "bench_fig9_det_vs_rnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_det_vs_rnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

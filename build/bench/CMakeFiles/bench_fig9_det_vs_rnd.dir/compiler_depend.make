@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_det_vs_rnd.
+# This may be replaced when dependencies are built.

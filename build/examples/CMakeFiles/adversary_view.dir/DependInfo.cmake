@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/adversary_view.cpp" "examples/CMakeFiles/adversary_view.dir/adversary_view.cpp.o" "gcc" "examples/CMakeFiles/adversary_view.dir/adversary_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/client/CMakeFiles/aedb_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/aedb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/aedb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aedb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/attestation/CMakeFiles/aedb_attestation.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/aedb_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/es/CMakeFiles/aedb_es.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aedb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/keys/CMakeFiles/aedb_keys.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/aedb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aedb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patient_records.dir/patient_records.cpp.o"
+  "CMakeFiles/patient_records.dir/patient_records.cpp.o.d"
+  "patient_records"
+  "patient_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patient_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("keys")
+subdirs("types")
+subdirs("es")
+subdirs("enclave")
+subdirs("attestation")
+subdirs("storage")
+subdirs("sql")
+subdirs("server")
+subdirs("client")
+subdirs("tpcc")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_attestation.dir/attestation.cc.o"
+  "CMakeFiles/aedb_attestation.dir/attestation.cc.o.d"
+  "libaedb_attestation.a"
+  "libaedb_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_client.dir/driver.cc.o"
+  "CMakeFiles/aedb_client.dir/driver.cc.o.d"
+  "libaedb_client.a"
+  "libaedb_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_common.dir/bytes.cc.o"
+  "CMakeFiles/aedb_common.dir/bytes.cc.o.d"
+  "CMakeFiles/aedb_common.dir/random.cc.o"
+  "CMakeFiles/aedb_common.dir/random.cc.o.d"
+  "CMakeFiles/aedb_common.dir/status.cc.o"
+  "CMakeFiles/aedb_common.dir/status.cc.o.d"
+  "libaedb_common.a"
+  "libaedb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_crypto.dir/aes.cc.o"
+  "CMakeFiles/aedb_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/bignum.cc.o"
+  "CMakeFiles/aedb_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/cbc.cc.o"
+  "CMakeFiles/aedb_crypto.dir/cbc.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/cell_codec.cc.o"
+  "CMakeFiles/aedb_crypto.dir/cell_codec.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/dh.cc.o"
+  "CMakeFiles/aedb_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/drbg.cc.o"
+  "CMakeFiles/aedb_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/hmac.cc.o"
+  "CMakeFiles/aedb_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/rsa.cc.o"
+  "CMakeFiles/aedb_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/aedb_crypto.dir/sha256.cc.o"
+  "CMakeFiles/aedb_crypto.dir/sha256.cc.o.d"
+  "libaedb_crypto.a"
+  "libaedb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

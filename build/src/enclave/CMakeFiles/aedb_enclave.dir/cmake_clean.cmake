@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_enclave.dir/enclave.cc.o"
+  "CMakeFiles/aedb_enclave.dir/enclave.cc.o.d"
+  "CMakeFiles/aedb_enclave.dir/nonce_tracker.cc.o"
+  "CMakeFiles/aedb_enclave.dir/nonce_tracker.cc.o.d"
+  "CMakeFiles/aedb_enclave.dir/worker_pool.cc.o"
+  "CMakeFiles/aedb_enclave.dir/worker_pool.cc.o.d"
+  "libaedb_enclave.a"
+  "libaedb_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/es/evaluator.cc" "src/es/CMakeFiles/aedb_es.dir/evaluator.cc.o" "gcc" "src/es/CMakeFiles/aedb_es.dir/evaluator.cc.o.d"
+  "/root/repo/src/es/program.cc" "src/es/CMakeFiles/aedb_es.dir/program.cc.o" "gcc" "src/es/CMakeFiles/aedb_es.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/aedb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/aedb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aedb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

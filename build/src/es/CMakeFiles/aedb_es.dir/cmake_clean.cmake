@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_es.dir/evaluator.cc.o"
+  "CMakeFiles/aedb_es.dir/evaluator.cc.o.d"
+  "CMakeFiles/aedb_es.dir/program.cc.o"
+  "CMakeFiles/aedb_es.dir/program.cc.o.d"
+  "libaedb_es.a"
+  "libaedb_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

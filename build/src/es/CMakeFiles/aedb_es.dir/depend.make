@@ -1,0 +1,2 @@
+# Empty dependencies file for aedb_es.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_keys.dir/key_metadata.cc.o"
+  "CMakeFiles/aedb_keys.dir/key_metadata.cc.o.d"
+  "CMakeFiles/aedb_keys.dir/key_provider.cc.o"
+  "CMakeFiles/aedb_keys.dir/key_provider.cc.o.d"
+  "libaedb_keys.a"
+  "libaedb_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_server.dir/database.cc.o"
+  "CMakeFiles/aedb_server.dir/database.cc.o.d"
+  "libaedb_server.a"
+  "libaedb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/binder.cc" "src/sql/CMakeFiles/aedb_sql.dir/binder.cc.o" "gcc" "src/sql/CMakeFiles/aedb_sql.dir/binder.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/aedb_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/aedb_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/compiler.cc" "src/sql/CMakeFiles/aedb_sql.dir/compiler.cc.o" "gcc" "src/sql/CMakeFiles/aedb_sql.dir/compiler.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/aedb_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/aedb_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/aedb_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/aedb_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/aedb_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/aedb_sql.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/es/CMakeFiles/aedb_es.dir/DependInfo.cmake"
+  "/root/repo/build/src/keys/CMakeFiles/aedb_keys.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aedb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aedb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/aedb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aedb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

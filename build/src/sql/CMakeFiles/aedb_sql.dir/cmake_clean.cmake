@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_sql.dir/binder.cc.o"
+  "CMakeFiles/aedb_sql.dir/binder.cc.o.d"
+  "CMakeFiles/aedb_sql.dir/catalog.cc.o"
+  "CMakeFiles/aedb_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/aedb_sql.dir/compiler.cc.o"
+  "CMakeFiles/aedb_sql.dir/compiler.cc.o.d"
+  "CMakeFiles/aedb_sql.dir/executor.cc.o"
+  "CMakeFiles/aedb_sql.dir/executor.cc.o.d"
+  "CMakeFiles/aedb_sql.dir/lexer.cc.o"
+  "CMakeFiles/aedb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/aedb_sql.dir/parser.cc.o"
+  "CMakeFiles/aedb_sql.dir/parser.cc.o.d"
+  "libaedb_sql.a"
+  "libaedb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_storage.dir/btree.cc.o"
+  "CMakeFiles/aedb_storage.dir/btree.cc.o.d"
+  "CMakeFiles/aedb_storage.dir/engine.cc.o"
+  "CMakeFiles/aedb_storage.dir/engine.cc.o.d"
+  "CMakeFiles/aedb_storage.dir/heap_table.cc.o"
+  "CMakeFiles/aedb_storage.dir/heap_table.cc.o.d"
+  "CMakeFiles/aedb_storage.dir/lock_manager.cc.o"
+  "CMakeFiles/aedb_storage.dir/lock_manager.cc.o.d"
+  "CMakeFiles/aedb_storage.dir/page.cc.o"
+  "CMakeFiles/aedb_storage.dir/page.cc.o.d"
+  "CMakeFiles/aedb_storage.dir/wal.cc.o"
+  "CMakeFiles/aedb_storage.dir/wal.cc.o.d"
+  "libaedb_storage.a"
+  "libaedb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

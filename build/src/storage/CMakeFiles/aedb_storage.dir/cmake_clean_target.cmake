@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaedb_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_tpcc.dir/tpcc.cc.o"
+  "CMakeFiles/aedb_tpcc.dir/tpcc.cc.o.d"
+  "libaedb_tpcc.a"
+  "libaedb_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aedb_types.dir/encryption_type.cc.o"
+  "CMakeFiles/aedb_types.dir/encryption_type.cc.o.d"
+  "CMakeFiles/aedb_types.dir/value.cc.o"
+  "CMakeFiles/aedb_types.dir/value.cc.o.d"
+  "libaedb_types.a"
+  "libaedb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aedb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_test.dir/es_test.cc.o"
+  "CMakeFiles/es_test.dir/es_test.cc.o.d"
+  "es_test"
+  "es_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(crypto_test "/root/repo/build/tests/crypto_test")
+set_tests_properties(crypto_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bignum_test "/root/repo/build/tests/bignum_test")
+set_tests_properties(bignum_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(types_test "/root/repo/build/tests/types_test")
+set_tests_properties(types_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(es_test "/root/repo/build/tests/es_test")
+set_tests_properties(es_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(enclave_test "/root/repo/build/tests/enclave_test")
+set_tests_properties(enclave_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(attestation_test "/root/repo/build/tests/attestation_test")
+set_tests_properties(attestation_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_test "/root/repo/build/tests/sql_test")
+set_tests_properties(sql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(e2e_test "/root/repo/build/tests/e2e_test")
+set_tests_properties(e2e_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tpcc_test "/root/repo/build/tests/tpcc_test")
+set_tests_properties(tpcc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(server_test "/root/repo/build/tests/server_test")
+set_tests_properties(server_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;aedb_add_test;/root/repo/tests/CMakeLists.txt;0;")
