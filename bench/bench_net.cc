@@ -1,0 +1,160 @@
+// Network-layer overhead: what does a loopback TCP round trip through the
+// aedb wire protocol cost against the in-process call path?
+//
+//   1. raw frame RTT (Ping/Pong: codec + syscalls, no SQL),
+//   2. point SELECT through the AE driver, in-process vs SocketTransport,
+//      plaintext and encrypted (DET) columns,
+//   3. a short TPC-C burst over both paths (the loopback harness mode).
+//
+// The delta between paths is pure network-subsystem overhead: both run the
+// same driver logic against the same Database.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "tpcc_bench_common.h"
+
+namespace aedb::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using types::Value;
+
+double MedianUs(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[samples.size() / 2];
+}
+
+template <typename Fn>
+double TimeOpsUs(int iters, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(iters);
+  for (int i = 0; i < iters; ++i) {
+    auto t0 = Clock::now();
+    if (!fn()) return -1.0;
+    auto t1 = Clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  return MedianUs(samples);
+}
+
+int Run() {
+  tpcc::TpccConfig tpcc_config;
+  tpcc_config.warehouses = 1;
+  tpcc_config.customers_per_district = 10;
+  tpcc_config.initial_orders_per_district = 5;
+
+  SystemConfig system;
+  system.name = "SQL-AE-DET";
+  system.encryption = tpcc::Encryption::kDeterministic;
+  system.cache_describe = true;
+
+  auto d = SetUpDeployment(system, tpcc_config, /*network_us=*/0,
+                           /*enclave_transition_ns=*/0);
+  if (!d) {
+    std::fprintf(stderr, "deployment setup failed\n");
+    return 1;
+  }
+  Status st = d->EnableLoopback();
+  if (!st.ok()) {
+    std::fprintf(stderr, "loopback start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kIters = 2000;
+
+  // --- 1. raw frame round trip (no SQL) ---
+  net::SocketTransport::Options topts;
+  topts.port = d->net_server->port();
+  auto ping_conn = net::SocketTransport::Connect(topts);
+  if (!ping_conn.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 ping_conn.status().ToString().c_str());
+    return 1;
+  }
+  double ping_us = TimeOpsUs(kIters, [&] { return (*ping_conn)->Ping().ok(); });
+
+  // --- 2. point SELECT through the driver on both paths ---
+  d->loopback = false;
+  auto inproc = d->MakeDriver();
+  d->loopback = true;
+  auto socket = d->MakeDriver();
+  if (!inproc || !socket) {
+    std::fprintf(stderr, "driver construction failed\n");
+    return 1;
+  }
+
+  const std::string plain_sql =
+      "SELECT D_NAME FROM District WHERE D_W_ID = @w AND D_ID = @d";
+  const std::string enc_sql =
+      "SELECT C_FIRST, C_LAST FROM Customer WHERE C_W_ID = @w AND C_D_ID = @d "
+      "AND C_ID = @c";
+  auto plain_params = [] {
+    return client::NamedParams{{"w", Value::Int32(1)}, {"d", Value::Int32(1)}};
+  };
+  auto enc_params = [] {
+    return client::NamedParams{{"w", Value::Int32(1)},
+                               {"d", Value::Int32(1)},
+                               {"c", Value::Int32(1)}};
+  };
+
+  auto query_ok = [](client::Driver* drv, const std::string& sql,
+                     const client::NamedParams& params) {
+    auto rs = drv->Query(sql, params);
+    return rs.ok() && !rs->rows.empty();
+  };
+
+  double inproc_plain =
+      TimeOpsUs(kIters, [&] { return query_ok(inproc.get(), plain_sql, plain_params()); });
+  double socket_plain =
+      TimeOpsUs(kIters, [&] { return query_ok(socket.get(), plain_sql, plain_params()); });
+  double inproc_enc =
+      TimeOpsUs(kIters, [&] { return query_ok(inproc.get(), enc_sql, enc_params()); });
+  double socket_enc =
+      TimeOpsUs(kIters, [&] { return query_ok(socket.get(), enc_sql, enc_params()); });
+  if (inproc_plain < 0 || socket_plain < 0 || inproc_enc < 0 || socket_enc < 0) {
+    std::fprintf(stderr, "query failed during timing loop\n");
+    return 1;
+  }
+
+  std::printf("# bench_net: loopback TCP vs in-process (median us/op, %d ops)\n",
+              kIters);
+  std::printf("%-32s %10.1f\n", "frame_rtt_ping", ping_us);
+  std::printf("%-32s %10.1f\n", "select_plain_inprocess", inproc_plain);
+  std::printf("%-32s %10.1f  (+%.1f us)\n", "select_plain_socket", socket_plain,
+              socket_plain - inproc_plain);
+  std::printf("%-32s %10.1f\n", "select_encrypted_inprocess", inproc_enc);
+  std::printf("%-32s %10.1f  (+%.1f us)\n", "select_encrypted_socket",
+              socket_enc, socket_enc - inproc_enc);
+
+  // --- 3. TPC-C burst over both paths ---
+  d->loopback = false;
+  auto r_inproc = RunConfig(d.get(), /*threads=*/2, /*seconds=*/2.0);
+  d->loopback = true;
+  auto r_socket = RunConfig(d.get(), /*threads=*/2, /*seconds=*/2.0);
+  std::printf("%-32s %10.0f txn/s (%llu committed)\n", "tpcc_inprocess",
+              r_inproc.txn_per_second,
+              static_cast<unsigned long long>(r_inproc.committed));
+  std::printf("%-32s %10.0f txn/s (%llu committed)\n", "tpcc_socket",
+              r_socket.txn_per_second,
+              static_cast<unsigned long long>(r_socket.committed));
+
+  const net::ServerStats& s = d->net_server->stats();
+  std::printf("# server: %llu conns, %llu frames in/%llu out, %llu bytes "
+              "in/%llu out, %llu protocol errors\n",
+              static_cast<unsigned long long>(s.connections_accepted.load()),
+              static_cast<unsigned long long>(s.frames_in.load()),
+              static_cast<unsigned long long>(s.frames_out.load()),
+              static_cast<unsigned long long>(s.bytes_in.load()),
+              static_cast<unsigned long long>(s.bytes_out.load()),
+              static_cast<unsigned long long>(s.protocol_errors.load()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace aedb::bench
+
+int main() { return aedb::bench::Run(); }

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "crypto/drbg.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
 #include "tpcc/tpcc.h"
 
 namespace aedb::bench {
@@ -22,14 +24,44 @@ struct TpccDeployment {
   tpcc::TpccConfig config;
   bool ae_connection = true;
   bool cache_describe = true;
+  /// Loopback mode: terminals connect through the wire protocol against a
+  /// net::Server fronting `db` instead of calling it in-process.
+  std::unique_ptr<net::Server> net_server;
+  bool loopback = false;
+
+  ~TpccDeployment() {
+    if (net_server) net_server->Stop();
+  }
 
   std::unique_ptr<client::Driver> MakeDriver() {
     client::DriverOptions opts;
     opts.column_encryption_enabled = ae_connection;
     opts.cache_describe_results = cache_describe;
     opts.enclave_policy.trusted_author_id = image.AuthorId();
+    if (loopback && net_server) {
+      net::SocketTransport::Options topts;
+      topts.port = net_server->port();
+      auto transport = net::SocketTransport::Connect(topts);
+      if (!transport.ok()) {
+        std::fprintf(stderr, "loopback connect failed: %s\n",
+                     transport.status().ToString().c_str());
+        return nullptr;
+      }
+      return std::make_unique<client::Driver>(std::move(transport).value(),
+                                              &registry, hgs->signing_public(),
+                                              opts);
+    }
     return std::make_unique<client::Driver>(db.get(), &registry,
                                             hgs->signing_public(), opts);
+  }
+
+  /// Starts the TCP front end and routes future MakeDriver() calls over it.
+  Status EnableLoopback() {
+    net::ServerConfig config_net;
+    net_server = std::make_unique<net::Server>(db.get(), config_net);
+    AEDB_RETURN_IF_ERROR(net_server->Start());
+    loopback = true;
+    return Status::OK();
   }
 };
 

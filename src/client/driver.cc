@@ -42,22 +42,34 @@ std::string LowerStr(std::string s) {
 
 Driver::Driver(server::Database* db, keys::KeyProviderRegistry* providers,
                crypto::RsaPublicKey hgs_public, DriverOptions options)
-    : db_(db),
+    : Driver(std::make_unique<InProcessTransport>(db), providers,
+             std::move(hgs_public), std::move(options)) {}
+
+Driver::Driver(std::unique_ptr<Transport> transport,
+               keys::KeyProviderRegistry* providers,
+               crypto::RsaPublicKey hgs_public, DriverOptions options)
+    : transport_(std::move(transport)),
       providers_(providers),
       hgs_public_(std::move(hgs_public)),
       options_(std::move(options)) {}
 
-uint64_t Driver::Begin() { return db_->BeginTransaction(); }
-Status Driver::Commit(uint64_t txn) { return db_->CommitTransaction(txn); }
-Status Driver::Rollback(uint64_t txn) { return db_->RollbackTransaction(txn); }
+uint64_t Driver::Begin() {
+  // Transactions start at id 1; 0 doubles as the autocommit sentinel, so a
+  // failed network Begin surfaces as autocommit followed by a commit error.
+  return transport_->BeginTransaction().value_or(0);
+}
+Status Driver::Commit(uint64_t txn) { return transport_->CommitTransaction(txn); }
+Status Driver::Rollback(uint64_t txn) {
+  return transport_->RollbackTransaction(txn);
+}
 
 Status Driver::ExecuteDdl(const std::string& sql) {
   // CREATE INDEX over an enclave-encrypted column builds the B+-tree with
   // enclave comparisons — install the CEK first.
   auto stmt = sql::Parse(sql);
   if (stmt.ok() && stmt->kind == sql::Statement::Kind::kCreateIndex) {
-    auto enc = db_->ColumnEncryption(stmt->create_index->table,
-                                     stmt->create_index->column);
+    auto enc = transport_->ColumnEncryption(stmt->create_index->table,
+                                            stmt->create_index->column);
     if (enc.ok() && enc->is_encrypted() &&
         enc->kind == types::EncKind::kRandomized) {
       if (!enc->enclave_enabled) {
@@ -68,7 +80,7 @@ Status Driver::ExecuteDdl(const std::string& sql) {
       AEDB_RETURN_IF_ERROR(EnsureEnclaveKeys({enc->cek_id}));
     }
   }
-  return db_->ExecuteDdl(sql);
+  return transport_->ExecuteDdl(sql, 0);
 }
 
 void Driver::InvalidateSession() {
@@ -91,7 +103,7 @@ Result<const DescribeResult*> Driver::Describe(const std::string& sql) {
   ++describe_calls_;
   DescribeResult result;
   AEDB_ASSIGN_OR_RETURN(result,
-                        db_->DescribeParameterEncryption(sql, Slice()));
+                        transport_->DescribeParameterEncryption(sql, Slice()));
   if (result.requires_enclave) {
     // Attest lazily, once per session, only when a statement actually needs
     // the enclave ("the attestation protocol is invoked ... only when
@@ -125,7 +137,7 @@ Result<Bytes> Driver::CekMaterial(uint32_t cek_id) {
     if (it != key_meta_.end()) meta = it->second;
   }
   if (meta.cek.values.empty()) {
-    AEDB_ASSIGN_OR_RETURN(meta, db_->GetKeyDescription(cek_id));
+    AEDB_ASSIGN_OR_RETURN(meta, transport_->GetKeyDescription(cek_id));
   }
   // Trusted key paths: refuse CMKs provisioned outside the allowed list
   // (defeats a server substituting attacker-controlled key metadata, §4.1).
@@ -216,7 +228,8 @@ Status Driver::EnsureEnclaveKeys(const std::vector<uint32_t>& cek_ids) {
     std::lock_guard<std::mutex> lock(mu_);
     session = session_id_;
   }
-  AEDB_RETURN_IF_ERROR(db_->ForwardKeysToEnclave(session, nonce, sealed));
+  AEDB_RETURN_IF_ERROR(
+      transport_->ForwardKeysToEnclave(session, nonce, sealed));
   std::lock_guard<std::mutex> lock(mu_);
   for (uint32_t id : missing) installed_ceks_.insert(id);
   return Status::OK();
@@ -260,7 +273,7 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
                                      const NamedParams& params, uint64_t txn) {
   if (!options_.column_encryption_enabled) {
     // Non-AE connection string: no describe round trip, plaintext in/out.
-    return db_->ExecuteNamed(sql, params, txn);
+    return transport_->ExecuteNamed(sql, params, txn, 0);
   }
   for (int attempt = 0; ; ++attempt) {
     const DescribeResult* describe;
@@ -310,7 +323,7 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
         std::lock_guard<std::mutex> lock(mu_);
         session = session_id_;
       }
-      result = db_->ExecuteNamed(sql, wire, txn, session);
+      result = transport_->ExecuteNamed(sql, wire, txn, session);
     } else {
       result = st;
     }
@@ -346,25 +359,25 @@ Status Driver::ProvisionCmk(const std::string& name,
                     "', KEY_PATH = '" + key_path + "', SIGNATURE = 0x" +
                     HexEncode(cmk.signature) +
                     (enclave_enabled ? ", ENCLAVE_COMPUTATIONS" : "") + ")";
-  return db_->ExecuteDdl(ddl);
+  return transport_->ExecuteDdl(ddl, 0);
 }
 
 Status Driver::ProvisionCek(const std::string& name,
                             const std::string& cmk_name) {
   // Fetch the CMK metadata from the server catalog to wrap under it.
-  const keys::CmkInfo* cmk;
-  AEDB_ASSIGN_OR_RETURN(cmk, db_->catalog().GetCmk(cmk_name));
+  keys::CmkInfo cmk;
+  AEDB_ASSIGN_OR_RETURN(cmk, transport_->GetCmk(cmk_name));
   keys::KeyProvider* provider;
-  AEDB_ASSIGN_OR_RETURN(provider, providers_->Find(cmk->provider_name));
-  AEDB_RETURN_IF_ERROR(keys::KeyTools::VerifyCmk(provider, *cmk));
+  AEDB_ASSIGN_OR_RETURN(provider, providers_->Find(cmk.provider_name));
+  AEDB_RETURN_IF_ERROR(keys::KeyTools::VerifyCmk(provider, cmk));
   keys::CekInfo cek;
-  AEDB_ASSIGN_OR_RETURN(cek, keys::KeyTools::CreateCek(provider, *cmk, name));
+  AEDB_ASSIGN_OR_RETURN(cek, keys::KeyTools::CreateCek(provider, cmk, name));
   std::string ddl = "CREATE COLUMN ENCRYPTION KEY " + name +
                     " WITH VALUES (COLUMN_MASTER_KEY = " + cmk_name +
                     ", ALGORITHM = 'RSA_OAEP', ENCRYPTED_VALUE = 0x" +
                     HexEncode(cek.values[0].encrypted_value) +
                     ", SIGNATURE = 0x" + HexEncode(cek.values[0].signature) + ")";
-  return db_->ExecuteDdl(ddl);
+  return transport_->ExecuteDdl(ddl, 0);
 }
 
 Status Driver::EnsureSessionExists() {
@@ -379,7 +392,7 @@ Status Driver::EnsureSessionExists() {
     crypto::DhKeyPair dh = crypto::GenerateDhKeyPair(&drbg);
     Bytes dh_public = crypto::DhPublicKeyBytes(dh);
     DescribeResult attest;
-    AEDB_ASSIGN_OR_RETURN(attest, db_->Attest(dh_public));
+    AEDB_ASSIGN_OR_RETURN(attest, transport_->Attest(dh_public));
     attestation::AttestationVerifier verifier(hgs_public_,
                                               options_.enclave_policy);
     Bytes secret;
@@ -409,7 +422,7 @@ Status Driver::AuthorizeStatement(const std::string& sql) {
     std::lock_guard<std::mutex> lock(mu_);
     session = session_id_;
   }
-  return db_->ForwardEncryptionAuthorization(session, nonce, sealed);
+  return transport_->ForwardEncryptionAuthorization(session, nonce, sealed);
 }
 
 Status Driver::ExecuteEnclaveDdl(const std::string& sql) {
@@ -427,11 +440,11 @@ Status Driver::ExecuteEnclaveDdl(const std::string& sql) {
   std::vector<uint32_t> cek_ids;
   types::EncryptionType current;
   AEDB_ASSIGN_OR_RETURN(current,
-                        db_->ColumnEncryption(alter.table, alter.column));
+                        transport_->ColumnEncryption(alter.table, alter.column));
   if (current.is_encrypted()) cek_ids.push_back(current.cek_id);
   if (alter.enc.encrypted) {
     uint32_t id;
-    AEDB_ASSIGN_OR_RETURN(id, db_->catalog().CekIdByName(alter.enc.cek_name));
+    AEDB_ASSIGN_OR_RETURN(id, transport_->CekIdByName(alter.enc.cek_name));
     cek_ids.push_back(id);
   }
   AEDB_RETURN_IF_ERROR(EnsureEnclaveKeys(cek_ids));
@@ -441,7 +454,7 @@ Status Driver::ExecuteEnclaveDdl(const std::string& sql) {
     std::lock_guard<std::mutex> lock(mu_);
     session = session_id_;
   }
-  return db_->ExecuteDdl(sql, session);
+  return transport_->ExecuteDdl(sql, session);
 }
 
 Status Driver::ClientSideEncryptColumn(const std::string& table,
@@ -460,7 +473,8 @@ Status Driver::ClientSideEncryptColumn(const std::string& table,
   spec.encrypted = true;
   spec.cek_name = cek_name;
   spec.kind = kind;
-  AEDB_RETURN_IF_ERROR(db_->AlterColumnMetadataForClientTool(table, column, spec));
+  AEDB_RETURN_IF_ERROR(
+      transport_->AlterColumnMetadataForClientTool(table, column, spec));
 
   // 3. Re-write every row with locally encrypted cells in one transaction.
   uint64_t txn = Begin();

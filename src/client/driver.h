@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "attestation/attestation.h"
+#include "client/transport.h"
 #include "keys/key_provider.h"
 #include "server/database.h"
 
@@ -45,11 +46,21 @@ struct DriverOptions {
 ///   - encrypts parameters and decrypts result cells.
 class Driver {
  public:
+  /// In-process wiring (the seed's original form): the driver talks straight
+  /// to a `server::Database` through an owned InProcessTransport.
   Driver(server::Database* db, keys::KeyProviderRegistry* providers,
          crypto::RsaPublicKey hgs_public, DriverOptions options);
 
+  /// Transport wiring: the driver issues every server round trip through
+  /// `transport` — e.g. a net::SocketTransport connected to `aedb_serverd`.
+  /// All AE logic (describe, key verification, attestation, cell
+  /// encryption/decryption) is identical on both paths.
+  Driver(std::unique_ptr<Transport> transport,
+         keys::KeyProviderRegistry* providers, crypto::RsaPublicKey hgs_public,
+         DriverOptions options);
+
   /// Named parameters carry plaintext values.
-  using NamedParams = std::vector<std::pair<std::string, types::Value>>;
+  using NamedParams = client::NamedParams;
 
   Result<sql::ResultSet> Query(const std::string& sql,
                                const NamedParams& params = {},
@@ -106,7 +117,7 @@ class Driver {
   Status DecryptResults(sql::ResultSet* results);
   Status AuthorizeStatement(const std::string& sql);
 
-  server::Database* db_;
+  std::unique_ptr<Transport> transport_;
   keys::KeyProviderRegistry* providers_;
   crypto::RsaPublicKey hgs_public_;
   DriverOptions options_;

@@ -1,0 +1,81 @@
+#include "client/transport.h"
+
+namespace aedb::client {
+
+Result<uint64_t> InProcessTransport::BeginTransaction() {
+  return db_->BeginTransaction();
+}
+
+Status InProcessTransport::CommitTransaction(uint64_t txn) {
+  return db_->CommitTransaction(txn);
+}
+
+Status InProcessTransport::RollbackTransaction(uint64_t txn) {
+  return db_->RollbackTransaction(txn);
+}
+
+Status InProcessTransport::ExecuteDdl(const std::string& sql,
+                                      uint64_t session_id) {
+  return db_->ExecuteDdl(sql, session_id);
+}
+
+Result<sql::ResultSet> InProcessTransport::Execute(
+    const std::string& sql, const std::vector<types::Value>& params,
+    uint64_t txn, uint64_t session_id) {
+  return db_->Execute(sql, params, txn, session_id);
+}
+
+Result<sql::ResultSet> InProcessTransport::ExecuteNamed(
+    const std::string& sql, const NamedParams& params, uint64_t txn,
+    uint64_t session_id) {
+  return db_->ExecuteNamed(sql, params, txn, session_id);
+}
+
+Result<server::DescribeResult> InProcessTransport::DescribeParameterEncryption(
+    const std::string& sql, Slice client_dh_public) {
+  return db_->DescribeParameterEncryption(sql, client_dh_public);
+}
+
+Result<server::DescribeResult> InProcessTransport::Attest(
+    Slice client_dh_public) {
+  return db_->Attest(client_dh_public);
+}
+
+Result<server::KeyDescription> InProcessTransport::GetKeyDescription(
+    uint32_t cek_id) {
+  return db_->GetKeyDescription(cek_id);
+}
+
+Result<types::EncryptionType> InProcessTransport::ColumnEncryption(
+    const std::string& table, const std::string& column) {
+  return db_->ColumnEncryption(table, column);
+}
+
+Result<keys::CmkInfo> InProcessTransport::GetCmk(const std::string& name) {
+  const keys::CmkInfo* cmk;
+  AEDB_ASSIGN_OR_RETURN(cmk, db_->catalog().GetCmk(name));
+  return *cmk;
+}
+
+Result<uint32_t> InProcessTransport::CekIdByName(const std::string& name) {
+  return db_->catalog().CekIdByName(name);
+}
+
+Status InProcessTransport::ForwardKeysToEnclave(uint64_t session_id,
+                                                uint64_t nonce, Slice sealed) {
+  return db_->ForwardKeysToEnclave(session_id, nonce, sealed);
+}
+
+Status InProcessTransport::ForwardEncryptionAuthorization(uint64_t session_id,
+                                                          uint64_t nonce,
+                                                          Slice sealed) {
+  return db_->ForwardEncryptionAuthorization(session_id, nonce, sealed);
+}
+
+Status InProcessTransport::AlterColumnMetadataForClientTool(
+    const std::string& table, const std::string& column,
+    const sql::EncryptionSpec& enc) {
+  return db_->AlterColumnMetadataForClientTool(table, column, enc);
+}
+
+}  // namespace aedb::client

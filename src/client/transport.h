@@ -1,0 +1,122 @@
+#ifndef AEDB_CLIENT_TRANSPORT_H_
+#define AEDB_CLIENT_TRANSPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/database.h"
+
+namespace aedb::client {
+
+/// Named parameters carry plaintext values (application side) or wire values
+/// (after the driver encrypted them).
+using NamedParams = std::vector<std::pair<std::string, types::Value>>;
+
+/// \brief The driver's view of the server: every round trip the AE driver
+/// makes, as an abstract interface.
+///
+/// Two implementations exist:
+///   - InProcessTransport: direct calls into a `server::Database` in the same
+///     process (the original seed wiring; zero marshalling cost).
+///   - net::SocketTransport: the same calls marshalled through the aedb wire
+///     protocol over a TCP connection to `aedb_serverd`.
+///
+/// The AE security invariant lives ABOVE this interface: the driver encrypts
+/// parameters and decrypts results before/after calling Execute*, and key
+/// material only ever crosses a Transport sealed under the enclave session
+/// secret (ForwardKeysToEnclave). A Transport implementation never sees
+/// column plaintext for encrypted columns — which is exactly why the network
+/// layer needs no TLS for the paper's threat model demos: the wire shows an
+/// adversary nothing the untrusted server process couldn't already see.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // ----- transactions -----
+  virtual Result<uint64_t> BeginTransaction() = 0;
+  virtual Status CommitTransaction(uint64_t txn) = 0;
+  virtual Status RollbackTransaction(uint64_t txn) = 0;
+
+  // ----- statements -----
+  virtual Status ExecuteDdl(const std::string& sql, uint64_t session_id) = 0;
+  virtual Result<sql::ResultSet> Execute(const std::string& sql,
+                                         const std::vector<types::Value>& params,
+                                         uint64_t txn, uint64_t session_id) = 0;
+  virtual Result<sql::ResultSet> ExecuteNamed(const std::string& sql,
+                                              const NamedParams& params,
+                                              uint64_t txn,
+                                              uint64_t session_id) = 0;
+
+  // ----- describe / attestation -----
+  virtual Result<server::DescribeResult> DescribeParameterEncryption(
+      const std::string& sql, Slice client_dh_public) = 0;
+  virtual Result<server::DescribeResult> Attest(Slice client_dh_public) = 0;
+
+  // ----- key metadata -----
+  virtual Result<server::KeyDescription> GetKeyDescription(uint32_t cek_id) = 0;
+  virtual Result<types::EncryptionType> ColumnEncryption(
+      const std::string& table, const std::string& column) = 0;
+  virtual Result<keys::CmkInfo> GetCmk(const std::string& name) = 0;
+  virtual Result<uint32_t> CekIdByName(const std::string& name) = 0;
+
+  // ----- driver→enclave passthrough (sealed under the session secret) -----
+  virtual Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,
+                                      Slice sealed) = 0;
+  virtual Status ForwardEncryptionAuthorization(uint64_t session_id,
+                                                uint64_t nonce,
+                                                Slice sealed) = 0;
+
+  // ----- client tooling -----
+  virtual Status AlterColumnMetadataForClientTool(
+      const std::string& table, const std::string& column,
+      const sql::EncryptionSpec& enc) = 0;
+};
+
+/// Direct in-process calls into a `server::Database` (the seed's original
+/// wiring). No marshalling; pointers from the catalog are copied so the
+/// Transport contract (value semantics) holds on both paths.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(server::Database* db) : db_(db) {}
+
+  Result<uint64_t> BeginTransaction() override;
+  Status CommitTransaction(uint64_t txn) override;
+  Status RollbackTransaction(uint64_t txn) override;
+
+  Status ExecuteDdl(const std::string& sql, uint64_t session_id) override;
+  Result<sql::ResultSet> Execute(const std::string& sql,
+                                 const std::vector<types::Value>& params,
+                                 uint64_t txn, uint64_t session_id) override;
+  Result<sql::ResultSet> ExecuteNamed(const std::string& sql,
+                                      const NamedParams& params, uint64_t txn,
+                                      uint64_t session_id) override;
+
+  Result<server::DescribeResult> DescribeParameterEncryption(
+      const std::string& sql, Slice client_dh_public) override;
+  Result<server::DescribeResult> Attest(Slice client_dh_public) override;
+
+  Result<server::KeyDescription> GetKeyDescription(uint32_t cek_id) override;
+  Result<types::EncryptionType> ColumnEncryption(
+      const std::string& table, const std::string& column) override;
+  Result<keys::CmkInfo> GetCmk(const std::string& name) override;
+  Result<uint32_t> CekIdByName(const std::string& name) override;
+
+  Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,
+                              Slice sealed) override;
+  Status ForwardEncryptionAuthorization(uint64_t session_id, uint64_t nonce,
+                                        Slice sealed) override;
+
+  Status AlterColumnMetadataForClientTool(
+      const std::string& table, const std::string& column,
+      const sql::EncryptionSpec& enc) override;
+
+  server::Database* database() const { return db_; }
+
+ private:
+  server::Database* db_;
+};
+
+}  // namespace aedb::client
+
+#endif  // AEDB_CLIENT_TRANSPORT_H_

@@ -78,6 +78,7 @@ void Sha256::ProcessBlock(const uint8_t* p) {
 }
 
 void Sha256::Update(Slice data) {
+  if (data.empty()) return;  // memcpy from a null Slice::data() is UB
   total_len_ += data.size();
   const uint8_t* p = data.data();
   size_t n = data.size();

@@ -1,0 +1,502 @@
+#include "net/protocol.h"
+
+namespace aedb::net {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHandshake: return "Handshake";
+    case MsgType::kQuery: return "Query";
+    case MsgType::kQueryNamed: return "QueryNamed";
+    case MsgType::kDdl: return "Ddl";
+    case MsgType::kDescribe: return "Describe";
+    case MsgType::kAttest: return "Attest";
+    case MsgType::kBeginTxn: return "BeginTxn";
+    case MsgType::kCommitTxn: return "CommitTxn";
+    case MsgType::kRollbackTxn: return "RollbackTxn";
+    case MsgType::kGetKeyDescription: return "GetKeyDescription";
+    case MsgType::kForwardKeys: return "ForwardKeys";
+    case MsgType::kForwardAuthorization: return "ForwardAuthorization";
+    case MsgType::kColumnEncryption: return "ColumnEncryption";
+    case MsgType::kGetCmk: return "GetCmk";
+    case MsgType::kCekIdByName: return "CekIdByName";
+    case MsgType::kAlterColumnMetadata: return "AlterColumnMetadata";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kHandshakeAck: return "HandshakeAck";
+    case MsgType::kResultSet: return "ResultSet";
+    case MsgType::kOk: return "Ok";
+    case MsgType::kDescribeResp: return "DescribeResp";
+    case MsgType::kTxnResp: return "TxnResp";
+    case MsgType::kKeyDescriptionResp: return "KeyDescriptionResp";
+    case MsgType::kEncryptionTypeResp: return "EncryptionTypeResp";
+    case MsgType::kCmkResp: return "CmkResp";
+    case MsgType::kCekIdResp: return "CekIdResp";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
+void AppendFrame(Bytes* out, MsgType type, Slice payload) {
+  PutU32(out, kProtocolMagic);
+  out->push_back(kProtocolVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->insert(out->end(), payload.data(), payload.data() + payload.size());
+}
+
+Bytes EncodeFrame(MsgType type, Slice payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(Slice in, uint32_t max_payload) {
+  if (in.size() < kFrameHeaderSize) {
+    return Status::Corruption("frame header truncated");
+  }
+  size_t off = 0;
+  uint32_t magic;
+  AEDB_ASSIGN_OR_RETURN(magic, GetU32(in, &off));
+  if (magic != kProtocolMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  FrameHeader h;
+  h.version = in[off++];
+  if (h.version != kProtocolVersion) {
+    return Status::NotSupported("unsupported protocol version " +
+                                std::to_string(h.version));
+  }
+  h.type = static_cast<MsgType>(in[off++]);
+  uint16_t reserved;
+  AEDB_ASSIGN_OR_RETURN(reserved, GetU16(in, &off));
+  if (reserved != 0) {
+    return Status::Corruption("non-zero reserved bits in frame header");
+  }
+  AEDB_ASSIGN_OR_RETURN(h.payload_size, GetU32(in, &off));
+  // Bound-check the length BEFORE anyone allocates for the payload: a hostile
+  // 4 GiB length prefix must be rejected here, not in operator new.
+  if (h.payload_size > max_payload) {
+    return Status::OutOfRange("frame payload " + std::to_string(h.payload_size) +
+                              " exceeds limit " + std::to_string(max_payload));
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+void EncodeString(Bytes* out, std::string_view s) {
+  PutLengthPrefixed(out, Slice(s));
+}
+
+Result<std::string> DecodeString(Slice in, size_t* offset) {
+  Bytes raw;
+  AEDB_ASSIGN_OR_RETURN(raw, GetLengthPrefixed(in, offset));
+  return std::string(raw.begin(), raw.end());
+}
+
+Status MakeStatus(uint8_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk: return Status::OK();
+    case StatusCode::kInvalidArgument: return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound: return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists: return Status::AlreadyExists(std::move(message));
+    case StatusCode::kCorruption: return Status::Corruption(std::move(message));
+    case StatusCode::kNotSupported: return Status::NotSupported(std::move(message));
+    case StatusCode::kFailedPrecondition: return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kOutOfRange: return Status::OutOfRange(std::move(message));
+    case StatusCode::kInternal: return Status::Internal(std::move(message));
+    case StatusCode::kSecurityError: return Status::SecurityError(std::move(message));
+    case StatusCode::kPermissionDenied: return Status::PermissionDenied(std::move(message));
+    case StatusCode::kKeyNotInEnclave: return Status::KeyNotInEnclave(std::move(message));
+    case StatusCode::kReplayDetected: return Status::ReplayDetected(std::move(message));
+    case StatusCode::kTypeCheckError: return Status::TypeCheckError(std::move(message));
+  }
+  return Status::Internal("unknown wire status code " + std::to_string(code) +
+                          ": " + message);
+}
+
+void EncodeStatusPayload(Bytes* out, const Status& status) {
+  out->push_back(static_cast<uint8_t>(status.code()));
+  EncodeString(out, status.message());
+}
+
+Status DecodeStatusPayload(Slice in, Status* decoded) {
+  if (in.empty()) return Status::Corruption("status payload truncated");
+  size_t off = 0;
+  uint8_t code = in[off++];
+  std::string msg;
+  AEDB_ASSIGN_OR_RETURN(msg, DecodeString(in, &off));
+  *decoded = MakeStatus(code, std::move(msg));
+  return Status::OK();
+}
+
+void EncodeValue(Bytes* out, const types::Value& v) { v.EncodeTo(out); }
+
+void EncodeValues(Bytes* out, const std::vector<types::Value>& vs) {
+  PutU32(out, static_cast<uint32_t>(vs.size()));
+  for (const types::Value& v : vs) EncodeValue(out, v);
+}
+
+Result<std::vector<types::Value>> DecodeValues(Slice in, size_t* offset) {
+  uint32_t count;
+  AEDB_ASSIGN_OR_RETURN(count, GetU32(in, offset));
+  // No reserve(count): the count is attacker-controlled; truncation fails the
+  // loop before memory does.
+  std::vector<types::Value> vs;
+  for (uint32_t i = 0; i < count; ++i) {
+    types::Value v;
+    AEDB_ASSIGN_OR_RETURN(v, types::Value::Decode(in, offset));
+    vs.push_back(std::move(v));
+  }
+  return vs;
+}
+
+void EncodeNamedParams(Bytes* out, const client::NamedParams& params) {
+  PutU32(out, static_cast<uint32_t>(params.size()));
+  for (const auto& [name, value] : params) {
+    EncodeString(out, name);
+    EncodeValue(out, value);
+  }
+}
+
+Result<client::NamedParams> DecodeNamedParams(Slice in, size_t* offset) {
+  uint32_t count;
+  AEDB_ASSIGN_OR_RETURN(count, GetU32(in, offset));
+  client::NamedParams params;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    AEDB_ASSIGN_OR_RETURN(name, DecodeString(in, offset));
+    types::Value v;
+    AEDB_ASSIGN_OR_RETURN(v, types::Value::Decode(in, offset));
+    params.emplace_back(std::move(name), std::move(v));
+  }
+  return params;
+}
+
+void EncodeEncryptionType(Bytes* out, const types::EncryptionType& enc) {
+  out->push_back(static_cast<uint8_t>(enc.kind));
+  PutU32(out, enc.cek_id);
+  out->push_back(enc.enclave_enabled ? 1 : 0);
+}
+
+Result<types::EncryptionType> DecodeEncryptionType(Slice in, size_t* offset) {
+  if (*offset >= in.size()) return Status::Corruption("enc type past end");
+  uint8_t kind = in[(*offset)++];
+  if (kind > static_cast<uint8_t>(types::EncKind::kRandomized)) {
+    return Status::Corruption("unknown encryption kind on wire");
+  }
+  types::EncryptionType enc;
+  enc.kind = static_cast<types::EncKind>(kind);
+  AEDB_ASSIGN_OR_RETURN(enc.cek_id, GetU32(in, offset));
+  if (*offset >= in.size()) return Status::Corruption("enc type past end");
+  enc.enclave_enabled = in[(*offset)++] != 0;
+  return enc;
+}
+
+void EncodeResultSet(Bytes* out, const sql::ResultSet& rs) {
+  PutU32(out, static_cast<uint32_t>(rs.columns.size()));
+  for (const std::string& c : rs.columns) EncodeString(out, c);
+  PutU32(out, static_cast<uint32_t>(rs.column_enc.size()));
+  for (const types::EncryptionType& e : rs.column_enc) {
+    EncodeEncryptionType(out, e);
+  }
+  PutU32(out, static_cast<uint32_t>(rs.rows.size()));
+  for (const auto& row : rs.rows) EncodeValues(out, row);
+}
+
+Result<sql::ResultSet> DecodeResultSet(Slice in) {
+  size_t off = 0;
+  sql::ResultSet rs;
+  uint32_t ncols;
+  AEDB_ASSIGN_OR_RETURN(ncols, GetU32(in, &off));
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string name;
+    AEDB_ASSIGN_OR_RETURN(name, DecodeString(in, &off));
+    rs.columns.push_back(std::move(name));
+  }
+  uint32_t nenc;
+  AEDB_ASSIGN_OR_RETURN(nenc, GetU32(in, &off));
+  for (uint32_t i = 0; i < nenc; ++i) {
+    types::EncryptionType e;
+    AEDB_ASSIGN_OR_RETURN(e, DecodeEncryptionType(in, &off));
+    rs.column_enc.push_back(e);
+  }
+  uint32_t nrows;
+  AEDB_ASSIGN_OR_RETURN(nrows, GetU32(in, &off));
+  for (uint32_t i = 0; i < nrows; ++i) {
+    std::vector<types::Value> row;
+    AEDB_ASSIGN_OR_RETURN(row, DecodeValues(in, &off));
+    if (row.size() != rs.columns.size()) {
+      return Status::Corruption("result row width mismatch");
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  if (off != in.size()) {
+    return Status::Corruption("trailing bytes after result set");
+  }
+  return rs;
+}
+
+void EncodeKeyDescription(Bytes* out, const server::KeyDescription& key) {
+  PutU32(out, key.cek_id);
+  PutLengthPrefixed(out, key.cek.Serialize());
+  PutLengthPrefixed(out, key.cmk.Serialize());
+}
+
+Result<server::KeyDescription> DecodeKeyDescription(Slice in, size_t* offset) {
+  server::KeyDescription key;
+  AEDB_ASSIGN_OR_RETURN(key.cek_id, GetU32(in, offset));
+  Bytes cek_raw;
+  AEDB_ASSIGN_OR_RETURN(cek_raw, GetLengthPrefixed(in, offset));
+  AEDB_ASSIGN_OR_RETURN(key.cek, keys::CekInfo::Deserialize(cek_raw));
+  Bytes cmk_raw;
+  AEDB_ASSIGN_OR_RETURN(cmk_raw, GetLengthPrefixed(in, offset));
+  AEDB_ASSIGN_OR_RETURN(key.cmk, keys::CmkInfo::Deserialize(cmk_raw));
+  return key;
+}
+
+void EncodeDescribeResult(Bytes* out, const server::DescribeResult& d) {
+  PutU32(out, static_cast<uint32_t>(d.params.size()));
+  for (const auto& p : d.params) {
+    EncodeString(out, p.name);
+    out->push_back(static_cast<uint8_t>(p.type));
+    EncodeEncryptionType(out, p.enc);
+  }
+  PutU32(out, static_cast<uint32_t>(d.keys.size()));
+  for (const auto& k : d.keys) EncodeKeyDescription(out, k);
+  out->push_back(d.requires_enclave ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(d.enclave_cek_ids.size()));
+  for (uint32_t id : d.enclave_cek_ids) PutU32(out, id);
+  out->push_back(d.attestation_included ? 1 : 0);
+  if (d.attestation_included) {
+    PutLengthPrefixed(out, d.health_certificate.Serialize());
+    PutLengthPrefixed(out, d.attestation.report_bytes);
+    PutLengthPrefixed(out, d.attestation.report_signature);
+    PutLengthPrefixed(out, d.attestation.enclave_public_key);
+    PutLengthPrefixed(out, d.attestation.enclave_dh_public);
+    PutLengthPrefixed(out, d.attestation.dh_signature);
+    PutU64(out, d.attestation.session_id);
+  }
+}
+
+Result<server::DescribeResult> DecodeDescribeResult(Slice in) {
+  size_t off = 0;
+  server::DescribeResult d;
+  uint32_t nparams;
+  AEDB_ASSIGN_OR_RETURN(nparams, GetU32(in, &off));
+  for (uint32_t i = 0; i < nparams; ++i) {
+    server::DescribeResult::ParamInfo p;
+    AEDB_ASSIGN_OR_RETURN(p.name, DecodeString(in, &off));
+    if (off >= in.size()) return Status::Corruption("param type past end");
+    uint8_t type = in[off++];
+    if (type < static_cast<uint8_t>(types::TypeId::kBool) ||
+        type > static_cast<uint8_t>(types::TypeId::kBinary)) {
+      return Status::Corruption("unknown param type tag on wire");
+    }
+    p.type = static_cast<types::TypeId>(type);
+    AEDB_ASSIGN_OR_RETURN(p.enc, DecodeEncryptionType(in, &off));
+    d.params.push_back(std::move(p));
+  }
+  uint32_t nkeys;
+  AEDB_ASSIGN_OR_RETURN(nkeys, GetU32(in, &off));
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    server::KeyDescription k;
+    AEDB_ASSIGN_OR_RETURN(k, DecodeKeyDescription(in, &off));
+    d.keys.push_back(std::move(k));
+  }
+  if (off >= in.size()) return Status::Corruption("describe flags past end");
+  d.requires_enclave = in[off++] != 0;
+  uint32_t nids;
+  AEDB_ASSIGN_OR_RETURN(nids, GetU32(in, &off));
+  for (uint32_t i = 0; i < nids; ++i) {
+    uint32_t id;
+    AEDB_ASSIGN_OR_RETURN(id, GetU32(in, &off));
+    d.enclave_cek_ids.push_back(id);
+  }
+  if (off >= in.size()) return Status::Corruption("describe flags past end");
+  d.attestation_included = in[off++] != 0;
+  if (d.attestation_included) {
+    Bytes cert_raw;
+    AEDB_ASSIGN_OR_RETURN(cert_raw, GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(d.health_certificate,
+                          attestation::HealthCertificate::Deserialize(cert_raw));
+    AEDB_ASSIGN_OR_RETURN(d.attestation.report_bytes,
+                          GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(d.attestation.report_signature,
+                          GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(d.attestation.enclave_public_key,
+                          GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(d.attestation.enclave_dh_public,
+                          GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(d.attestation.dh_signature,
+                          GetLengthPrefixed(in, &off));
+    AEDB_ASSIGN_OR_RETURN(d.attestation.session_id, GetU64(in, &off));
+  }
+  if (off != in.size()) {
+    return Status::Corruption("trailing bytes after describe result");
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Request payloads
+// ---------------------------------------------------------------------------
+
+Bytes HandshakeReq::Encode() const {
+  Bytes out;
+  PutU32(&out, client_version);
+  EncodeString(&out, client_name);
+  return out;
+}
+
+Result<HandshakeReq> HandshakeReq::Decode(Slice in) {
+  size_t off = 0;
+  HandshakeReq req;
+  AEDB_ASSIGN_OR_RETURN(req.client_version, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.client_name, DecodeString(in, &off));
+  return req;
+}
+
+Bytes HandshakeResp::Encode() const {
+  Bytes out;
+  PutU32(&out, server_version);
+  PutU64(&out, connection_id);
+  PutU32(&out, max_payload);
+  return out;
+}
+
+Result<HandshakeResp> HandshakeResp::Decode(Slice in) {
+  size_t off = 0;
+  HandshakeResp resp;
+  AEDB_ASSIGN_OR_RETURN(resp.server_version, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(resp.connection_id, GetU64(in, &off));
+  AEDB_ASSIGN_OR_RETURN(resp.max_payload, GetU32(in, &off));
+  return resp;
+}
+
+Bytes QueryReq::Encode() const {
+  Bytes out;
+  EncodeString(&out, sql);
+  EncodeValues(&out, params);
+  PutU64(&out, txn);
+  PutU64(&out, session_id);
+  return out;
+}
+
+Result<QueryReq> QueryReq::Decode(Slice in) {
+  size_t off = 0;
+  QueryReq req;
+  AEDB_ASSIGN_OR_RETURN(req.sql, DecodeString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.params, DecodeValues(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.txn, GetU64(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  return req;
+}
+
+Bytes QueryNamedReq::Encode() const {
+  Bytes out;
+  EncodeString(&out, sql);
+  EncodeNamedParams(&out, params);
+  PutU64(&out, txn);
+  PutU64(&out, session_id);
+  return out;
+}
+
+Result<QueryNamedReq> QueryNamedReq::Decode(Slice in) {
+  size_t off = 0;
+  QueryNamedReq req;
+  AEDB_ASSIGN_OR_RETURN(req.sql, DecodeString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.params, DecodeNamedParams(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.txn, GetU64(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  return req;
+}
+
+Bytes DdlReq::Encode() const {
+  Bytes out;
+  EncodeString(&out, sql);
+  PutU64(&out, session_id);
+  return out;
+}
+
+Result<DdlReq> DdlReq::Decode(Slice in) {
+  size_t off = 0;
+  DdlReq req;
+  AEDB_ASSIGN_OR_RETURN(req.sql, DecodeString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  return req;
+}
+
+Bytes DescribeReq::Encode() const {
+  Bytes out;
+  EncodeString(&out, sql);
+  PutLengthPrefixed(&out, client_dh_public);
+  return out;
+}
+
+Result<DescribeReq> DescribeReq::Decode(Slice in) {
+  size_t off = 0;
+  DescribeReq req;
+  AEDB_ASSIGN_OR_RETURN(req.sql, DecodeString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.client_dh_public, GetLengthPrefixed(in, &off));
+  return req;
+}
+
+Bytes ForwardReq::Encode() const {
+  Bytes out;
+  PutU64(&out, session_id);
+  PutU64(&out, nonce);
+  PutLengthPrefixed(&out, sealed);
+  return out;
+}
+
+Result<ForwardReq> ForwardReq::Decode(Slice in) {
+  size_t off = 0;
+  ForwardReq req;
+  AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.nonce, GetU64(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.sealed, GetLengthPrefixed(in, &off));
+  return req;
+}
+
+Bytes ColumnReq::Encode() const {
+  Bytes out;
+  EncodeString(&out, table);
+  EncodeString(&out, column);
+  out.push_back(has_spec ? 1 : 0);
+  if (has_spec) {
+    out.push_back(spec.encrypted ? 1 : 0);
+    EncodeString(&out, spec.cek_name);
+    out.push_back(static_cast<uint8_t>(spec.kind));
+    EncodeString(&out, spec.algorithm);
+  }
+  return out;
+}
+
+Result<ColumnReq> ColumnReq::Decode(Slice in) {
+  size_t off = 0;
+  ColumnReq req;
+  AEDB_ASSIGN_OR_RETURN(req.table, DecodeString(in, &off));
+  AEDB_ASSIGN_OR_RETURN(req.column, DecodeString(in, &off));
+  if (off >= in.size()) return Status::Corruption("column req flags past end");
+  req.has_spec = in[off++] != 0;
+  if (req.has_spec) {
+    if (off >= in.size()) return Status::Corruption("column spec past end");
+    req.spec.encrypted = in[off++] != 0;
+    AEDB_ASSIGN_OR_RETURN(req.spec.cek_name, DecodeString(in, &off));
+    if (off >= in.size()) return Status::Corruption("column spec past end");
+    uint8_t kind = in[off++];
+    if (kind > static_cast<uint8_t>(types::EncKind::kRandomized)) {
+      return Status::Corruption("unknown encryption kind on wire");
+    }
+    req.spec.kind = static_cast<types::EncKind>(kind);
+    AEDB_ASSIGN_OR_RETURN(req.spec.algorithm, DecodeString(in, &off));
+  }
+  return req;
+}
+
+}  // namespace aedb::net

@@ -1,0 +1,211 @@
+#ifndef AEDB_NET_PROTOCOL_H_
+#define AEDB_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/transport.h"
+#include "server/database.h"
+
+namespace aedb::net {
+
+/// \brief The aedb wire protocol (a simplified TDS analog).
+///
+/// Every message is one frame:
+///
+///     offset 0   u32  magic      "AEDB" (0x42444541, little-endian)
+///     offset 4   u8   version    kProtocolVersion
+///     offset 5   u8   type       MsgType
+///     offset 6   u16  reserved   must be zero
+///     offset 8   u32  length     payload byte count
+///     offset 12  ...  payload    `length` bytes, layout per MsgType
+///
+/// All integers are little-endian (matching common/bytes.h). Strings and
+/// byte blobs inside payloads are u32-length-prefixed. A decoder MUST reject
+/// a bad magic, an unknown version, a non-zero reserved field, or a length
+/// above the negotiated payload limit *before* trusting the length field —
+/// that ordering is what the robustness tests lock in.
+///
+/// Threat-model note: only data the untrusted server process already sees
+/// crosses the wire — AEAD ciphertext cells, key metadata (wrapped CEKs,
+/// signed CMK metadata), and enclave-sealed blobs. Column plaintext and key
+/// material never appear in any frame.
+inline constexpr uint32_t kProtocolMagic = 0x42444541;  // "AEDB"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 12;
+/// Default ceiling on a single frame payload (64 MiB). Frames claiming more
+/// are rejected without allocation (a 4 GiB length prefix must not OOM us).
+inline constexpr uint32_t kDefaultMaxPayload = 64u << 20;
+
+enum class MsgType : uint8_t {
+  // ----- requests (client → server) -----
+  kHandshake = 1,
+  kQuery = 2,       // positional parameters
+  kQueryNamed = 3,  // named parameters
+  kDdl = 4,
+  kDescribe = 5,
+  kAttest = 6,
+  kBeginTxn = 7,
+  kCommitTxn = 8,
+  kRollbackTxn = 9,
+  kGetKeyDescription = 10,
+  kForwardKeys = 11,
+  kForwardAuthorization = 12,
+  kColumnEncryption = 13,
+  kGetCmk = 14,
+  kCekIdByName = 15,
+  kAlterColumnMetadata = 16,
+  kPing = 17,
+
+  // ----- responses (server → client) -----
+  kHandshakeAck = 64,
+  kResultSet = 65,
+  kOk = 66,  // bare success for Status-returning calls
+  kDescribeResp = 67,
+  kTxnResp = 68,  // u64 transaction id
+  kKeyDescriptionResp = 69,
+  kEncryptionTypeResp = 70,
+  kCmkResp = 71,
+  kCekIdResp = 72,  // u32 CEK id
+  kPong = 73,
+
+  /// Any request may be answered with kError carrying a serialized Status.
+  kError = 127,
+};
+
+const char* MsgTypeName(MsgType t);
+
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  MsgType type = MsgType::kError;
+  uint32_t payload_size = 0;
+};
+
+/// Appends a complete frame (header + payload) to `out`.
+void AppendFrame(Bytes* out, MsgType type, Slice payload);
+Bytes EncodeFrame(MsgType type, Slice payload);
+
+/// Decodes and validates the fixed 12-byte header. `in` must hold at least
+/// kFrameHeaderSize bytes. Rejects bad magic / version / reserved bits and a
+/// payload size above `max_payload` — all as clean errors, never a crash.
+Result<FrameHeader> DecodeFrameHeader(Slice in, uint32_t max_payload);
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Each message's payload has a fixed field order; decode
+// functions consume from a cursor and fail with Corruption on truncation.
+// ---------------------------------------------------------------------------
+
+// ----- primitives shared by several messages -----
+void EncodeString(Bytes* out, std::string_view s);
+Result<std::string> DecodeString(Slice in, size_t* offset);
+void EncodeStatusPayload(Bytes* out, const Status& status);
+/// Returns decode success/failure; on success `*decoded` holds the wire
+/// status (which is itself usually non-OK — it rode in a kError frame).
+Status DecodeStatusPayload(Slice in, Status* decoded);
+/// Rebuilds a Status from a wire (code, message) pair; unknown codes map to
+/// Internal so a newer server cannot crash an older client.
+Status MakeStatus(uint8_t code, std::string message);
+
+void EncodeValue(Bytes* out, const types::Value& v);
+void EncodeValues(Bytes* out, const std::vector<types::Value>& vs);
+Result<std::vector<types::Value>> DecodeValues(Slice in, size_t* offset);
+
+void EncodeNamedParams(Bytes* out, const client::NamedParams& params);
+Result<client::NamedParams> DecodeNamedParams(Slice in, size_t* offset);
+
+void EncodeEncryptionType(Bytes* out, const types::EncryptionType& enc);
+Result<types::EncryptionType> DecodeEncryptionType(Slice in, size_t* offset);
+
+void EncodeResultSet(Bytes* out, const sql::ResultSet& rs);
+Result<sql::ResultSet> DecodeResultSet(Slice in);
+
+void EncodeKeyDescription(Bytes* out, const server::KeyDescription& key);
+Result<server::KeyDescription> DecodeKeyDescription(Slice in, size_t* offset);
+
+void EncodeDescribeResult(Bytes* out, const server::DescribeResult& describe);
+Result<server::DescribeResult> DecodeDescribeResult(Slice in);
+
+// ----- request payload structs -----
+
+struct HandshakeReq {
+  uint32_t client_version = kProtocolVersion;
+  std::string client_name;
+
+  Bytes Encode() const;
+  static Result<HandshakeReq> Decode(Slice in);
+};
+
+struct HandshakeResp {
+  uint32_t server_version = kProtocolVersion;
+  /// Server-allocated connection id (distinct from the enclave session id,
+  /// which only attestation mints).
+  uint64_t connection_id = 0;
+  uint32_t max_payload = kDefaultMaxPayload;
+
+  Bytes Encode() const;
+  static Result<HandshakeResp> Decode(Slice in);
+};
+
+struct QueryReq {
+  std::string sql;
+  std::vector<types::Value> params;
+  uint64_t txn = 0;
+  uint64_t session_id = 0;
+
+  Bytes Encode() const;
+  static Result<QueryReq> Decode(Slice in);
+};
+
+struct QueryNamedReq {
+  std::string sql;
+  client::NamedParams params;
+  uint64_t txn = 0;
+  uint64_t session_id = 0;
+
+  Bytes Encode() const;
+  static Result<QueryNamedReq> Decode(Slice in);
+};
+
+struct DdlReq {
+  std::string sql;
+  uint64_t session_id = 0;
+
+  Bytes Encode() const;
+  static Result<DdlReq> Decode(Slice in);
+};
+
+/// Serves both kDescribe (sql set) and kAttest (sql empty).
+struct DescribeReq {
+  std::string sql;
+  Bytes client_dh_public;
+
+  Bytes Encode() const;
+  static Result<DescribeReq> Decode(Slice in);
+};
+
+/// Serves kForwardKeys and kForwardAuthorization.
+struct ForwardReq {
+  uint64_t session_id = 0;
+  uint64_t nonce = 0;
+  Bytes sealed;
+
+  Bytes Encode() const;
+  static Result<ForwardReq> Decode(Slice in);
+};
+
+/// Serves kColumnEncryption and (with `spec` fields) kAlterColumnMetadata.
+struct ColumnReq {
+  std::string table;
+  std::string column;
+  bool has_spec = false;
+  sql::EncryptionSpec spec;
+
+  Bytes Encode() const;
+  static Result<ColumnReq> Decode(Slice in);
+};
+
+}  // namespace aedb::net
+
+#endif  // AEDB_NET_PROTOCOL_H_

@@ -1,0 +1,488 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aedb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetTimeout(int fd, int opt, uint32_t ms) {
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+/// Reads exactly `n` bytes. Returns OK with *eof=true when the peer closed
+/// cleanly before the first byte (frame boundary); truncation inside the
+/// range is an error (mid-frame disconnect).
+Status ReadFull(int fd, uint8_t* buf, size_t n, bool* eof) {
+  *eof = false;
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) {
+        *eof = true;
+        return Status::OK();
+      }
+      return Status::Corruption("peer disconnected mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Corruption("read timeout mid-frame");
+      }
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, Slice data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t w = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+void AppendErrorFrame(Bytes* out, const Status& status) {
+  Bytes payload;
+  EncodeStatusPayload(&payload, status);
+  AppendFrame(out, MsgType::kError, payload);
+}
+
+}  // namespace
+
+Server::Server(server::Database* db, ServerConfig config)
+    : db_(db), config_(std::move(config)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::FailedPrecondition("server already running");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("bind " + config_.bind_address + ":" +
+                      std::to_string(config_.port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, config_.backlog) < 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started or already stopped; still reap any leftover workers.
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Wake every worker blocked in recv, then join them all.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, fd] : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::map<uint64_t, std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& [id, t] : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop(), or fatal
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetTimeout(fd, SO_RCVTIMEO, config_.read_timeout_ms);
+    SetTimeout(fd, SO_SNDTIMEO, config_.write_timeout_ms);
+
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    uint64_t conn_id;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_id = next_connection_id_++;
+      live_fds_[conn_id] = fd;
+      workers_[conn_id] =
+          std::thread([this, fd, conn_id] { ServeConnection(fd, conn_id); });
+    }
+  }
+}
+
+void Server::ServeConnection(int fd, uint64_t conn_id) {
+  bool handshaken = false;
+  Bytes header_buf(kFrameHeaderSize);
+  Bytes payload;
+  while (running_.load(std::memory_order_acquire)) {
+    bool eof = false;
+    Status st = ReadFull(fd, header_buf.data(), header_buf.size(), &eof);
+    if (eof) break;
+    if (!st.ok()) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    auto header = DecodeFrameHeader(header_buf, config_.max_payload);
+    if (!header.ok()) {
+      // The stream is out of sync; tell the peer why and hang up.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      Bytes err;
+      AppendErrorFrame(&err, header.status());
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
+      (void)WriteFull(fd, err);
+      break;
+    }
+    payload.resize(header->payload_size);
+    if (header->payload_size > 0) {
+      st = ReadFull(fd, payload.data(), payload.size(), &eof);
+      if (eof || !st.ok()) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_in.fetch_add(kFrameHeaderSize + payload.size(),
+                              std::memory_order_relaxed);
+
+    Bytes response;
+    bool keep_open = HandleFrame(*header, payload, conn_id, &handshaken,
+                                 &response);
+    if (!response.empty()) {
+      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_out.fetch_add(response.size(), std::memory_order_relaxed);
+      if (!WriteFull(fd, response).ok()) break;
+    }
+    if (!keep_open) break;
+  }
+  ::close(fd);
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  live_fds_.erase(conn_id);
+  // The worker thread object stays in workers_ until Stop() joins it.
+}
+
+bool Server::HandleFrame(const FrameHeader& header, Slice payload,
+                         uint64_t conn_id, bool* handshaken, Bytes* response) {
+  auto reply_error = [&](const Status& st) {
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    AppendErrorFrame(response, st);
+  };
+  auto reply = [&](MsgType type, const Bytes& body) {
+    AppendFrame(response, type, body);
+  };
+  auto reply_status = [&](const Status& st) {
+    if (st.ok()) {
+      reply(MsgType::kOk, {});
+    } else {
+      reply_error(st);
+    }
+  };
+
+  if (!*handshaken && header.type != MsgType::kHandshake) {
+    reply_error(Status::FailedPrecondition(
+        "first frame on a connection must be Handshake"));
+    return false;
+  }
+
+  switch (header.type) {
+    case MsgType::kHandshake: {
+      auto req = HandshakeReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return false;
+      }
+      if (req->client_version != kProtocolVersion) {
+        reply_error(Status::NotSupported(
+            "client protocol version " + std::to_string(req->client_version) +
+            " not supported"));
+        return false;
+      }
+      *handshaken = true;
+      HandshakeResp resp;
+      resp.server_version = kProtocolVersion;
+      resp.connection_id = conn_id;
+      resp.max_payload = config_.max_payload;
+      reply(MsgType::kHandshakeAck, resp.Encode());
+      return true;
+    }
+
+    case MsgType::kPing: {
+      reply(MsgType::kPong, payload.ToBytes());
+      return true;
+    }
+
+    case MsgType::kQuery: {
+      auto req = QueryReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      auto rs = db_->Execute(req->sql, req->params, req->txn, req->session_id);
+      if (!rs.ok()) {
+        reply_error(rs.status());
+        return true;
+      }
+      Bytes body;
+      EncodeResultSet(&body, *rs);
+      reply(MsgType::kResultSet, body);
+      return true;
+    }
+
+    case MsgType::kQueryNamed: {
+      auto req = QueryNamedReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      auto rs = db_->ExecuteNamed(req->sql, req->params, req->txn,
+                                  req->session_id);
+      if (!rs.ok()) {
+        reply_error(rs.status());
+        return true;
+      }
+      Bytes body;
+      EncodeResultSet(&body, *rs);
+      reply(MsgType::kResultSet, body);
+      return true;
+    }
+
+    case MsgType::kDdl: {
+      auto req = DdlReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      reply_status(db_->ExecuteDdl(req->sql, req->session_id));
+      return true;
+    }
+
+    case MsgType::kDescribe: {
+      auto req = DescribeReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      auto d = db_->DescribeParameterEncryption(req->sql,
+                                                req->client_dh_public);
+      if (!d.ok()) {
+        reply_error(d.status());
+        return true;
+      }
+      Bytes body;
+      EncodeDescribeResult(&body, *d);
+      reply(MsgType::kDescribeResp, body);
+      return true;
+    }
+
+    case MsgType::kAttest: {
+      auto req = DescribeReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      auto d = db_->Attest(req->client_dh_public);
+      if (!d.ok()) {
+        reply_error(d.status());
+        return true;
+      }
+      Bytes body;
+      EncodeDescribeResult(&body, *d);
+      reply(MsgType::kDescribeResp, body);
+      return true;
+    }
+
+    case MsgType::kBeginTxn: {
+      Bytes body;
+      PutU64(&body, db_->BeginTransaction());
+      reply(MsgType::kTxnResp, body);
+      return true;
+    }
+
+    case MsgType::kCommitTxn:
+    case MsgType::kRollbackTxn: {
+      size_t off = 0;
+      auto txn = GetU64(payload, &off);
+      if (!txn.ok()) {
+        reply_error(txn.status());
+        return true;
+      }
+      reply_status(header.type == MsgType::kCommitTxn
+                       ? db_->CommitTransaction(*txn)
+                       : db_->RollbackTransaction(*txn));
+      return true;
+    }
+
+    case MsgType::kGetKeyDescription: {
+      size_t off = 0;
+      auto cek_id = GetU32(payload, &off);
+      if (!cek_id.ok()) {
+        reply_error(cek_id.status());
+        return true;
+      }
+      auto key = db_->GetKeyDescription(*cek_id);
+      if (!key.ok()) {
+        reply_error(key.status());
+        return true;
+      }
+      Bytes body;
+      EncodeKeyDescription(&body, *key);
+      reply(MsgType::kKeyDescriptionResp, body);
+      return true;
+    }
+
+    case MsgType::kForwardKeys:
+    case MsgType::kForwardAuthorization: {
+      auto req = ForwardReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      reply_status(header.type == MsgType::kForwardKeys
+                       ? db_->ForwardKeysToEnclave(req->session_id, req->nonce,
+                                                   req->sealed)
+                       : db_->ForwardEncryptionAuthorization(
+                             req->session_id, req->nonce, req->sealed));
+      return true;
+    }
+
+    case MsgType::kColumnEncryption: {
+      auto req = ColumnReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      auto enc = db_->ColumnEncryption(req->table, req->column);
+      if (!enc.ok()) {
+        reply_error(enc.status());
+        return true;
+      }
+      Bytes body;
+      EncodeEncryptionType(&body, *enc);
+      reply(MsgType::kEncryptionTypeResp, body);
+      return true;
+    }
+
+    case MsgType::kGetCmk: {
+      size_t off = 0;
+      auto name = DecodeString(payload, &off);
+      if (!name.ok()) {
+        reply_error(name.status());
+        return true;
+      }
+      auto cmk = db_->catalog().GetCmk(*name);
+      if (!cmk.ok()) {
+        reply_error(cmk.status());
+        return true;
+      }
+      Bytes body;
+      PutLengthPrefixed(&body, (*cmk)->Serialize());
+      reply(MsgType::kCmkResp, body);
+      return true;
+    }
+
+    case MsgType::kCekIdByName: {
+      size_t off = 0;
+      auto name = DecodeString(payload, &off);
+      if (!name.ok()) {
+        reply_error(name.status());
+        return true;
+      }
+      auto id = db_->catalog().CekIdByName(*name);
+      if (!id.ok()) {
+        reply_error(id.status());
+        return true;
+      }
+      Bytes body;
+      PutU32(&body, *id);
+      reply(MsgType::kCekIdResp, body);
+      return true;
+    }
+
+    case MsgType::kAlterColumnMetadata: {
+      auto req = ColumnReq::Decode(payload);
+      if (!req.ok()) {
+        reply_error(req.status());
+        return true;
+      }
+      if (!req->has_spec) {
+        reply_error(Status::InvalidArgument(
+            "AlterColumnMetadata requires an encryption spec"));
+        return true;
+      }
+      reply_status(db_->AlterColumnMetadataForClientTool(
+          req->table, req->column, req->spec));
+      return true;
+    }
+
+    default:
+      // Unknown request type: answer cleanly and keep the connection; the
+      // framing itself was valid so the stream is still in sync.
+      reply_error(Status::NotSupported(
+          "unknown message type " +
+          std::to_string(static_cast<int>(header.type))));
+      return true;
+  }
+}
+
+}  // namespace aedb::net

@@ -1,0 +1,104 @@
+#ifndef AEDB_NET_SERVER_H_
+#define AEDB_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/protocol.h"
+#include "server/database.h"
+
+namespace aedb::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = pick an ephemeral port; the bound port is available from port()
+  /// after Start() (tests and the loopback bench rely on this).
+  uint16_t port = 0;
+  int backlog = 64;
+  /// Per-connection socket timeouts. A client that stalls mid-frame holds a
+  /// worker thread for at most this long (mid-frame disconnect robustness).
+  uint32_t read_timeout_ms = 30'000;
+  uint32_t write_timeout_ms = 30'000;
+  /// Frames claiming a larger payload are rejected before allocation.
+  uint32_t max_payload = kDefaultMaxPayload;
+};
+
+/// Per-server counters (monotonic; read with relaxed ordering).
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_out{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  /// Framing-level failures (bad magic/version/length, truncation).
+  std::atomic<uint64_t> protocol_errors{0};
+  /// Requests that executed but returned a non-OK Status.
+  std::atomic<uint64_t> request_errors{0};
+};
+
+/// \brief Multi-threaded TCP front end for a `server::Database`.
+///
+/// One acceptor thread plus one worker thread per connection (the paper's
+/// SQL Server model: a session per connection, scheduler-bound workers).
+/// Each connection must open with a Handshake frame; the server allocates a
+/// monotonically increasing connection id and then answers request frames
+/// until EOF, a framing error, or Stop().
+///
+/// Framing errors (bad magic, oversized length, truncated frame) poison the
+/// byte stream, so the server answers with a best-effort kError frame and
+/// closes that connection. Request-level failures (unknown message type,
+/// malformed payload, non-OK Database status) answer kError and keep the
+/// connection alive.
+class Server {
+ public:
+  Server(server::Database* db, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor. Idempotent failure: on error
+  /// nothing is running and Start may be retried.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, wakes every worker by shutting down
+  /// its socket, and joins all threads. Safe to call twice.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound TCP port (valid after Start()).
+  uint16_t port() const { return port_; }
+  const ServerStats& stats() const { return stats_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t conn_id);
+  /// Decodes one request payload, runs it against the database and encodes
+  /// the response frame (kError frames for failures). Returns false when the
+  /// connection must close (framing no longer trustworthy).
+  bool HandleFrame(const FrameHeader& header, Slice payload, uint64_t conn_id,
+                   bool* handshaken, Bytes* response);
+
+  server::Database* db_;
+  ServerConfig config_;
+  ServerStats stats_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+
+  std::mutex conn_mu_;
+  uint64_t next_connection_id_ = 1;
+  std::map<uint64_t, int> live_fds_;          // conn id -> fd (for Stop)
+  std::map<uint64_t, std::thread> workers_;   // joined in Stop
+};
+
+}  // namespace aedb::net
+
+#endif  // AEDB_NET_SERVER_H_

@@ -1,0 +1,331 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aedb::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+void SetTimeout(int fd, int opt, uint32_t ms) {
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+Status ReadFull(int fd, uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) return Status::Corruption("server closed the connection");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Corruption("read timeout waiting for server");
+      }
+      return Errno("recv");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, Slice data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t w = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int fd, Options options)
+    : fd_(fd), options_(std::move(options)) {}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
+    const Options& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect " + options.host + ":" +
+                      std::to_string(options.port));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetTimeout(fd, SO_RCVTIMEO, options.timeout_ms);
+  SetTimeout(fd, SO_SNDTIMEO, options.timeout_ms);
+
+  std::unique_ptr<SocketTransport> t(new SocketTransport(fd, options));
+  HandshakeReq req;
+  req.client_version = kProtocolVersion;
+  req.client_name = options.client_name;
+  Bytes ack;
+  AEDB_ASSIGN_OR_RETURN(
+      ack, t->RoundTrip(MsgType::kHandshake, req.Encode(),
+                        MsgType::kHandshakeAck));
+  HandshakeResp resp;
+  AEDB_ASSIGN_OR_RETURN(resp, HandshakeResp::Decode(ack));
+  if (resp.server_version != kProtocolVersion) {
+    return Status::NotSupported("server speaks protocol version " +
+                                std::to_string(resp.server_version));
+  }
+  t->connection_id_ = resp.connection_id;
+  // Honor a smaller server-side frame limit.
+  if (resp.max_payload < t->options_.max_payload) {
+    t->options_.max_payload = resp.max_payload;
+  }
+  return t;
+}
+
+Result<SocketTransport::Response> SocketTransport::RoundTripRaw(
+    MsgType request, Slice payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
+  if (payload.size() > options_.max_payload) {
+    return Status::OutOfRange("request payload exceeds the frame limit");
+  }
+  Bytes frame = EncodeFrame(request, payload);
+  Status st = WriteFull(fd_, frame);
+  if (!st.ok()) {
+    poisoned_ = st;
+    return st;
+  }
+  Bytes header_buf(kFrameHeaderSize);
+  st = ReadFull(fd_, header_buf.data(), header_buf.size());
+  if (!st.ok()) {
+    poisoned_ = st;
+    return st;
+  }
+  auto header = DecodeFrameHeader(header_buf, options_.max_payload);
+  if (!header.ok()) {
+    poisoned_ = header.status();
+    return header.status();
+  }
+  Response resp;
+  resp.type = header->type;
+  resp.payload.resize(header->payload_size);
+  if (header->payload_size > 0) {
+    st = ReadFull(fd_, resp.payload.data(), resp.payload.size());
+    if (!st.ok()) {
+      poisoned_ = st;
+      return st;
+    }
+  }
+  return resp;
+}
+
+Result<Bytes> SocketTransport::RoundTrip(MsgType request, Slice payload,
+                                         MsgType expected) {
+  Response resp;
+  AEDB_ASSIGN_OR_RETURN(resp, RoundTripRaw(request, payload));
+  if (resp.type == MsgType::kError) {
+    Status wire_status;
+    AEDB_RETURN_IF_ERROR(DecodeStatusPayload(resp.payload, &wire_status));
+    if (wire_status.ok()) {
+      return Status::Corruption("server sent an Error frame with OK status");
+    }
+    return wire_status;
+  }
+  if (resp.type != expected) {
+    return Status::Corruption(std::string("unexpected response type ") +
+                              MsgTypeName(resp.type) + " (wanted " +
+                              MsgTypeName(expected) + ")");
+  }
+  return std::move(resp.payload);
+}
+
+Status SocketTransport::SendStatusRequest(MsgType request, Slice payload) {
+  return RoundTrip(request, payload, MsgType::kOk).status();
+}
+
+Status SocketTransport::Ping() {
+  Bytes echo;
+  AEDB_ASSIGN_OR_RETURN(echo, RoundTrip(MsgType::kPing, Slice(), MsgType::kPong));
+  return Status::OK();
+}
+
+Result<uint64_t> SocketTransport::BeginTransaction() {
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(body,
+                        RoundTrip(MsgType::kBeginTxn, Slice(), MsgType::kTxnResp));
+  size_t off = 0;
+  return GetU64(body, &off);
+}
+
+Status SocketTransport::CommitTransaction(uint64_t txn) {
+  Bytes payload;
+  PutU64(&payload, txn);
+  return SendStatusRequest(MsgType::kCommitTxn, payload);
+}
+
+Status SocketTransport::RollbackTransaction(uint64_t txn) {
+  Bytes payload;
+  PutU64(&payload, txn);
+  return SendStatusRequest(MsgType::kRollbackTxn, payload);
+}
+
+Status SocketTransport::ExecuteDdl(const std::string& sql,
+                                   uint64_t session_id) {
+  DdlReq req;
+  req.sql = sql;
+  req.session_id = session_id;
+  return SendStatusRequest(MsgType::kDdl, req.Encode());
+}
+
+Result<sql::ResultSet> SocketTransport::Execute(
+    const std::string& sql, const std::vector<types::Value>& params,
+    uint64_t txn, uint64_t session_id) {
+  QueryReq req;
+  req.sql = sql;
+  req.params = params;
+  req.txn = txn;
+  req.session_id = session_id;
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kQuery, req.Encode(), MsgType::kResultSet));
+  return DecodeResultSet(body);
+}
+
+Result<sql::ResultSet> SocketTransport::ExecuteNamed(
+    const std::string& sql, const client::NamedParams& params, uint64_t txn,
+    uint64_t session_id) {
+  QueryNamedReq req;
+  req.sql = sql;
+  req.params = params;
+  req.txn = txn;
+  req.session_id = session_id;
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kQueryNamed, req.Encode(), MsgType::kResultSet));
+  return DecodeResultSet(body);
+}
+
+Result<server::DescribeResult> SocketTransport::DescribeParameterEncryption(
+    const std::string& sql, Slice client_dh_public) {
+  DescribeReq req;
+  req.sql = sql;
+  req.client_dh_public = client_dh_public.ToBytes();
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kDescribe, req.Encode(), MsgType::kDescribeResp));
+  return DecodeDescribeResult(body);
+}
+
+Result<server::DescribeResult> SocketTransport::Attest(Slice client_dh_public) {
+  DescribeReq req;
+  req.client_dh_public = client_dh_public.ToBytes();
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kAttest, req.Encode(), MsgType::kDescribeResp));
+  return DecodeDescribeResult(body);
+}
+
+Result<server::KeyDescription> SocketTransport::GetKeyDescription(
+    uint32_t cek_id) {
+  Bytes payload;
+  PutU32(&payload, cek_id);
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(body, RoundTrip(MsgType::kGetKeyDescription, payload,
+                                        MsgType::kKeyDescriptionResp));
+  size_t off = 0;
+  server::KeyDescription key;
+  AEDB_ASSIGN_OR_RETURN(key, DecodeKeyDescription(body, &off));
+  return key;
+}
+
+Result<types::EncryptionType> SocketTransport::ColumnEncryption(
+    const std::string& table, const std::string& column) {
+  ColumnReq req;
+  req.table = table;
+  req.column = column;
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(body, RoundTrip(MsgType::kColumnEncryption, req.Encode(),
+                                        MsgType::kEncryptionTypeResp));
+  size_t off = 0;
+  return DecodeEncryptionType(body, &off);
+}
+
+Result<keys::CmkInfo> SocketTransport::GetCmk(const std::string& name) {
+  Bytes payload;
+  EncodeString(&payload, name);
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kGetCmk, payload, MsgType::kCmkResp));
+  size_t off = 0;
+  Bytes raw;
+  AEDB_ASSIGN_OR_RETURN(raw, GetLengthPrefixed(body, &off));
+  return keys::CmkInfo::Deserialize(raw);
+}
+
+Result<uint32_t> SocketTransport::CekIdByName(const std::string& name) {
+  Bytes payload;
+  EncodeString(&payload, name);
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kCekIdByName, payload, MsgType::kCekIdResp));
+  size_t off = 0;
+  return GetU32(body, &off);
+}
+
+Status SocketTransport::ForwardKeysToEnclave(uint64_t session_id,
+                                             uint64_t nonce, Slice sealed) {
+  ForwardReq req;
+  req.session_id = session_id;
+  req.nonce = nonce;
+  req.sealed = sealed.ToBytes();
+  return SendStatusRequest(MsgType::kForwardKeys, req.Encode());
+}
+
+Status SocketTransport::ForwardEncryptionAuthorization(uint64_t session_id,
+                                                       uint64_t nonce,
+                                                       Slice sealed) {
+  ForwardReq req;
+  req.session_id = session_id;
+  req.nonce = nonce;
+  req.sealed = sealed.ToBytes();
+  return SendStatusRequest(MsgType::kForwardAuthorization, req.Encode());
+}
+
+Status SocketTransport::AlterColumnMetadataForClientTool(
+    const std::string& table, const std::string& column,
+    const sql::EncryptionSpec& enc) {
+  ColumnReq req;
+  req.table = table;
+  req.column = column;
+  req.has_spec = true;
+  req.spec = enc;
+  return SendStatusRequest(MsgType::kAlterColumnMetadata, req.Encode());
+}
+
+}  // namespace aedb::net

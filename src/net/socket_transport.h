@@ -1,0 +1,104 @@
+#ifndef AEDB_NET_SOCKET_TRANSPORT_H_
+#define AEDB_NET_SOCKET_TRANSPORT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "client/transport.h"
+#include "net/protocol.h"
+
+namespace aedb::net {
+
+/// \brief client::Transport over one TCP connection speaking the aedb wire
+/// protocol.
+///
+/// Connect() performs the handshake; afterwards every Transport call is one
+/// synchronous frame round trip. Calls are serialized on an internal mutex
+/// (one outstanding request per connection, like a TDS session); drivers
+/// wanting parallelism open one transport per connection, which is exactly
+/// how the TPC-C loopback harness provisions its terminals.
+class SocketTransport : public client::Transport {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    uint32_t timeout_ms = 30'000;
+    uint32_t max_payload = kDefaultMaxPayload;
+    std::string client_name = "aedb-driver";
+  };
+
+  /// Connects and handshakes; fails with a clean Status on refused
+  /// connections, version mismatch, or handshake timeouts.
+  static Result<std::unique_ptr<SocketTransport>> Connect(
+      const Options& options);
+
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Server-allocated connection id from the handshake.
+  uint64_t connection_id() const { return connection_id_; }
+
+  /// Round-trip a Ping frame (health check / latency probe).
+  Status Ping();
+
+  // ----- client::Transport -----
+  Result<uint64_t> BeginTransaction() override;
+  Status CommitTransaction(uint64_t txn) override;
+  Status RollbackTransaction(uint64_t txn) override;
+
+  Status ExecuteDdl(const std::string& sql, uint64_t session_id) override;
+  Result<sql::ResultSet> Execute(const std::string& sql,
+                                 const std::vector<types::Value>& params,
+                                 uint64_t txn, uint64_t session_id) override;
+  Result<sql::ResultSet> ExecuteNamed(const std::string& sql,
+                                      const client::NamedParams& params,
+                                      uint64_t txn,
+                                      uint64_t session_id) override;
+
+  Result<server::DescribeResult> DescribeParameterEncryption(
+      const std::string& sql, Slice client_dh_public) override;
+  Result<server::DescribeResult> Attest(Slice client_dh_public) override;
+
+  Result<server::KeyDescription> GetKeyDescription(uint32_t cek_id) override;
+  Result<types::EncryptionType> ColumnEncryption(
+      const std::string& table, const std::string& column) override;
+  Result<keys::CmkInfo> GetCmk(const std::string& name) override;
+  Result<uint32_t> CekIdByName(const std::string& name) override;
+
+  Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,
+                              Slice sealed) override;
+  Status ForwardEncryptionAuthorization(uint64_t session_id, uint64_t nonce,
+                                        Slice sealed) override;
+
+  Status AlterColumnMetadataForClientTool(
+      const std::string& table, const std::string& column,
+      const sql::EncryptionSpec& enc) override;
+
+ private:
+  explicit SocketTransport(int fd, Options options);
+
+  struct Response {
+    MsgType type;
+    Bytes payload;
+  };
+
+  /// Sends one frame and reads the response frame. kError responses decode
+  /// into their Status; anything but `expected` is a protocol error.
+  Result<Bytes> RoundTrip(MsgType request, Slice payload, MsgType expected);
+  Result<Response> RoundTripRaw(MsgType request, Slice payload);
+  Status SendStatusRequest(MsgType request, Slice payload);
+
+  std::mutex mu_;
+  int fd_;
+  Options options_;
+  uint64_t connection_id_ = 0;
+  /// A transport whose stream broke stays broken (no silent resync).
+  Status poisoned_ = Status::OK();
+};
+
+}  // namespace aedb::net
+
+#endif  // AEDB_NET_SOCKET_TRANSPORT_H_

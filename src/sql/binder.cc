@@ -411,7 +411,10 @@ Result<BoundStatement> Binder::Bind(Statement stmt) {
                               catalog_->GetTable(sel->join_table));
         // Bind the equi-join predicate (DET equi-joins are the paper's v1
         // flagship, §1.1).
-        Expr left, right;
+        // Synthesized exprs must outlive this block: ValidateComparison
+        // dereferences them post-solve via ctx.checks.
+        Expr& left = ctx.synthesized.emplace_back();
+        Expr& right = ctx.synthesized.emplace_back();
         left.kind = Expr::Kind::kColumn;
         left.column = sel->join_left;
         right.kind = Expr::Kind::kColumn;

@@ -1,6 +1,7 @@
 #ifndef AEDB_SQL_BINDER_H_
 #define AEDB_SQL_BINDER_H_
 
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -97,6 +98,9 @@ class Binder {
     // Param pairs whose types must match but were both unknown when compared;
     // resolved by fixpoint after binding.
     std::vector<std::pair<int, int>> type_links;
+    // Binder-synthesized expressions (e.g. join predicates) referenced by
+    // `checks`; deque so pointers stay stable until post-solve validation.
+    std::deque<Expr> synthesized;
   };
 
   /// Walks the expression, annotating nodes and adding constraints. Returns

@@ -573,6 +573,12 @@ BenchcraftResult RunBenchcraft(
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       auto driver = driver_factory();
+      if (driver == nullptr) {
+        // Factory failed (e.g. loopback connect refused): still signal ready
+        // so the barrier below releases the healthy terminals.
+        ready.fetch_add(1);
+        return;
+      }
       TpccTerminal terminal(driver.get(), config, config.seed * 104729 + t);
       // Warm up outside the timed window: attestation, key installs,
       // describe/plan caches, first-touch allocations.
