@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "fault/fault.h"
 #include "tpcc_bench_common.h"
 
 namespace aedb::bench {
@@ -141,6 +142,30 @@ int Run() {
   std::printf("%-32s %10.0f txn/s (%llu committed)\n", "tpcc_socket",
               r_socket.txn_per_second,
               static_cast<unsigned long long>(r_socket.committed));
+
+  // --- 4. fault-injection overhead when disarmed ---
+  // Every AEDB_FAULT_POINT compiles to one relaxed atomic load when nothing
+  // is armed. Time the macro in a tight loop and express its cost relative
+  // to the plain-SELECT round trip; the guard fails if the registry's fast
+  // path ever grows past 1% of a request.
+  constexpr int kFaultIters = 1 << 22;
+  volatile uint64_t sink = 0;
+  auto f0 = Clock::now();
+  for (int i = 0; i < kFaultIters; ++i) {
+    Status fst = AEDB_FAULT_POINT("bench/disarmed_probe");
+    sink = sink + (fst.ok() ? 1 : 0);
+  }
+  auto f1 = Clock::now();
+  double point_ns =
+      std::chrono::duration<double, std::nano>(f1 - f0).count() / kFaultIters;
+  // A request path crosses only a handful of fault points; budget 16.
+  double per_request_us = 16.0 * point_ns / 1000.0;
+  double overhead_pct = 100.0 * per_request_us / socket_plain;
+  std::printf("%-32s %10.2f ns/point (x16 = %.3f us, %.3f%% of plain "
+              "socket SELECT) %s\n",
+              "fault_point_disarmed", point_ns, per_request_us, overhead_pct,
+              overhead_pct < 1.0 ? "[OK <1%]" : "[FAIL >=1%]");
+  if (overhead_pct >= 1.0) return 1;
 
   const net::ServerStats& s = d->net_server->stats();
   std::printf("# server: %llu conns, %llu frames in/%llu out, %llu bytes "

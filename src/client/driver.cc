@@ -1,5 +1,7 @@
 #include "client/driver.h"
 
+#include <thread>
+
 #include "crypto/dh.h"
 #include "crypto/drbg.h"
 #include "crypto/sha256.h"
@@ -51,7 +53,8 @@ Driver::Driver(std::unique_ptr<Transport> transport,
     : transport_(std::move(transport)),
       providers_(providers),
       hgs_public_(std::move(hgs_public)),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      backoff_prng_(options_.retry.jitter_seed) {}
 
 uint64_t Driver::Begin() {
   // Transactions start at id 1; 0 doubles as the autocommit sentinel, so a
@@ -269,80 +272,112 @@ Status Driver::DecryptResults(sql::ResultSet* results) {
   return Status::OK();
 }
 
+Result<sql::ResultSet> Driver::QueryAttempt(const std::string& sql,
+                                            const NamedParams& params,
+                                            uint64_t txn) {
+  const DescribeResult* describe;
+  AEDB_ASSIGN_OR_RETURN(describe, Describe(sql));
+
+  // Forced-encryption assertions (defeats a lying describe, §4.1).
+  for (const std::string& forced : options_.force_encrypted_params) {
+    for (const auto& info : describe->params) {
+      if (LowerStr(info.name) == LowerStr(forced) &&
+          !info.enc.is_encrypted()) {
+        return Status::SecurityError(
+            "server claims @" + forced +
+            " is plaintext but the application forced encryption");
+      }
+    }
+  }
+  AEDB_RETURN_IF_ERROR(VerifyAndCacheKeys(*describe));
+
+  if (describe->requires_enclave) {
+    AEDB_RETURN_IF_ERROR(EnsureEnclaveKeys(describe->enclave_cek_ids));
+  }
+  NamedParams wire;
+  wire.reserve(params.size());
+  for (const auto& [name, value] : params) {
+    const DescribeResult::ParamInfo* info = nullptr;
+    for (const auto& p : describe->params) {
+      if (LowerStr(p.name) == LowerStr(name)) info = &p;
+    }
+    if (info == nullptr) {
+      return Status::InvalidArgument("statement has no parameter @" + name);
+    }
+    types::Value encrypted;
+    AEDB_ASSIGN_OR_RETURN(encrypted, EncryptParam(value, *info));
+    wire.emplace_back(name, std::move(encrypted));
+  }
+  uint64_t session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session = session_id_;
+  }
+  return transport_->ExecuteNamed(sql, wire, txn, session);
+}
+
 Result<sql::ResultSet> Driver::Query(const std::string& sql,
                                      const NamedParams& params, uint64_t txn) {
   if (!options_.column_encryption_enabled) {
     // Non-AE connection string: no describe round trip, plaintext in/out.
     return transport_->ExecuteNamed(sql, params, txn, 0);
   }
-  for (int attempt = 0; ; ++attempt) {
-    const DescribeResult* describe;
-    AEDB_ASSIGN_OR_RETURN(describe, Describe(sql));
-
-    // Forced-encryption assertions (defeats a lying describe, §4.1).
-    for (const std::string& forced : options_.force_encrypted_params) {
-      for (const auto& info : describe->params) {
-        if (LowerStr(info.name) == LowerStr(forced) &&
-            !info.enc.is_encrypted()) {
-          return Status::SecurityError(
-              "server claims @" + forced +
-              " is plaintext but the application forced encryption");
-        }
-      }
-    }
-    AEDB_RETURN_IF_ERROR(VerifyAndCacheKeys(*describe));
-
-    Status st = describe->requires_enclave
-                    ? EnsureEnclaveKeys(describe->enclave_cek_ids)
-                    : Status::OK();
-    Result<sql::ResultSet> result = Status::Internal("unset");
-    if (st.ok()) {
-      NamedParams wire;
-      wire.reserve(params.size());
-      bool param_error = false;
-      Status perr;
-      for (const auto& [name, value] : params) {
-        const DescribeResult::ParamInfo* info = nullptr;
-        for (const auto& p : describe->params) {
-          if (LowerStr(p.name) == LowerStr(name)) info = &p;
-        }
-        if (info == nullptr) {
-          return Status::InvalidArgument("statement has no parameter @" + name);
-        }
-        auto encrypted = EncryptParam(value, *info);
-        if (!encrypted.ok()) {
-          param_error = true;
-          perr = encrypted.status();
-          break;
-        }
-        wire.emplace_back(name, std::move(encrypted).value());
-      }
-      if (param_error) return perr;
-      uint64_t session;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        session = session_id_;
-      }
-      result = transport_->ExecuteNamed(sql, wire, txn, session);
-    } else {
-      result = st;
+  const RetryPolicy& policy = options_.retry;
+  std::chrono::milliseconds slept{0};
+  for (int attempt = 0;; ++attempt) {
+    transport_->set_attempt(static_cast<uint32_t>(attempt));
+    Result<sql::ResultSet> result = QueryAttempt(sql, params, txn);
+    if (result.ok()) {
+      sql::ResultSet rs = std::move(result).value();
+      AEDB_RETURN_IF_ERROR(DecryptResults(&rs));
+      return rs;
     }
 
-    if (!result.ok()) {
-      // A server restart drops enclave sessions and keys; re-attest once.
-      bool session_lost =
-          result.status().IsKeyNotInEnclave() ||
-          (result.status().code() == StatusCode::kNotFound &&
-           result.status().message().find("enclave session") != std::string::npos);
-      if (session_lost && attempt == 0) {
-        InvalidateSession();
-        continue;
-      }
-      return result;
+    const Status failure = result.status();
+    const ErrorClass cls = ClassifyError(failure);
+    if (cls == ErrorClass::kFatal || !policy.enabled) return failure;
+    if (attempt + 1 >= policy.max_attempts) return failure;
+
+    // Inside an explicit transaction the server-side txn state is lost
+    // (enclave restart) or of unknown fate (connection drop). Replaying one
+    // statement cannot reconstruct it — surface a typed abort and let the
+    // application restart the whole transaction (TPC-C does). Still drop the
+    // dead session here, so the restarted transaction re-attests instead of
+    // failing on the same stale session forever.
+    if (txn != 0) {
+      if (cls == ErrorClass::kReattest) InvalidateSession();
+      return Status::TransactionAborted(
+          "transaction state lost (" + std::string(ErrorClassName(cls)) +
+          "): " + failure.message());
     }
-    sql::ResultSet rs = std::move(result).value();
-    AEDB_RETURN_IF_ERROR(DecryptResults(&rs));
-    return rs;
+
+    if (cls == ErrorClass::kReattest) {
+      // The statement never ran under the dead session: safe to replay after
+      // re-attesting. Dropping the cached session makes the next attempt
+      // re-attest, re-derive the DH channel, and re-install CEKs.
+      InvalidateSession();
+    } else {  // kReconnect
+      // The request's fate is unknown — the statement may have committed
+      // before the connection died. Only reads are safe to replay.
+      auto stmt = sql::Parse(sql);
+      const bool read_only =
+          stmt.ok() && stmt->kind == sql::Statement::Kind::kSelect;
+      if (!read_only) return failure;
+      if (!transport_->healthy()) {
+        if (!options_.transport_factory) return failure;
+        auto fresh = options_.transport_factory();
+        if (!fresh.ok()) return failure;
+        transport_ = std::move(fresh).value();
+        ++reconnects_;
+      }
+    }
+
+    std::chrono::milliseconds delay =
+        ComputeBackoff(attempt, policy, &backoff_prng_);
+    if (slept + delay > policy.max_cumulative) return failure;
+    slept += delay;
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    ++retries_;
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef AEDB_CLIENT_DRIVER_H_
 #define AEDB_CLIENT_DRIVER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "attestation/attestation.h"
+#include "client/retry.h"
 #include "client/transport.h"
 #include "keys/key_provider.h"
 #include "server/database.h"
@@ -32,6 +34,13 @@ struct DriverOptions {
   /// Cache describe results per statement (the paper suggests this to remove
   /// the extra round trip; off reproduces the SQL-PT-AEConn overhead).
   bool cache_describe_results = true;
+  /// Retry/backoff behaviour for transient failures (enclave restart, dropped
+  /// connection). See retry.h for the classification this drives.
+  RetryPolicy retry;
+  /// Produces a fresh Transport when the current one reports !healthy()
+  /// (dropped socket). Unset = the driver cannot reconnect and surfaces the
+  /// transport error after classification.
+  std::function<Result<std::unique_ptr<Transport>>()> transport_factory;
 };
 
 /// \brief The AE-aware client driver (ADO.NET/ODBC/JDBC analog, §4.1).
@@ -99,6 +108,11 @@ class Driver {
   // ----- stats (benchmarks) -----
   int64_t describe_calls() const { return describe_calls_; }
   int64_t attestations() const { return attestations_; }
+  /// Statement retries performed by the recovery loop (re-attest or
+  /// reconnect), across the driver's lifetime.
+  int64_t retries() const { return retries_; }
+  /// Transport reconnects performed via the transport factory.
+  int64_t reconnects() const { return reconnects_; }
   uint64_t session_id() const { return session_id_; }
 
  private:
@@ -106,6 +120,10 @@ class Driver {
     server::DescribeResult result;
   };
 
+  /// One describe+encrypt+execute pass, no recovery. Query() wraps this in
+  /// the classification-driven retry loop.
+  Result<sql::ResultSet> QueryAttempt(const std::string& sql,
+                                      const NamedParams& params, uint64_t txn);
   Result<const server::DescribeResult*> Describe(const std::string& sql);
   Status VerifyAndCacheKeys(const server::DescribeResult& describe);
   Result<Bytes> CekMaterial(uint32_t cek_id);
@@ -135,6 +153,9 @@ class Driver {
 
   int64_t describe_calls_ = 0;
   int64_t attestations_ = 0;
+  int64_t retries_ = 0;
+  int64_t reconnects_ = 0;
+  Xoshiro256 backoff_prng_;  // seeded from options_.retry.jitter_seed
 };
 
 }  // namespace aedb::client

@@ -1,0 +1,50 @@
+#include "client/retry.h"
+
+namespace aedb::client {
+
+const char* ErrorClassName(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kFatal: return "fatal";
+    case ErrorClass::kReattest: return "reattest";
+    case ErrorClass::kReconnect: return "reconnect";
+  }
+  return "unknown";
+}
+
+ErrorClass ClassifyError(const Status& status) {
+  switch (status.code()) {
+    // The enclave lost state we installed: the session table was cleared
+    // (restart), our session was evicted, or CEKs are missing. Before the
+    // kSessionNotFound code existed the server surfaced evictions as
+    // NotFound("unknown enclave session ..."), so keep honoring that spelling
+    // for mixed-version wire peers.
+    case StatusCode::kSessionNotFound:
+    case StatusCode::kKeyNotInEnclave:
+      return ErrorClass::kReattest;
+    case StatusCode::kNotFound:
+      return status.message().find("enclave session") != std::string::npos
+                 ? ErrorClass::kReattest
+                 : ErrorClass::kFatal;
+    // Transport/server gone. The request's fate is unknown.
+    case StatusCode::kUnavailable:
+      return ErrorClass::kReconnect;
+    default:
+      return ErrorClass::kFatal;
+  }
+}
+
+std::chrono::milliseconds ComputeBackoff(int attempt, const RetryPolicy& policy,
+                                         Xoshiro256* prng) {
+  // Exponential base, computed without overflow: stop doubling once past the
+  // ceiling.
+  int64_t ms = policy.base_backoff.count();
+  for (int i = 0; i < attempt && ms < policy.max_backoff.count(); ++i) ms *= 2;
+  if (ms > policy.max_backoff.count()) ms = policy.max_backoff.count();
+  // Jitter into [50%, 100%] so a fleet of clients recovering from the same
+  // restart does not re-attest in lockstep.
+  double scale = 0.5 + 0.5 * prng->NextDouble();
+  return std::chrono::milliseconds(
+      static_cast<int64_t>(static_cast<double>(ms) * scale));
+}
+
+}  // namespace aedb::client

@@ -1,0 +1,62 @@
+#ifndef AEDB_CLIENT_RETRY_H_
+#define AEDB_CLIENT_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace aedb::client {
+
+/// How the driver reacts to a failed round trip. The classification is the
+/// availability half of the AE story: an enclave restart or a dropped
+/// connection must look to the application like a hiccup, never like data
+/// loss — but a retry is only safe when the error proves the statement's
+/// effects did not commit.
+enum class ErrorClass : uint8_t {
+  /// Deterministic failure (bad SQL, type error, security violation, key
+  /// tampering, constraint violation). Retrying cannot help; fail closed.
+  kFatal,
+  /// The enclave session is gone (restart / eviction) or CEKs vanished from
+  /// it. Recovery: re-attest, re-derive the channel secret, re-install CEKs,
+  /// replay. The statement never executed under a dead session, so replay is
+  /// safe for any statement.
+  kReattest,
+  /// The transport or server is unavailable (connection dropped, timeout,
+  /// typed kUnavailable from a failing worker). The statement MAY have
+  /// executed before the failure — only reads / idempotent statements may be
+  /// replayed automatically.
+  kReconnect,
+};
+
+const char* ErrorClassName(ErrorClass c);
+
+/// Maps a failed Status onto the recovery action. See DESIGN.md
+/// §"Fault model & recovery" for the full table this implements.
+ErrorClass ClassifyError(const Status& status);
+
+/// Bounded exponential backoff with seeded jitter. Deterministic under a
+/// fixed seed (tests assert the exact delay sequence) and doubly bounded:
+/// max_attempts caps the count, max_cumulative caps total sleep.
+struct RetryPolicy {
+  bool enabled = true;
+  /// Total tries including the first (4 => up to 3 retries).
+  int max_attempts = 4;
+  std::chrono::milliseconds base_backoff{2};
+  std::chrono::milliseconds max_backoff{100};
+  /// Hard ceiling on the sum of all backoff sleeps for one statement.
+  std::chrono::milliseconds max_cumulative{500};
+  /// Jitter PRNG seed: same seed => same backoff schedule.
+  uint64_t jitter_seed = 0x5eed;
+};
+
+/// Delay before retry number `attempt` (attempt 0 = first retry):
+/// min(max_backoff, base << attempt), scaled into [50%, 100%] by jitter drawn
+/// from `prng`. Decorrelates clients re-attesting after one server restart.
+std::chrono::milliseconds ComputeBackoff(int attempt, const RetryPolicy& policy,
+                                         Xoshiro256* prng);
+
+}  // namespace aedb::client
+
+#endif  // AEDB_CLIENT_RETRY_H_

@@ -33,6 +33,15 @@ class Transport {
  public:
   virtual ~Transport() = default;
 
+  // ----- health / retry plumbing -----
+  /// False once the underlying connection is unusable (poisoned socket). The
+  /// driver then reconnects via its transport factory instead of retrying on
+  /// a dead pipe. In-process transports are always healthy.
+  virtual bool healthy() const { return true; }
+  /// Stamps the retry attempt (0 = first try) onto subsequent Execute* round
+  /// trips so the server can count recovery traffic. No-op off the wire.
+  virtual void set_attempt(uint32_t attempt) { (void)attempt; }
+
   // ----- transactions -----
   virtual Result<uint64_t> BeginTransaction() = 0;
   virtual Status CommitTransaction(uint64_t txn) = 0;

@@ -18,6 +18,9 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kKeyNotInEnclave: return "KeyNotInEnclave";
     case StatusCode::kReplayDetected: return "ReplayDetected";
     case StatusCode::kTypeCheckError: return "TypeCheckError";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kSessionNotFound: return "SessionNotFound";
+    case StatusCode::kTransactionAborted: return "TransactionAborted";
   }
   return "Unknown";
 }

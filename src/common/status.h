@@ -28,6 +28,10 @@ enum class StatusCode : uint8_t {
   kKeyNotInEnclave,     // enclave asked to use a CEK that was never installed
   kReplayDetected,      // nonce replay on the driver->enclave channel
   kTypeCheckError,      // encryption type inference found a violation
+  // Availability-domain errors (the driver's retry classifier keys on these).
+  kUnavailable,         // server/connection gone; safe to retry elsewhere
+  kSessionNotFound,     // enclave session evicted (restart); re-attest
+  kTransactionAborted,  // in-flight txn lost to a fault; restart the txn
 };
 
 /// \brief RocksDB-style status object: cheap to return, carries a code and a
@@ -76,6 +80,15 @@ class Status {
   static Status TypeCheckError(std::string msg) {
     return Status(StatusCode::kTypeCheckError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status SessionNotFound(std::string msg) {
+    return Status(StatusCode::kSessionNotFound, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +100,9 @@ class Status {
   bool IsReplayDetected() const { return code_ == StatusCode::kReplayDetected; }
   bool IsTypeCheckError() const { return code_ == StatusCode::kTypeCheckError; }
   bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsSessionNotFound() const { return code_ == StatusCode::kSessionNotFound; }
+  bool IsTransactionAborted() const { return code_ == StatusCode::kTransactionAborted; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

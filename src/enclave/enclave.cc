@@ -4,6 +4,7 @@
 
 #include "crypto/drbg.h"
 #include "crypto/sha256.h"
+#include "fault/fault.h"
 
 namespace aedb::enclave {
 
@@ -158,10 +159,19 @@ Result<AttestationResponse> Enclave::CreateSession(Slice client_dh_public) {
 }
 
 Result<Enclave::Session*> Enclave::FindSession(uint64_t session_id) {
+  fault::FaultSpec spec;
+  if (AEDB_FAULT_FIRED("enclave/evict_session", &spec)) {
+    // Logical eviction: the lookup acts as if the session is gone, so the
+    // client must re-attest. The entry itself is left in place because some
+    // callers reach here holding state_mu_ in shared mode.
+    return Status::SessionNotFound("enclave session " +
+                                   std::to_string(session_id) +
+                                   " evicted (injected)");
+  }
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
-    return Status::NotFound("unknown enclave session " +
-                            std::to_string(session_id));
+    return Status::SessionNotFound("unknown enclave session " +
+                                   std::to_string(session_id));
   }
   return &it->second;
 }
@@ -186,6 +196,15 @@ Status Enclave::InstallCeks(uint64_t session_id, uint64_t nonce, Slice sealed) {
   std::unique_lock lock(state_mu_);
   Session* session;
   AEDB_ASSIGN_OR_RETURN(session, FindSession(session_id));
+  {
+    fault::FaultSpec spec;
+    if (AEDB_FAULT_FIRED("enclave/nonce_tracker_reset", &spec)) {
+      // Models an enclave losing its replay-protection state: previously
+      // consumed nonces become acceptable again. The driver's monotonic nonce
+      // counter is what keeps the channel safe across this.
+      session->nonces.Reset();
+    }
+  }
   Bytes body;
   AEDB_ASSIGN_OR_RETURN(body, OpenSealed(session, nonce, sealed));
   size_t off = 0;

@@ -24,6 +24,13 @@ class NonceTracker {
 
   bool Seen(uint64_t nonce) const;
 
+  /// Forgets every recorded nonce (fault injection: an enclave restart that
+  /// loses replay state). After Reset(), previously seen nonces pass again.
+  void Reset() {
+    ranges_.clear();
+    recorded_ = 0;
+  }
+
   /// Number of stored ranges — the compactness measure.
   size_t range_count() const { return ranges_.size(); }
   uint64_t recorded_count() const { return recorded_; }

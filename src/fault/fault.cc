@@ -1,0 +1,104 @@
+#include "fault/fault.h"
+
+namespace aedb::fault {
+
+std::atomic<uint64_t> FaultRegistry::armed_count_{0};
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& name, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& point = points_[name];
+  if (!point.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  point.armed = true;
+  point.hits_since_arm = 0;
+  point.fired_since_arm = 0;
+  point.prng = spec.trigger == FaultSpec::Trigger::kProbability
+                   ? std::make_unique<Xoshiro256>(spec.seed)
+                   : nullptr;
+  point.spec = std::move(spec);
+}
+
+void FaultRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  it->second.prng.reset();
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    if (point.armed) {
+      point.armed = false;
+      point.prng.reset();
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) {
+    if (point.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.clear();
+}
+
+bool FaultRegistry::Decide(Point* point) {
+  const FaultSpec& spec = point->spec;
+  ++point->counters.hits;
+  uint64_t hit = ++point->hits_since_arm;  // 1-based since Arm
+  if (hit <= spec.skip) return false;
+  uint64_t eligible = hit - spec.skip;  // 1-based within the policy window
+  bool fire = false;
+  switch (spec.trigger) {
+    case FaultSpec::Trigger::kAlways:
+      fire = true;
+      break;
+    case FaultSpec::Trigger::kOneShot:
+      fire = point->fired_since_arm == 0;
+      break;
+    case FaultSpec::Trigger::kEveryNth:
+      fire = spec.n > 0 && eligible % spec.n == 0;
+      break;
+    case FaultSpec::Trigger::kProbability:
+      fire = point->prng != nullptr &&
+             point->prng->NextDouble() < spec.probability;
+      break;
+  }
+  if (fire) {
+    ++point->fired_since_arm;
+    ++point->counters.fires;
+  }
+  return fire;
+}
+
+Status FaultRegistry::Hit(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return Status::OK();
+  return Decide(&it->second) ? it->second.spec.status : Status::OK();
+}
+
+bool FaultRegistry::FiredWithSpec(std::string_view name, FaultSpec* spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return false;
+  if (!Decide(&it->second)) return false;
+  *spec = it->second.spec;
+  return true;
+}
+
+FaultCounters FaultRegistry::Counters(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? FaultCounters{} : it->second.counters;
+}
+
+}  // namespace aedb::fault

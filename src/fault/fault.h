@@ -1,0 +1,182 @@
+#ifndef AEDB_FAULT_FAULT_H_
+#define AEDB_FAULT_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace aedb::fault {
+
+/// \brief Deterministic, process-wide fault injection.
+///
+/// Production code marks *fault points* — named places where a failure can be
+/// injected — with AEDB_FAULT_POINT / AEDB_FAULT_FIRED below. Tests arm a
+/// point with a FaultSpec (trigger policy + the Status the site should
+/// surface) and the site misbehaves on exactly the scheduled hits, which is
+/// how the recovery paths (WAL crash points, driver retry, enclave
+/// re-attestation) are exercised deterministically instead of by luck.
+///
+/// Cost when nothing is armed anywhere: ONE relaxed atomic load per fault
+/// point (see AnyArmed); no lock, no map lookup, no allocation. The
+/// bench_net fault-point microbench guards this (<1% of a plain SELECT).
+struct FaultSpec {
+  enum class Trigger : uint8_t {
+    kAlways,       // fire on every hit
+    kOneShot,      // fire on the first eligible hit, then never again
+    kEveryNth,     // fire on hits n, 2n, 3n, ... (1-based, after `skip`)
+    kProbability,  // fire with probability `probability` (seeded PRNG)
+  };
+
+  Trigger trigger = Trigger::kOneShot;
+  /// Hits to let pass before the trigger policy engages (all policies).
+  uint64_t skip = 0;
+  /// Period for kEveryNth (1 = every hit).
+  uint64_t n = 1;
+  /// Fire probability for kProbability, in [0, 1].
+  double probability = 0.0;
+  /// PRNG seed for kProbability: same seed => same fire schedule.
+  uint64_t seed = 1;
+  /// What the fault point returns when the fault fires. Sites with custom
+  /// behaviour (torn write, delayed response) may ignore the code and only
+  /// use the firing decision plus `arg`.
+  Status status = Status::Internal("injected fault");
+  /// Site-specific knob: torn-write byte count, response delay in ms, ...
+  uint64_t arg = 0;
+
+  static FaultSpec OneShot(Status st) {
+    FaultSpec s;
+    s.trigger = Trigger::kOneShot;
+    s.status = std::move(st);
+    return s;
+  }
+  static FaultSpec Always(Status st) {
+    FaultSpec s;
+    s.trigger = Trigger::kAlways;
+    s.status = std::move(st);
+    return s;
+  }
+  static FaultSpec EveryNth(uint64_t n, Status st) {
+    FaultSpec s;
+    s.trigger = Trigger::kEveryNth;
+    s.n = n;
+    s.status = std::move(st);
+    return s;
+  }
+  static FaultSpec WithProbability(double p, uint64_t seed, Status st) {
+    FaultSpec s;
+    s.trigger = Trigger::kProbability;
+    s.probability = p;
+    s.seed = seed;
+    s.status = std::move(st);
+    return s;
+  }
+};
+
+/// Observability for one fault point: how often the site was reached while
+/// the registry was hot, and how often the fault actually fired. Counters
+/// survive Disarm so tests can assert "fired exactly once" after the fact.
+struct FaultCounters {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+class FaultRegistry {
+ public:
+  /// The process-wide registry used by AEDB_FAULT_POINT.
+  static FaultRegistry& Global();
+
+  /// True iff at least one fault is armed in the global registry. A single
+  /// relaxed atomic load — this is the whole per-fault-point cost in a
+  /// fault-free process.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Arms (or re-arms, resetting trigger progress but not counters) a named
+  /// fault point.
+  void Arm(const std::string& name, FaultSpec spec);
+
+  /// Disarms one point. Counters are retained.
+  void Disarm(const std::string& name);
+
+  /// Disarms everything (test teardown safety net). Counters are retained;
+  /// Reset() also drops those.
+  void DisarmAll();
+
+  /// Drops all state: armed points AND counters.
+  void Reset();
+
+  /// Evaluates a fault point: records a hit and returns the spec's status
+  /// when the trigger fires, OK otherwise. Unarmed names return OK without
+  /// recording anything.
+  Status Hit(std::string_view name);
+
+  /// Firing decision + spec access for sites with custom behaviour (torn
+  /// writes, delays). Returns true when the fault fires; `*spec` then holds
+  /// a copy of the armed spec.
+  bool FiredWithSpec(std::string_view name, FaultSpec* spec);
+
+  /// Counters for one point (zeros if the name was never armed).
+  FaultCounters Counters(const std::string& name) const;
+  uint64_t hits(const std::string& name) const { return Counters(name).hits; }
+  uint64_t fires(const std::string& name) const { return Counters(name).fires; }
+
+ private:
+  struct Point {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t hits_since_arm = 0;
+    uint64_t fired_since_arm = 0;
+    FaultCounters counters;
+    std::unique_ptr<Xoshiro256> prng;  // kProbability schedule
+  };
+
+  /// Decides whether an armed point fires on this hit. Caller holds mu_.
+  bool Decide(Point* point);
+
+  static std::atomic<uint64_t> armed_count_;
+
+  mutable std::mutex mu_;
+  // transparent comparator: Hit takes string_view without allocating
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+/// RAII arming: arms in the constructor, disarms in the destructor. The
+/// standard way for a test to scope a fault to one block.
+class ScopedFault {
+ public:
+  ScopedFault(std::string name, FaultSpec spec) : name_(std::move(name)) {
+    FaultRegistry::Global().Arm(name_, std::move(spec));
+  }
+  ~ScopedFault() { FaultRegistry::Global().Disarm(name_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace aedb::fault
+
+/// Evaluates a fault point, yielding the injected Status when it fires and
+/// OK otherwise. Typical use: AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("x/y"));
+#define AEDB_FAULT_POINT(name)                            \
+  (::aedb::fault::FaultRegistry::AnyArmed()               \
+       ? ::aedb::fault::FaultRegistry::Global().Hit(name) \
+       : ::aedb::Status::OK())
+
+/// Firing decision for sites with custom behaviour; `spec_ptr` receives the
+/// armed FaultSpec when this evaluates to true.
+#define AEDB_FAULT_FIRED(name, spec_ptr)  \
+  (::aedb::fault::FaultRegistry::AnyArmed() && \
+   ::aedb::fault::FaultRegistry::Global().FiredWithSpec(name, spec_ptr))
+
+#endif  // AEDB_FAULT_FAULT_H_

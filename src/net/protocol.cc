@@ -114,6 +114,9 @@ Status MakeStatus(uint8_t code, std::string message) {
     case StatusCode::kKeyNotInEnclave: return Status::KeyNotInEnclave(std::move(message));
     case StatusCode::kReplayDetected: return Status::ReplayDetected(std::move(message));
     case StatusCode::kTypeCheckError: return Status::TypeCheckError(std::move(message));
+    case StatusCode::kUnavailable: return Status::Unavailable(std::move(message));
+    case StatusCode::kSessionNotFound: return Status::SessionNotFound(std::move(message));
+    case StatusCode::kTransactionAborted: return Status::TransactionAborted(std::move(message));
   }
   return Status::Internal("unknown wire status code " + std::to_string(code) +
                           ": " + message);
@@ -384,6 +387,7 @@ Bytes QueryReq::Encode() const {
   EncodeValues(&out, params);
   PutU64(&out, txn);
   PutU64(&out, session_id);
+  out.push_back(retry);
   return out;
 }
 
@@ -394,6 +398,8 @@ Result<QueryReq> QueryReq::Decode(Slice in) {
   AEDB_ASSIGN_OR_RETURN(req.params, DecodeValues(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.txn, GetU64(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  // Trailing retry counter is optional: absent (older client) means attempt 0.
+  if (off < in.size()) req.retry = in[off++];
   return req;
 }
 
@@ -403,6 +409,7 @@ Bytes QueryNamedReq::Encode() const {
   EncodeNamedParams(&out, params);
   PutU64(&out, txn);
   PutU64(&out, session_id);
+  out.push_back(retry);
   return out;
 }
 
@@ -413,6 +420,7 @@ Result<QueryNamedReq> QueryNamedReq::Decode(Slice in) {
   AEDB_ASSIGN_OR_RETURN(req.params, DecodeNamedParams(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.txn, GetU64(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  if (off < in.size()) req.retry = in[off++];
   return req;
 }
 

@@ -153,6 +153,9 @@ struct QueryReq {
   std::vector<types::Value> params;
   uint64_t txn = 0;
   uint64_t session_id = 0;
+  /// Driver retry attempt (0 = first try). Lets the server count recovery
+  /// traffic; decoded as optional so a frame without it still parses.
+  uint8_t retry = 0;
 
   Bytes Encode() const;
   static Result<QueryReq> Decode(Slice in);
@@ -163,6 +166,7 @@ struct QueryNamedReq {
   client::NamedParams params;
   uint64_t txn = 0;
   uint64_t session_id = 0;
+  uint8_t retry = 0;
 
   Bytes Encode() const;
   static Result<QueryNamedReq> Decode(Slice in);

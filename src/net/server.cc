@@ -7,7 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "fault/fault.h"
 
 namespace aedb::net {
 
@@ -208,6 +211,31 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
     Bytes response;
     bool keep_open = HandleFrame(*header, payload, conn_id, &handshaken,
                                  &response);
+
+    // Fault points on the response path (no-ops unless armed; see fault.h).
+    fault::FaultSpec spec;
+    if (header->type == MsgType::kHandshake &&
+        AEDB_FAULT_FIRED("net/handshake_stall", &spec)) {
+      // Hold the handshake reply long enough for the client's read timeout
+      // to expire (arg = stall in ms, default 100).
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(spec.arg != 0 ? spec.arg : 100));
+    }
+    if (AEDB_FAULT_FIRED("net/delay_response", &spec)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(spec.arg != 0 ? spec.arg : 50));
+    }
+    if (!response.empty() && AEDB_FAULT_FIRED("net/drop_mid_frame", &spec)) {
+      // Write a strict prefix of the response frame (arg = bytes, default
+      // half) and hang up: the client observes a mid-frame disconnect.
+      size_t keep = spec.arg != 0 && spec.arg < response.size()
+                        ? static_cast<size_t>(spec.arg)
+                        : response.size() / 2;
+      stats_.bytes_out.fetch_add(keep, std::memory_order_relaxed);
+      (void)WriteFull(fd, Slice(response.data(), keep));
+      break;
+    }
+
     if (!response.empty()) {
       stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_out.fetch_add(response.size(), std::memory_order_relaxed);
@@ -278,6 +306,20 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
         reply_error(req.status());
         return true;
       }
+      if (req->retry != 0) {
+        stats_.retries_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        // Worker-side internal failure: answer with a typed error frame
+        // (never a silent close) so the driver can classify retryability.
+        fault::FaultSpec spec;
+        if (AEDB_FAULT_FIRED("net/worker_error", &spec)) {
+          reply_error(spec.status.code() == StatusCode::kInternal
+                          ? Status::Unavailable("injected worker failure")
+                          : spec.status);
+          return true;
+        }
+      }
       auto rs = db_->Execute(req->sql, req->params, req->txn, req->session_id);
       if (!rs.ok()) {
         reply_error(rs.status());
@@ -294,6 +336,18 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
       if (!req.ok()) {
         reply_error(req.status());
         return true;
+      }
+      if (req->retry != 0) {
+        stats_.retries_seen.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        fault::FaultSpec spec;
+        if (AEDB_FAULT_FIRED("net/worker_error", &spec)) {
+          reply_error(spec.status.code() == StatusCode::kInternal
+                          ? Status::Unavailable("injected worker failure")
+                          : spec.status);
+          return true;
+        }
       }
       auto rs = db_->ExecuteNamed(req->sql, req->params, req->txn,
                                   req->session_id);
@@ -346,6 +400,7 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
         reply_error(d.status());
         return true;
       }
+      stats_.sessions_attested.fetch_add(1, std::memory_order_relaxed);
       Bytes body;
       EncodeDescribeResult(&body, *d);
       reply(MsgType::kDescribeResp, body);

@@ -39,6 +39,12 @@ struct ServerStats {
   std::atomic<uint64_t> protocol_errors{0};
   /// Requests that executed but returned a non-OK Status.
   std::atomic<uint64_t> request_errors{0};
+  /// Query frames stamped with a non-zero retry attempt — driver recovery
+  /// traffic as seen from the server side.
+  std::atomic<uint64_t> retries_seen{0};
+  /// Successful kAttest round trips (enclave sessions minted). Grows past
+  /// the connection count when clients re-attest after an enclave restart.
+  std::atomic<uint64_t> sessions_attested{0};
 };
 
 /// \brief Multi-threaded TCP front end for a `server::Database`.

@@ -13,8 +13,11 @@ namespace aedb::net {
 
 namespace {
 
+/// Transport-level failures are kUnavailable: the server (or the path to it)
+/// is gone, which the driver's retry classifier treats as "reconnect and, if
+/// the statement is a read, replay".
 Status Errno(const std::string& what) {
-  return Status::Internal(what + ": " + std::strerror(errno));
+  return Status::Unavailable(what + ": " + std::strerror(errno));
 }
 
 void SetTimeout(int fd, int opt, uint32_t ms) {
@@ -28,11 +31,11 @@ Status ReadFull(int fd, uint8_t* buf, size_t n) {
   size_t got = 0;
   while (got < n) {
     ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r == 0) return Status::Corruption("server closed the connection");
+    if (r == 0) return Status::Unavailable("server closed the connection");
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::Corruption("read timeout waiting for server");
+        return Status::Unavailable("read timeout waiting for server");
       }
       return Errno("recv");
     }
@@ -169,6 +172,11 @@ Status SocketTransport::SendStatusRequest(MsgType request, Slice payload) {
   return RoundTrip(request, payload, MsgType::kOk).status();
 }
 
+bool SocketTransport::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_.ok();
+}
+
 Status SocketTransport::Ping() {
   Bytes echo;
   AEDB_ASSIGN_OR_RETURN(echo, RoundTrip(MsgType::kPing, Slice(), MsgType::kPong));
@@ -211,6 +219,8 @@ Result<sql::ResultSet> SocketTransport::Execute(
   req.params = params;
   req.txn = txn;
   req.session_id = session_id;
+  uint32_t attempt = attempt_.load(std::memory_order_relaxed);
+  req.retry = static_cast<uint8_t>(attempt > 255 ? 255 : attempt);
   Bytes body;
   AEDB_ASSIGN_OR_RETURN(
       body, RoundTrip(MsgType::kQuery, req.Encode(), MsgType::kResultSet));
@@ -225,6 +235,8 @@ Result<sql::ResultSet> SocketTransport::ExecuteNamed(
   req.params = params;
   req.txn = txn;
   req.session_id = session_id;
+  uint32_t attempt = attempt_.load(std::memory_order_relaxed);
+  req.retry = static_cast<uint8_t>(attempt > 255 ? 255 : attempt);
   Bytes body;
   AEDB_ASSIGN_OR_RETURN(
       body, RoundTrip(MsgType::kQueryNamed, req.Encode(), MsgType::kResultSet));

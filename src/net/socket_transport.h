@@ -1,6 +1,7 @@
 #ifndef AEDB_NET_SOCKET_TRANSPORT_H_
 #define AEDB_NET_SOCKET_TRANSPORT_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +46,12 @@ class SocketTransport : public client::Transport {
   Status Ping();
 
   // ----- client::Transport -----
+  /// False once the stream is poisoned (any send/recv/decode failure); the
+  /// driver's reconnect path swaps in a fresh transport.
+  bool healthy() const override;
+  /// Stamps the driver's retry attempt onto subsequent Query/QueryNamed
+  /// frames so the server's retries_seen counter sees recovery traffic.
+  void set_attempt(uint32_t attempt) override { attempt_ = attempt; }
   Result<uint64_t> BeginTransaction() override;
   Status CommitTransaction(uint64_t txn) override;
   Status RollbackTransaction(uint64_t txn) override;
@@ -91,10 +98,11 @@ class SocketTransport : public client::Transport {
   Result<Response> RoundTripRaw(MsgType request, Slice payload);
   Status SendStatusRequest(MsgType request, Slice payload);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   int fd_;
   Options options_;
   uint64_t connection_id_ = 0;
+  std::atomic<uint32_t> attempt_{0};
   /// A transport whose stream broke stays broken (no silent resync).
   Status poisoned_ = Status::OK();
 };

@@ -5,6 +5,8 @@
 #include <set>
 #include <thread>
 
+#include "fault/fault.h"
+
 namespace aedb::server {
 
 using sql::IndexKind;
@@ -560,6 +562,17 @@ Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
                                          uint64_t txn, uint64_t session_id) {
   (void)session_id;
   ChargeRoundTrip();
+  {
+    // Forced enclave restart before statement execution: every session and
+    // every installed CEK is gone, exactly as after a host-level enclave
+    // reload. The statement then fails session lookup / key lookup and the
+    // driver's recovery loop must re-attest and re-install keys.
+    fault::FaultSpec spec;
+    if (enclave_ != nullptr &&
+        AEDB_FAULT_FIRED("server/enclave_restart", &spec)) {
+      enclave_->ClearKeys();
+    }
+  }
   const sql::BoundStatement* bound;
   AEDB_ASSIGN_OR_RETURN(bound, GetOrBind(sql_text));
   if (params.size() != bound->params.size()) {

@@ -636,6 +636,17 @@ Result<int64_t> Executor::Update(const BoundStatement& bound,
   int64_t updated = 0;
   for (auto& [rid, row] : matches) {
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
+    // The scan ran before the lock was granted: a concurrent transaction may
+    // have updated (moved) or deleted the row in the meantime. Re-read under
+    // the lock so index maintenance sees the current committed values; a
+    // vanished rid is a write-write conflict the caller must retry.
+    auto current = FetchRow(table, rid);
+    if (!current.ok()) {
+      return Status::FailedPrecondition(
+          "row changed during lock wait (write-write conflict): " +
+          current.status().ToString());
+    }
+    row = std::move(*current);
     std::vector<Value> inputs = row;
     inputs.insert(inputs.end(), params.begin(), params.end());
     std::vector<Value> new_row = row;
@@ -683,6 +694,15 @@ Result<int64_t> Executor::Delete(const BoundStatement& bound,
   int64_t deleted = 0;
   for (auto& [rid, row] : matches) {
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
+    // Same lock-then-revalidate as Update: the row may have moved or vanished
+    // while we waited for the lock.
+    auto current = FetchRow(table, rid);
+    if (!current.ok()) {
+      return Status::FailedPrecondition(
+          "row changed during lock wait (write-write conflict): " +
+          current.status().ToString());
+    }
+    row = std::move(*current);
     AEDB_RETURN_IF_ERROR(MaintainIndexesOnDelete(table, row, rid, txn));
     AEDB_RETURN_IF_ERROR(engine_->HeapDelete(txn, table.id, rid));
     ++deleted;

@@ -49,6 +49,20 @@ BTree* StorageEngine::index_tree(uint32_t index_id) {
   return it == indexes_.end() ? nullptr : it->second->tree.get();
 }
 
+std::vector<uint32_t> StorageEngine::TableIds() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<uint32_t> out;
+  for (const auto& [id, t] : tables_) out.push_back(id);
+  return out;
+}
+
+std::vector<uint32_t> StorageEngine::IndexIds() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<uint32_t> out;
+  for (const auto& [id, idx] : indexes_) out.push_back(id);
+  return out;
+}
+
 const Comparator* StorageEngine::index_comparator(uint32_t index_id) const {
   const IndexState* index = FindIndexConst(index_id);
   return index == nullptr ? nullptr : index->comparator.get();
@@ -107,19 +121,42 @@ uint64_t StorageEngine::Begin() {
   LogRecord rec;
   rec.txn_id = id;
   rec.type = LogRecordType::kBegin;
-  wal_.Append(rec);
+  // A failed begin-record append is harmless: recovery derives transaction
+  // existence from the op records, and this txn's first op will surface the
+  // same injected fault to the caller.
+  (void)wal_.Append(rec);
   return id;
 }
 
 Status StorageEngine::Commit(uint64_t txn_id) {
+  std::vector<LogRecord> ops;
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
-    if (active_.erase(txn_id) == 0) return Status::NotFound("unknown txn");
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) return Status::NotFound("unknown txn");
+    ops = std::move(it->second.ops);
+    active_.erase(it);
   }
-  LogRecord rec;
-  rec.txn_id = txn_id;
-  rec.type = LogRecordType::kCommit;
-  wal_.Append(rec);
+  // WAL rule: the data records must be durable before the commit record. A
+  // failure at either step means the commit never happened — undo the
+  // in-memory effects so runtime state matches what recovery would rebuild
+  // (no commit record in the log => loser).
+  Status durable = wal_.Sync();
+  if (durable.ok()) {
+    LogRecord rec;
+    rec.txn_id = txn_id;
+    rec.type = LogRecordType::kCommit;
+    durable = wal_.Append(rec).status();
+  }
+  if (!durable.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      active_.emplace(txn_id, ActiveTxn{std::move(ops)});
+    }
+    (void)Abort(txn_id);
+    return Status::TransactionAborted("commit not durable: " +
+                                      durable.message());
+  }
   locks_.ReleaseAll(txn_id);
   return Status::OK();
 }
@@ -191,7 +228,9 @@ Status StorageEngine::Abort(uint64_t txn_id) {
   LogRecord rec;
   rec.txn_id = txn_id;
   rec.type = LogRecordType::kAbort;
-  wal_.Append(rec);
+  // Best effort: a missing abort record is fine, recovery treats the txn as a
+  // loser either way.
+  (void)wal_.Append(rec);
   locks_.ReleaseAll(txn_id);
   return Status::OK();
 }
@@ -215,7 +254,12 @@ Result<Rid> StorageEngine::HeapInsert(uint64_t txn_id, uint32_t table_id,
     std::lock_guard<std::mutex> latch(t->latch);
     AEDB_ASSIGN_OR_RETURN(rid, t->heap->Insert(record));
     rec.rid = rid;
-    wal_.Append(rec);
+    Status logged = wal_.Append(rec).status();
+    if (!logged.ok()) {
+      // Not logged => never happened: undo the apply before reporting.
+      (void)t->heap->Delete(rid);
+      return logged;
+    }
   }
   std::lock_guard<std::mutex> lock(meta_mu_);
   auto it = active_.find(txn_id);
@@ -239,7 +283,11 @@ Status StorageEngine::HeapDelete(uint64_t txn_id, uint32_t table_id,
     AEDB_ASSIGN_OR_RETURN(old, t->heap->Read(rid));
     rec.payload1 = std::move(old);
     AEDB_RETURN_IF_ERROR(t->heap->Delete(rid));
-    wal_.Append(rec);
+    Status logged = wal_.Append(rec).status();
+    if (!logged.ok()) {
+      (void)t->heap->Resurrect(rid);
+      return logged;
+    }
   }
   std::lock_guard<std::mutex> lock(meta_mu_);
   auto it = active_.find(txn_id);
@@ -266,7 +314,11 @@ Status StorageEngine::IndexInsert(uint64_t txn_id, uint32_t index_id,
     if (!inserted) {
       return Status::AlreadyExists("unique index key violation");
     }
-    wal_.Append(rec);
+    Status logged = wal_.Append(rec).status();
+    if (!logged.ok()) {
+      (void)idx->tree->Delete(key, rid);
+      return logged;
+    }
   }
   std::lock_guard<std::mutex> lock(meta_mu_);
   auto it = active_.find(txn_id);
@@ -291,7 +343,11 @@ Status StorageEngine::IndexDelete(uint64_t txn_id, uint32_t index_id,
     bool removed;
     AEDB_ASSIGN_OR_RETURN(removed, idx->tree->Delete(key, rid));
     if (!removed) return Status::NotFound("index entry not found");
-    wal_.Append(rec);
+    Status logged = wal_.Append(rec).status();
+    if (!logged.ok()) {
+      (void)idx->tree->Insert(key, rid);
+      return logged;
+    }
   }
   std::lock_guard<std::mutex> lock(meta_mu_);
   auto it = active_.find(txn_id);
@@ -453,7 +509,7 @@ Result<RecoveryResult> StorageEngine::Recover() {
       LogRecord abort;
       abort.txn_id = txn_id;
       abort.type = LogRecordType::kAbort;
-      wal_.Append(abort);
+      (void)wal_.Append(abort);
     }
   }
 
@@ -494,7 +550,7 @@ void StorageEngine::FinishDeferred(const DeferredTxn& txn) {
   LogRecord abort;
   abort.txn_id = txn.txn_id;
   abort.type = LogRecordType::kAbort;
-  wal_.Append(abort);
+  (void)wal_.Append(abort);
   locks_.ReleaseAll(txn.txn_id);
 }
 

@@ -57,6 +57,10 @@ class StorageEngine {
 
   HeapTable* table(uint32_t table_id);
   BTree* index_tree(uint32_t index_id);
+  /// Registered catalog ids (for consistency checkers that must visit every
+  /// table/index, e.g. the crash-point torture verifier).
+  std::vector<uint32_t> TableIds() const;
+  std::vector<uint32_t> IndexIds() const;
   /// The comparator an index orders by (for executor-side bound checks).
   const Comparator* index_comparator(uint32_t index_id) const;
 

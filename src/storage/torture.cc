@@ -1,0 +1,203 @@
+#include "storage/torture.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace aedb::storage {
+
+namespace {
+
+/// The ground truth a crash at a given log prefix must recover to: state is
+/// exactly the committed transactions' operations applied in LSN order.
+struct ExpectedState {
+  // (table_id, encoded rid) -> row image
+  std::map<std::pair<uint32_t, uint64_t>, Bytes> rows;
+  // index_id -> (key, encoded rid) -> entry count (non-unique trees may hold
+  // duplicates of the same pair)
+  std::map<uint32_t, std::map<std::pair<Bytes, uint64_t>, uint64_t>> indexes;
+};
+
+ExpectedState ComputeExpected(const std::vector<LogRecord>& log) {
+  std::set<uint64_t> committed;
+  for (const LogRecord& rec : log) {
+    if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+  }
+  ExpectedState out;
+  for (const LogRecord& rec : log) {
+    if (!committed.count(rec.txn_id)) continue;
+    switch (rec.type) {
+      case LogRecordType::kHeapInsert:
+        out.rows[{rec.object_id, rec.rid.Encode()}] = rec.payload1;
+        break;
+      case LogRecordType::kHeapDelete:
+        out.rows.erase({rec.object_id, rec.rid.Encode()});
+        break;
+      case LogRecordType::kIndexInsert:
+        ++out.indexes[rec.object_id][{rec.payload1, rec.rid.Encode()}];
+        break;
+      case LogRecordType::kIndexDelete: {
+        auto& entries = out.indexes[rec.object_id];
+        auto it = entries.find({rec.payload1, rec.rid.Encode()});
+        if (it != entries.end() && --it->second == 0) entries.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::string CutName(size_t cut, bool torn) {
+  std::ostringstream os;
+  os << (torn ? "torn cut @" : "cut @") << cut;
+  return os.str();
+}
+
+/// Builds a fresh engine, feeds it the first `cut` bytes of the durable log
+/// image, recovers, and checks the committed-prefix expectation. OK on match.
+Status VerifyCut(const EngineFactory& factory, Slice image, size_t cut,
+                 bool torn) {
+  const std::string where = CutName(cut, torn);
+  std::unique_ptr<StorageEngine> engine = factory();
+  if (engine == nullptr) return Status::Internal("engine factory returned null");
+
+  WalLoadResult loaded = engine->wal().LoadImage(image.subslice(0, cut));
+  if (torn && !loaded.torn_tail) {
+    return Status::Internal(where + ": mid-frame cut was not detected as torn");
+  }
+  auto recovered = engine->Recover();
+  if (!recovered.ok()) {
+    return Status::Internal(where + ": recovery failed: " +
+                            recovered.status().ToString());
+  }
+
+  ExpectedState expected = ComputeExpected(loaded.records);
+
+  // --- heap: every committed row present byte-for-byte at its exact RID,
+  // nothing else alive.
+  uint64_t expected_live_total = expected.rows.size();
+  uint64_t actual_live_total = 0;
+  for (uint32_t table_id : engine->TableIds()) {
+    HeapTable* heap = engine->table(table_id);
+    Status mismatch = Status::OK();
+    uint64_t seen = 0;
+    heap->Scan([&](const Rid& rid, Slice row) {
+      ++seen;
+      auto it = expected.rows.find({table_id, rid.Encode()});
+      if (it == expected.rows.end()) {
+        mismatch = Status::Corruption(
+            where + ": uncommitted/ghost row survived in table " +
+            std::to_string(table_id));
+        return false;
+      }
+      if (Slice(it->second) != row) {
+        mismatch = Status::Corruption(where + ": row bytes diverge in table " +
+                                      std::to_string(table_id));
+        return false;
+      }
+      return true;
+    });
+    AEDB_RETURN_IF_ERROR(mismatch);
+    if (heap->live_rows() != seen) {
+      return Status::Corruption(where + ": live_rows() bookkeeping diverges");
+    }
+    actual_live_total += seen;
+  }
+  if (actual_live_total != expected_live_total) {
+    return Status::Corruption(
+        where + ": committed rows lost: expected " +
+        std::to_string(expected_live_total) + " live rows, recovered " +
+        std::to_string(actual_live_total));
+  }
+
+  // --- indexes: entries equal committed inserts minus committed deletes.
+  for (uint32_t index_id : engine->IndexIds()) {
+    BTree* tree = engine->index_tree(index_id);
+    std::map<std::pair<Bytes, uint64_t>, uint64_t> actual;
+    for (BTree::Iterator it = tree->Begin(); it.Valid(); it.Next()) {
+      ++actual[{it.key().ToBytes(), it.rid().Encode()}];
+    }
+    auto want = expected.indexes.find(index_id);
+    const std::map<std::pair<Bytes, uint64_t>, uint64_t> empty;
+    const auto& want_entries = want == expected.indexes.end() ? empty
+                                                              : want->second;
+    if (actual != want_entries) {
+      return Status::Corruption(
+          where + ": index " + std::to_string(index_id) + " diverges: " +
+          std::to_string(actual.size()) + " distinct entries vs expected " +
+          std::to_string(want_entries.size()));
+    }
+    uint64_t total = 0;
+    for (const auto& [entry, count] : want_entries) total += count;
+    if (tree->size() != total) {
+      return Status::Corruption(where + ": index size() bookkeeping diverges");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TortureReport::Summary() const {
+  std::ostringstream os;
+  os << crash_points << " crash points + " << torn_points
+     << " torn points, " << failures << " failures";
+  for (const std::string& m : messages) os << "\n  " << m;
+  return os.str();
+}
+
+Result<TortureReport> RunWalCrashTorture(const EngineFactory& factory,
+                                         const TortureWorkload& workload,
+                                         const TortureOptions& options) {
+  std::unique_ptr<StorageEngine> live = factory();
+  if (live == nullptr) return Status::Internal("engine factory returned null");
+  AEDB_RETURN_IF_ERROR(workload(live.get()));
+
+  const Bytes image = live->wal().RawBytes();
+  const WalLoadResult parsed = Wal::ParseImage(image);
+  if (parsed.torn_tail) {
+    return Status::InvalidArgument(
+        "workload left a torn log tail; torture needs a clean image to cut");
+  }
+
+  TortureReport report;
+  auto record_failure = [&](const Status& st) {
+    ++report.failures;
+    if (report.messages.size() < options.max_messages) {
+      report.messages.push_back(st.ToString());
+    }
+  };
+
+  // Record-boundary cuts: before the first record, after each record.
+  size_t prev_end = 0;
+  std::vector<size_t> boundaries;
+  boundaries.push_back(0);
+  boundaries.insert(boundaries.end(), parsed.frame_ends.begin(),
+                    parsed.frame_ends.end());
+  for (size_t cut : boundaries) {
+    ++report.crash_points;
+    Status st = VerifyCut(factory, image, cut, /*torn=*/false);
+    if (!st.ok()) record_failure(st);
+  }
+
+  // Torn cuts: the crash lands mid-frame; the tail must vanish cleanly and
+  // recovery must equal the previous boundary.
+  if (options.torn_midpoints) {
+    prev_end = 0;
+    for (size_t end : parsed.frame_ends) {
+      size_t mid = prev_end + (end - prev_end) / 2;
+      if (mid > prev_end && mid < end) {
+        ++report.torn_points;
+        Status st = VerifyCut(factory, image, mid, /*torn=*/true);
+        if (!st.ok()) record_failure(st);
+      }
+      prev_end = end;
+    }
+  }
+  return report;
+}
+
+}  // namespace aedb::storage

@@ -1,0 +1,62 @@
+#ifndef AEDB_STORAGE_TORTURE_H_
+#define AEDB_STORAGE_TORTURE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/engine.h"
+
+namespace aedb::storage {
+
+/// \brief WAL crash-point torture: runs a workload, then simulates a crash at
+/// EVERY point in the log and verifies recovery lands on exactly the
+/// committed prefix each time.
+///
+/// Crash model: the durable log image is cut
+///   - at every record boundary (crash between two log writes), and
+///   - in the middle of every frame (torn write: the fsync raced the crash).
+/// For each cut a fresh engine (same catalog, from `factory`) loads the
+/// truncated image, runs Recover(), and the verifier checks:
+///   1. Heap contents equal the committed-prefix expectation — every row of
+///      every committed transaction whose commit record made it into the cut,
+///      nothing from losers, byte-for-byte and RID-exact.
+///   2. Index contents equal committed inserts minus committed deletes.
+///   3. live_rows()/size() bookkeeping matches.
+/// A torn cut must recover identically to the boundary cut before it (the
+/// torn tail is dropped, never half-applied).
+
+struct TortureOptions {
+  /// Also cut mid-frame (torn writes), not just at record boundaries.
+  bool torn_midpoints = true;
+  /// Cap on recorded failure messages (failures beyond it are still counted).
+  size_t max_messages = 8;
+};
+
+struct TortureReport {
+  size_t crash_points = 0;  // record-boundary cuts exercised
+  size_t torn_points = 0;   // mid-frame cuts exercised
+  size_t failures = 0;
+  std::vector<std::string> messages;
+
+  bool ok() const { return failures == 0; }
+  std::string Summary() const;
+};
+
+/// Produces a fresh engine with the same tables/indexes registered as the one
+/// the workload ran against (recovery replays the log into this catalog).
+using EngineFactory = std::function<std::unique_ptr<StorageEngine>()>;
+
+/// The workload to torture. Runs once against a live engine; every commit it
+/// performs becomes a durability obligation checked at every later crash
+/// point. May leave transactions uncommitted (they must NOT survive).
+using TortureWorkload = std::function<Status(StorageEngine*)>;
+
+Result<TortureReport> RunWalCrashTorture(const EngineFactory& factory,
+                                         const TortureWorkload& workload,
+                                         const TortureOptions& options = {});
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_TORTURE_H_

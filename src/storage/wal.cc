@@ -2,7 +2,34 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace aedb::storage {
+
+namespace {
+
+/// FNV-1a 32-bit. Not cryptographic — it only needs to tell "frame ends at a
+/// clean boundary" from "frame was torn mid-write".
+uint32_t Fnv1a(Slice data) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void AppendFramed(Bytes* out, const LogRecord& rec) {
+  Bytes body;
+  rec.SerializeTo(&body);
+  PutU32(out, static_cast<uint32_t>(body.size()));
+  PutU32(out, Fnv1a(body));
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+constexpr size_t kFrameOverhead = 8;  // u32 length + u32 checksum
+
+}  // namespace
 
 void LogRecord::SerializeTo(Bytes* out) const {
   PutU64(out, lsn);
@@ -30,12 +57,32 @@ Result<LogRecord> LogRecord::Deserialize(Slice in, size_t* offset) {
   return rec;
 }
 
-uint64_t Wal::Append(LogRecord record) {
+Result<uint64_t> Wal::Append(LogRecord record) {
+  AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/append"));
   std::lock_guard<std::mutex> lock(mu_);
   record.lsn = next_lsn_++;
   uint64_t lsn = record.lsn;
+
+  Bytes frame;
+  AppendFramed(&frame, record);
+
+  fault::FaultSpec torn;
+  if (AEDB_FAULT_FIRED("wal/torn_append", &torn)) {
+    // Crash mid-write: only a prefix of the frame reaches the image, the
+    // record never becomes part of the log proper.
+    size_t keep = torn.arg != 0 && torn.arg < frame.size() ? torn.arg
+                                                           : frame.size() / 2;
+    image_.insert(image_.end(), frame.begin(), frame.begin() + keep);
+    return torn.status.ok() ? Status::Internal("torn log write") : torn.status;
+  }
+
+  image_.insert(image_.end(), frame.begin(), frame.end());
   records_.push_back(std::move(record));
   return lsn;
+}
+
+Status Wal::Sync() {
+  return AEDB_FAULT_POINT("wal/sync");
 }
 
 std::vector<LogRecord> Wal::Snapshot() const {
@@ -50,9 +97,44 @@ uint64_t Wal::next_lsn() const {
 
 Bytes Wal::RawBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Bytes out;
-  for (const LogRecord& rec : records_) rec.SerializeTo(&out);
+  return image_;
+}
+
+WalLoadResult Wal::ParseImage(Slice image) {
+  WalLoadResult out;
+  size_t off = 0;
+  while (off + kFrameOverhead <= image.size()) {
+    size_t cursor = off;
+    uint32_t len = 0, checksum = 0;
+    auto len_res = GetU32(image, &cursor);
+    auto sum_res = GetU32(image, &cursor);
+    if (!len_res.ok() || !sum_res.ok()) break;
+    len = *len_res;
+    checksum = *sum_res;
+    if (cursor + len > image.size()) break;  // truncated body: torn tail
+    Slice body(image.data() + cursor, len);
+    if (Fnv1a(body) != checksum) break;  // bits of the frame missing/mangled
+    size_t body_off = 0;
+    auto rec = LogRecord::Deserialize(body, &body_off);
+    if (!rec.ok() || body_off != len) break;
+    out.records.push_back(std::move(*rec));
+    off = cursor + len;
+    out.bytes_consumed = off;
+    out.frame_ends.push_back(off);
+  }
+  out.torn_tail = out.bytes_consumed != image.size();
   return out;
+}
+
+WalLoadResult Wal::LoadImage(Slice image) {
+  WalLoadResult parsed = ParseImage(image);
+  std::lock_guard<std::mutex> lock(mu_);
+  records_ = parsed.records;
+  next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
+  // The durable image keeps only the intact prefix: recovery discards a torn
+  // tail for good, exactly like a real log manager zeroing past end-of-log.
+  image_.assign(image.data(), image.data() + parsed.bytes_consumed);
+  return parsed;
 }
 
 void Wal::TruncateBefore(uint64_t lsn) {
@@ -60,12 +142,19 @@ void Wal::TruncateBefore(uint64_t lsn) {
   records_.erase(records_.begin(),
                  std::find_if(records_.begin(), records_.end(),
                               [lsn](const LogRecord& r) { return r.lsn >= lsn; }));
+  RebuildImageLocked();
 }
 
 void Wal::Replace(std::vector<LogRecord> records) {
   std::lock_guard<std::mutex> lock(mu_);
   records_ = std::move(records);
   next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
+  RebuildImageLocked();
+}
+
+void Wal::RebuildImageLocked() {
+  image_.clear();
+  for (const LogRecord& rec : records_) AppendFramed(&image_, rec);
 }
 
 size_t Wal::record_count() const {

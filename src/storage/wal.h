@@ -33,18 +33,68 @@ struct LogRecord {
   static Result<LogRecord> Deserialize(Slice in, size_t* offset);
 };
 
+/// What Wal::ParseImage recovered from a durable byte image. A crash can
+/// leave a torn frame at the tail; parsing stops there and reports it, never
+/// failing — a half-written record is the expected shape of a crash, not
+/// corruption of the prefix before it.
+struct WalLoadResult {
+  std::vector<LogRecord> records;
+  /// Byte offset just past the last intact frame (== start of any torn tail).
+  size_t bytes_consumed = 0;
+  /// End offset of each intact frame, in order. frame_ends[i] is a valid
+  /// crash point: cutting the image there loses records i+1.. and nothing
+  /// else. Used by the crash-point torture harness.
+  std::vector<size_t> frame_ends;
+  /// True when trailing bytes after the last intact frame were dropped
+  /// (truncated frame, checksum mismatch, or undecodable body).
+  bool torn_tail = false;
+};
+
 /// Append-only write-ahead log. Retains structured records for recovery
-/// replay plus the serialized byte image (the adversary-observable "disk"
-/// form, scanned by leakage tests).
+/// replay plus the durable byte image — the adversary-observable "disk" form,
+/// scanned by leakage tests and cut at arbitrary prefixes by the crash-point
+/// torture harness.
+///
+/// On-image framing, per record:
+///
+///     u32  body length
+///     u32  FNV-1a checksum of the body
+///     ...  body (LogRecord::SerializeTo)
+///
+/// The checksum is what lets recovery distinguish "log ends here" from "log
+/// was torn mid-write here": a torn tail fails the length or checksum test
+/// and is dropped, everything before it replays.
+///
+/// Fault points (see fault/fault.h):
+///   wal/append       Append fails before writing anything.
+///   wal/torn_append  Append writes only the first `arg` bytes of the frame
+///                    (default: half) to the image and fails — simulates a
+///                    crash mid-write.
+///   wal/sync         Sync fails (fsync error at the commit durability point).
 class Wal {
  public:
-  uint64_t Append(LogRecord record);
+  /// Assigns the next LSN, frames and appends the record. Fails only via the
+  /// fault points above (the in-memory backing store itself cannot fail).
+  Result<uint64_t> Append(LogRecord record);
+
+  /// Durability barrier: everything appended so far survives a crash. The
+  /// in-memory image is trivially "synced"; this exists as the fsync fault
+  /// point exercised by the commit path.
+  Status Sync();
 
   std::vector<LogRecord> Snapshot() const;
   uint64_t next_lsn() const;
 
-  /// Serialized log bytes (adversary view).
+  /// The durable byte image (adversary view; framed).
   Bytes RawBytes() const;
+
+  /// Parses a durable image, dropping any torn tail. Never fails.
+  static WalLoadResult ParseImage(Slice image);
+
+  /// Replaces this log's contents with what `image` holds — the "reopen after
+  /// crash" path. Returns the parse result so callers can see how much of the
+  /// tail was lost.
+  WalLoadResult LoadImage(Slice image);
 
   /// Drops records up to `lsn` exclusive (log truncation after checkpoint).
   void TruncateBefore(uint64_t lsn);
@@ -55,8 +105,12 @@ class Wal {
   size_t record_count() const;
 
  private:
+  /// Rebuilds image_ from records_. Caller holds mu_.
+  void RebuildImageLocked();
+
   mutable std::mutex mu_;
   std::vector<LogRecord> records_;
+  Bytes image_;  // framed durable form of records_ (plus any torn tail)
   uint64_t next_lsn_ = 1;
 };
 

@@ -1,6 +1,7 @@
 #include "tpcc/tpcc.h"
 
 #include <algorithm>
+#include <mutex>
 #include <thread>
 
 namespace aedb::tpcc {
@@ -267,11 +268,7 @@ Status TpccTerminal::NewOrder() {
   bool rollback = rng_.Uniform(1, 100) == 1;  // spec: 1% invalid item
 
   uint64_t txn = driver_->Begin();
-  auto fail = [&](const Status& st) {
-    (void)driver_->Rollback(txn);
-    ++aborted_;
-    return st.code() == StatusCode::kFailedPrecondition ? Status::OK() : st;
-  };
+  auto fail = [&](const Status& st) { return FailTxn(txn, st); };
 
   auto district = driver_->Query(
       "SELECT D_TAX, D_NEXT_O_ID FROM District WHERE D_W_ID = @w AND "
@@ -367,11 +364,7 @@ Status TpccTerminal::Payment() {
   double amount = rng_.Uniform(100, 500000) / 100.0;
 
   uint64_t txn = driver_->Begin();
-  auto fail = [&](const Status& st) {
-    (void)driver_->Rollback(txn);
-    ++aborted_;
-    return st.code() == StatusCode::kFailedPrecondition ? Status::OK() : st;
-  };
+  auto fail = [&](const Status& st) { return FailTxn(txn, st); };
 
   auto wupd = driver_->Query(
       "UPDATE Warehouse SET W_YTD = W_YTD + @a WHERE W_ID = @w",
@@ -433,11 +426,7 @@ Status TpccTerminal::OrderStatus() {
   int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
   int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   uint64_t txn = driver_->Begin();
-  auto fail = [&](const Status& st) {
-    (void)driver_->Rollback(txn);
-    ++aborted_;
-    return st.code() == StatusCode::kFailedPrecondition ? Status::OK() : st;
-  };
+  auto fail = [&](const Status& st) { return FailTxn(txn, st); };
 
   int c_id;
   if (ByLastName()) {
@@ -479,11 +468,7 @@ Status TpccTerminal::Delivery() {
   int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
   int carrier = static_cast<int>(rng_.Uniform(1, 10));
   uint64_t txn = driver_->Begin();
-  auto fail = [&](const Status& st) {
-    (void)driver_->Rollback(txn);
-    ++aborted_;
-    return st.code() == StatusCode::kFailedPrecondition ? Status::OK() : st;
-  };
+  auto fail = [&](const Status& st) { return FailTxn(txn, st); };
 
   for (int d = 1; d <= config_.districts_per_warehouse; ++d) {
     auto oldest = driver_->Query(
@@ -525,11 +510,7 @@ Status TpccTerminal::StockLevel() {
   int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   int threshold = static_cast<int>(rng_.Uniform(10, 20));
   uint64_t txn = driver_->Begin();
-  auto fail = [&](const Status& st) {
-    (void)driver_->Rollback(txn);
-    ++aborted_;
-    return st.code() == StatusCode::kFailedPrecondition ? Status::OK() : st;
-  };
+  auto fail = [&](const Status& st) { return FailTxn(txn, st); };
   auto next = driver_->Query(
       "SELECT D_NEXT_O_ID FROM District WHERE D_W_ID = @w AND D_ID = @d",
       {{"w", Value::Int32(w)}, {"d", Value::Int32(d)}}, txn);
@@ -553,13 +534,33 @@ Status TpccTerminal::StockLevel() {
   return Status::OK();
 }
 
+Status TpccTerminal::FailTxn(uint64_t txn, const Status& st) {
+  (void)driver_->Rollback(txn);
+  ++aborted_;
+  // Lock timeouts are ordinary contention aborts: swallow and move on.
+  // kTransactionAborted is a recovery-induced abort (enclave restart mid-txn,
+  // commit not durable): surface it so RunOne restarts the transaction.
+  return st.code() == StatusCode::kFailedPrecondition ? Status::OK() : st;
+}
+
 Status TpccTerminal::RunOne() {
   int64_t pick = rng_.Uniform(1, 100);
-  if (pick <= 45) return NewOrder();
-  if (pick <= 88) return Payment();
-  if (pick <= 92) return OrderStatus();
-  if (pick <= 96) return Delivery();
-  return StockLevel();
+  auto run = [&]() -> Status {
+    if (pick <= 45) return NewOrder();
+    if (pick <= 88) return Payment();
+    if (pick <= 92) return OrderStatus();
+    if (pick <= 96) return Delivery();
+    return StockLevel();
+  };
+  Status st = run();
+  // TPC-C contract for recovery-induced aborts: restart the same transaction
+  // type. Bounded so a permanently armed fault cannot spin forever; each
+  // failed attempt was already counted into aborted_ by FailTxn.
+  for (int i = 0; i < kMaxTxnRestarts && st.IsTransactionAborted(); ++i) {
+    ++restarts_;
+    st = run();
+  }
+  return st.IsTransactionAborted() ? Status::OK() : st;
 }
 
 BenchcraftResult RunBenchcraft(
@@ -609,6 +610,57 @@ BenchcraftResult RunBenchcraft(
   result.committed = committed.load();
   result.aborted = aborted.load();
   result.txn_per_second = result.committed / elapsed;
+  return result;
+}
+
+BenchcraftResult RunBenchcraftCount(
+    const std::function<std::unique_ptr<client::Driver>()>& driver_factory,
+    const TpccConfig& config, int threads, uint64_t target_committed,
+    double deadline_seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0}, aborted{0};
+  std::mutex error_mu;
+  std::string first_error;
+  auto start = std::chrono::steady_clock::now();
+  auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(deadline_seconds));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto driver = driver_factory();
+      if (driver == nullptr) return;
+      TpccTerminal terminal(driver.get(), config, config.seed * 104729 + t);
+      uint64_t seen_c = 0, seen_a = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Status st = terminal.RunOne();
+        committed.fetch_add(terminal.committed() - seen_c);
+        aborted.fetch_add(terminal.aborted() - seen_a);
+        seen_c = terminal.committed();
+        seen_a = terminal.aborted();
+        if (!st.ok()) {  // hard error: stop this terminal
+          std::lock_guard<std::mutex> guard(error_mu);
+          if (first_error.empty()) first_error = st.ToString();
+          break;
+        }
+        if (committed.load(std::memory_order_relaxed) >= target_committed ||
+            std::chrono::steady_clock::now() >= deadline) {
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               start)
+                     .count();
+  BenchcraftResult result;
+  result.seconds = elapsed;
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.txn_per_second = elapsed > 0 ? result.committed / elapsed : 0;
+  result.first_error = first_error;
   return result;
 }
 

@@ -86,8 +86,19 @@ class TpccTerminal {
 
   uint64_t committed() const { return committed_; }
   uint64_t aborted() const { return aborted_; }
+  /// Transactions restarted after a recovery-induced kTransactionAborted.
+  uint64_t restarts() const { return restarts_; }
 
  private:
+  /// Rolls `txn` back and counts the abort. Lock-timeout aborts
+  /// (kFailedPrecondition) are swallowed (ordinary contention);
+  /// kTransactionAborted propagates so RunOne restarts the transaction;
+  /// anything else is a hard error.
+  Status FailTxn(uint64_t txn, const Status& st);
+
+  /// Cap on same-transaction restarts per RunOne call.
+  static constexpr int kMaxTxnRestarts = 3;
+
   /// Picks a customer id (40%) or last name (60%) per spec mix.
   bool ByLastName() { return rng_.Uniform(1, 100) <= 60; }
   int RandomCustomerId() {
@@ -112,6 +123,7 @@ class TpccTerminal {
   Xoshiro256 rng_;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;
+  uint64_t restarts_ = 0;
 };
 
 /// Benchcraft-style closed-loop driver: N terminal threads hammering one
@@ -121,11 +133,23 @@ struct BenchcraftResult {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   double txn_per_second = 0;
+  /// First hard (non-retryable) error any terminal stopped on, if any.
+  std::string first_error;
 };
 
 BenchcraftResult RunBenchcraft(
     const std::function<std::unique_ptr<client::Driver>()>& driver_factory,
     const TpccConfig& config, int threads, double seconds);
+
+/// Deterministic variant: runs until `target_committed` transactions have
+/// committed across all terminals (or `deadline_seconds` passes — a safety
+/// net, not a measurement window). Unlike RunBenchcraft there is no timed
+/// window, so tests asserting on committed counts don't depend on machine
+/// speed.
+BenchcraftResult RunBenchcraftCount(
+    const std::function<std::unique_ptr<client::Driver>()>& driver_factory,
+    const TpccConfig& config, int threads, uint64_t target_committed,
+    double deadline_seconds);
 
 }  // namespace aedb::tpcc
 

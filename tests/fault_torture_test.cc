@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "fault/fault.h"
+#include "storage/btree.h"
+#include "storage/engine.h"
+#include "storage/torture.h"
+
+namespace aedb::storage {
+namespace {
+
+Bytes B(std::string_view s) { return Slice(s).ToBytes(); }
+
+constexpr uint32_t kTable = 1;
+constexpr uint32_t kIndex = 2;
+
+std::unique_ptr<StorageEngine> MakeEngine() {
+  auto engine = std::make_unique<StorageEngine>();
+  EXPECT_TRUE(engine->CreateTable(kTable).ok());
+  EXPECT_TRUE(engine
+                  ->CreateIndex(kIndex, kTable,
+                                std::make_unique<BinaryComparator>(),
+                                /*unique=*/false)
+                  .ok());
+  return engine;
+}
+
+class TortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().Reset(); }
+  void TearDown() override { fault::FaultRegistry::Global().Reset(); }
+};
+
+/// The crash-point matrix: a workload mixing committed, aborted and
+/// uncommitted transactions over heap + index, cut at EVERY record boundary
+/// and every mid-frame torn point. Recovery must land on exactly the
+/// committed prefix at each cut.
+TEST_F(TortureTest, CommittedPrefixSurvivesEveryCrashPoint) {
+  auto workload = [](StorageEngine* engine) -> Status {
+    for (int round = 0; round < 6; ++round) {
+      uint64_t txn = engine->Begin();
+      for (int i = 0; i < 2; ++i) {
+        std::string row =
+            "row-" + std::to_string(round) + "-" + std::to_string(i);
+        Rid rid;
+        AEDB_ASSIGN_OR_RETURN(rid, engine->HeapInsert(txn, kTable, B(row)));
+        AEDB_RETURN_IF_ERROR(engine->IndexInsert(
+            txn, kIndex, B("k" + std::to_string(round)), rid));
+      }
+      if (round % 3 == 2) {
+        AEDB_RETURN_IF_ERROR(engine->Abort(txn));  // loser: must vanish
+      } else {
+        AEDB_RETURN_IF_ERROR(engine->Commit(txn));
+      }
+    }
+    // One transaction left in flight at "crash time": always a loser.
+    uint64_t dangling = engine->Begin();
+    Rid rid;
+    AEDB_ASSIGN_OR_RETURN(rid,
+                          engine->HeapInsert(dangling, kTable, B("in-flight")));
+    AEDB_RETURN_IF_ERROR(engine->IndexInsert(dangling, kIndex, B("kz"), rid));
+    return Status::OK();
+  };
+
+  auto report = RunWalCrashTorture(MakeEngine, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  // 6 rounds * (begin + 2*(heap+index) + commit/abort) + dangling txn's 3
+  // records: plenty of boundary cuts, each also torn at its midpoint.
+  EXPECT_GE(report->crash_points, 30u);
+  EXPECT_GE(report->torn_points, 25u);
+}
+
+/// Deletes and re-inserts under the same keys: recovery must replay
+/// committed deletes (not resurrect ghosts) and keep index multiset counts
+/// exact at every cut.
+TEST_F(TortureTest, DeleteHeavyWorkloadRecoversExactly) {
+  auto workload = [](StorageEngine* engine) -> Status {
+    // Seed rows.
+    uint64_t seed_txn = engine->Begin();
+    std::vector<Rid> rids;
+    for (int i = 0; i < 5; ++i) {
+      Rid rid;
+      AEDB_ASSIGN_OR_RETURN(
+          rid, engine->HeapInsert(seed_txn, kTable, B("seed" + std::to_string(i))));
+      AEDB_RETURN_IF_ERROR(engine->IndexInsert(seed_txn, kIndex, B("dup"), rid));
+      rids.push_back(rid);
+    }
+    AEDB_RETURN_IF_ERROR(engine->Commit(seed_txn));
+
+    // Committed deletes of some seed rows.
+    uint64_t del_txn = engine->Begin();
+    for (int i = 0; i < 3; ++i) {
+      AEDB_RETURN_IF_ERROR(engine->IndexDelete(del_txn, kIndex, B("dup"),
+                                               rids[static_cast<size_t>(i)]));
+      AEDB_RETURN_IF_ERROR(
+          engine->HeapDelete(del_txn, kTable, rids[static_cast<size_t>(i)]));
+    }
+    AEDB_RETURN_IF_ERROR(engine->Commit(del_txn));
+
+    // An aborted delete: the row must remain after recovery.
+    uint64_t bad_txn = engine->Begin();
+    AEDB_RETURN_IF_ERROR(engine->IndexDelete(bad_txn, kIndex, B("dup"), rids[4]));
+    AEDB_RETURN_IF_ERROR(engine->HeapDelete(bad_txn, kTable, rids[4]));
+    AEDB_RETURN_IF_ERROR(engine->Abort(bad_txn));
+
+    // Fresh inserts after the churn.
+    uint64_t add_txn = engine->Begin();
+    Rid rid;
+    AEDB_ASSIGN_OR_RETURN(rid, engine->HeapInsert(add_txn, kTable, B("fresh")));
+    AEDB_RETURN_IF_ERROR(engine->IndexInsert(add_txn, kIndex, B("dup"), rid));
+    return engine->Commit(add_txn);
+  };
+
+  auto report = RunWalCrashTorture(MakeEngine, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GE(report->crash_points, 20u);
+}
+
+/// The boundary-only variant still passes with torn midpoints disabled
+/// (exercises the option), and counts zero torn points.
+TEST_F(TortureTest, BoundaryOnlyMode) {
+  auto workload = [](StorageEngine* engine) -> Status {
+    uint64_t txn = engine->Begin();
+    Rid rid;
+    AEDB_ASSIGN_OR_RETURN(rid, engine->HeapInsert(txn, kTable, B("one")));
+    AEDB_RETURN_IF_ERROR(engine->IndexInsert(txn, kIndex, B("k"), rid));
+    return engine->Commit(txn);
+  };
+  TortureOptions options;
+  options.torn_midpoints = false;
+  auto report = RunWalCrashTorture(MakeEngine, workload, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->torn_points, 0u);
+  EXPECT_GE(report->crash_points, 4u);
+}
+
+/// Crash DURING a log write: the wal/torn_append fault leaves a half-written
+/// frame at the tail of the image; recovery over that exact image must drop
+/// the torn record and keep everything before it.
+TEST_F(TortureTest, TornAppendImageRecoversCommittedPrefix) {
+  auto engine = MakeEngine();
+  uint64_t committed_txn = engine->Begin();
+  Rid rid = *engine->HeapInsert(committed_txn, kTable, B("durable"));
+  ASSERT_TRUE(engine->IndexInsert(committed_txn, kIndex, B("k"), rid).ok());
+  ASSERT_TRUE(engine->Commit(committed_txn).ok());
+
+  // The crash: a heap insert's log write tears mid-frame.
+  uint64_t torn_txn = engine->Begin();
+  fault::FaultRegistry::Global().Arm(
+      "wal/torn_append",
+      fault::FaultSpec::OneShot(Status::Internal("power loss")));
+  EXPECT_FALSE(engine->HeapInsert(torn_txn, kTable, B("torn-row")).ok());
+  fault::FaultRegistry::Global().DisarmAll();
+
+  // Recover a fresh engine from the torn image.
+  auto engine2 = MakeEngine();
+  auto load = engine2->wal().LoadImage(engine->wal().RawBytes());
+  EXPECT_TRUE(load.torn_tail);
+  auto result = engine2->Recover();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(engine2->table(kTable)->live_rows(), 1u);
+  EXPECT_EQ(*engine2->table(kTable)->Read(rid), B("durable"));
+  auto rids = engine2->index_tree(kIndex)->SeekEqual(B("k"));
+  ASSERT_TRUE(rids.ok());
+  EXPECT_EQ(rids->size(), 1u);
+}
+
+}  // namespace
+}  // namespace aedb::storage

@@ -277,8 +277,8 @@ TEST(WalTest, AppendAssignsLsns) {
   Wal wal;
   LogRecord r;
   r.type = LogRecordType::kBegin;
-  EXPECT_EQ(wal.Append(r), 1u);
-  EXPECT_EQ(wal.Append(r), 2u);
+  EXPECT_EQ(wal.Append(r).value(), 1u);
+  EXPECT_EQ(wal.Append(r).value(), 2u);
   EXPECT_EQ(wal.record_count(), 2u);
 }
 
@@ -290,16 +290,45 @@ TEST(WalTest, SerializationRoundTrip) {
   r.object_id = 7;
   r.rid = Rid{3, 9};
   r.payload1 = B("payload");
-  wal.Append(r);
+  ASSERT_TRUE(wal.Append(r).ok());
   Bytes raw = wal.RawBytes();
-  size_t off = 0;
-  auto back = LogRecord::Deserialize(raw, &off);
-  ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->txn_id, 42u);
-  EXPECT_EQ(back->object_id, 7u);
-  EXPECT_TRUE(back->rid == (Rid{3, 9}));
-  EXPECT_EQ(back->payload1, B("payload"));
-  EXPECT_EQ(off, raw.size());
+  WalLoadResult parsed = Wal::ParseImage(raw);
+  EXPECT_FALSE(parsed.torn_tail);
+  EXPECT_EQ(parsed.bytes_consumed, raw.size());
+  ASSERT_EQ(parsed.records.size(), 1u);
+  const LogRecord& back = parsed.records[0];
+  EXPECT_EQ(back.txn_id, 42u);
+  EXPECT_EQ(back.object_id, 7u);
+  EXPECT_TRUE(back.rid == (Rid{3, 9}));
+  EXPECT_EQ(back.payload1, B("payload"));
+}
+
+TEST(WalTest, ParseImageDropsTornTail) {
+  Wal wal;
+  LogRecord r;
+  r.type = LogRecordType::kHeapInsert;
+  r.payload1 = B("rowdata");
+  ASSERT_TRUE(wal.Append(r).ok());
+  ASSERT_TRUE(wal.Append(r).ok());
+  Bytes raw = wal.RawBytes();
+
+  // Cut mid-way through the second frame: parsing keeps record 1, drops the
+  // torn tail, and reports it.
+  WalLoadResult full = Wal::ParseImage(raw);
+  ASSERT_EQ(full.frame_ends.size(), 2u);
+  size_t mid = full.frame_ends[0] + (full.frame_ends[1] - full.frame_ends[0]) / 2;
+  Bytes torn(raw.begin(), raw.begin() + mid);
+  WalLoadResult parsed = Wal::ParseImage(torn);
+  EXPECT_TRUE(parsed.torn_tail);
+  EXPECT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.bytes_consumed, full.frame_ends[0]);
+
+  // A flipped bit inside a frame body is caught by the checksum.
+  Bytes corrupt = raw;
+  corrupt[full.frame_ends[0] + 12] ^= 0x01;
+  WalLoadResult after_flip = Wal::ParseImage(corrupt);
+  EXPECT_TRUE(after_flip.torn_tail);
+  EXPECT_EQ(after_flip.records.size(), 1u);
 }
 
 TEST(WalTest, TruncateBefore) {

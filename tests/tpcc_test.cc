@@ -142,10 +142,15 @@ TEST_F(TpccTestBase, BenchcraftMultiThreaded) {
   ASSERT_TRUE(loader.CreateSchema().ok());
   ASSERT_TRUE(loader.Load().ok());
 
-  auto result = RunBenchcraft([this] { return MakeDriver(); }, config,
-                              /*threads=*/4, /*seconds=*/1.0);
-  EXPECT_GT(result.committed, 10u);
-  EXPECT_GT(result.txn_per_second, 10.0);
+  // Run-to-count, not run-for-time: asserting ">N committed in one second"
+  // was flaky on slow or loaded machines. The deadline is only a safety net
+  // against a wedged run.
+  auto result = RunBenchcraftCount([this] { return MakeDriver(); }, config,
+                                   /*threads=*/4, /*target_committed=*/40,
+                                   /*deadline_seconds=*/60.0);
+  EXPECT_GE(result.committed, 40u) << "first error: " << result.first_error;
+  EXPECT_GT(result.txn_per_second, 0.0);
+  EXPECT_TRUE(result.first_error.empty()) << result.first_error;
 }
 
 }  // namespace
