@@ -5,6 +5,7 @@
 // sp_describe round trip — is the reproduced result.
 //
 // Flags: --seconds=<per cell> --warehouses=N --threads=a,b,c --network_us=N
+//        --batch_size=N (rows per execution morsel; 1 = row-at-a-time)
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +22,7 @@ int Main(int argc, char** argv) {
   int warehouses = 4;
   uint32_t network_us = 120;
   uint64_t transition_ns = 3000;
+  size_t batch_size = 256;
   std::vector<int> thread_counts = {1, 2, 5, 10, 25, 50, 100};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -30,6 +32,8 @@ int Main(int argc, char** argv) {
     if (const char* v = val("--seconds=")) seconds = atof(v);
     if (const char* v = val("--warehouses=")) warehouses = atoi(v);
     if (const char* v = val("--network_us=")) network_us = atoi(v);
+    if (const char* v = val("--batch_size="))
+      batch_size = std::max(1, atoi(v));
     if (const char* v = val("--threads=")) {
       thread_counts.clear();
       std::stringstream ss(v);
@@ -52,13 +56,15 @@ int Main(int argc, char** argv) {
   };
 
   std::printf("Figure 8: normalized TPC-C throughput vs client driver threads\n");
-  std::printf("(W=%d scaled down; network=%uus/round-trip; enclave transition=%luns)\n\n",
-              warehouses, network_us, (unsigned long)transition_ns);
+  std::printf("(W=%d scaled down; network=%uus/round-trip; enclave "
+              "transition=%luns; batch=%zu)\n\n",
+              warehouses, network_us, (unsigned long)transition_ns, batch_size);
 
   // throughput[system][thread_count]
   std::vector<std::vector<double>> tps(3);
   for (int s = 0; s < 3; ++s) {
-    auto deployment = SetUpDeployment(systems[s], config, network_us, transition_ns);
+    auto deployment =
+        SetUpDeployment(systems[s], config, network_us, transition_ns, batch_size);
     if (!deployment) return 1;
     for (int threads : thread_counts) {
       auto result = RunConfig(deployment.get(), threads, seconds);

@@ -79,7 +79,8 @@ struct SystemConfig {
 
 inline std::unique_ptr<TpccDeployment> SetUpDeployment(
     const SystemConfig& system, const tpcc::TpccConfig& tpcc_config,
-    uint32_t network_us, uint64_t enclave_transition_ns) {
+    uint32_t network_us, uint64_t enclave_transition_ns,
+    size_t eval_batch_size = 256) {
   auto d = std::make_unique<TpccDeployment>();
   d->config = tpcc_config;
   d->config.encryption = system.encryption;
@@ -103,6 +104,7 @@ inline std::unique_ptr<TpccDeployment> SetUpDeployment(
   // multi-second stalls (laptop-scale W makes district rows hot).
   opts.engine.lock_timeout = std::chrono::milliseconds(100);
   opts.enclave_worker_spin_us = 2;  // single-core host: spinning steals cycles
+  opts.eval_batch_size = eval_batch_size;  // 1 = row-at-a-time enclave calls
   d->db = std::make_unique<server::Database>(opts, d->hgs.get(), &d->image);
   d->hgs->RegisterTcgLog(d->db->platform()->tcg_log());
 

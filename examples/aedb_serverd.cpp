@@ -88,6 +88,11 @@ int RunDemo(net::Server& server, const attestation::HostGuardianService& hgs,
               static_cast<unsigned long long>(s.frames_out.load()),
               static_cast<unsigned long long>(s.bytes_in.load()),
               static_cast<unsigned long long>(s.bytes_out.load()));
+  std::printf("demo: enclave batching: %llu batch calls, %llu batched values, "
+              "%llu transitions\n",
+              static_cast<unsigned long long>(s.enclave_batch_evals.load()),
+              static_cast<unsigned long long>(s.enclave_batched_values.load()),
+              static_cast<unsigned long long>(s.enclave_transitions.load()));
   return 0;
 }
 
@@ -118,11 +123,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--enclave-threads") == 0 && i + 1 < argc) {
       if (!parse_int("--enclave-threads", argv[++i], 0, 256, &v)) return 2;
       server_opts.enclave_worker_threads = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+      // Rows per execution morsel (1 = row-at-a-time enclave calls).
+      if (!parse_int("--batch-size", argv[++i], 1, 1 << 20, &v)) return 2;
+      server_opts.eval_batch_size = static_cast<size_t>(v);
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--enclave-threads N] [--demo]\n",
+                   "usage: %s [--port N] [--enclave-threads N] "
+                   "[--batch-size N] [--demo]\n",
                    argv[0]);
       return 2;
     }

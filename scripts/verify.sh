@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: release build + full test suite, the WAL crash-point
-# torture matrix, and (optionally) an ASan/UBSan pass over the fault and
-# recovery tests.
+# torture matrix, and (optionally) sanitizer passes over the concurrency-
+# and recovery-sensitive tests.
 #
 #   scripts/verify.sh           # build + ctest + torture label
-#   scripts/verify.sh --asan    # also configure/build/run the sanitizer tree
+#   scripts/verify.sh --asan    # also configure/build/run the ASan/UBSan tree
+#   scripts/verify.sh --tsan    # also run ThreadSanitizer over the threaded
+#                               # suites (worker pool, net server, batched
+#                               # executor morsels)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -28,6 +31,19 @@ if [[ "${1:-}" == "--asan" ]]; then
       fault_torture_test storage_test net_test
   ASAN_OPTIONS=detect_leaks=0 run ctest --test-dir build-asan \
       -R 'fault_test|fault_torture_test|storage_test|net_test' \
+      --output-on-failure
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # The data-race surface: enclave worker pool, multi-threaded net server,
+  # and the executor's batched enclave submissions (batch_equiv drives every
+  # morsel path at batch sizes 1/3/256).
+  run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAEDB_SANITIZE=thread
+  run cmake --build build-tsan -j "$JOBS" --target enclave_test net_test \
+      server_test batch_equiv_test
+  TSAN_OPTIONS=halt_on_error=1 run ctest --test-dir build-tsan \
+      -R 'enclave_test|net_test|server_test|batch_equiv_test' \
       --output-on-failure
 fi
 

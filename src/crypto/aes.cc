@@ -54,6 +54,44 @@ constexpr SboxTables MakeSboxTables() {
 
 constexpr SboxTables kTables = MakeSboxTables();
 
+// T-tables fusing SubBytes + ShiftRows + MixColumns into four 256-entry word
+// lookups per state column (the classic software formulation). Generated at
+// compile time from the same GF(2^8) arithmetic as the S-box: Te0[x] packs
+// the MixColumns contribution of S[x] landing in row 0 of a column —
+// (2·S, S, S, 3·S) big-endian — and Te1..Te3 are its byte rotations. The
+// decryption tables Td0..Td3 pack InvMixColumns of InvS[x]: (14, 9, 13, 11).
+struct RoundTables {
+  uint32_t te[4][256] = {};
+  uint32_t td[4][256] = {};
+};
+
+constexpr uint32_t Ror8(uint32_t w) { return (w >> 8) | (w << 24); }
+
+constexpr RoundTables MakeRoundTables() {
+  RoundTables t{};
+  for (int x = 0; x < 256; ++x) {
+    uint8_t s = kTables.sbox[x];
+    uint32_t e = (static_cast<uint32_t>(GfMul(s, 2)) << 24) |
+                 (static_cast<uint32_t>(s) << 16) |
+                 (static_cast<uint32_t>(s) << 8) |
+                 static_cast<uint32_t>(GfMul(s, 3));
+    uint8_t is = kTables.inv_sbox[x];
+    uint32_t d = (static_cast<uint32_t>(GfMul(is, 14)) << 24) |
+                 (static_cast<uint32_t>(GfMul(is, 9)) << 16) |
+                 (static_cast<uint32_t>(GfMul(is, 13)) << 8) |
+                 static_cast<uint32_t>(GfMul(is, 11));
+    for (int r = 0; r < 4; ++r) {
+      t.te[r][x] = e;
+      t.td[r][x] = d;
+      e = Ror8(e);
+      d = Ror8(d);
+    }
+  }
+  return t;
+}
+
+constexpr RoundTables kRound = MakeRoundTables();
+
 constexpr uint8_t kRcon[15] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
                                0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d};
 
@@ -66,64 +104,26 @@ inline uint32_t SubWord(uint32_t w) {
 
 inline uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
 
-inline void AddRoundKey(uint8_t state[16], const uint32_t* rk) {
-  for (int c = 0; c < 4; ++c) {
-    state[4 * c] ^= static_cast<uint8_t>(rk[c] >> 24);
-    state[4 * c + 1] ^= static_cast<uint8_t>(rk[c] >> 16);
-    state[4 * c + 2] ^= static_cast<uint8_t>(rk[c] >> 8);
-    state[4 * c + 3] ^= static_cast<uint8_t>(rk[c]);
-  }
+// InvMixColumns of one packed column, via the decryption tables: Td_r[S[a]]
+// is exactly the InvMixColumns contribution of byte a at row r.
+inline uint32_t InvMixColumn(uint32_t w) {
+  return kRound.td[0][kTables.sbox[(w >> 24) & 0xff]] ^
+         kRound.td[1][kTables.sbox[(w >> 16) & 0xff]] ^
+         kRound.td[2][kTables.sbox[(w >> 8) & 0xff]] ^
+         kRound.td[3][kTables.sbox[w & 0xff]];
 }
 
-inline void SubBytes(uint8_t state[16]) {
-  for (int i = 0; i < 16; ++i) state[i] = kTables.sbox[state[i]];
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
 }
 
-inline void InvSubBytes(uint8_t state[16]) {
-  for (int i = 0; i < 16; ++i) state[i] = kTables.inv_sbox[state[i]];
-}
-
-// State layout: state[4*c + r] = byte at row r, column c (column-major, as in
-// FIPS 197's one-dimensional input ordering).
-inline void ShiftRows(uint8_t s[16]) {
-  uint8_t t;
-  // Row 1: shift left by 1.
-  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
-  // Row 2: shift left by 2.
-  t = s[2]; s[2] = s[10]; s[10] = t;
-  t = s[6]; s[6] = s[14]; s[14] = t;
-  // Row 3: shift left by 3 (== right by 1).
-  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
-}
-
-inline void InvShiftRows(uint8_t s[16]) {
-  uint8_t t;
-  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
-  t = s[2]; s[2] = s[10]; s[10] = t;
-  t = s[6]; s[6] = s[14]; s[14] = t;
-  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
-}
-
-inline void MixColumns(uint8_t s[16]) {
-  for (int c = 0; c < 4; ++c) {
-    uint8_t* col = s + 4 * c;
-    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3;
-    col[1] = a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3;
-    col[2] = a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3);
-    col[3] = GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2);
-  }
-}
-
-inline void InvMixColumns(uint8_t s[16]) {
-  for (int c = 0; c < 4; ++c) {
-    uint8_t* col = s + 4 * c;
-    uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
-    col[1] = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
-    col[2] = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
-    col[3] = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
-  }
+inline void StoreBe32(uint8_t* p, uint32_t w) {
+  p[0] = static_cast<uint8_t>(w >> 24);
+  p[1] = static_cast<uint8_t>(w >> 16);
+  p[2] = static_cast<uint8_t>(w >> 8);
+  p[3] = static_cast<uint8_t>(w);
 }
 
 }  // namespace
@@ -133,10 +133,7 @@ Aes256::Aes256(Slice key) {
   constexpr int nk = 8;
   constexpr int nw = 4 * (kRounds + 1);
   for (int i = 0; i < nk; ++i) {
-    round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
-                     (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
-                     (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
-                     static_cast<uint32_t>(key[4 * i + 3]);
+    round_keys_[i] = LoadBe32(key.data() + 4 * i);
   }
   for (int i = nk; i < nw; ++i) {
     uint32_t temp = round_keys_[i - 1];
@@ -148,40 +145,118 @@ Aes256::Aes256(Slice key) {
     }
     round_keys_[i] = round_keys_[i - nk] ^ temp;
   }
+  // Equivalent inverse cipher: reverse the schedule and push the middle round
+  // keys through InvMixColumns so DecryptBlock can reuse the T-table shape.
+  for (int c = 0; c < 4; ++c) {
+    dec_round_keys_[c] = round_keys_[4 * kRounds + c];
+    dec_round_keys_[4 * kRounds + c] = round_keys_[c];
+  }
+  for (int round = 1; round < kRounds; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      dec_round_keys_[4 * round + c] =
+          InvMixColumn(round_keys_[4 * (kRounds - round) + c]);
+    }
+  }
 }
 
 void Aes256::EncryptBlock(const uint8_t in[kBlockSize],
                           uint8_t out[kBlockSize]) const {
-  uint8_t state[16];
-  std::memcpy(state, in, 16);
-  AddRoundKey(state, round_keys_);
+  const uint32_t* rk = round_keys_;
+  uint32_t s0 = LoadBe32(in) ^ rk[0];
+  uint32_t s1 = LoadBe32(in + 4) ^ rk[1];
+  uint32_t s2 = LoadBe32(in + 8) ^ rk[2];
+  uint32_t s3 = LoadBe32(in + 12) ^ rk[3];
   for (int round = 1; round < kRounds; ++round) {
-    SubBytes(state);
-    ShiftRows(state);
-    MixColumns(state);
-    AddRoundKey(state, round_keys_ + 4 * round);
+    rk += 4;
+    uint32_t t0 = kRound.te[0][s0 >> 24] ^ kRound.te[1][(s1 >> 16) & 0xff] ^
+                  kRound.te[2][(s2 >> 8) & 0xff] ^ kRound.te[3][s3 & 0xff] ^
+                  rk[0];
+    uint32_t t1 = kRound.te[0][s1 >> 24] ^ kRound.te[1][(s2 >> 16) & 0xff] ^
+                  kRound.te[2][(s3 >> 8) & 0xff] ^ kRound.te[3][s0 & 0xff] ^
+                  rk[1];
+    uint32_t t2 = kRound.te[0][s2 >> 24] ^ kRound.te[1][(s3 >> 16) & 0xff] ^
+                  kRound.te[2][(s0 >> 8) & 0xff] ^ kRound.te[3][s1 & 0xff] ^
+                  rk[2];
+    uint32_t t3 = kRound.te[0][s3 >> 24] ^ kRound.te[1][(s0 >> 16) & 0xff] ^
+                  kRound.te[2][(s1 >> 8) & 0xff] ^ kRound.te[3][s2 & 0xff] ^
+                  rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  SubBytes(state);
-  ShiftRows(state);
-  AddRoundKey(state, round_keys_ + 4 * kRounds);
-  std::memcpy(out, state, 16);
+  rk += 4;
+  const uint8_t* sb = kTables.sbox;
+  StoreBe32(out, ((static_cast<uint32_t>(sb[s0 >> 24]) << 24) |
+                  (static_cast<uint32_t>(sb[(s1 >> 16) & 0xff]) << 16) |
+                  (static_cast<uint32_t>(sb[(s2 >> 8) & 0xff]) << 8) |
+                  static_cast<uint32_t>(sb[s3 & 0xff])) ^
+                     rk[0]);
+  StoreBe32(out + 4, ((static_cast<uint32_t>(sb[s1 >> 24]) << 24) |
+                      (static_cast<uint32_t>(sb[(s2 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(sb[(s3 >> 8) & 0xff]) << 8) |
+                      static_cast<uint32_t>(sb[s0 & 0xff])) ^
+                         rk[1]);
+  StoreBe32(out + 8, ((static_cast<uint32_t>(sb[s2 >> 24]) << 24) |
+                      (static_cast<uint32_t>(sb[(s3 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(sb[(s0 >> 8) & 0xff]) << 8) |
+                      static_cast<uint32_t>(sb[s1 & 0xff])) ^
+                         rk[2]);
+  StoreBe32(out + 12, ((static_cast<uint32_t>(sb[s3 >> 24]) << 24) |
+                       (static_cast<uint32_t>(sb[(s0 >> 16) & 0xff]) << 16) |
+                       (static_cast<uint32_t>(sb[(s1 >> 8) & 0xff]) << 8) |
+                       static_cast<uint32_t>(sb[s2 & 0xff])) ^
+                          rk[3]);
 }
 
 void Aes256::DecryptBlock(const uint8_t in[kBlockSize],
                           uint8_t out[kBlockSize]) const {
-  uint8_t state[16];
-  std::memcpy(state, in, 16);
-  AddRoundKey(state, round_keys_ + 4 * kRounds);
-  for (int round = kRounds - 1; round >= 1; --round) {
-    InvShiftRows(state);
-    InvSubBytes(state);
-    AddRoundKey(state, round_keys_ + 4 * round);
-    InvMixColumns(state);
+  const uint32_t* rk = dec_round_keys_;
+  uint32_t s0 = LoadBe32(in) ^ rk[0];
+  uint32_t s1 = LoadBe32(in + 4) ^ rk[1];
+  uint32_t s2 = LoadBe32(in + 8) ^ rk[2];
+  uint32_t s3 = LoadBe32(in + 12) ^ rk[3];
+  for (int round = 1; round < kRounds; ++round) {
+    rk += 4;
+    uint32_t t0 = kRound.td[0][s0 >> 24] ^ kRound.td[1][(s3 >> 16) & 0xff] ^
+                  kRound.td[2][(s2 >> 8) & 0xff] ^ kRound.td[3][s1 & 0xff] ^
+                  rk[0];
+    uint32_t t1 = kRound.td[0][s1 >> 24] ^ kRound.td[1][(s0 >> 16) & 0xff] ^
+                  kRound.td[2][(s3 >> 8) & 0xff] ^ kRound.td[3][s2 & 0xff] ^
+                  rk[1];
+    uint32_t t2 = kRound.td[0][s2 >> 24] ^ kRound.td[1][(s1 >> 16) & 0xff] ^
+                  kRound.td[2][(s0 >> 8) & 0xff] ^ kRound.td[3][s3 & 0xff] ^
+                  rk[2];
+    uint32_t t3 = kRound.td[0][s3 >> 24] ^ kRound.td[1][(s2 >> 16) & 0xff] ^
+                  kRound.td[2][(s1 >> 8) & 0xff] ^ kRound.td[3][s0 & 0xff] ^
+                  rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  InvShiftRows(state);
-  InvSubBytes(state);
-  AddRoundKey(state, round_keys_);
-  std::memcpy(out, state, 16);
+  rk += 4;
+  const uint8_t* isb = kTables.inv_sbox;
+  StoreBe32(out, ((static_cast<uint32_t>(isb[s0 >> 24]) << 24) |
+                  (static_cast<uint32_t>(isb[(s3 >> 16) & 0xff]) << 16) |
+                  (static_cast<uint32_t>(isb[(s2 >> 8) & 0xff]) << 8) |
+                  static_cast<uint32_t>(isb[s1 & 0xff])) ^
+                     rk[0]);
+  StoreBe32(out + 4, ((static_cast<uint32_t>(isb[s1 >> 24]) << 24) |
+                      (static_cast<uint32_t>(isb[(s0 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(isb[(s3 >> 8) & 0xff]) << 8) |
+                      static_cast<uint32_t>(isb[s2 & 0xff])) ^
+                         rk[1]);
+  StoreBe32(out + 8, ((static_cast<uint32_t>(isb[s2 >> 24]) << 24) |
+                      (static_cast<uint32_t>(isb[(s1 >> 16) & 0xff]) << 16) |
+                      (static_cast<uint32_t>(isb[(s0 >> 8) & 0xff]) << 8) |
+                      static_cast<uint32_t>(isb[s3 & 0xff])) ^
+                         rk[2]);
+  StoreBe32(out + 12, ((static_cast<uint32_t>(isb[s3 >> 24]) << 24) |
+                       (static_cast<uint32_t>(isb[(s2 >> 16) & 0xff]) << 16) |
+                       (static_cast<uint32_t>(isb[(s1 >> 8) & 0xff]) << 8) |
+                       static_cast<uint32_t>(isb[s0 & 0xff])) ^
+                          rk[3]);
 }
 
 }  // namespace aedb::crypto

@@ -23,6 +23,9 @@ class Aes256 {
 
  private:
   uint32_t round_keys_[4 * (kRounds + 1)];
+  /// Equivalent-inverse-cipher schedule (InvMixColumns applied to the middle
+  /// encryption round keys) so decryption can run on the same T-table shape.
+  uint32_t dec_round_keys_[4 * (kRounds + 1)];
 };
 
 }  // namespace aedb::crypto

@@ -38,12 +38,13 @@ const char* EncryptionSchemeName(EncryptionScheme scheme) {
 CellCodec::CellCodec(Slice cek)
     : enc_cipher_(Slice(DeriveKey(cek, kEncLabel))),
       mac_key_(DeriveKey(cek, kMacLabel)),
-      iv_key_(DeriveKey(cek, kIvLabel)) {
+      iv_key_(DeriveKey(cek, kIvLabel)),
+      mac_proto_(Slice(mac_key_)) {
   assert(cek.size() == 32);
 }
 
 Bytes CellCodec::ComputeMac(Slice iv, Slice ciphertext) const {
-  HmacSha256 mac(mac_key_);
+  HmacSha256 mac = mac_proto_;
   uint8_t version = kAlgorithmVersion;
   mac.Update(Slice(&version, 1));
   mac.Update(iv);

@@ -6,6 +6,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/aes.h"
+#include "crypto/hmac.h"
 
 namespace aedb::crypto {
 
@@ -62,6 +63,9 @@ class CellCodec {
   Aes256 enc_cipher_;
   Bytes mac_key_;
   Bytes iv_key_;
+  /// Keyed HMAC midstate, copied per MAC so the per-cell cost is data
+  /// compressions only (the codec is cached per CEK; cells are tiny).
+  HmacSha256 mac_proto_;
 };
 
 }  // namespace aedb::crypto

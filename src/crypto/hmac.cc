@@ -13,20 +13,18 @@ HmacSha256::HmacSha256(Slice key) {
   } else {
     std::memcpy(key_block, key.data(), key.size());
   }
-  uint8_t ipad_key[Sha256::kBlockSize];
-  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
-    ipad_key[i] = key_block[i] ^ 0x36;
-    opad_key_[i] = key_block[i] ^ 0x5c;
-  }
-  inner_.Update(Slice(ipad_key, sizeof(ipad_key)));
+  uint8_t pad[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = key_block[i] ^ 0x36;
+  inner_.Update(Slice(pad, sizeof(pad)));
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) pad[i] = key_block[i] ^ 0x5c;
+  outer_keyed_.Update(Slice(pad, sizeof(pad)));
 }
 
 void HmacSha256::Update(Slice data) { inner_.Update(data); }
 
 Bytes HmacSha256::Finish() {
   auto inner_digest = inner_.Finish();
-  Sha256 outer;
-  outer.Update(Slice(opad_key_, sizeof(opad_key_)));
+  Sha256 outer = outer_keyed_;
   outer.Update(Slice(inner_digest.data(), inner_digest.size()));
   auto d = outer.Finish();
   return Bytes(d.begin(), d.end());

@@ -6,7 +6,10 @@
 
 namespace aedb::crypto {
 
-/// Incremental HMAC-SHA-256 (RFC 2104).
+/// Incremental HMAC-SHA-256 (RFC 2104). Copyable: the constructor absorbs
+/// the ipad/opad key blocks into SHA midstates, so a keyed instance can be
+/// kept as a prototype and copied per message — hot paths (cell MAC checks)
+/// then skip the two key-block compressions entirely.
 class HmacSha256 {
  public:
   static constexpr size_t kDigestSize = Sha256::kDigestSize;
@@ -20,8 +23,8 @@ class HmacSha256 {
   static Bytes Mac(Slice key, Slice data);
 
  private:
-  uint8_t opad_key_[Sha256::kBlockSize];
-  Sha256 inner_;
+  Sha256 inner_;        // keyed with the ipad block, then fed message data
+  Sha256 outer_keyed_;  // midstate after the opad block, copied in Finish
 };
 
 }  // namespace aedb::crypto

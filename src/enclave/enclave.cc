@@ -299,6 +299,42 @@ Result<std::vector<Value>> Enclave::EvalRegisteredResident(
   return EvalProgram(it->second, inputs, session_id, authorizing_query);
 }
 
+Result<std::vector<std::vector<Value>>> Enclave::EvalRegisteredBatch(
+    uint64_t handle, const std::vector<std::vector<Value>>& batch,
+    uint64_t session_id, std::string_view authorizing_query) {
+  // One transition covers the entire batch — that is the whole point.
+  ChargeTransition();
+  return EvalRegisteredBatchResident(handle, batch, session_id,
+                                     authorizing_query);
+}
+
+Result<std::vector<std::vector<Value>>> Enclave::EvalRegisteredBatchResident(
+    uint64_t handle, const std::vector<std::vector<Value>>& batch,
+    uint64_t session_id, std::string_view authorizing_query) {
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.batch_evals.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(state_mu_);
+  auto it = registered_.find(handle);
+  if (it == registered_.end()) {
+    return Status::NotFound("unknown expression handle");
+  }
+  std::vector<std::vector<Value>> out;
+  out.reserve(batch.size());
+  for (const std::vector<Value>& inputs : batch) {
+    // A fault fired mid-batch must surface as a clean statement error with
+    // no partially applied morsel — tests/fault_test exercises this.
+    AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("enclave/batch_partial_failure"));
+    // EvalProgram re-runs the authorization check per row: batching
+    // amortizes the boundary crossing, never the security checks.
+    std::vector<Value> row;
+    AEDB_ASSIGN_OR_RETURN(
+        row, EvalProgram(it->second, inputs, session_id, authorizing_query));
+    out.push_back(std::move(row));
+    stats_.batched_values.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
 Result<std::vector<Value>> Enclave::Eval(Slice program_bytes,
                                          const std::vector<Value>& inputs,
                                          uint64_t session_id,
@@ -339,6 +375,50 @@ Result<int> Enclave::CompareCells(uint32_t cek_id, Slice cell_a, Slice cell_b) {
   if (va.is_null()) return -1;
   if (vb.is_null()) return 1;
   return va.Compare(vb);
+}
+
+Result<std::vector<int>> Enclave::CompareCellsBatch(
+    uint32_t cek_id, Slice probe, const std::vector<Slice>& cells) {
+  ChargeTransition();
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.batch_evals.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock lock(state_mu_);
+  auto it = cek_table_.find(cek_id);
+  if (it == cek_table_.end()) {
+    return Status::KeyNotInEnclave("CEK " + std::to_string(cek_id) +
+                                   " not installed in enclave");
+  }
+  Bytes plain_probe;
+  AEDB_ASSIGN_OR_RETURN(plain_probe, it->second->Decrypt(probe));
+  size_t off = 0;
+  Value vp;
+  AEDB_ASSIGN_OR_RETURN(vp, Value::Decode(plain_probe, &off));
+  std::vector<int> out;
+  out.reserve(cells.size());
+  for (Slice cell : cells) {
+    AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("enclave/batch_partial_failure"));
+    Bytes plain;
+    AEDB_ASSIGN_OR_RETURN(plain, it->second->Decrypt(cell));
+    off = 0;
+    Value vc;
+    AEDB_ASSIGN_OR_RETURN(vc, Value::Decode(plain, &off));
+    // Every individual ordering disclosed is charged to the leak counter —
+    // identical leak accounting to N scalar CompareCells calls.
+    stats_.comparisons.fetch_add(1, std::memory_order_relaxed);
+    stats_.batched_values.fetch_add(1, std::memory_order_relaxed);
+    if (vp.is_null() && vc.is_null()) {
+      out.push_back(0);
+    } else if (vp.is_null()) {
+      out.push_back(-1);
+    } else if (vc.is_null()) {
+      out.push_back(1);
+    } else {
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, vp.Compare(vc));
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 bool Enclave::HasCek(uint32_t cek_id) const {

@@ -86,6 +86,21 @@ struct EnclaveStats {
   std::atomic<uint64_t> evals{0};
   std::atomic<uint64_t> comparisons{0};
   std::atomic<uint64_t> transitions{0};
+  /// Batched call-gate entries (EvalRegisteredBatch / CompareCellsBatch)...
+  std::atomic<uint64_t> batch_evals{0};
+  /// ...and the total rows/cells they carried across the boundary.
+  std::atomic<uint64_t> batched_values{0};
+
+  /// Derived amortization gauge: encrypted values processed (evals +
+  /// comparisons) per boundary crossing. Row-at-a-time execution pins this
+  /// near 1; batching is what pushes it up (paper §4.6).
+  double ValuesPerTransition() const {
+    uint64_t t = transitions.load(std::memory_order_relaxed);
+    if (t == 0) return 0.0;
+    return static_cast<double>(evals.load(std::memory_order_relaxed) +
+                               comparisons.load(std::memory_order_relaxed)) /
+           static_cast<double>(t);
+  }
 };
 
 /// \brief The AE enclave: trusted code and state living inside the simulated
@@ -145,6 +160,23 @@ class Enclave {
       uint64_t handle, const std::vector<types::Value>& inputs,
       uint64_t session_id = 0, std::string_view authorizing_query = {});
 
+  /// Batched entry point: evaluates a registered expression over every row
+  /// of `batch` (one inputs vector per row) while charging a SINGLE call-gate
+  /// transition for the whole batch — the §4.6 amortization. Rows are
+  /// evaluated in order with the exact per-row semantics of EvalRegistered,
+  /// including the per-row authorization check for ciphertext-producing
+  /// programs; the first row that fails aborts the batch with that row's
+  /// error, matching what a row-at-a-time loop would have surfaced.
+  Result<std::vector<std::vector<types::Value>>> EvalRegisteredBatch(
+      uint64_t handle, const std::vector<std::vector<types::Value>>& batch,
+      uint64_t session_id = 0, std::string_view authorizing_query = {});
+
+  /// Transition-free variant of EvalRegisteredBatch for resident enclave
+  /// worker threads (EnclaveWorkerPool::SubmitEvalBatch).
+  Result<std::vector<std::vector<types::Value>>> EvalRegisteredBatchResident(
+      uint64_t handle, const std::vector<std::vector<types::Value>>& batch,
+      uint64_t session_id = 0, std::string_view authorizing_query = {});
+
   /// One-shot evaluation of a serialized program (used by TMEval stubs).
   Result<std::vector<types::Value>> Eval(
       Slice program_bytes, const std::vector<types::Value>& inputs,
@@ -154,6 +186,14 @@ class Enclave {
   /// encrypted cells under one CEK (paper §3.1.2 / Figure 4). Returns the
   /// plaintext ordering in the clear — the authorized range-index leak.
   Result<int> CompareCells(uint32_t cek_id, Slice cell_a, Slice cell_b);
+
+  /// Batched comparison for index seeks: decrypts `probe` once and compares
+  /// it against every cell in `cells`, charging ONE transition for the whole
+  /// node. Returns cmp(probe, cells[i]) for each i; each comparison is
+  /// individually accounted in the leak counter, so the operational leak is
+  /// byte-for-byte what N CompareCells calls would have disclosed.
+  Result<std::vector<int>> CompareCellsBatch(uint32_t cek_id, Slice probe,
+                                             const std::vector<Slice>& cells);
 
   /// True if the CEK is present (used by recovery to decide whether an
   /// encrypted-index undo can proceed, §4.5).

@@ -40,6 +40,28 @@ Result<std::vector<types::Value>> EnclaveWorkerPool::SubmitEval(
   return future.get();
 }
 
+Result<std::vector<std::vector<types::Value>>>
+EnclaveWorkerPool::SubmitEvalBatch(uint64_t handle,
+                                   std::vector<std::vector<types::Value>> batch,
+                                   uint64_t session_id,
+                                   std::string authorizing_query) {
+  auto item = std::make_unique<WorkItem>();
+  item->handle = handle;
+  item->batch = std::move(batch);
+  item->is_batch = true;
+  item->session_id = session_id;
+  item->authorizing_query = std::move(authorizing_query);
+  std::future<Result<std::vector<std::vector<types::Value>>>> future =
+      item->batch_promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("worker pool shut down");
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return future.get();
+}
+
 bool EnclaveWorkerPool::PopItem(std::unique_ptr<WorkItem>* item) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return false;
@@ -81,9 +103,15 @@ void EnclaveWorkerPool::WorkerLoop() {
         enclave_->ChargeTransition();
       }
     }
-    item->promise.set_value(enclave_->EvalRegisteredResident(
-        item->handle, item->inputs, item->session_id,
-        item->authorizing_query));
+    if (item->is_batch) {
+      item->batch_promise.set_value(enclave_->EvalRegisteredBatchResident(
+          item->handle, item->batch, item->session_id,
+          item->authorizing_query));
+    } else {
+      item->promise.set_value(enclave_->EvalRegisteredResident(
+          item->handle, item->inputs, item->session_id,
+          item->authorizing_query));
+    }
   }
 }
 

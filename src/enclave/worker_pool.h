@@ -42,6 +42,13 @@ class EnclaveWorkerPool {
       uint64_t handle, std::vector<types::Value> inputs,
       uint64_t session_id = 0, std::string authorizing_query = {});
 
+  /// Enqueues one EvalRegisteredBatch call covering a whole morsel; the
+  /// consuming worker stays resident, so an entire batch rides on (at most)
+  /// one wake-up transition.
+  Result<std::vector<std::vector<types::Value>>> SubmitEvalBatch(
+      uint64_t handle, std::vector<std::vector<types::Value>> batch,
+      uint64_t session_id = 0, std::string authorizing_query = {});
+
   /// Number of times a worker had to re-enter the enclave after sleeping —
   /// the transitions actually paid.
   uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
@@ -49,10 +56,14 @@ class EnclaveWorkerPool {
  private:
   struct WorkItem {
     uint64_t handle;
+    // Exactly one of `inputs` (scalar item) or `batch` is active.
     std::vector<types::Value> inputs;
+    std::vector<std::vector<types::Value>> batch;
+    bool is_batch = false;
     uint64_t session_id;
     std::string authorizing_query;
     std::promise<Result<std::vector<types::Value>>> promise;
+    std::promise<Result<std::vector<std::vector<types::Value>>>> batch_promise;
   };
 
   void WorkerLoop();

@@ -34,6 +34,17 @@ class EnclaveInvoker {
   virtual Result<std::vector<types::Value>> EvalInEnclave(
       Slice program_bytes, const std::vector<types::Value>& inputs,
       uint32_t n_outputs) = 0;
+
+  /// Batched variant: evaluates the same subprogram over every row of
+  /// `batch_inputs` (one inputs vector per row) and returns one outputs
+  /// vector per row, in order. Implementations backed by a real enclave
+  /// override this to cross the call gate once for the whole batch (paper
+  /// §4.6 amortization); the default preserves row-at-a-time semantics by
+  /// looping EvalInEnclave.
+  virtual Result<std::vector<std::vector<types::Value>>> EvalInEnclaveBatch(
+      Slice program_bytes,
+      const std::vector<std::vector<types::Value>>& batch_inputs,
+      uint32_t n_outputs);
 };
 
 /// Evaluation environment.
@@ -64,6 +75,23 @@ class EsEvaluator {
   /// program.num_outputs() values written by SetData.
   Result<std::vector<types::Value>> Eval(const EsProgram& program,
                                          const std::vector<types::Value>& inputs);
+
+  /// Runs `program` over a batch of rows (one inputs vector per row),
+  /// vectorized column-major: every stack slot holds one value per row, and
+  /// each kTMEval stub crosses into the enclave ONCE for the whole batch via
+  /// EnclaveInvoker::EvalInEnclaveBatch. Taint tracking is per slot — taint
+  /// depends only on the program's annotations, never on row data, so one
+  /// taint per column is exact.
+  ///
+  /// Row-level semantics match Eval row by row: a row that fails a data-
+  /// dependent check (type mismatch, division by zero) is taken out of the
+  /// batch, the remaining rows complete, and the error reported is the one
+  /// the lowest-numbered failing row hit first — exactly the error a
+  /// row-at-a-time loop would have surfaced. A batch of one row delegates to
+  /// Eval, making batch size 1 the literal row-at-a-time degenerate case.
+  Result<std::vector<std::vector<types::Value>>> EvalBatch(
+      const EsProgram& program,
+      const std::vector<std::vector<types::Value>>& rows);
 
  private:
   struct Slot {

@@ -144,6 +144,17 @@ void Server::Stop() {
   }
 }
 
+void Server::RefreshEnclaveStats() const {
+  if (db_ == nullptr) return;
+  server::DatabaseStats s = db_->Stats();
+  stats_.enclave_batch_evals.store(s.enclave_batch_evals,
+                                   std::memory_order_relaxed);
+  stats_.enclave_batched_values.store(s.enclave_batched_values,
+                                      std::memory_order_relaxed);
+  stats_.enclave_transitions.store(s.enclave_transitions,
+                                   std::memory_order_relaxed);
+}
+
 void Server::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);

@@ -45,6 +45,11 @@ struct ServerStats {
   /// Successful kAttest round trips (enclave sessions minted). Grows past
   /// the connection count when clients re-attest after an enclave restart.
   std::atomic<uint64_t> sessions_attested{0};
+  /// Mirrors of the database's enclave amortization counters, refreshed on
+  /// every stats() read so operators see batching effectiveness per server.
+  std::atomic<uint64_t> enclave_batch_evals{0};
+  std::atomic<uint64_t> enclave_batched_values{0};
+  std::atomic<uint64_t> enclave_transitions{0};
 };
 
 /// \brief Multi-threaded TCP front end for a `server::Database`.
@@ -79,10 +84,15 @@ class Server {
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound TCP port (valid after Start()).
   uint16_t port() const { return port_; }
-  const ServerStats& stats() const { return stats_; }
+  const ServerStats& stats() const {
+    RefreshEnclaveStats();
+    return stats_;
+  }
 
  private:
   void AcceptLoop();
+  /// Copies the database's enclave counters into the stats mirror.
+  void RefreshEnclaveStats() const;
   void ServeConnection(int fd, uint64_t conn_id);
   /// Decodes one request payload, runs it against the database and encodes
   /// the response frame (kError frames for failures). Returns false when the
@@ -92,7 +102,7 @@ class Server {
 
   server::Database* db_;
   ServerConfig config_;
-  ServerStats stats_;
+  mutable ServerStats stats_;
 
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;

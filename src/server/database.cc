@@ -34,6 +34,18 @@ class EnclaveComparator : public storage::Comparator {
   }
   const char* Name() const override { return "enclave"; }
 
+  /// Each scalar Compare pays a call-gate transition, so batching a node's
+  /// keys into one CompareCellsBatch crossing is a clear win here (and only
+  /// here — plaintext comparators keep binary search).
+  bool PrefersBatch() const override { return true; }
+  Result<std::vector<int>> CompareBatch(
+      Slice probe, const std::vector<Slice>& keys) const override {
+    if (enclave_ == nullptr) {
+      return Status::KeyNotInEnclave("no enclave configured");
+    }
+    return enclave_->CompareCellsBatch(cek_id_, probe, keys);
+  }
+
  private:
   enclave::Enclave* enclave_;
   uint32_t cek_id_;
@@ -60,25 +72,47 @@ class Database::ServerInvoker : public es::EnclaveInvoker {
           "query requires an enclave but none is configured");
     }
     uint64_t handle;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      std::string key(reinterpret_cast<const char*>(program_bytes.data()),
-                      program_bytes.size());
-      auto it = handles_.find(key);
-      if (it != handles_.end()) {
-        handle = it->second;
-      } else {
-        auto registered = enclave_->RegisterExpression(program_bytes);
-        if (!registered.ok()) return registered.status();
-        handle = *registered;
-        handles_.emplace(std::move(key), handle);
-      }
-    }
+    AEDB_ASSIGN_OR_RETURN(handle, HandleFor(program_bytes));
     if (pool_ != nullptr) return pool_->SubmitEval(handle, inputs);
     return enclave_->EvalRegistered(handle, inputs);
   }
 
+  Result<std::vector<std::vector<Value>>> EvalInEnclaveBatch(
+      Slice program_bytes, const std::vector<std::vector<Value>>& batch_inputs,
+      uint32_t n_outputs) override {
+    (void)n_outputs;
+    if (enclave_ == nullptr) {
+      return Status::FailedPrecondition(
+          "query requires an enclave but none is configured");
+    }
+    if (batch_inputs.size() == 1) {
+      // Degenerate batch: take the literal scalar path so batch size 1 is
+      // indistinguishable from row-at-a-time execution.
+      std::vector<std::vector<Value>> out(1);
+      AEDB_ASSIGN_OR_RETURN(
+          out[0], EvalInEnclave(program_bytes, batch_inputs[0], n_outputs));
+      return out;
+    }
+    uint64_t handle;
+    AEDB_ASSIGN_OR_RETURN(handle, HandleFor(program_bytes));
+    if (pool_ != nullptr) return pool_->SubmitEvalBatch(handle, batch_inputs);
+    return enclave_->EvalRegisteredBatch(handle, batch_inputs);
+  }
+
  private:
+  /// Registers each distinct program once; later calls reuse the handle.
+  Result<uint64_t> HandleFor(Slice program_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string key(reinterpret_cast<const char*>(program_bytes.data()),
+                    program_bytes.size());
+    auto it = handles_.find(key);
+    if (it != handles_.end()) return it->second;
+    uint64_t handle;
+    AEDB_ASSIGN_OR_RETURN(handle, enclave_->RegisterExpression(program_bytes));
+    handles_.emplace(std::move(key), handle);
+    return handle;
+  }
+
   enclave::Enclave* enclave_;
   enclave::EnclaveWorkerPool* pool_;
   std::mutex mu_;
@@ -106,6 +140,23 @@ Database::Database(ServerOptions options, attestation::HostGuardianService* hgs,
   invoker_ = std::make_unique<ServerInvoker>(enclave_.get(), worker_pool_.get());
   executor_ = std::make_unique<sql::Executor>(&catalog_, &engine_,
                                               invoker_.get());
+  executor_->set_batch_size(options_.eval_batch_size);
+}
+
+DatabaseStats Database::Stats() const {
+  DatabaseStats out;
+  if (enclave_ != nullptr) {
+    const enclave::EnclaveStats& s = enclave_->stats();
+    out.enclave_calls = s.calls.load(std::memory_order_relaxed);
+    out.enclave_evals = s.evals.load(std::memory_order_relaxed);
+    out.enclave_comparisons = s.comparisons.load(std::memory_order_relaxed);
+    out.enclave_transitions = s.transitions.load(std::memory_order_relaxed);
+    out.enclave_batch_evals = s.batch_evals.load(std::memory_order_relaxed);
+    out.enclave_batched_values =
+        s.batched_values.load(std::memory_order_relaxed);
+    out.values_per_transition = s.ValuesPerTransition();
+  }
+  return out;
 }
 
 Database::~Database() = default;

@@ -36,6 +36,23 @@ struct ServerOptions {
   /// (Execute and sp_describe each cost one). Models why SQL-PT-AEConn
   /// loses ~36% to the extra describe round trip (paper §5.4.1).
   uint32_t simulated_network_us = 0;
+  /// Rows per execution morsel: the executor evaluates encrypted predicates
+  /// over batches of this size with one enclave transition per morsel
+  /// (paper §4.6 amortization). 1 = row-at-a-time.
+  size_t eval_batch_size = 256;
+};
+
+/// Snapshot of server-side counters (enclave boundary accounting included)
+/// for benches and the net server's stats surface.
+struct DatabaseStats {
+  uint64_t enclave_calls = 0;
+  uint64_t enclave_evals = 0;
+  uint64_t enclave_comparisons = 0;
+  uint64_t enclave_transitions = 0;
+  uint64_t enclave_batch_evals = 0;
+  uint64_t enclave_batched_values = 0;
+  /// Amortization gauge: (evals + comparisons) / transitions.
+  double values_per_transition = 0.0;
 };
 
 /// Key metadata for one CEK as shipped to the driver: the encrypted CEK
@@ -151,6 +168,8 @@ class Database {
   const enclave::VbsPlatform* platform() const { return platform_.get(); }
   const TdsCapture& tds_capture() const { return capture_; }
   uint64_t describe_calls() const { return describe_calls_; }
+  /// Counter snapshot including the enclave amortization gauges.
+  DatabaseStats Stats() const;
 
  private:
   class ServerInvoker;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "crypto/sha256.h"
+
 namespace aedb::sql {
 
 using storage::Rid;
@@ -82,6 +84,53 @@ Value OperandValue(const Expr* operand, const std::vector<Value>& params) {
   return params[operand->param_index];
 }
 
+/// Preorder encoding of everything that influences compilation: node kinds,
+/// binder annotations (slots, types, encryption) and literal values. Two
+/// expressions with equal fingerprints compile to equal programs.
+void FingerprintExpr(const Expr* e, Bytes* out) {
+  if (e == nullptr) {
+    out->push_back(0xFF);  // distinguishes "absent child" from any Kind
+    return;
+  }
+  out->push_back(static_cast<uint8_t>(e->kind));
+  out->push_back(static_cast<uint8_t>(e->cmp));
+  out->push_back(static_cast<uint8_t>(e->arith));
+  out->push_back(e->is_not ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(e->table_slot));
+  PutU32(out, static_cast<uint32_t>(e->column_index));
+  PutU32(out, static_cast<uint32_t>(e->param_index));
+  out->push_back(static_cast<uint8_t>(e->type));
+  out->push_back(static_cast<uint8_t>(e->enc.kind));
+  PutU32(out, e->enc.cek_id);
+  out->push_back(e->enc.enclave_enabled ? 1 : 0);
+  if (e->kind == Expr::Kind::kLiteral) {
+    PutLengthPrefixed(out, e->literal.Encode());
+  }
+  FingerprintExpr(e->a.get(), out);
+  FingerprintExpr(e->b.get(), out);
+  FingerprintExpr(e->c.get(), out);
+}
+
+std::string ProgramCacheKey(const Expr* expr, const InputLayout& layout,
+                            const std::vector<BoundParam>& params,
+                            bool value_expr) {
+  Bytes payload;
+  FingerprintExpr(expr, &payload);
+  PutU32(&payload, static_cast<uint32_t>(layout.table_columns));
+  PutU32(&payload, static_cast<uint32_t>(layout.join_columns));
+  PutU32(&payload, static_cast<uint32_t>(params.size()));
+  for (const BoundParam& p : params) {
+    payload.push_back(static_cast<uint8_t>(p.type));
+    payload.push_back(p.type_known ? 1 : 0);
+    payload.push_back(static_cast<uint8_t>(p.enc.kind));
+    PutU32(&payload, p.enc.cek_id);
+    payload.push_back(p.enc.enclave_enabled ? 1 : 0);
+  }
+  payload.push_back(value_expr ? 1 : 0);
+  Bytes digest = crypto::Sha256::Hash(payload);
+  return std::string(digest.begin(), digest.end());
+}
+
 }  // namespace
 
 Result<int> ValueComparator::Compare(Slice a, Slice b) const {
@@ -106,15 +155,21 @@ Bytes Executor::IndexKeyFor(const ColumnDef& col, const Value& v) {
 void Executor::ClearProgramCache() {
   std::unique_lock lock(program_cache_mu_);
   program_cache_.clear();
+  lru_.clear();
 }
 
-Result<const es::EsProgram*> Executor::CompiledFor(
+Result<std::shared_ptr<const es::EsProgram>> Executor::CompiledFor(
     const Expr* expr, const InputLayout& layout,
     const std::vector<BoundParam>& params, bool value_expr) {
+  std::string key = ProgramCacheKey(expr, layout, params, value_expr);
   {
-    std::shared_lock lock(program_cache_mu_);
-    auto it = program_cache_.find(expr);
-    if (it != program_cache_.end()) return it->second.get();
+    // Exclusive even on a hit: the LRU touch mutates the recency list.
+    std::unique_lock lock(program_cache_mu_);
+    auto it = program_cache_.find(key);
+    if (it != program_cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.program;
+    }
   }
   es::EsProgram program;
   if (value_expr) {
@@ -123,10 +178,22 @@ Result<const es::EsProgram*> Executor::CompiledFor(
     AEDB_ASSIGN_OR_RETURN(program, CompilePredicate(expr, layout, params));
   }
   std::unique_lock lock(program_cache_mu_);
-  auto [it, inserted] = program_cache_.emplace(
-      expr, std::make_unique<es::EsProgram>(std::move(program)));
-  (void)inserted;
-  return it->second.get();
+  auto it = program_cache_.find(key);
+  if (it != program_cache_.end()) {  // raced with another compiler
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.program;
+  }
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.program = std::make_shared<const es::EsProgram>(std::move(program));
+  entry.lru_it = lru_.begin();
+  auto result = entry.program;
+  program_cache_.emplace(std::move(key), std::move(entry));
+  if (program_cache_.size() > kProgramCacheCap) {
+    program_cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return result;
 }
 
 Result<bool> Executor::EvalPredicate(const es::EsProgram& program,
@@ -138,6 +205,21 @@ Result<bool> Executor::EvalPredicate(const es::EsProgram& program,
   AEDB_ASSIGN_OR_RETURN(out, evaluator.Eval(program, inputs));
   // SQL semantics: a NULL predicate does not pass.
   return !out[0].is_null() && out[0].bool_v();
+}
+
+Result<std::vector<char>> Executor::EvalPredicateBatch(
+    const es::EsProgram& program,
+    const std::vector<std::vector<Value>>& batch) {
+  es::EvalContext ctx;
+  ctx.enclave = invoker_;
+  es::EsEvaluator evaluator(ctx);
+  std::vector<std::vector<Value>> out;
+  AEDB_ASSIGN_OR_RETURN(out, evaluator.EvalBatch(program, batch));
+  std::vector<char> pass(batch.size(), 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    pass[i] = !out[i][0].is_null() && out[i][0].bool_v();
+  }
+  return pass;
 }
 
 Result<std::vector<Value>> Executor::FetchRow(const TableDef& table,
@@ -205,36 +287,23 @@ Result<Executor::Candidates> Executor::PlanAccess(
     if (index == nullptr || !engine_->CheckIndexUsable(index->id).ok()) continue;
 
     storage::BTree* tree = engine_->index_tree(index->id);
-    const storage::Comparator* cmp = engine_->index_comparator(index->id);
-    storage::BTree::Iterator it;
     Bytes lower_key, upper_key;
+    const Bytes* lower_ptr = nullptr;
+    const Bytes* upper_ptr = nullptr;
     if (lower != nullptr) {
       lower_key = IndexKeyFor(col, OperandValue(lower, params));
-      AEDB_ASSIGN_OR_RETURN(it, tree->SeekAtLeast(lower_key));
-      if (!lower_inc) {
-        while (it.Valid()) {
-          int c;
-          AEDB_ASSIGN_OR_RETURN(c, cmp->Compare(it.key(), lower_key));
-          if (c != 0) break;
-          it.Next();
-        }
-      }
-    } else {
-      it = tree->Begin();
+      lower_ptr = &lower_key;
     }
     if (upper != nullptr) {
       upper_key = IndexKeyFor(col, OperandValue(upper, params));
+      upper_ptr = &upper_key;
     }
     out.use_index = true;
-    while (it.Valid()) {
-      if (upper != nullptr) {
-        int c;
-        AEDB_ASSIGN_OR_RETURN(c, cmp->Compare(it.key(), upper_key));
-        if (c > 0 || (c == 0 && !upper_inc)) break;
-      }
-      out.rids.push_back(it.rid());
-      it.Next();
-    }
+    // SeekRange does the bound comparisons inside the tree, which lets an
+    // enclave-backed comparator batch a whole leaf per call-gate crossing.
+    auto rids = tree->SeekRange(lower_ptr, lower_inc, upper_ptr, upper_inc);
+    if (!rids.ok()) return rids.status();
+    out.rids = std::move(rids).value();
     return out;
   }
   return out;
@@ -247,29 +316,51 @@ Executor::CollectMatches(const BoundStatement& bound, const Expr* where,
   InputLayout layout;
   layout.table_columns = table.columns.size();
   es::EsProgram always_true;
+  std::shared_ptr<const es::EsProgram> filter_holder;
   const es::EsProgram* filter = nullptr;
   if (where == nullptr) {
     AEDB_ASSIGN_OR_RETURN(always_true,
                           CompilePredicate(nullptr, layout, bound.params));
     filter = &always_true;
   } else {
-    AEDB_ASSIGN_OR_RETURN(filter,
+    AEDB_ASSIGN_OR_RETURN(filter_holder,
                           CompiledFor(where, layout, bound.params, false));
+    filter = filter_holder.get();
   }
 
   Candidates candidates;
   AEDB_ASSIGN_OR_RETURN(candidates, PlanAccess(where, table, params));
 
+  // Morsel-driven filtering: buffer up to batch_size_ candidate rows, then
+  // evaluate the predicate over the whole morsel at once — every encrypted
+  // atom in it costs one enclave transition per morsel instead of one per
+  // row. A failed batch drops the entire morsel (no partial application).
   std::vector<std::pair<Rid, std::vector<Value>>> matches;
-  Status scan_status;
-  auto consider = [&](const Rid& rid,
-                      std::vector<Value> row) -> Result<bool> {
-    std::vector<Value> inputs = row;
-    inputs.insert(inputs.end(), params.begin(), params.end());
-    bool pass;
-    AEDB_ASSIGN_OR_RETURN(pass, EvalPredicate(*filter, inputs));
-    if (pass) matches.emplace_back(rid, std::move(row));
-    return true;
+  std::vector<std::pair<Rid, std::vector<Value>>> morsel;
+  const size_t batch_size = batch_size_;
+  morsel.reserve(std::min<size_t>(batch_size, 1024));
+
+  auto flush = [&]() -> Status {
+    if (morsel.empty()) return Status::OK();
+    std::vector<std::vector<Value>> inputs;
+    inputs.reserve(morsel.size());
+    for (auto& [rid, row] : morsel) {
+      std::vector<Value> in = row;
+      in.insert(in.end(), params.begin(), params.end());
+      inputs.push_back(std::move(in));
+    }
+    std::vector<char> pass;
+    AEDB_ASSIGN_OR_RETURN(pass, EvalPredicateBatch(*filter, inputs));
+    for (size_t i = 0; i < morsel.size(); ++i) {
+      if (pass[i]) matches.push_back(std::move(morsel[i]));
+    }
+    morsel.clear();
+    return Status::OK();
+  };
+  auto consider = [&](const Rid& rid, std::vector<Value> row) -> Status {
+    morsel.emplace_back(rid, std::move(row));
+    if (morsel.size() >= batch_size) return flush();
+    return Status::OK();
   };
 
   if (candidates.use_index) {
@@ -279,8 +370,7 @@ Executor::CollectMatches(const BoundStatement& bound, const Expr* where,
         if (row.status().IsNotFound()) continue;  // dangling index entry
         return row.status();
       }
-      auto r = consider(rid, std::move(row).value());
-      if (!r.ok()) return r.status();
+      AEDB_RETURN_IF_ERROR(consider(rid, std::move(row).value()));
     }
   } else {
     Status inner = Status::OK();
@@ -290,15 +380,16 @@ Executor::CollectMatches(const BoundStatement& bound, const Expr* where,
         inner = row.status();
         return false;
       }
-      auto r = consider(rid, std::move(row).value());
-      if (!r.ok()) {
-        inner = r.status();
+      Status st = consider(rid, std::move(row).value());
+      if (!st.ok()) {
+        inner = st;
         return false;
       }
       return true;
     });
     AEDB_RETURN_IF_ERROR(inner);
   }
+  AEDB_RETURN_IF_ERROR(flush());
   return matches;
 }
 
@@ -342,6 +433,7 @@ Result<ResultSet> Executor::Select(const BoundStatement& bound,
     layout.table_columns = table.columns.size();
     layout.join_columns = right.columns.size();
     es::EsProgram always_true;
+    std::shared_ptr<const es::EsProgram> filter_holder;
     const es::EsProgram* filter = nullptr;
     if (sel.where == nullptr) {
       AEDB_ASSIGN_OR_RETURN(always_true,
@@ -349,7 +441,9 @@ Result<ResultSet> Executor::Select(const BoundStatement& bound,
       filter = &always_true;
     } else {
       AEDB_ASSIGN_OR_RETURN(
-          filter, CompiledFor(sel.where.get(), layout, bound.params, false));
+          filter_holder,
+          CompiledFor(sel.where.get(), layout, bound.params, false));
+      filter = filter_holder.get();
     }
 
     std::map<Bytes, std::vector<std::vector<Value>>> hash;
@@ -368,6 +462,26 @@ Result<ResultSet> Executor::Select(const BoundStatement& bound,
     });
     AEDB_RETURN_IF_ERROR(inner);
 
+    // Probe-side morsels: joined rows accumulate until a batch is full, then
+    // the residual filter runs over the whole morsel in one enclave trip.
+    std::vector<std::vector<Value>> pending;
+    auto flush_join = [&]() -> Status {
+      if (pending.empty()) return Status::OK();
+      std::vector<std::vector<Value>> inputs;
+      inputs.reserve(pending.size());
+      for (const auto& combined : pending) {
+        std::vector<Value> in = combined;
+        in.insert(in.end(), params.begin(), params.end());
+        inputs.push_back(std::move(in));
+      }
+      std::vector<char> pass;
+      AEDB_ASSIGN_OR_RETURN(pass, EvalPredicateBatch(*filter, inputs));
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (pass[i]) rows.push_back(std::move(pending[i]));
+      }
+      pending.clear();
+      return Status::OK();
+    };
     engine_->table(table.id)->Scan([&](const Rid&, Slice record) {
       auto row = DecodeRow(record, table.columns.size());
       if (!row.ok()) {
@@ -381,18 +495,19 @@ Result<ResultSet> Executor::Select(const BoundStatement& bound,
       for (const auto& right_row : it->second) {
         std::vector<Value> combined = *row;
         combined.insert(combined.end(), right_row.begin(), right_row.end());
-        std::vector<Value> inputs = combined;
-        inputs.insert(inputs.end(), params.begin(), params.end());
-        auto pass = EvalPredicate(*filter, inputs);
-        if (!pass.ok()) {
-          inner = pass.status();
-          return false;
+        pending.push_back(std::move(combined));
+        if (pending.size() >= batch_size_) {
+          Status st = flush_join();
+          if (!st.ok()) {
+            inner = st;
+            return false;
+          }
         }
-        if (*pass) rows.push_back(std::move(combined));
       }
       return true;
     });
     AEDB_RETURN_IF_ERROR(inner);
+    AEDB_RETURN_IF_ERROR(flush_join());
   }
 
   // Column resolution for projection.
@@ -581,7 +696,7 @@ Result<int64_t> Executor::Insert(const BoundStatement& bound,
     es::EsEvaluator evaluator(ctx);
     for (size_t i = 0; i < value_row.size(); ++i) {
       const ColumnDef& col = table.columns[targets[i]];
-      const es::EsProgram* program;
+      std::shared_ptr<const es::EsProgram> program;
       AEDB_ASSIGN_OR_RETURN(program, CompiledFor(value_row[i].get(), layout,
                                                  bound.params, true));
       std::vector<Value> out;
@@ -624,13 +739,14 @@ Result<int64_t> Executor::Update(const BoundStatement& bound,
 
   InputLayout layout;
   layout.table_columns = table.columns.size();
-  std::vector<std::pair<int, const es::EsProgram*>> set_programs;
+  std::vector<std::pair<int, std::shared_ptr<const es::EsProgram>>>
+      set_programs;
   for (const auto& [col_name, expr] : upd.sets) {
     int idx = table.FindColumn(col_name);
-    const es::EsProgram* program;
+    std::shared_ptr<const es::EsProgram> program;
     AEDB_ASSIGN_OR_RETURN(program,
                           CompiledFor(expr.get(), layout, bound.params, true));
-    set_programs.emplace_back(idx, program);
+    set_programs.emplace_back(idx, std::move(program));
   }
 
   int64_t updated = 0;

@@ -1,8 +1,11 @@
 #ifndef AEDB_SQL_EXECUTOR_H_
 #define AEDB_SQL_EXECUTOR_H_
 
+#include <list>
 #include <map>
+#include <memory>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "es/evaluator.h"
@@ -55,9 +58,16 @@ class Executor {
   /// for encrypted columns, the value encoding for plaintext ones.
   static Bytes IndexKeyFor(const ColumnDef& col, const types::Value& v);
 
-  /// Must be called whenever the plan cache is invalidated: compiled
-  /// programs are keyed by bound-expression addresses owned by the plans.
+  /// Drops all cached compiled programs (schema changes invalidate the
+  /// encryption annotations baked into them).
   void ClearProgramCache();
+
+  /// Rows per morsel for batched predicate evaluation: the executor buffers
+  /// up to this many candidate rows and evaluates the filter over all of
+  /// them with ONE enclave round trip (paper §4.6 amortization). 1 degrades
+  /// to the row-at-a-time path; results are identical at any size.
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+  size_t batch_size() const { return batch_size_; }
 
  private:
   struct Candidates {
@@ -73,13 +83,23 @@ class Executor {
   Result<bool> EvalPredicate(const es::EsProgram& program,
                              const std::vector<types::Value>& inputs);
 
-  /// Compiled-program cache keyed by the bound expression node (stable: the
-  /// plan cache owns the bound statements) — the CEsComp-in-plan-cache of
-  /// paper section 4.4.
-  Result<const es::EsProgram*> CompiledFor(const Expr* expr,
-                                           const InputLayout& layout,
-                                           const std::vector<BoundParam>& params,
-                                           bool value_expr);
+  /// Batched EvalPredicate over a morsel: one EsEvaluator::EvalBatch run, so
+  /// every encrypted atom in the filter crosses the enclave boundary once
+  /// for the whole morsel. pass[i] applies SQL semantics (NULL fails).
+  Result<std::vector<char>> EvalPredicateBatch(
+      const es::EsProgram& program,
+      const std::vector<std::vector<types::Value>>& batch);
+
+  /// Compiled-program cache — the CEsComp-in-plan-cache of paper §4.4.
+  /// Keyed by a fingerprint of (expression shape + binder annotations, input
+  /// layout, parameter types, compile mode) rather than the Expr* address:
+  /// re-parsed statements with identical shapes share an entry, and distinct
+  /// expressions can never collide on a recycled pointer. Bounded by LRU
+  /// eviction; shared_ptr returns keep an evicted program alive for callers
+  /// mid-statement.
+  Result<std::shared_ptr<const es::EsProgram>> CompiledFor(
+      const Expr* expr, const InputLayout& layout,
+      const std::vector<BoundParam>& params, bool value_expr);
 
   /// Reads and decodes a row.
   Result<std::vector<types::Value>> FetchRow(const TableDef& table,
@@ -101,9 +121,16 @@ class Executor {
   const Catalog* catalog_;
   storage::StorageEngine* engine_;
   es::EnclaveInvoker* invoker_;
+  size_t batch_size_ = 256;
 
+  static constexpr size_t kProgramCacheCap = 128;
+  struct CacheEntry {
+    std::shared_ptr<const es::EsProgram> program;
+    std::list<std::string>::iterator lru_it;
+  };
   std::shared_mutex program_cache_mu_;
-  std::map<const void*, std::unique_ptr<es::EsProgram>> program_cache_;
+  std::map<std::string, CacheEntry> program_cache_;
+  std::list<std::string> lru_;  // front = most recently used
 };
 
 /// Orders a plaintext index by decoded Value comparison (NULLs first).

@@ -41,13 +41,42 @@ Result<int> BTree::CmpEntry(Slice key, Rid rid, const Node* node,
   return a < b ? -1 : (a > b ? 1 : 0);
 }
 
+Result<std::vector<int>> BTree::CmpNodeFrom(Slice probe, const Node* node,
+                                            size_t from) const {
+  std::vector<Slice> keys;
+  keys.reserve(node->keys.size() - from);
+  for (size_t i = from; i < node->keys.size(); ++i) {
+    keys.emplace_back(node->keys[i]);
+  }
+  comparisons_.fetch_add(keys.size(), std::memory_order_relaxed);
+  return comparator_->CompareBatch(probe, keys);
+}
+
 namespace {
 constexpr Rid kMinRid{0, 0};
+
+/// (key, kMinRid) entry order derived from a raw key comparison: on a key
+/// tie, kMinRid sorts before any real rid (only a zero-encoded rid ties).
+int EntryCmpMinRid(int key_cmp, Rid entry_rid) {
+  if (key_cmp != 0) return key_cmp;
+  return entry_rid.Encode() == 0 ? 0 : -1;
+}
 }  // namespace
 
 Result<size_t> BTree::ChildIndex(const Node* node, Slice key) const {
   // This overload is used by (key, kMinRid) searches only; see InsertRec for
   // the rid-aware descent.
+  if (comparator_->PrefersBatch() && node->keys.size() > 1) {
+    // One boundary crossing for the whole node beats log2(n) crossings even
+    // though it compares every key (the comparator told us so).
+    std::vector<int> cmps;
+    AEDB_ASSIGN_OR_RETURN(cmps, CmpNodeFrom(key, node, 0));
+    size_t lo = 0;
+    while (lo < cmps.size() && EntryCmpMinRid(cmps[lo], node->rids[lo]) >= 0) {
+      ++lo;
+    }
+    return lo;
+  }
   size_t lo = 0, hi = node->keys.size();
   while (lo < hi) {
     size_t mid = (lo + hi) / 2;
@@ -208,12 +237,117 @@ Result<std::vector<Rid>> BTree::SeekEqual(Slice key) const {
   std::vector<Rid> out;
   Iterator it;
   AEDB_ASSIGN_OR_RETURN(it, SeekAtLeast(key));
+  if (comparator_->PrefersBatch()) {
+    // Leaf-at-a-time: one batched call checks every candidate in the node.
+    const Node* node = static_cast<const Node*>(it.node_);
+    size_t pos = it.pos_;
+    while (node != nullptr) {
+      if (pos >= node->keys.size()) {
+        node = node->next;
+        pos = 0;
+        continue;
+      }
+      std::vector<int> cmps;
+      AEDB_ASSIGN_OR_RETURN(cmps, CmpNodeFrom(key, node, pos));
+      for (size_t i = 0; i < cmps.size(); ++i) {
+        if (cmps[i] != 0) return out;
+        out.push_back(node->rids[pos + i]);
+      }
+      node = node->next;
+      pos = 0;
+    }
+    return out;
+  }
   while (it.Valid()) {
     int c;
     AEDB_ASSIGN_OR_RETURN(c, Cmp(it.key(), key));
     if (c != 0) break;
     out.push_back(it.rid());
     it.Next();
+  }
+  return out;
+}
+
+Result<std::vector<Rid>> BTree::SeekRange(const Bytes* lower,
+                                          bool lower_inclusive,
+                                          const Bytes* upper,
+                                          bool upper_inclusive) const {
+  std::vector<Rid> out;
+  Iterator start;
+  if (lower != nullptr) {
+    AEDB_ASSIGN_OR_RETURN(start, SeekAtLeast(*lower));
+  } else {
+    start = Begin();
+  }
+  const Node* node = static_cast<const Node*>(start.node_);
+  size_t pos = start.pos_;
+  // SeekAtLeast lands on the first key >= lower; an exclusive lower bound
+  // additionally skips the run of keys equal to it.
+  bool skipping_equal = lower != nullptr && !lower_inclusive;
+
+  if (comparator_->PrefersBatch()) {
+    while (node != nullptr) {
+      if (pos >= node->keys.size()) {
+        node = node->next;
+        pos = 0;
+        continue;
+      }
+      if (skipping_equal) {
+        std::vector<int> cmps;
+        AEDB_ASSIGN_OR_RETURN(cmps, CmpNodeFrom(*lower, node, pos));
+        size_t i = 0;
+        while (i < cmps.size() && cmps[i] == 0) ++i;
+        pos += i;
+        if (i < cmps.size()) skipping_equal = false;
+        if (pos >= node->keys.size()) {
+          node = node->next;
+          pos = 0;
+          continue;
+        }
+      }
+      if (upper == nullptr) {
+        for (size_t i = pos; i < node->rids.size(); ++i) {
+          out.push_back(node->rids[i]);
+        }
+      } else {
+        std::vector<int> cmps;
+        AEDB_ASSIGN_OR_RETURN(cmps, CmpNodeFrom(*upper, node, pos));
+        for (size_t i = 0; i < cmps.size(); ++i) {
+          bool in = upper_inclusive ? cmps[i] >= 0 : cmps[i] > 0;
+          if (!in) return out;
+          out.push_back(node->rids[pos + i]);
+        }
+      }
+      node = node->next;
+      pos = 0;
+    }
+    return out;
+  }
+
+  // Scalar path: entry-at-a-time with early exit past the upper bound.
+  while (node != nullptr) {
+    if (pos >= node->keys.size()) {
+      node = node->next;
+      pos = 0;
+      continue;
+    }
+    if (skipping_equal) {
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, Cmp(*lower, node->keys[pos]));
+      if (c == 0) {
+        ++pos;
+        continue;
+      }
+      skipping_equal = false;
+    }
+    if (upper != nullptr) {
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, Cmp(*upper, node->keys[pos]));
+      bool in = upper_inclusive ? c >= 0 : c > 0;
+      if (!in) return out;
+    }
+    out.push_back(node->rids[pos]);
+    ++pos;
   }
   return out;
 }
@@ -255,15 +389,26 @@ Result<BTree::Iterator> BTree::SeekAtLeast(Slice key) const {
     AEDB_ASSIGN_OR_RETURN(idx, ChildIndex(node, key));
     node = node->children[idx].get();
   }
-  size_t lo = 0, hi = node->keys.size();
-  while (lo < hi) {
-    size_t mid = (lo + hi) / 2;
-    int c;
-    AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, kMinRid, node, mid));
-    if (c <= 0) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
+  size_t lo;
+  if (comparator_->PrefersBatch() && node->keys.size() > 1) {
+    std::vector<int> cmps;
+    AEDB_ASSIGN_OR_RETURN(cmps, CmpNodeFrom(key, node, 0));
+    lo = 0;
+    while (lo < cmps.size() && EntryCmpMinRid(cmps[lo], node->rids[lo]) > 0) {
+      ++lo;
+    }
+  } else {
+    lo = 0;
+    size_t hi = node->keys.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, CmpEntry(key, kMinRid, node, mid));
+      if (c <= 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
     }
   }
   Iterator it;

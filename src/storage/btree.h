@@ -20,6 +20,28 @@ class Comparator {
   virtual ~Comparator() = default;
   virtual Result<int> Compare(Slice a, Slice b) const = 0;
   virtual const char* Name() const = 0;
+
+  /// True when batched comparisons are cheaper than scalar ones — i.e. the
+  /// comparator pays a per-call boundary cost worth amortizing (the enclave
+  /// comparator). Plaintext/DET comparators keep the scalar binary-search
+  /// paths, which do strictly fewer comparisons.
+  virtual bool PrefersBatch() const { return false; }
+
+  /// Compares `probe` against every key in `keys`; out[i] = cmp(probe,
+  /// keys[i]). Batch-preferring comparators override this with a single
+  /// boundary crossing (Enclave::CompareCellsBatch); the default loops
+  /// Compare so semantics are identical either way.
+  virtual Result<std::vector<int>> CompareBatch(
+      Slice probe, const std::vector<Slice>& keys) const {
+    std::vector<int> out;
+    out.reserve(keys.size());
+    for (Slice k : keys) {
+      int c;
+      AEDB_ASSIGN_OR_RETURN(c, Compare(probe, k));
+      out.push_back(c);
+    }
+    return out;
+  }
 };
 
 /// memcmp order over raw bytes (DET equality indexes: "index keys are
@@ -59,6 +81,14 @@ class BTree {
   /// All RIDs with key == `key`.
   Result<std::vector<Rid>> SeekEqual(Slice key) const;
 
+  /// All RIDs with lower (<|<=) key (<|<=) upper, in key order. Null bounds
+  /// are unbounded. For batch-preferring comparators every leaf's bound
+  /// checks ride on one CompareBatch call instead of one enclave call per
+  /// entry — the batched range-seek path of the tentpole.
+  Result<std::vector<Rid>> SeekRange(const Bytes* lower, bool lower_inclusive,
+                                     const Bytes* upper,
+                                     bool upper_inclusive) const;
+
   /// Forward iterator over (key, rid) entries in key order.
   class Iterator {
    public:
@@ -95,6 +125,10 @@ class BTree {
   Result<int> Cmp(Slice a, Slice b) const;
   /// (key, rid) total order used for leaf placement.
   Result<int> CmpEntry(Slice key, Rid rid, const Node* leaf, size_t i) const;
+  /// cmp(probe, node->keys[i]) for every i in [from, size) via one batched
+  /// comparator call; charges one comparison per key compared.
+  Result<std::vector<int>> CmpNodeFrom(Slice probe, const Node* node,
+                                       size_t from) const;
 
   struct SplitResult {
     Bytes separator;

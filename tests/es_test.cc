@@ -366,5 +366,148 @@ TEST(EsEvaluatorTest, TMEvalWithoutEnclaveFails) {
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
 }
 
+// ---- vectorized EvalBatch ----
+
+TEST(EsEvaluatorTest, EvalBatchMatchesRowLoop) {
+  // (a + b) * 2 < 20, mixed arithmetic and comparison over plaintext rows.
+  EsProgram p;
+  p.GetData(0, TypeId::kInt64);
+  p.GetData(1, TypeId::kInt64);
+  p.Arith(OpCode::kAdd);
+  p.Const(Value::Int64(2));
+  p.Arith(OpCode::kMul);
+  p.Const(Value::Int64(20));
+  p.Comp(CompareOp::kLt);
+  p.SetData(0, TypeId::kBool);
+
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 7; ++i) {
+    rows.push_back({Value::Int64(i), Value::Int64(i * 3)});
+  }
+  EsEvaluator ev(HostCtx());
+  auto batch = ev.EvalBatch(p, rows);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto scalar = RunProgram(p, rows[i]);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ((*batch)[i][0].bool_v(), (*scalar)[0].bool_v()) << "row " << i;
+  }
+}
+
+TEST(EsEvaluatorTest, EvalBatchSizeOneIsRowAtATime) {
+  EsProgram p;
+  p.GetData(0, TypeId::kInt32);
+  p.Const(Value::Int32(5));
+  p.Comp(CompareOp::kGe);
+  p.SetData(0, TypeId::kBool);
+  EsEvaluator ev(HostCtx());
+  auto one = ev.EvalBatch(p, {{Value::Int32(7)}});
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_TRUE((*one)[0][0].bool_v());
+  auto empty = ev.EvalBatch(p, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(EsEvaluatorTest, EvalBatchReportsLowestFailingRowError) {
+  // Division by zero is data-dependent: the row loop would have surfaced the
+  // first failing row's error, so the batch must report exactly that.
+  EsProgram p;
+  p.GetData(0, TypeId::kInt64);
+  p.GetData(1, TypeId::kInt64);
+  p.Arith(OpCode::kDiv);
+  p.SetData(0, TypeId::kInt64);
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int64(10), Value::Int64(2)},
+      {Value::Int64(10), Value::Int64(0)},  // fails
+      {Value::Int64(9), Value::Int64(3)},
+  };
+  EsEvaluator ev(HostCtx());
+  auto batch = ev.EvalBatch(p, rows);
+  auto scalar = RunProgram(p, rows[1]);
+  ASSERT_FALSE(batch.ok());
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_EQ(batch.status().code(), scalar.status().code());
+}
+
+TEST(EsEvaluatorTest, EvalBatchEnforcesTaint) {
+  // The §4.4.1 security check must hold for every row of a batch: comparing
+  // a decrypted column against attacker-chosen plaintext is rejected.
+  TestCrypto crypto;
+  EvalContext ctx;
+  ctx.crypto = &crypto;
+  EsProgram p;
+  p.GetData(0, TypeId::kString,
+            EncryptionType::Encrypted(EncKind::kRandomized, 1, true));
+  p.Const(Value::String("guess"));
+  p.Comp(CompareOp::kEq);
+  p.SetData(0, TypeId::kBool);
+  std::vector<std::vector<Value>> rows = {
+      {crypto.Cell(Value::String("a"))},
+      {crypto.Cell(Value::String("b"))},
+  };
+  EsEvaluator ev(ctx);
+  auto r = ev.EvalBatch(p, rows);
+  EXPECT_TRUE(r.status().IsSecurityError()) << r.status().ToString();
+}
+
+// Counts batched vs scalar crossings so the "one transition per morsel"
+// contract is testable at the es layer.
+class BatchCountingInvoker : public TestInvoker {
+ public:
+  using TestInvoker::TestInvoker;
+  Result<std::vector<std::vector<Value>>> EvalInEnclaveBatch(
+      Slice program_bytes, const std::vector<std::vector<Value>>& batch_inputs,
+      uint32_t n_outputs) override {
+    ++batch_calls;
+    last_batch_size = batch_inputs.size();
+    std::vector<std::vector<Value>> out;
+    for (const auto& inputs : batch_inputs) {
+      std::vector<Value> row;
+      AEDB_ASSIGN_OR_RETURN(row,
+                            EvalInEnclave(program_bytes, inputs, n_outputs));
+      out.push_back(std::move(row));
+    }
+    calls = 0;  // scalar calls made on the invoker's own behalf don't count
+    return out;
+  }
+  int batch_calls = 0;
+  size_t last_batch_size = 0;
+};
+
+TEST(EsEvaluatorTest, EvalBatchCrossesEnclaveOncePerMorsel) {
+  TestCrypto crypto;
+  BatchCountingInvoker invoker(&crypto);
+  EvalContext host_ctx;
+  host_ctx.enclave = &invoker;
+
+  auto enc = EncryptionType::Encrypted(EncKind::kRandomized, 1, true);
+  EsProgram inner;
+  inner.GetData(0, TypeId::kInt64, enc);
+  inner.GetData(1, TypeId::kInt64, enc);
+  inner.Comp(CompareOp::kLt);
+  inner.SetData(0, TypeId::kBool);
+  EsProgram host;
+  host.GetData(0, TypeId::kBinary);
+  host.GetData(1, TypeId::kBinary);
+  host.TMEval(inner, 2, 1);
+  host.SetData(0, TypeId::kBool);
+
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 9; ++i) {
+    rows.push_back({crypto.Cell(Value::Int64(i)), crypto.Cell(Value::Int64(5))});
+  }
+  EsEvaluator ev(host_ctx);
+  auto r = ev.EvalBatch(host, rows);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(invoker.batch_calls, 1);  // nine rows, one crossing
+  EXPECT_EQ(invoker.last_batch_size, 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ((*r)[i][0].bool_v(), i < 5) << "row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace aedb::es
