@@ -28,6 +28,9 @@ struct TpccDeployment {
   /// net::Server fronting `db` instead of calling it in-process.
   std::unique_ptr<net::Server> net_server;
   bool loopback = false;
+  /// Per-query end-to-end budget stamped into every driver MakeDriver()
+  /// produces (0 = none). Overload benches set this to bound p99.
+  uint32_t driver_deadline_ms = 0;
 
   ~TpccDeployment() {
     if (net_server) net_server->Stop();
@@ -38,6 +41,7 @@ struct TpccDeployment {
     opts.column_encryption_enabled = ae_connection;
     opts.cache_describe_results = cache_describe;
     opts.enclave_policy.trusted_author_id = image.AuthorId();
+    opts.deadline_ms = driver_deadline_ms;
     if (loopback && net_server) {
       net::SocketTransport::Options topts;
       topts.port = net_server->port();
@@ -56,8 +60,8 @@ struct TpccDeployment {
   }
 
   /// Starts the TCP front end and routes future MakeDriver() calls over it.
-  Status EnableLoopback() {
-    net::ServerConfig config_net;
+  /// Pass a config to exercise the overload knobs (max_connections etc.).
+  Status EnableLoopback(net::ServerConfig config_net = {}) {
     net_server = std::make_unique<net::Server>(db.get(), config_net);
     AEDB_RETURN_IF_ERROR(net_server->Start());
     loopback = true;
@@ -80,7 +84,8 @@ struct SystemConfig {
 inline std::unique_ptr<TpccDeployment> SetUpDeployment(
     const SystemConfig& system, const tpcc::TpccConfig& tpcc_config,
     uint32_t network_us, uint64_t enclave_transition_ns,
-    size_t eval_batch_size = 256) {
+    size_t eval_batch_size = 256,
+    const std::function<void(server::ServerOptions*)>& tune = nullptr) {
   auto d = std::make_unique<TpccDeployment>();
   d->config = tpcc_config;
   d->config.encryption = system.encryption;
@@ -105,6 +110,7 @@ inline std::unique_ptr<TpccDeployment> SetUpDeployment(
   opts.engine.lock_timeout = std::chrono::milliseconds(100);
   opts.enclave_worker_spin_us = 2;  // single-core host: spinning steals cycles
   opts.eval_batch_size = eval_batch_size;  // 1 = row-at-a-time enclave calls
+  if (tune) tune(&opts);  // overload benches set gates/queue depths here
   d->db = std::make_unique<server::Database>(opts, d->hgs.get(), &d->image);
   d->hgs->RegisterTcgLog(d->db->platform()->tcg_log());
 

@@ -7,9 +7,16 @@
 // results decrypted client-side, key material only ever crossing the wire
 // wrapped or sealed to the enclave.
 //
-//   aedb_serverd [--port N] [--enclave-threads N] [--demo]
+//   aedb_serverd [--port N] [--enclave-threads N] [--batch-size N]
+//                [--max-connections N] [--max-inflight N] [--queue-depth N]
+//                [--retry-after-ms N] [--demo]
 //
 // --port 0 picks an ephemeral port (printed on stdout).
+// --max-connections caps concurrent TCP sessions; excess connections get a
+// typed kOverloaded rejection frame instead of a silent worker thread.
+// --max-inflight / --queue-depth / --retry-after-ms tune the admission gate,
+// the bounded enclave work queue, and the retry-after hint stamped on every
+// shed query (0 = unbounded / default hint).
 // --demo additionally runs a loopback client through a provision → CREATE
 // TABLE → INSERT → SELECT flow against the running server, then exits; this
 // doubles as a smoke test (`aedb_serverd --demo --port 0`).
@@ -127,12 +134,26 @@ int main(int argc, char** argv) {
       // Rows per execution morsel (1 = row-at-a-time enclave calls).
       if (!parse_int("--batch-size", argv[++i], 1, 1 << 20, &v)) return 2;
       server_opts.eval_batch_size = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--max-connections") == 0 && i + 1 < argc) {
+      if (!parse_int("--max-connections", argv[++i], 0, 1 << 20, &v)) return 2;
+      config.max_connections = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0 && i + 1 < argc) {
+      if (!parse_int("--max-inflight", argv[++i], 0, 1 << 20, &v)) return 2;
+      server_opts.max_inflight_queries = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
+      if (!parse_int("--queue-depth", argv[++i], 0, 1 << 20, &v)) return 2;
+      server_opts.enclave_queue_depth = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--retry-after-ms") == 0 && i + 1 < argc) {
+      if (!parse_int("--retry-after-ms", argv[++i], 1, 60'000, &v)) return 2;
+      server_opts.overload_retry_after_ms = static_cast<uint32_t>(v);
+      config.overload_retry_after_ms = static_cast<uint32_t>(v);
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--enclave-threads N] "
-                   "[--batch-size N] [--demo]\n",
+                   "[--batch-size N] [--max-connections N] [--max-inflight N] "
+                   "[--queue-depth N] [--retry-after-ms N] [--demo]\n",
                    argv[0]);
       return 2;
     }
@@ -173,6 +194,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.frames_in.load()),
               static_cast<unsigned long long>(s.frames_out.load()),
               static_cast<unsigned long long>(s.protocol_errors.load()));
+  std::printf("overload: %llu conns rejected, %llu queries rejected, "
+              "%llu expired, queue highwater %llu\n",
+              static_cast<unsigned long long>(s.connections_rejected.load()),
+              static_cast<unsigned long long>(s.queries_rejected.load()),
+              static_cast<unsigned long long>(s.queries_expired.load()),
+              static_cast<unsigned long long>(s.queue_depth_highwater.load()));
   server.Stop();
   return 0;
 }

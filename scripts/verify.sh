@@ -8,6 +8,11 @@
 #   scripts/verify.sh --tsan    # also run ThreadSanitizer over the threaded
 #                               # suites (worker pool, net server, batched
 #                               # executor morsels)
+#   scripts/verify.sh --overload  # also run the deadline/overload robustness
+#                               # lane: ctest -L overload, the 4x open-loop
+#                               # degradation sweep (bench_overload), and the
+#                               # bench_net guard that fails if the disarmed
+#                               # deadline check costs >=1% of a loopback SELECT
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -32,6 +37,18 @@ if [[ "${1:-}" == "--asan" ]]; then
   ASAN_OPTIONS=detect_leaks=0 run ctest --test-dir build-asan \
       -R 'fault_test|fault_torture_test|storage_test|net_test' \
       --output-on-failure
+fi
+
+if [[ "${1:-}" == "--overload" ]]; then
+  # Deadline/overload robustness lane. The overload-labelled suite covers
+  # deadline-bounded lock waits, worker-pool shedding, the admission gate and
+  # the 4x socket stress; bench_overload gates graceful degradation (goodput
+  # >= 70% of capacity at 4x offered load, zero wrong results, every shed
+  # query typed); bench_net gates the disarmed deadline-check overhead.
+  run ctest --test-dir build -L overload --output-on-failure
+  run cmake --build build -j "$JOBS" --target bench_overload bench_net
+  run ./build/bench/bench_overload
+  run ./build/bench/bench_net
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/query_context.h"
 #include "crypto/dh.h"
 #include "crypto/drbg.h"
 #include "crypto/sha256.h"
@@ -323,8 +324,33 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
     return transport_->ExecuteNamed(sql, params, txn, 0);
   }
   const RetryPolicy& policy = options_.retry;
+  // End-to-end deadline: fixed at entry, shared by every attempt and every
+  // backoff sleep. The remaining budget rides each wire frame so the server
+  // stops working on this query the moment the client stops caring.
+  using Clock = std::chrono::steady_clock;
+  const bool has_deadline = options_.deadline_ms > 0;
+  const Clock::time_point deadline =
+      has_deadline
+          ? Clock::now() + std::chrono::milliseconds(options_.deadline_ms)
+          : Clock::time_point::max();
+  auto remaining_ms = [&]() -> int64_t {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                 Clock::now())
+        .count();
+  };
   std::chrono::milliseconds slept{0};
   for (int attempt = 0;; ++attempt) {
+    uint32_t budget = 0;
+    if (has_deadline) {
+      int64_t left = remaining_ms();
+      if (left <= 0) {
+        return Status::DeadlineExceeded(
+            "query deadline expired before attempt " +
+            std::to_string(attempt));
+      }
+      budget = static_cast<uint32_t>(left);
+    }
+    transport_->set_deadline(budget);
     transport_->set_attempt(static_cast<uint32_t>(attempt));
     Result<sql::ResultSet> result = QueryAttempt(sql, params, txn);
     if (result.ok()) {
@@ -336,6 +362,11 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
     const Status failure = result.status();
     const ErrorClass cls = ClassifyError(failure);
     if (cls == ErrorClass::kFatal || !policy.enabled) return failure;
+    // A deadline-expired statement is NEVER replayed: the budget is spent,
+    // and a write may have partially executed before a morsel-boundary check
+    // fired (the engine rolled the statement back, but replaying would spend
+    // time the caller already declared worthless).
+    if (cls == ErrorClass::kDeadline) return failure;
     if (attempt + 1 >= policy.max_attempts) return failure;
 
     // Inside an explicit transaction the server-side txn state is lost
@@ -343,8 +374,10 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
     // statement cannot reconstruct it — surface a typed abort and let the
     // application restart the whole transaction (TPC-C does). Still drop the
     // dead session here, so the restarted transaction re-attests instead of
-    // failing on the same stale session forever.
-    if (txn != 0) {
+    // failing on the same stale session forever. Exception: an overloaded
+    // rejection happened BEFORE the statement touched any state, so the txn
+    // is intact and the statement may be replayed even mid-transaction.
+    if (txn != 0 && cls != ErrorClass::kBackoffRetry) {
       if (cls == ErrorClass::kReattest) InvalidateSession();
       return Status::TransactionAborted(
           "transaction state lost (" + std::string(ErrorClassName(cls)) +
@@ -356,7 +389,7 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
       // re-attesting. Dropping the cached session makes the next attempt
       // re-attest, re-derive the DH channel, and re-install CEKs.
       InvalidateSession();
-    } else {  // kReconnect
+    } else if (cls == ErrorClass::kReconnect) {
       // The request's fate is unknown — the statement may have committed
       // before the connection died. Only reads are safe to replay.
       auto stmt = sql::Parse(sql);
@@ -371,10 +404,26 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
         ++reconnects_;
       }
     }
+    // kBackoffRetry needs no repair: the server shed the request before
+    // executing it, so the session, transaction and connection are all fine —
+    // the only cure for overload is waiting.
 
     std::chrono::milliseconds delay =
         ComputeBackoff(attempt, policy, &backoff_prng_);
+    if (cls == ErrorClass::kBackoffRetry) {
+      // Honor the server's retry-after hint when it asks for more patience
+      // than our own jittered schedule would grant.
+      std::chrono::milliseconds hint{
+          RetryAfterMsFromMessage(failure.message())};
+      if (hint > delay) delay = hint;
+    }
     if (slept + delay > policy.max_cumulative) return failure;
+    if (has_deadline && delay.count() >= remaining_ms()) {
+      // Sleeping would outlive the budget; the caller stopped caring.
+      return Status::DeadlineExceeded(
+          "query deadline expired while backing off from: " +
+          failure.message());
+    }
     slept += delay;
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
     ++retries_;

@@ -37,6 +37,13 @@ struct DriverOptions {
   /// Retry/backoff behaviour for transient failures (enclave restart, dropped
   /// connection). See retry.h for the classification this drives.
   RetryPolicy retry;
+  /// End-to-end budget for one Query() call, milliseconds (0 = none). The
+  /// budget covers every attempt plus backoff sleeps: each attempt is stamped
+  /// with the remaining budget (the server bounds execution, lock waits and
+  /// enclave work by it), an attempt is never started with an exhausted
+  /// budget, and a backoff that would outlive the budget returns a typed
+  /// kDeadlineExceeded instead of sleeping.
+  uint32_t deadline_ms = 0;
   /// Produces a fresh Transport when the current one reports !healthy()
   /// (dropped socket). Unset = the driver cannot reconnect and surfaces the
   /// transport error after classification.

@@ -7,6 +7,8 @@ const char* ErrorClassName(ErrorClass c) {
     case ErrorClass::kFatal: return "fatal";
     case ErrorClass::kReattest: return "reattest";
     case ErrorClass::kReconnect: return "reconnect";
+    case ErrorClass::kBackoffRetry: return "backoff-retry";
+    case ErrorClass::kDeadline: return "deadline";
   }
   return "unknown";
 }
@@ -28,6 +30,12 @@ ErrorClass ClassifyError(const Status& status) {
     // Transport/server gone. The request's fate is unknown.
     case StatusCode::kUnavailable:
       return ErrorClass::kReconnect;
+    // Shed before execution: always safe to retry after backing off.
+    case StatusCode::kOverloaded:
+      return ErrorClass::kBackoffRetry;
+    // Budget exhausted (or cancelled): never replay.
+    case StatusCode::kDeadlineExceeded:
+      return ErrorClass::kDeadline;
     default:
       return ErrorClass::kFatal;
   }

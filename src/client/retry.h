@@ -28,6 +28,17 @@ enum class ErrorClass : uint8_t {
   /// executed before the failure — only reads / idempotent statements may be
   /// replayed automatically.
   kReconnect,
+  /// The server shed the request before executing it (admission gate,
+  /// connection cap, full enclave queue — typed kOverloaded). Replay is safe
+  /// for ANY statement, even a write inside a transaction, because a shed
+  /// statement provably never ran. Delay = max(server retry-after hint,
+  /// jittered exponential backoff) so a stampede spreads out.
+  kBackoffRetry,
+  /// The query's end-to-end deadline expired (typed kDeadlineExceeded). The
+  /// statement may have partially run before the deadline check fired, and
+  /// the budget is gone anyway: NEVER replay, surface the typed status
+  /// immediately.
+  kDeadline,
 };
 
 const char* ErrorClassName(ErrorClass c);

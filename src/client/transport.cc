@@ -22,13 +22,13 @@ Status InProcessTransport::ExecuteDdl(const std::string& sql,
 Result<sql::ResultSet> InProcessTransport::Execute(
     const std::string& sql, const std::vector<types::Value>& params,
     uint64_t txn, uint64_t session_id) {
-  return db_->Execute(sql, params, txn, session_id);
+  return db_->Execute(sql, params, txn, session_id, deadline_ms_);
 }
 
 Result<sql::ResultSet> InProcessTransport::ExecuteNamed(
     const std::string& sql, const NamedParams& params, uint64_t txn,
     uint64_t session_id) {
-  return db_->ExecuteNamed(sql, params, txn, session_id);
+  return db_->ExecuteNamed(sql, params, txn, session_id, deadline_ms_);
 }
 
 Result<server::DescribeResult> InProcessTransport::DescribeParameterEncryption(

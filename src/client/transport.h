@@ -41,6 +41,11 @@ class Transport {
   /// Stamps the retry attempt (0 = first try) onto subsequent Execute* round
   /// trips so the server can count recovery traffic. No-op off the wire.
   virtual void set_attempt(uint32_t attempt) { (void)attempt; }
+  /// Stamps the query's remaining deadline budget (milliseconds; 0 = none)
+  /// onto subsequent Execute* round trips. The server converts it into a
+  /// QueryContext bounding execution, lock waits and enclave work. Default
+  /// no-op so test transports need no changes.
+  virtual void set_deadline(uint32_t remaining_ms) { (void)remaining_ms; }
 
   // ----- transactions -----
   virtual Result<uint64_t> BeginTransaction() = 0;
@@ -89,6 +94,10 @@ class InProcessTransport : public Transport {
  public:
   explicit InProcessTransport(server::Database* db) : db_(db) {}
 
+  void set_deadline(uint32_t remaining_ms) override {
+    deadline_ms_ = remaining_ms;
+  }
+
   Result<uint64_t> BeginTransaction() override;
   Status CommitTransaction(uint64_t txn) override;
   Status RollbackTransaction(uint64_t txn) override;
@@ -124,6 +133,7 @@ class InProcessTransport : public Transport {
 
  private:
   server::Database* db_;
+  uint32_t deadline_ms_ = 0;
 };
 
 }  // namespace aedb::client

@@ -1,0 +1,43 @@
+#include "common/query_context.h"
+
+#include <cstdlib>
+
+namespace aedb {
+
+namespace {
+thread_local const QueryContext* g_current_query_context = nullptr;
+constexpr std::string_view kRetryAfterKey = "retry-after-ms=";
+}  // namespace
+
+const QueryContext* QueryContext::Current() { return g_current_query_context; }
+
+ScopedQueryContext::ScopedQueryContext(const QueryContext* ctx)
+    : prev_(g_current_query_context) {
+  g_current_query_context = ctx;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { g_current_query_context = prev_; }
+
+std::string AppendRetryAfterHint(std::string msg, uint32_t retry_after_ms) {
+  msg += "; ";
+  msg += kRetryAfterKey;
+  msg += std::to_string(retry_after_ms);
+  return msg;
+}
+
+uint32_t RetryAfterMsFromMessage(std::string_view msg) {
+  size_t pos = msg.rfind(kRetryAfterKey);
+  if (pos == std::string_view::npos) return 0;
+  pos += kRetryAfterKey.size();
+  uint64_t value = 0;
+  bool any = false;
+  while (pos < msg.size() && msg[pos] >= '0' && msg[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(msg[pos] - '0');
+    if (value > 0xFFFFFFFFull) return 0;  // garbled; ignore the hint
+    ++pos;
+    any = true;
+  }
+  return any ? static_cast<uint32_t>(value) : 0;
+}
+
+}  // namespace aedb

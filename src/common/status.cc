@@ -21,6 +21,8 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kSessionNotFound: return "SessionNotFound";
     case StatusCode::kTransactionAborted: return "TransactionAborted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

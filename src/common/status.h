@@ -32,6 +32,8 @@ enum class StatusCode : uint8_t {
   kUnavailable,         // server/connection gone; safe to retry elsewhere
   kSessionNotFound,     // enclave session evicted (restart); re-attest
   kTransactionAborted,  // in-flight txn lost to a fault; restart the txn
+  kDeadlineExceeded,    // query deadline expired (or cancelled); never replay
+  kOverloaded,          // shed before execution; safe to retry after backoff
 };
 
 /// \brief RocksDB-style status object: cheap to return, carries a code and a
@@ -89,6 +91,12 @@ class Status {
   static Status TransactionAborted(std::string msg) {
     return Status(StatusCode::kTransactionAborted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -103,6 +111,8 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsSessionNotFound() const { return code_ == StatusCode::kSessionNotFound; }
   bool IsTransactionAborted() const { return code_ == StatusCode::kTransactionAborted; }
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

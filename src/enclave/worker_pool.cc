@@ -2,7 +2,17 @@
 
 #include <chrono>
 
+#include "fault/fault.h"
+
 namespace aedb::enclave {
+
+namespace {
+bool ItemExpired(const EnclaveWorkerPool::Clock::time_point deadline,
+                 EnclaveWorkerPool::Clock::time_point now) {
+  return deadline != EnclaveWorkerPool::Clock::time_point::max() &&
+         now >= deadline;
+}
+}  // namespace
 
 EnclaveWorkerPool::EnclaveWorkerPool(Enclave* enclave, Options options)
     : enclave_(enclave), options_(options) {
@@ -13,30 +23,83 @@ EnclaveWorkerPool::EnclaveWorkerPool(Enclave* enclave, Options options)
 }
 
 EnclaveWorkerPool::~EnclaveWorkerPool() {
+  std::deque<std::unique_ptr<WorkItem>> orphaned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    orphaned.swap(queue_);
   }
   cv_.notify_all();
   for (auto& t : threads_) t.join();
+  for (auto& item : orphaned) {
+    FailItem(item.get(), Status::FailedPrecondition("worker pool shut down"));
+  }
+}
+
+void EnclaveWorkerPool::FailItem(WorkItem* item, Status st) {
+  if (item->is_batch) {
+    item->batch_promise.set_value(st);
+  } else {
+    item->promise.set_value(st);
+  }
+}
+
+size_t EnclaveWorkerPool::ShedExpiredLocked(Clock::time_point now) {
+  size_t shed = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (ItemExpired((*it)->deadline, now)) {
+      FailItem(it->get(), Status::DeadlineExceeded(
+                              "morsel shed: query deadline exceeded while "
+                              "queued for the enclave"));
+      it = queue_.erase(it);
+      ++shed;
+    } else {
+      ++it;
+    }
+  }
+  expired_dropped_.fetch_add(shed, std::memory_order_relaxed);
+  return shed;
+}
+
+Status EnclaveWorkerPool::Enqueue(std::unique_ptr<WorkItem> item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::FailedPrecondition("worker pool shut down");
+    bool full = options_.max_queue_depth > 0 &&
+                queue_.size() >= options_.max_queue_depth;
+    if (full) {
+      // Shed-oldest-expired: queued morsels whose query already gave up are
+      // dead weight — complete them as kDeadlineExceeded to make room.
+      if (ShedExpiredLocked(Clock::now()) > 0) {
+        full = queue_.size() >= options_.max_queue_depth;
+      }
+    }
+    fault::FaultSpec spec;
+    if (full || AEDB_FAULT_FIRED("pool/queue_full", &spec)) {
+      overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Overloaded("enclave worker queue full");
+    }
+    queue_.push_back(std::move(item));
+    if (queue_.size() > queue_highwater_.load(std::memory_order_relaxed)) {
+      queue_highwater_.store(queue_.size(), std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_one();
+  return Status::OK();
 }
 
 Result<std::vector<types::Value>> EnclaveWorkerPool::SubmitEval(
     uint64_t handle, std::vector<types::Value> inputs, uint64_t session_id,
-    std::string authorizing_query) {
+    std::string authorizing_query, Clock::time_point deadline) {
   auto item = std::make_unique<WorkItem>();
   item->handle = handle;
   item->inputs = std::move(inputs);
   item->session_id = session_id;
   item->authorizing_query = std::move(authorizing_query);
+  item->deadline = deadline;
   std::future<Result<std::vector<types::Value>>> future =
       item->promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return Status::FailedPrecondition("worker pool shut down");
-    queue_.push_back(std::move(item));
-  }
-  cv_.notify_one();
+  AEDB_RETURN_IF_ERROR(Enqueue(std::move(item)));
   return future.get();
 }
 
@@ -44,21 +107,18 @@ Result<std::vector<std::vector<types::Value>>>
 EnclaveWorkerPool::SubmitEvalBatch(uint64_t handle,
                                    std::vector<std::vector<types::Value>> batch,
                                    uint64_t session_id,
-                                   std::string authorizing_query) {
+                                   std::string authorizing_query,
+                                   Clock::time_point deadline) {
   auto item = std::make_unique<WorkItem>();
   item->handle = handle;
   item->batch = std::move(batch);
   item->is_batch = true;
   item->session_id = session_id;
   item->authorizing_query = std::move(authorizing_query);
+  item->deadline = deadline;
   std::future<Result<std::vector<std::vector<types::Value>>>> future =
       item->batch_promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return Status::FailedPrecondition("worker pool shut down");
-    queue_.push_back(std::move(item));
-  }
-  cv_.notify_one();
+  AEDB_RETURN_IF_ERROR(Enqueue(std::move(item)));
   return future.get();
 }
 
@@ -92,6 +152,21 @@ void EnclaveWorkerPool::WorkerLoop() {
         // Exit the enclave and sleep; waking up pays a fresh transition.
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        // The worker is *outside* the enclave here: drop already-expired
+        // morsels before paying the re-entry transition. If only expired
+        // work queued up, go back to sleep without ever transitioning.
+        auto now = Clock::now();
+        while (!queue_.empty() && ItemExpired(queue_.front()->deadline, now)) {
+          auto dead = std::move(queue_.front());
+          queue_.pop_front();
+          lock.unlock();
+          expired_dropped_.fetch_add(1, std::memory_order_relaxed);
+          FailItem(dead.get(),
+                   Status::DeadlineExceeded(
+                       "morsel dropped: query deadline exceeded before "
+                       "enclave re-entry"));
+          lock.lock();
+        }
         if (queue_.empty()) {
           if (shutdown_) return;
           continue;
@@ -102,6 +177,22 @@ void EnclaveWorkerPool::WorkerLoop() {
         wakeups_.fetch_add(1, std::memory_order_relaxed);
         enclave_->ChargeTransition();
       }
+    }
+    // Test hook: hold this worker inside the enclave so submissions back up
+    // deterministically (spec.arg = stall in milliseconds).
+    fault::FaultSpec stall;
+    if (AEDB_FAULT_FIRED("pool/worker_stall", &stall)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(stall.arg != 0 ? stall.arg : 100));
+    }
+    // A resident worker still skips the eval for expired work: the
+    // transition is already amortized, but the enclave-side compute isn't.
+    if (ItemExpired(item->deadline, Clock::now())) {
+      expired_dropped_.fetch_add(1, std::memory_order_relaxed);
+      FailItem(item.get(), Status::DeadlineExceeded(
+                               "morsel dropped: query deadline exceeded "
+                               "before enclave eval"));
+      continue;
     }
     if (item->is_batch) {
       item->batch_promise.set_value(enclave_->EvalRegisteredBatchResident(

@@ -2,6 +2,7 @@
 #define AEDB_ENCLAVE_WORKER_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -22,11 +23,24 @@ namespace aedb::enclave {
 /// spins for `spin_duration_us` polling for more work before "exiting the
 /// enclave" and sleeping. A heavily used enclave therefore stays resident
 /// (no transition cost per item); an idle one releases its core.
+///
+/// Overload control: the queue is optionally bounded (`max_queue_depth`).
+/// When full, already-expired queued morsels are shed first (their waiters
+/// get kDeadlineExceeded); if the queue is still full the submission is
+/// rejected with kOverloaded. Work items carry the submitting query's
+/// deadline: a sleeping worker drops expired morsels *before* re-entering
+/// the enclave, so expired work never pays a transition.
 class EnclaveWorkerPool {
  public:
+  using Clock = std::chrono::steady_clock;
+
   struct Options {
     int num_threads = 4;          // paper: 1 or 4 enclave threads
     uint64_t spin_duration_us = 50;
+    /// Max queued (not yet picked up) work items; 0 = unbounded. Excess
+    /// submissions are rejected with kOverloaded after shedding any expired
+    /// queued items (shed-oldest-expired).
+    size_t max_queue_depth = 0;
   };
 
   EnclaveWorkerPool(Enclave* enclave, Options options);
@@ -40,18 +54,34 @@ class EnclaveWorkerPool {
   /// that the *enclave transition* is amortized, not the wait.)
   Result<std::vector<types::Value>> SubmitEval(
       uint64_t handle, std::vector<types::Value> inputs,
-      uint64_t session_id = 0, std::string authorizing_query = {});
+      uint64_t session_id = 0, std::string authorizing_query = {},
+      Clock::time_point deadline = Clock::time_point::max());
 
   /// Enqueues one EvalRegisteredBatch call covering a whole morsel; the
   /// consuming worker stays resident, so an entire batch rides on (at most)
   /// one wake-up transition.
   Result<std::vector<std::vector<types::Value>>> SubmitEvalBatch(
       uint64_t handle, std::vector<std::vector<types::Value>> batch,
-      uint64_t session_id = 0, std::string authorizing_query = {});
+      uint64_t session_id = 0, std::string authorizing_query = {},
+      Clock::time_point deadline = Clock::time_point::max());
 
   /// Number of times a worker had to re-enter the enclave after sleeping —
   /// the transitions actually paid.
   uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+
+  /// Deepest the submission queue ever got.
+  uint64_t queue_highwater() const {
+    return queue_highwater_.load(std::memory_order_relaxed);
+  }
+  /// Morsels dropped (typed kDeadlineExceeded) because their query deadline
+  /// passed while queued — shed without an enclave transition or eval.
+  uint64_t expired_dropped() const {
+    return expired_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Submissions rejected with kOverloaded because the queue was full.
+  uint64_t overload_rejected() const {
+    return overload_rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct WorkItem {
@@ -62,12 +92,20 @@ class EnclaveWorkerPool {
     bool is_batch = false;
     uint64_t session_id;
     std::string authorizing_query;
+    Clock::time_point deadline = Clock::time_point::max();
     std::promise<Result<std::vector<types::Value>>> promise;
     std::promise<Result<std::vector<std::vector<types::Value>>>> batch_promise;
   };
 
   void WorkerLoop();
   bool PopItem(std::unique_ptr<WorkItem>* item);
+  /// Fails the item's waiter with `st` (whichever promise is active).
+  static void FailItem(WorkItem* item, Status st);
+  /// Completes expired queued items with kDeadlineExceeded, oldest first.
+  /// Returns how many were shed. Caller holds mu_.
+  size_t ShedExpiredLocked(Clock::time_point now);
+  /// Enqueues or rejects with kOverloaded; shared by both Submit paths.
+  Status Enqueue(std::unique_ptr<WorkItem> item);
 
   Enclave* enclave_;
   Options options_;
@@ -78,6 +116,9 @@ class EnclaveWorkerPool {
   bool shutdown_ = false;
 
   std::atomic<uint64_t> wakeups_{0};
+  std::atomic<uint64_t> queue_highwater_{0};
+  std::atomic<uint64_t> expired_dropped_{0};
+  std::atomic<uint64_t> overload_rejected_{0};
   std::vector<std::thread> threads_;
 };
 

@@ -117,6 +117,8 @@ Status MakeStatus(uint8_t code, std::string message) {
     case StatusCode::kUnavailable: return Status::Unavailable(std::move(message));
     case StatusCode::kSessionNotFound: return Status::SessionNotFound(std::move(message));
     case StatusCode::kTransactionAborted: return Status::TransactionAborted(std::move(message));
+    case StatusCode::kDeadlineExceeded: return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kOverloaded: return Status::Overloaded(std::move(message));
   }
   return Status::Internal("unknown wire status code " + std::to_string(code) +
                           ": " + message);
@@ -388,6 +390,7 @@ Bytes QueryReq::Encode() const {
   PutU64(&out, txn);
   PutU64(&out, session_id);
   out.push_back(retry);
+  PutU32(&out, deadline_ms);
   return out;
 }
 
@@ -400,6 +403,8 @@ Result<QueryReq> QueryReq::Decode(Slice in) {
   AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
   // Trailing retry counter is optional: absent (older client) means attempt 0.
   if (off < in.size()) req.retry = in[off++];
+  // Trailing deadline is likewise optional: absent means no deadline.
+  if (off < in.size()) AEDB_ASSIGN_OR_RETURN(req.deadline_ms, GetU32(in, &off));
   return req;
 }
 
@@ -410,6 +415,7 @@ Bytes QueryNamedReq::Encode() const {
   PutU64(&out, txn);
   PutU64(&out, session_id);
   out.push_back(retry);
+  PutU32(&out, deadline_ms);
   return out;
 }
 
@@ -421,6 +427,7 @@ Result<QueryNamedReq> QueryNamedReq::Decode(Slice in) {
   AEDB_ASSIGN_OR_RETURN(req.txn, GetU64(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
   if (off < in.size()) req.retry = in[off++];
+  if (off < in.size()) AEDB_ASSIGN_OR_RETURN(req.deadline_ms, GetU32(in, &off));
   return req;
 }
 

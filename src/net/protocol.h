@@ -156,6 +156,9 @@ struct QueryReq {
   /// Driver retry attempt (0 = first try). Lets the server count recovery
   /// traffic; decoded as optional so a frame without it still parses.
   uint8_t retry = 0;
+  /// Remaining client budget for this query in milliseconds (0 = none).
+  /// Trailing and optional like `retry`: older frames still parse.
+  uint32_t deadline_ms = 0;
 
   Bytes Encode() const;
   static Result<QueryReq> Decode(Slice in);
@@ -167,6 +170,7 @@ struct QueryNamedReq {
   uint64_t txn = 0;
   uint64_t session_id = 0;
   uint8_t retry = 0;
+  uint32_t deadline_ms = 0;
 
   Bytes Encode() const;
   static Result<QueryNamedReq> Decode(Slice in);

@@ -153,6 +153,51 @@ void Server::RefreshEnclaveStats() const {
                                       std::memory_order_relaxed);
   stats_.enclave_transitions.store(s.enclave_transitions,
                                    std::memory_order_relaxed);
+  stats_.queries_admitted.store(s.queries_admitted, std::memory_order_relaxed);
+  stats_.queries_rejected.store(s.queries_rejected, std::memory_order_relaxed);
+  stats_.queries_expired.store(s.queries_expired, std::memory_order_relaxed);
+  stats_.queue_depth_highwater.store(s.pool_queue_highwater,
+                                     std::memory_order_relaxed);
+  stats_.lock_waits_expired.store(s.lock_waits_expired,
+                                  std::memory_order_relaxed);
+}
+
+void Server::RejectConnection(int fd) {
+  stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+  Bytes err;
+  AppendErrorFrame(&err, Status::Overloaded(AppendRetryAfterHint(
+                             "server connection limit reached",
+                             config_.overload_retry_after_ms)));
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
+  (void)WriteFull(fd, err);
+  // Half-close and drain briefly: if we close() with the client's handshake
+  // bytes unread, the kernel may RST and destroy the queued error frame
+  // before the client sees its typed rejection.
+  ::shutdown(fd, SHUT_WR);
+  SetTimeout(fd, SO_RCVTIMEO, 200);
+  uint8_t sink[256];
+  while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+  }
+  ::close(fd);
+}
+
+void Server::ReapFinishedWorkers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (uint64_t id : finished_) {
+      auto it = workers_.find(id);
+      if (it != workers_.end()) {
+        done.push_back(std::move(it->second));
+        workers_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (auto& t : done) {
+    if (t.joinable()) t.join();
+  }
 }
 
 void Server::AcceptLoop() {
@@ -166,10 +211,26 @@ void Server::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // Finished connections leave their thread objects behind; join them here
+    // so connection churn cannot grow the worker map without bound.
+    ReapFinishedWorkers();
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     SetTimeout(fd, SO_RCVTIMEO, config_.read_timeout_ms);
     SetTimeout(fd, SO_SNDTIMEO, config_.write_timeout_ms);
+
+    // Admission at the connection level: turn surplus connections away with
+    // a typed kOverloaded frame instead of accept-and-starve.
+    bool reject =
+        config_.max_connections > 0 &&
+        stats_.connections_active.load(std::memory_order_relaxed) >=
+            config_.max_connections;
+    fault::FaultSpec spec;
+    if (AEDB_FAULT_FIRED("net/accept_reject", &spec)) reject = true;
+    if (reject) {
+      RejectConnection(fd);
+      continue;
+    }
 
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
@@ -258,7 +319,8 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
   stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(conn_mu_);
   live_fds_.erase(conn_id);
-  // The worker thread object stays in workers_ until Stop() joins it.
+  // Mark the thread reapable; the acceptor (or Stop) joins it.
+  finished_.push_back(conn_id);
 }
 
 bool Server::HandleFrame(const FrameHeader& header, Slice payload,
@@ -331,7 +393,8 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
           return true;
         }
       }
-      auto rs = db_->Execute(req->sql, req->params, req->txn, req->session_id);
+      auto rs = db_->Execute(req->sql, req->params, req->txn, req->session_id,
+                             req->deadline_ms);
       if (!rs.ok()) {
         reply_error(rs.status());
         return true;
@@ -361,7 +424,7 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
         }
       }
       auto rs = db_->ExecuteNamed(req->sql, req->params, req->txn,
-                                  req->session_id);
+                                  req->session_id, req->deadline_ms);
       if (!rs.ok()) {
         reply_error(rs.status());
         return true;

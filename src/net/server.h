@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/protocol.h"
 #include "server/database.h"
@@ -25,6 +26,12 @@ struct ServerConfig {
   uint32_t write_timeout_ms = 30'000;
   /// Frames claiming a larger payload are rejected before allocation.
   uint32_t max_payload = kDefaultMaxPayload;
+  /// Cap on concurrently served connections (0 = unlimited). Excess accepts
+  /// get a typed kOverloaded error frame and an immediate close instead of
+  /// a silent accept-and-starve; see connections_rejected.
+  uint32_t max_connections = 0;
+  /// Retry-after hint (milliseconds) carried by connection rejections.
+  uint32_t overload_retry_after_ms = 20;
 };
 
 /// Per-server counters (monotonic; read with relaxed ordering).
@@ -45,11 +52,20 @@ struct ServerStats {
   /// Successful kAttest round trips (enclave sessions minted). Grows past
   /// the connection count when clients re-attest after an enclave restart.
   std::atomic<uint64_t> sessions_attested{0};
+  /// Connections turned away at accept time with a typed kOverloaded frame
+  /// (max_connections cap or the net/accept_reject fault point).
+  std::atomic<uint64_t> connections_rejected{0};
   /// Mirrors of the database's enclave amortization counters, refreshed on
   /// every stats() read so operators see batching effectiveness per server.
   std::atomic<uint64_t> enclave_batch_evals{0};
   std::atomic<uint64_t> enclave_batched_values{0};
   std::atomic<uint64_t> enclave_transitions{0};
+  /// Mirrors of the database's overload-control gauges (same refresh).
+  std::atomic<uint64_t> queries_admitted{0};
+  std::atomic<uint64_t> queries_rejected{0};
+  std::atomic<uint64_t> queries_expired{0};
+  std::atomic<uint64_t> queue_depth_highwater{0};
+  std::atomic<uint64_t> lock_waits_expired{0};
 };
 
 /// \brief Multi-threaded TCP front end for a `server::Database`.
@@ -91,8 +107,15 @@ class Server {
 
  private:
   void AcceptLoop();
-  /// Copies the database's enclave counters into the stats mirror.
+  /// Copies the database's enclave + overload counters into the stats mirror.
   void RefreshEnclaveStats() const;
+  /// Answers a surplus connection with a typed kOverloaded error frame
+  /// (+ retry-after hint) and closes it.
+  void RejectConnection(int fd);
+  /// Joins worker threads whose connections have finished. Called from the
+  /// acceptor between accepts so a connection-churn workload cannot grow
+  /// the thread map without bound; Stop() joins whatever remains.
+  void ReapFinishedWorkers();
   void ServeConnection(int fd, uint64_t conn_id);
   /// Decodes one request payload, runs it against the database and encodes
   /// the response frame (kError frames for failures). Returns false when the
@@ -112,7 +135,8 @@ class Server {
   std::mutex conn_mu_;
   uint64_t next_connection_id_ = 1;
   std::map<uint64_t, int> live_fds_;          // conn id -> fd (for Stop)
-  std::map<uint64_t, std::thread> workers_;   // joined in Stop
+  std::map<uint64_t, std::thread> workers_;   // reaped by acceptor / Stop
+  std::vector<uint64_t> finished_;            // conn ids ready to reap
 };
 
 }  // namespace aedb::net

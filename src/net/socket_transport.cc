@@ -221,6 +221,7 @@ Result<sql::ResultSet> SocketTransport::Execute(
   req.session_id = session_id;
   uint32_t attempt = attempt_.load(std::memory_order_relaxed);
   req.retry = static_cast<uint8_t>(attempt > 255 ? 255 : attempt);
+  req.deadline_ms = deadline_ms_.load(std::memory_order_relaxed);
   Bytes body;
   AEDB_ASSIGN_OR_RETURN(
       body, RoundTrip(MsgType::kQuery, req.Encode(), MsgType::kResultSet));
@@ -237,6 +238,7 @@ Result<sql::ResultSet> SocketTransport::ExecuteNamed(
   req.session_id = session_id;
   uint32_t attempt = attempt_.load(std::memory_order_relaxed);
   req.retry = static_cast<uint8_t>(attempt > 255 ? 255 : attempt);
+  req.deadline_ms = deadline_ms_.load(std::memory_order_relaxed);
   Bytes body;
   AEDB_ASSIGN_OR_RETURN(
       body, RoundTrip(MsgType::kQueryNamed, req.Encode(), MsgType::kResultSet));

@@ -52,6 +52,11 @@ class SocketTransport : public client::Transport {
   /// Stamps the driver's retry attempt onto subsequent Query/QueryNamed
   /// frames so the server's retries_seen counter sees recovery traffic.
   void set_attempt(uint32_t attempt) override { attempt_ = attempt; }
+  /// Stamps the query's remaining deadline budget onto subsequent
+  /// Query/QueryNamed frames; the server turns it into a QueryContext.
+  void set_deadline(uint32_t remaining_ms) override {
+    deadline_ms_ = remaining_ms;
+  }
   Result<uint64_t> BeginTransaction() override;
   Status CommitTransaction(uint64_t txn) override;
   Status RollbackTransaction(uint64_t txn) override;
@@ -103,6 +108,7 @@ class SocketTransport : public client::Transport {
   Options options_;
   uint64_t connection_id_ = 0;
   std::atomic<uint32_t> attempt_{0};
+  std::atomic<uint32_t> deadline_ms_{0};
   /// A transport whose stream broke stays broken (no silent resync).
   Status poisoned_ = Status::OK();
 };

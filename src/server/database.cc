@@ -71,9 +71,19 @@ class Database::ServerInvoker : public es::EnclaveInvoker {
       return Status::FailedPrecondition(
           "query requires an enclave but none is configured");
     }
+    // An expired query must cost zero further enclave transitions: check the
+    // deadline *before* registering, submitting, or calling into the enclave.
+    auto deadline = enclave::EnclaveWorkerPool::Clock::time_point::max();
+    if (const QueryContext* q = QueryContext::Current(); q != nullptr) {
+      AEDB_RETURN_IF_ERROR(q->Check());
+      deadline = q->deadline();
+    }
     uint64_t handle;
     AEDB_ASSIGN_OR_RETURN(handle, HandleFor(program_bytes));
-    if (pool_ != nullptr) return pool_->SubmitEval(handle, inputs);
+    if (pool_ != nullptr) {
+      return pool_->SubmitEval(handle, inputs, /*session_id=*/0,
+                               /*authorizing_query=*/{}, deadline);
+    }
     return enclave_->EvalRegistered(handle, inputs);
   }
 
@@ -93,9 +103,18 @@ class Database::ServerInvoker : public es::EnclaveInvoker {
           out[0], EvalInEnclave(program_bytes, batch_inputs[0], n_outputs));
       return out;
     }
+    // Expired morsels are dropped before paying a transition (see above).
+    auto deadline = enclave::EnclaveWorkerPool::Clock::time_point::max();
+    if (const QueryContext* q = QueryContext::Current(); q != nullptr) {
+      AEDB_RETURN_IF_ERROR(q->Check());
+      deadline = q->deadline();
+    }
     uint64_t handle;
     AEDB_ASSIGN_OR_RETURN(handle, HandleFor(program_bytes));
-    if (pool_ != nullptr) return pool_->SubmitEvalBatch(handle, batch_inputs);
+    if (pool_ != nullptr) {
+      return pool_->SubmitEvalBatch(handle, batch_inputs, /*session_id=*/0,
+                                    /*authorizing_query=*/{}, deadline);
+    }
     return enclave_->EvalRegisteredBatch(handle, batch_inputs);
   }
 
@@ -132,6 +151,7 @@ Database::Database(ServerOptions options, attestation::HostGuardianService* hgs,
         enclave::EnclaveWorkerPool::Options pool_opts;
         pool_opts.num_threads = options_.enclave_worker_threads;
         pool_opts.spin_duration_us = options_.enclave_worker_spin_us;
+        pool_opts.max_queue_depth = options_.enclave_queue_depth;
         worker_pool_ = std::make_unique<enclave::EnclaveWorkerPool>(
             enclave_.get(), pool_opts);
       }
@@ -155,6 +175,15 @@ DatabaseStats Database::Stats() const {
     out.enclave_batched_values =
         s.batched_values.load(std::memory_order_relaxed);
     out.values_per_transition = s.ValuesPerTransition();
+  }
+  out.queries_admitted = queries_admitted_.load(std::memory_order_relaxed);
+  out.queries_rejected = queries_rejected_.load(std::memory_order_relaxed);
+  out.queries_expired = queries_expired_.load(std::memory_order_relaxed);
+  out.lock_waits_expired = engine_.locks().waits_expired();
+  if (worker_pool_ != nullptr) {
+    out.pool_queue_highwater = worker_pool_->queue_highwater();
+    out.pool_expired_dropped = worker_pool_->expired_dropped();
+    out.pool_overload_rejected = worker_pool_->overload_rejected();
   }
   return out;
 }
@@ -610,9 +639,46 @@ void Database::ChargeRoundTrip() {
 
 Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
                                          const std::vector<Value>& params,
-                                         uint64_t txn, uint64_t session_id) {
+                                         uint64_t txn, uint64_t session_id,
+                                         uint32_t deadline_ms) {
   (void)session_id;
+  // Admission gate: overload is decided *before* parsing, binding, or any
+  // enclave work, so a rejected query is as close to free as it gets and the
+  // retry-after hint reaches the client fast.
+  {
+    uint64_t inflight = inflight_queries_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    bool reject = options_.max_inflight_queries > 0 &&
+                  inflight > options_.max_inflight_queries;
+    fault::FaultSpec spec;
+    if (AEDB_FAULT_FIRED("server/admission_reject", &spec)) reject = true;
+    if (reject) {
+      inflight_queries_.fetch_sub(1, std::memory_order_acq_rel);
+      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Overloaded(AppendRetryAfterHint(
+          "admission gate: too many in-flight queries",
+          options_.overload_retry_after_ms));
+    }
+  }
+  struct InflightGuard {
+    std::atomic<uint64_t>* counter;
+    ~InflightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  } inflight_guard{&inflight_queries_};
+  queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Stamp the query context before charging the (simulated) network round
+  // trip: wire latency consumes the client's budget like everything else.
+  QueryContext qctx = deadline_ms > 0
+                          ? QueryContext::WithDeadlineAfter(
+                                std::chrono::milliseconds(deadline_ms))
+                          : QueryContext();
+  ScopedQueryContext scoped(qctx.has_deadline() ? &qctx
+                                                : QueryContext::Current());
+
   ChargeRoundTrip();
+  if (qctx.expired()) {
+    queries_expired_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("query deadline expired before execution");
+  }
   {
     // Forced enclave restart before statement execution: every session and
     // every installed CEK is gone, exactly as after a host-level enclave
@@ -676,6 +742,9 @@ Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
       (void)engine_.Abort(exec_txn);
     }
   }
+  if (!result.ok() && result.status().IsDeadlineExceeded()) {
+    queries_expired_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (result.ok()) CaptureResponse(*result);
   return result;
 }
@@ -683,7 +752,7 @@ Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
 Result<sql::ResultSet> Database::ExecuteNamed(
     const std::string& sql_text,
     const std::vector<std::pair<std::string, Value>>& params, uint64_t txn,
-    uint64_t session_id) {
+    uint64_t session_id, uint32_t deadline_ms) {
   const sql::BoundStatement* bound;
   AEDB_ASSIGN_OR_RETURN(bound, GetOrBind(sql_text));
   auto lower = [](std::string s) {
@@ -713,7 +782,7 @@ Result<sql::ResultSet> Database::ExecuteNamed(
                                      bound->params[i].name);
     }
   }
-  return Execute(sql_text, ordered, txn, session_id);
+  return Execute(sql_text, ordered, txn, session_id, deadline_ms);
 }
 
 Status Database::ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,

@@ -1,6 +1,7 @@
 #ifndef AEDB_SERVER_DATABASE_H_
 #define AEDB_SERVER_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "attestation/attestation.h"
+#include "common/query_context.h"
 #include "enclave/enclave.h"
 #include "enclave/worker_pool.h"
 #include "sql/binder.h"
@@ -40,6 +42,16 @@ struct ServerOptions {
   /// over batches of this size with one enclave transition per morsel
   /// (paper §4.6 amortization). 1 = row-at-a-time.
   size_t eval_batch_size = 256;
+  /// Bound on queued (not yet picked up) enclave work items; 0 = unbounded.
+  /// A full queue sheds expired queued morsels first, then rejects the
+  /// submission with kOverloaded.
+  size_t enclave_queue_depth = 0;
+  /// Admission gate: max concurrently executing queries; 0 = unbounded.
+  /// Excess queries are rejected fast — before parsing or any enclave work —
+  /// with kOverloaded carrying a retry-after hint.
+  size_t max_inflight_queries = 0;
+  /// The retry-after hint (milliseconds) attached to admission rejections.
+  uint32_t overload_retry_after_ms = 20;
 };
 
 /// Snapshot of server-side counters (enclave boundary accounting included)
@@ -53,6 +65,14 @@ struct DatabaseStats {
   uint64_t enclave_batched_values = 0;
   /// Amortization gauge: (evals + comparisons) / transitions.
   double values_per_transition = 0.0;
+  // Overload-control gauges (PR 4).
+  uint64_t queries_admitted = 0;   // passed the admission gate
+  uint64_t queries_rejected = 0;   // kOverloaded at the admission gate
+  uint64_t queries_expired = 0;    // finished with kDeadlineExceeded
+  uint64_t lock_waits_expired = 0; // lock waits cut short by a query deadline
+  uint64_t pool_queue_highwater = 0;
+  uint64_t pool_expired_dropped = 0;   // morsels shed as kDeadlineExceeded
+  uint64_t pool_overload_rejected = 0; // submissions shed as kOverloaded
 };
 
 /// Key metadata for one CEK as shipped to the driver: the encrypted CEK
@@ -119,17 +139,21 @@ class Database {
   // ----- parameterized execution -----
   /// `params` are wire values: plaintext-encoded for plaintext parameters,
   /// AEAD cells (kBinary) for encrypted ones (the driver encrypted them).
-  /// txn = 0 runs autocommit.
+  /// txn = 0 runs autocommit. deadline_ms > 0 bounds execution: the query's
+  /// remaining budget is checked cooperatively at morsel boundaries, bounds
+  /// lock waits, and lets the enclave pool drop expired morsels; an expired
+  /// query returns typed kDeadlineExceeded.
   Result<sql::ResultSet> Execute(const std::string& sql,
                                  const std::vector<types::Value>& params,
-                                 uint64_t txn = 0, uint64_t session_id = 0);
+                                 uint64_t txn = 0, uint64_t session_id = 0,
+                                 uint32_t deadline_ms = 0);
 
   /// Named-parameter convenience: values are matched to the statement's
   /// deduced parameter order by (case-insensitive) name.
   Result<sql::ResultSet> ExecuteNamed(
       const std::string& sql,
       const std::vector<std::pair<std::string, types::Value>>& params,
-      uint64_t txn = 0, uint64_t session_id = 0);
+      uint64_t txn = 0, uint64_t session_id = 0, uint32_t deadline_ms = 0);
 
   /// Key metadata for one CEK (drivers fetch this to decrypt result columns).
   Result<KeyDescription> GetKeyDescription(uint32_t cek_id);
@@ -206,6 +230,12 @@ class Database {
 
   TdsCapture capture_;
   std::atomic<uint64_t> describe_calls_{0};
+
+  // Overload control (PR 4): admission gate + gauges.
+  std::atomic<uint64_t> inflight_queries_{0};
+  std::atomic<uint64_t> queries_admitted_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> queries_expired_{0};
 };
 
 }  // namespace aedb::server

@@ -362,11 +362,12 @@ Status StorageEngine::IndexDelete(uint64_t txn_id, uint32_t index_id,
 Status StorageEngine::LockRow(uint64_t txn_id, uint32_t table_id,
                               const Rid& rid) {
   return locks_.Acquire(txn_id, RowResource(table_id, rid.Encode()),
-                        options_.lock_timeout);
+                        options_.lock_timeout, QueryContext::Current());
 }
 
 Status StorageEngine::LockTable(uint64_t txn_id, uint32_t table_id) {
-  return locks_.Acquire(txn_id, TableResource(table_id), options_.lock_timeout);
+  return locks_.Acquire(txn_id, TableResource(table_id), options_.lock_timeout,
+                        QueryContext::Current());
 }
 
 bool StorageEngine::RowLockedByOther(uint64_t txn_id, uint32_t table_id,

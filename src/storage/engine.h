@@ -112,6 +112,7 @@ class StorageEngine {
 
   Wal& wal() { return wal_; }
   LockManager& locks() { return locks_; }
+  const LockManager& locks() const { return locks_; }
   const EngineOptions& options() const { return options_; }
 
   /// Best-effort scrub of dead row bytes in one table; refused while any

@@ -3,9 +3,17 @@
 namespace aedb::storage {
 
 Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
-                            std::chrono::milliseconds timeout) {
+                            std::chrono::milliseconds timeout,
+                            const QueryContext* qctx) {
   std::unique_lock<std::mutex> lock(mu_);
   auto deadline = std::chrono::steady_clock::now() + timeout;
+  // A query deadline earlier than the lock timeout bounds the wait: the
+  // waiter must give up within its remaining budget, not the global timeout.
+  bool query_bound = false;
+  if (qctx != nullptr && qctx->has_deadline() && qctx->deadline() < deadline) {
+    deadline = qctx->deadline();
+    query_bound = true;
+  }
   for (;;) {
     auto it = owner_.find(resource);
     if (it == owner_.end()) {
@@ -14,6 +22,10 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
       return Status::OK();
     }
     if (it->second == txn_id) return Status::OK();  // re-entrant
+    if (qctx != nullptr && qctx->cancelled()) {
+      waits_expired_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded("lock wait abandoned: query cancelled");
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One more try in case of a wakeup race at the deadline.
       auto it2 = owner_.find(resource);
@@ -23,6 +35,11 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
         return Status::OK();
       }
       if (it2->second == txn_id) return Status::OK();
+      if (query_bound) {
+        waits_expired_.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded(
+            "lock wait abandoned: query deadline exceeded");
+      }
       return Status::FailedPrecondition("lock timeout (possible deadlock)");
     }
   }

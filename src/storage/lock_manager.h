@@ -1,13 +1,16 @@
 #ifndef AEDB_STORAGE_LOCK_MANAGER_H_
 #define AEDB_STORAGE_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 
 namespace aedb::storage {
@@ -21,8 +24,14 @@ class LockManager {
   /// Blocks until granted or `timeout` elapses (FailedPrecondition on
   /// timeout — callers abort the transaction, resolving any deadlock).
   /// Re-entrant for the owning transaction.
+  ///
+  /// When `qctx` carries a deadline earlier than the lock timeout, the wait
+  /// is bounded by the query's remaining budget instead: the waiter returns
+  /// kDeadlineExceeded as soon as the query deadline passes (counted in
+  /// `waits_expired()`), never sleeping out the longer global `lock_timeout`.
   Status Acquire(uint64_t txn_id, uint64_t resource,
-                 std::chrono::milliseconds timeout);
+                 std::chrono::milliseconds timeout,
+                 const QueryContext* qctx = nullptr);
 
   /// Non-blocking probe used by readers to honor deferred-transaction locks.
   bool IsLockedByOther(uint64_t txn_id, uint64_t resource) const;
@@ -35,7 +44,13 @@ class LockManager {
   size_t HeldCount(uint64_t txn_id) const;
   size_t total_locked() const;
 
+  /// Lock waits cut short because the waiting query's deadline expired.
+  uint64_t waits_expired() const {
+    return waits_expired_.load(std::memory_order_relaxed);
+  }
+
  private:
+  std::atomic<uint64_t> waits_expired_{0};
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::unordered_map<uint64_t, uint64_t> owner_;  // resource -> txn

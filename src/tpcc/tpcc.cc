@@ -664,4 +664,132 @@ BenchcraftResult RunBenchcraftCount(
   return result;
 }
 
+OpenLoopResult RunOpenLoop(
+    const std::function<std::unique_ptr<client::Driver>()>& driver_factory,
+    const TpccConfig& config, int threads, double offered_tps, double seconds) {
+  using Clock = std::chrono::steady_clock;
+  // Customers with deterministic sequential last names (loader: the first
+  // min(customers_per_district, max_name+1, 1000) per district get
+  // LastName(c-1)); validation needs determinism, so only those are probed.
+  int64_t max_name = std::min<int64_t>(999, config.customers_per_district * 3);
+  const int validatable = static_cast<int>(std::min<int64_t>(
+      {config.customers_per_district, max_name + 1, 1000}));
+
+  std::atomic<uint64_t> ticket{0};
+  std::atomic<uint64_t> issued{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  std::atomic<uint64_t> completed{0}, shed_over{0}, shed_dead{0}, other{0},
+      wrong{0};
+  Clock::time_point start;  // written before go flips; read-only afterwards
+  std::mutex lat_mu;
+  std::vector<double> latencies_ms;  // completed queries only
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto driver = driver_factory();
+      if (driver == nullptr) {
+        ready.fetch_add(1);
+        return;
+      }
+      Xoshiro256 rng(config.seed * 7919 + t);
+      // Warm the session (attest, CEK install, describe cache) off-schedule.
+      (void)driver->Query(
+          "SELECT C_ID, C_LAST FROM Customer WHERE C_W_ID = @w AND "
+          "C_D_ID = @d AND C_ID = @c",
+          {{"w", Value::Int32(1)}, {"d", Value::Int32(1)},
+           {"c", Value::Int32(1)}});
+      std::vector<double> local_lat;
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      const auto window_end =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds));
+      for (;;) {
+        // The wall clock, not the arrival schedule, closes the window: under
+        // heavy overload the schedule has a backlog of past-due arrivals that
+        // would otherwise keep the issuers running long after `seconds`.
+        if (Clock::now() >= window_end) break;
+        uint64_t n = ticket.fetch_add(1, std::memory_order_relaxed);
+        // Fixed-rate arrival schedule shared across issuers: ticket n is due
+        // at start + n/offered_tps whether or not earlier queries finished.
+        auto arrival =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(n) / offered_tps));
+        if (arrival >= window_end) break;
+        issued.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_until(arrival);
+        int w = static_cast<int>(rng.Uniform(1, config.warehouses));
+        int d = static_cast<int>(
+            rng.Uniform(1, config.districts_per_warehouse));
+        int c = static_cast<int>(rng.Uniform(1, validatable));
+        auto result = driver->Query(
+            "SELECT C_ID, C_LAST FROM Customer WHERE C_W_ID = @w AND "
+            "C_D_ID = @d AND C_ID = @c",
+            {{"w", Value::Int32(w)}, {"d", Value::Int32(d)},
+             {"c", Value::Int32(c)}});
+        if (result.ok()) {
+          // Validate against what the loader wrote: the echoed key and the
+          // decrypted last name must both match. A truncated/mixed-up row
+          // under overload counts as wrong, never as throughput.
+          bool valid = result->rows.size() == 1 &&
+                       result->rows[0].size() == 2 &&
+                       !result->rows[0][0].is_null() &&
+                       result->rows[0][0].AsInt64() == c &&
+                       result->rows[0][1].type() == types::TypeId::kString &&
+                       !result->rows[0][1].is_null() &&
+                       result->rows[0][1].str() == LastName(c - 1);
+          if (valid) {
+            completed.fetch_add(1, std::memory_order_relaxed);
+            local_lat.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          arrival)
+                    .count());
+          } else {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (result.status().IsOverloaded()) {
+          shed_over.fetch_add(1, std::memory_order_relaxed);
+        } else if (result.status().IsDeadlineExceeded()) {
+          shed_dead.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          other.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> guard(lat_mu);
+      latencies_ms.insert(latencies_ms.end(), local_lat.begin(),
+                          local_lat.end());
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  OpenLoopResult result;
+  result.seconds = elapsed;
+  result.offered = issued.load();
+  result.completed = completed.load();
+  result.shed_overloaded = shed_over.load();
+  result.shed_deadline = shed_dead.load();
+  result.other_errors = other.load();
+  result.wrong_results = wrong.load();
+  result.goodput_tps = elapsed > 0 ? result.completed / elapsed : 0;
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    auto pct = [&](double p) {
+      size_t idx = static_cast<size_t>(p * (latencies_ms.size() - 1));
+      return latencies_ms[idx];
+    };
+    result.p50_ms = pct(0.50);
+    result.p99_ms = pct(0.99);
+    result.max_ms = latencies_ms.back();
+  }
+  return result;
+}
+
 }  // namespace aedb::tpcc

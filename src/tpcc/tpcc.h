@@ -151,6 +151,39 @@ BenchcraftResult RunBenchcraftCount(
     const TpccConfig& config, int threads, uint64_t target_committed,
     double deadline_seconds);
 
+/// What one open-loop overload run observed. Every issued query lands in
+/// exactly one of {completed, shed_overloaded, shed_deadline, other_errors};
+/// wrong_results counts completed queries whose self-validation failed (wrong
+/// C_ID echoed, or a C_LAST that does not decrypt to the loader's value) —
+/// the graceful-degradation contract is that it stays zero no matter how far
+/// offered load exceeds capacity.
+struct OpenLoopResult {
+  double seconds = 0;
+  uint64_t offered = 0;    ///< arrivals issued by the schedule
+  uint64_t completed = 0;  ///< OK responses that validated
+  uint64_t shed_overloaded = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t other_errors = 0;  ///< untyped failures (must be 0 under overload)
+  uint64_t wrong_results = 0;
+  double goodput_tps = 0;  ///< completed / seconds
+  /// Latency of completed queries, measured from the *scheduled* arrival
+  /// (not the send), so queueing delay is charged — no coordinated omission.
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+/// Open-loop overload driver: `threads` issuers pull tickets from a shared
+/// arrival schedule at `offered_tps` regardless of completions, so offered
+/// load can exceed capacity (a closed loop self-throttles and cannot). The
+/// workload is the TPC-C point lookup — C_ID + encrypted C_LAST by primary
+/// key — and every response is validated against the loader's deterministic
+/// values, making wrong-results observable rather than assumed away.
+/// Deadlines come from the driver factory's DriverOptions::deadline_ms.
+OpenLoopResult RunOpenLoop(
+    const std::function<std::unique_ptr<client::Driver>()>& driver_factory,
+    const TpccConfig& config, int threads, double offered_tps, double seconds);
+
 }  // namespace aedb::tpcc
 
 #endif  // AEDB_TPCC_TPCC_H_

@@ -321,18 +321,29 @@ TEST_F(FaultTest, QueryReqRetryByteRoundTripsAndDefaultsToZero) {
   net::QueryNamedReq req;
   req.sql = "SELECT 1";
   req.retry = 3;
+  req.deadline_ms = 250;
   auto decoded = net::QueryNamedReq::Decode(req.Encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->retry, 3);
+  EXPECT_EQ(decoded->deadline_ms, 250u);
 
-  // A frame from an older client (no trailing retry byte) still decodes.
+  // A frame from an older client (no trailing retry byte, no deadline field)
+  // still decodes: strip the u32 deadline and the retry byte.
   net::QueryNamedReq old_req;
   old_req.sql = "SELECT 1";
   Bytes encoded = old_req.Encode();
-  encoded.pop_back();  // strip the retry byte: the pre-retry wire form
+  encoded.resize(encoded.size() - 5);  // the pre-retry wire form
   auto legacy = net::QueryNamedReq::Decode(encoded);
   ASSERT_TRUE(legacy.ok());
   EXPECT_EQ(legacy->retry, 0);
+  EXPECT_EQ(legacy->deadline_ms, 0u);
+
+  // The intermediate form (retry byte present, no deadline) also decodes.
+  Bytes mid = old_req.Encode();
+  mid.resize(mid.size() - 4);  // strip only the deadline u32
+  auto middecoded = net::QueryNamedReq::Decode(mid);
+  ASSERT_TRUE(middecoded.ok());
+  EXPECT_EQ(middecoded->deadline_ms, 0u);
 }
 
 // ===========================================================================
