@@ -364,8 +364,9 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
     if (cls == ErrorClass::kFatal || !policy.enabled) return failure;
     // A deadline-expired statement is NEVER replayed: the budget is spent,
     // and a write may have partially executed before a morsel-boundary check
-    // fired (the engine rolled the statement back, but replaying would spend
-    // time the caller already declared worthless).
+    // fired (autocommit rolls the statement back; inside an explicit
+    // transaction the application must roll back / restart the txn, as it
+    // must for any mid-transaction error).
     if (cls == ErrorClass::kDeadline) return failure;
     if (attempt + 1 >= policy.max_attempts) return failure;
 
@@ -374,9 +375,12 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
     // statement cannot reconstruct it — surface a typed abort and let the
     // application restart the whole transaction (TPC-C does). Still drop the
     // dead session here, so the restarted transaction re-attests instead of
-    // failing on the same stale session forever. Exception: an overloaded
-    // rejection happened BEFORE the statement touched any state, so the txn
-    // is intact and the statement may be replayed even mid-transaction.
+    // failing on the same stale session forever. Exception: a kOverloaded
+    // that reaches the client happened BEFORE the statement touched any
+    // state (admission gate, connection cap, or a read shed by the enclave
+    // pool — the server converts a write shed mid-execution inside an
+    // explicit transaction into kTransactionAborted), so the txn is intact
+    // and the statement may be replayed even mid-transaction.
     if (txn != 0 && cls != ErrorClass::kBackoffRetry) {
       if (cls == ErrorClass::kReattest) InvalidateSession();
       return Status::TransactionAborted(

@@ -28,11 +28,14 @@ enum class ErrorClass : uint8_t {
   /// executed before the failure — only reads / idempotent statements may be
   /// replayed automatically.
   kReconnect,
-  /// The server shed the request before executing it (admission gate,
+  /// The server shed the request without durable effect (admission gate,
   /// connection cap, full enclave queue — typed kOverloaded). Replay is safe
-  /// for ANY statement, even a write inside a transaction, because a shed
-  /// statement provably never ran. Delay = max(server retry-after hint,
-  /// jittered exponential backoff) so a stampede spreads out.
+  /// for ANY statement, even inside a transaction: a shed statement either
+  /// never ran, or was a read, or — when a write hit pool overload
+  /// mid-execution inside an explicit transaction — the server aborted the
+  /// transaction and surfaced kTransactionAborted instead, so kOverloaded
+  /// itself never carries partial writes. Delay = max(server retry-after
+  /// hint, jittered exponential backoff) so a stampede spreads out.
   kBackoffRetry,
   /// The query's end-to-end deadline expired (typed kDeadlineExceeded). The
   /// statement may have partially run before the deadline check fired, and

@@ -173,11 +173,20 @@ void Server::RejectConnection(int fd) {
   (void)WriteFull(fd, err);
   // Half-close and drain briefly: if we close() with the client's handshake
   // bytes unread, the kernel may RST and destroy the queued error frame
-  // before the client sees its typed rejection.
+  // before the client sees its typed rejection. The drain is doubly bounded
+  // — total elapsed time and total bytes — so a client that keeps streaming
+  // cannot hold this thread beyond the budget.
   ::shutdown(fd, SHUT_WR);
-  SetTimeout(fd, SO_RCVTIMEO, 200);
+  SetTimeout(fd, SO_RCVTIMEO, 50);
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  size_t drained = 0;
   uint8_t sink[256];
-  while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+  while (drained < 64 * 1024 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n <= 0) break;  // EOF, error, or 50 ms of idle: the frame is safe
+    drained += static_cast<size_t>(n);
   }
   ::close(fd);
 }
@@ -228,7 +237,18 @@ void Server::AcceptLoop() {
     fault::FaultSpec spec;
     if (AEDB_FAULT_FIRED("net/accept_reject", &spec)) reject = true;
     if (reject) {
-      RejectConnection(fd);
+      // Reject off the acceptor thread: the polite write-then-drain in
+      // RejectConnection can take up to ~200 ms against a hostile client,
+      // and the acceptor must keep admitting legitimate connections at full
+      // speed precisely when the server is at its cap. The thread rides the
+      // normal workers_/finished_ machinery so Stop() joins it.
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      uint64_t reject_id = next_connection_id_++;
+      workers_[reject_id] = std::thread([this, fd, reject_id] {
+        RejectConnection(fd);
+        std::lock_guard<std::mutex> inner(conn_mu_);
+        finished_.push_back(reject_id);
+      });
       continue;
     }
 

@@ -637,34 +637,51 @@ void Database::ChargeRoundTrip() {
       std::chrono::microseconds(options_.simulated_network_us));
 }
 
+namespace {
+/// Releases the admission slot AdmitQuery took, whatever exit path the
+/// statement takes.
+struct InflightGuard {
+  std::atomic<uint64_t>* counter;
+  ~InflightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+};
+}  // namespace
+
+Status Database::AdmitQuery() {
+  // Admission gate: overload is decided *before* parsing, binding, or any
+  // enclave work, so a rejected query is as close to free as it gets and the
+  // retry-after hint reaches the client fast.
+  uint64_t inflight =
+      inflight_queries_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  bool reject = options_.max_inflight_queries > 0 &&
+                inflight > options_.max_inflight_queries;
+  fault::FaultSpec spec;
+  if (AEDB_FAULT_FIRED("server/admission_reject", &spec)) reject = true;
+  if (reject) {
+    inflight_queries_.fetch_sub(1, std::memory_order_acq_rel);
+    queries_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Overloaded(
+        AppendRetryAfterHint("admission gate: too many in-flight queries",
+                             options_.overload_retry_after_ms));
+  }
+  queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
                                          const std::vector<Value>& params,
                                          uint64_t txn, uint64_t session_id,
                                          uint32_t deadline_ms) {
-  (void)session_id;
-  // Admission gate: overload is decided *before* parsing, binding, or any
-  // enclave work, so a rejected query is as close to free as it gets and the
-  // retry-after hint reaches the client fast.
-  {
-    uint64_t inflight = inflight_queries_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    bool reject = options_.max_inflight_queries > 0 &&
-                  inflight > options_.max_inflight_queries;
-    fault::FaultSpec spec;
-    if (AEDB_FAULT_FIRED("server/admission_reject", &spec)) reject = true;
-    if (reject) {
-      inflight_queries_.fetch_sub(1, std::memory_order_acq_rel);
-      queries_rejected_.fetch_add(1, std::memory_order_relaxed);
-      return Status::Overloaded(AppendRetryAfterHint(
-          "admission gate: too many in-flight queries",
-          options_.overload_retry_after_ms));
-    }
-  }
-  struct InflightGuard {
-    std::atomic<uint64_t>* counter;
-    ~InflightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
-  } inflight_guard{&inflight_queries_};
-  queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+  AEDB_RETURN_IF_ERROR(AdmitQuery());
+  InflightGuard inflight_guard{&inflight_queries_};
+  return ExecuteAdmitted(sql_text, params, txn, session_id, deadline_ms);
+}
 
+Result<sql::ResultSet> Database::ExecuteAdmitted(const std::string& sql_text,
+                                                 const std::vector<Value>& params,
+                                                 uint64_t txn,
+                                                 uint64_t session_id,
+                                                 uint32_t deadline_ms) {
+  (void)session_id;
   // Stamp the query context before charging the (simulated) network round
   // trip: wire latency consumes the client's budget like everything else.
   QueryContext qctx = deadline_ms > 0
@@ -700,6 +717,9 @@ Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
 
   bool autocommit = txn == 0;
   uint64_t exec_txn = autocommit ? engine_.Begin() : txn;
+  // Snapshot the txn's logged-op count so a failed statement can be tested
+  // for partial application (see the kOverloaded conversion below).
+  const size_t ops_before = autocommit ? 0 : engine_.TxnOpCount(exec_txn);
 
   Result<sql::ResultSet> result = [&]() -> Result<sql::ResultSet> {
     switch (bound->stmt.kind) {
@@ -741,6 +761,23 @@ Result<sql::ResultSet> Database::Execute(const std::string& sql_text,
     } else {
       (void)engine_.Abort(exec_txn);
     }
+  } else if (!result.ok() && result.status().IsOverloaded() &&
+             engine_.TxnOpCount(exec_txn) != ops_before) {
+    // Mid-statement overload inside an explicit transaction, AFTER the
+    // statement already applied some rows (the txn's logged-op count grew):
+    // without statement-level savepoints those rows cannot be peeled back
+    // individually. kOverloaded must not reach the client here — the retry
+    // layer replays kOverloaded on the premise that a shed statement had no
+    // effect, and replaying a non-idempotent write (e.g. UPDATE t SET
+    // x = x + 1) would double-apply it to the already-updated rows. Abort
+    // the whole transaction and surface a typed kTransactionAborted so the
+    // application restarts it. A shed with no ops applied (admission gate,
+    // predicate morsel rejected by the pool before any write, reads) stays
+    // kOverloaded: the txn is intact and the statement is safe to replay.
+    (void)engine_.Abort(exec_txn);
+    return Status::TransactionAborted(
+        "statement shed mid-execution after partial application: " +
+        result.status().message());
   }
   if (!result.ok() && result.status().IsDeadlineExceeded()) {
     queries_expired_.fetch_add(1, std::memory_order_relaxed);
@@ -753,6 +790,10 @@ Result<sql::ResultSet> Database::ExecuteNamed(
     const std::string& sql_text,
     const std::vector<std::pair<std::string, Value>>& params, uint64_t txn,
     uint64_t session_id, uint32_t deadline_ms) {
+  // Same admission-first contract as the positional path: a shed query must
+  // be rejected before any parser/binder work is spent on it.
+  AEDB_RETURN_IF_ERROR(AdmitQuery());
+  InflightGuard inflight_guard{&inflight_queries_};
   const sql::BoundStatement* bound;
   AEDB_ASSIGN_OR_RETURN(bound, GetOrBind(sql_text));
   auto lower = [](std::string s) {
@@ -782,7 +823,7 @@ Result<sql::ResultSet> Database::ExecuteNamed(
                                      bound->params[i].name);
     }
   }
-  return Execute(sql_text, ordered, txn, session_id, deadline_ms);
+  return ExecuteAdmitted(sql_text, ordered, txn, session_id, deadline_ms);
 }
 
 Status Database::ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,

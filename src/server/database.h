@@ -199,6 +199,17 @@ class Database {
   class ServerInvoker;
 
   Result<const sql::BoundStatement*> GetOrBind(const std::string& sql);
+  /// The admission gate. Runs before parsing/binding on every execution path
+  /// (positional and named): on OK the in-flight count stays incremented and
+  /// the caller must decrement it when the query leaves the system; on
+  /// kOverloaded the count is already restored.
+  Status AdmitQuery();
+  /// Statement execution after admission (parse, bind, deadline stamping,
+  /// run). Callers hold an admission slot.
+  Result<sql::ResultSet> ExecuteAdmitted(const std::string& sql,
+                                         const std::vector<types::Value>& params,
+                                         uint64_t txn, uint64_t session_id,
+                                         uint32_t deadline_ms);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
   Status ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
   Status ExecuteAlterColumn(const sql::AlterColumnStmt& stmt,

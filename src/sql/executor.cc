@@ -5,6 +5,7 @@
 
 #include "common/query_context.h"
 #include "crypto/sha256.h"
+#include "fault/fault.h"
 
 namespace aedb::sql {
 
@@ -20,6 +21,18 @@ namespace {
 Status CheckQueryDeadline() {
   const QueryContext* q = QueryContext::Current();
   return q == nullptr ? Status::OK() : q->Check();
+}
+
+/// Fault point at the per-row boundary of a write statement's apply loop —
+/// the place where a shed (enclave pool overload, injected kOverloaded)
+/// strikes AFTER earlier rows were already applied. Tests arm it to prove
+/// the server distinguishes a partially-applied statement's overload (must
+/// abort the enclosing explicit transaction) from a pre-execution shed
+/// (safe to replay). Unarmed cost: one relaxed atomic load.
+Status CheckWriteShed() {
+  fault::FaultSpec spec;
+  if (AEDB_FAULT_FIRED("executor/write_shed", &spec)) return spec.status;
+  return Status::OK();
 }
 
 /// Coerces a value into a column's plaintext type (numeric widening etc.).
@@ -730,6 +743,7 @@ Result<int64_t> Executor::Insert(const BoundStatement& bound,
       }
     }
     AEDB_RETURN_IF_ERROR(CheckQueryDeadline());
+    AEDB_RETURN_IF_ERROR(CheckWriteShed());
     Rid rid;
     AEDB_ASSIGN_OR_RETURN(rid, engine_->HeapInsert(txn, table.id, EncodeRow(row)));
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
@@ -764,6 +778,7 @@ Result<int64_t> Executor::Update(const BoundStatement& bound,
   int64_t updated = 0;
   for (auto& [rid, row] : matches) {
     AEDB_RETURN_IF_ERROR(CheckQueryDeadline());
+    AEDB_RETURN_IF_ERROR(CheckWriteShed());
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
     // The scan ran before the lock was granted: a concurrent transaction may
     // have updated (moved) or deleted the row in the meantime. Re-read under
@@ -823,6 +838,7 @@ Result<int64_t> Executor::Delete(const BoundStatement& bound,
   int64_t deleted = 0;
   for (auto& [rid, row] : matches) {
     AEDB_RETURN_IF_ERROR(CheckQueryDeadline());
+    AEDB_RETURN_IF_ERROR(CheckWriteShed());
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
     // Same lock-then-revalidate as Update: the row may have moved or vanished
     // while we waited for the lock.

@@ -193,6 +193,12 @@ Status StorageEngine::UndoRecord(const LogRecord& rec) {
   }
 }
 
+size_t StorageEngine::TxnOpCount(uint64_t txn_id) const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = active_.find(txn_id);
+  return it == active_.end() ? 0 : it->second.ops.size();
+}
+
 Status StorageEngine::Abort(uint64_t txn_id) {
   std::vector<LogRecord> ops;
   {

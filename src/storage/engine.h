@@ -75,6 +75,11 @@ class StorageEngine {
   /// Rolls back. If index undo hits a missing enclave key the transaction is
   /// parked as deferred (OK is still returned; see DeferredTxns()).
   Status Abort(uint64_t txn_id);
+  /// Logged mutations recorded so far by an active transaction (0 for an
+  /// unknown/finished txn). Lets the server tell whether a failed statement
+  /// applied anything before it died — the partial-write test behind the
+  /// mid-statement-overload → transaction-abort conversion.
+  size_t TxnOpCount(uint64_t txn_id) const;
 
   // ----- logged mutations (caller must hold row locks as appropriate) -----
   Result<Rid> HeapInsert(uint64_t txn_id, uint32_t table_id, Slice record);

@@ -1,5 +1,7 @@
 #include "storage/lock_manager.h"
 
+#include <algorithm>
+
 namespace aedb::storage {
 
 Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
@@ -14,6 +16,11 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
     deadline = qctx->deadline();
     query_bound = true;
   }
+  // Cancel() only flips an atomic flag — it cannot notify this cv (the
+  // context knows nothing about which cv its query sleeps on). Wait in short
+  // slices so a cancelled waiter observes the flag within one slice instead
+  // of sleeping out the full lock timeout.
+  constexpr std::chrono::milliseconds kCancelPoll{10};
   for (;;) {
     auto it = owner_.find(resource);
     if (it == owner_.end()) {
@@ -26,15 +33,10 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
       waits_expired_.fetch_add(1, std::memory_order_relaxed);
       return Status::DeadlineExceeded("lock wait abandoned: query cancelled");
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      // One more try in case of a wakeup race at the deadline.
-      auto it2 = owner_.find(resource);
-      if (it2 == owner_.end()) {
-        owner_[resource] = txn_id;
-        held_[txn_id].insert(resource);
-        return Status::OK();
-      }
-      if (it2->second == txn_id) return Status::OK();
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      // The acquire attempt at the top of the loop already retried once
+      // after the final wakeup, so the timeout is real.
       if (query_bound) {
         waits_expired_.fetch_add(1, std::memory_order_relaxed);
         return Status::DeadlineExceeded(
@@ -42,6 +44,9 @@ Status LockManager::Acquire(uint64_t txn_id, uint64_t resource,
       }
       return Status::FailedPrecondition("lock timeout (possible deadlock)");
     }
+    cv_.wait_until(lock,
+                   qctx != nullptr ? std::min(deadline, now + kCancelPoll)
+                                   : deadline);
   }
 }
 

@@ -79,6 +79,26 @@ TEST(LockDeadline, CancelledQueryNeverEntersTheWait) {
   EXPECT_EQ(locks.waits_expired(), 1u);
 }
 
+TEST(LockDeadline, CancelWakesWaiterLongBeforeLockTimeout) {
+  storage::LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, 42, std::chrono::milliseconds(0)).ok());
+  // No deadline: only Cancel() can end this wait early. Cancel() just flips
+  // an atomic — the lock manager must observe it promptly on its own instead
+  // of sleeping out the full 10 s timeout.
+  QueryContext q;
+  Status st;
+  auto t0 = Clock::now();
+  std::thread waiter([&] {
+    st = locks.Acquire(2, 42, std::chrono::milliseconds(10000), &q);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  q.Cancel();
+  waiter.join();
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st.ToString();
+  EXPECT_LT(ElapsedMs(t0), 2000.0) << "Cancel() did not wake the lock wait";
+  EXPECT_EQ(locks.waits_expired(), 1u);
+}
+
 TEST(LockDeadline, NoContextKeepsTimeoutTaxonomy) {
   storage::LockManager locks;
   ASSERT_TRUE(locks.Acquire(1, 9, std::chrono::milliseconds(0)).ok());
@@ -324,6 +344,25 @@ TEST_F(DbOverloadTest, AdmissionRejectFaultPointCarriesRetryAfterHint) {
   EXPECT_EQ(ok->rows[0][0].i32(), 2);
 }
 
+TEST_F(DbOverloadTest, NamedAdmissionRejectsBeforeParseAndBind) {
+  auto db = MakeDb(server::ServerOptions{});
+  // Deliberately unparseable text: if the admission gate runs first (as it
+  // must — a shed query should cost no parser/binder work), the reject wins
+  // over the parse error.
+  {
+    fault::ScopedFault scoped("server/admission_reject",
+                              fault::FaultSpec::OneShot(Status::OK()));
+    auto r = db->ExecuteNamed("THIS IS NOT SQL", {});
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsOverloaded()) << r.status().ToString();
+    EXPECT_EQ(db->Stats().queries_rejected, 1u);
+  }
+  // Un-shed, the same text reaches the parser and fails on its own merits.
+  auto r = db->ExecuteNamed("THIS IS NOT SQL", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().IsOverloaded()) << r.status().ToString();
+}
+
 TEST_F(DbOverloadTest, AdmissionGateBoundsInflightQueries) {
   server::ServerOptions opts;
   opts.max_inflight_queries = 1;
@@ -401,6 +440,154 @@ TEST_F(DbOverloadTest, LockWaitBoundedByQueryDeadlineEndToEnd) {
   auto check = db->Execute("SELECT b FROM T WHERE a = 1", {});
   ASSERT_TRUE(check.ok());
   EXPECT_EQ(check->rows[0][0].i32(), 2);
+}
+
+// ===========================================================================
+// Mid-statement pool overload vs. transaction integrity
+// ===========================================================================
+
+/// Full AE deployment (vault, CMK/CEK, enclave worker pool). The
+/// executor/write_shed fault point models overload striking *between* the
+/// rows of one write statement — after earlier rows are applied — while
+/// pool/queue_full models the pre-write shed of a predicate morsel, where
+/// nothing has been applied yet. The pair proves the server's partial-write
+/// distinction.
+class EncryptedTxnOverloadTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVaultPath = "kv/txn-overload";
+
+  void SetUp() override {
+    fault::FaultRegistry::Global().Reset();
+    vault_ = std::make_unique<keys::InMemoryKeyVault>();
+    ASSERT_TRUE(vault_->CreateKey(kVaultPath, 1024).ok());
+    ASSERT_TRUE(registry_.Register(vault_.get()).ok());
+
+    crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                          Slice(std::string_view("txn-overload-author")));
+    author_key_ = crypto::GenerateRsaKey(1024, &drbg);
+    image_ = enclave::EnclaveImage::MakeEsImage(1, author_key_);
+    hgs_ = std::make_unique<attestation::HostGuardianService>();
+
+    server::ServerOptions opts;
+    opts.enclave_worker_threads = 1;  // expression eval rides the pool
+    db_ = std::make_unique<server::Database>(opts, hgs_.get(), &image_);
+    hgs_->RegisterTcgLog(db_->platform()->tcg_log());
+
+    client::DriverOptions dopts;
+    dopts.enclave_policy.trusted_author_id = image_.AuthorId();
+    dopts.retry.base_backoff = std::chrono::milliseconds(0);
+    dopts.retry.max_backoff = std::chrono::milliseconds(0);
+    driver_ = std::make_unique<Driver>(db_.get(), &registry_,
+                                       hgs_->signing_public(), dopts);
+
+    ASSERT_TRUE(driver_
+                    ->ProvisionCmk("CMK", vault_->name(), kVaultPath,
+                                   /*enclave_enabled=*/true)
+                    .ok());
+    ASSERT_TRUE(driver_->ProvisionCek("CEK", "CMK").ok());
+    Status st = driver_->ExecuteDdl(
+        "CREATE TABLE Acct (id INT NOT NULL, cnt BIGINT, hot BOOL,"
+        "  bal BIGINT ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = CEK,"
+        "    ENCRYPTION_TYPE = Randomized,"
+        "    ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))");
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    for (int i = 1; i <= 3; ++i) {
+      auto r = driver_->Query(
+          "INSERT INTO Acct (id, cnt, hot, bal) VALUES (@i, @c, @h, @b)",
+          {{"i", Value::Int32(i)},
+           {"c", Value::Int64(0)},
+           {"h", Value::Bool(false)},
+           {"b", Value::Int64(100 * i)}});
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+
+  int64_t Count(int id) {
+    auto r = driver_->Query("SELECT cnt FROM Acct WHERE id = @i",
+                            {{"i", Value::Int32(id)}});
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok() || r->rows.size() != 1) return -1;
+    return r->rows[0][0].i64();
+  }
+
+  /// Arms executor/write_shed to let row 1 of a write loop through and shed
+  /// at the row-2 boundary: row 1 is already applied when the statement dies
+  /// with the same kOverloaded the pool emits when its queue is full.
+  static void ArmMidStatementShed() {
+    fault::FaultSpec spec = fault::FaultSpec::OneShot(
+        Status::Overloaded("enclave worker queue full (injected)"));
+    spec.skip = 1;
+    fault::FaultRegistry::Global().Arm("executor/write_shed", spec);
+  }
+
+  std::unique_ptr<keys::InMemoryKeyVault> vault_;
+  keys::KeyProviderRegistry registry_;
+  crypto::RsaPrivateKey author_key_;
+  enclave::EnclaveImage image_;
+  std::unique_ptr<attestation::HostGuardianService> hgs_;
+  std::unique_ptr<server::Database> db_;
+  std::unique_ptr<Driver> driver_;
+};
+
+TEST_F(EncryptedTxnOverloadTest,
+       MidStatementOverloadInExplicitTxnAbortsInsteadOfReplaying) {
+  uint64_t txn = driver_->Begin();
+  ArmMidStatementShed();
+  // Non-idempotent write: `cnt = cnt + 1` over all 3 rows. Shedding at the
+  // row-2 boundary leaves row 1 already incremented inside the open
+  // transaction; a silent replay would push row 1's cnt to 2. The server
+  // must convert the mid-statement kOverloaded into kTransactionAborted so
+  // the retry layer (which treats kOverloaded as provably-without-effect)
+  // never replays it.
+  auto r = driver_->Query("UPDATE Acct SET cnt = cnt + 1", {}, txn);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTransactionAborted()) << r.status().ToString();
+  EXPECT_EQ(fault::FaultRegistry::Global().fires("executor/write_shed"), 1u);
+  EXPECT_EQ(driver_->retries(), 0) << "partial write was silently replayed";
+  (void)driver_->Rollback(txn);  // server already aborted; app-level cleanup
+
+  // The application contract: restart the transaction, it applies once.
+  uint64_t txn2 = driver_->Begin();
+  auto r2 = driver_->Query("UPDATE Acct SET cnt = cnt + 1", {}, txn2);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_TRUE(driver_->Commit(txn2).ok());
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(Count(i), 1) << "double/zero apply on row " << i;
+  }
+}
+
+TEST_F(EncryptedTxnOverloadTest, AutocommitMidStatementOverloadReplaysCleanly) {
+  ArmMidStatementShed();
+  // Autocommit: the server aborts its internal transaction, so the partial
+  // first attempt leaves no trace and the driver's transparent backoff-retry
+  // of kOverloaded is safe — the statement lands exactly once.
+  auto r = driver_->Query("UPDATE Acct SET cnt = cnt + 1", {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(driver_->retries(), 1);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(Count(i), 1) << "double/zero apply on row " << i;
+  }
+}
+
+TEST_F(EncryptedTxnOverloadTest, PreWriteShedInExplicitTxnReplaysSafely) {
+  uint64_t txn = driver_->Begin();
+  // The complementary case: the pool rejects the encrypted WHERE predicate's
+  // morsel BEFORE the write loop touches any row. No op was logged, so the
+  // server lets kOverloaded pass through and the driver replays it
+  // transparently — even inside the explicit transaction.
+  fault::FaultRegistry::Global().Arm(
+      "pool/queue_full", fault::FaultSpec::OneShot(Status::OK()));
+  auto r = driver_->Query("UPDATE Acct SET cnt = cnt + 1 WHERE bal > @min",
+                          {{"min", Value::Int64(150)}}, txn);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(fault::FaultRegistry::Global().fires("pool/queue_full"), 1u);
+  EXPECT_GE(driver_->retries(), 1) << "pre-write shed should replay, not fail";
+  ASSERT_TRUE(driver_->Commit(txn).ok());
+  EXPECT_EQ(Count(1), 0);  // bal=100, predicate false
+  EXPECT_EQ(Count(2), 1);  // bal=200
+  EXPECT_EQ(Count(3), 1);  // bal=300
 }
 
 // ===========================================================================
@@ -594,6 +781,46 @@ TEST_F(NetOverloadTest, StalledClientEvictedWhileOthersProgress) {
   // The stalled connection is closed once its read times out (handshake ack
   // is drained here too; EOF is what matters).
   EXPECT_TRUE(stalled.DrainToEof()) << "stalled client still holds a worker";
+}
+
+TEST_F(NetOverloadTest, StreamingRejectedClientDoesNotStallAdmission) {
+  auto db = MakeDb(server::ServerOptions{});
+  net::ServerConfig config;
+  config.max_connections = 1;
+  config.overload_retry_after_ms = 10;
+  StartServer(db.get(), config);
+
+  auto t1 = ConnectTransport();
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+
+  // A hostile reject-ee: connects over the cap and streams bytes for as long
+  // as the server will take them. The reject drain must not follow the
+  // stream indefinitely on the acceptor thread — that would freeze admission
+  // exactly when the server is at its connection cap.
+  std::atomic<bool> stop{false};
+  std::thread attacker([&] {
+    RawConn conn(server_->port());
+    if (!conn.connected()) return;
+    Bytes junk(1024, 0xAB);
+    while (!stop.load() && conn.Send(junk)) {
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // While the attacker streams, a polite over-cap client still receives its
+  // typed rejection promptly instead of queueing behind the drain.
+  auto t0 = Clock::now();
+  auto t2 = ConnectTransport();
+  double elapsed = ElapsedMs(t0);
+  stop.store(true);
+  attacker.join();
+  ASSERT_FALSE(t2.ok());
+  EXPECT_TRUE(t2.status().IsOverloaded()) << t2.status().ToString();
+  EXPECT_LT(elapsed, 2000.0) << "reject drain stalled the accept loop";
+  EXPECT_GE(server_->stats().connections_rejected.load(), 2u);
+
+  // The admitted session was never disturbed.
+  EXPECT_TRUE((*t1)->Ping().ok());
 }
 
 // ===========================================================================
