@@ -9,9 +9,18 @@
 // The delta between paths is pure network-subsystem overhead: both run the
 // same driver logic against the same Database.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/query_context.h"
@@ -220,7 +229,206 @@ int Run() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --connscale: does a herd of live-but-idle encrypted connections tax the
+// active ones? Sweeps {0, 1000, 2500, 5000} handshaken idle sockets parked on
+// the event loop while 4 closed-loop driver clients hammer the same point
+// SELECT; reports qps/p50/p99 per herd size and writes BENCH_connscale.json.
+// ---------------------------------------------------------------------------
+
+/// Raises RLIMIT_NOFILE to at least `need` fds (both ends of every idle
+/// socket live in this process).
+bool EnsureFdBudget(rlim_t need) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return false;
+  if (rl.rlim_cur >= need) return true;
+  rlimit want = rl;
+  want.rlim_cur = rl.rlim_max == RLIM_INFINITY
+                      ? need
+                      : std::min<rlim_t>(need, rl.rlim_max);
+  (void)::setrlimit(RLIMIT_NOFILE, &want);
+  return ::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur >= need;
+}
+
+/// A blocking loopback socket that completes the frame handshake and then
+/// goes silent — the server must keep it registered but pay ~nothing for it.
+class IdleConn {
+ public:
+  explicit IdleConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Close();
+      return;
+    }
+    timeval tv{8, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~IdleConn() { Close(); }
+  IdleConn(IdleConn&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+  bool ok() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool Handshake() {
+    net::HandshakeReq req;
+    Bytes frame = net::EncodeFrame(net::MsgType::kHandshake, req.Encode());
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      ssize_t w = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                         MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      sent += static_cast<size_t>(w);
+    }
+    Bytes header(net::kFrameHeaderSize);
+    if (!ReadFull(header.data(), header.size())) return false;
+    auto h = net::DecodeFrameHeader(header, net::kDefaultMaxPayload);
+    if (!h.ok() || h->type != net::MsgType::kHandshakeAck) return false;
+    Bytes payload(h->payload_size);
+    return h->payload_size == 0 || ReadFull(payload.data(), payload.size());
+  }
+
+ private:
+  bool ReadFull(uint8_t* out, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::recv(fd_, out + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+struct ScalePoint {
+  size_t idle_sockets = 0;
+  tpcc::OpenLoopResult r;
+  uint64_t live_connections = 0;
+  uint64_t epoll_wakeups = 0;
+};
+
+int RunConnScale() {
+  const std::vector<size_t> herd_sizes = {0, 1000, 2500, 5000};
+  size_t max_herd = herd_sizes.back();
+  // Client fd + server fd per idle socket, plus drivers/listener/slack.
+  if (!EnsureFdBudget(2 * max_herd + 512)) {
+    std::fprintf(stderr,
+                 "connscale: cannot raise RLIMIT_NOFILE to %zu fds\n",
+                 2 * max_herd + 512);
+    return 1;
+  }
+
+  tpcc::TpccConfig tpcc_config;
+  tpcc_config.warehouses = 1;
+  tpcc_config.customers_per_district = 30;
+  tpcc_config.initial_orders_per_district = 5;
+
+  SystemConfig system;
+  system.name = "SQL-AE-DET";
+  system.encryption = tpcc::Encryption::kDeterministic;
+  system.cache_describe = true;
+
+  auto d = SetUpDeployment(system, tpcc_config, /*network_us=*/0,
+                           /*enclave_transition_ns=*/0);
+  if (!d) {
+    std::fprintf(stderr, "deployment setup failed\n");
+    return 1;
+  }
+  net::ServerConfig net_config;
+  net_config.max_connections = max_herd + 64;
+  Status st = d->EnableLoopback(net_config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "loopback start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# bench_net --connscale: closed-loop qps vs live idle "
+              "sockets (4 clients, point SELECT)\n");
+  d->driver_deadline_ms = 0;
+
+  std::vector<IdleConn> herd;
+  herd.reserve(max_herd);
+  std::vector<ScalePoint> points;
+  for (size_t target : herd_sizes) {
+    while (herd.size() < target) {
+      IdleConn c(d->net_server->port());
+      if (!c.ok() || !c.Handshake()) {
+        std::fprintf(stderr, "connscale: idle socket %zu failed to join\n",
+                     herd.size());
+        return 1;
+      }
+      herd.push_back(std::move(c));
+    }
+    ScalePoint p;
+    p.idle_sockets = target;
+    p.r = tpcc::RunOpenLoop([&] { return d->MakeDriver(); }, d->config,
+                            /*threads=*/4, /*offered_tps=*/1e9,
+                            /*seconds=*/1.5);
+    net::ServerStatsSnapshot s = d->net_server->SnapshotStats();
+    p.live_connections = s.connections_active;
+    p.epoll_wakeups = s.epoll_wakeups;
+    points.push_back(p);
+    std::printf("idle=%5zu live=%5llu  qps=%7.0f  p50=%6.2fms p99=%6.2fms "
+                "wrong=%llu\n",
+                target, static_cast<unsigned long long>(p.live_connections),
+                p.r.goodput_tps, p.r.p50_ms, p.r.p99_ms,
+                static_cast<unsigned long long>(p.r.wrong_results));
+    if (p.r.completed == 0 || p.r.wrong_results != 0) {
+      std::fprintf(stderr, "connscale: bad sweep point\n");
+      return 1;
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_connscale.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"clients\": 4,\n  \"sweep\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      const ScalePoint& p = points[i];
+      std::fprintf(
+          f,
+          "    {\"idle_sockets\": %zu, \"live_connections\": %llu, "
+          "\"qps\": %.1f, \"completed\": %llu, \"p50_ms\": %.2f, "
+          "\"p99_ms\": %.2f, \"max_ms\": %.2f, \"wrong_results\": %llu, "
+          "\"epoll_wakeups\": %llu}%s\n",
+          p.idle_sockets, static_cast<unsigned long long>(p.live_connections),
+          p.r.goodput_tps, static_cast<unsigned long long>(p.r.completed),
+          p.r.p50_ms, p.r.p99_ms, p.r.max_ms,
+          static_cast<unsigned long long>(p.r.wrong_results),
+          static_cast<unsigned long long>(p.epoll_wakeups),
+          i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_connscale.json\n");
+  }
+
+  // The herd must still be live at the end: nothing was reaped, nothing
+  // errored, the event loop carried every socket through the whole sweep.
+  net::ServerStatsSnapshot s = d->net_server->SnapshotStats();
+  if (s.connections_active < max_herd) {
+    std::fprintf(stderr, "connscale: herd shrank (%llu live < %zu)\n",
+                 static_cast<unsigned long long>(s.connections_active),
+                 max_herd);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace aedb::bench
 
-int main() { return aedb::bench::Run(); }
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--connscale") {
+    return aedb::bench::RunConnScale();
+  }
+  return aedb::bench::Run();
+}

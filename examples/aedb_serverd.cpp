@@ -147,13 +147,30 @@ int main(int argc, char** argv) {
       if (!parse_int("--retry-after-ms", argv[++i], 1, 60'000, &v)) return 2;
       server_opts.overload_retry_after_ms = static_cast<uint32_t>(v);
       config.overload_retry_after_ms = static_cast<uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--io-threads") == 0 && i + 1 < argc) {
+      // Epoll shards; each owns a subset of connections end-to-end.
+      if (!parse_int("--io-threads", argv[++i], 1, 64, &v)) return 2;
+      config.io_threads = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--exec-threads") == 0 && i + 1 < argc) {
+      // Base execution workers; the pool grows elastically to 8x this when
+      // requests block (lock waits, fault-injected stalls).
+      if (!parse_int("--exec-threads", argv[++i], 1, 256, &v)) return 2;
+      config.exec_threads = static_cast<size_t>(v);
+      config.max_exec_threads =
+          std::max<size_t>(config.exec_threads * 8, config.exec_threads);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 && i + 1 < argc) {
+      // 0 disables idle reaping (handshaken-but-quiet sockets live forever).
+      if (!parse_int("--idle-timeout-ms", argv[++i], 0, 86'400'000, &v))
+        return 2;
+      config.idle_timeout_ms = static_cast<uint32_t>(v);
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--enclave-threads N] "
                    "[--batch-size N] [--max-connections N] [--max-inflight N] "
-                   "[--queue-depth N] [--retry-after-ms N] [--demo]\n",
+                   "[--queue-depth N] [--retry-after-ms N] [--io-threads N] "
+                   "[--exec-threads N] [--idle-timeout-ms N] [--demo]\n",
                    argv[0]);
       return 2;
     }

@@ -52,15 +52,17 @@ if [[ "${1:-}" == "--overload" ]]; then
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
-  # The data-race surface: enclave worker pool, multi-threaded net server,
+  # The data-race surface: enclave worker pool, multi-threaded net server
+  # (epoll shards + exec pool + connection-scale suite), overload shedding,
   # and the executor's batched enclave submissions (batch_equiv drives every
-  # morsel path at batch sizes 1/3/256).
+  # morsel path at batch sizes 1/3/256). net_scale_test self-shrinks its idle
+  # herd under TSan so the instrumented run stays tractable.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAEDB_SANITIZE=thread
   run cmake --build build-tsan -j "$JOBS" --target enclave_test net_test \
-      server_test batch_equiv_test
+      server_test batch_equiv_test net_scale_test overload_test
   TSAN_OPTIONS=halt_on_error=1 run ctest --test-dir build-tsan \
-      -R 'enclave_test|net_test|server_test|batch_equiv_test' \
+      -R 'enclave_test|net_test|server_test|batch_equiv_test|net_scale_test|overload_test' \
       --output-on-failure
 fi
 

@@ -1,0 +1,310 @@
+#include "net/reactor/connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aedb::net::reactor {
+
+const char* CloseReasonName(CloseReason r) {
+  switch (r) {
+    case CloseReason::kEof: return "eof";
+    case CloseReason::kEofMidFrame: return "eof_mid_frame";
+    case CloseReason::kDecodeError: return "decode_error";
+    case CloseReason::kReadTimeout: return "read_timeout";
+    case CloseReason::kWriteTimeout: return "write_timeout";
+    case CloseReason::kIdleTimeout: return "idle_timeout";
+    case CloseReason::kHandshakeTimeout: return "handshake_timeout";
+    case CloseReason::kSlowReader: return "slow_reader";
+    case CloseReason::kWriteError: return "write_error";
+    case CloseReason::kDrained: return "drained";
+    case CloseReason::kServerStop: return "server_stop";
+    case CloseReason::kRequestClose: return "request_close";
+  }
+  return "unknown";
+}
+
+Connection::Connection(EventLoop* loop, int fd, uint64_t id, Options options,
+                       ConnectionDelegate* delegate)
+    : loop_(loop),
+      fd_(fd),
+      id_(id),
+      options_(options),
+      delegate_(delegate),
+      decoder_(options.max_payload) {
+  created_at_ = Clock::now();
+  last_read_ = created_at_;
+  last_write_progress_ = created_at_;
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) {
+    (void)loop_->Del(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Connection::Register() {
+  armed_events_ = EPOLLIN | EPOLLRDHUP;
+  return loop_->Add(fd_, armed_events_, this);
+}
+
+void Connection::OnEvents(uint32_t events) {
+  if (fd_ < 0) return;  // closed earlier in this dispatch round
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // Peer reset or error. If we were draining, the goal (peer saw our last
+    // frame, or never will) is as met as it gets.
+    FinishClose(draining_ ? pending_close_reason_
+                          : (decoder_.has_partial_frame()
+                                 ? CloseReason::kEofMidFrame
+                                 : CloseReason::kEof));
+    return;
+  }
+  if (events & EPOLLOUT) {
+    OnWritable();
+    if (fd_ < 0) return;
+  }
+  if (events & (EPOLLIN | EPOLLRDHUP)) {
+    if (draining_) {
+      DrainDiscard();
+    } else {
+      OnReadable();
+    }
+  }
+}
+
+void Connection::OnReadable() {
+  // Level-triggered: read one chunk per wakeup. A peer with more buffered
+  // will retrigger immediately; this keeps any single connection from
+  // monopolising the loop.
+  uint8_t chunk[64 * 1024];
+  size_t want = options_.read_chunk < sizeof(chunk) ? options_.read_chunk
+                                                    : sizeof(chunk);
+  ssize_t n = ::recv(fd_, chunk, want, 0);
+  if (n > 0) {
+    last_read_ = Clock::now();
+    delegate_->OnBytesIn(static_cast<size_t>(n));
+    decoder_.Feed(chunk, static_cast<size_t>(n));
+    if (!parked_) DeliverFrames();
+    return;
+  }
+  if (n == 0) {
+    // EOF. Bytes of an unfinished frame left behind are a protocol error
+    // (the blocking server counted these too).
+    FinishClose(decoder_.has_partial_frame() ? CloseReason::kEofMidFrame
+                                             : CloseReason::kEof);
+    return;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+  FinishClose(CloseReason::kEof);
+}
+
+void Connection::DeliverFrames() {
+  FrameHeader header;
+  Bytes payload;
+  while (fd_ >= 0 && !parked_ && !draining_) {
+    FrameDecoder::Poll poll = decoder_.Next(&header, &payload);
+    if (poll == FrameDecoder::Poll::kNeedMore) return;
+    if (poll == FrameDecoder::Poll::kError) {
+      // Delegate decides how to answer (kError frame + graceful close).
+      delegate_->OnProtocolError(this, decoder_.error());
+      return;
+    }
+    if (!delegate_->OnFrame(this, header, std::move(payload))) {
+      parked_ = true;  // request in flight; Resume() restarts delivery
+      UpdateInterest();
+      return;
+    }
+  }
+}
+
+void Connection::Resume() {
+  if (fd_ < 0 || draining_) return;
+  parked_ = false;
+  // Count time parked (executing) as activity so a fast requester is never
+  // idle-reaped between its own round trips.
+  last_read_ = Clock::now();
+  DeliverFrames();
+  if (fd_ >= 0 && !parked_ && !draining_) UpdateInterest();
+}
+
+bool Connection::Send(Bytes frame) {
+  if (fd_ < 0 || draining_) return fd_ >= 0;
+  if (outbuf_.empty()) {
+    outpos_ = 0;
+    outbuf_ = std::move(frame);
+  } else {
+    outbuf_.insert(outbuf_.end(), frame.begin(), frame.end());
+  }
+  if (!TryFlush()) return false;
+  if (pending_write_bytes() > options_.write_buffer_cap) {
+    // The socket took what it could and this much is still left: the peer
+    // isn't consuming responses. Buffering more trades our memory for their
+    // negligence; cut them instead.
+    FinishClose(CloseReason::kSlowReader);
+    return false;
+  }
+  UpdateInterest();
+  return fd_ >= 0;
+}
+
+void Connection::SendPrefixAndClose(Bytes frame, size_t prefix) {
+  if (fd_ < 0) return;
+  if (prefix > frame.size()) prefix = frame.size();
+  frame.resize(prefix);
+  outbuf_ = std::move(frame);
+  outpos_ = 0;
+  (void)TryFlush();
+  // Deliberately abrupt: the fault models a server dying mid-response.
+  if (fd_ >= 0) FinishClose(CloseReason::kRequestClose);
+}
+
+bool Connection::TryFlush() {
+  while (outpos_ < outbuf_.size()) {
+    ssize_t n = ::send(fd_, outbuf_.data() + outpos_, outbuf_.size() - outpos_,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      outpos_ += static_cast<size_t>(n);
+      last_write_progress_ = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    FinishClose(CloseReason::kWriteError);
+    return false;
+  }
+  outbuf_.clear();
+  outpos_ = 0;
+  if (close_after_flush_) {
+    // Everything the application queued is in the kernel. Half-close so the
+    // peer gets a FIN after the data, then linger briefly discarding their
+    // in-flight bytes so our final frame isn't torn down by an RST.
+    close_after_flush_ = false;
+    draining_ = true;
+    drained_bytes_ = 0;
+    drain_deadline_ = Clock::now() + std::chrono::milliseconds(options_.drain_ms);
+    ::shutdown(fd_, SHUT_WR);
+    UpdateInterest();
+    DrainDiscard();
+  }
+  return fd_ >= 0;
+}
+
+void Connection::OnWritable() {
+  if (!TryFlush()) return;
+  UpdateInterest();
+}
+
+void Connection::CloseAfterFlush(CloseReason reason) {
+  if (fd_ < 0 || draining_) return;
+  pending_close_reason_ = reason;
+  close_after_flush_ = true;
+  parked_ = true;  // no more frame delivery; remaining input is drained
+  if (!TryFlush()) return;
+  UpdateInterest();
+}
+
+void Connection::DrainDiscard() {
+  uint8_t sink[16 * 1024];
+  while (fd_ >= 0) {
+    ssize_t n = ::recv(fd_, sink, sizeof(sink), 0);
+    if (n > 0) {
+      drained_bytes_ += static_cast<size_t>(n);
+      if (drained_bytes_ >= options_.drain_byte_cap) {
+        FinishClose(pending_close_reason_);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      FinishClose(pending_close_reason_);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // sweep enforces the deadline
+    if (errno == EINTR) continue;
+    FinishClose(pending_close_reason_);
+    return;
+  }
+}
+
+void Connection::UpdateInterest() {
+  if (fd_ < 0) return;
+  uint32_t want = EPOLLRDHUP;
+  // While parked (request executing) we stop reading — the kernel's socket
+  // buffer, then the client's one-outstanding-request discipline, is the
+  // backpressure. Draining keeps EPOLLIN to see the discard bytes / EOF.
+  if (!parked_ || draining_) want |= EPOLLIN;
+  if (outpos_ < outbuf_.size()) want |= EPOLLOUT;
+  if (want == armed_events_) return;
+  if (loop_->Mod(fd_, want, this).ok()) armed_events_ = want;
+}
+
+bool Connection::ExpiredDeadline(Clock::time_point now,
+                                 CloseReason* reason) const {
+  if (fd_ < 0) return false;
+  auto since = [&](Clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now - t)
+        .count();
+  };
+  if (draining_) {
+    if (now >= drain_deadline_) {
+      *reason = pending_close_reason_;
+      return true;
+    }
+    return false;
+  }
+  // A write that can make no progress for write_timeout_ms: dead peer.
+  if (pending_write_bytes() > 0 && options_.write_timeout_ms != 0 &&
+      since(last_write_progress_) >=
+          static_cast<int64_t>(options_.write_timeout_ms)) {
+    *reason = CloseReason::kWriteTimeout;
+    return true;
+  }
+  if (parked_) return false;  // executing: server-side latency, not a stall
+  if (!handshaken_) {
+    if (options_.handshake_timeout_ms != 0 &&
+        since(created_at_) >=
+            static_cast<int64_t>(options_.handshake_timeout_ms)) {
+      *reason = CloseReason::kHandshakeTimeout;
+      return true;
+    }
+  }
+  if (decoder_.has_partial_frame()) {
+    // Mid-frame and silent: a stalled or malicious writer holding state open.
+    if (options_.read_timeout_ms != 0 &&
+        since(last_read_) >= static_cast<int64_t>(options_.read_timeout_ms)) {
+      *reason = CloseReason::kReadTimeout;
+      return true;
+    }
+  } else if (handshaken_ && options_.idle_timeout_ms != 0 &&
+             since(last_read_) >=
+                 static_cast<int64_t>(options_.idle_timeout_ms)) {
+    *reason = CloseReason::kIdleTimeout;
+    return true;
+  }
+  return false;
+}
+
+void Connection::Close(CloseReason reason) { FinishClose(reason); }
+
+void Connection::FinishClose(CloseReason reason) {
+  if (fd_ < 0) return;
+  (void)loop_->Del(fd_);
+  int fd = fd_;
+  fd_ = -1;
+  // Notify the owner before close(): the owner updates stats maps/counters,
+  // and close() sends the FIN that lets the peer observe the disconnect — the
+  // accounting must be visible by the time the peer can see EOF.
+  delegate_->OnClosed(this, reason);
+  ::close(fd);
+  // Freed after the current dispatch round: a pending epoll event or posted
+  // completion for this connection in the same batch must not touch freed
+  // memory. OnEvents re-entry is guarded by fd_ < 0.
+  loop_->DeferDelete(this);
+}
+
+}  // namespace aedb::net::reactor

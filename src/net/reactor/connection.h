@@ -1,0 +1,171 @@
+#ifndef AEDB_NET_REACTOR_CONNECTION_H_
+#define AEDB_NET_REACTOR_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "net/reactor/event_loop.h"
+#include "net/reactor/frame_decoder.h"
+
+namespace aedb::net::reactor {
+
+/// Why a connection left the loop (drives the owner's stats taxonomy).
+enum class CloseReason {
+  kEof,               ///< peer closed cleanly at a frame boundary
+  kEofMidFrame,       ///< peer vanished inside a frame (protocol error)
+  kDecodeError,       ///< framing broken (bad magic/version/length)
+  kReadTimeout,       ///< stalled mid-frame past read_timeout_ms
+  kWriteTimeout,      ///< flush made no progress past write_timeout_ms
+  kIdleTimeout,       ///< idle past idle_timeout_ms (reaped)
+  kHandshakeTimeout,  ///< never completed the handshake in time
+  kSlowReader,        ///< write buffer exceeded its cap
+  kWriteError,        ///< send() failed hard
+  kDrained,           ///< graceful close-after-flush completed
+  kServerStop,        ///< Stop() closed it
+  kRequestClose,      ///< a request handler asked for the close
+};
+
+const char* CloseReasonName(CloseReason r);
+
+class Connection;
+
+/// The owner of a set of connections (the net::Server). All callbacks run on
+/// the connection's loop thread.
+class ConnectionDelegate {
+ public:
+  virtual ~ConnectionDelegate() = default;
+
+  /// One complete frame. Return true to keep delivering buffered frames;
+  /// return false to park the connection (reading stops — backpressure)
+  /// until Resume() is called, i.e. while the request executes.
+  virtual bool OnFrame(Connection* conn, const FrameHeader& header,
+                       Bytes payload) = 0;
+
+  /// The byte stream broke (decode error). The delegate typically Sends a
+  /// kError frame and calls CloseAfterFlush.
+  virtual void OnProtocolError(Connection* conn, const Status& error) = 0;
+
+  /// The fd is closed and deregistered. The delegate drops its pointer; the
+  /// Connection is freed by the loop after the current dispatch round.
+  virtual void OnClosed(Connection* conn, CloseReason reason) = 0;
+
+  /// Raw ingress accounting (called per successful recv()).
+  virtual void OnBytesIn(size_t n) = 0;
+};
+
+/// \brief One client connection as a non-blocking state machine.
+///
+/// Owned by exactly one EventLoop; every method (other than construction)
+/// must be called on that loop's thread. The machine has three axes:
+///
+///   read side:   running (EPOLLIN armed, frames delivered)  |  parked
+///                (request in flight; kernel socket buffer is the
+///                backpressure)  |  draining (half-closed, discarding)
+///   write side:  responses append to an outbuf flushed opportunistically
+///                and on EPOLLOUT; a buffer past write_buffer_cap means a
+///                reader slower than we are willing to buffer for — the
+///                connection is cut (kSlowReader), never buffered unboundedly
+///   lifecycle:   timeouts (mid-frame stall, idle, handshake, write stall,
+///                drain deadline) are enforced by the owner's periodic sweep
+///                calling ExpiredDeadline()
+class Connection : public EventHandler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    uint32_t max_payload = kDefaultMaxPayload;
+    size_t write_buffer_cap = 4u << 20;
+    size_t read_chunk = 64 * 1024;
+    uint32_t read_timeout_ms = 30'000;      ///< mid-frame stall bound
+    uint32_t write_timeout_ms = 30'000;     ///< zero-progress flush bound
+    uint32_t idle_timeout_ms = 0;           ///< 0 = never reap idle conns
+    uint32_t handshake_timeout_ms = 30'000; ///< accept → handshake bound
+    uint32_t drain_ms = 200;                ///< close-after-flush drain budget
+    size_t drain_byte_cap = 64 * 1024;
+  };
+
+  Connection(EventLoop* loop, int fd, uint64_t id, Options options,
+             ConnectionDelegate* delegate);
+  ~Connection() override;
+
+  /// Arms EPOLLIN. Call once, on the loop thread.
+  Status Register();
+
+  uint64_t id() const { return id_; }
+  bool closed() const { return fd_ < 0; }
+  size_t pending_write_bytes() const { return outbuf_.size() - outpos_; }
+
+  /// The handshake completed (stops the handshake-timeout clock).
+  void MarkHandshaken() { handshaken_ = true; }
+  bool handshaken() const { return handshaken_; }
+
+  /// Appends one encoded frame to the write buffer and flushes what the
+  /// socket will take. Returns false when the connection closed in the
+  /// process (write error / slow-reader cut) — the pointer is then dead to
+  /// the caller.
+  bool Send(Bytes frame);
+
+  /// Like Send, but only the first `prefix` bytes are written and the
+  /// connection is cut immediately after (the net/drop_mid_frame fault).
+  void SendPrefixAndClose(Bytes frame, size_t prefix);
+
+  /// Flush the outbuf, then half-close (SHUT_WR) and discard inbound bytes
+  /// until EOF, a byte cap, or a drain deadline — so the peer reliably
+  /// receives the final (usually kError) frame instead of an RST killing it
+  /// in the send queue. The drain rides this loop; no thread is parked.
+  void CloseAfterFlush(CloseReason reason);
+
+  /// Immediate close; unflushed output is discarded.
+  void Close(CloseReason reason);
+
+  /// Un-parks the read side after OnFrame returned false: buffered frames
+  /// are delivered first, then EPOLLIN is re-armed.
+  void Resume();
+
+  /// Timeout sweep hook: the reason this connection should now be closed,
+  /// or kEof... (wrapped in false) when healthy. The owner closes outside
+  /// its iteration.
+  bool ExpiredDeadline(Clock::time_point now, CloseReason* reason) const;
+
+  // EventHandler:
+  void OnEvents(uint32_t events) override;
+
+ private:
+  void OnReadable();
+  void OnWritable();
+  /// Pops decoded frames and hands them to the delegate until it parks the
+  /// connection, the decoder needs more bytes, or the stream breaks.
+  void DeliverFrames();
+  /// Returns false when the connection died inside the flush.
+  bool TryFlush();
+  void UpdateInterest();
+  void DrainDiscard();
+  void FinishClose(CloseReason reason);
+
+  EventLoop* loop_;
+  int fd_;
+  const uint64_t id_;
+  Options options_;
+  ConnectionDelegate* delegate_;
+
+  FrameDecoder decoder_;
+  Bytes outbuf_;
+  size_t outpos_ = 0;
+
+  bool handshaken_ = false;
+  bool parked_ = false;       // request in flight; reading suspended
+  bool draining_ = false;     // half-closed, discarding until EOF/limits
+  bool close_after_flush_ = false;
+  CloseReason pending_close_reason_ = CloseReason::kDrained;
+  size_t drained_bytes_ = 0;
+
+  uint32_t armed_events_ = 0;  // current epoll interest
+  Clock::time_point created_at_;
+  Clock::time_point last_read_;
+  Clock::time_point last_write_progress_;
+  Clock::time_point drain_deadline_{};
+};
+
+}  // namespace aedb::net::reactor
+
+#endif  // AEDB_NET_REACTOR_CONNECTION_H_

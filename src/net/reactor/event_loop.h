@@ -1,0 +1,98 @@
+#ifndef AEDB_NET_REACTOR_EVENT_LOOP_H_
+#define AEDB_NET_REACTOR_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aedb::net::reactor {
+
+/// Implemented by anything that parks a file descriptor in an EventLoop
+/// (connections, the acceptor). OnEvents runs on the loop thread.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  /// `events` is the raw epoll mask (EPOLLIN / EPOLLOUT / EPOLLERR /
+  /// EPOLLHUP...). The handler may close its fd and ask for deferred
+  /// deletion, but must not delete itself synchronously.
+  virtual void OnEvents(uint32_t events) = 0;
+};
+
+/// \brief One epoll-driven I/O thread (RethinkDB's linux event queue shape).
+///
+/// Everything that touches a registered fd — interest changes, buffer
+/// state, handler lifetime — happens on the loop thread. Other threads get
+/// in via Post(), which enqueues a closure and wakes the loop through an
+/// eventfd; that is how execution workers deliver query completions back to
+/// the connection they belong to.
+///
+/// Handler deletion is deferred: DeferDelete() queues the object and the
+/// loop frees it after the current dispatch round, so a handler closed by a
+/// posted task (or by the ticker) cannot be freed while an already-polled
+/// event for it is still in flight.
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread. `tick_ms`/`ticker` install a periodic callback
+  /// (timer wheel tick: connection timeout sweeps, drain deadlines).
+  Status Start(uint32_t tick_ms = 0, std::function<void()> ticker = nullptr);
+
+  /// Runs all posted tasks, exits the loop and joins the thread. Tasks
+  /// posted after Stop() returns are dropped.
+  void Stop();
+
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  // ----- fd interest (loop thread only, except the very first Add which may
+  // race-freely happen before Start) -----
+  Status Add(int fd, uint32_t events, EventHandler* handler);
+  Status Mod(int fd, uint32_t events, EventHandler* handler);
+  Status Del(int fd);
+
+  /// Thread-safe: enqueue a closure for the loop thread and wake it.
+  /// Returns false (dropping the task) once the loop has stopped.
+  bool Post(std::function<void()> task);
+
+  /// Queue `handler` for deletion after the current dispatch round
+  /// (loop thread only).
+  void DeferDelete(EventHandler* handler);
+
+  /// epoll_wait returns (each one is one kernel wakeup of this thread).
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+  void DrainWake();
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> wakeups_{0};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+  bool accepting_posts_ = true;  // guarded by post_mu_
+
+  uint32_t tick_ms_ = 0;
+  std::function<void()> ticker_;
+
+  std::vector<EventHandler*> deferred_deletes_;  // loop thread only
+};
+
+}  // namespace aedb::net::reactor
+
+#endif  // AEDB_NET_REACTOR_EVENT_LOOP_H_

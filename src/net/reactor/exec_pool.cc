@@ -1,0 +1,104 @@
+#include "net/reactor/exec_pool.h"
+
+#include <chrono>
+
+namespace aedb::net::reactor {
+
+ExecPool::ExecPool(Options options)
+    : options_(options), queue_(options.queue_depth) {
+  if (options_.base_threads == 0) options_.base_threads = 1;
+  if (options_.max_threads < options_.base_threads) {
+    options_.max_threads = options_.base_threads;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (uint32_t i = 0; i < options_.base_threads; ++i) {
+    uint64_t id = next_worker_id_++;
+    threads_.fetch_add(1, std::memory_order_relaxed);
+    workers_.emplace(id, std::thread([this, id] { Worker(id, false); }));
+  }
+  peak_threads_.store(options_.base_threads, std::memory_order_relaxed);
+}
+
+ExecPool::~ExecPool() { Stop(); }
+
+bool ExecPool::TrySubmit(RunQueue::Task task) {
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  if (!queue_.TryPush(std::move(task))) return false;
+  MaybeGrow();
+  return true;
+}
+
+void ExecPool::MaybeGrow() {
+  // Grow when every worker is occupied: the queued task would otherwise sit
+  // behind tasks that may be *blocked* (lock waits) rather than running —
+  // and the queued task is often the very request (the lock holder's next
+  // statement) that would unblock them. The check is racy by design: a stale
+  // read grows at most one spare worker, which simply retires later.
+  uint32_t live = threads_.load(std::memory_order_relaxed);
+  if (busy_.load(std::memory_order_relaxed) < live ||
+      live >= options_.max_threads) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  ReapFinishedLocked();
+  live = threads_.load(std::memory_order_relaxed);
+  if (live >= options_.max_threads) return;
+  uint64_t id = next_worker_id_++;
+  threads_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t peak = peak_threads_.load(std::memory_order_relaxed);
+  while (live + 1 > peak && !peak_threads_.compare_exchange_weak(
+                                peak, live + 1, std::memory_order_relaxed)) {
+  }
+  workers_.emplace(id, std::thread([this, id] { Worker(id, true); }));
+}
+
+void ExecPool::ReapFinishedLocked() {
+  for (uint64_t id : finished_) {
+    auto it = workers_.find(id);
+    if (it != workers_.end()) {
+      if (it->second.joinable()) it->second.join();
+      workers_.erase(it);
+    }
+  }
+  finished_.clear();
+}
+
+void ExecPool::Worker(uint64_t id, bool elastic) {
+  RunQueue::Task task;
+  for (;;) {
+    bool got = elastic
+                   ? queue_.PopFor(&task, std::chrono::milliseconds(
+                                              options_.idle_retire_ms))
+                   : queue_.Pop(&task);
+    if (!got) {
+      // Closed queue (shutdown) or — for elastic workers only — an idle
+      // timeout: retire. Base workers use the untimed Pop and only exit on
+      // close.
+      break;
+    }
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    task();
+    task = nullptr;  // release captured state promptly
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  threads_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  finished_.push_back(id);  // reaped by MaybeGrow or Stop
+}
+
+void ExecPool::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.Close();
+  std::map<uint64_t, std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    workers.swap(workers_);
+    finished_.clear();
+  }
+  for (auto& [id, w] : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace aedb::net::reactor

@@ -1,0 +1,83 @@
+#ifndef AEDB_NET_REACTOR_EXEC_POOL_H_
+#define AEDB_NET_REACTOR_EXEC_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/reactor/run_queue.h"
+
+namespace aedb::net::reactor {
+
+/// \brief The execution worker / blocker pool behind the event loop.
+///
+/// Everything that may block — Database::Execute with its WAL fsyncs and
+/// lock waits, attestation RSA, DDL — runs here, never on an I/O thread
+/// (RethinkDB's blocker_pool contract). The pool is elastic between
+/// `base_threads` and `max_threads`: a submission that finds every worker
+/// occupied grows the pool, because a worker parked in a lock wait must not
+/// be able to starve the request (often the lock HOLDER's commit) that
+/// would unblock it. Growth is bounded; past max_threads the bounded run
+/// queue and its typed kOverloaded shed take over. Surplus workers retire
+/// after sitting idle.
+class ExecPool {
+ public:
+  struct Options {
+    uint32_t base_threads = 4;
+    /// Elastic ceiling (>= base_threads). The worst case needs one runnable
+    /// worker per blocked lock-wait chain, so this bounds how much blocking
+    /// concurrency the server will buy before shedding instead.
+    uint32_t max_threads = 32;
+    /// Bound on queued (accepted but not yet executing) requests.
+    size_t queue_depth = 512;
+    /// How long a surplus (above-base) worker sits idle before retiring.
+    uint32_t idle_retire_ms = 1000;
+  };
+
+  explicit ExecPool(Options options);
+  ~ExecPool();
+
+  ExecPool(const ExecPool&) = delete;
+  ExecPool& operator=(const ExecPool&) = delete;
+
+  /// Non-blocking submission from an I/O thread. False = queue full (after
+  /// growth was already maxed out): shed with a typed kOverloaded.
+  bool TrySubmit(RunQueue::Task task);
+
+  /// Drains nothing: wakes all workers, drops queued tasks, joins. In-flight
+  /// tasks finish first (their completions still get posted).
+  void Stop();
+
+  uint64_t queue_highwater() const { return queue_.highwater(); }
+  uint64_t queue_rejected() const { return queue_.rejected(); }
+  size_t queue_depth() const { return queue_.size(); }
+  uint32_t threads() const { return threads_.load(std::memory_order_relaxed); }
+  uint32_t peak_threads() const {
+    return peak_threads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Worker(uint64_t id, bool elastic);
+  void MaybeGrow();
+  void ReapFinishedLocked();
+
+  Options options_;
+  RunQueue queue_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint32_t> threads_{0};       // live workers
+  std::atomic<uint32_t> busy_{0};          // workers currently inside a task
+  std::atomic<uint32_t> peak_threads_{0};
+
+  std::mutex threads_mu_;
+  uint64_t next_worker_id_ = 1;            // guarded by threads_mu_
+  std::map<uint64_t, std::thread> workers_;
+  std::vector<uint64_t> finished_;         // retired ids awaiting join
+};
+
+}  // namespace aedb::net::reactor
+
+#endif  // AEDB_NET_REACTOR_EXEC_POOL_H_

@@ -1,0 +1,53 @@
+#include "net/reactor/frame_decoder.h"
+
+#include <cstring>
+
+namespace aedb::net::reactor {
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (broken_ || n == 0) return;
+  // Compact lazily: once the consumed prefix outgrows the live tail (and is
+  // big enough to matter) slide the tail down so the buffer cannot creep up
+  // under a long-lived connection.
+  if (pos_ > 4096 && pos_ >= buf_.size() - pos_) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Poll FrameDecoder::Next(FrameHeader* header, Bytes* payload) {
+  if (broken_) return Poll::kError;
+  if (buffered() < kFrameHeaderSize) return Poll::kNeedMore;
+  auto h = DecodeFrameHeader(Slice(buf_.data() + pos_, kFrameHeaderSize),
+                             max_payload_);
+  if (!h.ok()) {
+    broken_ = true;
+    error_ = h.status();
+    return Poll::kError;
+  }
+  if (buffered() < kFrameHeaderSize + h->payload_size) return Poll::kNeedMore;
+  *header = *h;
+  const uint8_t* body = buf_.data() + pos_ + kFrameHeaderSize;
+  payload->assign(body, body + h->payload_size);
+  pos_ += kFrameHeaderSize + h->payload_size;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return Poll::kFrame;
+}
+
+bool FrameDecoder::has_partial_frame() const {
+  if (broken_) return false;
+  size_t avail = buffered();
+  if (avail == 0) return false;
+  if (avail < kFrameHeaderSize) return true;
+  auto h = DecodeFrameHeader(Slice(buf_.data() + pos_, kFrameHeaderSize),
+                             max_payload_);
+  // A bad header is a protocol error, not a stall; Next() will surface it.
+  if (!h.ok()) return false;
+  return avail < kFrameHeaderSize + h->payload_size;
+}
+
+}  // namespace aedb::net::reactor

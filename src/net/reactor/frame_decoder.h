@@ -1,0 +1,70 @@
+#ifndef AEDB_NET_REACTOR_FRAME_DECODER_H_
+#define AEDB_NET_REACTOR_FRAME_DECODER_H_
+
+#include <cstdint>
+
+#include "net/protocol.h"
+
+namespace aedb::net::reactor {
+
+/// \brief Incremental decoder for the aedb length-prefixed wire protocol.
+///
+/// The event loop hands it whatever recv() produced — one byte, half a
+/// header, three frames and a tail — and pops complete frames out as they
+/// materialize. The state machine is the streaming equivalent of the
+/// blocking ReadFull(header) / ReadFull(payload) pair the thread-per-
+/// connection server used:
+///
+///     [header: <12 bytes buffered]  --12 bytes-->  [payload: header decoded,
+///      waiting for payload_size bytes]  --complete-->  emit frame, back to
+///      [header]
+///
+/// Validation order is identical to the blocking path and is what the
+/// robustness tests pin: the 12-byte header (magic, version, reserved bits,
+/// length bound) is rejected *before* any payload allocation, so a hostile
+/// 4 GiB length prefix costs 12 buffered bytes, nothing more. A decode error
+/// is sticky — the stream is out of sync and can never be trusted again.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw stream bytes. Cheap for the common whole-frame case: when
+  /// the internal buffer is empty and `data` starts a frame, no copy is
+  /// retained past the matching Next() calls.
+  void Feed(const uint8_t* data, size_t n);
+  void Feed(Slice data) { Feed(data.data(), data.size()); }
+
+  enum class Poll {
+    kFrame,     ///< *header/*payload hold one complete frame
+    kNeedMore,  ///< no complete frame buffered; Feed() more bytes
+    kError,     ///< framing broken (see error()); sticky
+  };
+
+  /// Pops the next complete frame if one is buffered.
+  Poll Next(FrameHeader* header, Bytes* payload);
+
+  /// Total bytes buffered and not yet consumed by Next().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+  /// True when the buffer holds a strict prefix of a frame (and no complete
+  /// frame ready ahead of it): the peer stopped mid-frame. This is the
+  /// "stalled mid-frame" predicate the read-timeout reaper keys on — a
+  /// complete-but-unconsumed frame (backpressure parking) is NOT a stall.
+  bool has_partial_frame() const;
+
+  /// True once a framing error has been observed (terminal).
+  bool broken() const { return broken_; }
+  const Status& error() const { return error_; }
+
+ private:
+  uint32_t max_payload_;
+  Bytes buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool broken_ = false;
+  Status error_ = Status::OK();
+};
+
+}  // namespace aedb::net::reactor
+
+#endif  // AEDB_NET_REACTOR_FRAME_DECODER_H_

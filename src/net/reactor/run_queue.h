@@ -1,0 +1,106 @@
+#ifndef AEDB_NET_REACTOR_RUN_QUEUE_H_
+#define AEDB_NET_REACTOR_RUN_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace aedb::net::reactor {
+
+/// \brief Bounded MPMC queue of decoded requests awaiting execution.
+///
+/// Producers are I/O threads, so TryPush never blocks: a full queue is a
+/// shed decision the caller answers with a typed kOverloaded frame straight
+/// from the event loop (passive flow control — the client backs off, the
+/// loop never stalls). Consumers are the execution workers.
+class RunQueue {
+ public:
+  using Task = std::function<void()>;
+
+  /// depth == 0 means unbounded (tests only; the server always bounds it).
+  explicit RunQueue(size_t depth) : depth_(depth) {}
+
+  /// Non-blocking. False = queue full; the caller sheds the request.
+  bool TryPush(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (depth_ != 0 && queue_.size() >= depth_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      queue_.push_back(std::move(task));
+      uint64_t d = queue_.size();
+      uint64_t hw = highwater_.load(std::memory_order_relaxed);
+      while (d > hw &&
+             !highwater_.compare_exchange_weak(hw, d, std::memory_order_relaxed)) {
+      }
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a task is available or the queue is closed (false).
+  bool Pop(Task* task) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *task = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Bounded wait flavour used by elastic workers deciding whether to retire.
+  bool PopFor(Task* task, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return closed_ || !queue_.empty(); })) {
+      return false;
+    }
+    if (queue_.empty()) return false;
+    *task = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Wakes every consumer; queued-but-unstarted tasks are dropped (their
+  /// connections are being closed by Stop anyway).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      queue_.clear();
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  uint64_t highwater() const {
+    return highwater_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool closed_ = false;
+  std::atomic<uint64_t> highwater_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace aedb::net::reactor
+
+#endif  // AEDB_NET_REACTOR_RUN_QUEUE_H_

@@ -3,12 +3,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <future>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "fault/fault.h"
 
@@ -20,53 +25,6 @@ Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
 }
 
-void SetTimeout(int fd, int opt, uint32_t ms) {
-  timeval tv;
-  tv.tv_sec = ms / 1000;
-  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
-}
-
-/// Reads exactly `n` bytes. Returns OK with *eof=true when the peer closed
-/// cleanly before the first byte (frame boundary); truncation inside the
-/// range is an error (mid-frame disconnect).
-Status ReadFull(int fd, uint8_t* buf, size_t n, bool* eof) {
-  *eof = false;
-  size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r == 0) {
-      if (got == 0) {
-        *eof = true;
-        return Status::OK();
-      }
-      return Status::Corruption("peer disconnected mid-frame");
-    }
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::Corruption("read timeout mid-frame");
-      }
-      return Errno("recv");
-    }
-    got += static_cast<size_t>(r);
-  }
-  return Status::OK();
-}
-
-Status WriteFull(int fd, Slice data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t w = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
-    }
-    sent += static_cast<size_t>(w);
-  }
-  return Status::OK();
-}
-
 void AppendErrorFrame(Bytes* out, const Status& status) {
   Bytes payload;
   EncodeStatusPayload(&payload, status);
@@ -75,14 +33,64 @@ void AppendErrorFrame(Bytes* out, const Status& status) {
 
 }  // namespace
 
+/// One epoll loop plus the connections it owns. The maps are touched only
+/// on the loop's own thread (delegate callbacks, posted completions, the
+/// ticker all run there), so they need no lock.
+struct Server::IoShard : public reactor::ConnectionDelegate {
+  Server* server = nullptr;
+  reactor::EventLoop loop;
+  std::unordered_map<uint64_t, reactor::Connection*> conns;
+  /// Connections that were turned away at accept: they exist only to flush
+  /// a typed kOverloaded frame and drain briefly. Never counted active.
+  std::unordered_map<uint64_t, reactor::Connection*> rejects;
+
+  bool OnFrame(reactor::Connection* conn, const FrameHeader& header,
+               Bytes payload) override {
+    return server->OnFrame(this, conn, header, std::move(payload));
+  }
+  void OnProtocolError(reactor::Connection* conn,
+                       const Status& error) override {
+    server->OnProtocolError(this, conn, error);
+  }
+  void OnClosed(reactor::Connection* conn,
+                reactor::CloseReason reason) override {
+    server->OnConnClosed(this, conn, reason);
+  }
+  void OnBytesIn(size_t n) override {
+    server->stats_.bytes_in.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+/// The listening socket's event handler; lives on shard 0's loop.
+struct Server::AcceptHandler : public reactor::EventHandler {
+  explicit AcceptHandler(Server* s) : server(s) {}
+  void OnEvents(uint32_t) override { server->DoAccept(); }
+  Server* server;
+};
+
 Server::Server(server::Database* db, ServerConfig config)
     : db_(db), config_(std::move(config)) {}
 
 Server::~Server() { Stop(); }
 
+reactor::Connection::Options Server::ConnOptions() const {
+  reactor::Connection::Options opts;
+  opts.max_payload = config_.max_payload;
+  opts.write_buffer_cap = config_.write_buffer_cap != 0
+                              ? config_.write_buffer_cap
+                              : config_.max_payload + (1u << 20);
+  opts.read_timeout_ms = config_.read_timeout_ms;
+  opts.write_timeout_ms = config_.write_timeout_ms;
+  opts.idle_timeout_ms = config_.idle_timeout_ms;
+  opts.handshake_timeout_ms = config_.handshake_timeout_ms;
+  return opts;
+}
+
 Status Server::Start() {
-  if (running_.load()) return Status::FailedPrecondition("server already running");
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -114,122 +122,157 @@ Status Server::Start() {
   }
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
+
+  reactor::ExecPool::Options pool_opts;
+  pool_opts.base_threads = config_.exec_threads != 0 ? config_.exec_threads : 1;
+  pool_opts.max_threads = config_.max_exec_threads;
+  pool_opts.queue_depth = config_.run_queue_depth;
+  pool_ = std::make_unique<reactor::ExecPool>(pool_opts);
+
+  // Sweep granularity: a quarter of the tightest timeout, within [10, 100]
+  // ms. Connection deadlines are therefore enforced within ~1.25x their
+  // nominal value in the worst case, at negligible idle cost.
+  uint64_t tightest = config_.read_timeout_ms != 0 ? config_.read_timeout_ms
+                                                   : 30'000;
+  auto tighten = [&](uint32_t v) {
+    if (v != 0 && v < tightest) tightest = v;
+  };
+  tighten(config_.write_timeout_ms);
+  tighten(config_.handshake_timeout_ms);
+  tighten(config_.idle_timeout_ms);
+  uint32_t tick_ms =
+      static_cast<uint32_t>(std::min<uint64_t>(100, std::max<uint64_t>(10, tightest / 4)));
+
+  uint32_t io_threads = config_.io_threads != 0 ? config_.io_threads : 1;
+  for (uint32_t i = 0; i < io_threads; ++i) {
+    auto shard = std::make_unique<IoShard>();
+    shard->server = this;
+    IoShard* raw = shard.get();
+    Status st = shard->loop.Start(tick_ms, [this, raw] { SweepShard(raw); });
+    if (!st.ok()) {
+      shards_.clear();
+      pool_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  accept_handler_ = std::make_unique<AcceptHandler>(this);
+  Status st = shards_[0]->loop.Add(listen_fd_, EPOLLIN, accept_handler_.get());
+  if (!st.ok()) {
+    for (auto& shard : shards_) shard->loop.Stop();
+    shards_.clear();
+    pool_.reset();
+    accept_handler_.reset();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
   running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void Server::Stop() {
-  if (!running_.exchange(false)) {
-    // Never started or already stopped; still reap any leftover workers.
-  }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  // Wake every worker blocked in recv, then join them all.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (auto& [id, fd] : live_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::map<uint64_t, std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    workers.swap(workers_);
-  }
-  for (auto& [id, t] : workers) {
-    if (t.joinable()) t.join();
-  }
-}
-
-void Server::RefreshEnclaveStats() const {
-  if (db_ == nullptr) return;
-  server::DatabaseStats s = db_->Stats();
-  stats_.enclave_batch_evals.store(s.enclave_batch_evals,
-                                   std::memory_order_relaxed);
-  stats_.enclave_batched_values.store(s.enclave_batched_values,
-                                      std::memory_order_relaxed);
-  stats_.enclave_transitions.store(s.enclave_transitions,
-                                   std::memory_order_relaxed);
-  stats_.queries_admitted.store(s.queries_admitted, std::memory_order_relaxed);
-  stats_.queries_rejected.store(s.queries_rejected, std::memory_order_relaxed);
-  stats_.queries_expired.store(s.queries_expired, std::memory_order_relaxed);
-  stats_.queue_depth_highwater.store(s.pool_queue_highwater,
-                                     std::memory_order_relaxed);
-  stats_.lock_waits_expired.store(s.lock_waits_expired,
-                                  std::memory_order_relaxed);
-}
-
-void Server::RejectConnection(int fd) {
-  stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
-  Bytes err;
-  AppendErrorFrame(&err, Status::Overloaded(AppendRetryAfterHint(
-                             "server connection limit reached",
-                             config_.overload_retry_after_ms)));
-  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
-  (void)WriteFull(fd, err);
-  // Half-close and drain briefly: if we close() with the client's handshake
-  // bytes unread, the kernel may RST and destroy the queued error frame
-  // before the client sees its typed rejection. The drain is doubly bounded
-  // — total elapsed time and total bytes — so a client that keeps streaming
-  // cannot hold this thread beyond the budget.
-  ::shutdown(fd, SHUT_WR);
-  SetTimeout(fd, SO_RCVTIMEO, 50);
-  const auto drain_deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
-  size_t drained = 0;
-  uint8_t sink[256];
-  while (drained < 64 * 1024 &&
-         std::chrono::steady_clock::now() < drain_deadline) {
-    ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
-    if (n <= 0) break;  // EOF, error, or 50 ms of idle: the frame is safe
-    drained += static_cast<size_t>(n);
-  }
-  ::close(fd);
-}
-
-void Server::ReapFinishedWorkers() {
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (uint64_t id : finished_) {
-      auto it = workers_.find(id);
-      if (it != workers_.end()) {
-        done.push_back(std::move(it->second));
-        workers_.erase(it);
-      }
+  running_.store(false, std::memory_order_release);
+  if (shards_.empty() && pool_ == nullptr) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
     }
-    finished_.clear();
+    return;
   }
-  for (auto& t : done) {
-    if (t.joinable()) t.join();
+
+  // 1. Retire the listener on its own loop thread (closing it from here
+  //    could race an in-flight DoAccept against kernel fd reuse).
+  if (listen_fd_ >= 0 && !shards_.empty()) {
+    std::promise<void> done;
+    auto fut = done.get_future();
+    bool posted = shards_[0]->loop.Post([this, &done] {
+      (void)shards_[0]->loop.Del(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      done.set_value();
+    });
+    if (posted) {
+      fut.wait();
+    } else {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
   }
+
+  // 2. Drain the execution pool: in-flight requests finish and post their
+  //    completions (the loops are still running to take them); queued-but-
+  //    unstarted work is dropped — its connections die in step 3 anyway.
+  if (pool_) {
+    stats_.run_queue_highwater.store(pool_->queue_highwater(),
+                                     std::memory_order_relaxed);
+    stats_.run_queue_sheds.store(pool_->queue_rejected(),
+                                 std::memory_order_relaxed);
+    stats_.exec_threads_peak.store(pool_->peak_threads(),
+                                   std::memory_order_relaxed);
+    pool_->Stop();
+  }
+
+  // 3. Close every connection on its own loop, then stop the loops. The
+  //    close-all task is posted before Stop so the loop runs it on its way
+  //    out.
+  for (auto& shard : shards_) {
+    IoShard* raw = shard.get();
+    (void)raw->loop.Post([this, raw] {
+      std::vector<reactor::Connection*> all;
+      all.reserve(raw->conns.size() + raw->rejects.size());
+      for (auto& [id, c] : raw->conns) all.push_back(c);
+      for (auto& [id, c] : raw->rejects) all.push_back(c);
+      for (auto* c : all) c->Close(reactor::CloseReason::kServerStop);
+    });
+  }
+  for (auto& shard : shards_) {
+    stats_.epoll_wakeups.fetch_add(shard->loop.wakeups(),
+                                   std::memory_order_relaxed);
+    shard->loop.Stop();
+    // The loop thread is joined; anything the close-all task missed (it can
+    // be dropped if the loop was already exiting) is freed here.
+    for (auto& [id, c] : shard->conns) delete c;
+    for (auto& [id, c] : shard->rejects) delete c;
+    shard->conns.clear();
+    shard->rejects.clear();
+  }
+  shards_.clear();
+  pool_.reset();
+  accept_handler_.reset();
 }
 
-void Server::AcceptLoop() {
-  while (running_.load(std::memory_order_acquire)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+// ---------------------------------------------------------------------------
+// Accept path (shard 0 loop thread)
+// ---------------------------------------------------------------------------
+
+void Server::DoAccept() {
+  for (;;) {
+    if (listen_fd_ < 0) return;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener closed by Stop(), or fatal
+      return;  // EAGAIN (drained the backlog) or listener closed
     }
     if (!running_.load(std::memory_order_acquire)) {
       ::close(fd);
-      break;
+      return;
     }
-    // Finished connections leave their thread objects behind; join them here
-    // so connection churn cannot grow the worker map without bound.
-    ReapFinishedWorkers();
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    SetTimeout(fd, SO_RCVTIMEO, config_.read_timeout_ms);
-    SetTimeout(fd, SO_SNDTIMEO, config_.write_timeout_ms);
+
+    uint64_t conn_id = next_connection_id_++;
 
     // Admission at the connection level: turn surplus connections away with
-    // a typed kOverloaded frame instead of accept-and-starve.
+    // a typed kOverloaded frame instead of accept-and-starve. The polite
+    // reject (write frame, half-close, bounded drain) rides this same event
+    // loop as a short-lived state machine — no thread is ever parked on a
+    // rejected client, so the acceptor keeps admitting legitimate
+    // connections at full speed precisely when the server is at its cap.
     bool reject =
         config_.max_connections > 0 &&
         stats_.connections_active.load(std::memory_order_relaxed) >=
@@ -237,76 +280,93 @@ void Server::AcceptLoop() {
     fault::FaultSpec spec;
     if (AEDB_FAULT_FIRED("net/accept_reject", &spec)) reject = true;
     if (reject) {
-      // Reject off the acceptor thread: the polite write-then-drain in
-      // RejectConnection can take up to ~200 ms against a hostile client,
-      // and the acceptor must keep admitting legitimate connections at full
-      // speed precisely when the server is at its cap. The thread rides the
-      // normal workers_/finished_ machinery so Stop() joins it.
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      uint64_t reject_id = next_connection_id_++;
-      workers_[reject_id] = std::thread([this, fd, reject_id] {
-        RejectConnection(fd);
-        std::lock_guard<std::mutex> inner(conn_mu_);
-        finished_.push_back(reject_id);
-      });
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      RejectConnection(shards_[0].get(), fd, conn_id);
       continue;
     }
 
     stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
-    uint64_t conn_id;
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      conn_id = next_connection_id_++;
-      live_fds_[conn_id] = fd;
-      workers_[conn_id] =
-          std::thread([this, fd, conn_id] { ServeConnection(fd, conn_id); });
+    IoShard* shard = shards_[next_shard_++ % shards_.size()].get();
+    if (shard == shards_[0].get()) {
+      AdoptConnection(shard, fd, conn_id);
+    } else if (!shard->loop.Post([this, shard, fd, conn_id] {
+                 AdoptConnection(shard, fd, conn_id);
+               })) {
+      ::close(fd);
+      stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 }
 
-void Server::ServeConnection(int fd, uint64_t conn_id) {
-  bool handshaken = false;
-  Bytes header_buf(kFrameHeaderSize);
-  Bytes payload;
-  while (running_.load(std::memory_order_acquire)) {
-    bool eof = false;
-    Status st = ReadFull(fd, header_buf.data(), header_buf.size(), &eof);
-    if (eof) break;
-    if (!st.ok()) {
-      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
-    auto header = DecodeFrameHeader(header_buf, config_.max_payload);
-    if (!header.ok()) {
-      // The stream is out of sync; tell the peer why and hang up.
-      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      Bytes err;
-      AppendErrorFrame(&err, header.status());
-      stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
-      (void)WriteFull(fd, err);
-      break;
-    }
-    payload.resize(header->payload_size);
-    if (header->payload_size > 0) {
-      st = ReadFull(fd, payload.data(), payload.size(), &eof);
-      if (eof || !st.ok()) {
-        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
-        break;
-      }
-    }
-    stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_in.fetch_add(kFrameHeaderSize + payload.size(),
-                              std::memory_order_relaxed);
+void Server::AdoptConnection(IoShard* shard, int fd, uint64_t conn_id) {
+  auto* conn =
+      new reactor::Connection(&shard->loop, fd, conn_id, ConnOptions(), shard);
+  if (!conn->Register().ok()) {
+    delete conn;  // closes fd
+    stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  shard->conns[conn_id] = conn;
+}
 
-    Bytes response;
-    bool keep_open = HandleFrame(*header, payload, conn_id, &handshaken,
-                                 &response);
+void Server::RejectConnection(IoShard* shard, int fd, uint64_t conn_id) {
+  auto* conn =
+      new reactor::Connection(&shard->loop, fd, conn_id, ConnOptions(), shard);
+  if (!conn->Register().ok()) {
+    delete conn;
+    return;
+  }
+  shard->rejects[conn_id] = conn;
+  Bytes err;
+  AppendErrorFrame(&err, Status::Overloaded(AppendRetryAfterHint(
+                             "server connection limit reached",
+                             config_.overload_retry_after_ms)));
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
+  // Half-close and drain briefly after the flush: if we closed with the
+  // client's handshake bytes unread, the kernel could RST and destroy the
+  // queued error frame before the client sees its typed rejection. The
+  // drain is doubly bounded (bytes and a deadline enforced by the sweep),
+  // so a client that keeps streaming junk cannot hold the state machine
+  // beyond the budget.
+  if (conn->Send(std::move(err))) {
+    conn->CloseAfterFlush(reactor::CloseReason::kRequestClose);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection delegate paths (owning loop thread)
+// ---------------------------------------------------------------------------
+
+bool Server::OnFrame(IoShard* shard, reactor::Connection* conn,
+                     const FrameHeader& header, Bytes payload) {
+  stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+
+  if (!conn->handshaken() && header.type != MsgType::kHandshake) {
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    Bytes err;
+    AppendErrorFrame(&err, Status::FailedPrecondition(
+                               "first frame on a connection must be Handshake"));
+    stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
+    if (conn->Send(std::move(err))) {
+      conn->CloseAfterFlush(reactor::CloseReason::kRequestClose);
+    }
+    return false;
+  }
+
+  uint64_t conn_id = conn->id();
+  MsgType type = header.type;
+  bool submitted = pool_->TrySubmit([this, shard, conn_id, type,
+                                     payload = std::move(payload)] {
+    RequestOutcome outcome = ExecuteRequest(type, payload, conn_id);
 
     // Fault points on the response path (no-ops unless armed; see fault.h).
+    // They sleep, which is exactly why requests execute here and not on an
+    // I/O thread.
     fault::FaultSpec spec;
-    if (header->type == MsgType::kHandshake &&
+    if (type == MsgType::kHandshake &&
         AEDB_FAULT_FIRED("net/handshake_stall", &spec)) {
       // Hold the handshake reply long enough for the client's read timeout
       // to expire (arg = stall in ms, default 100).
@@ -317,40 +377,131 @@ void Server::ServeConnection(int fd, uint64_t conn_id) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(spec.arg != 0 ? spec.arg : 50));
     }
-    if (!response.empty() && AEDB_FAULT_FIRED("net/drop_mid_frame", &spec)) {
+    size_t drop_prefix = 0;
+    bool drop = false;
+    if (!outcome.response.empty() &&
+        AEDB_FAULT_FIRED("net/drop_mid_frame", &spec)) {
       // Write a strict prefix of the response frame (arg = bytes, default
       // half) and hang up: the client observes a mid-frame disconnect.
-      size_t keep = spec.arg != 0 && spec.arg < response.size()
+      drop = true;
+      drop_prefix = spec.arg != 0 && spec.arg < outcome.response.size()
                         ? static_cast<size_t>(spec.arg)
-                        : response.size() / 2;
-      stats_.bytes_out.fetch_add(keep, std::memory_order_relaxed);
-      (void)WriteFull(fd, Slice(response.data(), keep));
-      break;
+                        : outcome.response.size() / 2;
     }
 
-    if (!response.empty()) {
+    // Deliver the completion on the connection's loop. The connection may
+    // have died while we executed (timeout sweep, client reset, Stop); the
+    // lookup by id makes that a clean drop rather than a dangling pointer.
+    (void)shard->loop.Post([this, shard, conn_id, drop, drop_prefix,
+                            outcome = std::move(outcome)]() mutable {
+      auto it = shard->conns.find(conn_id);
+      if (it == shard->conns.end()) return;
+      reactor::Connection* conn = it->second;
+      if (outcome.handshaken) conn->MarkHandshaken();
+      if (drop) {
+        stats_.bytes_out.fetch_add(drop_prefix, std::memory_order_relaxed);
+        conn->SendPrefixAndClose(std::move(outcome.response), drop_prefix);
+        return;
+      }
       stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_out.fetch_add(response.size(), std::memory_order_relaxed);
-      if (!WriteFull(fd, response).ok()) break;
-    }
-    if (!keep_open) break;
+      stats_.bytes_out.fetch_add(outcome.response.size(),
+                                 std::memory_order_relaxed);
+      if (!conn->Send(std::move(outcome.response))) return;
+      if (!outcome.keep_open) {
+        conn->CloseAfterFlush(reactor::CloseReason::kRequestClose);
+        return;
+      }
+      conn->Resume();
+    });
+  });
+
+  if (!submitted) {
+    // Run queue full (and the elastic pool already at its ceiling): shed
+    // with a typed kOverloaded + retry-after, straight from the event loop.
+    // The connection stays open and keeps reading — the client backs off.
+    stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    Bytes err;
+    AppendErrorFrame(&err, Status::Overloaded(AppendRetryAfterHint(
+                               "server run queue full",
+                               config_.overload_retry_after_ms)));
+    stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
+    return conn->Send(std::move(err));
   }
-  ::close(fd);
-  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  live_fds_.erase(conn_id);
-  // Mark the thread reapable; the acceptor (or Stop) joins it.
-  finished_.push_back(conn_id);
+  return false;  // park: one request in flight per connection
 }
 
-bool Server::HandleFrame(const FrameHeader& header, Slice payload,
-                         uint64_t conn_id, bool* handshaken, Bytes* response) {
+void Server::OnProtocolError(IoShard* shard, reactor::Connection* conn,
+                             const Status& error) {
+  (void)shard;
+  // The stream is out of sync; tell the peer why and hang up.
+  stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  Bytes err;
+  AppendErrorFrame(&err, error);
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(err.size(), std::memory_order_relaxed);
+  if (conn->Send(std::move(err))) {
+    conn->CloseAfterFlush(reactor::CloseReason::kDecodeError);
+  }
+}
+
+void Server::OnConnClosed(IoShard* shard, reactor::Connection* conn,
+                          reactor::CloseReason reason) {
+  if (shard->rejects.erase(conn->id()) != 0) return;
+  if (shard->conns.erase(conn->id()) == 0) return;
+  stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  switch (reason) {
+    case reactor::CloseReason::kEofMidFrame:
+    case reactor::CloseReason::kReadTimeout:
+      // The decode-error flavour was already counted in OnProtocolError.
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case reactor::CloseReason::kIdleTimeout:
+      stats_.idle_reaps.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case reactor::CloseReason::kHandshakeTimeout:
+      stats_.handshake_timeouts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case reactor::CloseReason::kSlowReader:
+      stats_.slow_reader_disconnects.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+}
+
+void Server::SweepShard(IoShard* shard) {
+  auto now = reactor::Connection::Clock::now();
+  // Collect first, close after: Close() erases from the maps via OnClosed.
+  std::vector<std::pair<reactor::Connection*, reactor::CloseReason>> doomed;
+  auto scan = [&](auto& map) {
+    for (auto& [id, conn] : map) {
+      reactor::CloseReason reason;
+      if (conn->ExpiredDeadline(now, &reason)) doomed.emplace_back(conn, reason);
+    }
+  };
+  scan(shard->conns);
+  scan(shard->rejects);
+  for (auto& [conn, reason] : doomed) conn->Close(reason);
+}
+
+// ---------------------------------------------------------------------------
+// Request execution (worker pool)
+// ---------------------------------------------------------------------------
+
+Server::RequestOutcome Server::ExecuteRequest(MsgType type,
+                                              const Bytes& payload_bytes,
+                                              uint64_t conn_id) {
+  RequestOutcome out;
+  Slice payload(payload_bytes);
+  Bytes* response = &out.response;
+
   auto reply_error = [&](const Status& st) {
     stats_.request_errors.fetch_add(1, std::memory_order_relaxed);
     AppendErrorFrame(response, st);
   };
-  auto reply = [&](MsgType type, const Bytes& body) {
-    AppendFrame(response, type, body);
+  auto reply = [&](MsgType t, const Bytes& body) {
+    AppendFrame(response, t, body);
   };
   auto reply_status = [&](const Status& st) {
     if (st.ok()) {
@@ -360,44 +511,40 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
     }
   };
 
-  if (!*handshaken && header.type != MsgType::kHandshake) {
-    reply_error(Status::FailedPrecondition(
-        "first frame on a connection must be Handshake"));
-    return false;
-  }
-
-  switch (header.type) {
+  switch (type) {
     case MsgType::kHandshake: {
       auto req = HandshakeReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return false;
+        out.keep_open = false;
+        return out;
       }
       if (req->client_version != kProtocolVersion) {
         reply_error(Status::NotSupported(
             "client protocol version " + std::to_string(req->client_version) +
             " not supported"));
-        return false;
+        out.keep_open = false;
+        return out;
       }
-      *handshaken = true;
+      out.handshaken = true;
       HandshakeResp resp;
       resp.server_version = kProtocolVersion;
       resp.connection_id = conn_id;
       resp.max_payload = config_.max_payload;
       reply(MsgType::kHandshakeAck, resp.Encode());
-      return true;
+      return out;
     }
 
     case MsgType::kPing: {
       reply(MsgType::kPong, payload.ToBytes());
-      return true;
+      return out;
     }
 
     case MsgType::kQuery: {
       auto req = QueryReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       if (req->retry != 0) {
         stats_.retries_seen.fetch_add(1, std::memory_order_relaxed);
@@ -410,26 +557,26 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
           reply_error(spec.status.code() == StatusCode::kInternal
                           ? Status::Unavailable("injected worker failure")
                           : spec.status);
-          return true;
+          return out;
         }
       }
       auto rs = db_->Execute(req->sql, req->params, req->txn, req->session_id,
                              req->deadline_ms);
       if (!rs.ok()) {
         reply_error(rs.status());
-        return true;
+        return out;
       }
       Bytes body;
       EncodeResultSet(&body, *rs);
       reply(MsgType::kResultSet, body);
-      return true;
+      return out;
     }
 
     case MsgType::kQueryNamed: {
       auto req = QueryNamedReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       if (req->retry != 0) {
         stats_.retries_seen.fetch_add(1, std::memory_order_relaxed);
@@ -440,72 +587,72 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
           reply_error(spec.status.code() == StatusCode::kInternal
                           ? Status::Unavailable("injected worker failure")
                           : spec.status);
-          return true;
+          return out;
         }
       }
       auto rs = db_->ExecuteNamed(req->sql, req->params, req->txn,
                                   req->session_id, req->deadline_ms);
       if (!rs.ok()) {
         reply_error(rs.status());
-        return true;
+        return out;
       }
       Bytes body;
       EncodeResultSet(&body, *rs);
       reply(MsgType::kResultSet, body);
-      return true;
+      return out;
     }
 
     case MsgType::kDdl: {
       auto req = DdlReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       reply_status(db_->ExecuteDdl(req->sql, req->session_id));
-      return true;
+      return out;
     }
 
     case MsgType::kDescribe: {
       auto req = DescribeReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       auto d = db_->DescribeParameterEncryption(req->sql,
                                                 req->client_dh_public);
       if (!d.ok()) {
         reply_error(d.status());
-        return true;
+        return out;
       }
       Bytes body;
       EncodeDescribeResult(&body, *d);
       reply(MsgType::kDescribeResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kAttest: {
       auto req = DescribeReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       auto d = db_->Attest(req->client_dh_public);
       if (!d.ok()) {
         reply_error(d.status());
-        return true;
+        return out;
       }
       stats_.sessions_attested.fetch_add(1, std::memory_order_relaxed);
       Bytes body;
       EncodeDescribeResult(&body, *d);
       reply(MsgType::kDescribeResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kBeginTxn: {
       Bytes body;
       PutU64(&body, db_->BeginTransaction());
       reply(MsgType::kTxnResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kCommitTxn:
@@ -514,12 +661,11 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
       auto txn = GetU64(payload, &off);
       if (!txn.ok()) {
         reply_error(txn.status());
-        return true;
+        return out;
       }
-      reply_status(header.type == MsgType::kCommitTxn
-                       ? db_->CommitTransaction(*txn)
-                       : db_->RollbackTransaction(*txn));
-      return true;
+      reply_status(type == MsgType::kCommitTxn ? db_->CommitTransaction(*txn)
+                                               : db_->RollbackTransaction(*txn));
+      return out;
     }
 
     case MsgType::kGetKeyDescription: {
@@ -527,17 +673,17 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
       auto cek_id = GetU32(payload, &off);
       if (!cek_id.ok()) {
         reply_error(cek_id.status());
-        return true;
+        return out;
       }
       auto key = db_->GetKeyDescription(*cek_id);
       if (!key.ok()) {
         reply_error(key.status());
-        return true;
+        return out;
       }
       Bytes body;
       EncodeKeyDescription(&body, *key);
       reply(MsgType::kKeyDescriptionResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kForwardKeys:
@@ -545,31 +691,31 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
       auto req = ForwardReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
-      reply_status(header.type == MsgType::kForwardKeys
+      reply_status(type == MsgType::kForwardKeys
                        ? db_->ForwardKeysToEnclave(req->session_id, req->nonce,
                                                    req->sealed)
                        : db_->ForwardEncryptionAuthorization(
                              req->session_id, req->nonce, req->sealed));
-      return true;
+      return out;
     }
 
     case MsgType::kColumnEncryption: {
       auto req = ColumnReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       auto enc = db_->ColumnEncryption(req->table, req->column);
       if (!enc.ok()) {
         reply_error(enc.status());
-        return true;
+        return out;
       }
       Bytes body;
       EncodeEncryptionType(&body, *enc);
       reply(MsgType::kEncryptionTypeResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kGetCmk: {
@@ -577,17 +723,17 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
       auto name = DecodeString(payload, &off);
       if (!name.ok()) {
         reply_error(name.status());
-        return true;
+        return out;
       }
       auto cmk = db_->catalog().GetCmk(*name);
       if (!cmk.ok()) {
         reply_error(cmk.status());
-        return true;
+        return out;
       }
       Bytes body;
       PutLengthPrefixed(&body, (*cmk)->Serialize());
       reply(MsgType::kCmkResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kCekIdByName: {
@@ -595,43 +741,123 @@ bool Server::HandleFrame(const FrameHeader& header, Slice payload,
       auto name = DecodeString(payload, &off);
       if (!name.ok()) {
         reply_error(name.status());
-        return true;
+        return out;
       }
       auto id = db_->catalog().CekIdByName(*name);
       if (!id.ok()) {
         reply_error(id.status());
-        return true;
+        return out;
       }
       Bytes body;
       PutU32(&body, *id);
       reply(MsgType::kCekIdResp, body);
-      return true;
+      return out;
     }
 
     case MsgType::kAlterColumnMetadata: {
       auto req = ColumnReq::Decode(payload);
       if (!req.ok()) {
         reply_error(req.status());
-        return true;
+        return out;
       }
       if (!req->has_spec) {
         reply_error(Status::InvalidArgument(
             "AlterColumnMetadata requires an encryption spec"));
-        return true;
+        return out;
       }
       reply_status(db_->AlterColumnMetadataForClientTool(
           req->table, req->column, req->spec));
-      return true;
+      return out;
     }
 
     default:
       // Unknown request type: answer cleanly and keep the connection; the
       // framing itself was valid so the stream is still in sync.
-      reply_error(Status::NotSupported(
-          "unknown message type " +
-          std::to_string(static_cast<int>(header.type))));
-      return true;
+      reply_error(Status::NotSupported("unknown message type " +
+                                       std::to_string(static_cast<int>(type))));
+      return out;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+void Server::RefreshMirrors() const {
+  if (db_ != nullptr) {
+    server::DatabaseStats s = db_->Stats();
+    stats_.enclave_batch_evals.store(s.enclave_batch_evals,
+                                     std::memory_order_relaxed);
+    stats_.enclave_batched_values.store(s.enclave_batched_values,
+                                        std::memory_order_relaxed);
+    stats_.enclave_transitions.store(s.enclave_transitions,
+                                     std::memory_order_relaxed);
+    stats_.queries_admitted.store(s.queries_admitted, std::memory_order_relaxed);
+    stats_.queries_rejected.store(s.queries_rejected, std::memory_order_relaxed);
+    stats_.queries_expired.store(s.queries_expired, std::memory_order_relaxed);
+    stats_.queue_depth_highwater.store(s.pool_queue_highwater,
+                                       std::memory_order_relaxed);
+    stats_.lock_waits_expired.store(s.lock_waits_expired,
+                                    std::memory_order_relaxed);
+  }
+  // Reactor gauges (the Stop path latches them into stats_ before the pool
+  // and loops are torn down, so post-shutdown reads stay truthful).
+  if (pool_) {
+    stats_.run_queue_highwater.store(pool_->queue_highwater(),
+                                     std::memory_order_relaxed);
+    stats_.run_queue_sheds.store(pool_->queue_rejected(),
+                                 std::memory_order_relaxed);
+    stats_.exec_threads_peak.store(pool_->peak_threads(),
+                                   std::memory_order_relaxed);
+  }
+  if (!shards_.empty()) {
+    uint64_t wakeups = 0;
+    for (const auto& shard : shards_) wakeups += shard->loop.wakeups();
+    stats_.epoll_wakeups.store(wakeups, std::memory_order_relaxed);
+  }
+}
+
+ServerStatsSnapshot Server::SnapshotStats() const {
+  RefreshMirrors();
+  ServerStatsSnapshot s;
+  s.connections_accepted =
+      stats_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_active =
+      stats_.connections_active.load(std::memory_order_relaxed);
+  s.frames_in = stats_.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = stats_.frames_out.load(std::memory_order_relaxed);
+  s.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  s.request_errors = stats_.request_errors.load(std::memory_order_relaxed);
+  s.retries_seen = stats_.retries_seen.load(std::memory_order_relaxed);
+  s.sessions_attested = stats_.sessions_attested.load(std::memory_order_relaxed);
+  s.connections_rejected =
+      stats_.connections_rejected.load(std::memory_order_relaxed);
+  s.epoll_wakeups = stats_.epoll_wakeups.load(std::memory_order_relaxed);
+  s.run_queue_highwater =
+      stats_.run_queue_highwater.load(std::memory_order_relaxed);
+  s.run_queue_sheds = stats_.run_queue_sheds.load(std::memory_order_relaxed);
+  s.exec_threads_peak = stats_.exec_threads_peak.load(std::memory_order_relaxed);
+  s.idle_reaps = stats_.idle_reaps.load(std::memory_order_relaxed);
+  s.slow_reader_disconnects =
+      stats_.slow_reader_disconnects.load(std::memory_order_relaxed);
+  s.handshake_timeouts =
+      stats_.handshake_timeouts.load(std::memory_order_relaxed);
+  s.enclave_batch_evals =
+      stats_.enclave_batch_evals.load(std::memory_order_relaxed);
+  s.enclave_batched_values =
+      stats_.enclave_batched_values.load(std::memory_order_relaxed);
+  s.enclave_transitions =
+      stats_.enclave_transitions.load(std::memory_order_relaxed);
+  s.queries_admitted = stats_.queries_admitted.load(std::memory_order_relaxed);
+  s.queries_rejected = stats_.queries_rejected.load(std::memory_order_relaxed);
+  s.queries_expired = stats_.queries_expired.load(std::memory_order_relaxed);
+  s.queue_depth_highwater =
+      stats_.queue_depth_highwater.load(std::memory_order_relaxed);
+  s.lock_waits_expired =
+      stats_.lock_waits_expired.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace aedb::net

@@ -14,6 +14,7 @@
 #include "client/driver.h"
 #include "crypto/drbg.h"
 #include "net/protocol.h"
+#include "net/reactor/frame_decoder.h"
 #include "net/server.h"
 #include "net/socket_transport.h"
 #include "server/database.h"
@@ -100,6 +101,173 @@ TEST(ProtocolCodec, StatusPayloadRoundTripsEveryCode) {
     ASSERT_TRUE(net::DecodeStatusPayload(payload, &decoded).ok());
     EXPECT_EQ(decoded.code(), st.code());
     EXPECT_EQ(decoded.message(), st.message());
+  }
+}
+
+// ===========================================================================
+// Incremental frame decoder (the event loop's streaming read path)
+// ===========================================================================
+
+using net::reactor::FrameDecoder;
+
+Bytes Concat(std::initializer_list<Bytes> parts) {
+  Bytes all;
+  for (const Bytes& p : parts) all.insert(all.end(), p.begin(), p.end());
+  return all;
+}
+
+TEST(FrameDecoderTest, OneByteAtATimeYieldsFramesExactlyAtBoundaries) {
+  const Bytes f1 = net::EncodeFrame(MsgType::kPing, Slice(std::string_view("hello")));
+  const Bytes f2 = net::EncodeFrame(MsgType::kQuery, Slice(std::string_view("")));
+  const Bytes f3 =
+      net::EncodeFrame(MsgType::kHandshake, Slice(std::string_view("xyzzy!")));
+  const Bytes stream = Concat({f1, f2, f3});
+  const size_t boundaries[] = {f1.size(), f1.size() + f2.size(), stream.size()};
+
+  FrameDecoder dec;
+  net::FrameHeader header;
+  Bytes payload;
+  size_t frames = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    dec.Feed(&stream[i], 1);
+    auto poll = dec.Next(&header, &payload);
+    if (i + 1 == boundaries[frames]) {
+      // The byte that completes a frame must surface it immediately…
+      ASSERT_EQ(poll, FrameDecoder::Poll::kFrame) << "at byte " << i;
+      ++frames;
+      // …and exactly one frame: the very next poll wants more bytes.
+      EXPECT_EQ(dec.Next(&header, &payload), FrameDecoder::Poll::kNeedMore);
+    } else {
+      ASSERT_EQ(poll, FrameDecoder::Poll::kNeedMore) << "at byte " << i;
+    }
+  }
+  ASSERT_EQ(frames, 3u);
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_FALSE(dec.has_partial_frame());
+}
+
+TEST(FrameDecoderTest, SplitAtEveryOffsetRoundTrips) {
+  const Bytes f1 = net::EncodeFrame(MsgType::kPing, Slice(std::string_view("abcd")));
+  const Bytes f2 = net::EncodeFrame(MsgType::kPong, Slice(std::string_view("wxyz")));
+  const Bytes stream = Concat({f1, f2});
+  // Every header/payload boundary in a two-frame stream, including 0 and end.
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameDecoder dec;
+    dec.Feed(stream.data(), split);
+    std::vector<std::pair<MsgType, Bytes>> got;
+    net::FrameHeader header;
+    Bytes payload;
+    while (dec.Next(&header, &payload) == FrameDecoder::Poll::kFrame) {
+      got.emplace_back(header.type, payload);
+    }
+    dec.Feed(stream.data() + split, stream.size() - split);
+    while (dec.Next(&header, &payload) == FrameDecoder::Poll::kFrame) {
+      got.emplace_back(header.type, payload);
+    }
+    ASSERT_EQ(got.size(), 2u) << "split at " << split;
+    EXPECT_EQ(got[0].first, MsgType::kPing);
+    EXPECT_EQ(got[0].second, Bytes({'a', 'b', 'c', 'd'}));
+    EXPECT_EQ(got[1].first, MsgType::kPong);
+    EXPECT_EQ(got[1].second, Bytes({'w', 'x', 'y', 'z'}));
+  }
+}
+
+TEST(FrameDecoderTest, PartialFramePredicateTracksStreamState) {
+  const Bytes frame = net::EncodeFrame(MsgType::kPing, Slice(std::string_view("pp")));
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.has_partial_frame());  // empty: idle, not stalled
+  // A strict prefix of the header is a stall…
+  dec.Feed(frame.data(), net::kFrameHeaderSize - 1);
+  EXPECT_TRUE(dec.has_partial_frame());
+  // …as is a full header still waiting for payload…
+  dec.Feed(frame.data() + net::kFrameHeaderSize - 1, 2);
+  EXPECT_TRUE(dec.has_partial_frame());
+  // …but a complete, not-yet-consumed frame is backpressure, not a stall.
+  dec.Feed(frame.data() + net::kFrameHeaderSize + 1,
+           frame.size() - net::kFrameHeaderSize - 1);
+  EXPECT_FALSE(dec.has_partial_frame());
+  net::FrameHeader header;
+  Bytes payload;
+  ASSERT_EQ(dec.Next(&header, &payload), FrameDecoder::Poll::kFrame);
+  EXPECT_FALSE(dec.has_partial_frame());
+}
+
+TEST(FrameDecoderTest, HostileLengthPrefixRejectedFromHeaderBytesAlone) {
+  Bytes frame = net::EncodeFrame(MsgType::kPing, Slice());
+  frame[8] = frame[9] = frame[10] = frame[11] = 0xFF;  // ~4 GiB claim
+  FrameDecoder dec;
+  dec.Feed(frame.data(), net::kFrameHeaderSize);
+  net::FrameHeader header;
+  Bytes payload;
+  ASSERT_EQ(dec.Next(&header, &payload), FrameDecoder::Poll::kError);
+  EXPECT_EQ(dec.error().code(), StatusCode::kOutOfRange);
+  // The 12 buffered header bytes are all this cost.
+  EXPECT_EQ(dec.buffered(), net::kFrameHeaderSize);
+  EXPECT_TRUE(dec.broken());
+  // Sticky: feeding a perfectly valid frame afterwards cannot resynchronize.
+  Bytes good = net::EncodeFrame(MsgType::kPing, Slice(std::string_view("ok")));
+  dec.Feed(good.data(), good.size());
+  EXPECT_EQ(dec.Next(&header, &payload), FrameDecoder::Poll::kError);
+}
+
+TEST(FrameDecoderTest, MutationFuzzOnPartialFramesMatchesBlockingValidator) {
+  // Deterministic fuzz: corrupt one header byte at a time, deliver the frame
+  // in two arbitrary pieces, and require the streaming decoder to agree
+  // byte-for-byte with the blocking-path validator (DecodeFrameHeader) on
+  // accept vs reject. Payload-byte mutations must always decode (payload is
+  // opaque at this layer).
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next_rand = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const Bytes base =
+      net::EncodeFrame(MsgType::kQuery, Slice(std::string_view("select 1")));
+  for (int iter = 0; iter < 512; ++iter) {
+    Bytes mutated = base;
+    size_t pos = next_rand() % mutated.size();
+    uint8_t bit = static_cast<uint8_t>(1u << (next_rand() % 8));
+    mutated[pos] ^= bit;
+    size_t split = next_rand() % (mutated.size() + 1);
+
+    bool header_valid =
+        net::DecodeFrameHeader(Slice(mutated.data(), net::kFrameHeaderSize),
+                               net::kDefaultMaxPayload)
+            .ok();
+
+    FrameDecoder dec;
+    dec.Feed(mutated.data(), split);
+    net::FrameHeader header;
+    Bytes payload;
+    auto first = dec.Next(&header, &payload);
+    if (!header_valid && split >= net::kFrameHeaderSize) {
+      ASSERT_EQ(first, FrameDecoder::Poll::kError) << "iter " << iter;
+      continue;
+    }
+    if (first == FrameDecoder::Poll::kFrame) {
+      // A length-shrinking mutation (or split == size) completed the frame
+      // inside the first piece already.
+      EXPECT_EQ(payload.size(), header.payload_size) << "iter " << iter;
+      continue;
+    }
+    dec.Feed(mutated.data() + split, mutated.size() - split);
+    auto second = dec.Next(&header, &payload);
+    if (!header_valid) {
+      ASSERT_EQ(second, FrameDecoder::Poll::kError) << "iter " << iter;
+      continue;
+    }
+    // Header survived the mutation (type byte flip, payload flip, or a
+    // length flip that still fits): the decoder must hand the frame over
+    // once enough bytes arrived, possibly needing the declared extra.
+    if (second == FrameDecoder::Poll::kFrame) {
+      EXPECT_EQ(payload.size(), header.payload_size) << "iter " << iter;
+    } else {
+      // A length mutation enlarged the claim: mid-frame, stalled.
+      ASSERT_EQ(second, FrameDecoder::Poll::kNeedMore) << "iter " << iter;
+      EXPECT_TRUE(dec.has_partial_frame()) << "iter " << iter;
+    }
   }
 }
 
