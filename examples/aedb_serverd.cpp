@@ -9,7 +9,9 @@
 //
 //   aedb_serverd [--port N] [--enclave-threads N] [--batch-size N]
 //                [--max-connections N] [--max-inflight N] [--queue-depth N]
-//                [--retry-after-ms N] [--demo]
+//                [--retry-after-ms N] [--data-dir PATH] [--checkpoint-bytes N]
+//                [--key-seed N] [--die-at point[:skip]]
+//                [--drain-deadline-ms N] [--demo]
 //
 // --port 0 picks an ephemeral port (printed on stdout).
 // --max-connections caps concurrent TCP sessions; excess connections get a
@@ -17,17 +19,33 @@
 // --max-inflight / --queue-depth / --retry-after-ms tune the admission gate,
 // the bounded enclave work queue, and the retry-after hint stamped on every
 // shed query (0 = unbounded / default hint).
+// --data-dir makes the server durable: WAL, DDL journal and checkpoints live
+// there and startup recovers from them (kill -9 safe).
+// --checkpoint-bytes sets the WAL size that triggers a background checkpoint
+// (0 = never checkpoint automatically).
+// --key-seed derives the enclave author key and the HGS signing key
+// deterministically, so a restarted server presents the same attestation
+// identities — the crash-torture harness relies on this.
+// --die-at arms a process-fatal fault: the process _Exit(137)s (kill -9
+// equivalent) the (skip+1)-th time the named fault point is reached, e.g.
+// --die-at wal/append:25 or --die-at fsio/pre_rename.
+// --drain-deadline-ms bounds the SIGTERM graceful drain; a wedged connection
+// cannot stall shutdown past it (exit code 3 on timeout).
 // --demo additionally runs a loopback client through a provision → CREATE
 // TABLE → INSERT → SELECT flow against the running server, then exits; this
 // doubles as a smoke test (`aedb_serverd --demo --port 0`).
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <string>
 
 #include "client/driver.h"
 #include "crypto/drbg.h"
+#include "fault/fault.h"
 #include "net/server.h"
 #include "net/socket_transport.h"
 
@@ -110,6 +128,8 @@ int main(int argc, char** argv) {
   config.port = 5433;
   server::ServerOptions server_opts;
   bool demo = false;
+  long key_seed = -1;
+  long drain_deadline_ms = 5000;
   auto parse_int = [&](const char* flag, const char* text, long min, long max,
                        long* out) {
     char* end = nullptr;
@@ -163,6 +183,37 @@ int main(int argc, char** argv) {
       if (!parse_int("--idle-timeout-ms", argv[++i], 0, 86'400'000, &v))
         return 2;
       config.idle_timeout_ms = static_cast<uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      server_opts.data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-bytes") == 0 && i + 1 < argc) {
+      if (!parse_int("--checkpoint-bytes", argv[++i], 0, 1L << 40, &v))
+        return 2;
+      server_opts.checkpoint_wal_bytes = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--key-seed") == 0 && i + 1 < argc) {
+      if (!parse_int("--key-seed", argv[++i], 0, 1L << 62, &v)) return 2;
+      key_seed = v;
+    } else if (std::strcmp(argv[i], "--die-at") == 0 && i + 1 < argc) {
+      // point[:skip] — _Exit(137) on the (skip+1)-th hit of the fault point.
+      std::string arg = argv[++i];
+      long skip = 0;
+      size_t colon = arg.rfind(':');
+      if (colon != std::string::npos) {
+        if (!parse_int("--die-at skip", arg.c_str() + colon + 1, 0,
+                       1L << 40, &skip)) {
+          return 2;
+        }
+        arg = arg.substr(0, colon);
+      }
+      fault::FaultSpec spec;
+      spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+      spec.skip = static_cast<uint64_t>(skip);
+      spec.die = true;
+      fault::FaultRegistry::Global().Arm(arg, spec);
+    } else if (std::strcmp(argv[i], "--drain-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      if (!parse_int("--drain-deadline-ms", argv[++i], 1, 600'000, &v))
+        return 2;
+      drain_deadline_ms = v;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
@@ -170,27 +221,53 @@ int main(int argc, char** argv) {
                    "usage: %s [--port N] [--enclave-threads N] "
                    "[--batch-size N] [--max-connections N] [--max-inflight N] "
                    "[--queue-depth N] [--retry-after-ms N] [--io-threads N] "
-                   "[--exec-threads N] [--idle-timeout-ms N] [--demo]\n",
+                   "[--exec-threads N] [--idle-timeout-ms N] "
+                   "[--data-dir PATH] [--checkpoint-bytes N] [--key-seed N] "
+                   "[--die-at point[:skip]] [--drain-deadline-ms N] [--demo]\n",
                    argv[0]);
       return 2;
     }
   }
 
   // The untrusted-host stack. The enclave author key is generated fresh at
-  // boot; clients learn the author id out of band (here: printed).
-  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
-                        Slice(std::string_view("aedb-serverd")));
+  // boot unless --key-seed pins it (and the HGS identity) so a restarted
+  // process attests as the same publisher on the same service; clients learn
+  // the author id out of band (here: printed).
+  Bytes seed_bytes;
+  if (key_seed >= 0) PutU64(&seed_bytes, static_cast<uint64_t>(key_seed));
+  crypto::HmacDrbg drbg(
+      key_seed >= 0 ? Slice(seed_bytes) : Slice(crypto::SecureRandom(48)),
+      Slice(std::string_view("aedb-serverd")));
   auto author_key = crypto::GenerateRsaKey(1024, &drbg);
   auto image = enclave::EnclaveImage::MakeEsImage(/*version=*/1, author_key);
-  attestation::HostGuardianService hgs;
+  attestation::HostGuardianService hgs =
+      key_seed >= 0 ? attestation::HostGuardianService(Slice(seed_bytes))
+                    : attestation::HostGuardianService();
   server::Database db(server_opts, &hgs, &image);
   hgs.RegisterTcgLog(db.platform()->tcg_log());
+
+  // Durable startup: recover catalog + data from the data dir (no-op when
+  // --data-dir was not given).
+  CHECK_OK(db.Open());
+  if (!server_opts.data_dir.empty()) {
+    const server::Database::RecoveryInfo& ri = db.recovery_info();
+    std::printf("recovered %s in %llu ms: %llu WAL records replayed, "
+                "%zu DDL statements, checkpoint_lsn=%llu%s\n",
+                server_opts.data_dir.c_str(),
+                static_cast<unsigned long long>(ri.recovery_ms),
+                static_cast<unsigned long long>(ri.wal_records_replayed),
+                ri.ddl_statements_replayed,
+                static_cast<unsigned long long>(ri.from_checkpoint_lsn),
+                ri.clean_shutdown ? " (clean shutdown)" : "");
+  }
 
   net::Server server(&db, config);
   CHECK_OK(server.Start());
   std::printf("aedb_serverd listening on %s:%u (enclave author %s)\n",
               config.bind_address.c_str(), server.port(),
               HexEncode(image.AuthorId()).substr(0, 16).c_str());
+  // The crash-torture supervisor parses the line above through a pipe.
+  std::fflush(stdout);
 
   if (demo) {
     int rc = RunDemo(server, hgs, image);
@@ -203,6 +280,20 @@ int main(int argc, char** argv) {
   while (!g_stop) {
     struct timespec ts = {0, 200'000'000};
     nanosleep(&ts, nullptr);
+  }
+  // Graceful drain, bounded: in-flight statements finish and their commits
+  // reach the WAL, but a wedged connection cannot stall shutdown forever.
+  auto stopped = std::async(std::launch::async, [&server] { server.Stop(); });
+  if (stopped.wait_for(std::chrono::milliseconds(drain_deadline_ms)) !=
+      std::future_status::ready) {
+    std::fprintf(stderr,
+                 "drain deadline (%ld ms) exceeded; forcing dirty exit\n",
+                 drain_deadline_ms);
+    // Best effort durability: fsync what the WAL already has. No clean marker
+    // — the next startup runs normal recovery.
+    (void)db.engine().wal().Sync();
+    std::fflush(nullptr);
+    std::_Exit(3);
   }
   const net::ServerStats& s = server.stats();
   std::printf("shutting down: %llu connections, %llu frames in, %llu frames "
@@ -217,6 +308,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.queries_rejected.load()),
               static_cast<unsigned long long>(s.queries_expired.load()),
               static_cast<unsigned long long>(s.queue_depth_highwater.load()));
-  server.Stop();
+  Status shut = db.Shutdown();
+  if (!shut.ok()) {
+    std::fprintf(stderr, "shutdown checkpoint skipped: %s\n",
+                 shut.ToString().c_str());
+  }
+  const server::DatabaseStats ds = db.Stats();
+  std::printf("durability: recovery_ms=%llu wal_records_replayed=%llu "
+              "torn_bytes_dropped=%llu checkpoints_taken=%llu wal_bytes=%llu "
+              "fsyncs=%llu\n",
+              static_cast<unsigned long long>(ds.recovery_ms),
+              static_cast<unsigned long long>(ds.wal_records_replayed),
+              static_cast<unsigned long long>(ds.torn_bytes_dropped),
+              static_cast<unsigned long long>(ds.checkpoints_taken),
+              static_cast<unsigned long long>(ds.wal_bytes),
+              static_cast<unsigned long long>(ds.fsyncs));
   return 0;
 }

@@ -13,6 +13,11 @@
 #                               # degradation sweep (bench_overload), and the
 #                               # bench_net guard that fails if the disarmed
 #                               # deadline check costs >=1% of a loopback SELECT
+#   scripts/verify.sh --crash   # also run the kill -9 process-crash torture
+#                               # (ctest -L crash: 20+ SIGKILL/restart cycles
+#                               # of a live serverd under encrypted TPC-C)
+#                               # and the recovery-time ablation
+#                               # (bench_recovery -> BENCH_recovery.json)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -49,6 +54,20 @@ if [[ "${1:-}" == "--overload" ]]; then
   run cmake --build build -j "$JOBS" --target bench_overload bench_net
   run ./build/bench/bench_overload
   run ./build/bench/bench_net
+fi
+
+if [[ "${1:-}" == "--crash" ]]; then
+  # Process-crash durability lane, off tier-1 because it forks ~25 server
+  # processes. crash_torture_test kill -9s a live aedb_serverd over a durable
+  # data dir at seeded random points plus forced crashes at wal/append,
+  # wal/sync, mid-checkpoint-publish, pre-WAL-truncate and mid-recovery, then
+  # verifies exactly the acknowledged-commit prefix survives with zero wrong
+  # results and no plaintext at rest. bench_recovery gates the checkpointing
+  # rationale (recovery time vs WAL length) and reports fsyncs per commit.
+  AEDB_RUN_CRASH_TORTURE=1 run ctest --test-dir build -L crash \
+      --output-on-failure
+  run cmake --build build -j "$JOBS" --target bench_recovery
+  run ./build/bench/bench_recovery
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

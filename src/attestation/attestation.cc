@@ -34,6 +34,11 @@ HostGuardianService::HostGuardianService() {
   key_ = crypto::GenerateRsaKey(1024, &drbg);
 }
 
+HostGuardianService::HostGuardianService(Slice seed) {
+  crypto::HmacDrbg drbg(seed, Slice(std::string_view("hgs-signing-key")));
+  key_ = crypto::GenerateRsaKey(1024, &drbg);
+}
+
 void HostGuardianService::RegisterTcgLog(Slice tcg_log) {
   std::lock_guard<std::mutex> lock(mu_);
   whitelist_.insert(tcg_log.ToBytes());

@@ -34,6 +34,11 @@ struct HealthCertificate {
 class HostGuardianService {
  public:
   HostGuardianService();
+  /// Seeded variant: derives the signing key deterministically from `seed`.
+  /// Lets a restarted server process present the same HGS identity, so a
+  /// client that pinned the HGS public key across a crash can re-verify the
+  /// attestation chain without re-provisioning (the crash-torture setup).
+  explicit HostGuardianService(Slice seed);
 
   /// Offline registration of a known-good boot measurement.
   void RegisterTcgLog(Slice tcg_log);

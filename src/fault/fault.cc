@@ -1,5 +1,7 @@
 #include "fault/fault.h"
 
+#include <cstdlib>
+
 namespace aedb::fault {
 
 std::atomic<uint64_t> FaultRegistry::armed_count_{0};
@@ -75,6 +77,9 @@ bool FaultRegistry::Decide(Point* point) {
   if (fire) {
     ++point->fired_since_arm;
     ++point->counters.fires;
+    // Die-on-fire: simulate kill -9 at this exact point. _Exit skips all
+    // cleanup, so nothing gets flushed or fsynced on the way down.
+    if (spec.die) std::_Exit(137);
   }
   return fire;
 }

@@ -49,6 +49,12 @@ struct FaultSpec {
   Status status = Status::Internal("injected fault");
   /// Site-specific knob: torn-write byte count, response delay in ms, ...
   uint64_t arg = 0;
+  /// Process-fatal mode: when the fault fires, the process dies on the spot
+  /// with std::_Exit(137) — no destructors, no atexit, no flushing; the
+  /// closest in-process stand-in for kill -9. The crash-torture harness arms
+  /// this (via aedb_serverd --die-at) to kill the server at exact WAL /
+  /// checkpoint / recovery points.
+  bool die = false;
 
   static FaultSpec OneShot(Status st) {
     FaultSpec s;

@@ -2,16 +2,19 @@
 #define AEDB_SERVER_DATABASE_H_
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attestation/attestation.h"
 #include "common/query_context.h"
 #include "enclave/enclave.h"
 #include "enclave/worker_pool.h"
+#include "server/ddl_journal.h"
 #include "sql/binder.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -52,6 +55,15 @@ struct ServerOptions {
   size_t max_inflight_queries = 0;
   /// The retry-after hint (milliseconds) attached to admission rejections.
   uint32_t overload_retry_after_ms = 20;
+  /// Durable mode: when non-empty, the WAL, DDL journal, checkpoint file and
+  /// clean-shutdown marker live in this directory and Open() recovers from
+  /// them. Empty (the default) keeps everything in memory — the mode every
+  /// pre-existing test runs in.
+  std::string data_dir;
+  /// Background checkpoint trigger: when the durable WAL grows past this many
+  /// bytes, a checkpoint is taken and the log truncated. 0 disables the
+  /// background checkpointer (manual Checkpoint() still works).
+  uint64_t checkpoint_wal_bytes = 0;
 };
 
 /// Snapshot of server-side counters (enclave boundary accounting included)
@@ -73,6 +85,13 @@ struct DatabaseStats {
   uint64_t pool_queue_highwater = 0;
   uint64_t pool_expired_dropped = 0;   // morsels shed as kDeadlineExceeded
   uint64_t pool_overload_rejected = 0; // submissions shed as kOverloaded
+  // Durability gauges (data-dir mode; zero in-memory).
+  uint64_t recovery_ms = 0;            // wall time of the last Open() recovery
+  uint64_t wal_records_replayed = 0;   // WAL tail records replayed at Open()
+  uint64_t torn_bytes_dropped = 0;     // torn tail bytes dropped (WAL + DDL)
+  uint64_t checkpoints_taken = 0;
+  uint64_t wal_bytes = 0;              // current durable WAL size
+  uint64_t fsyncs = 0;                 // process-wide fsync count
 };
 
 /// Key metadata for one CEK as shipped to the driver: the encrypted CEK
@@ -185,6 +204,39 @@ class Database {
   Result<storage::RecoveryResult> Restart();
   Status InvalidateIndexByName(const std::string& index_name);
 
+  // ----- durability (data-dir mode) -----
+  /// What the last Open() found on disk and did about it.
+  struct RecoveryInfo {
+    bool ran = false;             // Open() performed durable recovery
+    bool clean_shutdown = false;  // the clean-shutdown marker was present
+    uint64_t recovery_ms = 0;
+    uint64_t wal_records_replayed = 0;  // WAL tail records fed to redo
+    uint64_t from_checkpoint_lsn = 0;   // 0 = no checkpoint file found
+    size_t ddl_statements_replayed = 0;
+    storage::RecoveryResult engine;
+  };
+
+  /// Durable-mode startup: replays the DDL journal (metadata only), attaches
+  /// the file-backed WAL, loads the latest checkpoint and runs engine
+  /// recovery over the WAL tail. No-op when data_dir is empty. Idempotent
+  /// against crashes: a kill -9 at any point during Open() leaves state the
+  /// next Open() recovers from identically.
+  Status Open();
+
+  /// Quiesces the engine (bounded by `quiesce_wait`), writes a checkpoint
+  /// file atomically and truncates the WAL. FailedPrecondition when the
+  /// engine cannot quiesce or deferred transactions pin the log.
+  Status Checkpoint(std::chrono::milliseconds quiesce_wait =
+                        std::chrono::milliseconds(2000));
+
+  /// Graceful durable shutdown: stops the background checkpointer, takes a
+  /// final checkpoint (best effort), fsyncs the WAL, and writes the
+  /// clean-shutdown marker only if the log drained completely. Safe to call
+  /// twice; the destructor calls it implicitly for thread cleanup only.
+  Status Shutdown();
+
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+
   // ----- introspection -----
   sql::Catalog& catalog() { return catalog_; }
   storage::StorageEngine& engine() { return engine_; }
@@ -210,6 +262,19 @@ class Database {
                                          const std::vector<types::Value>& params,
                                          uint64_t txn, uint64_t session_id,
                                          uint32_t deadline_ms);
+  std::string WalPath() const { return options_.data_dir + "/wal.log"; }
+  std::string DdlJournalPath() const { return options_.data_dir + "/ddl.log"; }
+  std::string CheckpointPath() const {
+    return options_.data_dir + "/checkpoint.db";
+  }
+  std::string CleanShutdownPath() const {
+    return options_.data_dir + "/clean_shutdown";
+  }
+  void CheckpointerLoop();
+  void StopCheckpointer();
+
+  /// ExecuteDdl minus the journaling wrapper (the replay entry point).
+  Status ExecuteDdlStatement(const std::string& sql, uint64_t session_id = 0);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
   Status ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
   Status ExecuteAlterColumn(const sql::AlterColumnStmt& stmt,
@@ -247,6 +312,19 @@ class Database {
   std::atomic<uint64_t> queries_admitted_{0};
   std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> queries_expired_{0};
+
+  // Durability (data-dir mode).
+  bool opened_ = false;
+  /// True while Open() replays the DDL journal: DDL executes metadata-only
+  /// (no enclave work, no index-build transactions — the WAL replay carries
+  /// the data) and nothing is re-journaled.
+  bool recovering_ = false;
+  std::unique_ptr<DdlJournal> ddl_journal_;
+  RecoveryInfo recovery_info_;
+  std::mutex checkpoint_mu_;  // serializes checkpoint publish + truncate
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::thread checkpointer_;
+  std::atomic<bool> stop_checkpointer_{false};
 };
 
 }  // namespace aedb::server

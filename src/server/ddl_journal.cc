@@ -1,0 +1,74 @@
+#include "server/ddl_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/fsio.h"
+#include "storage/wal.h"
+
+namespace aedb::server {
+
+DdlJournal::~DdlJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::vector<std::string>> DdlJournal::Open(const std::string& path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("DDL journal already open");
+  bool existed = storage::fsio::FileExists(path);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  if (!existed) {
+    // The file's existence is directory metadata; make it durable now.
+    AEDB_RETURN_IF_ERROR(storage::fsio::SyncDir(storage::fsio::DirName(path)));
+  }
+  Bytes image;
+  AEDB_ASSIGN_OR_RETURN(image, storage::fsio::ReadFileBytes(path));
+  storage::FramedBlobs parsed = storage::ParseFramedBlobs(image);
+  if (parsed.torn_tail) {
+    torn_dropped_ += image.size() - parsed.bytes_consumed;
+    if (::ftruncate(fd_, static_cast<off_t>(parsed.bytes_consumed)) != 0) {
+      return Status::Internal("ftruncate " + path + ": " +
+                              std::strerror(errno));
+    }
+    if (::fsync(fd_) != 0) {
+      return Status::Internal("fsync " + path + ": " + std::strerror(errno));
+    }
+    storage::fsio::CountFsync();
+  }
+  std::vector<std::string> statements;
+  statements.reserve(parsed.blobs.size());
+  for (const Bytes& blob : parsed.blobs) {
+    statements.emplace_back(reinterpret_cast<const char*>(blob.data()),
+                            blob.size());
+  }
+  return statements;
+}
+
+Status DdlJournal::Append(const std::string& sql) {
+  if (fd_ < 0) return Status::FailedPrecondition("DDL journal not open");
+  Bytes frame;
+  storage::AppendFramedBlob(
+      &frame, Slice(reinterpret_cast<const uint8_t*>(sql.data()), sql.size()));
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write " + path_ + ": " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  storage::fsio::CountFsync();
+  return Status::OK();
+}
+
+}  // namespace aedb::server

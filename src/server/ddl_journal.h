@@ -1,0 +1,51 @@
+#ifndef AEDB_SERVER_DDL_JOURNAL_H_
+#define AEDB_SERVER_DDL_JOURNAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aedb::server {
+
+/// \brief Durable journal of executed DDL statements.
+///
+/// The WAL logs data mutations against catalog ids, but the catalog itself
+/// (tables, indexes, CMK/CEK metadata) lives only in memory. This journal
+/// makes it durable the simplest way that is replay-exact: append each DDL
+/// statement's text after it succeeds, fsync, and re-execute the sequence in
+/// metadata-only mode at startup. Catalog ids are assigned sequentially, so
+/// replaying the same statement sequence reproduces the same ids — which is
+/// what lets the replayed WAL's object_id references resolve.
+///
+/// On-disk form: the WAL's [len][checksum][body] framing, one statement per
+/// frame, so a torn tail from a crash mid-append is detected and dropped with
+/// the same discipline as the log itself.
+class DdlJournal {
+ public:
+  DdlJournal() = default;
+  ~DdlJournal();
+
+  DdlJournal(const DdlJournal&) = delete;
+  DdlJournal& operator=(const DdlJournal&) = delete;
+
+  /// Opens (creating if needed) the journal at `path`, physically truncates
+  /// any torn tail, and returns the statements to replay, in append order.
+  Result<std::vector<std::string>> Open(const std::string& path);
+
+  /// Appends one statement and fsyncs. The statement is durable when this
+  /// returns OK — a crash after that replays it, a crash before does not.
+  Status Append(const std::string& sql);
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t torn_bytes_dropped() const { return torn_dropped_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t torn_dropped_ = 0;
+};
+
+}  // namespace aedb::server
+
+#endif  // AEDB_SERVER_DDL_JOURNAL_H_

@@ -1,5 +1,6 @@
 #include "storage/btree.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace aedb::storage {
@@ -25,6 +26,69 @@ BTree::~BTree() = default;
 void BTree::Clear() {
   root_ = std::make_unique<Node>();
   size_ = 0;
+}
+
+void BTree::LoadSortedEntries(
+    const std::vector<std::pair<Bytes, Rid>>& entries) {
+  Clear();
+  if (entries.empty()) return;
+  size_ = entries.size();
+
+  // One level at a time, bottom-up. Each built node carries its minimum
+  // (key, rid) entry so the parent level can form separators without ever
+  // touching the comparator: separator i is the min entry of child i+1,
+  // matching the (key, rid)-ordered descent in ChildIndex/InsertRec.
+  struct Built {
+    std::unique_ptr<Node> node;
+    Bytes min_key;
+    Rid min_rid;
+  };
+  std::vector<Built> level;
+
+  // Leaves: chunks of up to kMaxKeys entries, chained left to right.
+  Node* prev_leaf = nullptr;
+  for (size_t at = 0; at < entries.size(); at += kMaxKeys) {
+    size_t n = std::min(kMaxKeys, entries.size() - at);
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    leaf->keys.reserve(n);
+    leaf->rids.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      leaf->keys.push_back(entries[at + i].first);
+      leaf->rids.push_back(entries[at + i].second);
+    }
+    if (prev_leaf != nullptr) prev_leaf->next = leaf.get();
+    prev_leaf = leaf.get();
+    Built b;
+    b.min_key = leaf->keys.front();
+    b.min_rid = leaf->rids.front();
+    b.node = std::move(leaf);
+    level.push_back(std::move(b));
+  }
+
+  // Internal levels: up to kMaxKeys+1 children per node.
+  while (level.size() > 1) {
+    std::vector<Built> parents;
+    for (size_t at = 0; at < level.size(); at += kMaxKeys + 1) {
+      size_t n = std::min(kMaxKeys + 1, level.size() - at);
+      auto parent = std::make_unique<Node>();
+      parent->leaf = false;
+      Built b;
+      b.min_key = level[at].min_key;
+      b.min_rid = level[at].min_rid;
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) {
+          parent->keys.push_back(level[at + i].min_key);
+          parent->rids.push_back(level[at + i].min_rid);
+        }
+        parent->children.push_back(std::move(level[at + i].node));
+      }
+      b.node = std::move(parent);
+      parents.push_back(std::move(b));
+    }
+    level = std::move(parents);
+  }
+  root_ = std::move(level.front().node);
 }
 
 Result<int> BTree::Cmp(Slice a, Slice b) const {

@@ -119,6 +119,12 @@ class BTree {
   /// Drops all entries.
   void Clear();
 
+  /// Replaces the contents with `entries`, which MUST already be in (key,
+  /// rid) entry order. Builds the tree bottom-up with ZERO comparator calls —
+  /// the checkpoint-restore path for encrypted range indexes, whose
+  /// comparator routes through an enclave that has no keys yet at startup.
+  void LoadSortedEntries(const std::vector<std::pair<Bytes, Rid>>& entries);
+
  private:
   struct Node;
 

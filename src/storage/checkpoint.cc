@@ -1,0 +1,98 @@
+#include "storage/checkpoint.h"
+
+#include "storage/wal.h"
+
+namespace aedb::storage {
+
+namespace {
+constexpr uint32_t kMagic = 0x41434b50;  // "ACKP"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Bytes CheckpointImage::Serialize() const {
+  Bytes body;
+  PutU64(&body, checkpoint_lsn);
+  PutU64(&body, next_txn_id);
+  PutU32(&body, static_cast<uint32_t>(tables.size()));
+  for (const TableImage& t : tables) {
+    PutU32(&body, t.table_id);
+    PutLengthPrefixed(&body, t.heap);
+  }
+  PutU32(&body, static_cast<uint32_t>(indexes.size()));
+  for (const IndexImage& idx : indexes) {
+    PutU32(&body, idx.index_id);
+    body.push_back(idx.invalid ? 1 : 0);
+    PutU64(&body, idx.entries.size());
+    for (const auto& [key, rid] : idx.entries) {
+      PutLengthPrefixed(&body, key);
+      PutU64(&body, rid.Encode());
+    }
+  }
+  Bytes out;
+  PutU32(&out, kMagic);
+  PutU32(&out, kVersion);
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  PutU32(&out, FrameChecksum(body));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<CheckpointImage> CheckpointImage::Deserialize(Slice in) {
+  size_t off = 0;
+  uint32_t magic, version, body_len, checksum;
+  AEDB_ASSIGN_OR_RETURN(magic, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(version, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(body_len, GetU32(in, &off));
+  AEDB_ASSIGN_OR_RETURN(checksum, GetU32(in, &off));
+  if (magic != kMagic) return Status::Corruption("not a checkpoint file");
+  if (version != kVersion) {
+    return Status::Corruption("unsupported checkpoint version");
+  }
+  if (off + body_len != in.size()) {
+    return Status::Corruption("checkpoint length mismatch");
+  }
+  Slice body = in.subslice(off, body_len);
+  if (FrameChecksum(body) != checksum) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+
+  CheckpointImage img;
+  size_t b = 0;
+  AEDB_ASSIGN_OR_RETURN(img.checkpoint_lsn, GetU64(body, &b));
+  AEDB_ASSIGN_OR_RETURN(img.next_txn_id, GetU64(body, &b));
+  uint32_t n_tables;
+  AEDB_ASSIGN_OR_RETURN(n_tables, GetU32(body, &b));
+  img.tables.reserve(n_tables);
+  for (uint32_t i = 0; i < n_tables; ++i) {
+    TableImage t;
+    AEDB_ASSIGN_OR_RETURN(t.table_id, GetU32(body, &b));
+    AEDB_ASSIGN_OR_RETURN(t.heap, GetLengthPrefixed(body, &b));
+    img.tables.push_back(std::move(t));
+  }
+  uint32_t n_indexes;
+  AEDB_ASSIGN_OR_RETURN(n_indexes, GetU32(body, &b));
+  img.indexes.reserve(n_indexes);
+  for (uint32_t i = 0; i < n_indexes; ++i) {
+    IndexImage idx;
+    AEDB_ASSIGN_OR_RETURN(idx.index_id, GetU32(body, &b));
+    if (b >= body.size()) return Status::Corruption("checkpoint truncated");
+    idx.invalid = body[b++] != 0;
+    uint64_t n_entries;
+    AEDB_ASSIGN_OR_RETURN(n_entries, GetU64(body, &b));
+    idx.entries.reserve(n_entries);
+    for (uint64_t e = 0; e < n_entries; ++e) {
+      Bytes key;
+      AEDB_ASSIGN_OR_RETURN(key, GetLengthPrefixed(body, &b));
+      uint64_t rid_enc;
+      AEDB_ASSIGN_OR_RETURN(rid_enc, GetU64(body, &b));
+      idx.entries.emplace_back(std::move(key), Rid::Decode(rid_enc));
+    }
+    img.indexes.push_back(std::move(idx));
+  }
+  if (b != body.size()) {
+    return Status::Corruption("checkpoint has trailing bytes");
+  }
+  return img;
+}
+
+}  // namespace aedb::storage

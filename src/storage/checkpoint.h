@@ -1,0 +1,52 @@
+#ifndef AEDB_STORAGE_CHECKPOINT_H_
+#define AEDB_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace aedb::storage {
+
+/// \brief A point-in-time image of engine state, taken at a quiescent moment
+/// (no active, committing or deferred transactions) so it needs no undo
+/// information. Everything WAL-logged with lsn < checkpoint_lsn is reflected
+/// in the image; recovery restores it and replays only the WAL tail.
+///
+/// Contents are exactly what lives on pages: heap page images and index
+/// (key, rid) entries — encrypted cells stay AEAD ciphertext, so the
+/// checkpoint file extends the at-rest guarantee to the snapshot. Index
+/// entries are stored in tree order, which lets startup restore an encrypted
+/// range index with zero comparator calls (the enclave has no keys yet).
+struct CheckpointImage {
+  /// WAL horizon: records with lsn < checkpoint_lsn are baked in.
+  uint64_t checkpoint_lsn = 0;
+  /// Transaction-id watermark at capture; restart must not reuse lower ids
+  /// (the truncated log may still mention them).
+  uint64_t next_txn_id = 1;
+
+  struct TableImage {
+    uint32_t table_id = 0;
+    Bytes heap;  // HeapTable::SerializeTo form
+  };
+  struct IndexImage {
+    uint32_t index_id = 0;
+    bool invalid = false;  // InvalidateIndex outlives restarts
+    std::vector<std::pair<Bytes, Rid>> entries;  // (key, rid), tree order
+  };
+  std::vector<TableImage> tables;
+  std::vector<IndexImage> indexes;
+
+  /// On-disk form: a versioned header plus a checksummed body. The checksum
+  /// makes a half-written file detectable, though the atomic-rename publish
+  /// protocol should never expose one.
+  Bytes Serialize() const;
+  static Result<CheckpointImage> Deserialize(Slice in);
+};
+
+}  // namespace aedb::storage
+
+#endif  // AEDB_STORAGE_CHECKPOINT_H_

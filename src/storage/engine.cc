@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+
 namespace aedb::storage {
 
 StorageEngine::StorageEngine(EngineOptions options) : options_(options) {}
@@ -111,10 +113,19 @@ Result<StorageEngine::IndexState*> StorageEngine::FindIndex(uint32_t index_id) {
 // ---------------------------------------------------------------------------
 // Transactions
 
+StorageEngine::Finalizer::~Finalizer() {
+  std::lock_guard<std::mutex> lock(engine->meta_mu_);
+  --engine->finalizing_;
+  engine->meta_cv_.notify_all();
+}
+
 uint64_t StorageEngine::Begin() {
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(meta_mu_);
+    std::unique_lock<std::mutex> lock(meta_mu_);
+    // A checkpoint capture holds the engine quiescent; new transactions wait
+    // out the (bounded) capture instead of failing.
+    meta_cv_.wait(lock, [this] { return !checkpoint_pending_; });
     id = next_txn_id_++;
     active_.emplace(id, ActiveTxn{});
   }
@@ -136,7 +147,12 @@ Status StorageEngine::Commit(uint64_t txn_id) {
     if (it == active_.end()) return Status::NotFound("unknown txn");
     ops = std::move(it->second.ops);
     active_.erase(it);
+    // Between this erase and the commit record becoming durable the txn is
+    // invisible to active_ but its outcome is still open; finalizing_ keeps
+    // checkpoints from capturing that window.
+    ++finalizing_;
   }
+  Finalizer finalizer{this};
   // WAL rule: the data records must be durable before the commit record. A
   // failure at either step means the commit never happened — undo the
   // in-memory effects so runtime state matches what recovery would rebuild
@@ -162,31 +178,58 @@ Status StorageEngine::Commit(uint64_t txn_id) {
 }
 
 Status StorageEngine::UndoRecord(const LogRecord& rec) {
+  // Every applied undo is logged as a compensation record (CLR) of the
+  // opposite type under the same txn id, so the WAL replays history in the
+  // exact order it happened. A txn whose kAbort made it to the log is fully
+  // compensated in-log and needs no recovery-time undo; a crash mid-abort
+  // leaves a loser whose [ops..., CLRs...] suffix self-cancels under reverse
+  // replay.
+  auto clr = [&](LogRecordType type) -> Status {
+    LogRecord comp;
+    comp.txn_id = rec.txn_id;
+    comp.type = type;
+    comp.object_id = rec.object_id;
+    comp.rid = rec.rid;
+    comp.payload1 = rec.payload1;
+    return wal_.Append(comp).status();
+  };
   switch (rec.type) {
     case LogRecordType::kHeapInsert: {
       TableState* t;
       AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
       std::lock_guard<std::mutex> latch(t->latch);
-      return t->heap->Delete(rec.rid);
+      AEDB_RETURN_IF_ERROR(t->heap->Delete(rec.rid));
+      return clr(LogRecordType::kHeapDelete);
     }
     case LogRecordType::kHeapDelete: {
       TableState* t;
       AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
       std::lock_guard<std::mutex> latch(t->latch);
-      return t->heap->Resurrect(rec.rid);
+      AEDB_RETURN_IF_ERROR(t->heap->Resurrect(rec.rid));
+      return clr(LogRecordType::kHeapResurrect);
+    }
+    case LogRecordType::kHeapResurrect: {
+      // Undoing a replayed CLR (reverse replay of a crash-mid-abort loser).
+      TableState* t;
+      AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+      std::lock_guard<std::mutex> latch(t->latch);
+      AEDB_RETURN_IF_ERROR(t->heap->Delete(rec.rid));
+      return clr(LogRecordType::kHeapDelete);
     }
     case LogRecordType::kIndexInsert: {
       // Logical undo: navigate the tree and delete the entry (§4.5).
       IndexState* idx;
       AEDB_ASSIGN_OR_RETURN(idx, FindIndex(rec.object_id));
       std::lock_guard<std::mutex> latch(idx->latch);
-      return idx->tree->Delete(rec.payload1, rec.rid).status();
+      AEDB_RETURN_IF_ERROR(idx->tree->Delete(rec.payload1, rec.rid).status());
+      return clr(LogRecordType::kIndexDelete);
     }
     case LogRecordType::kIndexDelete: {
       IndexState* idx;
       AEDB_ASSIGN_OR_RETURN(idx, FindIndex(rec.object_id));
       std::lock_guard<std::mutex> latch(idx->latch);
-      return idx->tree->Insert(rec.payload1, rec.rid).status();
+      AEDB_RETURN_IF_ERROR(idx->tree->Insert(rec.payload1, rec.rid).status());
+      return clr(LogRecordType::kIndexInsert);
     }
     default:
       return Status::OK();
@@ -207,7 +250,9 @@ Status StorageEngine::Abort(uint64_t txn_id) {
     if (it == active_.end()) return Status::NotFound("unknown txn");
     ops = std::move(it->second.ops);
     active_.erase(it);
+    ++finalizing_;  // undo in flight: block checkpoint capture until done
   }
+  Finalizer finalizer{this};
   DeferredTxn deferred;
   deferred.txn_id = txn_id;
   for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
@@ -382,17 +427,104 @@ bool StorageEngine::RowLockedByOther(uint64_t txn_id, uint32_t table_id,
 }
 
 // ---------------------------------------------------------------------------
+// Checkpointing
+
+Result<std::shared_ptr<const CheckpointImage>> StorageEngine::CaptureCheckpoint(
+    std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(meta_mu_);
+  if (checkpoint_pending_) {
+    return Status::FailedPrecondition("checkpoint already in progress");
+  }
+  checkpoint_pending_ = true;  // park new Begin() calls while we quiesce
+  bool quiet = meta_cv_.wait_for(
+      lock, wait, [this] { return active_.empty() && finalizing_ == 0; });
+  Status refused;
+  if (!quiet) {
+    refused =
+        Status::FailedPrecondition("checkpoint: transactions still in flight");
+  } else if (!deferred_.empty()) {
+    // Deferred undo debt references pre-checkpoint records; a checkpoint here
+    // would bake loser effects whose undo info the truncation then discards.
+    refused = Status::FailedPrecondition(
+        "checkpoint blocked: deferred transactions pin the log (§4.5)");
+  } else {
+    for (const auto& [id, idx] : indexes_) {
+      if (idx->rebuild_pending) {
+        refused = Status::FailedPrecondition(
+            "checkpoint blocked: index rebuild pending (enclave keys missing)");
+        break;
+      }
+    }
+  }
+  if (!refused.ok()) {
+    checkpoint_pending_ = false;
+    meta_cv_.notify_all();
+    return refused;
+  }
+
+  auto img = std::make_shared<CheckpointImage>();
+  img->checkpoint_lsn = wal_.next_lsn();
+  img->next_txn_id = next_txn_id_;
+  for (const auto& [id, t] : tables_) {
+    CheckpointImage::TableImage ti;
+    ti.table_id = id;
+    t->heap->SerializeTo(&ti.heap);
+    img->tables.push_back(std::move(ti));
+  }
+  for (const auto& [id, idx] : indexes_) {
+    CheckpointImage::IndexImage ii;
+    ii.index_id = id;
+    ii.invalid = idx->invalid;
+    // Walking the tree needs no comparator calls, so this works for encrypted
+    // range indexes regardless of what keys the enclave currently holds.
+    for (BTree::Iterator it = idx->tree->Begin(); it.Valid(); it.Next()) {
+      ii.entries.emplace_back(it.key().ToBytes(), it.rid());
+    }
+    img->indexes.push_back(std::move(ii));
+  }
+  checkpoint_pending_ = false;
+  meta_cv_.notify_all();
+  return std::shared_ptr<const CheckpointImage>(std::move(img));
+}
+
+void StorageEngine::SetCheckpointBase(
+    std::shared_ptr<const CheckpointImage> base) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  checkpoint_base_ = std::move(base);
+}
+
+std::shared_ptr<const CheckpointImage> StorageEngine::checkpoint_base() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  return checkpoint_base_;
+}
+
+// ---------------------------------------------------------------------------
 // Recovery
 
 Result<RecoveryResult> StorageEngine::Recover() {
+  std::shared_ptr<const CheckpointImage> base = checkpoint_base();
+  const uint64_t horizon = base == nullptr ? 0 : base->checkpoint_lsn;
+
   std::vector<LogRecord> log = wal_.Snapshot();
+  // Records below the horizon are baked into the checkpoint image. They are
+  // present exactly when the crash landed between the checkpoint publish and
+  // the log truncation; replaying them would double-apply.
+  log.erase(std::remove_if(log.begin(), log.end(),
+                           [&](const LogRecord& r) { return r.lsn < horizon; }),
+            log.end());
   RecoveryResult result;
+  result.from_checkpoint_lsn = horizon;
 
   std::set<uint64_t> committed;
+  std::set<uint64_t> aborted;
   std::set<uint64_t> seen;
   for (const LogRecord& rec : log) {
     seen.insert(rec.txn_id);
     if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
+    // kAbort is only logged once an abort's undo fully applied — and every
+    // undone op logged its compensation record — so redo alone restores the
+    // txn to net zero; it needs no recovery-time undo.
+    if (rec.type == LogRecordType::kAbort) aborted.insert(rec.txn_id);
   }
 
   locks_.Clear();
@@ -405,15 +537,42 @@ Result<RecoveryResult> StorageEngine::Recover() {
       idx->tree->Clear();
       idx->rebuild_pending = false;
     }
+    if (base != nullptr) {
+      for (const auto& ti : base->tables) {
+        auto it = tables_.find(ti.table_id);
+        if (it == tables_.end()) {
+          return Status::Corruption("checkpoint references unknown table");
+        }
+        size_t off = 0;
+        AEDB_RETURN_IF_ERROR(it->second->heap->RestoreFrom(ti.heap, &off));
+        if (off != ti.heap.size()) {
+          return Status::Corruption("heap checkpoint image has trailing bytes");
+        }
+      }
+      for (const auto& ii : base->indexes) {
+        auto it = indexes_.find(ii.index_id);
+        if (it == indexes_.end()) continue;  // index dropped after capture
+        it->second->invalid = it->second->invalid || ii.invalid;
+        if (!it->second->invalid) {
+          it->second->tree->LoadSortedEntries(ii.entries);
+        }
+      }
+      next_txn_id_ = std::max(next_txn_id_, base->next_txn_id);
+    }
     if (!seen.empty()) {
       next_txn_id_ = std::max(next_txn_id_, *seen.rbegin() + 1);
     }
   }
+  // After a truncate-to-empty restart the reopened log restarts LSNs at 1;
+  // records written below the horizon would then be filtered out on the NEXT
+  // recovery. Keep LSNs monotonic across the checkpoint.
+  wal_.EnsureNextLsn(horizon);
 
   // --- Redo phase: replay everything in LSN order (winners and losers,
   // mirroring physical redo of page images). An encrypted index whose
   // comparator cannot run (CEK not in enclave) flips to rebuild-pending.
   for (const LogRecord& rec : log) {
+    AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("recovery/replay"));
     switch (rec.type) {
       case LogRecordType::kHeapInsert: {
         TableState* t;
@@ -430,6 +589,15 @@ Result<RecoveryResult> StorageEngine::Recover() {
         TableState* t;
         AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
         AEDB_RETURN_IF_ERROR(t->heap->Delete(rec.rid));
+        ++result.redone;
+        break;
+      }
+      case LogRecordType::kHeapResurrect: {
+        // A logged compensation: some abort brought this slot back to life
+        // at exactly this point of history.
+        TableState* t;
+        AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+        AEDB_RETURN_IF_ERROR(t->heap->Resurrect(rec.rid));
         ++result.redone;
         break;
       }
@@ -465,11 +633,14 @@ Result<RecoveryResult> StorageEngine::Recover() {
   // holding its row locks unless constant-time recovery is on (§4.5).
   std::map<uint64_t, std::vector<const LogRecord*>> loser_ops;
   for (const LogRecord& rec : log) {
-    if (committed.count(rec.txn_id)) continue;
+    if (committed.count(rec.txn_id) || aborted.count(rec.txn_id)) continue;
     if (rec.type == LogRecordType::kBegin || rec.type == LogRecordType::kAbort ||
         rec.type == LogRecordType::kCommit) {
       continue;
     }
+    // A crash mid-abort leaves [ops..., CLRs...] with no kAbort: reverse
+    // replay first re-applies the original ops (undoing each CLR), then
+    // undoes the ops themselves — self-canceling to net zero.
     loser_ops[rec.txn_id].push_back(&rec);
   }
   for (auto& [txn_id, ops] : loser_ops) {
@@ -479,7 +650,8 @@ Result<RecoveryResult> StorageEngine::Recover() {
     for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
       const LogRecord& rec = **it;
       if (rec.type == LogRecordType::kHeapInsert ||
-          rec.type == LogRecordType::kHeapDelete) {
+          rec.type == LogRecordType::kHeapDelete ||
+          rec.type == LogRecordType::kHeapResurrect) {
         touched_rows.insert(RowResource(rec.object_id, rec.rid.Encode()));
       }
       if (rec.type == LogRecordType::kIndexInsert ||
@@ -528,13 +700,25 @@ Result<RecoveryResult> StorageEngine::Recover() {
 }
 
 Status StorageEngine::RebuildIndexFromLog(IndexState* index, uint32_t index_id) {
+  std::shared_ptr<const CheckpointImage> base = checkpoint_base();
+  const uint64_t horizon = base == nullptr ? 0 : base->checkpoint_lsn;
   std::vector<LogRecord> log = wal_.Snapshot();
   std::set<uint64_t> committed;
   for (const LogRecord& rec : log) {
     if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
   }
   index->tree->Clear();
+  // Pre-horizon ops were truncated away; the checkpoint image carries the
+  // index state they produced. Start from it and replay only the tail.
+  if (base != nullptr) {
+    for (const auto& ii : base->indexes) {
+      if (ii.index_id != index_id) continue;
+      index->tree->LoadSortedEntries(ii.entries);
+      break;
+    }
+  }
   for (const LogRecord& rec : log) {
+    if (rec.lsn < horizon) continue;  // baked into the checkpoint base
     if (rec.object_id != index_id) continue;
     if (!committed.count(rec.txn_id)) continue;  // losers excluded: net undo
     Status st;

@@ -2,6 +2,7 @@
 #define AEDB_STORAGE_ENGINE_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "storage/btree.h"
+#include "storage/checkpoint.h"
 #include "storage/heap_table.h"
 #include "storage/lock_manager.h"
 #include "storage/wal.h"
@@ -30,6 +32,9 @@ struct RecoveryResult {
   size_t undone = 0;
   std::vector<uint64_t> deferred_txns;
   std::vector<uint32_t> rebuild_pending_indexes;
+  /// LSN horizon of the checkpoint recovery started from (0 = no checkpoint:
+  /// the whole log replayed).
+  uint64_t from_checkpoint_lsn = 0;
 };
 
 /// \brief Transactional storage: WAL-logged heap tables and B+-tree indexes,
@@ -94,8 +99,26 @@ class StorageEngine {
   Status LockTable(uint64_t txn_id, uint32_t table_id);
   bool RowLockedByOther(uint64_t txn_id, uint32_t table_id, const Rid& rid) const;
 
+  // ----- checkpointing -----
+  /// Captures a quiescent point-in-time image: blocks new Begin() calls,
+  /// waits up to `wait` for in-flight transactions to finish, then snapshots
+  /// every heap and index under meta_mu_. Refuses (FailedPrecondition) if the
+  /// engine does not quiesce in time, or if deferred transactions / pending
+  /// index rebuilds pin the log (their undo needs the full WAL).
+  Result<std::shared_ptr<const CheckpointImage>> CaptureCheckpoint(
+      std::chrono::milliseconds wait);
+
+  /// Installs `base` as the recovery base: Recover() will restore it and
+  /// replay only WAL records with lsn >= base->checkpoint_lsn. Pass nullptr
+  /// to clear. The caller (server layer) persists the image; the engine only
+  /// consumes it.
+  void SetCheckpointBase(std::shared_ptr<const CheckpointImage> base);
+  std::shared_ptr<const CheckpointImage> checkpoint_base() const;
+
   // ----- recovery (§4.5) -----
-  /// Rebuilds all state from the WAL. Call after registering tables/indexes.
+  /// Rebuilds all state from the checkpoint base (if any) plus the WAL tail.
+  /// Call after registering tables/indexes. Idempotent: safe to re-run after
+  /// a crash mid-recovery.
   Result<RecoveryResult> Recover();
 
   /// Retries deferred work; call when CEKs are (re)installed in the enclave.
@@ -116,6 +139,7 @@ class StorageEngine {
   Status CanTruncateLog() const;
 
   Wal& wal() { return wal_; }
+  const Wal& wal() const { return wal_; }
   LockManager& locks() { return locks_; }
   const LockManager& locks() const { return locks_; }
   const EngineOptions& options() const { return options_; }
@@ -153,6 +177,13 @@ class StorageEngine {
     std::set<uint32_t> pending_indexes;
   };
 
+  /// RAII companion to the finalizing_ counter: decrements it and wakes
+  /// checkpoint capture on every exit path of Commit/Abort.
+  struct Finalizer {
+    StorageEngine* engine;
+    ~Finalizer();
+  };
+
   Result<TableState*> FindTable(uint32_t table_id);
   Result<IndexState*> FindIndex(uint32_t index_id);
   const IndexState* FindIndexConst(uint32_t index_id) const;
@@ -169,11 +200,19 @@ class StorageEngine {
   LockManager locks_;
 
   mutable std::mutex meta_mu_;  // guards the maps + txn table + deferred list
+  std::condition_variable meta_cv_;  // signals txn-table transitions
   std::map<uint32_t, std::unique_ptr<TableState>> tables_;
   std::map<uint32_t, std::unique_ptr<IndexState>> indexes_;
   std::map<uint64_t, ActiveTxn> active_;
   std::vector<DeferredTxn> deferred_;
   uint64_t next_txn_id_ = 1;
+  /// Transactions past their active_ erase but before their commit/abort
+  /// record is durable. A checkpoint taken in that window would bake loser
+  /// effects with no undo info, so capture waits for this to reach zero too.
+  uint64_t finalizing_ = 0;
+  /// True while CaptureCheckpoint holds the engine quiescent; Begin() blocks.
+  bool checkpoint_pending_ = false;
+  std::shared_ptr<const CheckpointImage> checkpoint_base_;
 };
 
 }  // namespace aedb::storage

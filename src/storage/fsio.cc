@@ -1,0 +1,137 @@
+#include "storage/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.h"
+
+namespace aedb::storage::fsio {
+
+namespace {
+
+std::atomic<uint64_t> g_fsyncs{0};
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return Errno("fsync", path);
+  g_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t FsyncsPerformed() { return g_fsyncs.load(std::memory_order_relaxed); }
+
+void CountFsync() { g_fsyncs.fetch_add(1, std::memory_order_relaxed); }
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (dir.empty() || dir == "/" || dir == ".") return Status::OK();
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::OK();
+    return Status::InvalidArgument(dir + " exists and is not a directory");
+  }
+  AEDB_RETURN_IF_ERROR(EnsureDir(DirName(dir)));
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", dir);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  Status st = FsyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+Result<Bytes> ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  Bytes out;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileDurable(const std::string& path, Slice contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("create", tmp);
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  Status synced = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (!synced.ok()) {
+    ::unlink(tmp.c_str());
+    return synced;
+  }
+  // Crash window: tmp durable, target untouched. A die-at here models a kill
+  // between checkpoint write and publish.
+  Status faulted = AEDB_FAULT_POINT("fsio/pre_rename");
+  if (!faulted.ok()) {
+    ::unlink(tmp.c_str());
+    return faulted;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Errno("rename", path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return SyncDir(DirName(path));
+}
+
+Status RemoveFileDurable(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("unlink", path);
+  }
+  return SyncDir(DirName(path));
+}
+
+}  // namespace aedb::storage::fsio

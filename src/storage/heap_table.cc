@@ -68,4 +68,33 @@ void HeapTable::Clear() {
   live_rows_ = 0;
 }
 
+void HeapTable::SerializeTo(Bytes* out) const {
+  PutU32(out, static_cast<uint32_t>(pages_.size()));
+  for (const auto& page : pages_) {
+    Slice raw = page->raw();
+    out->insert(out->end(), raw.data(), raw.data() + raw.size());
+  }
+}
+
+Status HeapTable::RestoreFrom(Slice in, size_t* offset) {
+  uint32_t count;
+  AEDB_ASSIGN_OR_RETURN(count, GetU32(in, offset));
+  if (*offset + static_cast<size_t>(count) * Page::kPageSize > in.size()) {
+    return Status::Corruption("heap checkpoint image truncated");
+  }
+  pages_.clear();
+  live_rows_ = 0;
+  pages_.reserve(count);
+  for (uint32_t p = 0; p < count; ++p) {
+    pages_.push_back(
+        std::make_unique<Page>(in.subslice(*offset, Page::kPageSize)));
+    *offset += Page::kPageSize;
+    const Page& page = *pages_.back();
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      if (page.IsLive(s)) ++live_rows_;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace aedb::storage

@@ -45,6 +45,17 @@ class HeapTable {
   /// Drops all rows (used when recovery rebuilds state from the log).
   void Clear();
 
+  /// Appends this heap's checkpoint form to `out`: a page count followed by
+  /// the raw 8 KiB page images. Because Insert placement is deterministic in
+  /// the page state (append-biased, slot-exact), restoring these images and
+  /// replaying the post-checkpoint WAL reproduces RIDs exactly — the same
+  /// property the recovery redo's RID check relies on.
+  void SerializeTo(Bytes* out) const;
+
+  /// Replaces this heap's contents with a SerializeTo image; live_rows is
+  /// recomputed by scanning slot liveness.
+  Status RestoreFrom(Slice in, size_t* offset);
+
  private:
   std::vector<std::unique_ptr<Page>> pages_;
   uint64_t live_rows_ = 0;

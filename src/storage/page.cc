@@ -10,6 +10,12 @@ Page::Page() : data_(new uint8_t[kPageSize]) {
   SetU16At(2, static_cast<uint16_t>(kPageSize)); // free_end
 }
 
+Page::Page(Slice raw) : data_(new uint8_t[kPageSize]) {
+  std::memset(data_.get(), 0, kPageSize);
+  std::memcpy(data_.get(), raw.data(),
+              raw.size() < kPageSize ? raw.size() : kPageSize);
+}
+
 uint16_t Page::GetU16At(size_t off) const {
   return static_cast<uint16_t>(data_[off] | (data_[off + 1] << 8));
 }

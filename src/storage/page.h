@@ -45,6 +45,9 @@ class Page {
   static constexpr size_t kMaxRecordSize = kPageSize - kHeaderSize - kSlotSize;
 
   Page();
+  /// Adopts a raw 8 KiB image (checkpoint restore). The image must have been
+  /// produced by raw() — no validation beyond the size is performed.
+  explicit Page(Slice raw);
 
   uint16_t slot_count() const;
   size_t free_space() const;

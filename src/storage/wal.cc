@@ -1,15 +1,20 @@
 #include "storage/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 #include "fault/fault.h"
+#include "storage/fsio.h"
 
 namespace aedb::storage {
 
 namespace {
 
-/// FNV-1a 32-bit. Not cryptographic — it only needs to tell "frame ends at a
-/// clean boundary" from "frame was torn mid-write".
+/// FNV-1a 32-bit.
 uint32_t Fnv1a(Slice data) {
   uint32_t h = 2166136261u;
   for (size_t i = 0; i < data.size(); ++i) {
@@ -22,14 +27,39 @@ uint32_t Fnv1a(Slice data) {
 void AppendFramed(Bytes* out, const LogRecord& rec) {
   Bytes body;
   rec.SerializeTo(&body);
-  PutU32(out, static_cast<uint32_t>(body.size()));
-  PutU32(out, Fnv1a(body));
-  out->insert(out->end(), body.begin(), body.end());
+  AppendFramedBlob(out, body);
 }
 
 constexpr size_t kFrameOverhead = 8;  // u32 length + u32 checksum
 
 }  // namespace
+
+uint32_t FrameChecksum(Slice body) { return Fnv1a(body); }
+
+void AppendFramedBlob(Bytes* out, Slice body) {
+  PutU32(out, static_cast<uint32_t>(body.size()));
+  PutU32(out, Fnv1a(body));
+  out->insert(out->end(), body.data(), body.data() + body.size());
+}
+
+FramedBlobs ParseFramedBlobs(Slice image) {
+  FramedBlobs out;
+  size_t off = 0;
+  while (off + kFrameOverhead <= image.size()) {
+    size_t cursor = off;
+    auto len_res = GetU32(image, &cursor);
+    auto sum_res = GetU32(image, &cursor);
+    if (!len_res.ok() || !sum_res.ok()) break;
+    if (cursor + *len_res > image.size()) break;  // truncated body: torn tail
+    Slice body(image.data() + cursor, *len_res);
+    if (Fnv1a(body) != *sum_res) break;
+    out.blobs.push_back(body.ToBytes());
+    off = cursor + *len_res;
+    out.bytes_consumed = off;
+  }
+  out.torn_tail = out.bytes_consumed != image.size();
+  return out;
+}
 
 void LogRecord::SerializeTo(Bytes* out) const {
   PutU64(out, lsn);
@@ -46,7 +76,8 @@ Result<LogRecord> LogRecord::Deserialize(Slice in, size_t* offset) {
   AEDB_ASSIGN_OR_RETURN(rec.txn_id, GetU64(in, offset));
   if (*offset >= in.size()) return Status::Corruption("truncated log record");
   rec.type = static_cast<LogRecordType>(in[(*offset)++]);
-  if (rec.type < LogRecordType::kBegin || rec.type > LogRecordType::kIndexDelete) {
+  if (rec.type < LogRecordType::kBegin ||
+      rec.type > LogRecordType::kHeapResurrect) {
     return Status::Corruption("unknown log record type");
   }
   AEDB_ASSIGN_OR_RETURN(rec.object_id, GetU32(in, offset));
@@ -55,6 +86,85 @@ Result<LogRecord> LogRecord::Deserialize(Slice in, size_t* offset) {
   rec.rid = Rid::Decode(rid_enc);
   AEDB_ASSIGN_OR_RETURN(rec.payload1, GetLengthPrefixed(in, offset));
   return rec;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Wal::file_backed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_ >= 0;
+}
+
+Status Wal::WriteToFileLocked(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd_, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      // Whatever prefix reached the file is a torn frame; reopen-time parsing
+      // drops it. The in-memory mirror stays at the last intact frame.
+      return Status::Internal(std::string("wal write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<WalLoadResult> Wal::AttachFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return Status::FailedPrecondition("wal already file-backed");
+  const bool existed = fsio::FileExists(path);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  if (!existed) {
+    // The file's existence is directory metadata: without this fsync a crash
+    // can forget the (empty) log file even though later appends hit its fd.
+    Status st = fsio::SyncDir(fsio::DirName(path));
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  Bytes contents;
+  {
+    auto read = fsio::ReadFileBytes(path);
+    if (!read.ok()) {
+      ::close(fd);
+      return read.status();
+    }
+    contents = std::move(read).value();
+  }
+  WalLoadResult parsed = ParseImage(contents);
+  if (parsed.bytes_consumed < contents.size()) {
+    // Physically drop the torn tail — the real-log analog of zeroing past
+    // end-of-log — so a later crash cannot resurrect half a frame.
+    torn_dropped_ += contents.size() - parsed.bytes_consumed;
+    if (::ftruncate(fd, static_cast<off_t>(parsed.bytes_consumed)) != 0) {
+      Status st = Status::Internal(std::string("ftruncate ") + path + ": " +
+                                   std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (::fsync(fd) != 0) {
+      Status st = Status::Internal(std::string("fsync ") + path + ": " +
+                                   std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    ++fsyncs_;
+    fsio::CountFsync();
+  }
+  records_ = parsed.records;
+  next_lsn_ = std::max(
+      next_lsn_, records_.empty() ? uint64_t{1} : records_.back().lsn + 1);
+  image_.assign(contents.data(), contents.data() + parsed.bytes_consumed);
+  fd_ = fd;
+  path_ = path;
+  return parsed;
 }
 
 Result<uint64_t> Wal::Append(LogRecord record) {
@@ -73,16 +183,28 @@ Result<uint64_t> Wal::Append(LogRecord record) {
     size_t keep = torn.arg != 0 && torn.arg < frame.size() ? torn.arg
                                                            : frame.size() / 2;
     image_.insert(image_.end(), frame.begin(), frame.begin() + keep);
+    if (fd_ >= 0) (void)WriteToFileLocked(frame.data(), keep);
     return torn.status.ok() ? Status::Internal("torn log write") : torn.status;
   }
 
+  if (fd_ >= 0) {
+    AEDB_RETURN_IF_ERROR(WriteToFileLocked(frame.data(), frame.size()));
+  }
   image_.insert(image_.end(), frame.begin(), frame.end());
   records_.push_back(std::move(record));
   return lsn;
 }
 
 Status Wal::Sync() {
-  return AEDB_FAULT_POINT("wal/sync");
+  AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/sync"));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(std::string("wal fsync: ") + std::strerror(errno));
+  }
+  ++fsyncs_;
+  fsio::CountFsync();
+  return Status::OK();
 }
 
 std::vector<LogRecord> Wal::Snapshot() const {
@@ -93,6 +215,11 @@ std::vector<LogRecord> Wal::Snapshot() const {
 uint64_t Wal::next_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_lsn_;
+}
+
+void Wal::EnsureNextLsn(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_lsn_ = std::max(next_lsn_, lsn);
 }
 
 Bytes Wal::RawBytes() const {
@@ -133,16 +260,22 @@ WalLoadResult Wal::LoadImage(Slice image) {
   next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
   // The durable image keeps only the intact prefix: recovery discards a torn
   // tail for good, exactly like a real log manager zeroing past end-of-log.
+  if (parsed.bytes_consumed < image.size()) {
+    torn_dropped_ += image.size() - parsed.bytes_consumed;
+  }
   image_.assign(image.data(), image.data() + parsed.bytes_consumed);
+  if (fd_ >= 0) (void)RewriteFileLocked();
   return parsed;
 }
 
-void Wal::TruncateBefore(uint64_t lsn) {
+Status Wal::TruncateBefore(uint64_t lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   records_.erase(records_.begin(),
                  std::find_if(records_.begin(), records_.end(),
                               [lsn](const LogRecord& r) { return r.lsn >= lsn; }));
   RebuildImageLocked();
+  if (fd_ >= 0) return RewriteFileLocked();
+  return Status::OK();
 }
 
 void Wal::Replace(std::vector<LogRecord> records) {
@@ -150,6 +283,7 @@ void Wal::Replace(std::vector<LogRecord> records) {
   records_ = std::move(records);
   next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
   RebuildImageLocked();
+  if (fd_ >= 0) (void)RewriteFileLocked();
 }
 
 void Wal::RebuildImageLocked() {
@@ -157,9 +291,36 @@ void Wal::RebuildImageLocked() {
   for (const LogRecord& rec : records_) AppendFramed(&image_, rec);
 }
 
+Status Wal::RewriteFileLocked() {
+  AEDB_RETURN_IF_ERROR(fsio::WriteFileDurable(path_, image_));
+  // The rename published a new inode; the old append fd still points at the
+  // replaced file. Reopen so future appends land in the live log.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND);
+  if (fd_ < 0) {
+    return Status::Internal("reopen " + path_ + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 size_t Wal::record_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return records_.size();
+}
+
+uint64_t Wal::fsyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsyncs_;
+}
+
+uint64_t Wal::torn_bytes_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_dropped_;
+}
+
+uint64_t Wal::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return image_.size();
 }
 
 }  // namespace aedb::storage

@@ -2,6 +2,7 @@
 #define AEDB_STORAGE_WAL_H_
 
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "storage/page.h"
@@ -16,6 +17,13 @@ enum class LogRecordType : uint8_t {
   kHeapDelete = 5,  // object_id=table, rid, payload1=old row image
   kIndexInsert = 6, // object_id=index, rid, payload1=key
   kIndexDelete = 7, // object_id=index, rid, payload1=key
+  /// Compensation record: undo of a kHeapDelete brought the slot back to
+  /// life. Every runtime undo logs its compensating action (the other three
+  /// undo shapes reuse kHeapDelete / kIndexInsert / kIndexDelete), so redo
+  /// replays aborts at the position they actually happened — without this, a
+  /// delete + rollback + re-delete of the same row replays as two deletes of
+  /// one slot and recovery fails.
+  kHeapResurrect = 8,  // object_id=table, rid
 };
 
 /// One WAL record. Row images and index keys are stored exactly as they live
@@ -50,10 +58,37 @@ struct WalLoadResult {
   bool torn_tail = false;
 };
 
+/// The WAL's frame checksum (FNV-1a 32-bit). Not cryptographic — it only
+/// needs to tell "frame ends at a clean boundary" from "torn mid-write".
+uint32_t FrameChecksum(Slice body);
+
+/// Frames an opaque body with the WAL's [u32 len][u32 checksum] header. The
+/// DDL journal and checkpoint file reuse this so every durable artifact in
+/// the data directory shares one torn-tail discipline.
+void AppendFramedBlob(Bytes* out, Slice body);
+
+/// Parse result for a framed-blob stream (the DDL journal's on-disk form).
+struct FramedBlobs {
+  std::vector<Bytes> blobs;
+  size_t bytes_consumed = 0;
+  bool torn_tail = false;
+};
+FramedBlobs ParseFramedBlobs(Slice image);
+
 /// Append-only write-ahead log. Retains structured records for recovery
 /// replay plus the durable byte image — the adversary-observable "disk" form,
 /// scanned by leakage tests and cut at arbitrary prefixes by the crash-point
 /// torture harness.
+///
+/// Two backing modes share identical framing and semantics:
+///   - In-memory (default): the byte image lives only in `image_`; Sync is a
+///     no-op beyond its fault point. This remains the mode every pre-existing
+///     test and the in-process torture matrix run in.
+///   - File-backed (after AttachFile): every frame is additionally written to
+///     an O_APPEND fd under the data directory, Sync performs a real fsync
+///     (the commit durability point), and truncation rewrites the file
+///     atomically (tmp → fsync → rename → fsync dir). `image_` stays an
+///     exact mirror of the file so RawBytes/leakage checks see disk bytes.
 ///
 /// On-image framing, per record:
 ///
@@ -68,22 +103,40 @@ struct WalLoadResult {
 /// Fault points (see fault/fault.h):
 ///   wal/append       Append fails before writing anything.
 ///   wal/torn_append  Append writes only the first `arg` bytes of the frame
-///                    (default: half) to the image and fails — simulates a
-///                    crash mid-write.
-///   wal/sync         Sync fails (fsync error at the commit durability point).
+///                    (default: half) to the image/file and fails — simulates
+///                    a crash mid-write.
+///   wal/sync         Sync fails (fsync error at the commit durability
+///                    point); the real fsync is skipped.
 class Wal {
  public:
-  /// Assigns the next LSN, frames and appends the record. Fails only via the
-  /// fault points above (the in-memory backing store itself cannot fail).
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Switches to file-backed mode. Opens (creating + directory-fsyncing if
+  /// needed) `path` for O_APPEND writes, parses its contents, physically
+  /// truncates any torn tail, and adopts the intact prefix as the log. The
+  /// returned WalLoadResult is the reopened log (recovery replays it).
+  Result<WalLoadResult> AttachFile(const std::string& path);
+  bool file_backed() const;
+
+  /// Assigns the next LSN, frames and appends the record. In file-backed
+  /// mode the frame is written (not yet fsynced) to the log file.
   Result<uint64_t> Append(LogRecord record);
 
-  /// Durability barrier: everything appended so far survives a crash. The
-  /// in-memory image is trivially "synced"; this exists as the fsync fault
-  /// point exercised by the commit path.
+  /// Durability barrier: everything appended so far survives a crash. In
+  /// file-backed mode this is a real fsync of the log fd; in-memory it is
+  /// trivially "synced". Either way the `wal/sync` fault point fires first
+  /// (a fired fault skips the fsync — the commit must not become durable).
   Status Sync();
 
   std::vector<LogRecord> Snapshot() const;
   uint64_t next_lsn() const;
+  /// Raises next_lsn to at least `lsn` — used after loading a checkpoint
+  /// whose LSN horizon is past the (possibly truncated-to-empty) log tail.
+  void EnsureNextLsn(uint64_t lsn);
 
   /// The durable byte image (adversary view; framed).
   Bytes RawBytes() const;
@@ -93,25 +146,46 @@ class Wal {
 
   /// Replaces this log's contents with what `image` holds — the "reopen after
   /// crash" path. Returns the parse result so callers can see how much of the
-  /// tail was lost.
+  /// tail was lost. File-backed: the file is atomically rewritten to match.
   WalLoadResult LoadImage(Slice image);
 
   /// Drops records up to `lsn` exclusive (log truncation after checkpoint).
-  void TruncateBefore(uint64_t lsn);
+  /// File-backed: rewrites the log file atomically; a crash between the
+  /// checkpoint publish and this rewrite only leaves already-checkpointed
+  /// records in the file, which recovery filters out by LSN.
+  Status TruncateBefore(uint64_t lsn);
 
   /// Replaces the contents wholesale. Used to transplant a crashed engine's
   /// log into a fresh engine in crash-recovery tests.
   void Replace(std::vector<LogRecord> records);
   size_t record_count() const;
 
+  // ----- durability gauges (file-backed mode; zero otherwise) -----
+  /// fsyncs issued by this log (commit-path Sync + attach/rewrite syncs).
+  uint64_t fsyncs() const;
+  /// Bytes of torn tail dropped across AttachFile/LoadImage calls.
+  uint64_t torn_bytes_dropped() const;
+  /// Current size of the durable image in bytes.
+  uint64_t wal_bytes() const;
+
  private:
   /// Rebuilds image_ from records_. Caller holds mu_.
   void RebuildImageLocked();
+  /// File-backed: atomically rewrites the log file from image_ and reopens
+  /// the append fd (the rename replaced the inode). Caller holds mu_.
+  Status RewriteFileLocked();
+  /// Appends raw bytes to the log fd. Caller holds mu_.
+  Status WriteToFileLocked(const uint8_t* data, size_t n);
 
   mutable std::mutex mu_;
   std::vector<LogRecord> records_;
   Bytes image_;  // framed durable form of records_ (plus any torn tail)
   uint64_t next_lsn_ = 1;
+
+  int fd_ = -1;  // -1: in-memory mode
+  std::string path_;
+  uint64_t fsyncs_ = 0;
+  uint64_t torn_dropped_ = 0;
 };
 
 }  // namespace aedb::storage

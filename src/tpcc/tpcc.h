@@ -119,7 +119,9 @@ class TpccTerminal {
   static constexpr int64_t kCRunCid = 1021;
 
   client::Driver* driver_;
-  const TpccConfig& config_;
+  // By value (like TpccLoader): a terminal may outlive the caller's config
+  // object, e.g. when constructed from a factory-made temporary.
+  TpccConfig config_;
   Xoshiro256 rng_;
   uint64_t committed_ = 0;
   uint64_t aborted_ = 0;

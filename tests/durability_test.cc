@@ -1,0 +1,680 @@
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/driver.h"
+#include "crypto/drbg.h"
+#include "fault/fault.h"
+#include "server/database.h"
+#include "storage/btree.h"
+#include "storage/checkpoint.h"
+#include "storage/engine.h"
+#include "storage/fsio.h"
+#include "storage/torture.h"
+#include "storage/wal.h"
+
+namespace aedb {
+namespace {
+
+using server::Database;
+using server::ServerOptions;
+using storage::BinaryComparator;
+using storage::BTree;
+using storage::CheckpointImage;
+using storage::LogRecord;
+using storage::LogRecordType;
+using storage::Rid;
+using storage::StorageEngine;
+using storage::Wal;
+using storage::WalLoadResult;
+using types::Value;
+
+Bytes B(std::string_view s) { return Slice(s).ToBytes(); }
+
+/// A self-cleaning scratch directory for durable-state tests.
+class TempDir {
+ public:
+  TempDir() {
+    char templ[] = "/tmp/aedb_durability_XXXXXX";
+    char* made = mkdtemp(templ);
+    EXPECT_NE(made, nullptr) << strerror(errno);
+    path_ = made == nullptr ? "/tmp" : made;
+  }
+  ~TempDir() { RemoveTree(path_); }
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+  /// Every regular file currently in the directory (non-recursive; the data
+  /// dir is flat).
+  std::vector<std::string> Files() const {
+    std::vector<std::string> out;
+    DIR* d = opendir(path_.c_str());
+    if (d == nullptr) return out;
+    while (struct dirent* e = readdir(d)) {
+      if (std::strcmp(e->d_name, ".") == 0 || std::strcmp(e->d_name, "..") == 0)
+        continue;
+      out.push_back(path_ + "/" + e->d_name);
+    }
+    closedir(d);
+    return out;
+  }
+
+ private:
+  static void RemoveTree(const std::string& dir) {
+    DIR* d = opendir(dir.c_str());
+    if (d != nullptr) {
+      while (struct dirent* e = readdir(d)) {
+        if (std::strcmp(e->d_name, ".") == 0 ||
+            std::strcmp(e->d_name, "..") == 0)
+          continue;
+        std::string child = dir + "/" + e->d_name;
+        struct stat st;
+        if (lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+          RemoveTree(child);
+        } else {
+          unlink(child.c_str());
+        }
+      }
+      closedir(d);
+    }
+    rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().Reset(); }
+  void TearDown() override { fault::FaultRegistry::Global().Reset(); }
+};
+
+// ===========================================================================
+// File-backed WAL
+// ===========================================================================
+
+LogRecord MakeRecord(uint64_t txn, LogRecordType type, std::string_view body) {
+  LogRecord rec;
+  rec.txn_id = txn;
+  rec.type = type;
+  rec.object_id = 7;
+  rec.payload1 = B(body);
+  return rec;
+}
+
+TEST_F(DurabilityTest, FileWalSurvivesReopen) {
+  TempDir dir;
+  const std::string path = dir.File("wal.log");
+  {
+    Wal wal;
+    auto attached = wal.AttachFile(path);
+    ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+    EXPECT_TRUE(wal.file_backed());
+    EXPECT_TRUE(attached->records.empty());
+    ASSERT_TRUE(wal.Append(MakeRecord(1, LogRecordType::kBegin, "")).ok());
+    ASSERT_TRUE(
+        wal.Append(MakeRecord(1, LogRecordType::kHeapInsert, "row-a")).ok());
+    ASSERT_TRUE(wal.Append(MakeRecord(1, LogRecordType::kCommit, "")).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    EXPECT_GE(wal.fsyncs(), 1u);
+    EXPECT_EQ(wal.wal_bytes(), wal.RawBytes().size());
+  }
+  // A brand-new Wal over the same file adopts the log: same records, and the
+  // next LSN continues past the durable tail instead of restarting at 1.
+  Wal reopened;
+  auto loaded = reopened.AttachFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->records.size(), 3u);
+  EXPECT_FALSE(loaded->torn_tail);
+  EXPECT_EQ(loaded->records[1].payload1, B("row-a"));
+  EXPECT_EQ(loaded->records[2].type, LogRecordType::kCommit);
+  EXPECT_GT(reopened.next_lsn(), loaded->records[2].lsn);
+}
+
+TEST_F(DurabilityTest, FileWalTornTailIsDroppedAndPhysicallyTruncated) {
+  TempDir dir;
+  const std::string path = dir.File("wal.log");
+  size_t intact_bytes = 0;
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.AttachFile(path).ok());
+    ASSERT_TRUE(wal.Append(MakeRecord(1, LogRecordType::kBegin, "")).ok());
+    ASSERT_TRUE(
+        wal.Append(MakeRecord(1, LogRecordType::kHeapInsert, "kept")).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    intact_bytes = wal.wal_bytes();
+  }
+  // Simulate a crash mid-append: garbage (a torn frame) after the intact
+  // prefix.
+  {
+    int fd = open(path.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    const char torn[] = "\x40\x00\x00\x00\xde\xad\xbe\xef half a frame";
+    ASSERT_EQ(write(fd, torn, sizeof(torn)), (ssize_t)sizeof(torn));
+    close(fd);
+  }
+  Wal reopened;
+  auto loaded = reopened.AttachFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->torn_tail);
+  ASSERT_EQ(loaded->records.size(), 2u);
+  EXPECT_GT(reopened.torn_bytes_dropped(), 0u);
+  // The tail was ftruncated away, not just ignored: the file is back to the
+  // intact prefix, so the next append lands on a clean boundary.
+  struct stat st;
+  ASSERT_EQ(stat(path.c_str(), &st), 0);
+  EXPECT_EQ(static_cast<size_t>(st.st_size), intact_bytes);
+  ASSERT_TRUE(
+      reopened.Append(MakeRecord(2, LogRecordType::kHeapInsert, "after")).ok());
+  Wal third;
+  auto again = third.AttachFile(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->torn_tail);
+  ASSERT_EQ(again->records.size(), 3u);
+  EXPECT_EQ(again->records[2].payload1, B("after"));
+}
+
+TEST_F(DurabilityTest, FileWalSyncFaultSkipsFsync) {
+  TempDir dir;
+  Wal wal;
+  ASSERT_TRUE(wal.AttachFile(dir.File("wal.log")).ok());
+  const uint64_t before = wal.fsyncs();
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("wal/sync", spec);
+  EXPECT_FALSE(wal.Sync().ok());
+  EXPECT_EQ(wal.fsyncs(), before);  // the failed sync must not have synced
+  EXPECT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.fsyncs(), before + 1);
+}
+
+// ===========================================================================
+// Checkpoint image serialization
+// ===========================================================================
+
+TEST_F(DurabilityTest, CheckpointImageRoundTrips) {
+  CheckpointImage img;
+  img.checkpoint_lsn = 42;
+  img.next_txn_id = 17;
+  CheckpointImage::TableImage table;
+  table.table_id = 3;
+  table.heap = B("opaque heap page bytes");
+  img.tables.push_back(table);
+  CheckpointImage::IndexImage index;
+  index.index_id = 9;
+  index.invalid = true;
+  index.entries.emplace_back(B("key-1"), Rid{0, 5});
+  index.entries.emplace_back(B("key-2"), Rid{1, 0});
+  img.indexes.push_back(index);
+
+  Bytes wire = img.Serialize();
+  auto back = CheckpointImage::Deserialize(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->checkpoint_lsn, 42u);
+  EXPECT_EQ(back->next_txn_id, 17u);
+  ASSERT_EQ(back->tables.size(), 1u);
+  EXPECT_EQ(back->tables[0].table_id, 3u);
+  EXPECT_EQ(back->tables[0].heap, B("opaque heap page bytes"));
+  ASSERT_EQ(back->indexes.size(), 1u);
+  EXPECT_TRUE(back->indexes[0].invalid);
+  ASSERT_EQ(back->indexes[0].entries.size(), 2u);
+  EXPECT_EQ(back->indexes[0].entries[1].first, B("key-2"));
+  EXPECT_EQ(back->indexes[0].entries[0].second.Encode(), (Rid{0, 5}).Encode());
+}
+
+TEST_F(DurabilityTest, CheckpointImageDetectsCorruptionAndTruncation) {
+  CheckpointImage img;
+  img.checkpoint_lsn = 1;
+  Bytes wire = img.Serialize();
+  for (size_t i = 0; i < wire.size(); i += 3) {
+    Bytes bad = wire;
+    bad[i] ^= 0x5A;
+    EXPECT_FALSE(CheckpointImage::Deserialize(bad).ok())
+        << "bit flip at byte " << i << " went undetected";
+  }
+  for (size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(CheckpointImage::Deserialize(Slice(wire.data(), n)).ok())
+        << "accepted a " << n << "-byte truncation";
+  }
+}
+
+// ===========================================================================
+// Engine checkpoint capture + recovery from base
+// ===========================================================================
+
+constexpr uint32_t kTable = 1;
+constexpr uint32_t kIndex = 2;
+
+std::unique_ptr<StorageEngine> MakeCatalogedEngine() {
+  auto engine = std::make_unique<StorageEngine>();
+  EXPECT_TRUE(engine->CreateTable(kTable).ok());
+  EXPECT_TRUE(engine
+                  ->CreateIndex(kIndex, kTable,
+                                std::make_unique<BinaryComparator>(),
+                                /*unique=*/false)
+                  .ok());
+  return engine;
+}
+
+Status CommitRow(StorageEngine* engine, const std::string& row,
+                 const std::string& key) {
+  uint64_t txn = engine->Begin();
+  Rid rid;
+  AEDB_ASSIGN_OR_RETURN(rid, engine->HeapInsert(txn, kTable, B(row)));
+  AEDB_RETURN_IF_ERROR(engine->IndexInsert(txn, kIndex, B(key), rid));
+  return engine->Commit(txn);
+}
+
+TEST_F(DurabilityTest, RecoveryFromCheckpointPlusWalTail) {
+  auto engine = MakeCatalogedEngine();
+  ASSERT_TRUE(CommitRow(engine.get(), "baked-1", "a").ok());
+  ASSERT_TRUE(CommitRow(engine.get(), "baked-2", "b").ok());
+
+  auto captured = engine->CaptureCheckpoint(std::chrono::milliseconds(500));
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  const uint64_t horizon = (*captured)->checkpoint_lsn;
+  EXPECT_EQ(horizon, engine->wal().next_lsn());
+
+  // Post-checkpoint tail: one more committed row, one loser in flight.
+  ASSERT_TRUE(CommitRow(engine.get(), "tail-3", "c").ok());
+  uint64_t loser = engine->Begin();
+  ASSERT_TRUE(engine->HeapInsert(loser, kTable, B("loser")).ok());
+
+  // Checkpoint publish + log truncation, then a crash: rebuild a fresh
+  // engine from (serialized image, truncated log) exactly as Open() would.
+  ASSERT_TRUE(engine->wal().TruncateBefore(horizon).ok());
+  Bytes image_wire = (*captured)->Serialize();
+  Bytes log_image = engine->wal().RawBytes();
+
+  auto fresh = MakeCatalogedEngine();
+  auto base = CheckpointImage::Deserialize(image_wire);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  fresh->SetCheckpointBase(
+      std::make_shared<const CheckpointImage>(std::move(base).value()));
+  fresh->wal().LoadImage(log_image);
+  auto recovered = fresh->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->from_checkpoint_lsn, horizon);
+
+  // All three committed rows live, the loser vanished, the index sees
+  // exactly the three committed keys.
+  std::vector<std::string> rows;
+  fresh->table(kTable)->Scan([&](const Rid&, Slice row) {
+    rows.emplace_back(row.ToString());
+    return true;
+  });
+  std::sort(rows.begin(), rows.end());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], "baked-1");
+  EXPECT_EQ(rows[1], "baked-2");
+  EXPECT_EQ(rows[2], "tail-3");
+  EXPECT_EQ(fresh->index_tree(kIndex)->size(), 3u);
+
+  // New transactions must not reuse LSNs or txn ids from before the crash.
+  EXPECT_GE(fresh->wal().next_lsn(), horizon);
+  uint64_t next = fresh->Begin();
+  EXPECT_GE(next, (*captured)->next_txn_id);
+}
+
+TEST_F(DurabilityTest, CheckpointRefusedUntilQuiescent) {
+  auto engine = MakeCatalogedEngine();
+  uint64_t txn = engine->Begin();
+  ASSERT_TRUE(engine->HeapInsert(txn, kTable, B("open")).ok());
+  auto refused = engine->CaptureCheckpoint(std::chrono::milliseconds(50));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine->Commit(txn).ok());
+  EXPECT_TRUE(engine->CaptureCheckpoint(std::chrono::milliseconds(50)).ok());
+}
+
+TEST_F(DurabilityTest, RecoveryIsIdempotentAfterMidRecoveryCrash) {
+  auto engine = MakeCatalogedEngine();
+  ASSERT_TRUE(CommitRow(engine.get(), "row-1", "a").ok());
+  ASSERT_TRUE(CommitRow(engine.get(), "row-2", "b").ok());
+  Bytes log_image = engine->wal().RawBytes();
+
+  auto fresh = MakeCatalogedEngine();
+  fresh->wal().LoadImage(log_image);
+  // First recovery attempt dies at the replay fault point (the in-process
+  // stand-in for kill -9 mid-recovery); the second must succeed and land on
+  // the identical committed state.
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("recovery/replay", spec);
+  EXPECT_FALSE(fresh->Recover().ok());
+
+  auto second = fresh->Recover();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  std::vector<std::string> rows;
+  fresh->table(kTable)->Scan([&](const Rid&, Slice row) {
+    rows.emplace_back(row.ToString());
+    return true;
+  });
+  std::sort(rows.begin(), rows.end());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "row-1");
+  EXPECT_EQ(rows[1], "row-2");
+  EXPECT_EQ(fresh->index_tree(kIndex)->size(), 2u);
+}
+
+// ===========================================================================
+// The crash-point torture matrix on a file-backed WAL (the acceptance bar:
+// RunWalCrashTorture stays exact when every cut is verified through real
+// files instead of in-memory images).
+// ===========================================================================
+
+TEST_F(DurabilityTest, WalCrashTortureExactOnFileBackedWal) {
+  TempDir dir;
+  int counter = 0;
+  auto factory = [&dir, &counter]() -> std::unique_ptr<StorageEngine> {
+    auto engine = MakeCatalogedEngine();
+    auto attached =
+        engine->wal().AttachFile(dir.File("wal-" + std::to_string(counter++)));
+    EXPECT_TRUE(attached.ok()) << attached.status().ToString();
+    return engine;
+  };
+  auto workload = [](StorageEngine* engine) -> Status {
+    for (int round = 0; round < 5; ++round) {
+      uint64_t txn = engine->Begin();
+      Rid rid;
+      AEDB_ASSIGN_OR_RETURN(
+          rid, engine->HeapInsert(txn, kTable, B("r" + std::to_string(round))));
+      AEDB_RETURN_IF_ERROR(
+          engine->IndexInsert(txn, kIndex, B("k" + std::to_string(round)), rid));
+      if (round % 2 == 1) {
+        AEDB_RETURN_IF_ERROR(engine->Abort(txn));
+      } else {
+        AEDB_RETURN_IF_ERROR(engine->Commit(txn));
+      }
+    }
+    uint64_t dangling = engine->Begin();
+    return engine->HeapInsert(dangling, kTable, B("in-flight")).status();
+  };
+  auto report = storage::RunWalCrashTorture(factory, workload);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GE(report->crash_points, 15u);
+  EXPECT_GE(report->torn_points, 10u);
+}
+
+// ===========================================================================
+// Database-level durable round trips (data-dir mode)
+// ===========================================================================
+
+/// Full-deployment fixture over a durable data dir. The vault (client-side
+/// CMK custody) and the seeded attestation identities survive "restarts";
+/// everything server-side must come back from disk alone.
+class DurableDatabaseTest : public DurabilityTest {
+ protected:
+  static constexpr const char* kVaultPath = "https://vault.example/keys/cmk1";
+
+  void SetUp() override {
+    DurabilityTest::SetUp();
+    vault_ = std::make_unique<keys::InMemoryKeyVault>();
+    ASSERT_TRUE(vault_->CreateKey(kVaultPath, 1024).ok());
+    ASSERT_TRUE(registry_.Register(vault_.get()).ok());
+    Bytes seed;
+    PutU64(&seed, 4242);
+    crypto::HmacDrbg drbg(Slice(seed), Slice(std::string_view("aedb-serverd")));
+    author_key_ = crypto::GenerateRsaKey(1024, &drbg);
+    image_ = enclave::EnclaveImage::MakeEsImage(1, author_key_);
+  }
+
+  /// Boots a server process stand-in over the data dir and returns a driver
+  /// wired to it. Fresh HGS + enclave per call: a restart loses all enclave
+  /// state, exactly like the real daemon.
+  void Boot(const std::string& data_dir, uint64_t checkpoint_wal_bytes = 0) {
+    driver_.reset();
+    db_.reset();
+    Bytes seed;
+    PutU64(&seed, 4242);
+    hgs_ = std::make_unique<attestation::HostGuardianService>(Slice(seed));
+    ServerOptions opts;
+    opts.data_dir = data_dir;
+    opts.checkpoint_wal_bytes = checkpoint_wal_bytes;
+    db_ = std::make_unique<Database>(opts, hgs_.get(), &image_);
+    hgs_->RegisterTcgLog(db_->platform()->tcg_log());
+    Status opened = db_->Open();
+    ASSERT_TRUE(opened.ok()) << opened.ToString();
+    client::DriverOptions dopts;
+    dopts.enclave_policy.trusted_author_id = image_.AuthorId();
+    driver_ = std::make_unique<client::Driver>(db_.get(), &registry_,
+                                               hgs_->signing_public(), dopts);
+  }
+
+  void ProvisionAndCreateSchema() {
+    ASSERT_TRUE(driver_
+                    ->ProvisionCmk("MyCMK", vault_->name(), kVaultPath,
+                                   /*enclave_enabled=*/true)
+                    .ok());
+    ASSERT_TRUE(driver_->ProvisionCek("MyCEK", "MyCMK").ok());
+    Status st = driver_->ExecuteDdl(
+        "CREATE TABLE Account ("
+        "  AcctID INT NOT NULL,"
+        "  Branch VARCHAR(20) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = MyCEK,"
+        "    ENCRYPTION_TYPE = Deterministic,"
+        "    ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'),"
+        "  AcctBal BIGINT ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = MyCEK,"
+        "    ENCRYPTION_TYPE = Randomized,"
+        "    ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'),"
+        "  Owner VARCHAR(40) ENCRYPTED WITH (COLUMN_ENCRYPTION_KEY = MyCEK,"
+        "    ENCRYPTION_TYPE = Randomized,"
+        "    ALGORITHM = 'AEAD_AES_256_CBC_HMAC_SHA_256'))");
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    st = driver_->ExecuteDdl("CREATE INDEX idx_bal ON Account (AcctBal)");
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  void InsertAccount(int id, const std::string& branch, int64_t bal,
+                     const std::string& owner) {
+    auto r = driver_->Query(
+        "INSERT INTO Account (AcctID, Branch, AcctBal, Owner) "
+        "VALUES (@id, @branch, @bal, @owner)",
+        {{"id", Value::Int32(id)},
+         {"branch", Value::String(branch)},
+         {"bal", Value::Int64(bal)},
+         {"owner", Value::String(owner)}});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  /// The secrets every at-rest artifact is scanned for.
+  std::vector<std::string> Plaintexts() const {
+    return {"Seattle", "Zurich", "SMITH", "BARNES", "WILLOWBY"};
+  }
+
+  void LoadAccounts() {
+    InsertAccount(1, "Seattle", 100, "SMITH");
+    InsertAccount(2, "Zurich", 550, "BARNES");
+    InsertAccount(3, "Zurich", 75, "WILLOWBY");
+  }
+
+  void ExpectAccountsIntact() {
+    auto all = driver_->Query("SELECT AcctID, Branch, Owner FROM Account");
+    ASSERT_TRUE(all.ok()) << all.status().ToString();
+    EXPECT_EQ(all->rows.size(), 3u);
+    // DET equality runs on ciphertext; RND range goes through the enclave
+    // (forcing key install + deferred-index resolution after a restart).
+    auto det = driver_->Query("SELECT AcctID FROM Account WHERE Branch = @b",
+                              {{"b", Value::String("Zurich")}});
+    ASSERT_TRUE(det.ok()) << det.status().ToString();
+    EXPECT_EQ(det->rows.size(), 2u);
+    auto range = driver_->Query("SELECT Owner FROM Account WHERE AcctBal > @x",
+                                {{"x", Value::Int64(500)}});
+    ASSERT_TRUE(range.ok()) << range.status().ToString();
+    ASSERT_EQ(range->rows.size(), 1u);
+    EXPECT_EQ(range->rows[0][0].str(), "BARNES");
+  }
+
+  std::unique_ptr<keys::InMemoryKeyVault> vault_;
+  keys::KeyProviderRegistry registry_;
+  crypto::RsaPrivateKey author_key_;
+  enclave::EnclaveImage image_;
+  std::unique_ptr<attestation::HostGuardianService> hgs_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<client::Driver> driver_;
+};
+
+TEST_F(DurableDatabaseTest, CleanShutdownRoundTrip) {
+  TempDir dir;
+  Boot(dir.path());
+  EXPECT_FALSE(db_->recovery_info().clean_shutdown);
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  Status shut = db_->Shutdown();
+  ASSERT_TRUE(shut.ok()) << shut.ToString();
+  EXPECT_TRUE(storage::fsio::FileExists(dir.File("clean_shutdown")));
+  EXPECT_TRUE(storage::fsio::FileExists(dir.File("checkpoint.db")));
+
+  Boot(dir.path());
+  const Database::RecoveryInfo& ri = db_->recovery_info();
+  EXPECT_TRUE(ri.ran);
+  EXPECT_TRUE(ri.clean_shutdown);
+  // The final checkpoint drained the log: nothing to replay.
+  EXPECT_EQ(ri.wal_records_replayed, 0u);
+  EXPECT_GT(ri.from_checkpoint_lsn, 0u);
+  EXPECT_GE(ri.ddl_statements_replayed, 4u);  // CMK, CEK, table, index
+  // The marker is consumed: a crash AFTER this boot must not claim clean.
+  EXPECT_FALSE(storage::fsio::FileExists(dir.File("clean_shutdown")));
+  ExpectAccountsIntact();
+}
+
+TEST_F(DurableDatabaseTest, DirtyRestartReplaysWalTail) {
+  TempDir dir;
+  Boot(dir.path());
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  // No Shutdown(): tear the process stand-in down with the WAL still full,
+  // exactly what kill -9 leaves behind.
+  driver_.reset();
+  db_.reset();
+
+  Boot(dir.path());
+  const Database::RecoveryInfo& ri = db_->recovery_info();
+  EXPECT_TRUE(ri.ran);
+  EXPECT_FALSE(ri.clean_shutdown);
+  EXPECT_GT(ri.wal_records_replayed, 0u);
+  EXPECT_EQ(ri.from_checkpoint_lsn, 0u);  // never checkpointed
+  ExpectAccountsIntact();
+
+  server::DatabaseStats stats = db_->Stats();
+  EXPECT_EQ(stats.wal_records_replayed, ri.wal_records_replayed);
+  EXPECT_GT(stats.wal_bytes, 0u);
+  EXPECT_GT(stats.fsyncs, 0u);
+}
+
+TEST_F(DurableDatabaseTest, CheckpointTruncatesWalAndRestartUsesIt) {
+  TempDir dir;
+  Boot(dir.path());
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  const uint64_t wal_before = db_->Stats().wal_bytes;
+  ASSERT_GT(wal_before, 0u);
+  Status ckpt = db_->Checkpoint();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.ToString();
+  EXPECT_EQ(db_->Stats().checkpoints_taken, 1u);
+  EXPECT_LT(db_->Stats().wal_bytes, wal_before);
+  ASSERT_TRUE(storage::fsio::FileExists(dir.File("checkpoint.db")));
+
+  // More traffic after the checkpoint, then a dirty restart: recovery is
+  // checkpoint + tail.
+  InsertAccount(9, "Berlin", 900, "POST-CKPT");
+  driver_.reset();
+  db_.reset();
+  Boot(dir.path());
+  const Database::RecoveryInfo& ri = db_->recovery_info();
+  EXPECT_GT(ri.from_checkpoint_lsn, 0u);
+  EXPECT_GT(ri.wal_records_replayed, 0u);
+  auto r = driver_->Query("SELECT Owner FROM Account WHERE AcctID = @id",
+                          {{"id", Value::Int32(9)}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].str(), "POST-CKPT");
+  auto all = driver_->Query("SELECT AcctID FROM Account");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->rows.size(), 4u);  // 3 checkpointed + 1 WAL-tail row
+  auto range = driver_->Query("SELECT Owner FROM Account WHERE AcctBal > @x",
+                              {{"x", Value::Int64(500)}});
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  EXPECT_EQ(range->rows.size(), 2u);  // BARNES (checkpoint) + POST-CKPT (tail)
+}
+
+TEST_F(DurableDatabaseTest, CrashDuringCheckpointPublishRecovers) {
+  TempDir dir;
+  Boot(dir.path());
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  // The checkpoint dies between the tmp-file fsync and the rename: the
+  // publish never happens, the WAL is untouched, and restart replays the
+  // full log (plus ignores the stray tmp file).
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("fsio/pre_rename", spec);
+  EXPECT_FALSE(db_->Checkpoint().ok());
+  driver_.reset();
+  db_.reset();
+
+  Boot(dir.path());
+  EXPECT_EQ(db_->recovery_info().from_checkpoint_lsn, 0u);
+  ExpectAccountsIntact();
+}
+
+TEST_F(DurableDatabaseTest, CrashBetweenPublishAndTruncateRecovers) {
+  TempDir dir;
+  Boot(dir.path());
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  // The checkpoint file IS published but the WAL truncation never runs: the
+  // log still holds pre-checkpoint records, which recovery must filter by
+  // LSN rather than double-apply.
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("ckpt/pre_truncate", spec);
+  EXPECT_FALSE(db_->Checkpoint().ok());
+  driver_.reset();
+  db_.reset();
+
+  Boot(dir.path());
+  EXPECT_GT(db_->recovery_info().from_checkpoint_lsn, 0u);
+  ExpectAccountsIntact();
+}
+
+TEST_F(DurableDatabaseTest, NoPlaintextAtRestAnywhereInDataDir) {
+  TempDir dir;
+  Boot(dir.path());
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  ASSERT_TRUE(db_->Checkpoint().ok());  // put a checkpoint file on disk too
+  InsertAccount(4, "Seattle", 25, "SMITH");  // and a fresh WAL tail
+  ASSERT_TRUE(db_->Shutdown().ok());
+
+  // The strong adversary reads every byte the server ever fsynced: WAL, DDL
+  // journal, checkpoint, markers. No encrypted column's plaintext may appear.
+  std::vector<std::string> files = dir.Files();
+  ASSERT_GE(files.size(), 3u);  // wal.log, ddl.log, checkpoint.db at least
+  size_t scanned = 0;
+  for (const std::string& file : files) {
+    auto bytes = storage::fsio::ReadFileBytes(file);
+    ASSERT_TRUE(bytes.ok()) << file << ": " << bytes.status().ToString();
+    scanned += bytes->size();
+    std::string_view haystack(reinterpret_cast<const char*>(bytes->data()),
+                              bytes->size());
+    for (const std::string& secret : Plaintexts()) {
+      EXPECT_EQ(haystack.find(secret), std::string_view::npos)
+          << "plaintext '" << secret << "' visible at rest in " << file;
+    }
+  }
+  EXPECT_GT(scanned, 0u);
+}
+
+}  // namespace
+}  // namespace aedb

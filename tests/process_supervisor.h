@@ -1,0 +1,165 @@
+#ifndef AEDB_TESTS_PROCESS_SUPERVISOR_H_
+#define AEDB_TESTS_PROCESS_SUPERVISOR_H_
+
+// The crash-torture supervisor: fork/execs an aedb_serverd child over a data
+// directory, parses its "listening on host:port" banner through a pipe, and
+// kills it with SIGKILL (or lets a --die-at fault kill it) at the harness's
+// chosen moments. Header-only; used by crash_torture_test.cc.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aedb::testing {
+
+/// One serverd child process. Start → (Kill | WaitExit) → Start again over
+/// the same data dir is the crash/restart cycle.
+class ServerProcess {
+ public:
+  explicit ServerProcess(std::string serverd_path)
+      : serverd_path_(std::move(serverd_path)) {}
+  ~ServerProcess() { (void)Kill(); }
+
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+
+  /// Spawns `serverd extra_args...` with stdout piped to the supervisor and
+  /// blocks until the listening banner is parsed (filling port()) or the
+  /// child exits first. A child that dies before the banner — e.g. a
+  /// --die-at recovery/replay crash during startup recovery — yields a
+  /// FailedPrecondition carrying its exit status; the child is reaped.
+  Status Start(const std::vector<std::string>& extra_args) {
+    if (pid_ > 0) return Status::FailedPrecondition("child already running");
+    int pipefd[2];
+    if (pipe(pipefd) != 0) return Status::Internal("pipe failed");
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(pipefd[0]);
+      close(pipefd[1]);
+      return Status::Internal("fork failed");
+    }
+    if (pid == 0) {
+      // Child: stdout -> pipe (stderr stays on the test's stderr).
+      dup2(pipefd[1], STDOUT_FILENO);
+      close(pipefd[0]);
+      close(pipefd[1]);
+      std::vector<std::string> args;
+      args.push_back(serverd_path_);
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(serverd_path_.c_str(), argv.data());
+      std::fprintf(stderr, "execv %s: %s\n", serverd_path_.c_str(),
+                   strerror(errno));
+      _exit(127);
+    }
+    close(pipefd[1]);
+    pid_ = pid;
+    out_fd_ = pipefd[0];
+    Status st = WaitForBanner();
+    if (!st.ok()) {
+      int status = 0;
+      (void)WaitExit(&status);
+      return Status::FailedPrecondition(st.message() + " (child exit status " +
+                                        std::to_string(status) + ")");
+    }
+    return Status::OK();
+  }
+
+  /// kill -9 and reap. OK (and a no-op) when no child is running.
+  Status Kill() {
+    if (pid_ <= 0) return Status::OK();
+    kill(pid_, SIGKILL);
+    int status = 0;
+    return WaitExit(&status);
+  }
+
+  /// SIGTERM (graceful drain) and reap, reporting the wait status.
+  Status Terminate(int* wait_status) {
+    if (pid_ <= 0) return Status::FailedPrecondition("no child");
+    kill(pid_, SIGTERM);
+    return WaitExit(wait_status);
+  }
+
+  /// Sends SIGKILL without reaping (for the async killer thread; the main
+  /// thread reaps via WaitExit once traffic errors out).
+  void KillAsync() const {
+    if (pid_ > 0) kill(pid_, SIGKILL);
+  }
+
+  /// Blocks until the child exits (however it died) and reaps it.
+  Status WaitExit(int* wait_status) {
+    if (pid_ <= 0) return Status::FailedPrecondition("no child");
+    int status = 0;
+    pid_t r;
+    do {
+      r = waitpid(pid_, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    pid_ = -1;
+    if (out_fd_ >= 0) {
+      close(out_fd_);
+      out_fd_ = -1;
+    }
+    if (wait_status != nullptr) *wait_status = status;
+    return r < 0 ? Status::Internal("waitpid failed") : Status::OK();
+  }
+
+  bool running() const { return pid_ > 0; }
+  uint16_t port() const { return port_; }
+  pid_t pid() const { return pid_; }
+
+ private:
+  Status WaitForBanner() {
+    std::string buffered;
+    char chunk[256];
+    for (;;) {
+      // Already have a full line?
+      size_t nl;
+      while ((nl = buffered.find('\n')) != std::string::npos) {
+        std::string line = buffered.substr(0, nl);
+        buffered.erase(0, nl + 1);
+        unsigned port = 0;
+        if (line.find("listening on") != std::string::npos &&
+            ParsePort(line, &port)) {
+          port_ = static_cast<uint16_t>(port);
+          return Status::OK();
+        }
+      }
+      ssize_t n = read(out_fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        return Status::FailedPrecondition(
+            "child exited before the listening banner");
+      }
+      buffered.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  static bool ParsePort(const std::string& line, unsigned* port) {
+    // "... listening on 0.0.0.0:40123 (enclave author ...)"
+    size_t colon = line.rfind(':');
+    if (colon == std::string::npos) return false;
+    return sscanf(line.c_str() + colon + 1, "%u", port) == 1 && *port > 0 &&
+           *port <= 65535;
+  }
+
+  std::string serverd_path_;
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace aedb::testing
+
+#endif  // AEDB_TESTS_PROCESS_SUPERVISOR_H_
