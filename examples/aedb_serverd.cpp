@@ -316,12 +316,13 @@ int main(int argc, char** argv) {
   const server::DatabaseStats ds = db.Stats();
   std::printf("durability: recovery_ms=%llu wal_records_replayed=%llu "
               "torn_bytes_dropped=%llu checkpoints_taken=%llu wal_bytes=%llu "
-              "fsyncs=%llu\n",
+              "fsyncs=%llu wal_file_errors=%llu\n",
               static_cast<unsigned long long>(ds.recovery_ms),
               static_cast<unsigned long long>(ds.wal_records_replayed),
               static_cast<unsigned long long>(ds.torn_bytes_dropped),
               static_cast<unsigned long long>(ds.checkpoints_taken),
               static_cast<unsigned long long>(ds.wal_bytes),
-              static_cast<unsigned long long>(ds.fsyncs));
+              static_cast<unsigned long long>(ds.fsyncs),
+              static_cast<unsigned long long>(ds.wal_file_errors));
   return 0;
 }

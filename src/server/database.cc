@@ -195,6 +195,7 @@ DatabaseStats Database::Stats() const {
   out.checkpoints_taken = checkpoints_taken_.load(std::memory_order_relaxed);
   out.wal_bytes = engine_.wal().wal_bytes();
   out.fsyncs = storage::fsio::FsyncsPerformed();
+  out.wal_file_errors = engine_.wal().file_errors();
   return out;
 }
 
@@ -219,22 +220,33 @@ Status Database::Open() {
     AEDB_RETURN_IF_ERROR(storage::fsio::RemoveFileDurable(CleanShutdownPath()));
   }
 
-  // 1. Catalog: replay the DDL journal in metadata-only mode. Sequential id
-  // assignment makes the replayed catalog ids match the WAL's object_ids.
+  // 1. Catalog: replay the DDL journal in metadata-only mode. Each entry
+  // carries the id counters as they stood before its statement ran; forcing
+  // them before every replay reproduces the runtime id assignment exactly —
+  // including ids consumed by statements that failed or never committed — so
+  // the replayed catalog ids match the WAL's object_ids.
   ddl_journal_ = std::make_unique<DdlJournal>();
-  std::vector<std::string> ddl;
+  std::vector<DdlJournalEntry> ddl;
   AEDB_ASSIGN_OR_RETURN(ddl, ddl_journal_->Open(DdlJournalPath()));
   recovering_ = true;
-  for (const std::string& sql_text : ddl) {
-    Status st = ExecuteDdl(sql_text);
+  for (const DdlJournalEntry& entry : ddl) {
+    catalog_.ForceNextIds(entry.next_table_id, entry.next_index_id,
+                          entry.next_cek_id);
+    if (!entry.committed) {
+      // No commit marker: the statement was never acknowledged. Replay it
+      // leniently — losing it is legal, replaying it wrongly is not.
+      ReplayUncommittedDdl(entry);
+      continue;
+    }
+    Status st = ExecuteDdlStatement(entry.sql);
     if (!st.ok()) {
       recovering_ = false;
-      return Status::Internal("DDL journal replay failed for \"" + sql_text +
+      return Status::Internal("DDL journal replay failed for \"" + entry.sql +
                               "\": " + st.message());
     }
+    ++recovery_info_.ddl_statements_replayed;
   }
   recovering_ = false;
-  recovery_info_.ddl_statements_replayed = ddl.size();
 
   // 2. Log: attach the file-backed WAL (drops any torn tail physically).
   storage::WalLoadResult wal_load;
@@ -257,7 +269,10 @@ Status Database::Open() {
   recovery_info_.ran = true;
   recovery_info_.engine = rec;
   recovery_info_.from_checkpoint_lsn = rec.from_checkpoint_lsn;
-  recovery_info_.wal_records_replayed = wal_load.records.size();
+  // Only the post-horizon tail is replay work; the reopened file may also
+  // hold pre-checkpoint records (crash between checkpoint publish and log
+  // truncation) that recovery filters out without replaying.
+  recovery_info_.wal_records_replayed = rec.log_tail_records;
   recovery_info_.recovery_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -580,15 +595,89 @@ Status Database::ExecuteAlterColumn(const sql::AlterColumnStmt& stmt,
 }
 
 Status Database::ExecuteDdl(const std::string& sql_text, uint64_t session_id) {
+  std::lock_guard<std::mutex> ddl_lock(ddl_mu_);
+  const bool durable =
+      !recovering_ && ddl_journal_ != nullptr && ddl_journal_->is_open();
+  // Journal BEFORE executing: execution can have WAL-visible side effects (a
+  // CREATE INDEX build commits index records; concurrent DML can commit
+  // against a fresh CREATE TABLE), and those records reference catalog ids
+  // recovery can only reproduce if it has journal evidence of this attempt.
+  // The entry snapshots the id counters so replay consumes exactly the ids
+  // this execution will, whether or not it succeeds.
+  if (durable) {
+    DdlJournalEntry entry;
+    entry.sql = sql_text;
+    entry.next_table_id = catalog_.next_table_id();
+    entry.next_index_id = catalog_.next_index_id();
+    entry.next_cek_id = catalog_.next_cek_id();
+    AEDB_RETURN_IF_ERROR(ddl_journal_->AppendStatement(entry));
+  }
   Status executed = ExecuteDdlStatement(sql_text, session_id);
-  // Journal AFTER success: a journaled statement must replay cleanly, and a
-  // crash before the append simply loses the (unacknowledged) DDL. The fsync
-  // inside Append is the DDL durability point.
-  if (executed.ok() && !recovering_ && ddl_journal_ != nullptr &&
-      ddl_journal_->is_open()) {
-    AEDB_RETURN_IF_ERROR(ddl_journal_->Append(sql_text));
+  // The commit marker's fsync is the DDL durability point: only a marked
+  // entry must replay on restart. An unmarked entry (crash or failure in
+  // this window) was never acknowledged and replays leniently.
+  if (executed.ok() && durable) {
+    // Crash-point: statement executed (WAL side effects durable-eligible)
+    // but not yet marked committed — the lenient-replay window.
+    AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("ddl/pre_commit_marker"));
+    AEDB_RETURN_IF_ERROR(ddl_journal_->AppendCommit());
   }
   return executed;
+}
+
+void Database::ReplayUncommittedDdl(const DdlJournalEntry& entry) {
+  auto parsed = sql::Parse(entry.sql);
+  if (!parsed.ok()) return;  // never executed at runtime either
+  switch (parsed->kind) {
+    case sql::Statement::Kind::kCreateCmk:
+    case sql::Statement::Kind::kCreateCek:
+    case sql::Statement::Kind::kCreateTable:
+      // Re-create the object. Any committed WAL records against it prove it
+      // existed at runtime; if the crash instead hit before execution, a
+      // phantom empty object is indistinguishable from the statement
+      // committing right before the crash — legal for an unacked DDL.
+      (void)ExecuteDdlStatement(entry.sql);
+      return;
+    case sql::Statement::Kind::kCreateIndex: {
+      // The build may have failed or never run, and a metadata-only phantom
+      // index would serve wrong (empty) results. Consume the catalog id,
+      // then drop the index: recovery skips WAL records of unknown indexes,
+      // and the id can never be reused for an unrelated index.
+      Status st = ExecuteDdlStatement(entry.sql);
+      if (!st.ok()) return;
+      const sql::CreateIndexStmt& s = *parsed->create_index;
+      auto def = catalog_.GetIndex(s.name);
+      if (def.ok()) {
+        (void)engine_.DropIndex((*def)->id);
+        (void)catalog_.DropIndex(s.name);
+      }
+      return;
+    }
+    case sql::Statement::Kind::kAlterColumn: {
+      // Too stateful to replay blind (index drop/recreate + row rewrite).
+      // Skip it, but if the rewrite transaction committed, indexes on the
+      // altered column hold pre-rewrite rids/keys — invalidate them, and
+      // burn the index ids a completed runtime recreate would have used.
+      const sql::AlterColumnStmt& s = *parsed->alter_column;
+      auto table = catalog_.GetTable(s.table);
+      if (!table.ok()) return;
+      int column = (*table)->FindColumn(s.column);
+      if (column < 0) return;
+      size_t recreated = 0;
+      for (const sql::IndexDef* index : catalog_.TableIndexes((*table)->id)) {
+        if (index->column != column) continue;
+        (void)engine_.InvalidateIndex(index->id);
+        ++recreated;
+      }
+      catalog_.ForceNextIds(
+          catalog_.next_table_id(),
+          catalog_.next_index_id() + static_cast<uint32_t>(recreated),
+          catalog_.next_cek_id());
+      return;
+    }
+    default:
+      return;  // DROP INDEX etc.: losing an unacked drop is legal
+  }
 }
 
 Status Database::ExecuteDdlStatement(const std::string& sql_text,

@@ -92,6 +92,8 @@ struct DatabaseStats {
   uint64_t checkpoints_taken = 0;
   uint64_t wal_bytes = 0;              // current durable WAL size
   uint64_t fsyncs = 0;                 // process-wide fsync count
+  uint64_t wal_file_errors = 0;        // WAL file writes that failed (disk
+                                       // diverged from the in-memory mirror)
 };
 
 /// Key metadata for one CEK as shipped to the driver: the encrypted CEK
@@ -275,6 +277,11 @@ class Database {
 
   /// ExecuteDdl minus the journaling wrapper (the replay entry point).
   Status ExecuteDdlStatement(const std::string& sql, uint64_t session_id = 0);
+  /// Replays a journal entry that has no commit marker: the statement was
+  /// never acknowledged (crash inside the append→execute→marker window, or
+  /// a runtime failure), so either outcome is legal — this picks the one
+  /// consistent with whatever WAL records the attempt left behind.
+  void ReplayUncommittedDdl(const DdlJournalEntry& entry);
   Status ExecuteCreateTable(const sql::CreateTableStmt& stmt);
   Status ExecuteCreateIndex(const sql::CreateIndexStmt& stmt);
   Status ExecuteAlterColumn(const sql::AlterColumnStmt& stmt,
@@ -320,6 +327,10 @@ class Database {
   /// the data) and nothing is re-journaled.
   bool recovering_ = false;
   std::unique_ptr<DdlJournal> ddl_journal_;
+  /// Serializes DDL execution. Needed for the journal protocol: the commit
+  /// marker binds to the immediately preceding statement entry, which only
+  /// holds if statement/marker pairs never interleave.
+  std::mutex ddl_mu_;
   RecoveryInfo recovery_info_;
   std::mutex checkpoint_mu_;  // serializes checkpoint publish + truncate
   std::atomic<uint64_t> checkpoints_taken_{0};

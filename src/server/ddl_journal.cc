@@ -11,11 +11,20 @@
 
 namespace aedb::server {
 
+namespace {
+
+// Frame-body kind byte. SQL text never appears at offset 0, so a frame that
+// does not start with one of these is corruption, not a legacy format.
+constexpr uint8_t kKindStatement = 1;
+constexpr uint8_t kKindCommit = 2;
+
+}  // namespace
+
 DdlJournal::~DdlJournal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::vector<std::string>> DdlJournal::Open(const std::string& path) {
+Result<std::vector<DdlJournalEntry>> DdlJournal::Open(const std::string& path) {
   if (fd_ >= 0) return Status::FailedPrecondition("DDL journal already open");
   bool existed = storage::fsio::FileExists(path);
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
@@ -41,20 +50,41 @@ Result<std::vector<std::string>> DdlJournal::Open(const std::string& path) {
     }
     storage::fsio::CountFsync();
   }
-  std::vector<std::string> statements;
-  statements.reserve(parsed.blobs.size());
+  std::vector<DdlJournalEntry> entries;
+  entries.reserve(parsed.blobs.size());
   for (const Bytes& blob : parsed.blobs) {
-    statements.emplace_back(reinterpret_cast<const char*>(blob.data()),
-                            blob.size());
+    if (blob.empty()) return Status::Corruption("empty DDL journal frame");
+    switch (blob[0]) {
+      case kKindStatement: {
+        DdlJournalEntry entry;
+        size_t off = 1;
+        AEDB_ASSIGN_OR_RETURN(entry.next_table_id, GetU32(blob, &off));
+        AEDB_ASSIGN_OR_RETURN(entry.next_index_id, GetU32(blob, &off));
+        AEDB_ASSIGN_OR_RETURN(entry.next_cek_id, GetU32(blob, &off));
+        entry.sql.assign(reinterpret_cast<const char*>(blob.data()) + off,
+                         blob.size() - off);
+        entries.push_back(std::move(entry));
+        break;
+      }
+      case kKindCommit:
+        // DDL is serialized, so a marker always binds to the statement
+        // appended immediately before it.
+        if (entries.empty() || entries.back().committed) {
+          return Status::Corruption("DDL commit marker without statement");
+        }
+        entries.back().committed = true;
+        break;
+      default:
+        return Status::Corruption("unknown DDL journal frame kind");
+    }
   }
-  return statements;
+  return entries;
 }
 
-Status DdlJournal::Append(const std::string& sql) {
+Status DdlJournal::AppendFrame(Slice body) {
   if (fd_ < 0) return Status::FailedPrecondition("DDL journal not open");
   Bytes frame;
-  storage::AppendFramedBlob(
-      &frame, Slice(reinterpret_cast<const uint8_t*>(sql.data()), sql.size()));
+  storage::AppendFramedBlob(&frame, body);
   size_t off = 0;
   while (off < frame.size()) {
     ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
@@ -69,6 +99,22 @@ Status DdlJournal::Append(const std::string& sql) {
   }
   storage::fsio::CountFsync();
   return Status::OK();
+}
+
+Status DdlJournal::AppendStatement(const DdlJournalEntry& entry) {
+  Bytes body;
+  body.push_back(kKindStatement);
+  PutU32(&body, entry.next_table_id);
+  PutU32(&body, entry.next_index_id);
+  PutU32(&body, entry.next_cek_id);
+  body.insert(body.end(), entry.sql.begin(), entry.sql.end());
+  return AppendFrame(body);
+}
+
+Status DdlJournal::AppendCommit() {
+  Bytes body;
+  body.push_back(kKindCommit);
+  return AppendFrame(body);
 }
 
 }  // namespace aedb::server

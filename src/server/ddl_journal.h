@@ -4,23 +4,48 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 
 namespace aedb::server {
 
-/// \brief Durable journal of executed DDL statements.
+/// One replayable journal entry: the statement text, the catalog id counters
+/// as they stood just before the statement ran, and whether a commit marker
+/// followed (the statement was executed AND acknowledged).
+struct DdlJournalEntry {
+  std::string sql;
+  uint32_t next_table_id = 0;
+  uint32_t next_index_id = 0;
+  uint32_t next_cek_id = 0;
+  bool committed = false;
+};
+
+/// \brief Durable journal of DDL statements, write-ahead of execution.
 ///
 /// The WAL logs data mutations against catalog ids, but the catalog itself
 /// (tables, indexes, CMK/CEK metadata) lives only in memory. This journal
-/// makes it durable the simplest way that is replay-exact: append each DDL
-/// statement's text after it succeeds, fsync, and re-execute the sequence in
-/// metadata-only mode at startup. Catalog ids are assigned sequentially, so
-/// replaying the same statement sequence reproduces the same ids — which is
-/// what lets the replayed WAL's object_id references resolve.
+/// makes it durable with a two-record protocol per statement:
 ///
-/// On-disk form: the WAL's [len][checksum][body] framing, one statement per
-/// frame, so a torn tail from a crash mid-append is detected and dropped with
-/// the same discipline as the log itself.
+///   1. AppendStatement(entry)  — BEFORE execution: statement text plus a
+///      snapshot of the catalog id counters. Fsynced. From this point the
+///      attempt is visible to recovery, so any WAL records the execution
+///      produces (an index build, concurrent DML against a new table) can
+///      never reference an object recovery has no journal evidence of.
+///   2. AppendCommit()          — after execution succeeds. Fsynced. This is
+///      the DDL durability point; only now is the client acknowledged.
+///
+/// Replay forces the id counters from each entry's snapshot before executing
+/// it, so the replayed catalog assigns exactly the runtime ids — even across
+/// statements that failed at runtime or crashed mid-window after consuming
+/// an id. Committed entries must replay cleanly; an entry with no commit
+/// marker was never acknowledged and is replayed leniently (see
+/// Database::ReplayUncommittedDdl).
+///
+/// On-disk form: the WAL's [len][checksum][body] framing, one entry or
+/// marker per frame, so a torn tail from a crash mid-append is detected and
+/// dropped with the same discipline as the log itself. Frame bodies start
+/// with a kind byte (statement vs commit marker); statements are serialized
+/// as [kind u8][3 x u32 counters][sql bytes].
 class DdlJournal {
  public:
   DdlJournal() = default;
@@ -30,17 +55,25 @@ class DdlJournal {
   DdlJournal& operator=(const DdlJournal&) = delete;
 
   /// Opens (creating if needed) the journal at `path`, physically truncates
-  /// any torn tail, and returns the statements to replay, in append order.
-  Result<std::vector<std::string>> Open(const std::string& path);
+  /// any torn tail, and returns the entries to replay, in append order, with
+  /// commit markers folded into their preceding statement's `committed`.
+  Result<std::vector<DdlJournalEntry>> Open(const std::string& path);
 
-  /// Appends one statement and fsyncs. The statement is durable when this
-  /// returns OK — a crash after that replays it, a crash before does not.
-  Status Append(const std::string& sql);
+  /// Appends a statement entry (counters snapshot + text) and fsyncs. Call
+  /// before executing the statement; `entry.committed` is ignored.
+  Status AppendStatement(const DdlJournalEntry& entry);
+
+  /// Appends a commit marker for the immediately preceding statement entry
+  /// and fsyncs. The caller serializes DDL, so the binding is unambiguous.
+  Status AppendCommit();
 
   bool is_open() const { return fd_ >= 0; }
   uint64_t torn_bytes_dropped() const { return torn_dropped_; }
 
  private:
+  /// Frames `body` and appends it durably (write + fsync).
+  Status AppendFrame(Slice body);
+
   int fd_ = -1;
   std::string path_;
   uint64_t torn_dropped_ = 0;

@@ -118,6 +118,14 @@ const IndexDef* Catalog::FindIndexOn(uint32_t table_id, int column,
   return nullptr;
 }
 
+void Catalog::ForceNextIds(uint32_t table_id, uint32_t index_id,
+                           uint32_t cek_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_table_id_ = table_id;
+  next_index_id_ = index_id;
+  next_cek_id_ = cek_id;
+}
+
 Status Catalog::AddCmk(keys::CmkInfo cmk) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string key = Lower(cmk.name);

@@ -82,6 +82,14 @@ class Catalog {
 
   uint32_t next_table_id() const { return next_table_id_; }
   uint32_t next_index_id() const { return next_index_id_; }
+  uint32_t next_cek_id() const { return next_cek_id_; }
+
+  /// Forces the id counters to exact values. DDL-journal replay uses this:
+  /// each journal entry snapshots the counters as they stood before its
+  /// statement ran, so replay reproduces the runtime id assignment even when
+  /// an intervening statement failed or was lost mid-crash after consuming
+  /// an id (the WAL's object_ids reference the runtime ids).
+  void ForceNextIds(uint32_t table_id, uint32_t index_id, uint32_t cek_id);
 
  private:
   mutable std::mutex mu_;

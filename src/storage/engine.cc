@@ -153,17 +153,20 @@ Status StorageEngine::Commit(uint64_t txn_id) {
     ++finalizing_;
   }
   Finalizer finalizer{this};
-  // WAL rule: the data records must be durable before the commit record. A
-  // failure at either step means the commit never happened — undo the
-  // in-memory effects so runtime state matches what recovery would rebuild
-  // (no commit record in the log => loser).
-  Status durable = wal_.Sync();
-  if (durable.ok()) {
-    LogRecord rec;
-    rec.txn_id = txn_id;
-    rec.type = LogRecordType::kCommit;
-    durable = wal_.Append(rec).status();
-  }
+  // WAL rule: append the commit record, THEN fsync — the one Sync makes the
+  // data records and the commit record durable together, so an acked commit
+  // survives power loss, not just process death (a record sitting in the OS
+  // page cache outlives kill -9 but not the machine). A failure at either
+  // step means the commit never happened — undo the in-memory effects so
+  // runtime state matches what recovery would rebuild. If the append landed
+  // but the fsync failed, the log holds kCommit followed by the abort's
+  // compensation records and kAbort: redo replays the txn to net zero, so
+  // recovery agrees with the TransactionAborted ack either way.
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kCommit;
+  Status durable = wal_.Append(rec).status();
+  if (durable.ok()) durable = wal_.Sync();
   if (!durable.ok()) {
     {
       std::lock_guard<std::mutex> lock(meta_mu_);
@@ -514,6 +517,7 @@ Result<RecoveryResult> StorageEngine::Recover() {
             log.end());
   RecoveryResult result;
   result.from_checkpoint_lsn = horizon;
+  result.log_tail_records = log.size();
 
   std::set<uint64_t> committed;
   std::set<uint64_t> aborted;
@@ -575,8 +579,15 @@ Result<RecoveryResult> StorageEngine::Recover() {
     AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("recovery/replay"));
     switch (rec.type) {
       case LogRecordType::kHeapInsert: {
-        TableState* t;
-        AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
+        // An unknown table is an orphan (DDL that never reached its journal
+        // commit marker), not corruption: skip its records like index redo
+        // skips dropped indexes, instead of failing Open() forever.
+        auto found = FindTable(rec.object_id);
+        if (!found.ok()) {
+          ++result.orphaned_records_skipped;
+          break;
+        }
+        TableState* t = *found;
         Rid rid;
         AEDB_ASSIGN_OR_RETURN(rid, t->heap->Insert(rec.payload1));
         if (!(rid == rec.rid)) {
@@ -586,18 +597,24 @@ Result<RecoveryResult> StorageEngine::Recover() {
         break;
       }
       case LogRecordType::kHeapDelete: {
-        TableState* t;
-        AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
-        AEDB_RETURN_IF_ERROR(t->heap->Delete(rec.rid));
+        auto found = FindTable(rec.object_id);
+        if (!found.ok()) {
+          ++result.orphaned_records_skipped;
+          break;
+        }
+        AEDB_RETURN_IF_ERROR((*found)->heap->Delete(rec.rid));
         ++result.redone;
         break;
       }
       case LogRecordType::kHeapResurrect: {
         // A logged compensation: some abort brought this slot back to life
         // at exactly this point of history.
-        TableState* t;
-        AEDB_ASSIGN_OR_RETURN(t, FindTable(rec.object_id));
-        AEDB_RETURN_IF_ERROR(t->heap->Resurrect(rec.rid));
+        auto found = FindTable(rec.object_id);
+        if (!found.ok()) {
+          ++result.orphaned_records_skipped;
+          break;
+        }
+        AEDB_RETURN_IF_ERROR((*found)->heap->Resurrect(rec.rid));
         ++result.redone;
         break;
       }

@@ -35,6 +35,15 @@ struct RecoveryResult {
   /// LSN horizon of the checkpoint recovery started from (0 = no checkpoint:
   /// the whole log replayed).
   uint64_t from_checkpoint_lsn = 0;
+  /// Records past the checkpoint horizon — what redo actually walked. The
+  /// reopened log can be longer when a crash landed between checkpoint
+  /// publish and log truncation; those pre-horizon records are filtered, not
+  /// replayed, and do not count here.
+  size_t log_tail_records = 0;
+  /// Heap records whose table no longer exists (e.g. left behind by DDL that
+  /// never reached its journal commit marker). Skipped, not replayed — an
+  /// object that was never acknowledged cannot be required for recovery.
+  size_t orphaned_records_skipped = 0;
 };
 
 /// \brief Transactional storage: WAL-logged heap tables and B+-tree indexes,

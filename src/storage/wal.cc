@@ -94,7 +94,8 @@ Wal::~Wal() {
 
 bool Wal::file_backed() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return fd_ >= 0;
+  // A poisoned log is still file-backed — it just cannot write right now.
+  return fd_ >= 0 || poisoned_;
 }
 
 Status Wal::WriteToFileLocked(const uint8_t* data, size_t n) {
@@ -170,6 +171,9 @@ Result<WalLoadResult> Wal::AttachFile(const std::string& path) {
 Result<uint64_t> Wal::Append(LogRecord record) {
   AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/append"));
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::Internal("wal unwritable: append fd lost at " + path_);
+  }
   record.lsn = next_lsn_++;
   uint64_t lsn = record.lsn;
 
@@ -183,7 +187,10 @@ Result<uint64_t> Wal::Append(LogRecord record) {
     size_t keep = torn.arg != 0 && torn.arg < frame.size() ? torn.arg
                                                            : frame.size() / 2;
     image_.insert(image_.end(), frame.begin(), frame.begin() + keep);
-    if (fd_ >= 0) (void)WriteToFileLocked(frame.data(), keep);
+    // The append already "fails" (that is the fault); a file-write error on
+    // top only changes how much of the torn tail reaches disk, but record it
+    // so disk/mirror divergence stays observable.
+    if (fd_ >= 0 && !WriteToFileLocked(frame.data(), keep).ok()) ++file_errors_;
     return torn.status.ok() ? Status::Internal("torn log write") : torn.status;
   }
 
@@ -198,6 +205,9 @@ Result<uint64_t> Wal::Append(LogRecord record) {
 Status Wal::Sync() {
   AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/sync"));
   std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::Internal("wal unwritable: append fd lost at " + path_);
+  }
   if (fd_ < 0) return Status::OK();
   if (::fsync(fd_) != 0) {
     return Status::Internal(std::string("wal fsync: ") + std::strerror(errno));
@@ -264,7 +274,9 @@ WalLoadResult Wal::LoadImage(Slice image) {
     torn_dropped_ += image.size() - parsed.bytes_consumed;
   }
   image_.assign(image.data(), image.data() + parsed.bytes_consumed);
-  if (fd_ >= 0) (void)RewriteFileLocked();
+  // A failed rewrite is recorded in file_errors_ (and may poison the log);
+  // this API has no status channel, so the gauge is the observable.
+  if (fd_ >= 0 || poisoned_) (void)RewriteFileLocked();
   return parsed;
 }
 
@@ -274,7 +286,7 @@ Status Wal::TruncateBefore(uint64_t lsn) {
                  std::find_if(records_.begin(), records_.end(),
                               [lsn](const LogRecord& r) { return r.lsn >= lsn; }));
   RebuildImageLocked();
-  if (fd_ >= 0) return RewriteFileLocked();
+  if (fd_ >= 0 || poisoned_) return RewriteFileLocked();
   return Status::OK();
 }
 
@@ -283,7 +295,8 @@ void Wal::Replace(std::vector<LogRecord> records) {
   records_ = std::move(records);
   next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
   RebuildImageLocked();
-  if (fd_ >= 0) (void)RewriteFileLocked();
+  // Failure is recorded in file_errors_ / poisoned_ (no status channel here).
+  if (fd_ >= 0 || poisoned_) (void)RewriteFileLocked();
 }
 
 void Wal::RebuildImageLocked() {
@@ -292,14 +305,28 @@ void Wal::RebuildImageLocked() {
 }
 
 Status Wal::RewriteFileLocked() {
-  AEDB_RETURN_IF_ERROR(fsio::WriteFileDurable(path_, image_));
+  Status written = fsio::WriteFileDurable(path_, image_);
+  if (!written.ok()) {
+    // The rename never happened: the old inode (a superset of image_) is
+    // still the live log and the append fd still points at it, so durability
+    // is intact — just diverged from the trimmed mirror. Count and report.
+    ++file_errors_;
+    return written;
+  }
   // The rename published a new inode; the old append fd still points at the
   // replaced file. Reopen so future appends land in the live log.
-  ::close(fd_);
+  if (fd_ >= 0) ::close(fd_);
   fd_ = ::open(path_.c_str(), O_RDWR | O_APPEND);
   if (fd_ < 0) {
+    // No writable fd at all now. fd_ == -1 normally means in-memory mode, so
+    // without the poisoned flag every later Append/Sync would silently
+    // "succeed" with zero durability. Poison instead: writes fail loudly
+    // until a later rewrite (e.g. the next checkpoint truncation) heals it.
+    poisoned_ = true;
+    ++file_errors_;
     return Status::Internal("reopen " + path_ + ": " + std::strerror(errno));
   }
+  poisoned_ = false;
   return Status::OK();
 }
 
@@ -321,6 +348,16 @@ uint64_t Wal::torn_bytes_dropped() const {
 uint64_t Wal::wal_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return image_.size();
+}
+
+uint64_t Wal::file_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_errors_;
+}
+
+bool Wal::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
 }
 
 }  // namespace aedb::storage

@@ -167,6 +167,14 @@ class Wal {
   uint64_t torn_bytes_dropped() const;
   /// Current size of the durable image in bytes.
   uint64_t wal_bytes() const;
+  /// File-write failures that left the on-disk log diverged from the
+  /// in-memory mirror (failed truncation rewrites, failed torn-append
+  /// writes, failed reopens). Nonzero means disk state lags `image_`.
+  uint64_t file_errors() const;
+  /// True after a rewrite lost the append fd entirely: Append/Sync refuse
+  /// with an error (never silently degrade to in-memory mode) until a later
+  /// rewrite — e.g. the next checkpoint truncation — succeeds.
+  bool poisoned() const;
 
  private:
   /// Rebuilds image_ from records_. Caller holds mu_.
@@ -182,10 +190,15 @@ class Wal {
   Bytes image_;  // framed durable form of records_ (plus any torn tail)
   uint64_t next_lsn_ = 1;
 
-  int fd_ = -1;  // -1: in-memory mode
+  int fd_ = -1;  // -1: in-memory mode (unless poisoned_)
+  /// File-backed but the append fd was lost (reopen after an atomic rewrite
+  /// failed). Distinguished from fd_ == -1 in-memory mode so a transient
+  /// open failure cannot silently turn a durable log into a volatile one.
+  bool poisoned_ = false;
   std::string path_;
   uint64_t fsyncs_ = 0;
   uint64_t torn_dropped_ = 0;
+  uint64_t file_errors_ = 0;
 };
 
 }  // namespace aedb::storage

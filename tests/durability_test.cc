@@ -198,6 +198,40 @@ TEST_F(DurabilityTest, FileWalSyncFaultSkipsFsync) {
   EXPECT_EQ(wal.fsyncs(), before + 1);
 }
 
+TEST_F(DurabilityTest, FailedTruncationRewriteIsObservableAndNonFatal) {
+  TempDir dir;
+  const std::string path = dir.File("wal.log");
+  Wal wal;
+  ASSERT_TRUE(wal.AttachFile(path).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, LogRecordType::kBegin, "")).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, LogRecordType::kHeapInsert, "a")).ok());
+  ASSERT_TRUE(wal.Append(MakeRecord(1, LogRecordType::kCommit, "")).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  const uint64_t cut = wal.next_lsn();
+
+  // The truncation's atomic rewrite dies before its rename. The old inode —
+  // a superset of the trimmed log — is still live under the old append fd,
+  // so durability is intact; the disk/mirror divergence must be gauged.
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("fsio/pre_rename", spec);
+  EXPECT_FALSE(wal.TruncateBefore(cut).ok());
+  EXPECT_EQ(wal.file_errors(), 1u);
+  EXPECT_FALSE(wal.poisoned());
+  EXPECT_TRUE(wal.file_backed());
+
+  // The log keeps working: appends and fsyncs still reach the file, and a
+  // reopen sees the never-truncated prefix plus the new tail.
+  ASSERT_TRUE(wal.Append(MakeRecord(2, LogRecordType::kBegin, "")).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  Wal reopened;
+  auto loaded = reopened.AttachFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->torn_tail);
+  ASSERT_EQ(loaded->records.size(), 4u);
+  EXPECT_EQ(loaded->records.back().type, LogRecordType::kBegin);
+}
+
 // ===========================================================================
 // Checkpoint image serialization
 // ===========================================================================
@@ -273,6 +307,41 @@ Status CommitRow(StorageEngine* engine, const std::string& row,
   AEDB_ASSIGN_OR_RETURN(rid, engine->HeapInsert(txn, kTable, B(row)));
   AEDB_RETURN_IF_ERROR(engine->IndexInsert(txn, kIndex, B(key), rid));
   return engine->Commit(txn);
+}
+
+TEST_F(DurabilityTest, CommitRecordIsAppendedBeforeTheDurabilitySync) {
+  auto engine = MakeCatalogedEngine();
+  uint64_t txn = engine->Begin();
+  ASSERT_TRUE(engine->HeapInsert(txn, kTable, B("row")).ok());
+  // Fail the commit-point fsync. The commit record must ALREADY be in the
+  // log when the sync runs — syncing first and appending after would ack
+  // commits whose record was never fsynced — so the failed commit leaves
+  // [ops.., kCommit, CLRs.., kAbort] behind.
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("wal/sync", spec);
+  Status st = engine->Commit(txn);
+  EXPECT_TRUE(st.IsTransactionAborted()) << st.ToString();
+  int commit_at = -1;
+  int abort_at = -1;
+  std::vector<LogRecord> log = engine->wal().Snapshot();
+  for (size_t i = 0; i < log.size(); ++i) {
+    if (log[i].txn_id != txn) continue;
+    if (log[i].type == LogRecordType::kCommit) commit_at = static_cast<int>(i);
+    if (log[i].type == LogRecordType::kAbort) abort_at = static_cast<int>(i);
+  }
+  ASSERT_GE(commit_at, 0) << "kCommit was not appended before the sync";
+  ASSERT_GE(abort_at, 0);
+  EXPECT_LT(commit_at, abort_at);
+  // Redo of that suffix nets the txn to zero: recovery agrees with the
+  // TransactionAborted ack even though a kCommit record exists.
+  ASSERT_TRUE(engine->Recover().ok());
+  size_t live = 0;
+  engine->table(kTable)->Scan([&](const Rid&, Slice) {
+    ++live;
+    return true;
+  });
+  EXPECT_EQ(live, 0u);
 }
 
 TEST_F(DurabilityTest, RecoveryFromCheckpointPlusWalTail) {
@@ -626,6 +695,75 @@ TEST_F(DurableDatabaseTest, CrashDuringCheckpointPublishRecovers) {
   Boot(dir.path());
   EXPECT_EQ(db_->recovery_info().from_checkpoint_lsn, 0u);
   ExpectAccountsIntact();
+}
+
+TEST_F(DurableDatabaseTest, LostCreateIndexCannotLeakIntoALaterIndex) {
+  TempDir dir;
+  Boot(dir.path());
+  ProvisionAndCreateSchema();
+  LoadAccounts();
+  // The CREATE INDEX executes fully — its build commits WAL records under a
+  // fresh index id — but the journal commit marker is never written: the
+  // crash window the journal's write-ahead protocol exists for.
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("ddl/pre_commit_marker", spec);
+  EXPECT_FALSE(
+      driver_->ExecuteDdl("CREATE INDEX idx_branch ON Account (Branch)").ok());
+  auto burned = db_->catalog().GetIndex("idx_branch");
+  ASSERT_TRUE(burned.ok());  // executed live, just never acked
+  const uint32_t burned_id = (*burned)->id;
+  driver_.reset();
+  db_.reset();
+
+  Boot(dir.path());
+  // The unacknowledged index is gone (losing an unacked DDL is legal)...
+  EXPECT_FALSE(db_->catalog().GetIndex("idx_branch").ok());
+  // ...but its id stays consumed: a later index must not collide with the
+  // stale build records still sitting in the WAL.
+  EXPECT_GT(db_->catalog().next_index_id(), burned_id);
+  Status st = driver_->ExecuteDdl("CREATE INDEX idx_b2 ON Account (Branch)");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto fresh = db_->catalog().GetIndex("idx_b2");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT((*fresh)->id, burned_id);
+
+  // A second dirty restart replays the stale id-N records; they must land
+  // nowhere, and the new index must keep answering correctly.
+  driver_.reset();
+  db_.reset();
+  Boot(dir.path());
+  ExpectAccountsIntact();
+}
+
+TEST_F(DurableDatabaseTest, CommittedDmlAgainstUnmarkedCreateTableRecovers) {
+  TempDir dir;
+  Boot(dir.path());
+  // CREATE TABLE executes but its journal commit marker is lost; committed
+  // DML then lands in the WAL referencing the new table id.
+  fault::FaultSpec spec;
+  spec.trigger = fault::FaultSpec::Trigger::kOneShot;
+  fault::FaultRegistry::Global().Arm("ddl/pre_commit_marker", spec);
+  EXPECT_FALSE(driver_
+                   ->ExecuteDdl("CREATE TABLE Audit ("
+                                "  Id INT NOT NULL,"
+                                "  Note VARCHAR(40))")
+                   .ok());
+  auto ins = driver_->Query(
+      "INSERT INTO Audit (Id, Note) VALUES (@i, @n)",
+      {{"i", Value::Int32(1)}, {"n", Value::String("kept")}});
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  driver_.reset();
+  db_.reset();
+
+  // Recovery must neither fail Open() on the "unknown" table nor lose the
+  // committed row: the write-ahead statement entry re-creates the table.
+  Boot(dir.path());
+  auto rows = driver_->Query("SELECT Note FROM Audit WHERE Id = @i",
+                             {{"i", Value::Int32(1)}});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].str(), "kept");
 }
 
 TEST_F(DurableDatabaseTest, CrashBetweenPublishAndTruncateRecovers) {
