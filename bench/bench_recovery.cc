@@ -1,7 +1,11 @@
-// Durability ablation (ISSUE 7 satellite): recovery time as a function of
-// WAL length, with and without a checkpoint — the motivation for threshold
-// checkpointing — plus the commit-durability cost (fsyncs per committed
-// transaction). Emits BENCH_recovery.json.
+// Durability ablation: recovery time as a function of WAL length, with and
+// without a checkpoint — the motivation for threshold checkpointing — plus
+// the commit-durability cost (fsyncs per committed transaction). Emits
+// BENCH_recovery.json.
+//
+// Second sweep: group commit × buffer-pool size under concurrent TPC-C
+// (8 terminals, durable WAL). Measures commits per fsync and throughput
+// against the per-commit-fsync baseline. Emits BENCH_commit.json.
 //
 // Method: boot a durable Database over a scratch data dir, run N single-row
 // encrypted-INSERT transactions, tear the process stand-in down WITHOUT
@@ -9,6 +13,7 @@
 // checkpointed variant takes one checkpoint at ~90% of the load so recovery
 // is checkpoint-load + small tail instead of full replay.
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -17,12 +22,14 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/driver.h"
 #include "crypto/drbg.h"
 #include "server/database.h"
 #include "storage/fsio.h"
+#include "tpcc/tpcc.h"
 
 namespace aedb::bench {
 namespace {
@@ -38,6 +45,7 @@ struct Deployment {
   std::unique_ptr<server::Database> db;
   std::unique_ptr<client::Driver> driver;
   std::string data_dir;
+  storage::EngineOptions engine_opts;  // pool size / flusher / group commit
 
   /// (Re)creates the server-side stack over data_dir and opens it; the vault
   /// and attestation identities persist across "restarts" like real client
@@ -50,6 +58,7 @@ struct Deployment {
     hgs = std::make_unique<attestation::HostGuardianService>(Slice(seed));
     server::ServerOptions opts;
     opts.data_dir = data_dir;
+    opts.engine = engine_opts;
     db = std::make_unique<server::Database>(opts, hgs.get(), &image);
     hgs->RegisterTcgLog(db->platform()->tcg_log());
     auto start = std::chrono::steady_clock::now();
@@ -67,7 +76,31 @@ struct Deployment {
                                               hgs->signing_public(), dopts);
     return ms;
   }
+
+  /// An extra session over the same open database (TPC-C terminals).
+  std::unique_ptr<client::Driver> MakeDriver() {
+    client::DriverOptions dopts;
+    dopts.enclave_policy.trusted_author_id = image.AuthorId();
+    return std::make_unique<client::Driver>(db.get(), &registry,
+                                            hgs->signing_public(), dopts);
+  }
 };
+
+/// Removes the FilePageStore spill directory (`<dir>/pages/obj-*.pages`) so
+/// the scratch data dir can be rmdir'd.
+void RemovePagesDir(const std::string& data_dir) {
+  std::string pages = data_dir + "/pages";
+  DIR* d = opendir(pages.c_str());
+  if (d != nullptr) {
+    while (struct dirent* e = readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      (void)unlink((pages + "/" + name).c_str());
+    }
+    closedir(d);
+  }
+  (void)rmdir(pages.c_str());
+}
 
 std::unique_ptr<Deployment> MakeDeployment(const std::string& data_dir) {
   auto d = std::make_unique<Deployment>();
@@ -177,6 +210,139 @@ Point RunOne(int rows, bool checkpointed) {
        {"/wal.log", "/ddl.log", "/checkpoint.db", "/clean_shutdown"}) {
     (void)unlink((d->data_dir + f).c_str());
   }
+  RemovePagesDir(d->data_dir);
+  (void)rmdir(d->data_dir.c_str());
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Group commit × pool size under concurrent TPC-C
+
+struct CommitPoint {
+  uint64_t window_us;
+  uint64_t pool_pages;  // 0 = unbounded
+  uint64_t committed;
+  double seconds;
+  double txn_per_second;
+  double commits_per_fsync;
+  uint64_t pool_evictions;
+};
+
+CommitPoint RunCommitPoint(uint64_t window_us, uint64_t pool_pages,
+                           int threads, uint64_t target) {
+  char templ[] = "/tmp/aedb_bench_commit_XXXXXX";
+  char* dir = mkdtemp(templ);
+  if (dir == nullptr) std::exit(1);
+  auto d = MakeDeployment(dir);
+  d->engine_opts.group_commit_window_us = window_us;
+  d->engine_opts.pool_pages = pool_pages;
+  (void)d->Boot();
+
+  // Small scale: the sweep axis is the commit/pool configuration, not TPC-C
+  // contention, and the loader dominates wall time at bigger sizes.
+  tpcc::TpccConfig config;
+  config.warehouses = 2;
+  config.districts_per_warehouse = 4;
+  config.customers_per_district = 20;
+  config.initial_orders_per_district = 5;
+  config.encryption = tpcc::Encryption::kPlaintext;
+  {
+    auto loader_driver = d->MakeDriver();
+    tpcc::TpccLoader loader(loader_driver.get(), config);
+    MustOk(loader.CreateSchema(), "tpcc CreateSchema");
+    MustOk(loader.Load(), "tpcc Load");
+  }
+
+  server::DatabaseStats before = d->db->Stats();
+  tpcc::BenchcraftResult run = tpcc::RunBenchcraftCount(
+      [&] { return d->MakeDriver(); }, config, threads, target,
+      /*deadline_seconds=*/120);
+  if (!run.first_error.empty()) {
+    std::fprintf(stderr, "tpcc: %s\n", run.first_error.c_str());
+    std::exit(1);
+  }
+  server::DatabaseStats after = d->db->Stats();
+
+  CommitPoint p;
+  p.window_us = window_us;
+  p.pool_pages = pool_pages;
+  p.committed = run.committed;
+  p.seconds = run.seconds;
+  p.txn_per_second = run.txn_per_second;
+  uint64_t requests = after.commit_sync_requests - before.commit_sync_requests;
+  uint64_t batches = after.group_commit_batches - before.group_commit_batches;
+  p.commits_per_fsync =
+      batches == 0 ? 0.0
+                   : static_cast<double>(requests) / static_cast<double>(batches);
+  p.pool_evictions = after.pool_evictions - before.pool_evictions;
+
+  d->driver.reset();
+  d->db.reset();
+  for (const char* f :
+       {"/wal.log", "/ddl.log", "/checkpoint.db", "/clean_shutdown"}) {
+    (void)unlink((d->data_dir + f).c_str());
+  }
+  RemovePagesDir(d->data_dir);
+  (void)rmdir(d->data_dir.c_str());
+  return p;
+}
+
+/// Commit-bound amortization probe: `threads` sessions race single-row
+/// encrypted INSERT transactions (the lightest possible commit). TPC-C
+/// transactions are execution-heavy, so their commits arrive too far apart
+/// for any window to overlap; this is the workload where group commit's
+/// one-fsync-per-cohort discipline actually shows its multiplier.
+CommitPoint RunLedgerPoint(uint64_t window_us, int threads, int per_thread) {
+  char templ[] = "/tmp/aedb_bench_commit_XXXXXX";
+  char* dir = mkdtemp(templ);
+  if (dir == nullptr) std::exit(1);
+  auto d = MakeDeployment(dir);
+  d->engine_opts.group_commit_window_us = window_us;
+  (void)d->Boot();
+  Provision(d->driver.get());
+
+  server::DatabaseStats before = d->db->Stats();
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto driver = d->MakeDriver();
+      for (int i = 0; i < per_thread; ++i) {
+        int id = t * per_thread + i;
+        auto r = driver->Query(
+            "INSERT INTO Ledger (ID, Payload) VALUES (@id, @p)",
+            {{"id", Value::Int32(id)},
+             {"p", Value::String("gc-" + std::to_string(id))}});
+        MustOk(r.status(), "ledger INSERT");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  server::DatabaseStats after = d->db->Stats();
+
+  CommitPoint p;
+  p.window_us = window_us;
+  p.pool_pages = 0;
+  p.committed = static_cast<uint64_t>(threads) * per_thread;
+  p.seconds = seconds;
+  p.txn_per_second = seconds > 0 ? p.committed / seconds : 0;
+  uint64_t requests = after.commit_sync_requests - before.commit_sync_requests;
+  uint64_t batches = after.group_commit_batches - before.group_commit_batches;
+  p.commits_per_fsync =
+      batches == 0 ? 0.0
+                   : static_cast<double>(requests) / static_cast<double>(batches);
+  p.pool_evictions = 0;
+
+  d->driver.reset();
+  d->db.reset();
+  for (const char* f :
+       {"/wal.log", "/ddl.log", "/checkpoint.db", "/clean_shutdown"}) {
+    (void)unlink((d->data_dir + f).c_str());
+  }
+  RemovePagesDir(d->data_dir);
   (void)rmdir(d->data_dir.c_str());
   return p;
 }
@@ -239,6 +405,83 @@ int Main() {
   if (with_ckpt >= plain) {
     std::printf("note: checkpointed recovery (%.1fms) was not faster than "
                 "full replay (%.1fms) at this scale\n", with_ckpt, plain);
+  }
+
+  std::printf("\nGroup commit x pool size under TPC-C (8 terminals, durable "
+              "WAL, fsync per cohort)\n\n");
+  std::printf("%10s %10s %9s %8s %8s %14s %10s\n", "window_us", "pool_pages",
+              "committed", "seconds", "txn/s", "commits/fsync", "evictions");
+
+  std::vector<CommitPoint> cpoints;
+  const int kThreads = 8;
+  const uint64_t kTarget = 400;
+  for (uint64_t pool : {uint64_t{0}, uint64_t{64}}) {
+    for (uint64_t window : {uint64_t{0}, uint64_t{200}}) {
+      CommitPoint p = RunCommitPoint(window, pool, kThreads, kTarget);
+      cpoints.push_back(p);
+      std::printf("%10llu %10llu %9llu %8.2f %8.1f %14.2f %10llu\n",
+                  static_cast<unsigned long long>(p.window_us),
+                  static_cast<unsigned long long>(p.pool_pages),
+                  static_cast<unsigned long long>(p.committed), p.seconds,
+                  p.txn_per_second, p.commits_per_fsync,
+                  static_cast<unsigned long long>(p.pool_evictions));
+    }
+  }
+
+  std::printf("\nCommit-bound amortization (8 sessions, single-row encrypted "
+              "INSERT transactions)\n\n");
+  std::printf("%10s %9s %8s %8s %14s\n", "window_us", "committed", "seconds",
+              "txn/s", "commits/fsync");
+  std::vector<CommitPoint> lpoints;
+  for (uint64_t window : {uint64_t{0}, uint64_t{200}}) {
+    CommitPoint p = RunLedgerPoint(window, kThreads, /*per_thread=*/100);
+    lpoints.push_back(p);
+    std::printf("%10llu %9llu %8.2f %8.1f %14.2f\n",
+                static_cast<unsigned long long>(p.window_us),
+                static_cast<unsigned long long>(p.committed), p.seconds,
+                p.txn_per_second, p.commits_per_fsync);
+  }
+
+  f = std::fopen("BENCH_commit.json", "w");
+  if (f != nullptr) {
+    auto emit = [&](const std::vector<CommitPoint>& pts, bool with_pool) {
+      for (size_t i = 0; i < pts.size(); ++i) {
+        const CommitPoint& p = pts[i];
+        std::fprintf(f, "    {\"group_commit_window_us\": %llu, ",
+                     static_cast<unsigned long long>(p.window_us));
+        if (with_pool) {
+          std::fprintf(f, "\"pool_pages\": %llu, ",
+                       static_cast<unsigned long long>(p.pool_pages));
+        }
+        std::fprintf(
+            f,
+            "\"committed\": %llu, \"seconds\": %.3f, "
+            "\"txn_per_second\": %.1f, \"commits_per_fsync\": %.3f",
+            static_cast<unsigned long long>(p.committed), p.seconds,
+            p.txn_per_second, p.commits_per_fsync);
+        if (with_pool) {
+          std::fprintf(f, ", \"pool_evictions\": %llu",
+                       static_cast<unsigned long long>(p.pool_evictions));
+        }
+        std::fprintf(f, "}%s\n", i + 1 < pts.size() ? "," : "");
+      }
+    };
+    std::fprintf(f, "{\n  \"threads\": %d,\n  \"tpcc_sweep\": [\n", kThreads);
+    emit(cpoints, /*with_pool=*/true);
+    std::fprintf(f, "  ],\n  \"commit_bound_sweep\": [\n");
+    emit(lpoints, /*with_pool=*/false);
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_commit.json\n");
+  }
+
+  // The point of group commit: with 8 commit-bound sessions a 200us window
+  // must amortize several commits onto each fsync (acceptance floor: 4x).
+  for (const CommitPoint& p : lpoints) {
+    if (p.window_us > 0 && p.commits_per_fsync < 4.0) {
+      std::printf("note: commits/fsync %.2f below the 4x group-commit "
+                  "target\n", p.commits_per_fsync);
+    }
   }
   return 0;
 }

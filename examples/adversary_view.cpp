@@ -121,8 +121,10 @@ int main() {
               "plaintext ORDER:\n");
   int pos = 0;
   for (auto it = db.engine().index_tree(idx->id)->Begin(); it.Valid(); it.Next()) {
+    auto key = it.key();
+    if (!key.ok()) continue;
     std::printf("          #%d: %s...\n", ++pos,
-                HexEncode(it.key()).substr(0, 16).c_str());
+                HexEncode(Slice(key->data(), key->size())).substr(0, 16).c_str());
   }
   std::printf("          (ordering leak authorized by creating the index; "
               "values stay hidden)\n");

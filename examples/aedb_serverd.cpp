@@ -189,6 +189,24 @@ int main(int argc, char** argv) {
       if (!parse_int("--checkpoint-bytes", argv[++i], 0, 1L << 40, &v))
         return 2;
       server_opts.checkpoint_wal_bytes = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--pool-pages") == 0 && i + 1 < argc) {
+      // Buffer pool capacity in 8 KiB pages (0 = built-in default). Smaller
+      // than the working set forces eviction to the pages/ spill directory.
+      if (!parse_int("--pool-pages", argv[++i], 0, 1L << 30, &v)) return 2;
+      server_opts.engine.pool_pages = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--flush-interval-ms") == 0 &&
+               i + 1 < argc) {
+      // Background dirty-page flusher period (0 = flush on eviction and
+      // checkpoint only).
+      if (!parse_int("--flush-interval-ms", argv[++i], 0, 3'600'000, &v))
+        return 2;
+      server_opts.engine.flush_interval_ms = static_cast<uint64_t>(v);
+    } else if (std::strcmp(argv[i], "--group-commit-window-us") == 0 &&
+               i + 1 < argc) {
+      // Group-commit leader linger; 0 keeps pure natural batching.
+      if (!parse_int("--group-commit-window-us", argv[++i], 0, 1'000'000, &v))
+        return 2;
+      server_opts.engine.group_commit_window_us = static_cast<uint64_t>(v);
     } else if (std::strcmp(argv[i], "--key-seed") == 0 && i + 1 < argc) {
       if (!parse_int("--key-seed", argv[++i], 0, 1L << 62, &v)) return 2;
       key_seed = v;
@@ -222,7 +240,9 @@ int main(int argc, char** argv) {
                    "[--batch-size N] [--max-connections N] [--max-inflight N] "
                    "[--queue-depth N] [--retry-after-ms N] [--io-threads N] "
                    "[--exec-threads N] [--idle-timeout-ms N] "
-                   "[--data-dir PATH] [--checkpoint-bytes N] [--key-seed N] "
+                   "[--data-dir PATH] [--checkpoint-bytes N] "
+                   "[--pool-pages N] [--flush-interval-ms N] "
+                   "[--group-commit-window-us N] [--key-seed N] "
                    "[--die-at point[:skip]] [--drain-deadline-ms N] [--demo]\n",
                    argv[0]);
       return 2;
@@ -324,5 +344,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ds.wal_bytes),
               static_cast<unsigned long long>(ds.fsyncs),
               static_cast<unsigned long long>(ds.wal_file_errors));
+  std::printf("buffer pool: hits=%llu misses=%llu evictions=%llu "
+              "writebacks=%llu pinned_highwater=%llu\n",
+              static_cast<unsigned long long>(ds.pool_hits),
+              static_cast<unsigned long long>(ds.pool_misses),
+              static_cast<unsigned long long>(ds.pool_evictions),
+              static_cast<unsigned long long>(ds.pool_writebacks),
+              static_cast<unsigned long long>(ds.pool_pinned_highwater));
+  std::printf("group commit: batches=%llu sync_requests=%llu "
+              "commits_per_fsync=%.2f\n",
+              static_cast<unsigned long long>(ds.group_commit_batches),
+              static_cast<unsigned long long>(ds.commit_sync_requests),
+              ds.commits_per_fsync);
   return 0;
 }

@@ -16,8 +16,13 @@
 #   scripts/verify.sh --crash   # also run the kill -9 process-crash torture
 #                               # (ctest -L crash: 20+ SIGKILL/restart cycles
 #                               # of a live serverd under encrypted TPC-C)
-#                               # and the recovery-time ablation
-#                               # (bench_recovery -> BENCH_recovery.json)
+#                               # and the recovery-time + commit-amortization
+#                               # ablations (bench_recovery ->
+#                               # BENCH_recovery.json + BENCH_commit.json)
+#   scripts/verify.sh --large-data  # also run the buffer-pool lane: the
+#                               # bufferpool suite plus TPC-C with a working
+#                               # set many times the pool (ctest -L
+#                               # large_data, gated on AEDB_RUN_LARGE_DATA)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -63,11 +68,23 @@ if [[ "${1:-}" == "--crash" ]]; then
   # wal/sync, mid-checkpoint-publish, pre-WAL-truncate and mid-recovery, then
   # verifies exactly the acknowledged-commit prefix survives with zero wrong
   # results and no plaintext at rest. bench_recovery gates the checkpointing
-  # rationale (recovery time vs WAL length) and reports fsyncs per commit.
+  # rationale (recovery time vs WAL length) and sweeps group commit x pool
+  # size (commits per fsync, TPC-C throughput vs per-commit baseline).
   AEDB_RUN_CRASH_TORTURE=1 run ctest --test-dir build -L crash \
       --output-on-failure
   run cmake --build build -j "$JOBS" --target bench_recovery
   run ./build/bench/bench_recovery
+fi
+
+if [[ "${1:-}" == "--large-data" ]]; then
+  # Buffer-pool robustness lane, off tier-1 for runtime. The bufferpool label
+  # covers pin/unpin + eviction races, paged-vs-unbounded equivalence and
+  # group-commit durability; large_data runs TPC-C (incl. 4 concurrent
+  # terminals) over a pool many times smaller than the working set, so every
+  # access path crosses eviction + page-store I/O.
+  run ctest --test-dir build -L bufferpool --output-on-failure
+  AEDB_RUN_LARGE_DATA=1 run ctest --test-dir build -L large_data \
+      --output-on-failure
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
@@ -78,10 +95,12 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # herd under TSan so the instrumented run stays tractable.
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAEDB_SANITIZE=thread
+  # bufferpool_test rides along for the pool's pin/evict/writeback races and
+  # the group-commit leader/follower handoff.
   run cmake --build build-tsan -j "$JOBS" --target enclave_test net_test \
-      server_test batch_equiv_test net_scale_test overload_test
+      server_test batch_equiv_test net_scale_test overload_test bufferpool_test
   TSAN_OPTIONS=halt_on_error=1 run ctest --test-dir build-tsan \
-      -R 'enclave_test|net_test|server_test|batch_equiv_test|net_scale_test|overload_test' \
+      -R 'enclave_test|net_test|server_test|batch_equiv_test|net_scale_test|overload_test|bufferpool_test' \
       --output-on-failure
 fi
 

@@ -799,6 +799,16 @@ void Server::RefreshMirrors() const {
                                        std::memory_order_relaxed);
     stats_.lock_waits_expired.store(s.lock_waits_expired,
                                     std::memory_order_relaxed);
+    stats_.pool_hits.store(s.pool_hits, std::memory_order_relaxed);
+    stats_.pool_misses.store(s.pool_misses, std::memory_order_relaxed);
+    stats_.pool_evictions.store(s.pool_evictions, std::memory_order_relaxed);
+    stats_.pool_writebacks.store(s.pool_writebacks, std::memory_order_relaxed);
+    stats_.pool_pinned_highwater.store(s.pool_pinned_highwater,
+                                       std::memory_order_relaxed);
+    stats_.group_commit_batches.store(s.group_commit_batches,
+                                      std::memory_order_relaxed);
+    stats_.commit_sync_requests.store(s.commit_sync_requests,
+                                      std::memory_order_relaxed);
   }
   // Reactor gauges (the Stop path latches them into stats_ before the pool
   // and loops are torn down, so post-shutdown reads stay truthful).
@@ -857,6 +867,16 @@ ServerStatsSnapshot Server::SnapshotStats() const {
       stats_.queue_depth_highwater.load(std::memory_order_relaxed);
   s.lock_waits_expired =
       stats_.lock_waits_expired.load(std::memory_order_relaxed);
+  s.pool_hits = stats_.pool_hits.load(std::memory_order_relaxed);
+  s.pool_misses = stats_.pool_misses.load(std::memory_order_relaxed);
+  s.pool_evictions = stats_.pool_evictions.load(std::memory_order_relaxed);
+  s.pool_writebacks = stats_.pool_writebacks.load(std::memory_order_relaxed);
+  s.pool_pinned_highwater =
+      stats_.pool_pinned_highwater.load(std::memory_order_relaxed);
+  s.group_commit_batches =
+      stats_.group_commit_batches.load(std::memory_order_relaxed);
+  s.commit_sync_requests =
+      stats_.commit_sync_requests.load(std::memory_order_relaxed);
   return s;
 }
 

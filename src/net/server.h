@@ -117,6 +117,18 @@ struct ServerStats {
   std::atomic<uint64_t> queries_expired{0};
   std::atomic<uint64_t> queue_depth_highwater{0};
   std::atomic<uint64_t> lock_waits_expired{0};
+  /// Mirrors of the database's buffer-pool gauges (same refresh) — an
+  /// operator watching hit rate fall or eviction churn rise sees memory
+  /// pressure from the wire side without shelling into the server.
+  std::atomic<uint64_t> pool_hits{0};
+  std::atomic<uint64_t> pool_misses{0};
+  std::atomic<uint64_t> pool_evictions{0};
+  std::atomic<uint64_t> pool_writebacks{0};
+  std::atomic<uint64_t> pool_pinned_highwater{0};
+  /// Mirrors of the WAL group-commit gauges: cohort fsyncs and the commits
+  /// they covered. commits/fsync ≫ 1 means batching is working.
+  std::atomic<uint64_t> group_commit_batches{0};
+  std::atomic<uint64_t> commit_sync_requests{0};
 };
 
 /// One coherent, race-free copy of every server counter (satisfies "read
@@ -150,6 +162,13 @@ struct ServerStatsSnapshot {
   uint64_t queries_expired = 0;
   uint64_t queue_depth_highwater = 0;
   uint64_t lock_waits_expired = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;
+  uint64_t pool_pinned_highwater = 0;
+  uint64_t group_commit_batches = 0;
+  uint64_t commit_sync_requests = 0;
 };
 
 /// \brief Event-driven TCP front end for a `server::Database`.

@@ -139,9 +139,25 @@ class Database::ServerInvoker : public es::EnclaveInvoker {
   std::map<std::string, uint64_t> handles_;
 };
 
+namespace {
+/// Injects the server-owned FilePageStore into the engine options (data-dir
+/// mode); in-memory mode leaves whatever the caller configured.
+storage::EngineOptions WithPageStore(storage::EngineOptions opts,
+                                     storage::PageStore* store) {
+  if (store != nullptr) opts.page_store = store;
+  return opts;
+}
+}  // namespace
+
 Database::Database(ServerOptions options, attestation::HostGuardianService* hgs,
                    const enclave::EnclaveImage* image)
-    : options_(std::move(options)), hgs_(hgs), engine_(options_.engine) {
+    : options_(std::move(options)),
+      hgs_(hgs),
+      page_store_(options_.data_dir.empty()
+                      ? nullptr
+                      : std::make_unique<storage::FilePageStore>(
+                            options_.data_dir + "/pages")),
+      engine_(WithPageStore(options_.engine, page_store_.get())) {
   if (options_.enable_enclave && image != nullptr) {
     platform_ = std::make_unique<enclave::VbsPlatform>(
         options_.boot_configuration, options_.hypervisor_version);
@@ -196,6 +212,19 @@ DatabaseStats Database::Stats() const {
   out.wal_bytes = engine_.wal().wal_bytes();
   out.fsyncs = storage::fsio::FsyncsPerformed();
   out.wal_file_errors = engine_.wal().file_errors();
+  storage::BufferPoolStats pool = engine_.pool().stats();
+  out.pool_hits = pool.hits;
+  out.pool_misses = pool.misses;
+  out.pool_evictions = pool.evictions;
+  out.pool_writebacks = pool.writebacks;
+  out.pool_pinned_highwater = pool.pinned_highwater;
+  out.group_commit_batches = engine_.wal().group_commit_batches();
+  out.commit_sync_requests = engine_.wal().sync_requests();
+  out.commits_per_fsync =
+      out.group_commit_batches > 0
+          ? static_cast<double>(out.commit_sync_requests) /
+                static_cast<double>(out.group_commit_batches)
+          : 0.0;
   return out;
 }
 
@@ -209,6 +238,14 @@ Status Database::Open() {
   if (opened_) return Status::FailedPrecondition("database already open");
   const auto t0 = std::chrono::steady_clock::now();
   AEDB_RETURN_IF_ERROR(storage::fsio::EnsureDir(options_.data_dir));
+
+  // The page store is a cache spill area, never a recovery source — recovery
+  // rebuilds every page from checkpoint + WAL, and object ids are assigned
+  // afresh each process. Stale spill files from the previous incarnation
+  // would alias the new ids, so wipe them before anything pins a page.
+  if (page_store_ != nullptr) {
+    AEDB_RETURN_IF_ERROR(page_store_->Wipe());
+  }
 
   // The clean-shutdown marker is consumed, not just read: it must be durably
   // gone before any recovery work so a crash during THIS open cannot

@@ -64,6 +64,11 @@ struct ServerOptions {
   /// bytes, a checkpoint is taken and the log truncated. 0 disables the
   /// background checkpointer (manual Checkpoint() still works).
   uint64_t checkpoint_wal_bytes = 0;
+  // Buffer-pool sizing (engine.pool_pages), the background flusher
+  // (engine.flush_interval_ms) and the group-commit window
+  // (engine.group_commit_window_us) are configured on `engine` directly; in
+  // data-dir mode the Database additionally routes evicted pages to a
+  // FilePageStore under <data_dir>/pages.
 };
 
 /// Snapshot of server-side counters (enclave boundary accounting included)
@@ -94,6 +99,18 @@ struct DatabaseStats {
   uint64_t fsyncs = 0;                 // process-wide fsync count
   uint64_t wal_file_errors = 0;        // WAL file writes that failed (disk
                                        // diverged from the in-memory mirror)
+  // Buffer-pool gauges (PR 8).
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t pool_writebacks = 0;        // dirty pages written to the store
+  uint64_t pool_pinned_highwater = 0;
+  // Group-commit gauges (PR 8).
+  uint64_t group_commit_batches = 0;   // cohort fsyncs performed by SyncUpTo
+  uint64_t commit_sync_requests = 0;   // commits that reached the barrier
+  /// Amortization gauge: commit_sync_requests / group_commit_batches
+  /// (0 when no cohort fsync has run, e.g. in-memory mode).
+  double commits_per_fsync = 0.0;
 };
 
 /// Key metadata for one CEK as shipped to the driver: the encrypted CEK
@@ -301,6 +318,10 @@ class Database {
   attestation::HostGuardianService* hgs_;
 
   sql::Catalog catalog_;
+  /// Evicted-page backing store, data-dir mode only (<data_dir>/pages).
+  /// Declared before engine_: the engine's pool writes back into it up to
+  /// the last table destructor.
+  std::unique_ptr<storage::FilePageStore> page_store_;
   storage::StorageEngine engine_;
   std::unique_ptr<enclave::VbsPlatform> platform_;
   std::unique_ptr<enclave::Enclave> enclave_;

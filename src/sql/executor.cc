@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/query_context.h"
 #include "crypto/sha256.h"
@@ -349,6 +351,15 @@ Executor::CollectMatches(const BoundStatement& bound, const Expr* where,
                           CompiledFor(where, layout, bound.params, false));
     filter = filter_holder.get();
   }
+
+  // Hold the table's statement latch (shared) across the index probe AND the
+  // row fetches: a concurrent UPDATE applies its index-delete / heap-move /
+  // index-insert steps under the same latch held exclusive, so candidates
+  // collected here never land in that half-applied middle ("missing row" for
+  // a row that logically always exists, e.g. a TPC-C district).
+  std::shared_mutex* stmt = engine_->StatementLatch(table.id);
+  std::shared_lock<std::shared_mutex> stmt_lock;
+  if (stmt != nullptr) stmt_lock = std::shared_lock<std::shared_mutex>(*stmt);
 
   Candidates candidates;
   AEDB_ASSIGN_OR_RETURN(candidates, PlanAccess(where, table, params));
@@ -744,10 +755,18 @@ Result<int64_t> Executor::Insert(const BoundStatement& bound,
     }
     AEDB_RETURN_IF_ERROR(CheckQueryDeadline());
     AEDB_RETURN_IF_ERROR(CheckWriteShed());
+    // Exclusive statement latch: the heap insert and every index insert
+    // become one atomic step for unlatched readers. LockRow inside the latch
+    // is safe — slot ids are never recycled, so a fresh rid has no owner and
+    // the acquire cannot block.
+    std::shared_mutex* stmt = engine_->StatementLatch(table.id);
+    std::unique_lock<std::shared_mutex> stmt_lock;
+    if (stmt != nullptr) stmt_lock = std::unique_lock<std::shared_mutex>(*stmt);
     Rid rid;
     AEDB_ASSIGN_OR_RETURN(rid, engine_->HeapInsert(txn, table.id, EncodeRow(row)));
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, rid));
     AEDB_RETURN_IF_ERROR(MaintainIndexesOnInsert(table, row, rid, txn));
+    if (stmt_lock.owns_lock()) stmt_lock.unlock();
     ++inserted;
   }
   return inserted;
@@ -814,7 +833,13 @@ Result<int64_t> Executor::Update(const BoundStatement& bound,
         return Status::InvalidArgument("column " + col.name + " is NOT NULL");
       }
     }
-    // Delete + insert keeps undo physical (see storage engine docs).
+    // Delete + insert keeps undo physical (see storage engine docs). The
+    // whole move runs under the exclusive statement latch so latched readers
+    // see the row before or after, never the index-less middle (LockRow on
+    // the fresh rid cannot block: slot ids are never recycled).
+    std::shared_mutex* stmt = engine_->StatementLatch(table.id);
+    std::unique_lock<std::shared_mutex> stmt_lock;
+    if (stmt != nullptr) stmt_lock = std::unique_lock<std::shared_mutex>(*stmt);
     AEDB_RETURN_IF_ERROR(MaintainIndexesOnDelete(table, row, rid, txn));
     AEDB_RETURN_IF_ERROR(engine_->HeapDelete(txn, table.id, rid));
     Rid new_rid;
@@ -822,6 +847,7 @@ Result<int64_t> Executor::Update(const BoundStatement& bound,
                           engine_->HeapInsert(txn, table.id, EncodeRow(new_row)));
     AEDB_RETURN_IF_ERROR(engine_->LockRow(txn, table.id, new_rid));
     AEDB_RETURN_IF_ERROR(MaintainIndexesOnInsert(table, new_row, new_rid, txn));
+    if (stmt_lock.owns_lock()) stmt_lock.unlock();
     ++updated;
   }
   return updated;
@@ -849,8 +875,14 @@ Result<int64_t> Executor::Delete(const BoundStatement& bound,
           current.status().ToString());
     }
     row = std::move(*current);
+    // Same statement-latch discipline as Update: index deletes and the heap
+    // delete are one atomic step for latched readers.
+    std::shared_mutex* stmt = engine_->StatementLatch(table.id);
+    std::unique_lock<std::shared_mutex> stmt_lock;
+    if (stmt != nullptr) stmt_lock = std::unique_lock<std::shared_mutex>(*stmt);
     AEDB_RETURN_IF_ERROR(MaintainIndexesOnDelete(table, row, rid, txn));
     AEDB_RETURN_IF_ERROR(engine_->HeapDelete(txn, table.id, rid));
+    if (stmt_lock.owns_lock()) stmt_lock.unlock();
     ++deleted;
   }
   return deleted;

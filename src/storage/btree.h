@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "storage/buffer_pool.h"
 #include "storage/page.h"
 
 namespace aedb::storage {
@@ -60,12 +62,33 @@ class BinaryComparator : public Comparator {
 /// majority of index processing ... remains unaffected by encryption". Only
 /// the comparator touches key contents. Deletion is tombstone-free but lazy:
 /// underfull nodes are not rebalanced (separator keys remain valid bounds).
+///
+/// Key bytes live in buffer-pool pages: each node backs its entries with one
+/// slotted page (one pool object per tree), accessed through pin/unpin, so
+/// ciphertext key payloads are evictable and every paged-out byte goes
+/// through the page store's at-rest discipline. The node skeleton — child
+/// pointers, rids, the slot order — stays in memory; it carries no cell
+/// contents. A node splits when it exceeds kMaxKeys entries OR kSplitBytes
+/// of live key bytes, so any key up to kMaxKeyBytes always fits its page.
+///
+/// Thread safety: an internal reader-writer latch makes Insert/Delete/Clear/
+/// LoadSortedEntries atomic against the seek entry points, so unlatched
+/// executor probes never observe a mid-split skeleton. Iterators returned by
+/// Begin/SeekAtLeast hold no latch — they are for quiescent use only
+/// (checkpoints, tests).
 class BTree {
  public:
   /// Fan-out chosen so a 64-byte ciphertext key node is roughly page-sized.
   static constexpr size_t kMaxKeys = 64;
+  /// Live key bytes past which a node splits (half a page: guarantees room
+  /// for one more maximum-size key after compaction).
+  static constexpr size_t kSplitBytes = Page::kPageSize / 2;
+  /// Largest accepted key (a quarter page; ciphertext cells are far smaller).
+  static constexpr size_t kMaxKeyBytes = Page::kPageSize / 4;
 
-  BTree(const Comparator* comparator, bool unique);
+  /// Uses `pool` when given; otherwise the tree owns a private memory-backed
+  /// pool (standalone/test construction).
+  BTree(const Comparator* comparator, bool unique, BufferPool* pool = nullptr);
   ~BTree();  // out-of-line: Node is incomplete here
 
   BTree(const BTree&) = delete;
@@ -93,12 +116,15 @@ class BTree {
   class Iterator {
    public:
     bool Valid() const { return node_ != nullptr; }
-    Slice key() const;
+    /// Copies the key out from under a transient pin (the backing frame may
+    /// be evicted between calls, so no stable view can be handed out).
+    Result<Bytes> key() const;
     Rid rid() const;
     void Next();
 
    private:
     friend class BTree;
+    const BTree* tree_ = nullptr;
     const void* node_ = nullptr;  // Node*
     size_t pos_ = 0;
   };
@@ -108,7 +134,10 @@ class BTree {
   /// Iterator at the first entry with entry.key >= key.
   Result<Iterator> SeekAtLeast(Slice key) const;
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const {
+    std::shared_lock lock(mu_);
+    return size_;
+  }
   /// Total comparator invocations (each is an enclave call for encrypted
   /// range indexes — the §3.1 ablation measures this).
   uint64_t comparisons() const {
@@ -123,18 +152,44 @@ class BTree {
   /// rid) entry order. Builds the tree bottom-up with ZERO comparator calls —
   /// the checkpoint-restore path for encrypted range indexes, whose
   /// comparator routes through an enclave that has no keys yet at startup.
-  void LoadSortedEntries(const std::vector<std::pair<Bytes, Rid>>& entries);
+  Status LoadSortedEntries(const std::vector<std::pair<Bytes, Rid>>& entries);
 
  private:
   struct Node;
+  friend class Iterator;
+
+  /// A pinned view over one node's key page. key(i) slices into the pinned
+  /// frame; the view must outlive every slice taken from it.
+  struct NodeView {
+    PinnedPage pin;
+    const Node* node = nullptr;
+    Slice key(size_t i) const;
+  };
+  Result<NodeView> View(const Node* n) const;
 
   Result<int> Cmp(Slice a, Slice b) const;
-  /// (key, rid) total order used for leaf placement.
-  Result<int> CmpEntry(Slice key, Rid rid, const Node* leaf, size_t i) const;
-  /// cmp(probe, node->keys[i]) for every i in [from, size) via one batched
+  /// (key, rid) total order used for leaf placement; `view` is the node's
+  /// pinned key page.
+  Result<int> CmpEntry(Slice key, Rid rid, const NodeView& view,
+                       size_t i) const;
+  /// cmp(probe, node key i) for every i in [from, size) via one batched
   /// comparator call; charges one comparison per key compared.
   Result<std::vector<int>> CmpNodeFrom(Slice probe, const Node* node,
                                        size_t from) const;
+
+  /// One-off copy of a node's key i from under a transient pin.
+  Result<Bytes> KeyAt(const Node* n, size_t i) const;
+  /// Allocates the node's backing page on first use.
+  Status EnsurePage(Node* n);
+  /// Inserts key bytes into the node's page (compacting dead slots if space
+  /// ran out) and splices (slot, rid) in at `pos`.
+  Status InsertKeyAt(Node* n, size_t pos, Slice key, Rid rid);
+  /// Tombstones the entry's key bytes and removes (slot, rid) at `pos`.
+  Status RemoveKeyAt(Node* n, size_t pos);
+  /// Moves entries [from_pos, count) of `from` to the (fresh) node `to`.
+  Status MoveTail(Node* from, size_t from_pos, Node* to);
+  /// True when the node must split (entry count or live key bytes).
+  static bool Overfull(const Node* n);
 
   struct SplitResult {
     Bytes separator;
@@ -144,10 +199,25 @@ class BTree {
 
   Result<bool> InsertRec(Node* node, const Bytes& key, Rid rid,
                          std::unique_ptr<SplitResult>* split);
+  Status SplitNode(Node* node, std::unique_ptr<SplitResult>* split);
   Result<size_t> ChildIndex(const Node* node, Slice key) const;
 
+  /// Latch-free bodies of the public entry points, composed by callers that
+  /// already hold mu_ (Insert's unique check, SeekRange's positioning, ...).
+  Result<std::vector<Rid>> SeekEqualLocked(Slice key) const;
+  Result<Iterator> SeekAtLeastLocked(Slice key) const;
+  Iterator BeginLocked() const;
+  void ClearLocked();
+
+  /// Readers shared, mutators exclusive (see class comment).
+  mutable std::shared_mutex mu_;
   const Comparator* comparator_;
   bool unique_;
+  BufferPool* pool_;
+  std::unique_ptr<MemPageStore> owned_store_;  // standalone mode only
+  std::unique_ptr<BufferPool> owned_pool_;
+  uint32_t object_id_;
+  uint32_t next_page_no_ = 0;
   std::unique_ptr<Node> root_;
   uint64_t size_ = 0;
   mutable std::atomic<uint64_t> comparisons_{0};

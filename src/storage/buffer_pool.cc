@@ -1,0 +1,390 @@
+#include "storage/buffer_pool.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "fault/fault.h"
+#include "storage/fsio.h"
+
+namespace aedb::storage {
+
+// ---------------------------------------------------------------------------
+// MemPageStore
+
+Status MemPageStore::Write(PageId id, Slice page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_[id.Encode()] = page.ToBytes();
+  return Status::OK();
+}
+
+Status MemPageStore::Read(PageId id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(id.Encode());
+  if (it == pages_.end()) return Status::NotFound("page not in store");
+  std::memcpy(out, it->second.data(), Page::kPageSize);
+  return Status::OK();
+}
+
+Status MemPageStore::DropObject(uint32_t object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    if (static_cast<uint32_t>(it->first >> 32) == object_id) {
+      it = pages_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FilePageStore
+
+namespace {
+std::string ObjectPath(const std::string& dir, uint32_t object_id) {
+  return dir + "/obj-" + std::to_string(object_id) + ".pages";
+}
+}  // namespace
+
+FilePageStore::FilePageStore(std::string dir) : dir_(std::move(dir)) {}
+
+FilePageStore::~FilePageStore() {
+  for (auto& [id, fd] : fds_) ::close(fd);
+}
+
+Status FilePageStore::Wipe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, fd] : fds_) ::close(fd);
+  fds_.clear();
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::OK();  // nothing to wipe
+    return Status::Internal("opendir " + dir_ + ": " + std::strerror(errno));
+  }
+  while (dirent* ent = ::readdir(d)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    if (::unlink((dir_ + "/" + name).c_str()) != 0 && errno != ENOENT) {
+      ::closedir(d);
+      return Status::Internal("unlink " + name + ": " + std::strerror(errno));
+    }
+  }
+  ::closedir(d);
+  return fsio::SyncDir(dir_);
+}
+
+Result<int> FilePageStore::FdForLocked(uint32_t object_id, bool create) {
+  auto it = fds_.find(object_id);
+  if (it != fds_.end()) return it->second;
+  if (!create) return Status::NotFound("page store has no such object");
+  if (!dir_ready_) {
+    AEDB_RETURN_IF_ERROR(fsio::EnsureDir(dir_));
+    dir_ready_ = true;
+  }
+  std::string path = ObjectPath(dir_, object_id);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  fds_.emplace(object_id, fd);
+  return fd;
+}
+
+Status FilePageStore::Write(PageId id, Slice page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int fd;
+  AEDB_ASSIGN_OR_RETURN(fd, FdForLocked(id.object_id, /*create=*/true));
+  size_t off = 0;
+  const off_t base = static_cast<off_t>(id.page_no) *
+                     static_cast<off_t>(Page::kPageSize);
+  while (off < page.size()) {
+    ssize_t w = ::pwrite(fd, page.data() + off, page.size() - off,
+                         base + static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("page store pwrite: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Read(PageId id, uint8_t* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto found = FdForLocked(id.object_id, /*create=*/false);
+  if (!found.ok()) return found.status();
+  size_t off = 0;
+  const off_t base = static_cast<off_t>(id.page_no) *
+                     static_cast<off_t>(Page::kPageSize);
+  while (off < Page::kPageSize) {
+    ssize_t r = ::pread(*found, out + off, Page::kPageSize - off,
+                        base + static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("page store pread: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0) return Status::NotFound("page not in store");
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, fd] : fds_) {
+    if (::fsync(fd) != 0) {
+      return Status::Internal(std::string("page store fsync: ") +
+                              std::strerror(errno));
+    }
+    fsio::CountFsync();
+  }
+  return Status::OK();
+}
+
+Status FilePageStore::DropObject(uint32_t object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fds_.find(object_id);
+  if (it != fds_.end()) {
+    ::close(it->second);
+    fds_.erase(it);
+  }
+  std::string path = ObjectPath(dir_, object_id);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal("unlink " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PinnedPage
+
+PinnedPage::PinnedPage(PinnedPage&& o) noexcept
+    : pool_(o.pool_), frame_(o.frame_), data_(o.data_) {
+  o.pool_ = nullptr;
+  o.data_ = nullptr;
+}
+
+PinnedPage& PinnedPage::operator=(PinnedPage&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+  }
+  return *this;
+}
+
+PinnedPage::~PinnedPage() { Release(); }
+
+void PinnedPage::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+void PinnedPage::MarkDirty() {
+  if (pool_ != nullptr) {
+    pool_->frames_[frame_]->dirty.store(true, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+BufferPool::BufferPool(PageStore* store, size_t capacity_pages)
+    : store_(store),
+      capacity_(capacity_pages == 0
+                    ? kDefaultPages
+                    : (capacity_pages < kMinPages ? kMinPages
+                                                  : capacity_pages)) {
+  frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+  }
+}
+
+BufferPool::~BufferPool() { StopFlusher(); }
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = *frames_[frame];
+  if (f.pins > 0) --f.pins;
+  --pinned_now_;
+  if (f.pins == 0) unpin_cv_.notify_all();
+}
+
+Result<size_t> BufferPool::SweepLocked() {
+  bool saw_unpinned = false;
+  // Two passes: the first clears ref bits (second chance), the second takes
+  // the first frame both unreferenced and unpinned.
+  for (size_t step = 0; step < 2 * capacity_; ++step) {
+    size_t h = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % capacity_;
+    Frame& f = *frames_[h];
+    if (!f.valid) return h;  // free frame
+    if (f.pins > 0) continue;
+    saw_unpinned = true;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("pool/evict"));
+    if (f.dirty.load(std::memory_order_relaxed)) {
+      AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("pool/writeback"));
+      AEDB_RETURN_IF_ERROR(
+          store_->Write(f.id, Slice(f.data.get(), Page::kPageSize)));
+      f.dirty.store(false, std::memory_order_relaxed);
+      ++stats_.writebacks;
+    }
+    page_table_.erase(f.id.Encode());
+    f.valid = false;
+    ++stats_.evictions;
+    return h;
+  }
+  (void)saw_unpinned;
+  return kNoFrame;  // every frame is pinned
+}
+
+Result<PinnedPage> BufferPool::Pin(PageId id, bool create) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    auto it = page_table_.find(id.Encode());
+    if (it != page_table_.end()) {
+      Frame& f = *frames_[it->second];
+      ++f.pins;
+      f.ref = true;
+      ++stats_.hits;
+      if (++pinned_now_ > stats_.pinned_highwater) {
+        stats_.pinned_highwater = pinned_now_;
+      }
+      return PinnedPage(this, it->second, f.data.get());
+    }
+    size_t h;
+    AEDB_ASSIGN_OR_RETURN(h, SweepLocked());
+    if (h != kNoFrame) {
+      ++stats_.misses;
+      Frame& f = *frames_[h];
+      if (f.data == nullptr) f.data.reset(new uint8_t[Page::kPageSize]);
+      Status read = store_->Read(id, f.data.get());
+      if (read.IsNotFound() && create) {
+        std::memset(f.data.get(), 0, Page::kPageSize);
+      } else if (!read.ok()) {
+        return read;  // the claimed frame simply stays free
+      }
+      f.id = id;
+      f.valid = true;
+      f.pins = 1;
+      f.ref = true;
+      f.dirty.store(false, std::memory_order_relaxed);
+      page_table_[id.Encode()] = h;
+      if (++pinned_now_ > stats_.pinned_highwater) {
+        stats_.pinned_highwater = pinned_now_;
+      }
+      return PinnedPage(this, h, f.data.get());
+    }
+    // Every frame pinned: wait for an unpin, then retry the whole lookup
+    // (another thread may have faulted our page in meanwhile).
+    if (unpin_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Overloaded(
+          "buffer pool exhausted: all " + std::to_string(capacity_) +
+          " pages pinned");
+    }
+  }
+}
+
+Status BufferPool::WriteBackDirtyLocked() {
+  for (auto& fp : frames_) {
+    Frame& f = *fp;
+    if (!f.valid || !f.dirty.load(std::memory_order_relaxed)) continue;
+    AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("pool/writeback"));
+    AEDB_RETURN_IF_ERROR(
+        store_->Write(f.id, Slice(f.data.get(), Page::kPageSize)));
+    f.dirty.store(false, std::memory_order_relaxed);
+    ++stats_.writebacks;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  AEDB_RETURN_IF_ERROR(WriteBackDirtyLocked());
+  return store_->Sync();
+}
+
+Status BufferPool::DropObject(uint32_t object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& fp : frames_) {
+    Frame& f = *fp;
+    if (f.valid && f.id.object_id == object_id && f.pins > 0) {
+      return Status::FailedPrecondition("object has pinned pages");
+    }
+  }
+  for (auto& fp : frames_) {
+    Frame& f = *fp;
+    if (!f.valid || f.id.object_id != object_id) continue;
+    page_table_.erase(f.id.Encode());
+    f.valid = false;
+    f.dirty.store(false, std::memory_order_relaxed);
+  }
+  return store_->DropObject(object_id);
+}
+
+void BufferPool::FlusherLoop(uint64_t interval_ms) {
+  std::unique_lock<std::mutex> lock(flusher_mu_);
+  while (!flusher_stop_) {
+    flusher_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms));
+    if (flusher_stop_) break;
+    lock.unlock();
+    {
+      // Best effort: a failed writeback stays dirty and is retried by the
+      // next cycle, eviction, or checkpoint flush.
+      std::lock_guard<std::mutex> pool_lock(mu_);
+      (void)WriteBackDirtyLocked();
+    }
+    lock.lock();
+  }
+}
+
+void BufferPool::StartFlusher(uint64_t interval_ms) {
+  StopFlusher();
+  if (interval_ms == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(flusher_mu_);
+    flusher_stop_ = false;
+  }
+  flusher_ = std::thread([this, interval_ms] { FlusherLoop(interval_ms); });
+}
+
+void BufferPool::StopFlusher() {
+  {
+    std::lock_guard<std::mutex> lock(flusher_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t BufferPool::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_now_;
+}
+
+}  // namespace aedb::storage

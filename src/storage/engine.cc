@@ -6,12 +6,23 @@
 
 namespace aedb::storage {
 
-StorageEngine::StorageEngine(EngineOptions options) : options_(options) {}
+StorageEngine::StorageEngine(EngineOptions options) : options_(options) {
+  PageStore* store = options_.page_store;
+  if (store == nullptr) {
+    owned_store_ = std::make_unique<MemPageStore>();
+    store = owned_store_.get();
+  }
+  pool_ = std::make_unique<BufferPool>(store, options_.pool_pages);
+  if (options_.flush_interval_ms > 0) {
+    pool_->StartFlusher(options_.flush_interval_ms);
+  }
+  wal_.set_group_commit_window_us(options_.group_commit_window_us);
+}
 
 Status StorageEngine::CreateTable(uint32_t table_id) {
   std::lock_guard<std::mutex> lock(meta_mu_);
   auto state = std::make_unique<TableState>();
-  state->heap = std::make_unique<HeapTable>();
+  state->heap = std::make_unique<HeapTable>(pool_.get());
   auto [it, inserted] = tables_.emplace(table_id, std::move(state));
   (void)it;
   if (!inserted) return Status::AlreadyExists("table id exists");
@@ -28,7 +39,8 @@ Status StorageEngine::CreateIndex(uint32_t index_id, uint32_t table_id,
   state->table_id = table_id;
   state->unique = unique;
   state->comparator = std::move(comparator);
-  state->tree = std::make_unique<BTree>(state->comparator.get(), unique);
+  state->tree =
+      std::make_unique<BTree>(state->comparator.get(), unique, pool_.get());
   indexes_.emplace(index_id, std::move(state));
   return Status::OK();
 }
@@ -165,8 +177,12 @@ Status StorageEngine::Commit(uint64_t txn_id) {
   LogRecord rec;
   rec.txn_id = txn_id;
   rec.type = LogRecordType::kCommit;
-  Status durable = wal_.Append(rec).status();
-  if (durable.ok()) durable = wal_.Sync();
+  // SyncUpTo is the group-commit barrier: one leader's fsync covers every
+  // concurrent committer whose record is already appended, but each ack
+  // still waits for a covering sync — the durability contract is unchanged.
+  auto appended = wal_.Append(rec);
+  Status durable = appended.status();
+  if (durable.ok()) durable = wal_.SyncUpTo(*appended);
   if (!durable.ok()) {
     {
       std::lock_guard<std::mutex> lock(meta_mu_);
@@ -256,6 +272,41 @@ Status StorageEngine::Abort(uint64_t txn_id) {
     ++finalizing_;  // undo in flight: block checkpoint capture until done
   }
   Finalizer finalizer{this};
+  // The undo of one executor-level row update spans several records (index
+  // delete, heap delete/insert, index insert). Readers collect candidates
+  // under the tables' statement latches, so undo holds those same latches —
+  // every touched table's, in id order — for the whole reverse pass;
+  // otherwise a probe could land mid-undo and miss a row that logically
+  // never stopped existing.
+  std::vector<std::shared_mutex*> stmt_latches;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    std::set<uint32_t> touched;
+    for (const LogRecord& rec : ops) {
+      switch (rec.type) {
+        case LogRecordType::kHeapInsert:
+        case LogRecordType::kHeapDelete:
+        case LogRecordType::kHeapResurrect:
+          touched.insert(rec.object_id);
+          break;
+        case LogRecordType::kIndexInsert:
+        case LogRecordType::kIndexDelete: {
+          auto it = indexes_.find(rec.object_id);
+          if (it != indexes_.end()) touched.insert(it->second->table_id);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    for (uint32_t tid : touched) {
+      auto it = tables_.find(tid);
+      if (it != tables_.end()) stmt_latches.push_back(&it->second->stmt_latch);
+    }
+  }
+  std::vector<std::unique_lock<std::shared_mutex>> stmt_held;
+  stmt_held.reserve(stmt_latches.size());
+  for (std::shared_mutex* m : stmt_latches) stmt_held.emplace_back(*m);
   DeferredTxn deferred;
   deferred.txn_id = txn_id;
   for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
@@ -429,6 +480,12 @@ bool StorageEngine::RowLockedByOther(uint64_t txn_id, uint32_t table_id,
   return locks_.IsLockedByOther(txn_id, RowResource(table_id, rid.Encode()));
 }
 
+std::shared_mutex* StorageEngine::StatementLatch(uint32_t table_id) {
+  auto found = FindTable(table_id);
+  if (!found.ok()) return nullptr;
+  return &(*found)->stmt_latch;
+}
+
 // ---------------------------------------------------------------------------
 // Checkpointing
 
@@ -465,13 +522,32 @@ Result<std::shared_ptr<const CheckpointImage>> StorageEngine::CaptureCheckpoint(
     return refused;
   }
 
+  // Fold the dirty-page flush into the quiescent window: no transaction can
+  // re-dirty a page while we hold the engine parked, so after FlushAll the
+  // page store is byte-identical to the captured image. A flush failure
+  // refuses the checkpoint rather than publishing one that claims a clean
+  // store.
+  auto fail = [&](Status st) -> Status {
+    checkpoint_pending_ = false;
+    meta_cv_.notify_all();
+    return st;
+  };
+  {
+    Status flushed = pool_->FlushAll();
+    if (!flushed.ok()) {
+      return fail(Status::FailedPrecondition("checkpoint: dirty page flush: " +
+                                             flushed.message()));
+    }
+  }
+
   auto img = std::make_shared<CheckpointImage>();
   img->checkpoint_lsn = wal_.next_lsn();
   img->next_txn_id = next_txn_id_;
   for (const auto& [id, t] : tables_) {
     CheckpointImage::TableImage ti;
     ti.table_id = id;
-    t->heap->SerializeTo(&ti.heap);
+    Status serialized = t->heap->SerializeTo(&ti.heap);
+    if (!serialized.ok()) return fail(serialized);
     img->tables.push_back(std::move(ti));
   }
   for (const auto& [id, idx] : indexes_) {
@@ -481,7 +557,9 @@ Result<std::shared_ptr<const CheckpointImage>> StorageEngine::CaptureCheckpoint(
     // Walking the tree needs no comparator calls, so this works for encrypted
     // range indexes regardless of what keys the enclave currently holds.
     for (BTree::Iterator it = idx->tree->Begin(); it.Valid(); it.Next()) {
-      ii.entries.emplace_back(it.key().ToBytes(), it.rid());
+      auto key = it.key();
+      if (!key.ok()) return fail(key.status());
+      ii.entries.emplace_back(std::move(*key), it.rid());
     }
     img->indexes.push_back(std::move(ii));
   }
@@ -558,7 +636,7 @@ Result<RecoveryResult> StorageEngine::Recover() {
         if (it == indexes_.end()) continue;  // index dropped after capture
         it->second->invalid = it->second->invalid || ii.invalid;
         if (!it->second->invalid) {
-          it->second->tree->LoadSortedEntries(ii.entries);
+          AEDB_RETURN_IF_ERROR(it->second->tree->LoadSortedEntries(ii.entries));
         }
       }
       next_txn_id_ = std::max(next_txn_id_, base->next_txn_id);
@@ -730,7 +808,7 @@ Status StorageEngine::RebuildIndexFromLog(IndexState* index, uint32_t index_id) 
   if (base != nullptr) {
     for (const auto& ii : base->indexes) {
       if (ii.index_id != index_id) continue;
-      index->tree->LoadSortedEntries(ii.entries);
+      AEDB_RETURN_IF_ERROR(index->tree->LoadSortedEntries(ii.entries));
       break;
     }
   }
@@ -871,8 +949,7 @@ Status StorageEngine::ScrubDeadRows(uint32_t table_id) {
   TableState* t;
   AEDB_ASSIGN_OR_RETURN(t, FindTable(table_id));
   std::lock_guard<std::mutex> latch(t->latch);
-  t->heap->ScrubDead();
-  return Status::OK();
+  return t->heap->ScrubDead();
 }
 
 void StorageEngine::ForEachPageRaw(
@@ -880,7 +957,9 @@ void StorageEngine::ForEachPageRaw(
   std::lock_guard<std::mutex> lock(meta_mu_);
   for (const auto& [id, t] : tables_) {
     for (size_t p = 0; p < t->heap->page_count(); ++p) {
-      fn(id, t->heap->PageRaw(p));
+      // A pin failure (pool exhausted) just skips the page; this is an
+      // adversary-view helper, not a correctness path.
+      (void)t->heap->WithPageRaw(p, [&](Slice page) { fn(id, page); });
     }
   }
 }

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/btree.h"
@@ -25,6 +26,21 @@ struct EngineOptions {
   /// ResolveDeferred) retries index cleanup until enclave keys arrive.
   bool constant_time_recovery = false;
   std::chrono::milliseconds lock_timeout{2000};
+  /// Buffer pool capacity in 8 KiB pages (0 = BufferPool::kDefaultPages).
+  /// All heap and index pages of this engine share the one pool, so a pool
+  /// smaller than the working set exercises real eviction + page-store I/O.
+  uint64_t pool_pages = 0;
+  /// Background dirty-page flusher period (0 = no flusher thread; dirty
+  /// pages write back on eviction and at checkpoints only).
+  uint64_t flush_interval_ms = 0;
+  /// Backing store for evicted pages. Null = engine-owned MemPageStore
+  /// (tests, in-process torture). The server layer passes a FilePageStore
+  /// under the data directory; evicted ciphertext then genuinely hits disk.
+  /// Not owned; must outlive the engine.
+  PageStore* page_store = nullptr;
+  /// Group-commit leader linger in microseconds (see Wal::SyncUpTo). 0 keeps
+  /// pure natural batching: single-threaded commit behavior is unchanged.
+  uint64_t group_commit_window_us = 0;
 };
 
 struct RecoveryResult {
@@ -108,6 +124,14 @@ class StorageEngine {
   Status LockTable(uint64_t txn_id, uint32_t table_id);
   bool RowLockedByOther(uint64_t txn_id, uint32_t table_id, const Rid& rid) const;
 
+  /// Statement-scope reader/writer latch over `table_id` and its indexes.
+  /// The executor's multi-step mutations (index delete, heap delete, heap
+  /// insert, index insert for one row) hold it exclusive; lock-free readers
+  /// hold it shared across an index probe + row fetch so they never observe
+  /// the half-applied middle. Callers must never block on the lock manager
+  /// while holding it. Null for unknown tables.
+  std::shared_mutex* StatementLatch(uint32_t table_id);
+
   // ----- checkpointing -----
   /// Captures a quiescent point-in-time image: blocks new Begin() calls,
   /// waits up to `wait` for in-flight transactions to finish, then snapshots
@@ -152,6 +176,8 @@ class StorageEngine {
   LockManager& locks() { return locks_; }
   const LockManager& locks() const { return locks_; }
   const EngineOptions& options() const { return options_; }
+  BufferPool& pool() { return *pool_; }
+  const BufferPool& pool() const { return *pool_; }
 
   /// Best-effort scrub of dead row bytes in one table; refused while any
   /// transaction is active or deferred (their undo may still resurrect).
@@ -174,6 +200,8 @@ class StorageEngine {
   struct TableState {
     std::unique_ptr<HeapTable> heap;
     mutable std::mutex latch;
+    /// See StatementLatch().
+    mutable std::shared_mutex stmt_latch;
   };
 
   struct ActiveTxn {
@@ -205,6 +233,10 @@ class StorageEngine {
   Status RebuildIndexFromLog(IndexState* index, uint32_t index_id);
 
   EngineOptions options_;
+  // Pool before the table/index maps: heaps and trees drop their pool
+  // objects on destruction, so the pool must be destroyed after them.
+  std::unique_ptr<MemPageStore> owned_store_;  // when options_.page_store null
+  std::unique_ptr<BufferPool> pool_;
   Wal wal_;
   LockManager locks_;
 

@@ -4,16 +4,28 @@
 
 namespace aedb::storage {
 
-Page::Page() : data_(new uint8_t[kPageSize]) {
-  std::memset(data_.get(), 0, kPageSize);
+Page::Page() : owned_(new uint8_t[kPageSize]) {
+  data_ = owned_.get();
+  std::memset(data_, 0, kPageSize);
   SetU16At(0, 0);                                // slot_count
   SetU16At(2, static_cast<uint16_t>(kPageSize)); // free_end
 }
 
-Page::Page(Slice raw) : data_(new uint8_t[kPageSize]) {
-  std::memset(data_.get(), 0, kPageSize);
-  std::memcpy(data_.get(), raw.data(),
+Page::Page(Slice raw) : owned_(new uint8_t[kPageSize]) {
+  data_ = owned_.get();
+  std::memset(data_, 0, kPageSize);
+  std::memcpy(data_, raw.data(),
               raw.size() < kPageSize ? raw.size() : kPageSize);
+}
+
+Page Page::Wrap(uint8_t* frame) { return Page(frame); }
+
+Page Page::WrapInit(uint8_t* frame) {
+  Page p(frame);
+  std::memset(frame, 0, kPageSize);
+  p.SetU16At(0, 0);
+  p.SetU16At(2, static_cast<uint16_t>(kPageSize));
+  return p;
 }
 
 uint16_t Page::GetU16At(size_t off) const {
@@ -54,7 +66,7 @@ Result<uint16_t> Page::Insert(Slice record) {
   uint16_t count = slot_count();
   uint16_t free_end = GetU16At(2);
   uint16_t new_off = static_cast<uint16_t>(free_end - record.size());
-  std::memcpy(data_.get() + new_off, record.data(), record.size());
+  std::memcpy(data_ + new_off, record.data(), record.size());
   SetU16At(kHeaderSize + count * kSlotSize, new_off);
   SetU16At(kHeaderSize + count * kSlotSize + 2,
            static_cast<uint16_t>(record.size()));
@@ -70,7 +82,7 @@ bool Page::IsLive(uint16_t slot) const {
 Result<Slice> Page::Read(uint16_t slot) const {
   if (slot >= slot_count()) return Status::NotFound("slot out of range");
   if (!IsLive(slot)) return Status::NotFound("slot deleted");
-  return Slice(data_.get() + SlotOffset(slot), SlotLen(slot));
+  return Slice(data_ + SlotOffset(slot), SlotLen(slot));
 }
 
 Status Page::Delete(uint16_t slot) {
@@ -85,7 +97,7 @@ void Page::ScrubDead() {
   for (uint16_t s = 0; s < slot_count(); ++s) {
     uint16_t len = SlotLen(s);
     if ((len & kDeadBit) == 0) continue;
-    std::memset(data_.get() + SlotOffset(s), 0,
+    std::memset(data_ + SlotOffset(s), 0,
                 static_cast<uint16_t>(len & ~kDeadBit));
   }
 }
@@ -107,7 +119,7 @@ Status Page::UpdateInPlace(uint16_t slot, Slice record) {
   if (record.size() > SlotLen(slot)) {
     return Status::OutOfRange("record grew; relocate");
   }
-  std::memcpy(data_.get() + SlotOffset(slot), record.data(), record.size());
+  std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
   SetU16At(kHeaderSize + slot * kSlotSize + 2,
            static_cast<uint16_t>(record.size()));
   return Status::OK();

@@ -49,6 +49,13 @@ class Page {
   /// produced by raw() — no validation beyond the size is performed.
   explicit Page(Slice raw);
 
+  /// A non-owning view over an externally managed 8 KiB frame (a pinned
+  /// buffer-pool frame). The caller keeps the frame alive and stable for the
+  /// view's lifetime — i.e. holds the pin.
+  static Page Wrap(uint8_t* frame);
+  /// Wrap + format: writes an empty-page header into a (zeroed) frame.
+  static Page WrapInit(uint8_t* frame);
+
   uint16_t slot_count() const;
   size_t free_space() const;
   bool HasSpaceFor(size_t record_size) const;
@@ -79,15 +86,19 @@ class Page {
   void ScrubDead();
 
   /// The raw 8 KiB image — the adversary's view of data at rest.
-  Slice raw() const { return Slice(data_.get(), kPageSize); }
+  Slice raw() const { return Slice(data_, kPageSize); }
 
  private:
+  explicit Page(uint8_t* external) : data_(external) {}
+
   uint16_t GetU16At(size_t off) const;
   void SetU16At(size_t off, uint16_t v);
   uint16_t SlotOffset(uint16_t slot) const;
   uint16_t SlotLen(uint16_t slot) const;
 
-  std::unique_ptr<uint8_t[]> data_;
+  /// Either a view into owned_ or into an external (pinned) frame.
+  uint8_t* data_ = nullptr;
+  std::unique_ptr<uint8_t[]> owned_;
 };
 
 }  // namespace aedb::storage

@@ -84,7 +84,7 @@ Status VerifyCut(const EngineFactory& factory, Slice image, size_t cut,
     HeapTable* heap = engine->table(table_id);
     Status mismatch = Status::OK();
     uint64_t seen = 0;
-    heap->Scan([&](const Rid& rid, Slice row) {
+    AEDB_RETURN_IF_ERROR(heap->Scan([&](const Rid& rid, Slice row) {
       ++seen;
       auto it = expected.rows.find({table_id, rid.Encode()});
       if (it == expected.rows.end()) {
@@ -99,7 +99,7 @@ Status VerifyCut(const EngineFactory& factory, Slice image, size_t cut,
         return false;
       }
       return true;
-    });
+    }));
     AEDB_RETURN_IF_ERROR(mismatch);
     if (heap->live_rows() != seen) {
       return Status::Corruption(where + ": live_rows() bookkeeping diverges");
@@ -118,7 +118,9 @@ Status VerifyCut(const EngineFactory& factory, Slice image, size_t cut,
     BTree* tree = engine->index_tree(index_id);
     std::map<std::pair<Bytes, uint64_t>, uint64_t> actual;
     for (BTree::Iterator it = tree->Begin(); it.Valid(); it.Next()) {
-      ++actual[{it.key().ToBytes(), it.rid().Encode()}];
+      Bytes key_copy;
+      AEDB_ASSIGN_OR_RETURN(key_copy, it.key());
+      ++actual[{std::move(key_copy), it.rid().Encode()}];
     }
     auto want = expected.indexes.find(index_id);
     const std::map<std::pair<Bytes, uint64_t>, uint64_t> empty;

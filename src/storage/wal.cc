@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "fault/fault.h"
 #include "storage/fsio.h"
@@ -215,6 +217,73 @@ Status Wal::Sync() {
   ++fsyncs_;
   fsio::CountFsync();
   return Status::OK();
+}
+
+Status Wal::SyncUpTo(uint64_t lsn) {
+  // Per-caller fault check, before joining any cohort: a committer whose
+  // sync "fails" here must not be made durable by a neighboring leader's
+  // fsync — that would ack a commit the fault said did not reach disk.
+  AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/sync"));
+  std::unique_lock<std::mutex> lock(mu_);
+  ++sync_requests_;
+  for (;;) {
+    if (poisoned_) {
+      return Status::Internal("wal unwritable: append fd lost at " + path_);
+    }
+    if (fd_ < 0) return Status::OK();  // in-memory: trivially durable
+    if (synced_lsn_ >= lsn) return Status::OK();  // a leader covered us
+    if (sync_in_progress_) {
+      // Follow: the running (or next) leader's barrier will cover our lsn,
+      // because our record was appended before this call.
+      sync_cv_.wait(lock);
+      continue;
+    }
+    sync_in_progress_ = true;
+    if (group_commit_window_us_ > 0) {
+      // Linger with mu_ released so more committers can append + enqueue.
+      uint64_t window = group_commit_window_us_;
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(window));
+      lock.lock();
+    }
+    // Everything appended so far rides this barrier.
+    uint64_t covered = next_lsn_ - 1;
+    // fsync outside mu_ — this is what lets followers append their commit
+    // records while the leader syncs, forming the next cohort. The dup
+    // guards against the append fd being replaced concurrently (rewrites
+    // only run quiesced, but an fd number must never be reused under us).
+    int fd = ::dup(fd_);
+    lock.unlock();
+    int rc = fd >= 0 ? ::fsync(fd) : -1;
+    int err = errno;
+    if (fd >= 0) ::close(fd);
+    lock.lock();
+    sync_in_progress_ = false;
+    sync_cv_.notify_all();
+    if (rc != 0) {
+      return Status::Internal(std::string("wal fsync: ") + std::strerror(err));
+    }
+    synced_lsn_ = std::max(synced_lsn_, covered);
+    ++fsyncs_;
+    ++group_commit_batches_;
+    fsio::CountFsync();
+    // Loop re-checks: our lsn is ≤ covered (appended before the call).
+  }
+}
+
+void Wal::set_group_commit_window_us(uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  group_commit_window_us_ = us;
+}
+
+uint64_t Wal::group_commit_batches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_commit_batches_;
+}
+
+uint64_t Wal::sync_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_requests_;
 }
 
 std::vector<LogRecord> Wal::Snapshot() const {

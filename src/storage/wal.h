@@ -1,6 +1,7 @@
 #ifndef AEDB_STORAGE_WAL_H_
 #define AEDB_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -132,6 +133,27 @@ class Wal {
   /// (a fired fault skips the fsync — the commit must not become durable).
   Status Sync();
 
+  /// Group-commit durability barrier: returns once every record up to and
+  /// including `lsn` is durable. Concurrent callers form a cohort — one
+  /// leader performs the fsync (after an optional `group_commit_window_us`
+  /// linger that lets more committers publish their records) and its single
+  /// fsync covers every follower whose lsn was appended before it ran, so
+  /// commits-per-fsync ≫ 1 under concurrency. With one caller the behavior
+  /// is exactly Sync(). The `wal/sync` fault point fires per *caller* at
+  /// entry — before joining any cohort — so a faulted committer never has
+  /// its commit made durable by a neighbor's fsync.
+  Status SyncUpTo(uint64_t lsn);
+
+  /// Leader linger before the cohort fsync (0 = fsync immediately; natural
+  /// batching from followers arriving during a running fsync still applies).
+  void set_group_commit_window_us(uint64_t us);
+
+  /// Cohort fsyncs performed by SyncUpTo.
+  uint64_t group_commit_batches() const;
+  /// SyncUpTo calls that reached the durability barrier (== acked commits
+  /// when the engine routes commits through SyncUpTo).
+  uint64_t sync_requests() const;
+
   std::vector<LogRecord> Snapshot() const;
   uint64_t next_lsn() const;
   /// Raises next_lsn to at least `lsn` — used after loading a checkpoint
@@ -189,6 +211,16 @@ class Wal {
   std::vector<LogRecord> records_;
   Bytes image_;  // framed durable form of records_ (plus any torn tail)
   uint64_t next_lsn_ = 1;
+
+  // ----- group commit (guarded by mu_; sync_cv_ signals leader handoff) ---
+  std::condition_variable sync_cv_;
+  /// Highest LSN covered by a completed fsync barrier.
+  uint64_t synced_lsn_ = 0;
+  /// True while a leader is fsyncing (followers wait instead of piling on).
+  bool sync_in_progress_ = false;
+  uint64_t group_commit_window_us_ = 0;
+  uint64_t sync_requests_ = 0;
+  uint64_t group_commit_batches_ = 0;
 
   int fd_ = -1;  // -1: in-memory mode (unless poisoned_)
   /// File-backed but the append fd was lost (reopen after an atomic rewrite

@@ -54,22 +54,33 @@ class TempDir {
   const std::string& path() const { return path_; }
   std::string File(const std::string& name) const { return path_ + "/" + name; }
 
-  /// Every regular file currently in the directory (non-recursive; the data
-  /// dir is flat).
+  /// Every regular file currently under the directory, recursively — the
+  /// ciphertext-at-rest scan must cover the pages/ spill directory too, or an
+  /// evicted plaintext page would slip past it.
   std::vector<std::string> Files() const {
     std::vector<std::string> out;
-    DIR* d = opendir(path_.c_str());
-    if (d == nullptr) return out;
-    while (struct dirent* e = readdir(d)) {
-      if (std::strcmp(e->d_name, ".") == 0 || std::strcmp(e->d_name, "..") == 0)
-        continue;
-      out.push_back(path_ + "/" + e->d_name);
-    }
-    closedir(d);
+    ListTree(path_, &out);
     return out;
   }
 
  private:
+  static void ListTree(const std::string& dir, std::vector<std::string>* out) {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (struct dirent* e = readdir(d)) {
+      if (std::strcmp(e->d_name, ".") == 0 || std::strcmp(e->d_name, "..") == 0)
+        continue;
+      std::string child = dir + "/" + e->d_name;
+      struct stat st;
+      if (lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        ListTree(child, out);
+      } else {
+        out->push_back(child);
+      }
+    }
+    closedir(d);
+  }
+
   static void RemoveTree(const std::string& dir) {
     DIR* d = opendir(dir.c_str());
     if (d != nullptr) {
@@ -796,9 +807,17 @@ TEST_F(DurableDatabaseTest, NoPlaintextAtRestAnywhereInDataDir) {
   ASSERT_TRUE(db_->Shutdown().ok());
 
   // The strong adversary reads every byte the server ever fsynced: WAL, DDL
-  // journal, checkpoint, markers. No encrypted column's plaintext may appear.
+  // journal, checkpoint, markers, AND the buffer pool's page-store spill
+  // files. No encrypted column's plaintext may appear in any of them.
   std::vector<std::string> files = dir.Files();
   ASSERT_GE(files.size(), 3u);  // wal.log, ddl.log, checkpoint.db at least
+  size_t page_store_files = 0;
+  for (const std::string& file : files) {
+    if (file.find("/pages/") != std::string::npos) ++page_store_files;
+  }
+  // The checkpoint flushed the pool, so evicted page images must be on disk —
+  // if this is zero the scan is not actually covering the page store.
+  EXPECT_GT(page_store_files, 0u);
   size_t scanned = 0;
   for (const std::string& file : files) {
     auto bytes = storage::fsio::ReadFileBytes(file);

@@ -467,7 +467,9 @@ TEST_F(LeakageTest, RangeIndexRevealsOrderingOnly) {
   storage::BTree* tree = db_->engine().index_tree(index->id);
   size_t entries = 0;
   for (auto it = tree->Begin(); it.Valid(); it.Next()) {
-    EXPECT_TRUE(crypto::CellCodec::LooksLikeCell(it.key()));
+    auto key = it.key();
+    ASSERT_TRUE(key.ok());
+    EXPECT_TRUE(crypto::CellCodec::LooksLikeCell(*key));
     ++entries;
   }
   EXPECT_EQ(entries, 5u);
