@@ -221,7 +221,17 @@ void BufferPool::Unpin(size_t frame) {
   Frame& f = *frames_[frame];
   if (f.pins > 0) --f.pins;
   --pinned_now_;
-  if (f.pins == 0) unpin_cv_.notify_all();
+  if (f.pins == 0) {
+    if (f.doomed) {
+      // Last pin of a dropped object's frame: reclaim it now. The dirty bit
+      // may have been re-set by the stale holder; the object is dead, so the
+      // bytes must never reach the store.
+      f.doomed = false;
+      f.valid = false;
+      f.dirty.store(false, std::memory_order_relaxed);
+    }
+    unpin_cv_.notify_all();
+  }
 }
 
 Result<size_t> BufferPool::SweepLocked() {
@@ -305,10 +315,18 @@ Result<PinnedPage> BufferPool::Pin(PageId id, bool create) {
   }
 }
 
-Status BufferPool::WriteBackDirtyLocked() {
+Status BufferPool::WriteBackDirtyLocked(bool skip_pinned) {
   for (auto& fp : frames_) {
     Frame& f = *fp;
-    if (!f.valid || !f.dirty.load(std::memory_order_relaxed)) continue;
+    if (!f.valid || f.doomed || !f.dirty.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    // A pinned frame's holder may be mid-mutation under only its table latch:
+    // writing it back could snapshot torn bytes, and a MarkDirty landing
+    // between the store write and the dirty-bit clear would be lost (frame
+    // clean, changes unsaved). Skipped frames land at eviction or checkpoint
+    // (FlushAll runs quiescent, where pinned frames are stable).
+    if (skip_pinned && f.pins > 0) continue;
     AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("pool/writeback"));
     AEDB_RETURN_IF_ERROR(
         store_->Write(f.id, Slice(f.data.get(), Page::kPageSize)));
@@ -320,7 +338,7 @@ Status BufferPool::WriteBackDirtyLocked() {
 
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  AEDB_RETURN_IF_ERROR(WriteBackDirtyLocked());
+  AEDB_RETURN_IF_ERROR(WriteBackDirtyLocked(/*skip_pinned=*/false));
   return store_->Sync();
 }
 
@@ -328,16 +346,18 @@ Status BufferPool::DropObject(uint32_t object_id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& fp : frames_) {
     Frame& f = *fp;
-    if (f.valid && f.id.object_id == object_id && f.pins > 0) {
-      return Status::FailedPrecondition("object has pinned pages");
-    }
-  }
-  for (auto& fp : frames_) {
-    Frame& f = *fp;
     if (!f.valid || f.id.object_id != object_id) continue;
     page_table_.erase(f.id.Encode());
-    f.valid = false;
     f.dirty.store(false, std::memory_order_relaxed);
+    if (f.pins > 0) {
+      // A stale holder still has the bytes pinned (it may even re-dirty
+      // them). Doom the frame: no writeback path touches it, and the final
+      // Unpin reclaims it — object ids are never reused, so nothing can pin
+      // it back into the page table meanwhile.
+      f.doomed = true;
+    } else {
+      f.valid = false;
+    }
   }
   return store_->DropObject(object_id);
 }
@@ -350,9 +370,10 @@ void BufferPool::FlusherLoop(uint64_t interval_ms) {
     lock.unlock();
     {
       // Best effort: a failed writeback stays dirty and is retried by the
-      // next cycle, eviction, or checkpoint flush.
+      // next cycle, eviction, or checkpoint flush. Pinned frames are skipped
+      // — their holders may be mutating the bytes right now.
       std::lock_guard<std::mutex> pool_lock(mu_);
-      (void)WriteBackDirtyLocked();
+      (void)WriteBackDirtyLocked(/*skip_pinned=*/true);
     }
     lock.lock();
   }

@@ -179,8 +179,10 @@ class BufferPool {
   /// caller holds the engine quiescent) and syncs the store.
   Status FlushAll();
 
-  /// Drops every cached frame of the object and its store pages. Fails
-  /// (FailedPrecondition) if any of its frames is still pinned.
+  /// Drops the object everywhere: store pages are deleted now, unpinned
+  /// cached frames are freed now, and a still-pinned frame is doomed — its
+  /// dirty bit is cleared, no writeback path touches it again (dead pages
+  /// must never resurrect a store file), and the final Unpin reclaims it.
   Status DropObject(uint32_t object_id);
 
   /// Starts/stops the background flusher (writes dirty pages every
@@ -203,6 +205,9 @@ class BufferPool {
     uint32_t pins = 0;
     bool valid = false;
     bool ref = false;
+    /// Object dropped while this frame was pinned: excluded from every
+    /// writeback, reclaimed by the final Unpin (see DropObject).
+    bool doomed = false;
     /// Written by MarkDirty without mu_ (the pin guarantees residency);
     /// read/cleared by writeback paths under mu_.
     std::atomic<bool> dirty{false};
@@ -213,8 +218,13 @@ class BufferPool {
   /// kNoFrame when everything is pinned, or an eviction/writeback error.
   /// Caller holds mu_.
   Result<size_t> SweepLocked();
-  /// Writes every dirty frame back to the store. Caller holds mu_.
-  Status WriteBackDirtyLocked();
+  /// Writes dirty frames back to the store; doomed frames are always
+  /// excluded. `skip_pinned` (the background flusher) also excludes frames
+  /// with live pins — their holders mutate page bytes under only the table
+  /// latch, so a concurrent writeback could persist a torn image and lose a
+  /// racing MarkDirty. FlushAll passes false: the checkpoint caller is
+  /// quiescent, so pinned frames are stable there. Caller holds mu_.
+  Status WriteBackDirtyLocked(bool skip_pinned);
   void FlusherLoop(uint64_t interval_ms);
 
   static constexpr size_t kNoFrame = static_cast<size_t>(-1);

@@ -174,7 +174,7 @@ Result<uint64_t> Wal::Append(LogRecord record) {
   AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/append"));
   std::lock_guard<std::mutex> lock(mu_);
   if (poisoned_) {
-    return Status::Internal("wal unwritable: append fd lost at " + path_);
+    return Status::Internal("wal poisoned (lost append fd or failed fsync) at " + path_);
   }
   record.lsn = next_lsn_++;
   uint64_t lsn = record.lsn;
@@ -208,10 +208,16 @@ Status Wal::Sync() {
   AEDB_RETURN_IF_ERROR(AEDB_FAULT_POINT("wal/sync"));
   std::lock_guard<std::mutex> lock(mu_);
   if (poisoned_) {
-    return Status::Internal("wal unwritable: append fd lost at " + path_);
+    return Status::Internal("wal poisoned (lost append fd or failed fsync) at " + path_);
   }
   if (fd_ < 0) return Status::OK();
   if (::fsync(fd_) != 0) {
+    // The kernel reports a writeback error once, then clears it: a retried
+    // fsync on this (or a fresh) fd can "succeed" without the lost writes
+    // being durable. Poison the log so every later barrier fails until an
+    // atomic rewrite (e.g. checkpoint truncation) re-lands the whole image.
+    poisoned_ = true;
+    ++file_errors_;
     return Status::Internal(std::string("wal fsync: ") + std::strerror(errno));
   }
   ++fsyncs_;
@@ -228,7 +234,7 @@ Status Wal::SyncUpTo(uint64_t lsn) {
   ++sync_requests_;
   for (;;) {
     if (poisoned_) {
-      return Status::Internal("wal unwritable: append fd lost at " + path_);
+      return Status::Internal("wal poisoned (lost append fd or failed fsync) at " + path_);
     }
     if (fd_ < 0) return Status::OK();  // in-memory: trivially durable
     if (synced_lsn_ >= lsn) return Status::OK();  // a leader covered us
@@ -259,10 +265,19 @@ Status Wal::SyncUpTo(uint64_t lsn) {
     if (fd >= 0) ::close(fd);
     lock.lock();
     sync_in_progress_ = false;
-    sync_cv_.notify_all();
     if (rc != 0) {
+      // Do NOT let a follower elect itself leader and retry: the kernel
+      // clears the writeback error after reporting it once, so the retried
+      // fsync could return success without the failed writes being durable —
+      // acking commits that never reached disk. Poison the log instead:
+      // every queued and future barrier fails until an atomic rewrite (e.g.
+      // checkpoint truncation) re-lands the whole image on a fresh inode.
+      poisoned_ = true;
+      ++file_errors_;
+      sync_cv_.notify_all();
       return Status::Internal(std::string("wal fsync: ") + std::strerror(err));
     }
+    sync_cv_.notify_all();
     synced_lsn_ = std::max(synced_lsn_, covered);
     ++fsyncs_;
     ++group_commit_batches_;
@@ -337,6 +352,9 @@ WalLoadResult Wal::LoadImage(Slice image) {
   std::lock_guard<std::mutex> lock(mu_);
   records_ = parsed.records;
   next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
+  // next_lsn_ may have moved backwards; a stale fsync watermark would let
+  // SyncUpTo treat brand-new records at reused LSNs as already durable.
+  synced_lsn_ = 0;
   // The durable image keeps only the intact prefix: recovery discards a torn
   // tail for good, exactly like a real log manager zeroing past end-of-log.
   if (parsed.bytes_consumed < image.size()) {
@@ -363,6 +381,8 @@ void Wal::Replace(std::vector<LogRecord> records) {
   std::lock_guard<std::mutex> lock(mu_);
   records_ = std::move(records);
   next_lsn_ = records_.empty() ? 1 : records_.back().lsn + 1;
+  // See LoadImage: a rewound LSN space invalidates the fsync watermark.
+  synced_lsn_ = 0;
   RebuildImageLocked();
   // Failure is recorded in file_errors_ / poisoned_ (no status channel here).
   if (fd_ >= 0 || poisoned_) (void)RewriteFileLocked();

@@ -141,7 +141,10 @@ class Wal {
   /// commits-per-fsync ≫ 1 under concurrency. With one caller the behavior
   /// is exactly Sync(). The `wal/sync` fault point fires per *caller* at
   /// entry — before joining any cohort — so a faulted committer never has
-  /// its commit made durable by a neighbor's fsync.
+  /// its commit made durable by a neighbor's fsync. A leader's failed fsync
+  /// poisons the log (see poisoned()): followers are NOT allowed to retry
+  /// the fsync and trust its result, so no commit is ever acked off a
+  /// barrier that reported an error.
   Status SyncUpTo(uint64_t lsn);
 
   /// Leader linger before the cohort fsync (0 = fsync immediately; natural
@@ -193,8 +196,11 @@ class Wal {
   /// in-memory mirror (failed truncation rewrites, failed torn-append
   /// writes, failed reopens). Nonzero means disk state lags `image_`.
   uint64_t file_errors() const;
-  /// True after a rewrite lost the append fd entirely: Append/Sync refuse
-  /// with an error (never silently degrade to in-memory mode) until a later
+  /// True after the log became unwritable: a rewrite lost the append fd, or
+  /// an fsync failed (the kernel clears a writeback error after reporting it
+  /// once, so a retried fsync cannot be trusted — it may "succeed" with the
+  /// failed writes still lost). Append/Sync/SyncUpTo refuse with an error
+  /// (never silently degrade to in-memory mode) until a later atomic
   /// rewrite — e.g. the next checkpoint truncation — succeeds.
   bool poisoned() const;
 
@@ -223,9 +229,12 @@ class Wal {
   uint64_t group_commit_batches_ = 0;
 
   int fd_ = -1;  // -1: in-memory mode (unless poisoned_)
-  /// File-backed but the append fd was lost (reopen after an atomic rewrite
-  /// failed). Distinguished from fd_ == -1 in-memory mode so a transient
-  /// open failure cannot silently turn a durable log into a volatile one.
+  /// File-backed but unwritable: the append fd was lost (reopen after an
+  /// atomic rewrite failed) or an fsync failed (retrying fsync after a
+  /// failure is unsound — the kernel clears the writeback error). Sticky
+  /// until a successful atomic rewrite; distinguished from fd_ == -1
+  /// in-memory mode so neither failure silently turns a durable log into a
+  /// volatile one.
   bool poisoned_ = false;
   std::string path_;
   uint64_t fsyncs_ = 0;

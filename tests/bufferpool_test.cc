@@ -110,13 +110,38 @@ TEST_F(BufferPoolTest, AllPinnedPoolRefusesThenRecovers) {
   ASSERT_TRUE(rescued.ok()) << rescued.status().ToString();
   rescued->Release();
 
-  // DropObject refuses while frames are pinned.
-  Status drop = pool.DropObject(obj);
-  EXPECT_FALSE(drop.ok());
+  // DropObject while frames are still pinned: it succeeds, store pages are
+  // deleted immediately, and the pinned frames are doomed — even a stale
+  // holder re-dirtying its pin afterwards must never write a dead object's
+  // page back to the store.
+  for (auto& pin : held) {
+    if (!pin.holds()) continue;
+    std::memset(pin.data(), 0xee, 16);
+    pin.MarkDirty();
+  }
+  ASSERT_TRUE(pool.DropObject(obj).ok());
+  for (auto& pin : held) {
+    if (pin.holds()) {
+      pin.MarkDirty();  // stale holder touches its doomed frame post-drop
+      break;
+    }
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());  // must skip the doomed frames
   held.clear();
-  EXPECT_TRUE(pool.DropObject(obj).ok());
-  // Dropped pages are gone from cache and store alike.
+  EXPECT_EQ(pool.pinned(), 0u);
+  Bytes img(Page::kPageSize, 0);
+  EXPECT_TRUE(store.Read(PageId{obj, 0}, img.data()).IsNotFound());
+  // Dropped pages are gone from the cache too...
   EXPECT_FALSE(pool.Pin(PageId{obj, 0}, /*create=*/false).ok());
+  // ...and every doomed frame was reclaimed at its final unpin: a fresh
+  // object can pin the entire pool without leaking a single frame.
+  uint32_t obj2 = pool.NewObject();
+  std::vector<PinnedPage> refill;
+  for (uint32_t p = 0; p < BufferPool::kMinPages; ++p) {
+    auto pin = pool.Pin(PageId{obj2, p}, /*create=*/true);
+    ASSERT_TRUE(pin.ok()) << "frame leaked: " << pin.status().ToString();
+    refill.push_back(std::move(*pin));
+  }
 }
 
 TEST_F(BufferPoolTest, EvictFaultFailsPinAndLeavesVictimCached) {
@@ -193,6 +218,37 @@ TEST_F(BufferPoolTest, BackgroundFlusherWritesDirtyPages) {
   EXPECT_EQ(img[8], 0xc3);
   EXPECT_EQ(pool.stats().evictions, 0u);
   EXPECT_GT(pool.stats().writebacks, 0u);
+}
+
+/// The flusher must leave pinned frames alone: their holders mutate page
+/// bytes under only the table latch, so a concurrent writeback could persist
+/// a torn image — and a MarkDirty racing the dirty-bit clear would be lost.
+TEST_F(BufferPoolTest, FlusherSkipsPinnedFramesAndKeepsThemDirty) {
+  MemPageStore store;
+  BufferPool pool(&store, BufferPool::kMinPages);
+  uint32_t obj = pool.NewObject();
+  pool.StartFlusher(/*interval_ms=*/2);
+
+  auto pin = pool.Pin(PageId{obj, 0}, /*create=*/true);
+  ASSERT_TRUE(pin.ok());
+  std::memset(pin->data(), 0x7b, Page::kPageSize);
+  pin->MarkDirty();
+  // Many flusher cycles pass; the pinned frame never reaches the store.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Bytes img(Page::kPageSize, 0);
+  EXPECT_TRUE(store.Read(PageId{obj, 0}, img.data()).IsNotFound());
+
+  // The skip kept the dirty bit: after unpin the flusher lands the page.
+  pin->Release();
+  Status read = Status::NotFound("never");
+  for (int i = 0; i < 500 && !read.ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    read = store.Read(PageId{obj, 0}, img.data());
+  }
+  pool.StopFlusher();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(img[Page::kPageSize - 1], 0x7b);
+  EXPECT_EQ(pool.stats().evictions, 0u);
 }
 
 /// Readers and writers over a working set several times the pool: eviction,
@@ -422,6 +478,32 @@ TEST_F(BufferPoolTest, SingleCommitterGroupCommitIsJustSync) {
   // Alone, every commit is its own cohort: ratio exactly 1.
   EXPECT_EQ(engine.wal().sync_requests(), 5u);
   EXPECT_EQ(engine.wal().group_commit_batches(), 5u);
+}
+
+/// LoadImage (the reopen-after-crash path) can rewind the LSN space; the
+/// fsync watermark must rewind with it, or SyncUpTo on records minted at
+/// reused LSNs would skip the fsync — a silent durability hole.
+TEST_F(BufferPoolTest, LoadImageResetsTheGroupCommitBarrier) {
+  TempDir dir;
+  Wal wal;
+  ASSERT_TRUE(wal.AttachFile(dir.path() + "/wal.log").ok());
+  LogRecord rec;
+  rec.txn_id = 1;
+  rec.type = LogRecordType::kBegin;
+  auto lsn = wal.Append(rec);
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE(wal.SyncUpTo(*lsn).ok());
+  const uint64_t fsyncs_before = wal.fsyncs();
+
+  wal.LoadImage(Bytes());  // empty image: next_lsn_ rewinds to 1
+  LogRecord rec2;
+  rec2.txn_id = 2;
+  rec2.type = LogRecordType::kBegin;
+  auto lsn2 = wal.Append(rec2);
+  ASSERT_TRUE(lsn2.ok()) << lsn2.status().ToString();
+  ASSERT_LE(*lsn2, *lsn);  // a stale watermark would claim this is durable
+  ASSERT_TRUE(wal.SyncUpTo(*lsn2).ok());
+  EXPECT_GT(wal.fsyncs(), fsyncs_before) << "barrier rode a stale watermark";
 }
 
 /// The crash-point matrix with group commit on: the acked prefix stays exact
