@@ -1,0 +1,227 @@
+// Shard-scaling benchmark: TPC-C over the warehouse-partitioned router at
+// 1/2/4 shards, sweeping the cross-shard (remote New-Order/Payment) fraction.
+// Each cell runs the closed-loop benchcraft mix in-process against a
+// ShardedDatabase, then cross-checks the router's view of the final state
+// against the per-shard engines directly (wrong_results must stay 0).
+// Emits BENCH_shard.json.
+//
+// On multi-core hosts the 1->4 shard curve at remote_pct=0 shows the
+// shared-nothing scaling claim; on a single core the win is confined to
+// reduced lock contention (hot district rows split across engines), so the
+// JSON records the core count alongside each cell.
+//
+// Flags: --seconds=<per cell> --threads=N --shards=a,b,c --remote=a,b,c
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "server/router.h"
+#include "tpcc/tpcc.h"
+
+namespace aedb::bench {
+namespace {
+
+/// One fully provisioned sharded deployment with TPC-C loaded.
+struct ShardedDeployment {
+  std::unique_ptr<keys::InMemoryKeyVault> vault;
+  keys::KeyProviderRegistry registry;
+  crypto::RsaPrivateKey author_key;
+  enclave::EnclaveImage image;
+  std::unique_ptr<attestation::HostGuardianService> hgs;
+  std::unique_ptr<server::ShardedDatabase> db;
+
+  std::unique_ptr<client::Driver> MakeDriver() {
+    client::DriverOptions opts;
+    opts.enclave_policy.trusted_author_id = image.AuthorId();
+    return std::make_unique<client::Driver>(db.get(), &registry,
+                                            hgs->signing_public(), opts);
+  }
+};
+
+std::unique_ptr<ShardedDeployment> SetUp(uint32_t shards,
+                                         const tpcc::TpccConfig& config) {
+  auto d = std::make_unique<ShardedDeployment>();
+  d->vault = std::make_unique<keys::InMemoryKeyVault>();
+  if (!d->vault->CreateKey("kv/shard-bench", 1024).ok()) return nullptr;
+  if (!d->registry.Register(d->vault.get()).ok()) return nullptr;
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("shard-bench-author")));
+  d->author_key = crypto::GenerateRsaKey(1024, &drbg);
+  d->image = enclave::EnclaveImage::MakeEsImage(1, d->author_key);
+  d->hgs = std::make_unique<attestation::HostGuardianService>();
+
+  server::ShardedOptions opts;
+  opts.shards = shards;
+  // Short lock timeout: contention resolves as quick aborts instead of
+  // multi-second stalls (laptop-scale W makes district rows hot).
+  opts.base.engine.lock_timeout = std::chrono::milliseconds(100);
+  d->db = std::make_unique<server::ShardedDatabase>(std::move(opts),
+                                                    d->hgs.get(), &d->image);
+  for (uint32_t i = 0; i < d->db->shard_count(); ++i) {
+    d->hgs->RegisterTcgLog(d->db->shard(i)->platform()->tcg_log());
+  }
+  if (!d->db->Open().ok()) return nullptr;
+
+  auto loader_driver = d->MakeDriver();
+  tpcc::TpccLoader loader(loader_driver.get(), config);
+  Status st = loader.CreateSchema();
+  if (!st.ok()) {
+    std::fprintf(stderr, "schema: %s\n", st.ToString().c_str());
+    return nullptr;
+  }
+  st = loader.Load();
+  if (!st.ok()) {
+    std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+    return nullptr;
+  }
+  return d;
+}
+
+/// Cross-checks the router's aggregate view against the shard engines
+/// directly; any mismatch is a wrong result (a 2PC atomicity or routing bug).
+uint64_t CountWrongResults(ShardedDeployment* d) {
+  auto driver = d->MakeDriver();
+  uint64_t wrong = 0;
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM Orders", "SELECT COUNT(*) FROM OrderLine",
+      "SELECT COUNT(*) FROM NewOrder", "SELECT COUNT(*) FROM History"};
+  for (const char* q : queries) {
+    auto routed = driver->Query(q);
+    if (!routed.ok() || routed->rows.empty()) {
+      std::fprintf(stderr, "verify %s: %s\n", q,
+                   routed.status().ToString().c_str());
+      ++wrong;
+      continue;
+    }
+    int64_t direct_sum = 0;
+    bool direct_ok = true;
+    for (uint32_t s = 0; s < d->db->shard_count(); ++s) {
+      auto r = d->db->shard(s)->Execute(q, {});
+      if (!r.ok() || r->rows.empty()) {
+        direct_ok = false;
+        break;
+      }
+      direct_sum += r->rows[0][0].i64();
+    }
+    if (!direct_ok || routed->rows[0][0].i64() != direct_sum) ++wrong;
+  }
+  return wrong;
+}
+
+struct Cell {
+  uint32_t shards = 0;
+  int remote_pct = 0;
+  tpcc::BenchcraftResult result;
+  uint64_t two_phase_commits = 0;
+  uint64_t wrong_results = 0;
+};
+
+int Main(int argc, char** argv) {
+  double seconds = 2.0;
+  int threads = 4;
+  std::vector<uint32_t> shard_counts = {1, 2, 4};
+  std::vector<int> remote_pcts = {0, 10, 25};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + strlen(prefix) : nullptr;
+    };
+    if (const char* v = val("--seconds=")) seconds = atof(v);
+    if (const char* v = val("--threads=")) threads = std::max(1, atoi(v));
+    if (const char* v = val("--shards=")) {
+      shard_counts.clear();
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ','))
+        shard_counts.push_back(static_cast<uint32_t>(atoi(tok.c_str())));
+    }
+    if (const char* v = val("--remote=")) {
+      remote_pcts.clear();
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) remote_pcts.push_back(atoi(tok.c_str()));
+    }
+  }
+
+  tpcc::TpccConfig config;
+  config.warehouses = 4;  // fixed data size; only the shard count varies
+  config.districts_per_warehouse = 4;
+  config.customers_per_district = 30;
+  config.items = 100;
+  config.initial_orders_per_district = 10;
+  config.encryption = tpcc::Encryption::kPlaintext;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("# shard scaling: W=%d, %d terminals, %.1fs/cell, %u cores\n",
+              config.warehouses, threads, seconds, cores);
+  std::printf("%-7s %-10s %10s %10s %10s %8s %6s\n", "shards", "remote_pct",
+              "txn/s", "committed", "aborted", "2pc", "wrong");
+
+  std::vector<Cell> cells;
+  bool failed = false;
+  for (uint32_t shards : shard_counts) {
+    for (int remote : remote_pcts) {
+      tpcc::TpccConfig cell_config = config;
+      cell_config.remote_pct = remote;
+      auto d = SetUp(shards, cell_config);
+      if (!d) return 1;
+      Cell cell;
+      cell.shards = shards;
+      cell.remote_pct = remote;
+      cell.result = tpcc::RunBenchcraft([&] { return d->MakeDriver(); },
+                                        cell_config, threads, seconds);
+      cell.two_phase_commits = d->db->two_phase_commits();
+      cell.wrong_results = CountWrongResults(d.get());
+      if (!cell.result.first_error.empty()) {
+        std::fprintf(stderr, "cell shards=%u remote=%d: %s\n", shards, remote,
+                     cell.result.first_error.c_str());
+        failed = true;
+      }
+      if (cell.wrong_results != 0) failed = true;
+      std::printf("%-7u %-10d %10.1f %10llu %10llu %8llu %6llu\n", shards,
+                  remote, cell.result.txn_per_second,
+                  (unsigned long long)cell.result.committed,
+                  (unsigned long long)cell.result.aborted,
+                  (unsigned long long)cell.two_phase_commits,
+                  (unsigned long long)cell.wrong_results);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_shard.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"warehouses\": %d,\n  \"threads\": %d,\n"
+                 "  \"seconds_per_cell\": %.2f,\n  \"cores\": %u,\n"
+                 "  \"cells\": [\n",
+                 config.warehouses, threads, seconds, cores);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"shards\": %u, \"remote_pct\": %d, "
+                   "\"txn_per_second\": %.2f, \"committed\": %llu, "
+                   "\"aborted\": %llu, \"two_phase_commits\": %llu, "
+                   "\"wrong_results\": %llu}%s\n",
+                   c.shards, c.remote_pct, c.result.txn_per_second,
+                   (unsigned long long)c.result.committed,
+                   (unsigned long long)c.result.aborted,
+                   (unsigned long long)c.two_phase_commits,
+                   (unsigned long long)c.wrong_results,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_shard.json\n");
+  }
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace aedb::bench
+
+int main(int argc, char** argv) { return aedb::bench::Main(argc, argv); }

@@ -7,13 +7,17 @@
 // results decrypted client-side, key material only ever crossing the wire
 // wrapped or sealed to the enclave.
 //
-//   aedb_serverd [--port N] [--enclave-threads N] [--batch-size N]
-//                [--max-connections N] [--max-inflight N] [--queue-depth N]
-//                [--retry-after-ms N] [--data-dir PATH] [--checkpoint-bytes N]
-//                [--key-seed N] [--die-at point[:skip]]
+//   aedb_serverd [--port N] [--shards N] [--enclave-threads N]
+//                [--batch-size N] [--max-connections N] [--max-inflight N]
+//                [--queue-depth N] [--retry-after-ms N] [--data-dir PATH]
+//                [--checkpoint-bytes N] [--key-seed N] [--die-at point[:skip]]
 //                [--drain-deadline-ms N] [--demo]
 //
 // --port 0 picks an ephemeral port (printed on stdout).
+// --shards N > 1 runs N shared-nothing engine shards partitioned by TPC-C
+// warehouse id behind the 2PC router; with --data-dir, shard i persists under
+// <dir>/shard-<i> and the coordinator decision log in <dir>/2pc.log. Each
+// shard has its own enclave, attested separately by connecting drivers.
 // --max-connections caps concurrent TCP sessions; excess connections get a
 // typed kOverloaded rejection frame instead of a silent worker thread.
 // --max-inflight / --queue-depth / --retry-after-ms tune the admission gate,
@@ -48,6 +52,7 @@
 #include "fault/fault.h"
 #include "net/server.h"
 #include "net/socket_transport.h"
+#include "server/router.h"
 
 using namespace aedb;
 using types::Value;
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
   bool demo = false;
   long key_seed = -1;
   long drain_deadline_ms = 5000;
+  long shards = 1;
   auto parse_int = [&](const char* flag, const char* text, long min, long max,
                        long* out) {
     char* end = nullptr;
@@ -147,6 +153,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       if (!parse_int("--port", argv[++i], 0, 65535, &v)) return 2;
       config.port = static_cast<uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      // Shared-nothing engine shards, warehouse-partitioned (1 = plain
+      // single-engine database, no router in the path).
+      if (!parse_int("--shards", argv[++i], 1, 64, &v)) return 2;
+      shards = v;
     } else if (std::strcmp(argv[i], "--enclave-threads") == 0 && i + 1 < argc) {
       if (!parse_int("--enclave-threads", argv[++i], 0, 256, &v)) return 2;
       server_opts.enclave_worker_threads = static_cast<int>(v);
@@ -236,7 +247,7 @@ int main(int argc, char** argv) {
       demo = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--enclave-threads N] "
+                   "usage: %s [--port N] [--shards N] [--enclave-threads N] "
                    "[--batch-size N] [--max-connections N] [--max-inflight N] "
                    "[--queue-depth N] [--retry-after-ms N] [--io-threads N] "
                    "[--exec-threads N] [--idle-timeout-ms N] "
@@ -263,14 +274,29 @@ int main(int argc, char** argv) {
   attestation::HostGuardianService hgs =
       key_seed >= 0 ? attestation::HostGuardianService(Slice(seed_bytes))
                     : attestation::HostGuardianService();
-  server::Database db(server_opts, &hgs, &image);
-  hgs.RegisterTcgLog(db.platform()->tcg_log());
+  std::unique_ptr<server::SqlBackend> db;
+  if (shards > 1) {
+    server::ShardedOptions sopts;
+    sopts.shards = static_cast<uint32_t>(shards);
+    sopts.base = server_opts;
+    auto sharded = std::make_unique<server::ShardedDatabase>(
+        std::move(sopts), &hgs, &image);
+    for (uint32_t i = 0; i < sharded->shard_count(); ++i) {
+      hgs.RegisterTcgLog(sharded->shard(i)->platform()->tcg_log());
+    }
+    db = std::move(sharded);
+  } else {
+    auto single = std::make_unique<server::Database>(server_opts, &hgs, &image);
+    hgs.RegisterTcgLog(single->platform()->tcg_log());
+    db = std::move(single);
+  }
 
   // Durable startup: recover catalog + data from the data dir (no-op when
-  // --data-dir was not given).
-  CHECK_OK(db.Open());
+  // --data-dir was not given). Under --shards each shard recovers from its
+  // own WAL, then in-doubt 2PC participants settle against the decision log.
+  CHECK_OK(db->Open());
   if (!server_opts.data_dir.empty()) {
-    const server::Database::RecoveryInfo& ri = db.recovery_info();
+    const server::RecoveryInfo& ri = db->recovery_info();
     std::printf("recovered %s in %llu ms: %llu WAL records replayed, "
                 "%zu DDL statements, checkpoint_lsn=%llu%s\n",
                 server_opts.data_dir.c_str(),
@@ -281,7 +307,7 @@ int main(int argc, char** argv) {
                 ri.clean_shutdown ? " (clean shutdown)" : "");
   }
 
-  net::Server server(&db, config);
+  net::Server server(db.get(), config);
   CHECK_OK(server.Start());
   std::printf("aedb_serverd listening on %s:%u (enclave author %s)\n",
               config.bind_address.c_str(), server.port(),
@@ -309,9 +335,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "drain deadline (%ld ms) exceeded; forcing dirty exit\n",
                  drain_deadline_ms);
-    // Best effort durability: fsync what the WAL already has. No clean marker
-    // — the next startup runs normal recovery.
-    (void)db.engine().wal().Sync();
+    // Best effort durability: fsync what the WALs already have. No clean
+    // marker — the next startup runs normal recovery.
+    (void)db->SyncWals();
     std::fflush(nullptr);
     std::_Exit(3);
   }
@@ -328,12 +354,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.queries_rejected.load()),
               static_cast<unsigned long long>(s.queries_expired.load()),
               static_cast<unsigned long long>(s.queue_depth_highwater.load()));
-  Status shut = db.Shutdown();
+  Status shut = db->Shutdown();
   if (!shut.ok()) {
     std::fprintf(stderr, "shutdown checkpoint skipped: %s\n",
                  shut.ToString().c_str());
   }
-  const server::DatabaseStats ds = db.Stats();
+  const server::DatabaseStats ds = db->Stats();
   std::printf("durability: recovery_ms=%llu wal_records_replayed=%llu "
               "torn_bytes_dropped=%llu checkpoints_taken=%llu wal_bytes=%llu "
               "fsyncs=%llu wal_file_errors=%llu\n",

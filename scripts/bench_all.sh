@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Regenerates every recorded BENCH_*.json artifact from the current tree and
+# validates the results: each file must exist, parse as JSON, and (where the
+# bench defines one) satisfy its correctness gate — the benches themselves
+# exit non-zero on wrong results, shed-query typing violations, shrunk
+# connection herds, or a failed recovery verify.
+#
+#   scripts/bench_all.sh            # build + run all JSON-emitting benches
+#   scripts/bench_all.sh --quick    # shorter measurement windows (smoke run;
+#                                   # artifact shapes only, numbers noisy)
+#
+# Artifacts (written to the repo root, the roadmap's recorded-artifacts
+# convention):
+#   BENCH_batch.json      bench_enclave_call --sweep-only   (morsel sweep)
+#   BENCH_connscale.json  bench_net --connscale             (socket scale)
+#   BENCH_overload.json   bench_overload                    (degradation)
+#   BENCH_recovery.json   bench_recovery                    (+BENCH_commit)
+#   BENCH_shard.json      bench_shard                       (2PC scaling)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run() { echo "==> $*"; "$@"; }
+
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build -j "$JOBS" --target \
+    bench_enclave_call bench_net bench_overload bench_recovery bench_shard
+
+run ./build/bench/bench_enclave_call --sweep-only
+run ./build/bench/bench_net --connscale
+run ./build/bench/bench_overload
+run ./build/bench/bench_recovery
+if [[ "$QUICK" == "1" ]]; then
+  run ./build/bench/bench_shard --seconds=1.0
+else
+  run ./build/bench/bench_shard
+fi
+
+# Every artifact must exist and parse; bench_shard's cells must additionally
+# report zero wrong results (also enforced by its exit code — double-checked
+# here so a hand-edited artifact can't slip through review).
+for j in BENCH_batch.json BENCH_connscale.json BENCH_overload.json \
+         BENCH_recovery.json BENCH_commit.json BENCH_shard.json; do
+  [[ -s "$j" ]] || { echo "bench_all: missing $j" >&2; exit 1; }
+  python3 -m json.tool "$j" > /dev/null \
+      || { echo "bench_all: $j is not valid JSON" >&2; exit 1; }
+done
+python3 - <<'EOF'
+import json, sys
+cells = json.load(open("BENCH_shard.json"))["cells"]
+bad = [c for c in cells if c["wrong_results"] != 0]
+if bad:
+    sys.exit(f"bench_all: BENCH_shard.json has wrong results: {bad}")
+shards = {c["shards"] for c in cells}
+if not {1, 2, 4} <= shards:
+    sys.exit(f"bench_all: BENCH_shard.json missing shard counts: {sorted(shards)}")
+if not any(c["two_phase_commits"] > 0 for c in cells if c["remote_pct"] > 0):
+    sys.exit("bench_all: no cross-shard cell exercised two-phase commit")
+EOF
+
+echo "bench_all: all artifacts regenerated and validated"

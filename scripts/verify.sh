@@ -23,6 +23,12 @@
 #                               # bufferpool suite plus TPC-C with a working
 #                               # set many times the pool (ctest -L
 #                               # large_data, gated on AEDB_RUN_LARGE_DATA)
+#   scripts/verify.sh --shard-torture  # also run the cross-shard atomicity
+#                               # lane: ctest -L shard_torture with the kill
+#                               # -9 serverd half enabled (every 2pc/* fault
+#                               # boundary crashed and recovered), plus the
+#                               # shard-scaling bench (bench_shard ->
+#                               # BENCH_shard.json, zero wrong results)
 #
 # Exits non-zero on the first failing step.
 set -euo pipefail
@@ -38,6 +44,9 @@ run ctest --test-dir build --output-on-failure
 # The torture matrix runs as part of the suite above; run it again by label so
 # a filtered/flaky-retry CI lane still exercises every WAL crash point.
 run ctest --test-dir build -L torture --output-on-failure
+# Same rationale for the sharding/2PC suite: shard_test and the in-process
+# 2pc/* fault matrix are tier-1, so a label-filtered lane still covers them.
+run ctest --test-dir build -L shard --output-on-failure
 
 if [[ "${1:-}" == "--asan" ]]; then
   run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -87,6 +96,20 @@ if [[ "${1:-}" == "--large-data" ]]; then
       --output-on-failure
 fi
 
+if [[ "${1:-}" == "--shard-torture" ]]; then
+  # Cross-shard atomicity lane, off tier-1 because the kill -9 half forks
+  # real aedb_serverd --shards=2 children. shard_torture_test crashes the
+  # coordinator at every 2pc/* boundary (pre-prepare, prepared-without-
+  # decision, pre-commit-decision, post-decision) via --die-at and mid-burst
+  # SIGKILL, then verifies both ledger halves match exactly (all-or-nothing)
+  # and every acknowledged commit survived. bench_shard records the 1/2/4
+  # shard scaling sweep and gates zero wrong results.
+  AEDB_RUN_SHARD_TORTURE=1 run ctest --test-dir build -L shard_torture \
+      --output-on-failure
+  run cmake --build build -j "$JOBS" --target bench_shard
+  run ./build/bench/bench_shard
+fi
+
 if [[ "${1:-}" == "--tsan" ]]; then
   # The data-race surface: enclave worker pool, multi-threaded net server
   # (epoll shards + exec pool + connection-scale suite), overload shedding,
@@ -96,11 +119,14 @@ if [[ "${1:-}" == "--tsan" ]]; then
   run cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DAEDB_SANITIZE=thread
   # bufferpool_test rides along for the pool's pin/evict/writeback races and
-  # the group-commit leader/follower handoff.
+  # the group-commit leader/follower handoff; shard_test for the router's
+  # cross-shard 2PC paths (per-shard engines + the coordinator's decision
+  # log) under the differential TPC-C run.
   run cmake --build build-tsan -j "$JOBS" --target enclave_test net_test \
-      server_test batch_equiv_test net_scale_test overload_test bufferpool_test
+      server_test batch_equiv_test net_scale_test overload_test \
+      bufferpool_test shard_test
   TSAN_OPTIONS=halt_on_error=1 run ctest --test-dir build-tsan \
-      -R 'enclave_test|net_test|server_test|batch_equiv_test|net_scale_test|overload_test|bufferpool_test' \
+      -R 'enclave_test|net_test|server_test|batch_equiv_test|net_scale_test|overload_test|bufferpool_test|shard_test' \
       --output-on-failure
 fi
 

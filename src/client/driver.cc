@@ -41,9 +41,27 @@ std::string LowerStr(std::string s) {
   return s;
 }
 
+/// Extracts the " [shard=N]" annotation the router stamps onto shard-origin
+/// errors; -1 when absent. Lets the recovery path re-attest exactly the
+/// shard whose enclave restarted instead of dropping every session.
+int ShardFromMessage(const std::string& msg) {
+  size_t pos = msg.find("[shard=");
+  if (pos == std::string::npos) return -1;
+  pos += 7;
+  int shard = 0;
+  bool any = false;
+  while (pos < msg.size() && msg[pos] >= '0' && msg[pos] <= '9') {
+    shard = shard * 10 + (msg[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (!any || pos >= msg.size() || msg[pos] != ']') return -1;
+  return shard;
+}
+
 }  // namespace
 
-Driver::Driver(server::Database* db, keys::KeyProviderRegistry* providers,
+Driver::Driver(server::SqlBackend* db, keys::KeyProviderRegistry* providers,
                crypto::RsaPublicKey hgs_public, DriverOptions options)
     : Driver(std::make_unique<InProcessTransport>(db), providers,
              std::move(hgs_public), std::move(options)) {}
@@ -89,10 +107,22 @@ Status Driver::ExecuteDdl(const std::string& sql) {
 
 void Driver::InvalidateSession() {
   std::lock_guard<std::mutex> lock(mu_);
-  has_session_ = false;
-  channel_.reset();
-  installed_ceks_.clear();
-  next_nonce_ = 0;
+  for (ShardSession& s : sessions_) {
+    s.has_session = false;
+    s.channel.reset();
+    s.installed_ceks.clear();
+    s.next_nonce = 0;
+  }
+}
+
+void Driver::InvalidateShardSession(uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard >= sessions_.size()) return;
+  ShardSession& s = sessions_[shard];
+  s.has_session = false;
+  s.channel.reset();
+  s.installed_ceks.clear();
+  s.next_nonce = 0;
 }
 
 Result<const DescribeResult*> Driver::Describe(const std::string& sql) {
@@ -101,7 +131,9 @@ Result<const DescribeResult*> Driver::Describe(const std::string& sql) {
     auto it = describe_cache_.find(sql);
     if (it != describe_cache_.end() && options_.cache_describe_results) {
       const DescribeResult* cached = &it->second;
-      if (!cached->requires_enclave || has_session_) return cached;
+      bool all_live = !sessions_.empty();
+      for (const ShardSession& s : sessions_) all_live &= s.has_session;
+      if (!cached->requires_enclave || all_live) return cached;
     }
   }
   ++describe_calls_;
@@ -180,62 +212,71 @@ Result<Bytes> Driver::CekMaterial(uint32_t cek_id) {
   return last;
 }
 
-Result<Bytes> Driver::SealForEnclave(Slice body, uint64_t* nonce_out) {
+Result<Bytes> Driver::SealForEnclave(uint32_t shard, Slice body,
+                                     uint64_t* nonce_out) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!has_session_) return Status::FailedPrecondition("no enclave session");
-  uint64_t nonce = next_nonce_++;
+  if (shard >= sessions_.size() || !sessions_[shard].has_session) {
+    return Status::FailedPrecondition("no enclave session for shard " +
+                                      std::to_string(shard));
+  }
+  ShardSession& s = sessions_[shard];
+  uint64_t nonce = s.next_nonce++;
   Bytes plain;
   PutU64(&plain, nonce);
   plain.insert(plain.end(), body.data(), body.data() + body.size());
   *nonce_out = nonce;
-  return channel_->Encrypt(plain, crypto::EncryptionScheme::kRandomized);
+  return s.channel->Encrypt(plain, crypto::EncryptionScheme::kRandomized);
 }
 
 Status Driver::EnsureEnclaveKeys(const std::vector<uint32_t>& cek_ids) {
-  std::vector<uint32_t> missing;
+  size_t shard_count;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (uint32_t id : cek_ids) {
-      if (installed_ceks_.count(id) == 0) missing.push_back(id);
-    }
+    shard_count = sessions_.size();
   }
-  if (missing.empty()) return Status::OK();
-  // Check enclave authorization: only CEKs under enclave-enabled CMKs may be
-  // sent to the enclave (the driver enforces this with the CMK signature).
-  Bytes body;
-  PutU32(&body, static_cast<uint32_t>(missing.size()));
-  for (uint32_t id : missing) {
-    server::KeyDescription meta;
+  // Every shard executes statements against its own enclave, so each shard's
+  // enclave needs its own copy of the CEKs — sealed under that shard's
+  // session channel.
+  for (uint32_t shard = 0; shard < shard_count; ++shard) {
+    std::vector<uint32_t> missing;
+    uint64_t session;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      auto it = key_meta_.find(id);
-      if (it != key_meta_.end()) meta = it->second;
+      const ShardSession& s = sessions_[shard];
+      session = s.session_id;
+      for (uint32_t id : cek_ids) {
+        if (s.installed_ceks.count(id) == 0) missing.push_back(id);
+      }
     }
-    Bytes material;
-    AEDB_ASSIGN_OR_RETURN(material, CekMaterial(id));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      meta = key_meta_.at(id);
+    if (missing.empty()) continue;
+    // Check enclave authorization: only CEKs under enclave-enabled CMKs may
+    // be sent to an enclave (the driver enforces this with the CMK
+    // signature).
+    Bytes body;
+    PutU32(&body, static_cast<uint32_t>(missing.size()));
+    for (uint32_t id : missing) {
+      Bytes material;
+      AEDB_ASSIGN_OR_RETURN(material, CekMaterial(id));
+      server::KeyDescription meta;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        meta = key_meta_.at(id);
+      }
+      if (!meta.cmk.enclave_enabled) {
+        return Status::SecurityError("CEK '" + meta.cek.name +
+                                     "' is not authorized for enclave use");
+      }
+      PutU32(&body, id);
+      PutLengthPrefixed(&body, material);
     }
-    if (!meta.cmk.enclave_enabled) {
-      return Status::SecurityError("CEK '" + meta.cek.name +
-                                   "' is not authorized for enclave use");
-    }
-    PutU32(&body, id);
-    PutLengthPrefixed(&body, material);
-  }
-  uint64_t nonce;
-  Bytes sealed;
-  AEDB_ASSIGN_OR_RETURN(sealed, SealForEnclave(body, &nonce));
-  uint64_t session;
-  {
+    uint64_t nonce;
+    Bytes sealed;
+    AEDB_ASSIGN_OR_RETURN(sealed, SealForEnclave(shard, body, &nonce));
+    AEDB_RETURN_IF_ERROR(
+        transport_->ForwardKeysToShard(shard, session, nonce, sealed));
     std::lock_guard<std::mutex> lock(mu_);
-    session = session_id_;
+    for (uint32_t id : missing) sessions_[shard].installed_ceks.insert(id);
   }
-  AEDB_RETURN_IF_ERROR(
-      transport_->ForwardKeysToEnclave(session, nonce, sealed));
-  std::lock_guard<std::mutex> lock(mu_);
-  for (uint32_t id : missing) installed_ceks_.insert(id);
   return Status::OK();
 }
 
@@ -381,8 +422,19 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
     // pool — the server converts a write shed mid-execution inside an
     // explicit transaction into kTransactionAborted), so the txn is intact
     // and the statement may be replayed even mid-transaction.
+    // A " [shard=N]" annotation from the router means exactly one shard's
+    // enclave died: drop only that shard's session so recovery re-attests
+    // one enclave, not all of them.
+    auto drop_dead_session = [&]() {
+      int shard = ShardFromMessage(failure.message());
+      if (shard >= 0) {
+        InvalidateShardSession(static_cast<uint32_t>(shard));
+      } else {
+        InvalidateSession();
+      }
+    };
     if (txn != 0 && cls != ErrorClass::kBackoffRetry) {
-      if (cls == ErrorClass::kReattest) InvalidateSession();
+      if (cls == ErrorClass::kReattest) drop_dead_session();
       return Status::TransactionAborted(
           "transaction state lost (" + std::string(ErrorClassName(cls)) +
           "): " + failure.message());
@@ -392,7 +444,7 @@ Result<sql::ResultSet> Driver::Query(const std::string& sql,
       // The statement never ran under the dead session: safe to replay after
       // re-attesting. Dropping the cached session makes the next attempt
       // re-attest, re-derive the DH channel, and re-install CEKs.
-      InvalidateSession();
+      drop_dead_session();
     } else if (cls == ErrorClass::kReconnect) {
       // The request's fate is unknown — the statement may have committed
       // before the connection died. Only reads are safe to replay.
@@ -469,18 +521,25 @@ Status Driver::ProvisionCek(const std::string& name,
 }
 
 Status Driver::EnsureSessionExists() {
-  bool need_session;
+  // One enclave session per shard: the shard is the unit of attestation. A
+  // shard whose enclave restarted loses only its own entry here.
+  uint32_t shard_count = transport_->shard_count();
+  if (shard_count == 0) shard_count = 1;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    need_session = !has_session_;
+    if (sessions_.size() < shard_count) sessions_.resize(shard_count);
   }
-  if (need_session) {
+  for (uint32_t shard = 0; shard < shard_count; ++shard) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (sessions_[shard].has_session) continue;
+    }
     crypto::HmacDrbg drbg(crypto::SecureRandom(48),
                           Slice(std::string_view("driver-ddl-dh")));
     crypto::DhKeyPair dh = crypto::GenerateDhKeyPair(&drbg);
     Bytes dh_public = crypto::DhPublicKeyBytes(dh);
     DescribeResult attest;
-    AEDB_ASSIGN_OR_RETURN(attest, transport_->Attest(dh_public));
+    AEDB_ASSIGN_OR_RETURN(attest, transport_->AttestShard(shard, dh_public));
     attestation::AttestationVerifier verifier(hgs_public_,
                                               options_.enclave_policy);
     Bytes secret;
@@ -489,28 +548,44 @@ Status Driver::EnsureSessionExists() {
                                                attest.attestation,
                                                dh.private_key, dh_public));
     std::lock_guard<std::mutex> lock(mu_);
-    has_session_ = true;
-    session_id_ = attest.attestation.session_id;
-    channel_ = std::make_unique<crypto::CellCodec>(secret);
-    next_nonce_ = 0;
-    installed_ceks_.clear();
+    ShardSession& s = sessions_[shard];
+    s.has_session = true;
+    s.session_id = attest.attestation.session_id;
+    s.channel = std::make_unique<crypto::CellCodec>(secret);
+    s.next_nonce = 0;
+    s.installed_ceks.clear();
+    if (shard == 0) session_id_ = s.session_id;
     ++attestations_;
   }
   return Status::OK();
 }
 
-Status Driver::AuthorizeStatement(const std::string& sql) {
-  AEDB_RETURN_IF_ERROR(EnsureSessionExists());
+Status Driver::AuthorizeStatementOnShard(uint32_t shard,
+                                         const std::string& sql) {
   Bytes hash = crypto::Sha256::Hash(Slice(std::string_view(sql)));
   uint64_t nonce;
   Bytes sealed;
-  AEDB_ASSIGN_OR_RETURN(sealed, SealForEnclave(hash, &nonce));
+  AEDB_ASSIGN_OR_RETURN(sealed, SealForEnclave(shard, hash, &nonce));
   uint64_t session;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    session = session_id_;
+    session = sessions_[shard].session_id;
   }
-  return transport_->ForwardEncryptionAuthorization(session, nonce, sealed);
+  return transport_->ForwardAuthorizationToShard(shard, session, nonce,
+                                                 sealed);
+}
+
+Status Driver::AuthorizeStatement(const std::string& sql) {
+  AEDB_RETURN_IF_ERROR(EnsureSessionExists());
+  size_t shard_count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shard_count = sessions_.size();
+  }
+  for (uint32_t shard = 0; shard < shard_count; ++shard) {
+    AEDB_RETURN_IF_ERROR(AuthorizeStatementOnShard(shard, sql));
+  }
+  return Status::OK();
 }
 
 Status Driver::ExecuteEnclaveDdl(const std::string& sql) {
@@ -537,12 +612,22 @@ Status Driver::ExecuteEnclaveDdl(const std::string& sql) {
   }
   AEDB_RETURN_IF_ERROR(EnsureEnclaveKeys(cek_ids));
 
-  uint64_t session;
+  // The conversion runs inside each shard's enclave against that shard's
+  // rows, under that shard's session authorization.
+  size_t shard_count;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    session = session_id_;
+    shard_count = sessions_.size();
   }
-  return transport_->ExecuteDdl(sql, session);
+  for (uint32_t shard = 0; shard < shard_count; ++shard) {
+    uint64_t session;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      session = sessions_[shard].session_id;
+    }
+    AEDB_RETURN_IF_ERROR(transport_->ExecuteDdlOnShard(shard, sql, session));
+  }
+  return Status::OK();
 }
 
 Status Driver::ClientSideEncryptColumn(const std::string& table,

@@ -63,8 +63,9 @@ struct DriverOptions {
 class Driver {
  public:
   /// In-process wiring (the seed's original form): the driver talks straight
-  /// to a `server::Database` through an owned InProcessTransport.
-  Driver(server::Database* db, keys::KeyProviderRegistry* providers,
+  /// to a `server::Database` (or the sharded router) through an owned
+  /// InProcessTransport.
+  Driver(server::SqlBackend* db, keys::KeyProviderRegistry* providers,
          crypto::RsaPublicKey hgs_public, DriverOptions options);
 
   /// Transport wiring: the driver issues every server round trip through
@@ -108,9 +109,12 @@ class Driver {
                                  types::EncKind kind,
                                  const std::string& key_column);
 
-  /// Drops the cached session (e.g. after a server restart) so the next
-  /// query re-attests.
+  /// Drops every cached shard session (e.g. after a server restart) so the
+  /// next query re-attests all shards.
   void InvalidateSession();
+  /// Drops one shard's cached session only: a restarted shard enclave
+  /// invalidates exactly that shard's attestation, not its peers'.
+  void InvalidateShardSession(uint32_t shard);
 
   // ----- stats (benchmarks) -----
   int64_t describe_calls() const { return describe_calls_; }
@@ -127,6 +131,18 @@ class Driver {
     server::DescribeResult result;
   };
 
+  /// One shard's enclave session. Each shard runs its own enclave, so
+  /// attestation, the DH channel, the nonce sequence, and the set of CEKs
+  /// installed are all per shard: restarting one shard's enclave invalidates
+  /// exactly one of these.
+  struct ShardSession {
+    bool has_session = false;
+    uint64_t session_id = 0;
+    std::unique_ptr<crypto::CellCodec> channel;
+    uint64_t next_nonce = 0;
+    std::set<uint32_t> installed_ceks;
+  };
+
   /// One describe+encrypt+execute pass, no recovery. Query() wraps this in
   /// the classification-driven retry loop.
   Result<sql::ResultSet> QueryAttempt(const std::string& sql,
@@ -136,7 +152,9 @@ class Driver {
   Result<Bytes> CekMaterial(uint32_t cek_id);
   Status EnsureSessionExists();
   Status EnsureEnclaveKeys(const std::vector<uint32_t>& cek_ids);
-  Result<Bytes> SealForEnclave(Slice body, uint64_t* nonce_out);
+  Result<Bytes> SealForEnclave(uint32_t shard, Slice body,
+                               uint64_t* nonce_out);
+  Status AuthorizeStatementOnShard(uint32_t shard, const std::string& sql);
   Result<types::Value> EncryptParam(const types::Value& plain,
                                     const server::DescribeResult::ParamInfo& info);
   Status DecryptResults(sql::ResultSet* results);
@@ -151,12 +169,11 @@ class Driver {
   std::map<std::string, server::DescribeResult> describe_cache_;
   std::map<uint32_t, Bytes> cek_cache_;           // decrypted CEKs (§4.1)
   std::map<uint32_t, server::KeyDescription> key_meta_;
-  // Session state (shared secret cached "across the entire client process").
-  bool has_session_ = false;
+  // Session state (shared secret cached "across the entire client process"),
+  // one entry per server shard. sessions_[0].session_id mirrors into
+  // session_id_ for the stats accessor.
+  std::vector<ShardSession> sessions_;
   uint64_t session_id_ = 0;
-  std::unique_ptr<crypto::CellCodec> channel_;
-  uint64_t next_nonce_ = 0;
-  std::set<uint32_t> installed_ceks_;
 
   int64_t describe_calls_ = 0;
   int64_t attestations_ = 0;

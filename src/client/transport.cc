@@ -41,6 +41,30 @@ Result<server::DescribeResult> InProcessTransport::Attest(
   return db_->Attest(client_dh_public);
 }
 
+Result<server::DescribeResult> InProcessTransport::AttestShard(
+    uint32_t shard, Slice client_dh_public) {
+  return db_->AttestShard(shard, client_dh_public);
+}
+
+Status InProcessTransport::ForwardKeysToShard(uint32_t shard,
+                                              uint64_t session_id,
+                                              uint64_t nonce, Slice sealed) {
+  return db_->ForwardKeysToShard(shard, session_id, nonce, sealed);
+}
+
+Status InProcessTransport::ForwardAuthorizationToShard(uint32_t shard,
+                                                       uint64_t session_id,
+                                                       uint64_t nonce,
+                                                       Slice sealed) {
+  return db_->ForwardAuthorizationToShard(shard, session_id, nonce, sealed);
+}
+
+Status InProcessTransport::ExecuteDdlOnShard(uint32_t shard,
+                                             const std::string& sql,
+                                             uint64_t session_id) {
+  return db_->ExecuteDdlOnShard(shard, sql, session_id);
+}
+
 Result<server::KeyDescription> InProcessTransport::GetKeyDescription(
     uint32_t cek_id) {
   return db_->GetKeyDescription(cek_id);

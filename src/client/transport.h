@@ -67,6 +67,36 @@ class Transport {
       const std::string& sql, Slice client_dh_public) = 0;
   virtual Result<server::DescribeResult> Attest(Slice client_dh_public) = 0;
 
+  // ----- sharding -----
+  /// Engine shards behind this server. The driver attests each shard's
+  /// enclave independently (per-node enclave state is the unit of
+  /// attestation) and seals keys/authorizations to each shard's session.
+  /// Single-shard defaults keep every pre-sharding transport working.
+  virtual uint32_t shard_count() const { return 1; }
+  virtual Result<server::DescribeResult> AttestShard(uint32_t shard,
+                                                     Slice client_dh_public) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return Attest(client_dh_public);
+  }
+  virtual Status ForwardKeysToShard(uint32_t shard, uint64_t session_id,
+                                    uint64_t nonce, Slice sealed) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return ForwardKeysToEnclave(session_id, nonce, sealed);
+  }
+  virtual Status ForwardAuthorizationToShard(uint32_t shard,
+                                             uint64_t session_id,
+                                             uint64_t nonce, Slice sealed) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return ForwardEncryptionAuthorization(session_id, nonce, sealed);
+  }
+  /// Runs a DDL statement on one shard only (enclave DDL is authorized per
+  /// shard session). Plain ExecuteDdl broadcasts.
+  virtual Status ExecuteDdlOnShard(uint32_t shard, const std::string& sql,
+                                   uint64_t session_id) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return ExecuteDdl(sql, session_id);
+  }
+
   // ----- key metadata -----
   virtual Result<server::KeyDescription> GetKeyDescription(uint32_t cek_id) = 0;
   virtual Result<types::EncryptionType> ColumnEncryption(
@@ -92,7 +122,7 @@ class Transport {
 /// Transport contract (value semantics) holds on both paths.
 class InProcessTransport : public Transport {
  public:
-  explicit InProcessTransport(server::Database* db) : db_(db) {}
+  explicit InProcessTransport(server::SqlBackend* db) : db_(db) {}
 
   void set_deadline(uint32_t remaining_ms) override {
     deadline_ms_ = remaining_ms;
@@ -114,6 +144,16 @@ class InProcessTransport : public Transport {
       const std::string& sql, Slice client_dh_public) override;
   Result<server::DescribeResult> Attest(Slice client_dh_public) override;
 
+  uint32_t shard_count() const override { return db_->shard_count(); }
+  Result<server::DescribeResult> AttestShard(uint32_t shard,
+                                             Slice client_dh_public) override;
+  Status ForwardKeysToShard(uint32_t shard, uint64_t session_id,
+                            uint64_t nonce, Slice sealed) override;
+  Status ForwardAuthorizationToShard(uint32_t shard, uint64_t session_id,
+                                     uint64_t nonce, Slice sealed) override;
+  Status ExecuteDdlOnShard(uint32_t shard, const std::string& sql,
+                           uint64_t session_id) override;
+
   Result<server::KeyDescription> GetKeyDescription(uint32_t cek_id) override;
   Result<types::EncryptionType> ColumnEncryption(
       const std::string& table, const std::string& column) override;
@@ -129,10 +169,10 @@ class InProcessTransport : public Transport {
       const std::string& table, const std::string& column,
       const sql::EncryptionSpec& enc) override;
 
-  server::Database* database() const { return db_; }
+  server::SqlBackend* database() const { return db_; }
 
  private:
-  server::Database* db_;
+  server::SqlBackend* db_;
   uint32_t deadline_ms_ = 0;
 };
 

@@ -97,6 +97,12 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  /// Generic factory for callers that re-wrap an existing status under the
+  /// same code with an augmented message (e.g. the shard router annotating
+  /// which shard an error came from so the driver can re-attest just it).
+  static Status FromCode(StatusCode code, std::string msg) {
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -371,6 +371,7 @@ Bytes HandshakeResp::Encode() const {
   PutU32(&out, server_version);
   PutU64(&out, connection_id);
   PutU32(&out, max_payload);
+  PutU32(&out, shard_count);
   return out;
 }
 
@@ -380,6 +381,9 @@ Result<HandshakeResp> HandshakeResp::Decode(Slice in) {
   AEDB_ASSIGN_OR_RETURN(resp.server_version, GetU32(in, &off));
   AEDB_ASSIGN_OR_RETURN(resp.connection_id, GetU64(in, &off));
   AEDB_ASSIGN_OR_RETURN(resp.max_payload, GetU32(in, &off));
+  // Trailing shard count is optional: a pre-sharding server has one shard.
+  if (off < in.size()) AEDB_ASSIGN_OR_RETURN(resp.shard_count, GetU32(in, &off));
+  if (resp.shard_count == 0) resp.shard_count = 1;
   return resp;
 }
 
@@ -435,6 +439,7 @@ Bytes DdlReq::Encode() const {
   Bytes out;
   EncodeString(&out, sql);
   PutU64(&out, session_id);
+  PutU32(&out, shard);
   return out;
 }
 
@@ -443,6 +448,8 @@ Result<DdlReq> DdlReq::Decode(Slice in) {
   DdlReq req;
   AEDB_ASSIGN_OR_RETURN(req.sql, DecodeString(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
+  // Trailing shard is optional: absent means broadcast (pre-sharding frame).
+  if (off < in.size()) AEDB_ASSIGN_OR_RETURN(req.shard, GetU32(in, &off));
   return req;
 }
 
@@ -450,6 +457,7 @@ Bytes DescribeReq::Encode() const {
   Bytes out;
   EncodeString(&out, sql);
   PutLengthPrefixed(&out, client_dh_public);
+  PutU32(&out, shard);
   return out;
 }
 
@@ -458,6 +466,7 @@ Result<DescribeReq> DescribeReq::Decode(Slice in) {
   DescribeReq req;
   AEDB_ASSIGN_OR_RETURN(req.sql, DecodeString(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.client_dh_public, GetLengthPrefixed(in, &off));
+  if (off < in.size()) AEDB_ASSIGN_OR_RETURN(req.shard, GetU32(in, &off));
   return req;
 }
 
@@ -466,6 +475,7 @@ Bytes ForwardReq::Encode() const {
   PutU64(&out, session_id);
   PutU64(&out, nonce);
   PutLengthPrefixed(&out, sealed);
+  PutU32(&out, shard);
   return out;
 }
 
@@ -475,6 +485,7 @@ Result<ForwardReq> ForwardReq::Decode(Slice in) {
   AEDB_ASSIGN_OR_RETURN(req.session_id, GetU64(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.nonce, GetU64(in, &off));
   AEDB_ASSIGN_OR_RETURN(req.sealed, GetLengthPrefixed(in, &off));
+  if (off < in.size()) AEDB_ASSIGN_OR_RETURN(req.shard, GetU32(in, &off));
   return req;
 }
 

@@ -143,6 +143,10 @@ struct HandshakeResp {
   /// which only attestation mints).
   uint64_t connection_id = 0;
   uint32_t max_payload = kDefaultMaxPayload;
+  /// Engine shard count behind this server (trailing + optional on the
+  /// wire: a pre-sharding server omits it and the driver assumes 1). The
+  /// driver attests each shard's enclave independently.
+  uint32_t shard_count = 1;
 
   Bytes Encode() const;
   static Result<HandshakeResp> Decode(Slice in);
@@ -176,9 +180,16 @@ struct QueryNamedReq {
   static Result<QueryNamedReq> Decode(Slice in);
 };
 
+/// DdlReq.shard value meaning "execute on every shard" (the default — a
+/// frame without the trailing shard field decodes to it).
+inline constexpr uint32_t kDdlAllShards = 0xFFFF'FFFFu;
+
 struct DdlReq {
   std::string sql;
   uint64_t session_id = 0;
+  /// Target shard, or kDdlAllShards for a broadcast. Enclave DDL must name
+  /// one shard: the authorization is sealed to that shard's session.
+  uint32_t shard = kDdlAllShards;
 
   Bytes Encode() const;
   static Result<DdlReq> Decode(Slice in);
@@ -188,6 +199,9 @@ struct DdlReq {
 struct DescribeReq {
   std::string sql;
   Bytes client_dh_public;
+  /// Shard whose enclave to attest/describe against (trailing + optional;
+  /// absent means shard 0 — the only shard of a pre-sharding server).
+  uint32_t shard = 0;
 
   Bytes Encode() const;
   static Result<DescribeReq> Decode(Slice in);
@@ -198,6 +212,9 @@ struct ForwardReq {
   uint64_t session_id = 0;
   uint64_t nonce = 0;
   Bytes sealed;
+  /// Shard whose enclave the sealed blob is addressed to (trailing +
+  /// optional; absent means shard 0).
+  uint32_t shard = 0;
 
   Bytes Encode() const;
   static Result<ForwardReq> Decode(Slice in);

@@ -68,7 +68,7 @@ struct Server::AcceptHandler : public reactor::EventHandler {
   Server* server;
 };
 
-Server::Server(server::Database* db, ServerConfig config)
+Server::Server(server::SqlBackend* db, ServerConfig config)
     : db_(db), config_(std::move(config)) {}
 
 Server::~Server() { Stop(); }
@@ -531,6 +531,7 @@ Server::RequestOutcome Server::ExecuteRequest(MsgType type,
       resp.server_version = kProtocolVersion;
       resp.connection_id = conn_id;
       resp.max_payload = config_.max_payload;
+      resp.shard_count = db_ != nullptr ? db_->shard_count() : 1;
       reply(MsgType::kHandshakeAck, resp.Encode());
       return out;
     }
@@ -608,7 +609,10 @@ Server::RequestOutcome Server::ExecuteRequest(MsgType type,
         reply_error(req.status());
         return out;
       }
-      reply_status(db_->ExecuteDdl(req->sql, req->session_id));
+      reply_status(req->shard == kDdlAllShards
+                       ? db_->ExecuteDdl(req->sql, req->session_id)
+                       : db_->ExecuteDdlOnShard(req->shard, req->sql,
+                                                req->session_id));
       return out;
     }
 
@@ -636,7 +640,7 @@ Server::RequestOutcome Server::ExecuteRequest(MsgType type,
         reply_error(req.status());
         return out;
       }
-      auto d = db_->Attest(req->client_dh_public);
+      auto d = db_->AttestShard(req->shard, req->client_dh_public);
       if (!d.ok()) {
         reply_error(d.status());
         return out;
@@ -694,10 +698,11 @@ Server::RequestOutcome Server::ExecuteRequest(MsgType type,
         return out;
       }
       reply_status(type == MsgType::kForwardKeys
-                       ? db_->ForwardKeysToEnclave(req->session_id, req->nonce,
-                                                   req->sealed)
-                       : db_->ForwardEncryptionAuthorization(
-                             req->session_id, req->nonce, req->sealed));
+                       ? db_->ForwardKeysToShard(req->shard, req->session_id,
+                                                 req->nonce, req->sealed)
+                       : db_->ForwardAuthorizationToShard(
+                             req->shard, req->session_id, req->nonce,
+                             req->sealed));
       return out;
     }
 

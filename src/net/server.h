@@ -193,7 +193,7 @@ struct ServerStatsSnapshot {
 /// connection alive.
 class Server {
  public:
-  Server(server::Database* db, ServerConfig config);
+  Server(server::SqlBackend* db, ServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -255,7 +255,7 @@ class Server {
   /// live gauges into the stats mirror.
   void RefreshMirrors() const;
 
-  server::Database* db_;
+  server::SqlBackend* db_;
   ServerConfig config_;
   mutable ServerStats stats_;
 

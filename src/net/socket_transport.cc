@@ -104,6 +104,7 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::Connect(
                                 std::to_string(resp.server_version));
   }
   t->connection_id_ = resp.connection_id;
+  t->shard_count_ = resp.shard_count;
   // Honor a smaller server-side frame limit.
   if (resp.max_payload < t->options_.max_payload) {
     t->options_.max_payload = resp.max_payload;
@@ -263,6 +264,49 @@ Result<server::DescribeResult> SocketTransport::Attest(Slice client_dh_public) {
   AEDB_ASSIGN_OR_RETURN(
       body, RoundTrip(MsgType::kAttest, req.Encode(), MsgType::kDescribeResp));
   return DecodeDescribeResult(body);
+}
+
+Result<server::DescribeResult> SocketTransport::AttestShard(
+    uint32_t shard, Slice client_dh_public) {
+  DescribeReq req;
+  req.client_dh_public = client_dh_public.ToBytes();
+  req.shard = shard;
+  Bytes body;
+  AEDB_ASSIGN_OR_RETURN(
+      body, RoundTrip(MsgType::kAttest, req.Encode(), MsgType::kDescribeResp));
+  return DecodeDescribeResult(body);
+}
+
+Status SocketTransport::ForwardKeysToShard(uint32_t shard, uint64_t session_id,
+                                           uint64_t nonce, Slice sealed) {
+  ForwardReq req;
+  req.session_id = session_id;
+  req.nonce = nonce;
+  req.sealed = sealed.ToBytes();
+  req.shard = shard;
+  return SendStatusRequest(MsgType::kForwardKeys, req.Encode());
+}
+
+Status SocketTransport::ForwardAuthorizationToShard(uint32_t shard,
+                                                    uint64_t session_id,
+                                                    uint64_t nonce,
+                                                    Slice sealed) {
+  ForwardReq req;
+  req.session_id = session_id;
+  req.nonce = nonce;
+  req.sealed = sealed.ToBytes();
+  req.shard = shard;
+  return SendStatusRequest(MsgType::kForwardAuthorization, req.Encode());
+}
+
+Status SocketTransport::ExecuteDdlOnShard(uint32_t shard,
+                                          const std::string& sql,
+                                          uint64_t session_id) {
+  DdlReq req;
+  req.sql = sql;
+  req.session_id = session_id;
+  req.shard = shard;
+  return SendStatusRequest(MsgType::kDdl, req.Encode());
 }
 
 Result<server::KeyDescription> SocketTransport::GetKeyDescription(

@@ -74,6 +74,17 @@ class SocketTransport : public client::Transport {
       const std::string& sql, Slice client_dh_public) override;
   Result<server::DescribeResult> Attest(Slice client_dh_public) override;
 
+  /// Shard count learned from the handshake (1 from a pre-sharding server).
+  uint32_t shard_count() const override { return shard_count_; }
+  Result<server::DescribeResult> AttestShard(uint32_t shard,
+                                             Slice client_dh_public) override;
+  Status ForwardKeysToShard(uint32_t shard, uint64_t session_id,
+                            uint64_t nonce, Slice sealed) override;
+  Status ForwardAuthorizationToShard(uint32_t shard, uint64_t session_id,
+                                     uint64_t nonce, Slice sealed) override;
+  Status ExecuteDdlOnShard(uint32_t shard, const std::string& sql,
+                           uint64_t session_id) override;
+
   Result<server::KeyDescription> GetKeyDescription(uint32_t cek_id) override;
   Result<types::EncryptionType> ColumnEncryption(
       const std::string& table, const std::string& column) override;
@@ -107,6 +118,7 @@ class SocketTransport : public client::Transport {
   int fd_;
   Options options_;
   uint64_t connection_id_ = 0;
+  uint32_t shard_count_ = 1;
   std::atomic<uint32_t> attempt_{0};
   std::atomic<uint32_t> deadline_ms_{0};
   /// A transport whose stream broke stays broken (no silent resync).

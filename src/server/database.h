@@ -147,11 +147,99 @@ struct TdsCapture {
   Bytes last_response;
 };
 
+/// What the last Open() found on disk and did about it (durable mode).
+/// Shared by the single-node Database and the sharded router (which
+/// aggregates its shards' numbers).
+struct RecoveryInfo {
+  bool ran = false;             // Open() performed durable recovery
+  bool clean_shutdown = false;  // the clean-shutdown marker was present
+  uint64_t recovery_ms = 0;
+  uint64_t wal_records_replayed = 0;  // WAL tail records fed to redo
+  uint64_t from_checkpoint_lsn = 0;   // 0 = no checkpoint file found
+  size_t ddl_statements_replayed = 0;
+  storage::RecoveryResult engine;
+};
+
+/// \brief The SQL surface a client transport talks to: implemented by the
+/// single-node Database and by the sharded router (ShardedDatabase). The
+/// shard-aware calls default to single-shard behavior so every existing
+/// backend keeps working unchanged; a sharded backend overrides them and the
+/// driver attests/keys each shard's enclave independently (per-node
+/// attestation is the unit of trust — "Pushing the Limits" §per-database
+/// enclave state).
+class SqlBackend {
+ public:
+  virtual ~SqlBackend() = default;
+
+  virtual Status ExecuteDdl(const std::string& sql, uint64_t session_id = 0) = 0;
+  virtual Result<DescribeResult> DescribeParameterEncryption(
+      const std::string& sql, Slice client_dh_public) = 0;
+  virtual uint64_t BeginTransaction() = 0;
+  virtual Status CommitTransaction(uint64_t txn) = 0;
+  virtual Status RollbackTransaction(uint64_t txn) = 0;
+  virtual Result<sql::ResultSet> Execute(const std::string& sql,
+                                         const std::vector<types::Value>& params,
+                                         uint64_t txn = 0,
+                                         uint64_t session_id = 0,
+                                         uint32_t deadline_ms = 0) = 0;
+  virtual Result<sql::ResultSet> ExecuteNamed(
+      const std::string& sql,
+      const std::vector<std::pair<std::string, types::Value>>& params,
+      uint64_t txn = 0, uint64_t session_id = 0, uint32_t deadline_ms = 0) = 0;
+  virtual Result<KeyDescription> GetKeyDescription(uint32_t cek_id) = 0;
+  virtual Result<DescribeResult> Attest(Slice client_dh_public) = 0;
+  virtual Result<types::EncryptionType> ColumnEncryption(
+      const std::string& table, const std::string& column) = 0;
+  virtual Status AlterColumnMetadataForClientTool(
+      const std::string& table, const std::string& column,
+      const sql::EncryptionSpec& enc) = 0;
+  virtual Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,
+                                      Slice sealed) = 0;
+  virtual Status ForwardEncryptionAuthorization(uint64_t session_id,
+                                                uint64_t nonce,
+                                                Slice sealed) = 0;
+  virtual sql::Catalog& catalog() = 0;
+  virtual DatabaseStats Stats() const = 0;
+  virtual Status Open() = 0;
+  virtual Status Shutdown() = 0;
+  virtual const RecoveryInfo& recovery_info() const = 0;
+  /// Forces every shard's WAL to disk (the serverd drain path).
+  virtual Status SyncWals() = 0;
+
+  // ----- sharding (single-shard defaults) -----
+  virtual uint32_t shard_count() const { return 1; }
+  /// Attestation against one shard's enclave. Each shard is its own unit of
+  /// attestation: the driver verifies and installs CEKs per shard.
+  virtual Result<DescribeResult> AttestShard(uint32_t shard,
+                                             Slice client_dh_public) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return Attest(client_dh_public);
+  }
+  virtual Status ForwardKeysToShard(uint32_t shard, uint64_t session_id,
+                                    uint64_t nonce, Slice sealed) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return ForwardKeysToEnclave(session_id, nonce, sealed);
+  }
+  virtual Status ForwardAuthorizationToShard(uint32_t shard,
+                                             uint64_t session_id,
+                                             uint64_t nonce, Slice sealed) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return ForwardEncryptionAuthorization(session_id, nonce, sealed);
+  }
+  /// Enclave DDL bound to one shard's session (authorization is sealed to a
+  /// specific enclave session, so the driver drives each shard separately).
+  virtual Status ExecuteDdlOnShard(uint32_t shard, const std::string& sql,
+                                   uint64_t session_id) {
+    if (shard != 0) return Status::InvalidArgument("no such shard");
+    return ExecuteDdl(sql, session_id);
+  }
+};
+
 /// \brief The untrusted SQL Server process: query engine + host side of the
 /// enclave. Everything here may be inspected by the strong adversary —
 /// pages, WAL, plan cache, TDS bytes — and none of it ever holds column
 /// plaintext for encrypted columns.
-class Database {
+class Database : public SqlBackend {
  public:
   /// `hgs` is the external attestation service (may be null when no enclave);
   /// `image` is the signed enclave binary to load.
@@ -163,16 +251,16 @@ class Database {
   /// Executes a DDL statement. ALTER TABLE ALTER COLUMN statements that
   /// change encryption run through the enclave and require the client to
   /// have authorized exactly this statement text on `session_id` (§3.2).
-  Status ExecuteDdl(const std::string& sql, uint64_t session_id = 0);
+  Status ExecuteDdl(const std::string& sql, uint64_t session_id = 0) override;
 
   // ----- the describe API -----
-  Result<DescribeResult> DescribeParameterEncryption(const std::string& sql,
-                                                     Slice client_dh_public);
+  Result<DescribeResult> DescribeParameterEncryption(
+      const std::string& sql, Slice client_dh_public) override;
 
   // ----- transactions -----
-  uint64_t BeginTransaction();
-  Status CommitTransaction(uint64_t txn);
-  Status RollbackTransaction(uint64_t txn);
+  uint64_t BeginTransaction() override;
+  Status CommitTransaction(uint64_t txn) override;
+  Status RollbackTransaction(uint64_t txn) override;
 
   // ----- parameterized execution -----
   /// `params` are wire values: plaintext-encoded for plaintext parameters,
@@ -184,38 +272,40 @@ class Database {
   Result<sql::ResultSet> Execute(const std::string& sql,
                                  const std::vector<types::Value>& params,
                                  uint64_t txn = 0, uint64_t session_id = 0,
-                                 uint32_t deadline_ms = 0);
+                                 uint32_t deadline_ms = 0) override;
 
   /// Named-parameter convenience: values are matched to the statement's
   /// deduced parameter order by (case-insensitive) name.
   Result<sql::ResultSet> ExecuteNamed(
       const std::string& sql,
       const std::vector<std::pair<std::string, types::Value>>& params,
-      uint64_t txn = 0, uint64_t session_id = 0, uint32_t deadline_ms = 0);
+      uint64_t txn = 0, uint64_t session_id = 0,
+      uint32_t deadline_ms = 0) override;
 
   /// Key metadata for one CEK (drivers fetch this to decrypt result columns).
-  Result<KeyDescription> GetKeyDescription(uint32_t cek_id);
+  Result<KeyDescription> GetKeyDescription(uint32_t cek_id) override;
 
   /// Attestation without a statement (drivers establishing a session for
   /// DDL authorization). Fills only the attestation fields.
-  Result<DescribeResult> Attest(Slice client_dh_public);
+  Result<DescribeResult> Attest(Slice client_dh_public) override;
 
   /// A column's current encryption configuration (server metadata).
-  Result<types::EncryptionType> ColumnEncryption(const std::string& table,
-                                                 const std::string& column);
+  Result<types::EncryptionType> ColumnEncryption(
+      const std::string& table, const std::string& column) override;
 
   /// Client-tool support (§2.4.2 round trip for enclave-disabled keys):
   /// changes a column's encryption metadata without transforming data — the
   /// client tool rewrites the rows itself. Refused while the column is
   /// indexed.
-  Status AlterColumnMetadataForClientTool(const std::string& table,
-                                          const std::string& column,
-                                          const sql::EncryptionSpec& enc);
+  Status AlterColumnMetadataForClientTool(
+      const std::string& table, const std::string& column,
+      const sql::EncryptionSpec& enc) override;
 
   // ----- driver→enclave passthrough (server is the man in the middle) -----
-  Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce, Slice sealed);
+  Status ForwardKeysToEnclave(uint64_t session_id, uint64_t nonce,
+                              Slice sealed) override;
   Status ForwardEncryptionAuthorization(uint64_t session_id, uint64_t nonce,
-                                        Slice sealed);
+                                        Slice sealed) override;
 
   // ----- crash & recovery (§4.5) -----
   /// Simulates a crash+restart: the enclave loses all keys and sessions, and
@@ -224,23 +314,16 @@ class Database {
   Status InvalidateIndexByName(const std::string& index_name);
 
   // ----- durability (data-dir mode) -----
-  /// What the last Open() found on disk and did about it.
-  struct RecoveryInfo {
-    bool ran = false;             // Open() performed durable recovery
-    bool clean_shutdown = false;  // the clean-shutdown marker was present
-    uint64_t recovery_ms = 0;
-    uint64_t wal_records_replayed = 0;  // WAL tail records fed to redo
-    uint64_t from_checkpoint_lsn = 0;   // 0 = no checkpoint file found
-    size_t ddl_statements_replayed = 0;
-    storage::RecoveryResult engine;
-  };
+  /// Hoisted to namespace scope (shared with ShardedDatabase); the alias
+  /// keeps `server::Database::RecoveryInfo` spellings working.
+  using RecoveryInfo = ::aedb::server::RecoveryInfo;
 
   /// Durable-mode startup: replays the DDL journal (metadata only), attaches
   /// the file-backed WAL, loads the latest checkpoint and runs engine
   /// recovery over the WAL tail. No-op when data_dir is empty. Idempotent
   /// against crashes: a kill -9 at any point during Open() leaves state the
   /// next Open() recovers from identically.
-  Status Open();
+  Status Open() override;
 
   /// Quiesces the engine (bounded by `quiesce_wait`), writes a checkpoint
   /// file atomically and truncates the WAL. FailedPrecondition when the
@@ -252,19 +335,22 @@ class Database {
   /// final checkpoint (best effort), fsyncs the WAL, and writes the
   /// clean-shutdown marker only if the log drained completely. Safe to call
   /// twice; the destructor calls it implicitly for thread cleanup only.
-  Status Shutdown();
+  Status Shutdown() override;
 
-  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  const RecoveryInfo& recovery_info() const override { return recovery_info_; }
+
+  /// The serverd drain path: force everything appended so far to disk.
+  Status SyncWals() override { return engine_.wal().Sync(); }
 
   // ----- introspection -----
-  sql::Catalog& catalog() { return catalog_; }
+  sql::Catalog& catalog() override { return catalog_; }
   storage::StorageEngine& engine() { return engine_; }
   enclave::Enclave* enclave() { return enclave_.get(); }
   const enclave::VbsPlatform* platform() const { return platform_.get(); }
   const TdsCapture& tds_capture() const { return capture_; }
   uint64_t describe_calls() const { return describe_calls_; }
   /// Counter snapshot including the enclave amortization gauges.
-  DatabaseStats Stats() const;
+  DatabaseStats Stats() const override;
 
  private:
   class ServerInvoker;

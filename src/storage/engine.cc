@@ -157,6 +157,11 @@ Status StorageEngine::Commit(uint64_t txn_id) {
     std::lock_guard<std::mutex> lock(meta_mu_);
     auto it = active_.find(txn_id);
     if (it == active_.end()) return Status::NotFound("unknown txn");
+    if (it->second.prepared) {
+      // A prepared txn belongs to a 2PC coordinator; a plain Commit would
+      // bypass the decision protocol.
+      return Status::FailedPrecondition("txn is prepared; use CommitPrepared");
+    }
     ops = std::move(it->second.ops);
     active_.erase(it);
     // Between this erase and the commit record becoming durable the txn is
@@ -194,6 +199,92 @@ Status StorageEngine::Commit(uint64_t txn_id) {
   }
   locks_.ReleaseAll(txn_id);
   return Status::OK();
+}
+
+Status StorageEngine::Prepare(uint64_t txn_id, uint64_t gtid) {
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) return Status::NotFound("unknown txn");
+    if (it->second.prepared) {
+      return Status::FailedPrecondition("txn already prepared");
+    }
+  }
+  // Same WAL rule as Commit: append then fsync, so the data records and the
+  // vote become durable together. After OK every effect of this txn survives
+  // a crash and CommitPrepared is guaranteed to be able to finish it.
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kPrepare;
+  PutU64(&rec.payload1, gtid);
+  auto appended = wal_.Append(rec);
+  Status durable = appended.status();
+  if (durable.ok()) durable = wal_.SyncUpTo(*appended);
+  if (!durable.ok()) {
+    // The vote never became durable: this participant votes NO. Roll the txn
+    // back so runtime state matches what recovery would rebuild (a kPrepare
+    // that landed without its fsync is followed by the abort's CLRs+kAbort,
+    // which recovery treats as a settled loser).
+    (void)Abort(txn_id);
+    return Status::TransactionAborted("prepare not durable: " +
+                                      durable.message());
+  }
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = active_.find(txn_id);
+  if (it == active_.end()) {
+    return Status::NotFound("txn vanished during prepare");
+  }
+  it->second.prepared = true;
+  it->second.gtid = gtid;
+  return Status::OK();
+}
+
+Status StorageEngine::CommitPrepared(uint64_t txn_id) {
+  std::vector<LogRecord> ops;
+  uint64_t gtid = 0;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    auto it = active_.find(txn_id);
+    if (it == active_.end()) return Status::NotFound("unknown txn");
+    if (!it->second.prepared) {
+      return Status::FailedPrecondition("txn not prepared");
+    }
+    ops = std::move(it->second.ops);
+    gtid = it->second.gtid;
+    active_.erase(it);
+    ++finalizing_;
+  }
+  Finalizer finalizer{this};
+  LogRecord rec;
+  rec.txn_id = txn_id;
+  rec.type = LogRecordType::kCommit;
+  auto appended = wal_.Append(rec);
+  Status durable = appended.status();
+  if (durable.ok()) durable = wal_.SyncUpTo(*appended);
+  if (!durable.ok()) {
+    // The coordinator's COMMIT decision is already durable — aborting here
+    // would break atomicity with the other participants. Re-park the txn as
+    // prepared (locks are still held) so a retry or the next recovery can
+    // finish the commit, and surface the durability error as-is.
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    ActiveTxn txn;
+    txn.ops = std::move(ops);
+    txn.prepared = true;
+    txn.gtid = gtid;
+    active_.emplace(txn_id, std::move(txn));
+    return durable;
+  }
+  locks_.ReleaseAll(txn_id);
+  return Status::OK();
+}
+
+std::vector<InDoubtTxn> StorageEngine::InDoubtTxns() const {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  std::vector<InDoubtTxn> out;
+  for (const auto& [id, txn] : active_) {
+    if (txn.prepared) out.push_back(InDoubtTxn{id, txn.gtid});
+  }
+  return out;
 }
 
 Status StorageEngine::UndoRecord(const LogRecord& rec) {
@@ -600,6 +691,9 @@ Result<RecoveryResult> StorageEngine::Recover() {
   std::set<uint64_t> committed;
   std::set<uint64_t> aborted;
   std::set<uint64_t> seen;
+  // Txns whose durable kPrepare has no decision record yet: 2PC in-doubt.
+  // (A later kCommit/kAbort settles them like any other txn.)
+  std::map<uint64_t, uint64_t> prepared_gtid;  // txn_id -> gtid
   for (const LogRecord& rec : log) {
     seen.insert(rec.txn_id);
     if (rec.type == LogRecordType::kCommit) committed.insert(rec.txn_id);
@@ -607,6 +701,13 @@ Result<RecoveryResult> StorageEngine::Recover() {
     // undone op logged its compensation record — so redo alone restores the
     // txn to net zero; it needs no recovery-time undo.
     if (rec.type == LogRecordType::kAbort) aborted.insert(rec.txn_id);
+    if (rec.type == LogRecordType::kPrepare) {
+      size_t off = 0;
+      uint64_t gtid = 0;
+      auto parsed = GetU64(rec.payload1, &off);
+      if (parsed.ok()) gtid = *parsed;
+      prepared_gtid[rec.txn_id] = gtid;
+    }
   }
 
   locks_.Clear();
@@ -726,11 +827,20 @@ Result<RecoveryResult> StorageEngine::Recover() {
   // Heap undo is always possible. Index undo on a rebuild-pending index is
   // covered by the eventual rebuild, but the transaction becomes deferred —
   // holding its row locks unless constant-time recovery is on (§4.5).
+  // In-doubt txns (durable kPrepare, no decision) are NOT losers: their vote
+  // promised the coordinator they can still commit. They are excluded from
+  // undo and re-registered below as active+prepared with row locks re-held.
+  std::map<uint64_t, std::vector<const LogRecord*>> in_doubt_ops;
   std::map<uint64_t, std::vector<const LogRecord*>> loser_ops;
   for (const LogRecord& rec : log) {
     if (committed.count(rec.txn_id) || aborted.count(rec.txn_id)) continue;
     if (rec.type == LogRecordType::kBegin || rec.type == LogRecordType::kAbort ||
-        rec.type == LogRecordType::kCommit) {
+        rec.type == LogRecordType::kCommit ||
+        rec.type == LogRecordType::kPrepare) {
+      continue;
+    }
+    if (prepared_gtid.count(rec.txn_id)) {
+      in_doubt_ops[rec.txn_id].push_back(&rec);
       continue;
     }
     // A crash mid-abort leaves [ops..., CLRs...] with no kAbort: reverse
@@ -785,6 +895,37 @@ Result<RecoveryResult> StorageEngine::Recover() {
       abort.type = LogRecordType::kAbort;
       (void)wal_.Append(abort);
     }
+  }
+
+  // --- In-doubt phase: re-register each prepared-undecided txn as active and
+  // prepared, with its op list rebuilt from the log tail (a prepared txn pins
+  // checkpoints, so every one of its records is post-horizon) and its row
+  // locks re-acquired — exactly the state the coordinator's decision needs to
+  // finish via CommitPrepared or Abort.
+  for (const auto& [txn_id, gtid] : prepared_gtid) {
+    if (committed.count(txn_id) || aborted.count(txn_id)) continue;
+    ActiveTxn txn;
+    txn.prepared = true;
+    txn.gtid = gtid;
+    std::set<uint64_t> touched_rows;
+    auto ops_it = in_doubt_ops.find(txn_id);
+    if (ops_it != in_doubt_ops.end()) {
+      for (const LogRecord* rec : ops_it->second) {
+        if (rec->type == LogRecordType::kHeapInsert ||
+            rec->type == LogRecordType::kHeapDelete ||
+            rec->type == LogRecordType::kHeapResurrect) {
+          touched_rows.insert(RowResource(rec->object_id, rec->rid.Encode()));
+        }
+        txn.ops.push_back(*rec);
+      }
+    }
+    for (uint64_t resource : touched_rows) {
+      AEDB_RETURN_IF_ERROR(
+          locks_.Acquire(txn_id, resource, std::chrono::milliseconds(0)));
+    }
+    result.in_doubt.push_back(InDoubtTxn{txn_id, gtid});
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    active_.emplace(txn_id, std::move(txn));
   }
 
   std::lock_guard<std::mutex> lock(meta_mu_);

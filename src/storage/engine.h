@@ -43,10 +43,20 @@ struct EngineOptions {
   uint64_t group_commit_window_us = 0;
 };
 
+/// A transaction that crashed between Prepare and the coordinator's decision.
+/// Recovery re-registers it as active+prepared with its row locks held; the
+/// coordinator (or its decision log) must settle it via CommitPrepared/Abort.
+struct InDoubtTxn {
+  uint64_t txn_id = 0;
+  uint64_t gtid = 0;  // coordinator's global transaction id (kPrepare payload)
+};
+
 struct RecoveryResult {
   size_t redone = 0;
   size_t undone = 0;
   std::vector<uint64_t> deferred_txns;
+  /// Prepared-but-undecided transactions found in the log (2PC in-doubt).
+  std::vector<InDoubtTxn> in_doubt;
   std::vector<uint32_t> rebuild_pending_indexes;
   /// LSN horizon of the checkpoint recovery started from (0 = no checkpoint:
   /// the whole log replayed).
@@ -102,6 +112,20 @@ class StorageEngine {
   // ----- transactions -----
   uint64_t Begin();
   Status Commit(uint64_t txn_id);
+  /// 2PC phase one: forces a kPrepare record (payload = `gtid`) durable and
+  /// marks the txn prepared. The txn stays active with all locks held; after
+  /// OK the engine guarantees CommitPrepared can succeed across a crash.
+  /// On a durability failure the txn is aborted (vote NO) and
+  /// TransactionAborted is returned.
+  Status Prepare(uint64_t txn_id, uint64_t gtid);
+  /// 2PC phase two: commits a prepared txn. Unlike Commit, a durability
+  /// failure does NOT abort — the coordinator already decided commit — the
+  /// txn is re-parked as prepared/in-doubt and the error returned so a later
+  /// retry or recovery finishes the job.
+  Status CommitPrepared(uint64_t txn_id);
+  /// Active transactions in the prepared state (after Recover: the in-doubt
+  /// set awaiting a coordinator decision).
+  std::vector<InDoubtTxn> InDoubtTxns() const;
   /// Rolls back. If index undo hits a missing enclave key the transaction is
   /// parked as deferred (OK is still returned; see DeferredTxns()).
   Status Abort(uint64_t txn_id);
@@ -206,6 +230,8 @@ class StorageEngine {
 
   struct ActiveTxn {
     std::vector<LogRecord> ops;  // this txn's mutations, for runtime undo
+    bool prepared = false;       // 2PC: voted yes, awaiting decision
+    uint64_t gtid = 0;           // 2PC: coordinator's global txn id
   };
 
   struct DeferredTxn {

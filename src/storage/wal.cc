@@ -79,7 +79,7 @@ Result<LogRecord> LogRecord::Deserialize(Slice in, size_t* offset) {
   if (*offset >= in.size()) return Status::Corruption("truncated log record");
   rec.type = static_cast<LogRecordType>(in[(*offset)++]);
   if (rec.type < LogRecordType::kBegin ||
-      rec.type > LogRecordType::kHeapResurrect) {
+      rec.type > LogRecordType::kPrepare) {
     return Status::Corruption("unknown log record type");
   }
   AEDB_ASSIGN_OR_RETURN(rec.object_id, GetU32(in, offset));

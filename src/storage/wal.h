@@ -25,6 +25,11 @@ enum class LogRecordType : uint8_t {
   /// delete + rollback + re-delete of the same row replays as two deletes of
   /// one slot and recovery fails.
   kHeapResurrect = 8,  // object_id=table, rid
+  /// Two-phase commit vote record (payload1 = u64 global txn id). A prepared
+  /// transaction's effects are durable and its locks stay held; recovery
+  /// neither commits nor undoes it — the txn is re-registered in-doubt and
+  /// waits for the coordinator's decision (CommitPrepared / Abort).
+  kPrepare = 9,
 };
 
 /// One WAL record. Row images and index keys are stored exactly as they live

@@ -266,6 +266,9 @@ Status TpccTerminal::NewOrder() {
   int c = RandomCustomerId();
   int ol_cnt = static_cast<int>(rng_.Uniform(5, 15));
   bool rollback = rng_.Uniform(1, 100) == 1;  // spec: 1% invalid item
+  // Remote order: the lines' stock comes from another warehouse, so under
+  // warehouse sharding this transaction writes two shards and commits by 2PC.
+  int supply_w = PickRemote() ? RemoteWarehouse(w) : w;
 
   uint64_t txn = driver_->Begin();
   auto fail = [&](const Status& st) { return FailTxn(txn, st); };
@@ -323,7 +326,7 @@ Status TpccTerminal::NewOrder() {
     if (price->rows.empty()) return fail(Status::Internal("missing item"));
     auto stock = driver_->Query(
         "SELECT S_QUANTITY FROM Stock WHERE S_I_ID = @i AND S_W_ID = @w",
-        {{"i", Value::Int32(item)}, {"w", Value::Int32(w)}}, txn);
+        {{"i", Value::Int32(item)}, {"w", Value::Int32(supply_w)}}, txn);
     if (!stock.ok()) return fail(stock.status());
     if (stock->rows.empty()) return fail(Status::Internal("missing stock"));
     int quantity = static_cast<int>(rng_.Uniform(1, 10));
@@ -334,7 +337,7 @@ Status TpccTerminal::NewOrder() {
         "WHERE S_I_ID = @i AND S_W_ID = @w",
         {{"q", Value::Int32(new_q)},
          {"i", Value::Int32(item)},
-         {"w", Value::Int32(w)}},
+         {"w", Value::Int32(supply_w)}},
         txn);
     if (!supd.ok()) return fail(supd.status());
     double amount = quantity * price->rows[0][0].dbl();
@@ -362,6 +365,9 @@ Status TpccTerminal::Payment() {
   int w = static_cast<int>(rng_.Uniform(1, config_.warehouses));
   int d = static_cast<int>(rng_.Uniform(1, config_.districts_per_warehouse));
   double amount = rng_.Uniform(100, 500000) / 100.0;
+  // Remote payment: the customer banks at another warehouse — the customer
+  // update lands on a different shard than the warehouse/district updates.
+  int c_w = PickRemote() ? RemoteWarehouse(w) : w;
 
   uint64_t txn = driver_->Begin();
   auto fail = [&](const Status& st) { return FailTxn(txn, st); };
@@ -380,7 +386,7 @@ Status TpccTerminal::Payment() {
   if (ByLastName()) {
     // The encrypted predicate of the benchmark (DET host compare or enclave
     // evaluation depending on configuration).
-    auto found = CustomerByLastName(txn, w, d, RandomLastName());
+    auto found = CustomerByLastName(txn, c_w, d, RandomLastName());
     if (!found.ok()) {
       if (found.status().IsNotFound()) {
         c_id = RandomCustomerId();
@@ -399,7 +405,7 @@ Status TpccTerminal::Payment() {
       "C_YTD_PAYMENT = C_YTD_PAYMENT + @a, C_PAYMENT_CNT = C_PAYMENT_CNT + 1 "
       "WHERE C_W_ID = @w AND C_D_ID = @d AND C_ID = @c",
       {{"a", Value::Double(amount)},
-       {"w", Value::Int32(w)},
+       {"w", Value::Int32(c_w)},
        {"d", Value::Int32(d)},
        {"c", Value::Int32(c_id)}},
       txn);
@@ -407,8 +413,11 @@ Status TpccTerminal::Payment() {
 
   auto hist = driver_->Query(
       "INSERT INTO History (H_C_ID, H_C_D_ID, H_C_W_ID, H_D_ID, H_W_ID, "
-      "H_DATE, H_AMOUNT, H_DATA) VALUES (@c, @d, @w, @d, @w, @t, @a, 'pay')",
+      "H_DATE, H_AMOUNT, H_DATA) VALUES (@c, @cd, @cw, @d, @w, @t, @a, "
+      "'pay')",
       {{"c", Value::Int32(c_id)},
+       {"cd", Value::Int32(d)},
+       {"cw", Value::Int32(c_w)},
        {"d", Value::Int32(d)},
        {"w", Value::Int32(w)},
        {"t", Value::Int64(static_cast<int64_t>(committed_))},

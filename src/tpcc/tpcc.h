@@ -33,6 +33,12 @@ struct TpccConfig {
   /// CEK/CMK names used when encryption != kPlaintext.
   std::string cek_name = "TpccCEK";
   uint64_t seed = 42;
+  /// Percent of New-Order / Payment transactions that touch a REMOTE
+  /// warehouse (New-Order: the order lines' supply warehouse; Payment: the
+  /// paying customer's home warehouse). Only active when warehouses > 1.
+  /// Under warehouse-partitioned sharding these are the cross-shard
+  /// transactions that exercise two-phase commit.
+  int remote_pct = 10;
 };
 
 /// TPC-C C_LAST syllables (spec clause 4.3.2.3).
@@ -114,6 +120,17 @@ class TpccTerminal {
   /// (client-side sort replacing ORDER BY C_FIRST, §5.3).
   Result<int> CustomerByLastName(uint64_t txn, int w, int d,
                                  const std::string& last);
+  /// True for the configured remote fraction of transactions (needs > 1
+  /// warehouse).
+  bool PickRemote() {
+    return config_.warehouses > 1 && config_.remote_pct > 0 &&
+           rng_.Uniform(1, 100) <= static_cast<int64_t>(config_.remote_pct);
+  }
+  /// A warehouse other than `home`, uniform over the rest.
+  int RemoteWarehouse(int home) {
+    int other = static_cast<int>(rng_.Uniform(1, config_.warehouses - 1));
+    return other >= home ? other + 1 : other;
+  }
 
   static constexpr int64_t kCRunLast = 173;  // runtime NURand constant
   static constexpr int64_t kCRunCid = 1021;

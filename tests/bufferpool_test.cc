@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "crypto/drbg.h"
 #include "fault/fault.h"
+#include "server/router.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/engine.h"
@@ -679,6 +680,87 @@ TEST_F(PagedTpccTest, LargeDataTpccExceedsPoolAndStaysCorrect) {
   EXPECT_TRUE(result.first_error.empty()) << result.first_error;
   EXPECT_GE(result.committed, 300u);
   EXPECT_GT(concurrent.db->Stats().pool_evictions, 0u);
+}
+
+/// Shared-nothing pool isolation: every shard owns a private buffer pool, so
+/// driving one shard far past its pool capacity must never evict (or disturb)
+/// another shard's frames — the cold shard stays eviction-free and its data
+/// stays readable and correct throughout.
+TEST_F(PagedTpccTest, ShardedPoolsEvictIndependently) {
+  crypto::HmacDrbg drbg(crypto::SecureRandom(48),
+                        Slice(std::string_view("shard-pool-author")));
+  crypto::RsaPrivateKey author_key = crypto::GenerateRsaKey(1024, &drbg);
+  enclave::EnclaveImage image = enclave::EnclaveImage::MakeEsImage(1, author_key);
+  attestation::HostGuardianService hgs;
+
+  server::ShardedOptions sopts;
+  sopts.shards = 2;
+  sopts.base.engine.pool_pages = BufferPool::kMinPages;
+  sopts.base.engine.group_commit_window_us = 100;
+  auto sharded =
+      std::make_unique<server::ShardedDatabase>(std::move(sopts), &hgs, &image);
+  for (uint32_t i = 0; i < sharded->shard_count(); ++i) {
+    hgs.RegisterTcgLog(sharded->shard(i)->platform()->tcg_log());
+  }
+  ASSERT_TRUE(sharded->Open().ok());
+
+  keys::KeyProviderRegistry registry;
+  client::DriverOptions dopts;
+  dopts.enclave_policy.trusted_author_id = image.AuthorId();
+  client::Driver driver(sharded.get(), &registry, hgs.signing_public(), dopts);
+
+  ASSERT_TRUE(
+      driver.ExecuteDdl("CREATE TABLE Ledger (W_ID INT, SEQ INT, PAD VARCHAR)")
+          .ok());
+
+  // Warehouse 2 lives on shard 1: a small resident set that fits its pool.
+  const std::string pad(256, 'x');
+  for (int i = 0; i < 6; ++i) {
+    auto r = driver.Query(
+        "INSERT INTO Ledger (W_ID, SEQ, PAD) VALUES (@w, @s, @p)",
+        {{"w", types::Value::Int32(2)},
+         {"s", types::Value::Int32(i)},
+         {"p", types::Value::String(pad)}});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  const uint64_t cold_evictions_before =
+      sharded->shard(1)->Stats().pool_evictions;
+
+  // Warehouse 1 lives on shard 0: hammer it until its working set is many
+  // times the pool and eviction is certain.
+  for (int i = 0; i < 600; ++i) {
+    auto r = driver.Query(
+        "INSERT INTO Ledger (W_ID, SEQ, PAD) VALUES (@w, @s, @p)",
+        {{"w", types::Value::Int32(1)},
+         {"s", types::Value::Int32(i)},
+         {"p", types::Value::String(pad)}});
+    ASSERT_TRUE(r.ok()) << "insert " << i << ": " << r.status().ToString();
+  }
+  auto scan = driver.Query("SELECT COUNT(*) FROM Ledger WHERE W_ID = @w",
+                           {{"w", types::Value::Int32(1)}});
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->rows[0][0].i64(), 600);
+
+  EXPECT_GT(sharded->shard(0)->Stats().pool_evictions, 0u)
+      << "hot shard never exceeded its pool — grow the workload";
+  EXPECT_EQ(sharded->shard(1)->Stats().pool_evictions, cold_evictions_before)
+      << "hot shard's churn evicted frames from the cold shard's pool";
+
+  // And the cold shard's rows are still intact, through the router and
+  // against the shard engine directly.
+  auto cold = driver.Query("SELECT COUNT(*) FROM Ledger WHERE W_ID = @w",
+                           {{"w", types::Value::Int32(2)}});
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->rows[0][0].i64(), 6);
+  auto direct = sharded->shard(1)->Execute(
+      "SELECT SEQ, PAD FROM Ledger WHERE W_ID = @w ORDER BY SEQ",
+      {types::Value::Int32(2)});
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_EQ(direct->rows.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(direct->rows[i][0].i32(), i);
+    EXPECT_EQ(direct->rows[i][1].str(), pad);
+  }
 }
 
 }  // namespace

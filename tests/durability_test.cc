@@ -15,6 +15,7 @@
 #include "crypto/drbg.h"
 #include "fault/fault.h"
 #include "server/database.h"
+#include "server/router.h"
 #include "storage/btree.h"
 #include "storage/checkpoint.h"
 #include "storage/engine.h"
@@ -831,6 +832,133 @@ TEST_F(DurableDatabaseTest, NoPlaintextAtRestAnywhereInDataDir) {
     }
   }
   EXPECT_GT(scanned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded durability: shard i persists under <root>/shard-<i> with its OWN
+// wal.log / ddl.log / checkpoint.db, recovered independently of its peers.
+
+class ShardedDurabilityTest : public DurabilityTest {
+ protected:
+  void SetUp() override {
+    DurabilityTest::SetUp();
+    Bytes seed;
+    PutU64(&seed, 4242);
+    crypto::HmacDrbg drbg(Slice(seed), Slice(std::string_view("aedb-serverd")));
+    author_key_ = crypto::GenerateRsaKey(1024, &drbg);
+    image_ = enclave::EnclaveImage::MakeEsImage(1, author_key_);
+  }
+
+  /// Boots a sharded server stand-in over `dir` — fresh HGS + enclaves per
+  /// call, exactly like a process restart.
+  void Boot(const std::string& dir, uint32_t shards) {
+    driver_.reset();
+    sharded_.reset();
+    Bytes seed;
+    PutU64(&seed, 4242);
+    hgs_ = std::make_unique<attestation::HostGuardianService>(Slice(seed));
+    server::ShardedOptions opts;
+    opts.shards = shards;
+    opts.base.data_dir = dir;
+    sharded_ = std::make_unique<server::ShardedDatabase>(std::move(opts),
+                                                         hgs_.get(), &image_);
+    for (uint32_t i = 0; i < shards; ++i) {
+      hgs_->RegisterTcgLog(sharded_->shard(i)->platform()->tcg_log());
+    }
+    Status opened = sharded_->Open();
+    ASSERT_TRUE(opened.ok()) << opened.ToString();
+    client::DriverOptions dopts;
+    dopts.enclave_policy.trusted_author_id = image_.AuthorId();
+    driver_ = std::make_unique<client::Driver>(sharded_.get(), &registry_,
+                                               hgs_->signing_public(), dopts);
+  }
+
+  void InsertWarehouseRow(int w, int val) {
+    auto r = driver_->Query("INSERT INTO Ledger (W_ID, VAL) VALUES (@w, @v)",
+                            {{"w", Value::Int32(w)}, {"v", Value::Int32(val)}});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  keys::KeyProviderRegistry registry_;
+  crypto::RsaPrivateKey author_key_;
+  enclave::EnclaveImage image_;
+  std::unique_ptr<attestation::HostGuardianService> hgs_;
+  std::unique_ptr<server::ShardedDatabase> sharded_;
+  std::unique_ptr<client::Driver> driver_;
+};
+
+// Every shard gets its own WAL on disk; a crashing shard replays ONLY its
+// own log, and a whole-process dirty restart recovers all of them.
+TEST_F(ShardedDurabilityTest, CrashingShardReplaysOnlyItsOwnLog) {
+  TempDir dir;
+  Boot(dir.path(), 2);
+  ASSERT_TRUE(
+      driver_->ExecuteDdl("CREATE TABLE Ledger (W_ID INT, VAL INT)").ok());
+  InsertWarehouseRow(1, 10);  // shard 0: one row
+  for (int i = 0; i < 6; ++i) InsertWarehouseRow(2, i);  // shard 1: six rows
+
+  // Shared-nothing on disk: one wal.log (and ddl.log) per shard directory.
+  for (int s = 0; s < 2; ++s) {
+    std::string base = dir.path() + "/shard-" + std::to_string(s);
+    EXPECT_TRUE(storage::fsio::FileExists(base + "/wal.log")) << base;
+    EXPECT_TRUE(storage::fsio::FileExists(base + "/ddl.log")) << base;
+  }
+
+  // Crash+recover shard 1: its replay is sized by its OWN log — the six
+  // shard-1 inserts, not shard 0's single row.
+  auto rec1 = sharded_->RestartShard(1);
+  ASSERT_TRUE(rec1.ok()) << rec1.status().ToString();
+  auto rec0 = sharded_->RestartShard(0);
+  ASSERT_TRUE(rec0.ok()) << rec0.status().ToString();
+  EXPECT_GT(rec1->redone, rec0->redone)
+      << "shard 1's recovery did not replay shard-1-sized history";
+
+  // Whole-process dirty restart (no Shutdown): every shard replays its WAL.
+  driver_.reset();
+  sharded_.reset();
+  Boot(dir.path(), 2);
+  const server::RecoveryInfo& ri = sharded_->recovery_info();
+  EXPECT_TRUE(ri.ran);
+  EXPECT_FALSE(ri.clean_shutdown);
+  EXPECT_GT(ri.wal_records_replayed, 0u);
+  auto count = driver_->Query("SELECT COUNT(*) FROM Ledger");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->rows[0][0].i64(), 7);
+  auto s1 = sharded_->shard(1)->Execute("SELECT COUNT(*) FROM Ledger", {});
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->rows[0][0].i64(), 6) << "shard 1 lost rows across restart";
+}
+
+// Checkpointing one shard truncates that shard's WAL only; the next restart
+// recovers shard 0 from its checkpoint and shard 1 from its full log.
+TEST_F(ShardedDurabilityTest, PerShardCheckpointsAreIndependent) {
+  TempDir dir;
+  Boot(dir.path(), 2);
+  ASSERT_TRUE(
+      driver_->ExecuteDdl("CREATE TABLE Ledger (W_ID INT, VAL INT)").ok());
+  for (int i = 0; i < 4; ++i) {
+    InsertWarehouseRow(1, i);
+    InsertWarehouseRow(2, i);
+  }
+  Status ckpt = sharded_->shard(0)->Checkpoint();
+  ASSERT_TRUE(ckpt.ok()) << ckpt.ToString();
+  EXPECT_TRUE(
+      storage::fsio::FileExists(dir.path() + "/shard-0/checkpoint.db"));
+  EXPECT_FALSE(
+      storage::fsio::FileExists(dir.path() + "/shard-1/checkpoint.db"))
+      << "checkpointing shard 0 leaked a checkpoint onto shard 1";
+
+  driver_.reset();
+  sharded_.reset();
+  Boot(dir.path(), 2);
+  EXPECT_GT(sharded_->shard(0)->recovery_info().from_checkpoint_lsn, 0u);
+  EXPECT_EQ(sharded_->shard(1)->recovery_info().from_checkpoint_lsn, 0u);
+  EXPECT_GT(sharded_->shard(1)->recovery_info().wal_records_replayed,
+            sharded_->shard(0)->recovery_info().wal_records_replayed)
+      << "shard 0 should replay only its post-checkpoint tail";
+  auto count = driver_->Query("SELECT COUNT(*) FROM Ledger");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].i64(), 8);
 }
 
 }  // namespace
